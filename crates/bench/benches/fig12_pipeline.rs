@@ -1,0 +1,38 @@
+//! Criterion bench for Fig. 12: wall-clock of the CPU reference, the base
+//! GPU port and the fully optimized GPU port of the sharpness pipeline.
+//!
+//! Wall-clock here measures the *functional execution* of the simulator on
+//! the host (the simulated W8000 seconds are reported by `repro fig12`);
+//! the interesting wall-clock shape is that the pipelines stay fast enough
+//! to iterate on, and that the optimized variant does not regress
+//! functionally.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sharpness_bench::{w8000, workload};
+use sharpness_core::cpu::CpuPipeline;
+use sharpness_core::gpu::{GpuPipeline, OptConfig};
+use sharpness_core::params::SharpnessParams;
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_pipeline");
+    group.sample_size(10);
+    for width in [128usize, 256, 512] {
+        let img = workload(width);
+        group.bench_with_input(BenchmarkId::new("cpu", width), &img, |b, img| {
+            let p = CpuPipeline::new(SharpnessParams::default());
+            b.iter(|| p.run(img).unwrap().total_s)
+        });
+        group.bench_with_input(BenchmarkId::new("gpu_base", width), &img, |b, img| {
+            let p = GpuPipeline::new(w8000(), SharpnessParams::default(), OptConfig::none());
+            b.iter(|| p.run(img).unwrap().total_s)
+        });
+        group.bench_with_input(BenchmarkId::new("gpu_opt", width), &img, |b, img| {
+            let p = GpuPipeline::new(w8000(), SharpnessParams::default(), OptConfig::all());
+            b.iter(|| p.run(img).unwrap().total_s)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for Fig. 14: wall-clock of the GPU pipeline at each
+//! cumulative optimization step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sharpness_bench::{w8000, workload};
+use sharpness_core::gpu::{GpuPipeline, OptConfig};
+use sharpness_core::params::SharpnessParams;
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_optsteps");
+    group.sample_size(10);
+    let img = workload(256);
+    for (name, opts) in OptConfig::cumulative_steps() {
+        group.bench_with_input(BenchmarkId::new("step", name), &img, |b, img| {
+            let p = GpuPipeline::new(w8000(), SharpnessParams::default(), opts);
+            b.iter(|| p.run(img).unwrap().total_s)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

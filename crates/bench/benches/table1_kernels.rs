@@ -1,0 +1,94 @@
+//! Criterion bench for the per-kernel building blocks on the Table-I
+//! device pair: scalar vs vectorized Sobel, fused vs unfused sharpness
+//! tail, and the upscale center variants. This is the wall-clock
+//! counterpart of the Fig. 13 stage analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sharpness_bench::{w8000, workload};
+use sharpness_core::cpu::stages;
+use sharpness_core::gpu::kernels::sharpen::{
+    sharpness_fused_kernel, sharpness_fused_vec4_kernel,
+};
+use sharpness_core::gpu::kernels::sobel::{sobel_scalar_kernel, sobel_vec4_kernel};
+use sharpness_core::gpu::kernels::upscale::{
+    upscale_center_scalar_kernel, upscale_center_vec4_kernel,
+};
+use sharpness_core::gpu::kernels::{KernelTuning, SrcImage};
+use sharpness_core::params::SharpnessParams;
+
+const W: usize = 256;
+
+fn bench_kernels(c: &mut Criterion) {
+    let img = workload(W);
+    let padded = img.padded(1, false);
+    let (down, _) = stages::downscale(&img);
+    let (up, _, _) = stages::upscale(&down, W, W);
+    let (pedge, _) = stages::sobel(&img);
+    let (mean, _) = stages::reduction(&pedge);
+    let ctx = w8000();
+    let orig_buf = ctx.buffer_from("original", img.pixels());
+    let padded_buf = ctx.buffer_from("padded", padded.pixels());
+    let down_buf = ctx.buffer_from("down", down.pixels());
+    let up_buf = ctx.buffer_from("up", up.pixels());
+    let pedge_buf = ctx.buffer_from("pEdge", pedge.pixels());
+    let out = ctx.buffer::<f32>("final", W * W);
+    let raw = SrcImage { view: orig_buf.view(), pitch: W, pad: 0 };
+    let pad = SrcImage { view: padded_buf.view(), pitch: W + 2, pad: 1 };
+    let tune = KernelTuning { others: true };
+    let params = SharpnessParams::default();
+
+    let mut group = c.benchmark_group("table1_kernels");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("sobel", "scalar"), |b| {
+        b.iter(|| {
+            let mut q = ctx.queue();
+            sobel_scalar_kernel(&mut q, &raw, &out, W, W, tune).unwrap().total_s
+        })
+    });
+    group.bench_function(BenchmarkId::new("sobel", "vec4"), |b| {
+        b.iter(|| {
+            let mut q = ctx.queue();
+            sobel_vec4_kernel(&mut q, &pad, &out, W, W, tune).unwrap().total_s
+        })
+    });
+    group.bench_function(BenchmarkId::new("sharpness", "fused_scalar"), |b| {
+        b.iter(|| {
+            let mut q = ctx.queue();
+            sharpness_fused_kernel(
+                &mut q, &pad, &up_buf.view(), &pedge_buf.view(), &out, mean, params, W, W, tune,
+            )
+            .unwrap()
+            .total_s
+        })
+    });
+    group.bench_function(BenchmarkId::new("sharpness", "fused_vec4"), |b| {
+        b.iter(|| {
+            let mut q = ctx.queue();
+            sharpness_fused_vec4_kernel(
+                &mut q, &pad, &up_buf.view(), &pedge_buf.view(), &out, mean, params, W, W, tune,
+            )
+            .unwrap()
+            .total_s
+        })
+    });
+    group.bench_function(BenchmarkId::new("upscale_center", "scalar"), |b| {
+        b.iter(|| {
+            let mut q = ctx.queue();
+            upscale_center_scalar_kernel(&mut q, &down_buf.view(), &out, W, W, tune)
+                .unwrap()
+                .total_s
+        })
+    });
+    group.bench_function(BenchmarkId::new("upscale_center", "vec4"), |b| {
+        b.iter(|| {
+            let mut q = ctx.queue();
+            upscale_center_vec4_kernel(&mut q, &down_buf.view(), &out, W, W, tune)
+                .unwrap()
+                .total_s
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,224 @@
+//! Figure/table reproduction CLI.
+//!
+//! ```text
+//! repro [table1|fig12|fig13a|fig13b|fig13c|fig14|fig15|fig16|fig17|all]
+//! ```
+//!
+//! Prints, for every experiment of the paper's evaluation section, the
+//! regenerated rows/series alongside the shape criterion the paper
+//! reports. Model times are deterministic; run with `--release` for
+//! reasonable wall-clock at 4096².
+
+use sharpness_bench::*;
+use sharpness_core::gpu::OptConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let all = what == "all";
+
+    if all || what == "table1" {
+        println!("{}", table1());
+    }
+    if all || what == "fig12" {
+        fig12();
+    }
+    if all || what == "fig13a" {
+        fig13a();
+    }
+    if all || what == "fig13b" {
+        fig13("Fig. 13(b) — time fraction per stage, base GPU version", OptConfig::none());
+    }
+    if all || what == "fig13c" {
+        fig13("Fig. 13(c) — time fraction per stage, optimized GPU version", OptConfig::all());
+    }
+    if all || what == "fig14" {
+        fig14();
+    }
+    if all || what == "fig15" {
+        fig15();
+    }
+    if all || what == "fig16" {
+        fig16();
+    }
+    if all || what == "fig17" {
+        fig17();
+    }
+    if all || what == "ablations" {
+        ablations();
+    }
+    if what == "csv" {
+        let dir = args.get(1).map(String::as_str).unwrap_or("repro_csv");
+        write_csvs(dir);
+    }
+    if !all
+        && !["table1", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "fig16", "fig17", "ablations", "csv"]
+            .contains(&what)
+    {
+        eprintln!("unknown experiment `{what}`");
+        eprintln!(
+            "usage: repro [table1|fig12|fig13a|fig13b|fig13c|fig14|fig15|fig16|fig17|ablations|all|csv <dir>]"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn ablations() {
+    use sharpness_bench::ablation;
+    println!("Model ablations — robustness of the paper's conclusions to device constants");
+
+    println!("  vectorization win vs vector coalescing factor (1024², opt/base):");
+    for (f, ratio) in ablation::sweep_coalesce_vector(1024, &[0.55, 0.65, 0.75, 0.85, 0.95]) {
+        println!("    coalesce_vector {f:.2} -> {ratio:.2}x");
+    }
+
+    println!("  launch overhead vs opt/base (256²) and border crossover:");
+    for (us, ratio, crossover) in ablation::sweep_launch_overhead(256, &[5.0, 10.0, 20.0, 40.0]) {
+        println!("    launch {us:>4.0} µs -> opt/base {ratio:.2}x, border crossover {crossover}²");
+    }
+
+    println!("  PCI-E bandwidth vs totals (1024²):");
+    for (bw, base, opt) in ablation::sweep_pcie_bandwidth(1024, &[3.0, 6.0, 12.0]) {
+        println!(
+            "    {bw:>4.0} GB/s -> base {} opt {}",
+            fmt_time(base),
+            fmt_time(opt)
+        );
+    }
+
+    println!("  barrier stall vs reduction strategies (1024²):");
+    for (cyc, one, two, none) in ablation::sweep_barrier_cost(1024 * 1024, &[16.0, 64.0, 256.0]) {
+        println!(
+            "    {cyc:>4.0} cycles -> unroll1 {} unroll2 {} no-unroll {}",
+            fmt_time(one),
+            fmt_time(two),
+            fmt_time(none)
+        );
+    }
+    println!();
+}
+
+fn fig12() {
+    println!("Fig. 12 — CPU vs base GPU vs optimized GPU (simulated seconds)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "size", "CPU", "GPU base", "GPU opt", "base x", "opt x", "opt/base"
+    );
+    for r in fig12_data(&FIG12_SIZES) {
+        println!(
+            "{:>7}² {}{}{} {:>9.1}x {:>9.1}x {:>9.2}x",
+            r.width,
+            fmt_time(r.cpu_s),
+            fmt_time(r.base_s),
+            fmt_time(r.opt_s),
+            r.base_speedup(),
+            r.opt_speedup(),
+            r.opt_over_base(),
+        );
+    }
+    println!("paper shape: base speedup 9.8→35.3 with size; opt adds 1.2–2.0x; total 10.7–69.3x\n");
+}
+
+fn fig13a() {
+    println!("Fig. 13(a) — time fraction per stage, CPU version");
+    print_fractions(fig13a_data(&FIG12_SIZES));
+    println!("paper shape: overshoot control + strength matrix dominate; sobel/pError/upscale shrink with size\n");
+}
+
+fn fig13(title: &str, opts: OptConfig) {
+    println!("{title}");
+    print_fractions(fig13_gpu_data(&FIG12_SIZES, opts));
+    if opts == OptConfig::none() {
+        println!("paper shape: center, sobel and reduction are the base GPU bottlenecks; data-init share shrinks with size\n");
+    } else {
+        println!("paper shape: fractions evenly distributed, no prominent bottleneck\n");
+    }
+}
+
+fn print_fractions(data: Vec<(usize, Vec<(String, f64)>)>) {
+    // Collect category order from the largest size (most complete).
+    let cats: Vec<String> =
+        data.last().map(|(_, c)| c.iter().map(|(n, _)| n.clone()).collect()).unwrap_or_default();
+    print!("{:>10}", "size");
+    for c in &cats {
+        print!(" {:>12.12}", c);
+    }
+    println!();
+    for (width, row) in &data {
+        print!("{width:>9}²");
+        for c in &cats {
+            let f = row.iter().find(|(n, _)| n == c).map(|(_, f)| *f).unwrap_or(0.0);
+            print!(" {:>11.1}%", f * 100.0);
+        }
+        println!();
+    }
+}
+
+fn fig14() {
+    println!("Fig. 14 — cumulative optimization steps (simulated seconds, speedup vs base)");
+    for (width, series) in fig14_data(&FIG14_SIZES) {
+        println!("  {width}²:");
+        let base = series[0].1;
+        for (name, s) in series {
+            println!("    {:<55} {} ({:>5.2}x)", name, fmt_time(s), base / s);
+        }
+    }
+    println!("paper shape: all steps 1.15–9.04x over base at 8192²; transfer+fusion hurts below 4096²; reduction & vectorization+border give the big wins\n");
+}
+
+fn fig15() {
+    println!("Fig. 15 — reduction tail strategies (simulated seconds)");
+    println!("{:>10} {:>12} {:>12} {:>12}", "size", "unroll 1", "unroll 2", "no unroll");
+    for (w, one, two, none) in fig15_data(&FIG14_SIZES) {
+        println!("{w:>9}² {} {} {}", fmt_time(one), fmt_time(two), fmt_time(none));
+    }
+    println!("paper shape: unrolling ONE wavefront beats unrolling two (extra barrier)\n");
+}
+
+fn fig16() {
+    println!("Fig. 16 — reduction on CPU (incl. pEdge transfer) vs on GPU");
+    println!("{:>10} {:>12} {:>12} {:>10}", "size", "CPU", "GPU", "speedup");
+    for (w, cpu, gpu) in fig16_data(&FIG14_SIZES) {
+        println!("{w:>9}² {} {} {:>9.1}x", fmt_time(cpu), fmt_time(gpu), cpu / gpu);
+    }
+    println!("paper shape: GPU reduction up to 30.8x faster\n");
+}
+
+fn fig17() {
+    println!("Fig. 17 — upscale border on CPU vs GPU (simulated seconds)");
+    println!("{:>10} {:>12} {:>12} {:>8}", "size", "CPU", "GPU", "winner");
+    for (w, cpu, gpu) in fig17_data(&FIG17_SIZES) {
+        println!(
+            "{w:>9}² {} {} {:>8}",
+            fmt_time(cpu),
+            fmt_time(gpu),
+            if cpu <= gpu { "CPU" } else { "GPU" }
+        );
+    }
+    let ctx = w8000();
+    let candidates: Vec<usize> = (1..=32).map(|k| k * 64).collect();
+    let crossover = sharpness_core::autotune::tune_border_crossover(&ctx, &candidates);
+    println!("autotuned crossover: {crossover}² (paper: 768²)\n");
+}
+
+fn write_csvs(dir: &str) {
+    use sharpness_bench::csv;
+    std::fs::create_dir_all(dir).expect("create csv dir");
+    let files: [(&str, String); 7] = [
+        ("fig12.csv", csv::fig12_csv(&FIG12_SIZES)),
+        ("fig13a.csv", csv::fig13a_csv(&FIG12_SIZES)),
+        ("fig13b.csv", csv::fig13_gpu_csv(&FIG12_SIZES, OptConfig::none())),
+        ("fig13c.csv", csv::fig13_gpu_csv(&FIG12_SIZES, OptConfig::all())),
+        ("fig14.csv", csv::fig14_csv(&FIG14_SIZES)),
+        ("fig15.csv", csv::fig15_csv(&FIG14_SIZES)),
+        ("fig16.csv", csv::fig16_csv(&FIG14_SIZES)),
+    ];
+    for (name, content) in files {
+        let path = std::path::Path::new(dir).join(name);
+        std::fs::write(&path, content).expect("write csv");
+        println!("wrote {}", path.display());
+    }
+    let path = std::path::Path::new(dir).join("fig17.csv");
+    std::fs::write(&path, csv::fig17_csv(&FIG17_SIZES)).expect("write csv");
+    println!("wrote {}", path.display());
+}

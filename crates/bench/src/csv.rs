@@ -1,0 +1,147 @@
+//! CSV export of the figure data, for plotting the reproduction next to
+//! the paper's charts.
+//!
+//! `repro -- csv <dir>` writes one file per experiment; each function
+//! here renders one figure's series. Plain `String` builders — no
+//! serialization dependency needed for flat numeric tables.
+
+use std::fmt::Write as _;
+
+use crate::{fig12_data, fig13_gpu_data, fig13a_data, fig14_data, fig15_data, fig16_data, fig17_data};
+use sharpness_core::gpu::OptConfig;
+
+/// Fig. 12 rows: `size,cpu_s,base_s,opt_s,base_speedup,opt_speedup`.
+pub fn fig12_csv(sizes: &[usize]) -> String {
+    let mut out = String::from("size,cpu_s,base_s,opt_s,base_speedup,opt_speedup\n");
+    for r in fig12_data(sizes) {
+        let _ = writeln!(
+            out,
+            "{},{:.9},{:.9},{:.9},{:.3},{:.3}",
+            r.width,
+            r.cpu_s,
+            r.base_s,
+            r.opt_s,
+            r.base_speedup(),
+            r.opt_speedup()
+        );
+    }
+    out
+}
+
+fn fractions_csv(data: Vec<(usize, Vec<(String, f64)>)>) -> String {
+    // Column order from the largest size.
+    let cats: Vec<String> =
+        data.last().map(|(_, c)| c.iter().map(|(n, _)| n.clone()).collect()).unwrap_or_default();
+    let mut out = String::from("size");
+    for c in &cats {
+        let _ = write!(out, ",{}", c.replace(' ', "_"));
+    }
+    out.push('\n');
+    for (w, row) in &data {
+        let _ = write!(out, "{w}");
+        for c in &cats {
+            let f = row.iter().find(|(n, _)| n == c).map(|(_, f)| *f).unwrap_or(0.0);
+            let _ = write!(out, ",{f:.6}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 13(a) stage fractions.
+pub fn fig13a_csv(sizes: &[usize]) -> String {
+    fractions_csv(fig13a_data(sizes))
+}
+
+/// Fig. 13(b)/(c) stage fractions for a GPU configuration.
+pub fn fig13_gpu_csv(sizes: &[usize], opts: OptConfig) -> String {
+    fractions_csv(fig13_gpu_data(sizes, opts))
+}
+
+/// Fig. 14 rows: `size,step,seconds,speedup_vs_base`.
+pub fn fig14_csv(sizes: &[usize]) -> String {
+    let mut out = String::from("size,step,seconds,speedup_vs_base\n");
+    for (w, series) in fig14_data(sizes) {
+        let base = series[0].1;
+        for (name, s) in series {
+            let _ = writeln!(out, "{w},{},{s:.9},{:.3}", name.replace(' ', "_"), base / s);
+        }
+    }
+    out
+}
+
+/// Fig. 15 rows: `size,unroll_one_s,unroll_two_s,no_unroll_s`.
+pub fn fig15_csv(sizes: &[usize]) -> String {
+    let mut out = String::from("size,unroll_one_s,unroll_two_s,no_unroll_s\n");
+    for (w, one, two, none) in fig15_data(sizes) {
+        let _ = writeln!(out, "{w},{one:.9},{two:.9},{none:.9}");
+    }
+    out
+}
+
+/// Fig. 16 rows: `size,cpu_s,gpu_s,speedup`.
+pub fn fig16_csv(sizes: &[usize]) -> String {
+    let mut out = String::from("size,cpu_s,gpu_s,speedup\n");
+    for (w, cpu, gpu) in fig16_data(sizes) {
+        let _ = writeln!(out, "{w},{cpu:.9},{gpu:.9},{:.3}", cpu / gpu);
+    }
+    out
+}
+
+/// Fig. 17 rows: `size,cpu_s,gpu_s,winner`.
+pub fn fig17_csv(sizes: &[usize]) -> String {
+    let mut out = String::from("size,cpu_s,gpu_s,winner\n");
+    for (w, cpu, gpu) in fig17_data(sizes) {
+        let _ = writeln!(out, "{w},{cpu:.9},{gpu:.9},{}", if cpu <= gpu { "cpu" } else { "gpu" });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_rect(csv: &str, cols: usize, rows: usize) {
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), rows + 1, "{csv}");
+        for l in &lines {
+            assert_eq!(l.split(',').count(), cols, "{l}");
+        }
+    }
+
+    #[test]
+    fn fig12_csv_shape() {
+        assert_rect(&fig12_csv(&[64, 128]), 6, 2);
+    }
+
+    #[test]
+    fn fig13_csvs_have_category_columns() {
+        let csv = fig13a_csv(&[64]);
+        assert!(csv.starts_with("size,"));
+        assert!(csv.contains("strength_matrix"));
+        let gpu = fig13_gpu_csv(&[64], OptConfig::none());
+        assert!(gpu.contains("data_init"));
+    }
+
+    #[test]
+    fn fig14_csv_has_five_steps_per_size() {
+        let csv = fig14_csv(&[64]);
+        assert_eq!(csv.trim_end().lines().count(), 1 + 5);
+    }
+
+    #[test]
+    fn fig15_16_17_shapes() {
+        assert_rect(&fig15_csv(&[64]), 4, 1);
+        assert_rect(&fig16_csv(&[64]), 4, 1);
+        assert_rect(&fig17_csv(&[64]), 4, 1);
+    }
+
+    #[test]
+    fn numeric_fields_parse() {
+        let csv = fig12_csv(&[64]);
+        let row = csv.lines().nth(1).unwrap();
+        for (i, field) in row.split(',').enumerate() {
+            assert!(field.parse::<f64>().is_ok(), "field {i}: {field}");
+        }
+    }
+}

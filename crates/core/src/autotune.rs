@@ -1,0 +1,110 @@
+//! Autotuning of the hardware-dependent choices the paper "tested in
+//! advance": the border CPU/GPU crossover (Fig. 17), the reduction
+//! stage-2 host/device threshold, and the reduction unrolling strategy
+//! (Fig. 15).
+//!
+//! The paper hard-codes these after manual measurement; this module
+//! automates the measurement against whatever device the context models,
+//! so re-targeting the pipeline to another [`DeviceSpec`] re-derives them.
+//!
+//! [`DeviceSpec`]: simgpu::device::DeviceSpec
+
+use simgpu::context::Context;
+
+use crate::gpu::ablate;
+use crate::gpu::kernels::reduction::{ReductionStrategy, ELEMS_PER_GROUP};
+use crate::gpu::opts::Tuning;
+
+/// Finds the smallest square-image width (among `candidates`, ascending)
+/// at which the GPU border beats the CPU border; returns
+/// `usize::MAX`-capped fallback of the largest candidate + step if the GPU
+/// never wins.
+pub fn tune_border_crossover(ctx: &Context, candidates: &[usize]) -> usize {
+    for &w in candidates {
+        let t_cpu = ablate::border_cpu_time(ctx, w, w);
+        let t_gpu = ablate::border_gpu_time(ctx, w, w);
+        if t_gpu <= t_cpu {
+            return w;
+        }
+    }
+    candidates.last().map(|&w| w * 2).unwrap_or(usize::MAX)
+}
+
+/// Picks the fastest reduction tail strategy for `n`-element inputs.
+pub fn tune_reduction_strategy(ctx: &Context, n: usize) -> ReductionStrategy {
+    let strategies = [
+        ReductionStrategy::NoUnroll,
+        ReductionStrategy::UnrollOne,
+        ReductionStrategy::UnrollTwo,
+    ];
+    let mut best = ReductionStrategy::UnrollOne;
+    let mut best_t = f64::INFINITY;
+    for s in strategies {
+        let t = ablate::reduction_gpu_time(ctx, n, s, usize::MAX);
+        if t < best_t {
+            best_t = t;
+            best = s;
+        }
+    }
+    best
+}
+
+/// Finds a partial-count threshold above which finishing the reduction on
+/// the device beats reading partials back and summing on the host.
+/// Probes doubling input sizes and returns the partial count at the first
+/// size where the device stage 2 wins.
+pub fn tune_stage2_threshold(ctx: &Context) -> usize {
+    let mut n: usize = 256 * 256;
+    while n <= 4096 * 4096 {
+        let groups = n.div_ceil(ELEMS_PER_GROUP);
+        let t_host = ablate::reduction_gpu_time(ctx, n, ReductionStrategy::UnrollOne, usize::MAX);
+        let t_dev = ablate::reduction_gpu_time(ctx, n, ReductionStrategy::UnrollOne, 0);
+        if t_dev < t_host {
+            return groups.saturating_sub(1);
+        }
+        n *= 4;
+    }
+    usize::MAX
+}
+
+/// Full autotune pass: derives a [`Tuning`] for the context's device.
+pub fn autotune(ctx: &Context) -> Tuning {
+    let candidates: Vec<usize> = (1..=32).map(|k| k * 64).collect();
+    Tuning {
+        reduction_strategy: tune_reduction_strategy(ctx, 2048 * 2048),
+        stage2_gpu_threshold: tune_stage2_threshold(ctx),
+        border_gpu_min_width: tune_border_crossover(ctx, &candidates),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgpu::device::DeviceSpec;
+
+    fn ctx() -> Context {
+        Context::new(DeviceSpec::firepro_w8000())
+    }
+
+    #[test]
+    fn reduction_strategy_is_unroll_one_on_w8000() {
+        // Fig. 15's conclusion.
+        assert_eq!(tune_reduction_strategy(&ctx(), 2048 * 2048), ReductionStrategy::UnrollOne);
+    }
+
+    #[test]
+    fn border_crossover_is_finite_and_plausible() {
+        let candidates: Vec<usize> = (1..=32).map(|k| k * 64).collect();
+        let x = tune_border_crossover(&ctx(), &candidates);
+        // Fig. 17 reports 768 on the W8000; accept the right order of
+        // magnitude from the model.
+        assert!((256..=2048).contains(&x), "crossover {x}");
+    }
+
+    #[test]
+    fn autotune_produces_usable_tuning() {
+        let t = autotune(&ctx());
+        assert!(t.border_gpu_min_width >= 64);
+        assert_eq!(t.reduction_strategy, ReductionStrategy::UnrollOne);
+    }
+}

@@ -1,0 +1,6 @@
+//! CPU reference implementation: stages and the serial pipeline.
+
+pub mod pipeline;
+pub mod stages;
+
+pub use pipeline::CpuPipeline;

@@ -1,0 +1,182 @@
+//! The full CPU pipeline: the paper's "well-optimized CPU version".
+//!
+//! Runs every stage serially on the modeled host CPU (Core i5-3470 by
+//! default), producing the sharpened image and a per-stage simulated time
+//! breakdown (the data behind Fig. 13(a) and the CPU side of Fig. 12).
+
+use imagekit::ImageF32;
+use simgpu::device::CpuSpec;
+use simgpu::timing::cpu_stage_time;
+
+use crate::cpu::stages;
+use crate::params::{check_shape, SharpnessParams};
+use crate::report::{RunReport, StageRecord};
+
+/// Serial CPU implementation of the sharpness algorithm.
+#[derive(Debug, Clone)]
+pub struct CpuPipeline {
+    cpu: CpuSpec,
+    params: SharpnessParams,
+}
+
+impl CpuPipeline {
+    /// Pipeline with the paper's host CPU and the given parameters.
+    pub fn new(params: SharpnessParams) -> Self {
+        CpuPipeline { cpu: CpuSpec::core_i5_3470(), params }
+    }
+
+    /// Overrides the CPU model.
+    pub fn with_cpu(mut self, cpu: CpuSpec) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// The sharpening parameters in use.
+    pub fn params(&self) -> &SharpnessParams {
+        &self.params
+    }
+
+    /// Runs the pipeline on `orig`, returning the sharpened image and the
+    /// simulated per-stage breakdown.
+    ///
+    /// # Errors
+    /// If the image shape is unsupported or the parameters are invalid.
+    pub fn run(&self, orig: &ImageF32) -> Result<RunReport, String> {
+        check_shape(orig.width(), orig.height())?;
+        self.params.validate()?;
+        let (w, h) = (orig.width(), orig.height());
+        let mut records = Vec::with_capacity(8);
+        let push = |name: &str, c: &simgpu::cost::CostCounters, records: &mut Vec<StageRecord>| {
+            records.push(StageRecord {
+                name: name.to_string(),
+                seconds: cpu_stage_time(&self.cpu, c),
+            });
+        };
+
+        let (down, c) = stages::downscale(orig);
+        push("downscale", &c, &mut records);
+
+        let (up, cb, cc) = stages::upscale(&down, w, h);
+        push("upscale_border", &cb, &mut records);
+        push("upscale_body", &cc, &mut records);
+
+        let (perr, c) = stages::perror(orig, &up);
+        push("perror", &c, &mut records);
+
+        let (pedge, c) = stages::sobel(orig);
+        push("sobel", &c, &mut records);
+
+        let (mean, c) = stages::reduction(&pedge);
+        push("reduction", &c, &mut records);
+
+        let (prelim, c) = stages::strength_preliminary(&up, &pedge, &perr, mean, &self.params);
+        push("strength_preliminary", &c, &mut records);
+
+        let (finalimg, c) = stages::overshoot_with(orig, &prelim, &self.params);
+        push("overshoot", &c, &mut records);
+
+        let total_s = records.iter().map(|r| r.seconds).sum();
+        Ok(RunReport { output: finalimg, total_s, stages: records })
+    }
+
+    /// Runs only up to the preliminary matrix (no overshoot) — used by the
+    /// overshoot ablation.
+    pub fn run_preliminary(&self, orig: &ImageF32) -> Result<ImageF32, String> {
+        check_shape(orig.width(), orig.height())?;
+        self.params.validate()?;
+        let (w, h) = (orig.width(), orig.height());
+        let (down, _) = stages::downscale(orig);
+        let (up, _, _) = stages::upscale(&down, w, h);
+        let (perr, _) = stages::perror(orig, &up);
+        let (pedge, _) = stages::sobel(orig);
+        let (mean, _) = stages::reduction(&pedge);
+        let (prelim, _) = stages::strength_preliminary(&up, &pedge, &perr, mean, &self.params);
+        Ok(prelim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::classify_cpu_stage;
+    use imagekit::{generate, metrics};
+
+    #[test]
+    fn runs_and_output_in_range() {
+        let img = generate::natural(64, 64, 3);
+        let r = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        assert_eq!((r.output.width(), r.output.height()), (64, 64));
+        assert_eq!(metrics::out_of_range_fraction(&r.output), 0.0);
+        assert!(r.total_s > 0.0);
+        assert!((r.stages_total() - r.total_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sharpening_increases_gradient_energy() {
+        // Start from a slightly-soft image (blobs) and check the output has
+        // more edge energy than the input.
+        let img = generate::gaussian_blobs(96, 96, 6, 5);
+        let r = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        assert!(
+            metrics::gradient_energy(&r.output) > metrics::gradient_energy(&img),
+            "sharpening should raise gradient energy"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let img = generate::natural(32, 32, 9);
+        let p = CpuPipeline::new(SharpnessParams::default());
+        let a = p.run(&img).unwrap();
+        let b = p.run(&img).unwrap();
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.total_s, b.total_s);
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_params() {
+        let img = generate::natural(30, 32, 1); // 30 not multiple of 4
+        assert!(CpuPipeline::new(SharpnessParams::default()).run(&img).is_err());
+        let img = generate::natural(32, 32, 1);
+        let p = SharpnessParams { gamma: -1.0, ..SharpnessParams::default() };
+        assert!(CpuPipeline::new(p).run(&img).is_err());
+    }
+
+    #[test]
+    fn strength_matrix_and_overshoot_dominate_cpu_time() {
+        // The paper's Fig. 13(a): overshoot control and the strength matrix
+        // are the CPU bottlenecks.
+        let img = generate::natural(256, 256, 2);
+        let r = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        let cats = r.by_category(classify_cpu_stage);
+        let get = |name: &str| {
+            cats.iter().find(|(c, _)| c == name).map(|(_, s)| *s).unwrap_or(0.0)
+        };
+        let strength = get("strength matrix");
+        let overshoot = get("overshoot control");
+        assert!(strength + overshoot > 0.5 * r.total_s, "bottlenecks: {cats:?}");
+        assert!(strength > get("sobel"));
+    }
+
+    #[test]
+    fn zero_gain_changes_only_via_resample() {
+        // With gain = 0 the output is overshoot(upscale(downscale)) — no
+        // edge amplification; on a constant image that is the identity.
+        let img = imagekit::ImageF32::filled(32, 32, 120.0);
+        let p = SharpnessParams { gain: 0.0, ..SharpnessParams::default() };
+        let r = CpuPipeline::new(p).run(&img).unwrap();
+        assert!(r.output.max_abs_diff(&img) < 1e-3);
+    }
+
+    #[test]
+    fn preliminary_runner_matches_pipeline_stage() {
+        let img = generate::natural(32, 32, 4);
+        let p = CpuPipeline::new(SharpnessParams::default());
+        let prelim = p.run_preliminary(&img).unwrap();
+        assert_eq!((prelim.width(), prelim.height()), (32, 32));
+        // Overshoot of that preliminary equals the pipeline output.
+        let (f, _) = crate::cpu::stages::overshoot_with(&img, &prelim, p.params());
+        let full = p.run(&img).unwrap();
+        assert_eq!(f, full.output);
+    }
+}

@@ -1,0 +1,447 @@
+//! The CPU reference implementation of every pipeline stage.
+//!
+//! Each function computes the real output *and* returns the
+//! [`CostCounters`] describing the work it did, so the CPU timing model can
+//! charge it. These functions are the golden reference: the GPU kernels are
+//! tested for exact agreement against them (given the same pEdge mean).
+//!
+//! Stage geometry (see DESIGN.md §5): for a `w × h` input (`w`, `h`
+//! multiples of 4, ≥ 16) the downscaled image is `w/4 × h/4`; the upscale
+//! *body* covers rows/columns `2 ..= h-4+1` via stride-4 blocks interpolated
+//! from stride-1 2×2 windows, and the *border* fills the first two and last
+//! two rows and columns.
+
+use imagekit::ImageF32;
+use simgpu::cost::{CostCounters, OpCounts};
+
+use crate::math;
+use crate::params::{SharpnessParams, SCALE};
+
+/// Downscale: each output is the mean of the corresponding 4×4 input block
+/// (paper Fig. 2).
+pub fn downscale(orig: &ImageF32) -> (ImageF32, CostCounters) {
+    let (w, h) = (orig.width(), orig.height());
+    let (w4, h4) = (w / SCALE, h / SCALE);
+    let mut out = ImageF32::zeros(w4, h4);
+    for j in 0..h4 {
+        for i in 0..w4 {
+            let mut block = [0.0f32; 16];
+            for dy in 0..SCALE {
+                for dx in 0..SCALE {
+                    block[dy * SCALE + dx] = orig.get(SCALE * i + dx, SCALE * j + dy);
+                }
+            }
+            out.set(i, j, math::downscale_pixel(&block));
+        }
+    }
+    let n = (w4 * h4) as u64;
+    let mut c = CostCounters::new();
+    c.charge_ops_n(&OpCounts::ZERO.adds(15).muls(1), n);
+    c.global_read_scalar = n * 16 * 4;
+    c.global_write_scalar = n * 4;
+    (out, c)
+}
+
+/// Upscale border (paper Fig. 3): fills rows 0, 1, `h-2`, `h-1` across the
+/// full width and columns 0, 1, `w-2`, `w-1` for the body rows, writing
+/// into `up` (which must be `w × h`).
+///
+/// Scheme: the first/last rows of the downscaled matrix are interpolated
+/// along x at phases 0..4 into the interior of row 0 / row `h-2`; the
+/// outer two columns on each side copy the nearest computed value; row 1
+/// copies row 0 and row `h-1` copies row `h-2`. Columns are handled
+/// symmetrically along y.
+pub fn upscale_border_into(down: &ImageF32, up: &mut ImageF32) -> CostCounters {
+    let (w, h) = (up.width(), up.height());
+    let (w4, h4) = (down.width(), down.height());
+    assert_eq!((w4 * SCALE, h4 * SCALE), (w, h), "shape mismatch");
+    let mut c = CostCounters::new();
+
+    // Horizontal border rows: (source downscaled row, destination row).
+    for (src_row, dst_row) in [(0usize, 0usize), (h4 - 1, h - 2)] {
+        for bi in 0..w4 - 1 {
+            let a = down.get(bi, src_row);
+            let b = down.get(bi + 1, src_row);
+            for ph in 0..SCALE {
+                up.set(SCALE * bi + 2 + ph, dst_row, math::border_interp(a, b, ph));
+            }
+        }
+        // Outer columns copy the nearest computed value.
+        let first = up.get(2, dst_row);
+        up.set(0, dst_row, first);
+        up.set(1, dst_row, first);
+        let last = up.get(w - 3, dst_row);
+        up.set(w - 2, dst_row, last);
+        up.set(w - 1, dst_row, last);
+        // Copy to the companion row (row 1 / row h-1).
+        let companion = if dst_row == 0 { 1 } else { h - 1 };
+        for x in 0..w {
+            let v = up.get(x, dst_row);
+            up.set(x, companion, v);
+        }
+    }
+
+    // Vertical border columns for the body rows 2 ..= h-3.
+    for (src_col, dst_col) in [(0usize, 0usize), (w4 - 1, w - 2)] {
+        for bj in 0..h4 - 1 {
+            let a = down.get(src_col, bj);
+            let b = down.get(src_col, bj + 1);
+            for ph in 0..SCALE {
+                let y = SCALE * bj + 2 + ph;
+                if y >= 2 && y <= h - 3 {
+                    up.set(dst_col, y, math::border_interp(a, b, ph));
+                }
+            }
+        }
+        let companion = if dst_col == 0 { 1 } else { w - 1 };
+        for y in 2..=h - 3 {
+            let v = up.get(dst_col, y);
+            up.set(companion, y, v);
+        }
+    }
+
+    // Accounting: interpolated values (2 mul + 1 add each) + copies.
+    let interp_vals = (2 * SCALE * (w4 - 1) + 2 * SCALE * (h4 - 1)) as u64;
+    c.charge_ops_n(&OpCounts::ZERO.muls(2).adds(1), interp_vals);
+    c.global_read_scalar = interp_vals * 2 * 4;
+    let copied = (2 * w + 2 * (h - 4) + 8) as u64;
+    c.global_read_scalar += copied * 4;
+    c.global_write_scalar = (interp_vals + copied + 8) * 4;
+    c
+}
+
+/// Upscale body (paper Figs. 4–5): every stride-4 4×4 block of the output
+/// interior is `P · D₂ₓ₂ · Pᵀ` for the stride-1 2×2 window of the
+/// downscaled matrix.
+pub fn upscale_body_into(down: &ImageF32, up: &mut ImageF32) -> CostCounters {
+    let (w4, h4) = (down.width(), down.height());
+    let mut c = CostCounters::new();
+    for bj in 0..h4 - 1 {
+        for bi in 0..w4 - 1 {
+            let d00 = down.get(bi, bj);
+            let d01 = down.get(bi + 1, bj);
+            let d10 = down.get(bi, bj + 1);
+            let d11 = down.get(bi + 1, bj + 1);
+            for r in 0..SCALE {
+                for ph in 0..SCALE {
+                    up.set(
+                        SCALE * bi + 2 + ph,
+                        SCALE * bj + 2 + r,
+                        math::upscale_value(d00, d01, d10, d11, r, ph),
+                    );
+                }
+            }
+        }
+    }
+    let blocks = ((h4 - 1) * (w4 - 1)) as u64;
+    // Per block: 4 loads, 16 outputs × (6 mul + 3 add), 16 stores.
+    c.charge_ops_n(&OpCounts::ZERO.muls(6).adds(3), blocks * 16);
+    c.global_read_scalar = blocks * 4 * 4;
+    c.global_write_scalar = blocks * 16 * 4;
+    c
+}
+
+/// Full upscale: border + body. Returns the upscaled image and the two
+/// stage counter sets `(border, body)`.
+pub fn upscale(down: &ImageF32, w: usize, h: usize) -> (ImageF32, CostCounters, CostCounters) {
+    let mut up = ImageF32::zeros(w, h);
+    let cb = upscale_border_into(down, &mut up);
+    let cc = upscale_body_into(down, &mut up);
+    (up, cb, cc)
+}
+
+/// Difference matrix: `pError = original − upscaled`.
+pub fn perror(orig: &ImageF32, up: &ImageF32) -> (ImageF32, CostCounters) {
+    assert_eq!((orig.width(), orig.height()), (up.width(), up.height()), "shape mismatch");
+    let mut out = ImageF32::zeros(orig.width(), orig.height());
+    for (i, v) in out.pixels_mut().iter_mut().enumerate() {
+        *v = orig.pixels()[i] - up.pixels()[i];
+    }
+    let n = orig.len() as u64;
+    let mut c = CostCounters::new();
+    c.charge_ops_n(&OpCounts::ZERO.adds(1), n);
+    c.global_read_scalar = n * 8;
+    c.global_write_scalar = n * 4;
+    (out, c)
+}
+
+/// Sobel stage (paper Figs. 6–7): `pEdge = |Gx| + |Gy|` over the interior,
+/// zero on the one-pixel border.
+pub fn sobel(orig: &ImageF32) -> (ImageF32, CostCounters) {
+    let (w, h) = (orig.width(), orig.height());
+    let mut out = ImageF32::zeros(w, h);
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let n = [
+                orig.get(x - 1, y - 1),
+                orig.get(x, y - 1),
+                orig.get(x + 1, y - 1),
+                orig.get(x - 1, y),
+                orig.get(x, y),
+                orig.get(x + 1, y),
+                orig.get(x - 1, y + 1),
+                orig.get(x, y + 1),
+                orig.get(x + 1, y + 1),
+            ];
+            out.set(x, y, math::sobel_pixel(&n));
+        }
+    }
+    let n = ((w - 2) * (h - 2)) as u64;
+    let mut c = CostCounters::new();
+    // Per pixel: Gx/Gy each 5 adds + 2 muls, plus 2 abs (cmp) + 1 add.
+    c.charge_ops_n(&OpCounts::ZERO.adds(11).muls(4).cmps(2), n);
+    c.global_read_scalar = n * 8 * 4; // the paper's "fetching eight nodes"
+    c.global_write_scalar = orig.len() as u64 * 4;
+    (out, c)
+}
+
+/// Reduction: arithmetic mean of the pEdge matrix. Accumulates in `f64`
+/// for accuracy (the serial CPU sum of up to 67 M `f32` values would lose
+/// precision otherwise); the GPU's two-stage tree sum is compared against
+/// this with a relative tolerance.
+pub fn reduction(pedge: &ImageF32) -> (f32, CostCounters) {
+    let sum: f64 = pedge.pixels().iter().map(|&v| f64::from(v)).sum();
+    let mean = (sum / pedge.len() as f64) as f32;
+    let n = pedge.len() as u64;
+    let mut c = CostCounters::new();
+    c.charge_ops_n(&OpCounts::ZERO.adds(1), n);
+    c.ops.div += 1;
+    c.global_read_scalar = n * 4;
+    (mean, c)
+}
+
+/// Strength + preliminary sharpening: `prelim = up + strength(pEdge) ·
+/// pError` (the paper's "calculation of the strength matrix" +
+/// "preliminary sharpened matrix", its CPU bottleneck because of the
+/// per-pixel `pow`).
+pub fn strength_preliminary(
+    up: &ImageF32,
+    pedge: &ImageF32,
+    perr: &ImageF32,
+    mean: f32,
+    p: &SharpnessParams,
+) -> (ImageF32, CostCounters) {
+    let (w, h) = (up.width(), up.height());
+    let mut out = ImageF32::zeros(w, h);
+    for i in 0..up.len() {
+        out.pixels_mut()[i] =
+            math::preliminary(up.pixels()[i], pedge.pixels()[i], perr.pixels()[i], mean, p);
+    }
+    let n = up.len() as u64;
+    let mut c = CostCounters::new();
+    // strength: 1 div + 1 add + 1 pow + 1 mul + 2 cmp; preliminary: 1 mul + 1 add.
+    c.charge_ops_n(&OpCounts::ZERO.divs(1).adds(2).pows(1).muls(2).cmps(2), n);
+    c.global_read_scalar = n * 12;
+    c.global_write_scalar = n * 4;
+    (out, c)
+}
+
+/// Overshoot control with default parameters; see [`overshoot_with`].
+pub fn overshoot(orig: &ImageF32, prelim: &ImageF32) -> (ImageF32, CostCounters) {
+    overshoot_with(orig, prelim, &SharpnessParams::default())
+}
+
+/// Overshoot control (paper Fig. 8): clamps the preliminary matrix against
+/// the local 3×3 envelope of the original, keeping an `osc` fraction of
+/// the excursion; the border rows/columns copy the clamped preliminary
+/// values.
+pub fn overshoot_with(
+    orig: &ImageF32,
+    prelim: &ImageF32,
+    p: &SharpnessParams,
+) -> (ImageF32, CostCounters) {
+    let (w, h) = (orig.width(), orig.height());
+    assert_eq!((w, h), (prelim.width(), prelim.height()), "shape mismatch");
+    let mut out = ImageF32::zeros(w, h);
+    for x in 0..w {
+        out.set(x, 0, math::final_border(prelim.get(x, 0)));
+        out.set(x, h - 1, math::final_border(prelim.get(x, h - 1)));
+    }
+    for y in 1..h - 1 {
+        out.set(0, y, math::final_border(prelim.get(0, y)));
+        out.set(w - 1, y, math::final_border(prelim.get(w - 1, y)));
+    }
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let n = [
+                orig.get(x - 1, y - 1),
+                orig.get(x, y - 1),
+                orig.get(x + 1, y - 1),
+                orig.get(x - 1, y),
+                orig.get(x, y),
+                orig.get(x + 1, y),
+                orig.get(x - 1, y + 1),
+                orig.get(x, y + 1),
+                orig.get(x + 1, y + 1),
+            ];
+            let (mn, mx) = math::minmax3x3(&n);
+            out.set(x, y, math::overshoot(prelim.get(x, y), mn, mx, p));
+        }
+    }
+    let n = ((w - 2) * (h - 2)) as u64;
+    let mut c = CostCounters::new();
+    c.charge_ops_n(&OpCounts::ZERO.cmps(20).muls(1).adds(1), n);
+    c.global_read_scalar = n * 10 * 4 + (2 * (w + h) as u64 - 4) * 4;
+    c.global_write_scalar = orig.len() as u64 * 4;
+    (out, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imagekit::generate;
+
+    fn img() -> ImageF32 {
+        generate::natural(32, 32, 11)
+    }
+
+    #[test]
+    fn downscale_shape_and_constant() {
+        let flat = ImageF32::filled(32, 16, 42.0);
+        let (d, c) = downscale(&flat);
+        assert_eq!((d.width(), d.height()), (8, 4));
+        assert!(d.pixels().iter().all(|&v| (v - 42.0).abs() < 1e-4));
+        assert_eq!(c.global_read_scalar, 8 * 4 * 16 * 4);
+    }
+
+    #[test]
+    fn downscale_block_mean() {
+        // First 4x4 block has known mean.
+        let img = ImageF32::from_fn(16, 16, |x, y| if x < 4 && y < 4 { 16.0 } else { 0.0 });
+        let (d, _) = downscale(&img);
+        assert_eq!(d.get(0, 0), 16.0);
+        assert_eq!(d.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn upscale_covers_every_pixel_exactly_once() {
+        // Fill with NaN sentinel; after upscale no NaN remains, proving
+        // full coverage. (Double writes can't be seen here; the GPU race
+        // detector covers that.)
+        let (d, _) = downscale(&img());
+        let mut up = ImageF32::from_fn(32, 32, |_, _| f32::NAN);
+        upscale_border_into(&d, &mut up);
+        upscale_body_into(&d, &mut up);
+        assert!(up.pixels().iter().all(|v| v.is_finite()), "uncovered pixels remain");
+    }
+
+    #[test]
+    fn upscale_of_constant_is_constant() {
+        let flat = ImageF32::filled(32, 32, 7.0);
+        let (d, _) = downscale(&flat);
+        let (up, _, _) = upscale(&d, 32, 32);
+        for &v in up.pixels() {
+            assert!((v - 7.0).abs() < 1e-4, "{v}");
+        }
+    }
+
+    #[test]
+    fn upscale_border_copies_rows() {
+        let (d, _) = downscale(&img());
+        let (up, _, _) = upscale(&d, 32, 32);
+        for x in 0..32 {
+            assert_eq!(up.get(x, 0), up.get(x, 1));
+            assert_eq!(up.get(x, 30), up.get(x, 31));
+        }
+        for y in 2..30 {
+            assert_eq!(up.get(0, y), up.get(1, y));
+            assert_eq!(up.get(30, y), up.get(31, y));
+        }
+    }
+
+    #[test]
+    fn upscale_body_within_support_hull() {
+        let (d, _) = downscale(&img());
+        let (up, _, _) = upscale(&d, 32, 32);
+        let dmin = d.pixels().iter().cloned().fold(f32::INFINITY, f32::min);
+        let dmax = d.pixels().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for &v in up.pixels() {
+            assert!(v >= dmin - 1e-3 && v <= dmax + 1e-3);
+        }
+    }
+
+    #[test]
+    fn perror_antisymmetric() {
+        let a = img();
+        let b = generate::gradient(32, 32);
+        let (e1, _) = perror(&a, &b);
+        let (e2, _) = perror(&b, &a);
+        for i in 0..e1.len() {
+            assert_eq!(e1.pixels()[i], -e2.pixels()[i]);
+        }
+    }
+
+    #[test]
+    fn sobel_border_zero_and_constant_zero() {
+        let (s, _) = sobel(&ImageF32::filled(16, 16, 9.0));
+        assert!(s.pixels().iter().all(|&v| v == 0.0));
+        let (s, _) = sobel(&img());
+        for x in 0..32 {
+            assert_eq!(s.get(x, 0), 0.0);
+            assert_eq!(s.get(x, 31), 0.0);
+        }
+        for y in 0..32 {
+            assert_eq!(s.get(0, y), 0.0);
+            assert_eq!(s.get(31, y), 0.0);
+        }
+    }
+
+    #[test]
+    fn sobel_detects_vertical_edge() {
+        let step = ImageF32::from_fn(16, 16, |x, _| if x < 8 { 0.0 } else { 100.0 });
+        let (s, _) = sobel(&step);
+        assert!(s.get(8, 8) > 0.0);
+        assert_eq!(s.get(3, 8), 0.0);
+    }
+
+    #[test]
+    fn reduction_mean_matches_naive() {
+        let im = img();
+        let (m, c) = reduction(&im);
+        let naive: f64 =
+            im.pixels().iter().map(|&v| f64::from(v)).sum::<f64>() / im.len() as f64;
+        assert!((f64::from(m) - naive).abs() < 1e-3);
+        assert_eq!(c.ops.add, im.len() as u64);
+    }
+
+    #[test]
+    fn strength_preliminary_zero_edge_passthrough() {
+        let up = ImageF32::filled(16, 16, 50.0);
+        let zero = ImageF32::zeros(16, 16);
+        let err = ImageF32::filled(16, 16, 10.0);
+        let (pr, _) =
+            strength_preliminary(&up, &zero, &err, 5.0, &SharpnessParams::default());
+        assert!(pr.pixels().iter().all(|&v| v == 50.0));
+    }
+
+    #[test]
+    fn overshoot_clamps_to_envelope_plus_fraction() {
+        let orig = ImageF32::filled(16, 16, 100.0);
+        let mut prelim = ImageF32::filled(16, 16, 100.0);
+        prelim.set(8, 8, 180.0);
+        let (f, _) = overshoot(&orig, &prelim);
+        // Envelope is [100, 100]; 35% of the 80 excursion survives.
+        assert!((f.get(8, 8) - 128.0).abs() < 1e-3);
+        assert_eq!(f.get(4, 4), 100.0);
+    }
+
+    #[test]
+    fn overshoot_output_in_range() {
+        let orig = img();
+        let mut prelim = orig.clone();
+        for v in prelim.pixels_mut() {
+            *v = *v * 3.0 - 100.0; // push well out of range
+        }
+        let (f, _) = overshoot(&orig, &prelim);
+        assert!(f.pixels().iter().all(|&v| (0.0..=255.0).contains(&v)));
+    }
+
+    #[test]
+    fn overshoot_with_matches_default() {
+        let orig = img();
+        let prelim = generate::gradient(32, 32);
+        let (a, _) = overshoot(&orig, &prelim);
+        let (b, _) = overshoot_with(&orig, &prelim, &SharpnessParams::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,107 @@
+//! The downscale kernel: one thread per downscaled pixel, averaging its
+//! 4×4 source block (paper Fig. 2).
+
+use simgpu::buffer::Buffer;
+use simgpu::cost::OpCounts;
+use simgpu::error::Result;
+use simgpu::kernel::items;
+use simgpu::queue::CommandQueue;
+use simgpu::timing::KernelTime;
+
+use super::{grid2d, KernelTuning, SrcImage};
+use crate::math;
+use crate::params::SCALE;
+
+/// Dispatches the downscale kernel: `down[j, i] = mean(src 4×4 block)`.
+///
+/// Works against either the raw original or the padded source (the
+/// data-transfer optimization removes the raw upload entirely, so the
+/// optimized pipeline points `src` at the padded buffer).
+pub fn downscale_kernel(
+    q: &mut CommandQueue,
+    src: &SrcImage,
+    down: &Buffer<f32>,
+    w4: usize,
+    h4: usize,
+    tune: KernelTuning,
+) -> Result<KernelTime> {
+    let desc = grid2d("downscale", w4, h4);
+    let dview = down.write_view();
+    let src = src.clone();
+    // Per item: 15 adds + 1 mul for the block mean, plus index arithmetic.
+    let per_item = OpCounts::ZERO.adds(15).muls(1).plus(&tune.idx_ops());
+    q.run(&desc, &[down], move |g| {
+        let mut n_items = 0u64;
+        for l in items(g.group_size) {
+            let [i, j] = g.global_id(l);
+            if i >= w4 || j >= h4 {
+                continue;
+            }
+            n_items += 1;
+            let mut block = [0.0f32; 16];
+            for dy in 0..SCALE {
+                for dx in 0..SCALE {
+                    block[dy * SCALE + dx] = g.load(
+                        &src.view,
+                        src.idx((SCALE * i + dx) as isize, (SCALE * j + dy) as isize),
+                    );
+                }
+            }
+            g.store(&dview, j * w4 + i, math::downscale_pixel(&block));
+        }
+        g.charge_n(&per_item, n_items);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::stages;
+    use imagekit::generate;
+    use simgpu::context::Context;
+    use simgpu::device::DeviceSpec;
+
+    #[test]
+    fn matches_cpu_reference_exactly() {
+        let img = generate::natural(64, 48, 5);
+        let (cpu_down, _) = stages::downscale(&img);
+
+        let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let orig = ctx.buffer_from("original", img.pixels());
+        let down = ctx.buffer::<f32>("down", 16 * 12);
+        let src = SrcImage { view: orig.view(), pitch: 64, pad: 0 };
+        downscale_kernel(&mut q, &src, &down, 16, 12, KernelTuning::default()).unwrap();
+        assert_eq!(down.snapshot(), cpu_down.pixels());
+    }
+
+    #[test]
+    fn padded_source_gives_same_result() {
+        let img = generate::natural(32, 32, 7);
+        let (cpu_down, _) = stages::downscale(&img);
+
+        let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let padded = img.padded(1, false);
+        let pbuf = ctx.buffer_from("padded", padded.pixels());
+        let down = ctx.buffer::<f32>("down", 8 * 8);
+        let src = SrcImage { view: pbuf.view(), pitch: 34, pad: 1 };
+        downscale_kernel(&mut q, &src, &down, 8, 8, KernelTuning::default()).unwrap();
+        assert_eq!(down.snapshot(), cpu_down.pixels());
+    }
+
+    #[test]
+    fn charges_expected_traffic() {
+        let img = generate::natural(64, 64, 1);
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let orig = ctx.buffer_from("original", img.pixels());
+        let down = ctx.buffer::<f32>("down", 16 * 16);
+        let src = SrcImage { view: orig.view(), pitch: 64, pad: 0 };
+        downscale_kernel(&mut q, &src, &down, 16, 16, KernelTuning::default()).unwrap();
+        let c = q.records()[0].counters.unwrap();
+        assert_eq!(c.global_read_scalar, 16 * 16 * 16 * 4);
+        assert_eq!(c.global_write_scalar, 16 * 16 * 4);
+        assert_eq!(c.ops.add, 16 * 16 * (15 + 2));
+    }
+}

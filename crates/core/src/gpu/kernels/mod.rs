@@ -1,0 +1,141 @@
+//! The OpenCL-style device kernels of the sharpness pipeline.
+//!
+//! Every kernel exists in the variants the paper evaluates: scalar
+//! one-pixel-per-thread (base) and vectorized four-pixels-per-thread with
+//! `vload4`/`vstore4` (Section V-D); reading the raw original buffer (base)
+//! or the padded buffer uploaded with one rect transfer (Section V-A);
+//! separate pError/preliminary/overshoot kernels (base) or the fused
+//! `sharpness` kernel (Section V-B); and the reduction strategies of
+//! Section V-C (basic tree, unroll-last-one-wavefront,
+//! unroll-last-two-wavefronts).
+//!
+//! All kernels are *functionally real* — they produce the same pixels as
+//! the CPU reference, enforced bit-exactly by the test suite — while
+//! charging the cost model for the access pattern they embody.
+
+pub mod downscale;
+pub mod perror;
+pub mod reduction;
+pub mod sharpen;
+pub mod sobel;
+pub mod upscale;
+
+use simgpu::buffer::GlobalView;
+use simgpu::cost::OpCounts;
+use simgpu::kernel::{round_up, KernelDesc};
+
+/// A device image a kernel reads from: the view plus its geometry.
+///
+/// The base pipeline uploads the raw `w × h` original; the optimized
+/// pipeline uploads only the `(w+2) × (h+2)` zero-padded matrix
+/// (`pad = 1`). Kernels index through [`SrcImage::idx`] so the same kernel
+/// body works against either.
+#[derive(Clone)]
+pub struct SrcImage {
+    /// View of the device buffer.
+    pub view: GlobalView<f32>,
+    /// Row pitch of the buffer (image width + 2·pad).
+    pub pitch: usize,
+    /// Padding border width (0 = raw original, 1 = padded).
+    pub pad: usize,
+}
+
+impl SrcImage {
+    /// Flat index of logical image coordinate `(x, y)` — coordinates are in
+    /// the *unpadded* image frame and may be `-pad ..= dim-1+pad` when the
+    /// buffer is padded.
+    #[inline]
+    pub fn idx(&self, x: isize, y: isize) -> usize {
+        let px = x + self.pad as isize;
+        let py = y + self.pad as isize;
+        debug_assert!(px >= 0 && py >= 0, "index ({x},{y}) outside source (pad {})", self.pad);
+        py as usize * self.pitch + px as usize
+    }
+}
+
+/// Kernel-level tuning derived from the optimization flags.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelTuning {
+    /// Section V-F "other optimizations": built-in `select`/`clamp`
+    /// (removing divergent branches) and shift/mask instruction selection
+    /// (removing integer div/rem from index arithmetic).
+    pub others: bool,
+}
+
+impl KernelTuning {
+    /// Per-item index-arithmetic recipe: computing the global index and
+    /// vector offsets costs an integer division/remainder in the naive
+    /// kernels, replaced by shifts and masks when `others` is on
+    /// (Section V-F "Instruction selection").
+    pub fn idx_ops(&self) -> OpCounts {
+        if self.others {
+            OpCounts::ZERO.muls(1).adds(2).bits(2)
+        } else {
+            OpCounts::ZERO.muls(1).adds(2).divs(1)
+        }
+    }
+
+    /// Extra divergent-branch events per item for branchy clamp/select
+    /// logic: built-ins (`clamp`, `min`, `max`, `select`) remove them.
+    pub fn clamp_divergence(&self) -> u64 {
+        if self.others {
+            0
+        } else {
+            1
+        }
+    }
+}
+
+/// The standard 2-D work-group shape used by the image kernels.
+pub const GROUP_2D: [usize; 2] = [16, 16];
+
+/// Builds a 2-D dispatch covering `nx × ny` items, rounded up to whole
+/// 16×16 groups (kernels bounds-check the overhang, as real OpenCL kernels
+/// do).
+pub fn grid2d(name: &str, nx: usize, ny: usize) -> KernelDesc {
+    KernelDesc::new(name, [round_up(nx, GROUP_2D[0]), round_up(ny, GROUP_2D[1])], GROUP_2D)
+}
+
+/// Builds a 1-D dispatch of `n` items in groups of `group`, rounded up.
+pub fn grid1d(name: &str, n: usize, group: usize) -> KernelDesc {
+    KernelDesc::new_1d(name, round_up(n, group), group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgpu::context::Context;
+    use simgpu::device::DeviceSpec;
+
+    #[test]
+    fn src_image_indexing_raw_and_padded() {
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        let raw = SrcImage { view: ctx.buffer::<f32>("o", 64).view(), pitch: 8, pad: 0 };
+        assert_eq!(raw.idx(3, 2), 2 * 8 + 3);
+        let padded = SrcImage { view: ctx.buffer::<f32>("p", 100).view(), pitch: 10, pad: 1 };
+        assert_eq!(padded.idx(0, 0), 11);
+        assert_eq!(padded.idx(-1, -1), 0);
+        assert_eq!(padded.idx(8, 8), 99);
+    }
+
+    #[test]
+    fn grids_round_up() {
+        let d = grid2d("k", 100, 50);
+        assert_eq!(d.global, [112, 64]);
+        assert!(d.check().is_ok());
+        let d = grid1d("r", 1000, 128);
+        assert_eq!(d.global, [1024, 1]);
+    }
+
+    #[test]
+    fn idx_ops_swap_div_for_bits() {
+        let base = KernelTuning { others: false };
+        let opt = KernelTuning { others: true };
+        assert_eq!(base.idx_ops().div, 1);
+        assert_eq!(base.idx_ops().bit, 0);
+        assert_eq!(opt.idx_ops().div, 0);
+        assert_eq!(opt.idx_ops().bit, 2);
+        assert_eq!(base.clamp_divergence(), 1);
+        assert_eq!(opt.clamp_divergence(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! The unfused pError kernel: `pError = original − upscaled`.
+//!
+//! Only the base pipeline dispatches this; kernel fusion (Section V-B)
+//! folds the subtraction into the fused sharpness kernel and keeps the
+//! difference in registers.
+
+use simgpu::buffer::{Buffer, GlobalView};
+use simgpu::cost::OpCounts;
+use simgpu::error::Result;
+use simgpu::kernel::items;
+use simgpu::queue::CommandQueue;
+use simgpu::timing::KernelTime;
+
+use super::{grid2d, KernelTuning, SrcImage};
+
+/// Dispatches the pError kernel over the full image.
+pub fn perror_kernel(
+    q: &mut CommandQueue,
+    src: &SrcImage,
+    up: &GlobalView<f32>,
+    perr: &Buffer<f32>,
+    w: usize,
+    h: usize,
+    tune: KernelTuning,
+) -> Result<KernelTime> {
+    let desc = grid2d("perror", w, h);
+    let pview = perr.write_view();
+    let src = src.clone();
+    let up = up.clone();
+    let per_item = OpCounts::ZERO.adds(1).plus(&tune.idx_ops());
+    q.run(&desc, &[perr], move |g| {
+        let mut n_items = 0u64;
+        for l in items(g.group_size) {
+            let [x, y] = g.global_id(l);
+            if x >= w || y >= h {
+                continue;
+            }
+            n_items += 1;
+            let o = g.load(&src.view, src.idx(x as isize, y as isize));
+            let u = g.load(&up, y * w + x);
+            g.store(&pview, y * w + x, o - u);
+        }
+        g.charge_n(&per_item, n_items);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::stages;
+    use imagekit::generate;
+    use simgpu::context::Context;
+    use simgpu::device::DeviceSpec;
+
+    #[test]
+    fn matches_cpu_reference_exactly() {
+        let img = generate::natural(32, 32, 3);
+        let (down, _) = stages::downscale(&img);
+        let (up, _, _) = stages::upscale(&down, 32, 32);
+        let (cpu_err, _) = stages::perror(&img, &up);
+
+        let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let orig = ctx.buffer_from("original", img.pixels());
+        let upbuf = ctx.buffer_from("up", up.pixels());
+        let perr = ctx.buffer::<f32>("pError", 32 * 32);
+        let src = SrcImage { view: orig.view(), pitch: 32, pad: 0 };
+        perror_kernel(&mut q, &src, &upbuf.view(), &perr, 32, 32, KernelTuning::default())
+            .unwrap();
+        assert_eq!(perr.snapshot(), cpu_err.pixels());
+    }
+}

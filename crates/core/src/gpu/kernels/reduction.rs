@@ -1,0 +1,280 @@
+//! Two-stage GPU reduction (Section V-C, paper Figs. 9–10 and
+//! Algorithms 1–2).
+//!
+//! Stage 1 splits the pEdge matrix across work-groups; each group
+//! tree-reduces in local memory after an add-during-load pass (each
+//! thread sums [`ELEMS_PER_THREAD`] strided elements — "first adding
+//! during load" from Harris \[16\]) and writes one partial sum. The tail of
+//! the tree runs in one of three strategies:
+//!
+//! * [`ReductionStrategy::NoUnroll`] — textbook tree, one barrier per step;
+//! * [`ReductionStrategy::UnrollOne`] — Algorithm 1: one barrier, then the
+//!   last wavefront finishes lock-step without barriers (the paper's
+//!   winner);
+//! * [`ReductionStrategy::UnrollTwo`] — Algorithm 2: both wavefronts
+//!   reduce a half each, then one extra barrier and a final add (slightly
+//!   slower: "unrolling the last two wavefronts increases the overhead of
+//!   synchronization").
+//!
+//! Stage 2 sums the partials — on the host (small counts) or with a
+//! second one-group kernel (large counts); the pipeline picks by a tuned
+//! threshold, as the paper does ("the usage of GPU is determined by the
+//! amount of data, and the critical value is tested in advance").
+
+use simgpu::buffer::{Buffer, GlobalView};
+use simgpu::cost::OpCounts;
+use simgpu::error::Result;
+use simgpu::kernel::KernelDesc;
+use simgpu::queue::CommandQueue;
+use simgpu::timing::KernelTime;
+
+/// Work-group size of the reduction kernels (two 64-lane wavefronts).
+pub const RED_GROUP: usize = 128;
+/// Elements each thread accumulates during load.
+pub const ELEMS_PER_THREAD: usize = 8;
+/// Elements consumed per work-group in stage 1.
+pub const ELEMS_PER_GROUP: usize = RED_GROUP * ELEMS_PER_THREAD;
+
+/// Tail strategy for the in-group tree reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReductionStrategy {
+    /// Full tree with a barrier after every step.
+    NoUnroll,
+    /// Unroll the last wavefront (paper Algorithm 1) — the default.
+    #[default]
+    UnrollOne,
+    /// Unroll the last two wavefronts (paper Algorithm 2).
+    UnrollTwo,
+}
+
+/// Number of stage-1 work-groups (= partial sums) for `n` input elements.
+pub fn stage1_groups(n: usize) -> usize {
+    n.div_ceil(ELEMS_PER_GROUP)
+}
+
+/// Stage 1: tree-reduce `src[0..n]` into one partial per work-group.
+///
+/// `partials` must hold at least [`stage1_groups`]`(n)` elements.
+pub fn reduction_stage1_kernel(
+    q: &mut CommandQueue,
+    src: &GlobalView<f32>,
+    n: usize,
+    partials: &Buffer<f32>,
+    strategy: ReductionStrategy,
+) -> Result<(usize, KernelTime)> {
+    reduction_stage1_range_kernel(q, src, 0, n, partials, strategy)
+}
+
+/// Stage 1 over a sub-range: tree-reduce `src[offset .. offset + n]`.
+/// Used by the strip pipeline to reduce only a strip's owned rows.
+pub fn reduction_stage1_range_kernel(
+    q: &mut CommandQueue,
+    src: &GlobalView<f32>,
+    offset: usize,
+    n: usize,
+    partials: &Buffer<f32>,
+    strategy: ReductionStrategy,
+) -> Result<(usize, KernelTime)> {
+    let groups = stage1_groups(n);
+    assert!(partials.len() >= groups, "partials buffer too small");
+    let name = match strategy {
+        ReductionStrategy::NoUnroll => "reduction_stage1",
+        ReductionStrategy::UnrollOne => "reduction_stage1_unroll1",
+        ReductionStrategy::UnrollTwo => "reduction_stage1_unroll2",
+    };
+    let desc = KernelDesc::new_1d(name, groups * RED_GROUP, RED_GROUP);
+    let src = src.clone();
+    let out = partials.write_view();
+    // Per thread: ELEMS-1 adds for the load pass plus ELEMS bounds compares.
+    let per_thread = OpCounts::ZERO
+        .adds(ELEMS_PER_THREAD as u64)
+        .cmps(ELEMS_PER_THREAD as u64)
+        .muls(1);
+    let t = q.run(&desc, &[partials], move |g| {
+        g.alloc_local(RED_GROUP);
+        let base = g.group_id[0] * ELEMS_PER_GROUP;
+        // Add-during-load: strided, coalesced accesses.
+        for lid in 0..RED_GROUP {
+            let mut s = 0.0f32;
+            for k in 0..ELEMS_PER_THREAD {
+                let idx = base + k * RED_GROUP + lid;
+                if idx < n {
+                    s += g.load(&src, offset + idx);
+                }
+            }
+            g.local_write(lid, s);
+        }
+        g.barrier();
+        let tree_step = |g: &mut simgpu::kernel::GroupCtx, lo: usize, step: usize| {
+            for lid in lo..lo + step {
+                let a = g.local_read(lid);
+                let b = g.local_read(lid + step);
+                g.local_write(lid, a + b);
+                g.counters.ops.add += 1;
+            }
+        };
+        match strategy {
+            ReductionStrategy::NoUnroll => {
+                let mut step = RED_GROUP / 2;
+                while step >= 1 {
+                    tree_step(g, 0, step);
+                    g.barrier();
+                    step /= 2;
+                }
+                let s = g.local_read(0);
+                g.store(&out, g.group_id[0], s);
+            }
+            ReductionStrategy::UnrollOne => {
+                // One synchronised step brings the live set into the last
+                // wavefront; the rest runs lock-step, branches diverging.
+                tree_step(g, 0, 64);
+                let mut step = 32;
+                while step >= 1 {
+                    tree_step(g, 0, step);
+                    g.divergent(1);
+                    step /= 2;
+                }
+                let s = g.local_read(0);
+                g.store(&out, g.group_id[0], s);
+            }
+            ReductionStrategy::UnrollTwo => {
+                // Each wavefront reduces its own half without barriers...
+                for half in [0usize, 64] {
+                    let mut step = 32;
+                    while step >= 1 {
+                        tree_step(g, half, step);
+                        g.divergent(1);
+                        step /= 2;
+                    }
+                }
+                // ...then one extra barrier before combining the halves —
+                // the overhead that makes this variant lose (Fig. 15).
+                g.barrier();
+                let a = g.local_read(0);
+                let b = g.local_read(64);
+                g.counters.ops.add += 1;
+                g.store(&out, g.group_id[0], a + b);
+            }
+        }
+        g.charge_n(&per_thread, RED_GROUP as u64);
+    })?;
+    Ok((groups, t))
+}
+
+/// Stage 2 on the device: a single work-group strided-sums the partials
+/// and tree-reduces, writing the total into `result[0]`.
+pub fn reduction_stage2_kernel(
+    q: &mut CommandQueue,
+    partials: &GlobalView<f32>,
+    n_partials: usize,
+    result: &Buffer<f32>,
+) -> Result<KernelTime> {
+    let desc = KernelDesc::new_1d("reduction_stage2", RED_GROUP, RED_GROUP);
+    let partials = partials.clone();
+    let out = result.write_view();
+    let per_thread_loads = n_partials.div_ceil(RED_GROUP) as u64;
+    let per_thread = OpCounts::ZERO.adds(per_thread_loads + 7).cmps(per_thread_loads);
+    let t = q.run(&desc, &[result], move |g| {
+        g.alloc_local(RED_GROUP);
+        for lid in 0..RED_GROUP {
+            let mut s = 0.0f32;
+            let mut i = lid;
+            while i < n_partials {
+                s += g.load(&partials, i);
+                i += RED_GROUP;
+            }
+            g.local_write(lid, s);
+        }
+        g.barrier();
+        let mut step = RED_GROUP / 2;
+        while step >= 1 {
+            for lid in 0..step {
+                let a = g.local_read(lid);
+                let b = g.local_read(lid + step);
+                g.local_write(lid, a + b);
+            }
+            if step > 32 {
+                g.barrier();
+            } else {
+                g.divergent(1);
+            }
+            step /= 2;
+        }
+        let s = g.local_read(0);
+        g.store(&out, 0, s);
+        g.charge_n(&per_thread, RED_GROUP as u64);
+    })?;
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgpu::context::Context;
+    use simgpu::device::DeviceSpec;
+
+    fn sum_gpu(data: &[f32], strategy: ReductionStrategy) -> (f32, f64) {
+        let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let src = ctx.buffer_from("pEdge", data);
+        let partials = ctx.buffer::<f32>("partials", stage1_groups(data.len()).max(1));
+        let (groups, _) =
+            reduction_stage1_kernel(&mut q, &src.view(), data.len(), &partials, strategy)
+                .unwrap();
+        let result = ctx.buffer::<f32>("mean", 1);
+        reduction_stage2_kernel(&mut q, &partials.view(), groups, &result).unwrap();
+        (result.snapshot()[0], q.elapsed())
+    }
+
+    #[test]
+    fn all_strategies_compute_the_sum() {
+        let data: Vec<f32> = (0..10_000).map(|i| (i % 97) as f32 * 0.25).collect();
+        let expect: f64 = data.iter().map(|&v| f64::from(v)).sum();
+        for s in
+            [ReductionStrategy::NoUnroll, ReductionStrategy::UnrollOne, ReductionStrategy::UnrollTwo]
+        {
+            let (got, _) = sum_gpu(&data, s);
+            let rel = (f64::from(got) - expect).abs() / expect;
+            assert!(rel < 1e-5, "{s:?}: got {got}, want {expect}");
+        }
+    }
+
+    #[test]
+    fn handles_sizes_not_multiple_of_group_elems() {
+        for n in [1usize, 5, 127, 128, 129, 1023, 1024, 1025, 4097] {
+            let data: Vec<f32> = (0..n).map(|i| 1.0 + (i as f32) * 0.5).collect();
+            let expect: f64 = data.iter().map(|&v| f64::from(v)).sum();
+            let (got, _) = sum_gpu(&data, ReductionStrategy::UnrollOne);
+            let rel = (f64::from(got) - expect).abs() / expect.max(1.0);
+            assert!(rel < 1e-5, "n={n}: got {got}, want {expect}");
+        }
+    }
+
+    #[test]
+    fn unroll_one_beats_unroll_two_beats_none() {
+        // Fig. 15: unrolling one wavefront is fastest; the basic tree is
+        // slowest (barrier per step).
+        let data = vec![1.0f32; 1 << 20];
+        let (_, t_none) = sum_gpu(&data, ReductionStrategy::NoUnroll);
+        let (_, t_one) = sum_gpu(&data, ReductionStrategy::UnrollOne);
+        let (_, t_two) = sum_gpu(&data, ReductionStrategy::UnrollTwo);
+        assert!(t_one < t_two, "unroll1 {t_one} should beat unroll2 {t_two}");
+        assert!(t_two < t_none, "unroll2 {t_two} should beat no-unroll {t_none}");
+    }
+
+    #[test]
+    fn stage1_group_count() {
+        assert_eq!(stage1_groups(1), 1);
+        assert_eq!(stage1_groups(ELEMS_PER_GROUP), 1);
+        assert_eq!(stage1_groups(ELEMS_PER_GROUP + 1), 2);
+        assert_eq!(stage1_groups(10 * ELEMS_PER_GROUP), 10);
+    }
+
+    #[test]
+    fn deterministic_sums() {
+        let data: Vec<f32> = (0..50_000).map(|i| ((i * 31) % 255) as f32).collect();
+        let (a, _) = sum_gpu(&data, ReductionStrategy::UnrollOne);
+        let (b, _) = sum_gpu(&data, ReductionStrategy::UnrollOne);
+        assert_eq!(a, b);
+    }
+}

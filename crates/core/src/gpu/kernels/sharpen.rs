@@ -1,0 +1,458 @@
+//! Sharpening kernels: the unfused pipeline tail (preliminary, overshoot)
+//! and the fused `sharpness` kernel of Section V-B, in scalar and
+//! vectorized (Section V-D) variants.
+//!
+//! Fusion folds pError + preliminary + overshoot into one kernel: the
+//! difference value lives in a register ("the difference matrix is stored
+//! in threads' registers dispersedly"), eliminating the pError and
+//! preliminary global matrices and their traffic, plus two kernel
+//! launches.
+
+use simgpu::buffer::{Buffer, GlobalView};
+use simgpu::cost::OpCounts;
+use simgpu::error::Result;
+use simgpu::kernel::items;
+use simgpu::queue::CommandQueue;
+use simgpu::timing::KernelTime;
+
+use super::{grid2d, KernelTuning, SrcImage};
+use crate::math;
+use crate::params::SharpnessParams;
+
+/// Unfused preliminary kernel: `prelim = up + strength(pEdge) · pError`.
+#[allow(clippy::too_many_arguments)]
+pub fn preliminary_kernel(
+    q: &mut CommandQueue,
+    up: &GlobalView<f32>,
+    pedge: &GlobalView<f32>,
+    perr: &GlobalView<f32>,
+    prelim: &Buffer<f32>,
+    mean: f32,
+    params: SharpnessParams,
+    w: usize,
+    h: usize,
+    tune: KernelTuning,
+) -> Result<KernelTime> {
+    let desc = grid2d("preliminary", w, h);
+    let out = prelim.write_view();
+    let (up, pedge, perr) = (up.clone(), pedge.clone(), perr.clone());
+    // strength: div + add + pow + mul + 2 cmp; preliminary: mul + add.
+    let per_item = OpCounts::ZERO.divs(1).adds(2).pows(1).muls(2).cmps(2).plus(&tune.idx_ops());
+    let clamp_div = tune.clamp_divergence();
+    q.run(&desc, &[prelim], move |g| {
+        let mut n = 0u64;
+        for l in items(g.group_size) {
+            let [x, y] = g.global_id(l);
+            if x >= w || y >= h {
+                continue;
+            }
+            n += 1;
+            let i = y * w + x;
+            let u = g.load(&up, i);
+            let e = g.load(&pedge, i);
+            let err = g.load(&perr, i);
+            g.store(&out, i, math::preliminary(u, e, err, mean, &params));
+        }
+        g.charge_n(&per_item, n);
+        g.divergent(n * clamp_div);
+    })
+}
+
+/// Unfused overshoot kernel (paper Fig. 8): clamps the preliminary matrix
+/// against the 3×3 envelope of the original.
+#[allow(clippy::too_many_arguments)]
+pub fn overshoot_kernel(
+    q: &mut CommandQueue,
+    src: &SrcImage,
+    prelim: &GlobalView<f32>,
+    finalbuf: &Buffer<f32>,
+    w: usize,
+    h: usize,
+    params: SharpnessParams,
+    tune: KernelTuning,
+) -> Result<KernelTime> {
+    let desc = grid2d("overshoot", w, h);
+    let out = finalbuf.write_view();
+    let src = src.clone();
+    let prelim = prelim.clone();
+    let per_body = OpCounts::ZERO.cmps(20).muls(1).adds(1).plus(&tune.idx_ops());
+    let clamp_div = tune.clamp_divergence();
+    q.run(&desc, &[finalbuf], move |g| {
+        let mut n_body = 0u64;
+        let mut n_border = 0u64;
+        for l in items(g.group_size) {
+            let [x, y] = g.global_id(l);
+            if x >= w || y >= h {
+                continue;
+            }
+            let i = y * w + x;
+            let p = g.load(&prelim, i);
+            if x == 0 || y == 0 || x == w - 1 || y == h - 1 {
+                n_border += 1;
+                g.store(&out, i, math::final_border(p));
+                continue;
+            }
+            n_body += 1;
+            let (xi, yi) = (x as isize, y as isize);
+            let n9 = [
+                g.load(&src.view, src.idx(xi - 1, yi - 1)),
+                g.load(&src.view, src.idx(xi, yi - 1)),
+                g.load(&src.view, src.idx(xi + 1, yi - 1)),
+                g.load(&src.view, src.idx(xi - 1, yi)),
+                g.load(&src.view, src.idx(xi, yi)),
+                g.load(&src.view, src.idx(xi + 1, yi)),
+                g.load(&src.view, src.idx(xi - 1, yi + 1)),
+                g.load(&src.view, src.idx(xi, yi + 1)),
+                g.load(&src.view, src.idx(xi + 1, yi + 1)),
+            ];
+            let (mn, mx) = math::minmax3x3(&n9);
+            g.store(&out, i, math::overshoot(p, mn, mx, &params));
+        }
+        g.charge_n(&per_body, n_body);
+        g.charge_n(&OpCounts::ZERO.cmps(4), n_border);
+        g.divergent((n_body * 2 + n_border) * clamp_div);
+    })
+}
+
+/// Computes one fused-sharpness pixel: pError, strength, preliminary and
+/// overshoot in registers. `n9` is the 3×3 original neighbourhood
+/// (centre at index 4); border pixels pass `body = false` and skip the
+/// envelope clamp.
+#[inline]
+fn fused_pixel(
+    n9: &[f32; 9],
+    u: f32,
+    e: f32,
+    mean: f32,
+    params: &SharpnessParams,
+    body: bool,
+) -> f32 {
+    let err = n9[4] - u;
+    let p = math::preliminary(u, e, err, mean, params);
+    if body {
+        let (mn, mx) = math::minmax3x3(n9);
+        math::overshoot(p, mn, mx, params)
+    } else {
+        math::final_border(p)
+    }
+}
+
+/// The fused sharpness kernel (scalar): per pixel, loads the 3×3 original
+/// window, the upscaled value and the pEdge value, and produces the final
+/// sharpened pixel directly.
+#[allow(clippy::too_many_arguments)]
+pub fn sharpness_fused_kernel(
+    q: &mut CommandQueue,
+    src: &SrcImage,
+    up: &GlobalView<f32>,
+    pedge: &GlobalView<f32>,
+    finalbuf: &Buffer<f32>,
+    mean: f32,
+    params: SharpnessParams,
+    w: usize,
+    h: usize,
+    tune: KernelTuning,
+) -> Result<KernelTime> {
+    let desc = grid2d("sharpness", w, h);
+    let out = finalbuf.write_view();
+    let src = src.clone();
+    let (up, pedge) = (up.clone(), pedge.clone());
+    // pError(1 add) + strength/preliminary + minmax(16 cmp) + overshoot
+    // branches and clamps (6 cmp) + excursion (mul + add).
+    let per_body =
+        OpCounts::ZERO.adds(4).divs(1).pows(1).muls(3).cmps(24).plus(&tune.idx_ops());
+    let clamp_div = tune.clamp_divergence();
+    q.run(&desc, &[finalbuf], move |g| {
+        let mut n_body = 0u64;
+        let mut n_border = 0u64;
+        for l in items(g.group_size) {
+            let [x, y] = g.global_id(l);
+            if x >= w || y >= h {
+                continue;
+            }
+            let i = y * w + x;
+            let u = g.load(&up, i);
+            let e = g.load(&pedge, i);
+            let (xi, yi) = (x as isize, y as isize);
+            let body = x > 0 && y > 0 && x < w - 1 && y < h - 1;
+            let n9 = if body {
+                [
+                    g.load(&src.view, src.idx(xi - 1, yi - 1)),
+                    g.load(&src.view, src.idx(xi, yi - 1)),
+                    g.load(&src.view, src.idx(xi + 1, yi - 1)),
+                    g.load(&src.view, src.idx(xi - 1, yi)),
+                    g.load(&src.view, src.idx(xi, yi)),
+                    g.load(&src.view, src.idx(xi + 1, yi)),
+                    g.load(&src.view, src.idx(xi - 1, yi + 1)),
+                    g.load(&src.view, src.idx(xi, yi + 1)),
+                    g.load(&src.view, src.idx(xi + 1, yi + 1)),
+                ]
+            } else {
+                let centre = g.load(&src.view, src.idx(xi, yi));
+                let mut a = [0.0f32; 9];
+                a[4] = centre;
+                a
+            };
+            if body {
+                n_body += 1;
+            } else {
+                n_border += 1;
+            }
+            g.store(&out, i, fused_pixel(&n9, u, e, mean, &params, body));
+        }
+        g.charge_n(&per_body, n_body);
+        g.charge_n(&OpCounts::ZERO.adds(3).divs(1).pows(1).muls(2).cmps(6), n_border);
+        g.divergent((n_body * 2 + n_border) * clamp_div);
+    })
+}
+
+/// The fused sharpness kernel, vectorized: four adjacent pixels per
+/// thread; the 3×6 original window, upscaled and pEdge quads are loaded
+/// with `vload4` and the result written with one `vstore4`. Requires the
+/// padded source.
+#[allow(clippy::too_many_arguments)]
+pub fn sharpness_fused_vec4_kernel(
+    q: &mut CommandQueue,
+    src: &SrcImage,
+    up: &GlobalView<f32>,
+    pedge: &GlobalView<f32>,
+    finalbuf: &Buffer<f32>,
+    mean: f32,
+    params: SharpnessParams,
+    w: usize,
+    h: usize,
+    tune: KernelTuning,
+) -> Result<KernelTime> {
+    assert_eq!(src.pad, 1, "vectorized sharpness requires the padded source");
+    assert_eq!(w % 4, 0, "width must be a multiple of 4");
+    let desc = grid2d("sharpness_vec4", w / 4, h);
+    let out = finalbuf.write_view();
+    let src = src.clone();
+    let (up, pedge) = (up.clone(), pedge.clone());
+    let per_thread = OpCounts::ZERO
+        .adds(16)
+        .divs(4)
+        .pows(4)
+        .muls(12)
+        .cmps(96 + 8)
+        .plus(&tune.idx_ops());
+    let clamp_div = tune.clamp_divergence();
+    q.run(&desc, &[finalbuf], move |g| {
+        let mut n_threads = 0u64;
+        for l in items(g.group_size) {
+            let [xg, y] = g.global_id(l);
+            let x0 = 4 * xg;
+            if x0 >= w || y >= h {
+                continue;
+            }
+            n_threads += 1;
+            let yi = y as isize;
+            let mut win = [[0.0f32; 6]; 3];
+            for (dy, row) in win.iter_mut().enumerate() {
+                let ry = yi + dy as isize - 1;
+                let v = g.vload4(&src.view, src.idx(x0 as isize - 1, ry));
+                row[..4].copy_from_slice(&v);
+                row[4] = g.load(&src.view, src.idx(x0 as isize + 3, ry));
+                row[5] = g.load(&src.view, src.idx(x0 as isize + 4, ry));
+            }
+            let uq = g.vload4(&up, y * w + x0);
+            let eq = g.vload4(&pedge, y * w + x0);
+            let mut res = [0.0f32; 4];
+            for k in 0..4 {
+                let x = x0 + k;
+                let body = x > 0 && y > 0 && x < w - 1 && y < h - 1;
+                let n9 = [
+                    win[0][k], win[0][k + 1], win[0][k + 2],
+                    win[1][k], win[1][k + 1], win[1][k + 2],
+                    win[2][k], win[2][k + 1], win[2][k + 2],
+                ];
+                res[k] = fused_pixel(&n9, uq[k], eq[k], mean, &params, body);
+            }
+            g.vstore4(&out, y * w + x0, res);
+        }
+        g.charge_n(&per_thread, n_threads);
+        g.divergent(n_threads * clamp_div);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::stages;
+    use imagekit::{generate, ImageF32};
+    use simgpu::context::Context;
+    use simgpu::device::DeviceSpec;
+
+    struct Fixture {
+        img: ImageF32,
+        up: ImageF32,
+        pedge: ImageF32,
+        perr: ImageF32,
+        mean: f32,
+        prelim: ImageF32,
+        finalimg: ImageF32,
+    }
+
+    fn fixture(w: usize, h: usize, seed: u64) -> Fixture {
+        let img = generate::natural(w, h, seed);
+        let (down, _) = stages::downscale(&img);
+        let (up, _, _) = stages::upscale(&down, w, h);
+        let (perr, _) = stages::perror(&img, &up);
+        let (pedge, _) = stages::sobel(&img);
+        let (mean, _) = stages::reduction(&pedge);
+        let p = SharpnessParams::default();
+        let (prelim, _) = stages::strength_preliminary(&up, &pedge, &perr, mean, &p);
+        let (finalimg, _) = stages::overshoot_with(&img, &prelim, &p);
+        Fixture { img, up, pedge, perr, mean, prelim, finalimg }
+    }
+
+    #[test]
+    fn preliminary_matches_cpu_exactly() {
+        let f = fixture(32, 32, 6);
+        let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let up = ctx.buffer_from("up", f.up.pixels());
+        let pedge = ctx.buffer_from("pEdge", f.pedge.pixels());
+        let perr = ctx.buffer_from("pError", f.perr.pixels());
+        let prelim = ctx.buffer::<f32>("prelim", 32 * 32);
+        preliminary_kernel(
+            &mut q,
+            &up.view(),
+            &pedge.view(),
+            &perr.view(),
+            &prelim,
+            f.mean,
+            SharpnessParams::default(),
+            32,
+            32,
+            KernelTuning::default(),
+        )
+        .unwrap();
+        assert_eq!(prelim.snapshot(), f.prelim.pixels());
+    }
+
+    #[test]
+    fn overshoot_matches_cpu_exactly() {
+        let f = fixture(32, 32, 7);
+        let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let orig = ctx.buffer_from("original", f.img.pixels());
+        let prelim = ctx.buffer_from("prelim", f.prelim.pixels());
+        let fin = ctx.buffer::<f32>("final", 32 * 32);
+        let src = SrcImage { view: orig.view(), pitch: 32, pad: 0 };
+        overshoot_kernel(
+            &mut q,
+            &src,
+            &prelim.view(),
+            &fin,
+            32,
+            32,
+            SharpnessParams::default(),
+            KernelTuning::default(),
+        )
+        .unwrap();
+        assert_eq!(fin.snapshot(), f.finalimg.pixels());
+    }
+
+    #[test]
+    fn fused_scalar_matches_cpu_exactly() {
+        let f = fixture(48, 32, 8);
+        let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let orig = ctx.buffer_from("original", f.img.pixels());
+        let up = ctx.buffer_from("up", f.up.pixels());
+        let pedge = ctx.buffer_from("pEdge", f.pedge.pixels());
+        let fin = ctx.buffer::<f32>("final", 48 * 32);
+        let src = SrcImage { view: orig.view(), pitch: 48, pad: 0 };
+        sharpness_fused_kernel(
+            &mut q,
+            &src,
+            &up.view(),
+            &pedge.view(),
+            &fin,
+            f.mean,
+            SharpnessParams::default(),
+            48,
+            32,
+            KernelTuning::default(),
+        )
+        .unwrap();
+        assert_eq!(fin.snapshot(), f.finalimg.pixels());
+    }
+
+    #[test]
+    fn fused_vec4_matches_cpu_exactly() {
+        let f = fixture(64, 48, 9);
+        let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let padded = f.img.padded(1, false);
+        let pbuf = ctx.buffer_from("padded", padded.pixels());
+        let up = ctx.buffer_from("up", f.up.pixels());
+        let pedge = ctx.buffer_from("pEdge", f.pedge.pixels());
+        let fin = ctx.buffer::<f32>("final", 64 * 48);
+        let src = SrcImage { view: pbuf.view(), pitch: 66, pad: 1 };
+        sharpness_fused_vec4_kernel(
+            &mut q,
+            &src,
+            &up.view(),
+            &pedge.view(),
+            &fin,
+            f.mean,
+            SharpnessParams::default(),
+            64,
+            48,
+            KernelTuning::default(),
+        )
+        .unwrap();
+        assert_eq!(fin.snapshot(), f.finalimg.pixels());
+    }
+
+    #[test]
+    fn fusion_moves_less_global_traffic_than_unfused_tail() {
+        let f = fixture(64, 64, 10);
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        let p = SharpnessParams::default();
+        // Unfused: perror + preliminary + overshoot.
+        let mut q1 = ctx.queue();
+        let orig = ctx.buffer_from("original", f.img.pixels());
+        let up = ctx.buffer_from("up", f.up.pixels());
+        let pedge = ctx.buffer_from("pEdge", f.pedge.pixels());
+        let src = SrcImage { view: orig.view(), pitch: 64, pad: 0 };
+        let perr = ctx.buffer::<f32>("pError", 64 * 64);
+        let prelim = ctx.buffer::<f32>("prelim", 64 * 64);
+        let fin1 = ctx.buffer::<f32>("final", 64 * 64);
+        super::super::perror::perror_kernel(
+            &mut q1, &src, &up.view(), &perr, 64, 64, KernelTuning::default(),
+        )
+        .unwrap();
+        preliminary_kernel(
+            &mut q1, &up.view(), &pedge.view(), &perr.view(), &prelim, f.mean, p, 64, 64,
+            KernelTuning::default(),
+        )
+        .unwrap();
+        overshoot_kernel(
+            &mut q1, &src, &prelim.view(), &fin1, 64, 64, p, KernelTuning::default(),
+        )
+        .unwrap();
+        let unfused_bytes: u64 =
+            q1.records().iter().filter_map(|r| r.counters).map(|c| c.global_bytes()).sum();
+
+        // Fused.
+        let mut q2 = ctx.queue();
+        let fin2 = ctx.buffer::<f32>("final", 64 * 64);
+        sharpness_fused_kernel(
+            &mut q2, &src, &up.view(), &pedge.view(), &fin2, f.mean, p, 64, 64,
+            KernelTuning::default(),
+        )
+        .unwrap();
+        let fused_bytes: u64 =
+            q2.records().iter().filter_map(|r| r.counters).map(|c| c.global_bytes()).sum();
+
+        assert_eq!(fin1.snapshot(), fin2.snapshot());
+        assert!(
+            fused_bytes * 3 < unfused_bytes * 2,
+            "fused {fused_bytes} should be well below unfused {unfused_bytes}"
+        );
+        assert!(q2.elapsed() < q1.elapsed());
+    }
+}

@@ -1,0 +1,339 @@
+//! Upscale kernels: the body ("center") in scalar and vectorized variants,
+//! and the four border kernels used when the border runs on the GPU
+//! (Section V-E).
+//!
+//! The border work is branch-heavy and tiny (O(w + h) items), which is
+//! exactly why the paper runs it on the CPU for small images; the GPU
+//! variant here pays four kernel launches plus divergence, reproducing
+//! the crossover of Fig. 17.
+
+use simgpu::buffer::{Buffer, GlobalView};
+use simgpu::cost::OpCounts;
+use simgpu::error::Result;
+use simgpu::kernel::items;
+use simgpu::queue::CommandQueue;
+use simgpu::timing::KernelTime;
+
+use super::{grid1d, grid2d, KernelTuning};
+use crate::math;
+use crate::params::SCALE;
+
+/// Scalar upscale-center kernel: one thread per 4×4 output block,
+/// interpolating its 2×2 downscaled window (paper Figs. 4–5).
+pub fn upscale_center_scalar_kernel(
+    q: &mut CommandQueue,
+    down: &GlobalView<f32>,
+    up: &Buffer<f32>,
+    w: usize,
+    h: usize,
+    tune: KernelTuning,
+) -> Result<KernelTime> {
+    let (w4, h4) = (w / SCALE, h / SCALE);
+    let (nx, ny) = (w4 - 1, h4 - 1);
+    let desc = grid2d("upscale_center", nx, ny);
+    let down = down.clone();
+    let upv = up.write_view();
+    // Per block: 16 values × (6 mul + 3 add) + index arithmetic.
+    let per_block = OpCounts::ZERO.muls(96).adds(48).plus(&tune.idx_ops());
+    q.run(&desc, &[up], move |g| {
+        let mut n_blocks = 0u64;
+        for l in items(g.group_size) {
+            let [bi, bj] = g.global_id(l);
+            if bi >= nx || bj >= ny {
+                continue;
+            }
+            n_blocks += 1;
+            let d00 = g.load(&down, bj * w4 + bi);
+            let d01 = g.load(&down, bj * w4 + bi + 1);
+            let d10 = g.load(&down, (bj + 1) * w4 + bi);
+            let d11 = g.load(&down, (bj + 1) * w4 + bi + 1);
+            for r in 0..SCALE {
+                for c in 0..SCALE {
+                    g.store(
+                        &upv,
+                        (SCALE * bj + 2 + r) * w + SCALE * bi + 2 + c,
+                        math::upscale_value(d00, d01, d10, d11, r, c),
+                    );
+                }
+            }
+        }
+        g.charge_n(&per_block, n_blocks);
+    })
+}
+
+/// Vectorized upscale-center kernel: one thread per *four horizontally
+/// adjacent* blocks, sharing the downscaled row segments (`vload4`) and
+/// writing each output row with `vstore4` (Section V-D applied to the
+/// center stage).
+pub fn upscale_center_vec4_kernel(
+    q: &mut CommandQueue,
+    down: &GlobalView<f32>,
+    up: &Buffer<f32>,
+    w: usize,
+    h: usize,
+    tune: KernelTuning,
+) -> Result<KernelTime> {
+    let (w4, h4) = (w / SCALE, h / SCALE);
+    let (nx, ny) = (w4 - 1, h4 - 1);
+    let nx_threads = nx.div_ceil(4);
+    let desc = grid2d("upscale_center_vec4", nx_threads, ny);
+    let down = down.clone();
+    let upv = up.write_view();
+    // Per thread: up to 4 blocks × 16 values × (6 mul + 3 add); window
+    // loads are 2 vload4 + 2 scalar; bounds selects cost 4 cmp.
+    let per_block = OpCounts::ZERO.muls(96).adds(48);
+    q.run(&desc, &[up], move |g| {
+        let mut n_blocks = 0u64;
+        let mut n_threads = 0u64;
+        for l in items(g.group_size) {
+            let [t, bj] = g.global_id(l);
+            let bi0 = 4 * t;
+            if bi0 >= nx || bj >= ny {
+                continue;
+            }
+            n_threads += 1;
+            // Load the two downscaled row segments covering blocks
+            // bi0 .. bi0+3: columns bi0 .. bi0+4 (the 5th column is only
+            // needed — and only in bounds — when block bi0+3 exists).
+            let mut rows = [[0.0f32; 5]; 2];
+            for (dr, row) in rows.iter_mut().enumerate() {
+                let base = (bj + dr) * w4;
+                if bi0 + 3 < w4 {
+                    // Fast path: aligned interior, one vload4 + one scalar.
+                    let v = g.vload4(&down, base + bi0);
+                    row[..4].copy_from_slice(&v);
+                    if bi0 + 4 < w4 {
+                        row[4] = g.load(&down, base + bi0 + 4);
+                    }
+                } else {
+                    // Row tail (w4 not a multiple of 4): scalar loads of
+                    // whatever columns exist.
+                    for (k, slot) in row.iter_mut().enumerate() {
+                        if bi0 + k < w4 {
+                            *slot = g.load(&down, base + bi0 + k);
+                        }
+                    }
+                }
+            }
+            for k in 0..4 {
+                let bi = bi0 + k;
+                if bi >= nx {
+                    break;
+                }
+                n_blocks += 1;
+                let d00 = rows[0][k];
+                let d01 = rows[0][k + 1];
+                let d10 = rows[1][k];
+                let d11 = rows[1][k + 1];
+                for r in 0..SCALE {
+                    let mut out = [0.0f32; 4];
+                    for (c, slot) in out.iter_mut().enumerate() {
+                        *slot = math::upscale_value(d00, d01, d10, d11, r, c);
+                    }
+                    g.vstore4(&upv, (SCALE * bj + 2 + r) * w + SCALE * bi + 2, out);
+                }
+            }
+        }
+        g.charge_n(&per_block, n_blocks);
+        g.charge_n(&OpCounts::ZERO.cmps(4).plus(&tune.idx_ops()), n_threads);
+    })
+}
+
+/// Dispatches the four GPU border kernels (top/bottom rows, left/right
+/// columns), matching the CPU border bit-exactly.
+pub fn upscale_border_gpu(
+    q: &mut CommandQueue,
+    down: &GlobalView<f32>,
+    up: &Buffer<f32>,
+    w: usize,
+    h: usize,
+    tune: KernelTuning,
+) -> Result<Vec<KernelTime>> {
+    let (w4, h4) = (w / SCALE, h / SCALE);
+    let mut times = Vec::with_capacity(4);
+
+    // Horizontal border rows: (name, source downscaled row, dest row).
+    for (name, src_row, dst_row) in
+        [("upscale_border_top", 0usize, 0usize), ("upscale_border_bottom", h4 - 1, h - 2)]
+    {
+        let desc = grid1d(name, w4 - 1, 64);
+        let down = down.clone();
+        let upv = up.write_view();
+        let companion = if dst_row == 0 { 1 } else { h - 1 };
+        let per_item = OpCounts::ZERO.muls(8).adds(4).cmps(2).plus(&tune.idx_ops());
+        let t = q.run(&desc, &[up], move |g| {
+            let mut n = 0u64;
+            let mut corner_events = 0u64;
+            for l in items(g.group_size) {
+                let [bi, _] = g.global_id(l);
+                if bi >= w4 - 1 {
+                    continue;
+                }
+                n += 1;
+                let a = g.load(&down, src_row * w4 + bi);
+                let b = g.load(&down, src_row * w4 + bi + 1);
+                let mut vals = [0.0f32; SCALE];
+                for (ph, v) in vals.iter_mut().enumerate() {
+                    *v = math::border_interp(a, b, ph);
+                }
+                for (ph, &v) in vals.iter().enumerate() {
+                    let x = SCALE * bi + 2 + ph;
+                    g.store(&upv, dst_row * w + x, v);
+                    g.store(&upv, companion * w + x, v);
+                }
+                if bi == 0 {
+                    // Outer-left columns copy the phase-0 value.
+                    corner_events += 1;
+                    for x in 0..2 {
+                        g.store(&upv, dst_row * w + x, vals[0]);
+                        g.store(&upv, companion * w + x, vals[0]);
+                    }
+                }
+                if bi == w4 - 2 {
+                    // Outer-right columns copy the last computed value.
+                    corner_events += 1;
+                    let v = vals[3];
+                    for x in [w - 2, w - 1] {
+                        g.store(&upv, dst_row * w + x, v);
+                        g.store(&upv, companion * w + x, v);
+                    }
+                }
+            }
+            g.charge_n(&per_item, n);
+            g.divergent(corner_events);
+        })?;
+        times.push(t);
+    }
+
+    // Vertical border columns for rows 2 ..= h-3.
+    for (name, src_col, dst_col) in
+        [("upscale_border_left", 0usize, 0usize), ("upscale_border_right", w4 - 1, w - 2)]
+    {
+        let desc = grid1d(name, h4 - 1, 64);
+        let down = down.clone();
+        let upv = up.write_view();
+        let companion = if dst_col == 0 { 1 } else { w - 1 };
+        let per_item = OpCounts::ZERO.muls(8).adds(4).cmps(2).plus(&tune.idx_ops());
+        let t = q.run(&desc, &[up], move |g| {
+            let mut n = 0u64;
+            for l in items(g.group_size) {
+                let [bj, _] = g.global_id(l);
+                if bj >= h4 - 1 {
+                    continue;
+                }
+                n += 1;
+                let a = g.load(&down, bj * w4 + src_col);
+                let b = g.load(&down, (bj + 1) * w4 + src_col);
+                for ph in 0..SCALE {
+                    let y = SCALE * bj + 2 + ph;
+                    let v = math::border_interp(a, b, ph);
+                    g.store(&upv, y * w + dst_col, v);
+                    g.store(&upv, y * w + companion, v);
+                }
+            }
+            g.charge_n(&per_item, n);
+        })?;
+        times.push(t);
+    }
+    Ok(times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::stages;
+    use imagekit::{generate, ImageF32};
+    use simgpu::context::Context;
+    use simgpu::device::DeviceSpec;
+
+    fn setup(wi: usize, hi: usize, seed: u64) -> (ImageF32, ImageF32) {
+        let img = generate::natural(wi, hi, seed);
+        let (down, _) = stages::downscale(&img);
+        let (up, _, _) = stages::upscale(&down, wi, hi);
+        (down, up)
+    }
+
+    #[test]
+    fn center_scalar_matches_cpu_exactly() {
+        let (down, cpu_up) = setup(64, 48, 3);
+        let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let dbuf = ctx.buffer_from("down", down.pixels());
+        let up = ctx.buffer::<f32>("up", 64 * 48);
+        upscale_center_scalar_kernel(&mut q, &dbuf.view(), &up, 64, 48, KernelTuning::default())
+            .unwrap();
+        // Compare interior only (border kernel not dispatched here).
+        let got = ImageF32::from_vec(64, 48, up.snapshot());
+        for y in 2..=48 - 3 {
+            for x in 2..=64 - 3 {
+                assert_eq!(got.get(x, y), cpu_up.get(x, y), "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn center_vec4_matches_scalar_exactly() {
+        let (down, _) = setup(96, 64, 8);
+        let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let dbuf = ctx.buffer_from("down", down.pixels());
+        let up_a = ctx.buffer::<f32>("upA", 96 * 64);
+        let up_b = ctx.buffer::<f32>("upB", 96 * 64);
+        upscale_center_scalar_kernel(&mut q, &dbuf.view(), &up_a, 96, 64, KernelTuning::default())
+            .unwrap();
+        upscale_center_vec4_kernel(&mut q, &dbuf.view(), &up_b, 96, 64, KernelTuning::default())
+            .unwrap();
+        assert_eq!(up_a.snapshot(), up_b.snapshot());
+    }
+
+    #[test]
+    fn border_gpu_matches_cpu_exactly() {
+        let (down, cpu_up) = setup(64, 64, 4);
+        let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let dbuf = ctx.buffer_from("down", down.pixels());
+        let up = ctx.buffer::<f32>("up", 64 * 64);
+        let times =
+            upscale_border_gpu(&mut q, &dbuf.view(), &up, 64, 64, KernelTuning::default())
+                .unwrap();
+        assert_eq!(times.len(), 4);
+        let got = ImageF32::from_vec(64, 64, up.snapshot());
+        // Border rows (full width).
+        for x in 0..64 {
+            for y in [0usize, 1, 62, 63] {
+                assert_eq!(got.get(x, y), cpu_up.get(x, y), "row border ({x},{y})");
+            }
+        }
+        // Border columns for body rows.
+        for y in 2..62 {
+            for x in [0usize, 1, 62, 63] {
+                assert_eq!(got.get(x, y), cpu_up.get(x, y), "col border ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn border_plus_center_covers_everything() {
+        let (down, cpu_up) = setup(64, 48, 12);
+        let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let dbuf = ctx.buffer_from("down", down.pixels());
+        let up = ctx.buffer::<f32>("up", 64 * 48);
+        upscale_border_gpu(&mut q, &dbuf.view(), &up, 64, 48, KernelTuning::default()).unwrap();
+        upscale_center_vec4_kernel(&mut q, &dbuf.view(), &up, 64, 48, KernelTuning::default())
+            .unwrap();
+        assert_eq!(up.snapshot(), cpu_up.pixels());
+    }
+
+    #[test]
+    fn border_kernels_launch_four_times() {
+        let (down, _) = setup(64, 64, 1);
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let dbuf = ctx.buffer_from("down", down.pixels());
+        let up = ctx.buffer::<f32>("up", 64 * 64);
+        upscale_border_gpu(&mut q, &dbuf.view(), &up, 64, 64, KernelTuning::default()).unwrap();
+        assert_eq!(q.records().len(), 4);
+        assert!(q.records().iter().all(|r| r.name.starts_with("upscale_border")));
+    }
+}

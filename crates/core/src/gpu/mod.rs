@@ -1,0 +1,12 @@
+//! GPU implementation: kernels, optimization flags, ablation measurements
+//! and the pipeline.
+
+pub mod ablate;
+pub mod batch;
+pub mod kernels;
+pub mod opts;
+pub mod pipeline;
+pub mod strips;
+
+pub use opts::{OptConfig, Tuning};
+pub use pipeline::GpuPipeline;

@@ -1,0 +1,131 @@
+//! Optimization flags and pipeline tuning, mirroring the paper's
+//! step-wise evaluation (Section V, Fig. 14).
+
+use crate::gpu::kernels::reduction::ReductionStrategy;
+
+/// Which of the paper's five (plus "other") optimization techniques the
+/// GPU pipeline applies. All-off is the base/naive port of Section IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptConfig {
+    /// Section V-A: read/write bulk transfers instead of map/unmap, and a
+    /// single rect-write of the original into the padded device buffer
+    /// instead of uploading both matrices (padding happens in transit).
+    pub data_transfer: bool,
+    /// Section V-B: fuse pError + preliminary + overshoot into one
+    /// `sharpness` kernel, keeping the difference matrix in registers.
+    pub kernel_fusion: bool,
+    /// Section V-C: run the reduction on the GPU as a two-stage tree.
+    pub reduction_gpu: bool,
+    /// Section V-D: four pixels per thread with `vload4`/`vstore4` in the
+    /// Sobel, sharpness and upscale-center kernels.
+    pub vectorization: bool,
+    /// Section V-E: run the upscale border on the GPU for large images
+    /// (below the tuned crossover it stays on the CPU either way).
+    pub border_gpu: bool,
+    /// Section V-F: no `clFinish` between kernels, built-in
+    /// `clamp`/`min`/`max`/`select`, shift/mask instruction selection.
+    pub others: bool,
+}
+
+impl OptConfig {
+    /// The base (naive) GPU port: everything off.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The fully optimized pipeline: everything on.
+    pub fn all() -> Self {
+        OptConfig {
+            data_transfer: true,
+            kernel_fusion: true,
+            reduction_gpu: true,
+            vectorization: true,
+            border_gpu: true,
+            others: true,
+        }
+    }
+
+    /// The cumulative optimization steps of Fig. 14, in the paper's order:
+    /// base → +data transmission & kernel fusion → +reduction →
+    /// +vectorization & border → +others.
+    pub fn cumulative_steps() -> Vec<(&'static str, OptConfig)> {
+        let base = OptConfig::none();
+        let s1 = OptConfig { data_transfer: true, kernel_fusion: true, ..base };
+        let s2 = OptConfig { reduction_gpu: true, ..s1 };
+        let s3 = OptConfig { vectorization: true, border_gpu: true, ..s2 };
+        let s4 = OptConfig { others: true, ..s3 };
+        vec![
+            ("base", base),
+            ("data transmission and kernel fusion", s1),
+            ("optimizing the reduction", s2),
+            ("vectorization for data share and border optimization", s3),
+            ("others", s4),
+        ]
+    }
+
+    /// Number of enabled flags (for display).
+    pub fn enabled_count(&self) -> usize {
+        [
+            self.data_transfer,
+            self.kernel_fusion,
+            self.reduction_gpu,
+            self.vectorization,
+            self.border_gpu,
+            self.others,
+        ]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+    }
+}
+
+/// Hardware-dependent thresholds and strategy choices the paper "tests in
+/// advance"; discoverable with [`crate::autotune`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tuning {
+    /// Reduction tail strategy (Fig. 15: unroll-one wins).
+    pub reduction_strategy: ReductionStrategy,
+    /// Partial-sum count above which reduction stage 2 runs on the GPU.
+    pub stage2_gpu_threshold: usize,
+    /// Image width (square images) at or above which the upscale border
+    /// runs on the GPU (Fig. 17: 768).
+    pub border_gpu_min_width: usize,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning {
+            reduction_strategy: ReductionStrategy::UnrollOne,
+            stage2_gpu_threshold: 4096,
+            border_gpu_min_width: 768,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_steps_are_monotone() {
+        let steps = OptConfig::cumulative_steps();
+        assert_eq!(steps.len(), 5);
+        assert_eq!(steps[0].1, OptConfig::none());
+        assert_eq!(steps[4].1, OptConfig::all());
+        for w in steps.windows(2) {
+            assert!(
+                w[1].1.enabled_count() > w[0].1.enabled_count(),
+                "{} -> {} must add flags",
+                w[0].0,
+                w[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn default_tuning_matches_paper() {
+        let t = Tuning::default();
+        assert_eq!(t.border_gpu_min_width, 768);
+        assert_eq!(t.reduction_strategy, ReductionStrategy::UnrollOne);
+    }
+}

@@ -1,0 +1,497 @@
+//! The GPU pipeline: host program orchestrating transfers, kernels and
+//! CPU-side stages according to an [`OptConfig`].
+//!
+//! With all flags off this is the naive port of Section IV: map/unmap
+//! transfers of both the original and the padded matrix (padding done by
+//! the host), scalar one-pixel-per-thread kernels, the upscale border and
+//! the reduction on the CPU, separate pError/preliminary/overshoot
+//! kernels, and a `finish()` after every command. Each flag applies one of
+//! the paper's optimizations (Section V); see [`OptConfig`].
+//!
+//! The pipeline is *functionally real*: it produces the same pixels as
+//! [`crate::cpu::CpuPipeline`] (bit-exactly when the reduction runs on the
+//! CPU; within float-summation tolerance when the tree reduction runs on
+//! the device), while the queue's virtual clock produces the simulated
+//! time the figures report.
+
+use imagekit::ImageF32;
+use simgpu::buffer::Buffer;
+use simgpu::context::Context;
+use simgpu::cost::CostCounters;
+use simgpu::queue::{CommandKind, CommandQueue};
+use simgpu::timing::host_memcpy_time;
+
+use crate::cpu::stages as cpu_stages;
+use crate::gpu::kernels::downscale::downscale_kernel;
+use crate::gpu::kernels::perror::perror_kernel;
+use crate::gpu::kernels::reduction::{
+    reduction_stage1_kernel, reduction_stage2_kernel, stage1_groups,
+};
+use crate::gpu::kernels::sharpen::{
+    overshoot_kernel, preliminary_kernel, sharpness_fused_kernel, sharpness_fused_vec4_kernel,
+};
+use crate::gpu::kernels::sobel::{sobel_scalar_kernel, sobel_vec4_kernel};
+use crate::gpu::kernels::upscale::{
+    upscale_border_gpu, upscale_center_scalar_kernel, upscale_center_vec4_kernel,
+};
+use crate::gpu::kernels::{KernelTuning, SrcImage};
+use crate::gpu::opts::{OptConfig, Tuning};
+use crate::params::{check_shape, SharpnessParams, SCALE};
+use crate::report::{RunReport, StageRecord};
+
+/// The OpenCL-style sharpness pipeline on the simulated GPU.
+#[derive(Clone)]
+pub struct GpuPipeline {
+    ctx: Context,
+    params: SharpnessParams,
+    opts: OptConfig,
+    tuning: Tuning,
+}
+
+impl GpuPipeline {
+    /// Creates a pipeline on `ctx` with the given parameters and
+    /// optimization flags, using default tuning.
+    pub fn new(ctx: Context, params: SharpnessParams, opts: OptConfig) -> Self {
+        GpuPipeline { ctx, params, opts, tuning: Tuning::default() }
+    }
+
+    /// Overrides the tuning thresholds/strategies.
+    pub fn with_tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// The optimization flags in effect.
+    pub fn opts(&self) -> &OptConfig {
+        &self.opts
+    }
+
+    /// The tuning in effect.
+    pub fn tuning(&self) -> &Tuning {
+        &self.tuning
+    }
+
+    /// The context this pipeline dispatches to.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    fn sync(&self, q: &mut CommandQueue) {
+        if !self.opts.others {
+            q.finish();
+        }
+    }
+
+    /// Device→host read of a whole buffer in the transfer mode the config
+    /// selects (bulk when `data_transfer` is on, map/unmap otherwise).
+    fn read_back(
+        &self,
+        q: &mut CommandQueue,
+        buf: &Buffer<f32>,
+        dst: &mut [f32],
+    ) -> Result<(), String> {
+        if self.opts.data_transfer {
+            q.enqueue_read(buf, dst).map_err(|e| e.to_string())?;
+        } else {
+            let guard = q.map_read(buf).map_err(|e| e.to_string())?;
+            dst.copy_from_slice(&guard.as_slice()[..dst.len()]);
+        }
+        Ok(())
+    }
+
+    /// Runs the pipeline on `orig`, returning the sharpened image and the
+    /// simulated command-level time breakdown.
+    ///
+    /// # Errors
+    /// On unsupported shapes, invalid parameters, or simulated-runtime
+    /// faults (write races under a validating context).
+    pub fn run(&self, orig: &ImageF32) -> Result<RunReport, String> {
+        self.run_with_mean(orig, None)
+    }
+
+    /// Like [`GpuPipeline::run`], but when `mean_override` is `Some` the
+    /// reduction stage is skipped and the given pEdge mean drives the
+    /// strength curve. Used by the strip pipeline, whose mean is computed
+    /// globally in a separate pass.
+    pub fn run_with_mean(
+        &self,
+        orig: &ImageF32,
+        mean_override: Option<f32>,
+    ) -> Result<RunReport, String> {
+        let (w, h) = (orig.width(), orig.height());
+        check_shape(w, h)?;
+        self.params.validate()?;
+        let (w4, h4) = (w / SCALE, h / SCALE);
+        let n = w * h;
+        let pw = w + 2;
+        let tune = KernelTuning { others: self.opts.others };
+        let mut q = self.ctx.queue();
+
+        // ---- uploads (Section V-A) ------------------------------------
+        let padded_buf = self.ctx.buffer::<f32>("padded", pw * (h + 2));
+        let orig_buf: Option<Buffer<f32>> = if self.opts.data_transfer {
+            // One rect-write places the original inside the pre-zeroed
+            // padded buffer: padding happens during the transfer.
+            q.enqueue_write_rect(&padded_buf, pw, 1, 1, orig.pixels(), w, h)
+                .map_err(|e| e.to_string())?;
+            None
+        } else {
+            // Base: the host pads (line-by-line copy), then both matrices
+            // go up through map/unmap.
+            let padded_host = orig.padded(1, false);
+            q.charge_host_seconds(
+                "host:padding",
+                host_memcpy_time(q.cpu(), padded_buf.byte_len()),
+            );
+            {
+                let mut g = q.map_write(&padded_buf).map_err(|e| e.to_string())?;
+                g.as_mut_slice().copy_from_slice(padded_host.pixels());
+            }
+            let ob = self.ctx.buffer::<f32>("original", n);
+            {
+                let mut g = q.map_write(&ob).map_err(|e| e.to_string())?;
+                g.as_mut_slice().copy_from_slice(orig.pixels());
+            }
+            Some(ob)
+        };
+        self.sync(&mut q);
+
+        let padded_src = SrcImage { view: padded_buf.view(), pitch: pw, pad: 1 };
+        // What downscale/Sobel/pError read: the raw original in the base
+        // pipeline, the padded matrix once the upload is unified.
+        let main_src = match &orig_buf {
+            Some(b) => SrcImage { view: b.view(), pitch: w, pad: 0 },
+            None => padded_src.clone(),
+        };
+
+        // ---- downscale --------------------------------------------------
+        let down = self.ctx.buffer::<f32>("down", w4 * h4);
+        downscale_kernel(&mut q, &main_src, &down, w4, h4, tune).map_err(|e| e.to_string())?;
+        self.sync(&mut q);
+
+        // ---- upscale: border (Section V-E) ------------------------------
+        let up = self.ctx.buffer::<f32>("up", n);
+        let gpu_border = self.opts.border_gpu && w >= self.tuning.border_gpu_min_width;
+        if gpu_border {
+            upscale_border_gpu(&mut q, &down.view(), &up, w, h, tune)
+                .map_err(|e| e.to_string())?;
+            self.sync(&mut q);
+        } else {
+            self.cpu_border(&mut q, &down, &up, w, h, w4, h4)?;
+        }
+
+        // ---- upscale: center --------------------------------------------
+        if self.opts.vectorization {
+            upscale_center_vec4_kernel(&mut q, &down.view(), &up, w, h, tune)
+        } else {
+            upscale_center_scalar_kernel(&mut q, &down.view(), &up, w, h, tune)
+        }
+        .map_err(|e| e.to_string())?;
+        self.sync(&mut q);
+
+        // ---- Sobel --------------------------------------------------------
+        let pedge = self.ctx.buffer::<f32>("pEdge", n);
+        if self.opts.vectorization {
+            sobel_vec4_kernel(&mut q, &padded_src, &pedge, w, h, tune)
+        } else {
+            sobel_scalar_kernel(&mut q, &main_src, &pedge, w, h, tune)
+        }
+        .map_err(|e| e.to_string())?;
+        self.sync(&mut q);
+
+        // ---- reduction (Section V-C) -------------------------------------
+        let mean = match mean_override {
+            Some(m) => m,
+            None => self.reduction(&mut q, &pedge, n)?,
+        };
+
+        // ---- sharpening tail (Section V-B) --------------------------------
+        let finalbuf = self.ctx.buffer::<f32>("final", n);
+        if self.opts.kernel_fusion {
+            if self.opts.vectorization {
+                sharpness_fused_vec4_kernel(
+                    &mut q, &padded_src, &up.view(), &pedge.view(), &finalbuf, mean,
+                    self.params, w, h, tune,
+                )
+            } else {
+                sharpness_fused_kernel(
+                    &mut q, &padded_src, &up.view(), &pedge.view(), &finalbuf, mean,
+                    self.params, w, h, tune,
+                )
+            }
+            .map_err(|e| e.to_string())?;
+            self.sync(&mut q);
+        } else {
+            let perr = self.ctx.buffer::<f32>("pError", n);
+            perror_kernel(&mut q, &main_src, &up.view(), &perr, w, h, tune)
+                .map_err(|e| e.to_string())?;
+            self.sync(&mut q);
+            let prelim = self.ctx.buffer::<f32>("prelim", n);
+            preliminary_kernel(
+                &mut q, &up.view(), &pedge.view(), &perr.view(), &prelim, mean, self.params,
+                w, h, tune,
+            )
+            .map_err(|e| e.to_string())?;
+            self.sync(&mut q);
+            overshoot_kernel(
+                &mut q, &padded_src, &prelim.view(), &finalbuf, w, h, self.params, tune,
+            )
+            .map_err(|e| e.to_string())?;
+            self.sync(&mut q);
+        }
+
+        // ---- readback -------------------------------------------------------
+        q.finish();
+        let mut out = vec![0.0f32; n];
+        self.read_back(&mut q, &finalbuf, &mut out)?;
+
+        let stages = q
+            .records()
+            .iter()
+            .map(|r| StageRecord { name: r.name.clone(), seconds: r.duration_s })
+            .collect();
+        Ok(RunReport {
+            output: ImageF32::from_vec(w, h, out),
+            total_s: q.elapsed(),
+            stages,
+        })
+    }
+
+    /// CPU-side upscale border: read the downscaled matrix back, compute
+    /// the border on the host, and write the border region to the device.
+    #[allow(clippy::too_many_arguments)]
+    fn cpu_border(
+        &self,
+        q: &mut CommandQueue,
+        down: &Buffer<f32>,
+        up: &Buffer<f32>,
+        w: usize,
+        h: usize,
+        w4: usize,
+        h4: usize,
+    ) -> Result<(), String> {
+        let mut down_host = vec![0.0f32; w4 * h4];
+        self.read_back(q, down, &mut down_host)?;
+        let down_img = ImageF32::from_vec(w4, h4, down_host);
+        let mut up_host = ImageF32::zeros(w, h);
+        let counters = cpu_stages::upscale_border_into(&down_img, &mut up_host);
+        q.charge_host("host:upscale_border", &counters);
+        // Write exactly the border region into the device buffer.
+        let upv = up.write_view();
+        let mut border_elems = 0u64;
+        for y in [0, 1, h - 2, h - 1] {
+            for x in 0..w {
+                upv.set_raw(y * w + x, up_host.get(x, y));
+                border_elems += 1;
+            }
+        }
+        for y in 2..=h - 3 {
+            for x in [0, 1, w - 2, w - 1] {
+                upv.set_raw(y * w + x, up_host.get(x, y));
+                border_elems += 1;
+            }
+        }
+        let bytes = border_elems * 4;
+        if self.opts.data_transfer {
+            q.charge_bulk("write:up_border", CommandKind::WriteBuffer, bytes);
+        } else {
+            q.charge_map("map-write:up_border", bytes);
+        }
+        Ok(())
+    }
+
+    /// Reduction of the pEdge matrix to its mean, on CPU or GPU per the
+    /// config; returns the mean used by the strength curve.
+    fn reduction(
+        &self,
+        q: &mut CommandQueue,
+        pedge: &Buffer<f32>,
+        n: usize,
+    ) -> Result<f32, String> {
+        if !self.opts.reduction_gpu {
+            // Whole pEdge matrix crosses the bus, then a serial host sum —
+            // Fig. 16's CPU side.
+            let mut host = vec![0.0f32; n];
+            self.read_back(q, pedge, &mut host)?;
+            // f64 accumulation, identical to the CPU reference stage, so
+            // the base GPU pipeline reproduces the CPU output bit-exactly.
+            let sum: f64 = host.iter().map(|&v| f64::from(v)).sum();
+            let mut c = CostCounters::new();
+            c.charge_ops_n(&simgpu::cost::OpCounts::ZERO.adds(1), n as u64);
+            c.global_read_scalar = n as u64 * 4;
+            q.charge_host("host:reduction", &c);
+            return Ok((sum / n as f64) as f32);
+        }
+        let groups = stage1_groups(n);
+        let partials = self.ctx.buffer::<f32>("partials", groups);
+        reduction_stage1_kernel(
+            q,
+            &pedge.view(),
+            n,
+            &partials,
+            self.tuning.reduction_strategy,
+        )
+        .map_err(|e| e.to_string())?;
+        self.sync(q);
+        if groups > self.tuning.stage2_gpu_threshold {
+            // Stage 2 on the device, then a single-value readback.
+            let result = self.ctx.buffer::<f32>("reduction_out", 1);
+            reduction_stage2_kernel(q, &partials.view(), groups, &result)
+                .map_err(|e| e.to_string())?;
+            self.sync(q);
+            let mut one = [0.0f32];
+            self.read_back(q, &result, &mut one)?;
+            Ok(one[0] / n as f32)
+        } else {
+            // Stage 2 on the host: small partial array crosses the bus.
+            let mut part = vec![0.0f32; groups];
+            self.read_back(q, &partials, &mut part)?;
+            let mut c = CostCounters::new();
+            c.charge_ops_n(&simgpu::cost::OpCounts::ZERO.adds(1), groups as u64);
+            c.global_read_scalar = groups as u64 * 4;
+            q.charge_host("host:reduction_stage2", &c);
+            let mut sum = 0.0f32;
+            for v in part {
+                sum += v;
+            }
+            Ok(sum / n as f32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuPipeline;
+    use imagekit::generate;
+    use simgpu::device::DeviceSpec;
+
+    fn vctx() -> Context {
+        Context::with_validation(DeviceSpec::firepro_w8000())
+    }
+
+    fn img64() -> ImageF32 {
+        generate::natural(64, 64, 21)
+    }
+
+    #[test]
+    fn base_pipeline_matches_cpu_bit_exactly() {
+        // With the reduction on the CPU (base config) the mean is computed
+        // identically, so outputs must be bit-exact.
+        let img = img64();
+        let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        let gpu = GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig::none())
+            .run(&img)
+            .unwrap();
+        assert_eq!(gpu.output, cpu.output);
+    }
+
+    #[test]
+    fn all_optimizations_match_cpu_within_tolerance() {
+        let img = img64();
+        let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        let gpu = GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig::all())
+            .run(&img)
+            .unwrap();
+        let diff = gpu.output.max_abs_diff(&cpu.output);
+        assert!(diff < 0.05, "max diff {diff}");
+    }
+
+    #[test]
+    fn every_cumulative_step_is_correct() {
+        let img = img64();
+        let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        for (name, opts) in OptConfig::cumulative_steps() {
+            let gpu = GpuPipeline::new(vctx(), SharpnessParams::default(), opts)
+                .run(&img)
+                .unwrap();
+            let diff = gpu.output.max_abs_diff(&cpu.output);
+            assert!(diff < 0.05, "step `{name}`: max diff {diff}");
+        }
+    }
+
+    #[test]
+    fn optimized_is_faster_than_base_at_scale() {
+        let img = generate::natural(512, 512, 3);
+        let base = GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig::none())
+            .run(&img)
+            .unwrap();
+        let opt = GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig::all())
+            .run(&img)
+            .unwrap();
+        assert!(
+            opt.total_s < base.total_s,
+            "optimized {} should beat base {}",
+            opt.total_s,
+            base.total_s
+        );
+    }
+
+    #[test]
+    fn stage_times_sum_to_total() {
+        let img = img64();
+        for opts in [OptConfig::none(), OptConfig::all()] {
+            let r = GpuPipeline::new(vctx(), SharpnessParams::default(), opts)
+                .run(&img)
+                .unwrap();
+            assert!((r.stages_total() - r.total_s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn border_crossover_switches_device() {
+        let img = img64();
+        let mut tuning = Tuning { border_gpu_min_width: 64, ..Tuning::default() };
+        let opts = OptConfig { border_gpu: true, ..OptConfig::none() };
+        let r = GpuPipeline::new(vctx(), SharpnessParams::default(), opts)
+            .with_tuning(tuning)
+            .run(&img)
+            .unwrap();
+        assert!(r.stages.iter().any(|s| s.name.starts_with("upscale_border_top")));
+        // Below the crossover the border runs on the host.
+        tuning.border_gpu_min_width = 128;
+        let r = GpuPipeline::new(vctx(), SharpnessParams::default(), opts)
+            .with_tuning(tuning)
+            .run(&img)
+            .unwrap();
+        assert!(r.stages.iter().any(|s| s.name == "host:upscale_border"));
+    }
+
+    #[test]
+    fn others_flag_removes_intermediate_finishes() {
+        let img = img64();
+        let base = GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig::none())
+            .run(&img)
+            .unwrap();
+        let others =
+            GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig { others: true, ..OptConfig::none() })
+                .run(&img)
+                .unwrap();
+        let count = |r: &RunReport| r.stages.iter().filter(|s| s.name == "finish").count();
+        assert!(count(&base) > 1);
+        assert_eq!(count(&others), 1);
+    }
+
+    #[test]
+    fn gpu_reduction_mean_close_to_cpu() {
+        let img = generate::natural(128, 128, 5);
+        let p = SharpnessParams::default();
+        let base = GpuPipeline::new(vctx(), p, OptConfig::none()).run(&img).unwrap();
+        let red = GpuPipeline::new(
+            vctx(),
+            p,
+            OptConfig { reduction_gpu: true, ..OptConfig::none() },
+        )
+        .run(&img)
+        .unwrap();
+        let diff = red.output.max_abs_diff(&base.output);
+        assert!(diff < 0.05, "max diff {diff}");
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let img = generate::gradient(24, 18); // 18 not a multiple of 4
+        let r = GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig::none()).run(&img);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! Memory-bounded strip processing: sharpen images larger than the device
+//! memory budget by streaming horizontal strips through the pipeline.
+//!
+//! The paper assumes the whole frame fits on the card (4 GiB on the
+//! W8000). Embedded targets — the TVs and cameras of its introduction —
+//! often cannot; this module processes the image in strips with an
+//! *overlap-and-discard* scheme:
+//!
+//! * the image is cut into strips of `strip_rows` rows; each strip is
+//!   extended by a [`MARGIN`]-row halo on both sides (clamped at the image
+//!   edges) into a standalone sub-image;
+//! * **pass 1** runs Sobel per sub-image and tree-reduces only the strip's
+//!   *owned* rows, accumulating the exact global pEdge sum (owned rows are
+//!   far enough from sub-image edges that their Sobel values equal the
+//!   full-image values);
+//! * **pass 2** re-runs the full pipeline per sub-image with the *global*
+//!   mean injected ([`GpuPipeline::run_with_mean`]) and keeps only the
+//!   owned rows.
+//!
+//! The margin is sized so every per-pixel formula sees exactly the data it
+//! would see in a full-image run: the upscale body anchors blocks at
+//! `4·bj+2` (±6 rows of support), Sobel and overshoot need ±1, and the
+//! sub-image's own border treatment touches only its outer two rows —
+//! all inside an 8-row halo. Strip alignment to multiples of 4 keeps the
+//! downscale grid identical. The result therefore matches the whole-image
+//! pipeline to within the reduction's float-summation tolerance, which
+//! the tests assert.
+//!
+//! Cost: each halo row is uploaded twice and the source is uploaded in
+//! both passes, trading ~2× transfer volume for an O(strip) device
+//! footprint ([`StripReport::peak_device_bytes`]).
+
+use imagekit::ImageF32;
+
+use crate::gpu::kernels::reduction::{
+    reduction_stage1_range_kernel, stage1_groups,
+};
+use crate::gpu::kernels::sobel::sobel_vec4_kernel;
+use crate::gpu::kernels::{KernelTuning, SrcImage};
+use crate::gpu::opts::OptConfig;
+use crate::gpu::pipeline::GpuPipeline;
+use crate::memory::device_bytes_required;
+use crate::params::{check_shape, SCALE};
+
+/// Halo rows added above and below each strip (multiple of 4, ≥ 8).
+pub const MARGIN: usize = 8;
+
+/// Result of a strip run.
+#[derive(Debug, Clone)]
+pub struct StripReport {
+    /// The sharpened image (same shape as the input).
+    pub output: ImageF32,
+    /// Total simulated time across both passes and all strips.
+    pub total_s: f64,
+    /// Number of strips processed.
+    pub strips: usize,
+    /// Largest per-strip device footprint, bytes.
+    pub peak_device_bytes: u64,
+    /// The global pEdge mean computed in pass 1.
+    pub mean: f32,
+}
+
+/// Strip-streaming wrapper around a [`GpuPipeline`].
+#[derive(Clone)]
+pub struct StripPipeline {
+    inner: GpuPipeline,
+    strip_rows: usize,
+}
+
+impl StripPipeline {
+    /// Wraps a pipeline; `strip_rows` must be a positive multiple of 4
+    /// and at least 16.
+    ///
+    /// # Errors
+    /// If `strip_rows` is invalid.
+    pub fn new(inner: GpuPipeline, strip_rows: usize) -> Result<Self, String> {
+        if strip_rows < 16 || strip_rows % SCALE != 0 {
+            return Err(format!(
+                "strip_rows must be a multiple of {SCALE} and >= 16, got {strip_rows}"
+            ));
+        }
+        Ok(StripPipeline { inner, strip_rows })
+    }
+
+    /// The wrapped pipeline.
+    pub fn pipeline(&self) -> &GpuPipeline {
+        &self.inner
+    }
+
+    /// Strip boundaries `(owned_start, owned_end, sub_start, sub_end)` for
+    /// an image of `h` rows.
+    fn strips_for(&self, h: usize) -> Vec<(usize, usize, usize, usize)> {
+        let mut out = Vec::new();
+        let mut r0 = 0;
+        while r0 < h {
+            let r1 = (r0 + self.strip_rows).min(h);
+            let mut sub0 = r0.saturating_sub(MARGIN);
+            let sub1 = (r1 + MARGIN).min(h);
+            // A short tail strip could fall below the pipeline's 16-row
+            // minimum; widen the halo upward to compensate (h >= 16 is
+            // guaranteed by the shape check, and all quantities stay
+            // multiples of 4).
+            if sub1 - sub0 < 16 {
+                sub0 = sub1 - 16;
+            }
+            out.push((r0, r1, sub0, sub1));
+            r0 = r1;
+        }
+        out
+    }
+
+    /// Extracts rows `[a, b)` of `img` as a standalone image.
+    fn crop_rows(img: &ImageF32, a: usize, b: usize) -> ImageF32 {
+        let w = img.width();
+        ImageF32::from_vec(w, b - a, img.pixels()[a * w..b * w].to_vec())
+    }
+
+    /// Pass 1: global pEdge mean from per-strip Sobel + ranged reduction.
+    fn global_mean(&self, orig: &ImageF32) -> Result<(f32, f64), String> {
+        let ctx = self.inner.context();
+        let (w, h) = (orig.width(), orig.height());
+        let tune = KernelTuning { others: self.inner.opts().others };
+        let mut sum = 0.0f64;
+        let mut elapsed = 0.0f64;
+        for (r0, r1, sub0, sub1) in self.strips_for(h) {
+            let sub = Self::crop_rows(orig, sub0, sub1);
+            let sub_h = sub.height();
+            let mut q = ctx.queue();
+            // Upload the zero-padded sub-image with one rect write.
+            let padded = ctx.buffer::<f32>("padded", (w + 2) * (sub_h + 2));
+            q.enqueue_write_rect(&padded, w + 2, 1, 1, sub.pixels(), w, sub_h)
+                .map_err(|e| e.to_string())?;
+            let src = SrcImage { view: padded.view(), pitch: w + 2, pad: 1 };
+            let pedge = ctx.buffer::<f32>("pEdge", w * sub_h);
+            sobel_vec4_kernel(&mut q, &src, &pedge, w, sub_h, tune)
+                .map_err(|e| e.to_string())?;
+            // Reduce only the owned rows: their Sobel values are exact.
+            // Global edge rows (0 and h-1) are zero in the full image too,
+            // and the sub-image reproduces that because sub0/sub1 clamp.
+            let own_start = (r0 - sub0) * w;
+            let own_len = (r1 - r0) * w;
+            let partials = ctx.buffer::<f32>("partials", stage1_groups(own_len));
+            let (groups, _) = reduction_stage1_range_kernel(
+                &mut q,
+                &pedge.view(),
+                own_start,
+                own_len,
+                &partials,
+                self.inner.tuning().reduction_strategy,
+            )
+            .map_err(|e| e.to_string())?;
+            let mut part = vec![0.0f32; groups];
+            q.enqueue_read(&partials, &mut part).map_err(|e| e.to_string())?;
+            sum += part.iter().map(|&v| f64::from(v)).sum::<f64>();
+            q.finish();
+            elapsed += q.elapsed();
+        }
+        Ok(((sum / (w * h) as f64) as f32, elapsed))
+    }
+
+    /// Runs the strip pipeline.
+    ///
+    /// # Errors
+    /// On unsupported shapes/parameters, or if a strip's sub-image falls
+    /// below the 16-row minimum (image too short for the configuration).
+    pub fn run(&self, orig: &ImageF32) -> Result<StripReport, String> {
+        let (w, h) = (orig.width(), orig.height());
+        check_shape(w, h)?;
+        let (mean, mut total_s) = self.global_mean(orig)?;
+        let mut output = ImageF32::zeros(w, h);
+        let mut peak = 0u64;
+        let strips = self.strips_for(h);
+        for &(r0, r1, sub0, sub1) in &strips {
+            let sub = Self::crop_rows(orig, sub0, sub1);
+            let report = self.inner.run_with_mean(&sub, Some(mean))?;
+            total_s += report.total_s;
+            peak = peak.max(device_bytes_required(w, sub.height(), self.inner.opts()));
+            // Keep only the owned rows.
+            let keep0 = r0 - sub0;
+            for y in 0..(r1 - r0) {
+                for x in 0..w {
+                    output.set(x, r0 + y, report.output.get(x, keep0 + y));
+                }
+            }
+        }
+        Ok(StripReport { output, total_s, strips: strips.len(), peak_device_bytes: peak, mean })
+    }
+}
+
+/// Suggests the largest strip row count (multiple of 4) whose per-strip
+/// footprint under `opts` fits `device_budget_bytes`, for an image of
+/// width `w`. Returns `None` if even 16 rows (plus halos) do not fit.
+pub fn strip_rows_for_budget(
+    device_budget_bytes: u64,
+    w: usize,
+    opts: &OptConfig,
+) -> Option<usize> {
+    let mut best = None;
+    let mut rows = 16usize;
+    while device_bytes_required(w, rows + 2 * MARGIN, opts) <= device_budget_bytes {
+        best = Some(rows);
+        rows += 4;
+        if rows > 1 << 20 {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuPipeline;
+    use crate::params::SharpnessParams;
+    use imagekit::generate;
+    use simgpu::context::Context;
+    use simgpu::device::DeviceSpec;
+
+    fn inner() -> GpuPipeline {
+        GpuPipeline::new(
+            Context::with_validation(DeviceSpec::firepro_w8000()),
+            SharpnessParams::default(),
+            OptConfig::all(),
+        )
+    }
+
+    #[test]
+    fn strip_output_matches_cpu_reference() {
+        let img = generate::natural(64, 160, 21);
+        let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        for strip_rows in [16usize, 32, 48, 64] {
+            let sp = StripPipeline::new(inner(), strip_rows).unwrap();
+            let run = sp.run(&img).unwrap();
+            let diff = run.output.max_abs_diff(&cpu.output);
+            assert!(diff < 0.05, "strip_rows {strip_rows}: diff {diff}");
+            assert_eq!(run.strips, 160usize.div_ceil(strip_rows));
+        }
+    }
+
+    #[test]
+    fn strip_output_matches_whole_image_gpu_run() {
+        let img = generate::natural(64, 128, 4);
+        let full = inner().run(&img).unwrap();
+        let run = StripPipeline::new(inner(), 32).unwrap().run(&img).unwrap();
+        let diff = run.output.max_abs_diff(&full.output);
+        assert!(diff < 0.05, "diff {diff}");
+    }
+
+    #[test]
+    fn single_strip_degenerates_to_full_image() {
+        let img = generate::natural(64, 64, 7);
+        let run = StripPipeline::new(inner(), 64).unwrap().run(&img).unwrap();
+        assert_eq!(run.strips, 1);
+        let full = inner().run(&img).unwrap();
+        assert!(run.output.max_abs_diff(&full.output) < 0.05);
+    }
+
+    #[test]
+    fn peak_memory_is_bounded_by_strip_size() {
+        let img = generate::natural(64, 256, 9);
+        let run = StripPipeline::new(inner(), 32).unwrap().run(&img).unwrap();
+        let full_footprint = device_bytes_required(64, 256, &OptConfig::all());
+        assert!(
+            run.peak_device_bytes < full_footprint,
+            "{} should be below the full footprint {}",
+            run.peak_device_bytes,
+            full_footprint
+        );
+        // ...but strips cost extra transfer time.
+        let full = inner().run(&img).unwrap();
+        assert!(run.total_s > full.total_s);
+    }
+
+    #[test]
+    fn mean_matches_global_reduction() {
+        let img = generate::natural(64, 128, 11);
+        let run = StripPipeline::new(inner(), 32).unwrap().run(&img).unwrap();
+        let (pedge, _) = crate::cpu::stages::sobel(&img);
+        let (mean, _) = crate::cpu::stages::reduction(&pedge);
+        let rel = (f64::from(run.mean) - f64::from(mean)).abs() / f64::from(mean).max(1e-9);
+        assert!(rel < 1e-4, "strip mean {} vs global {}", run.mean, mean);
+    }
+
+    #[test]
+    fn short_tail_strips_are_widened_to_the_minimum() {
+        // h = 68 with 64-row strips leaves a 4-row tail whose natural
+        // sub-image (4 + 8 halo) would be too short; the widened halo
+        // keeps it legal and the output still matches the reference.
+        for h in [68usize, 72, 84] {
+            let img = generate::natural(32, h, 5);
+            let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+            let run = StripPipeline::new(inner(), 64).unwrap().run(&img).unwrap();
+            let diff = run.output.max_abs_diff(&cpu.output);
+            assert!(diff < 0.05, "h={h}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_strip_rows() {
+        assert!(StripPipeline::new(inner(), 0).is_err());
+        assert!(StripPipeline::new(inner(), 12).is_err());
+        assert!(StripPipeline::new(inner(), 18).is_err());
+        assert!(StripPipeline::new(inner(), 16).is_ok());
+    }
+
+    #[test]
+    fn budget_planner_is_consistent() {
+        let opts = OptConfig::all();
+        let budget = 8 << 20;
+        let rows = strip_rows_for_budget(budget, 256, &opts).unwrap();
+        assert!(device_bytes_required(256, rows + 2 * MARGIN, &opts) <= budget);
+        assert!(device_bytes_required(256, rows + 4 + 2 * MARGIN, &opts) > budget);
+        // Tiny budget: nothing fits.
+        assert_eq!(strip_rows_for_budget(1024, 256, &opts), None);
+    }
+}

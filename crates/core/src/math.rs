@@ -1,0 +1,264 @@
+//! Shared per-pixel math.
+//!
+//! Every pixel formula of the pipeline lives here, in exactly one place,
+//! and is called by **both** the CPU reference implementation and the GPU
+//! kernels. Because `f32` arithmetic is evaluation-order sensitive, sharing
+//! the functions (and therefore the operation order) is what lets the test
+//! suite require *bit-exact* agreement between CPU and GPU outputs for
+//! every stage, for every optimization variant.
+
+use crate::params::{SharpnessParams, INTERP};
+
+/// Mean of a 4×4 downscale block (row-major 16 values), paper Fig. 2.
+#[inline]
+pub fn downscale_pixel(block: &[f32; 16]) -> f32 {
+    let mut s = 0.0f32;
+    for &v in block {
+        s += v;
+    }
+    s * (1.0 / 16.0)
+}
+
+/// One value of an upscaled 4×4 block (paper Fig. 5): row phase `r`,
+/// column phase `c` in `0..4`, interpolating the 2×2 downscaled window
+/// `(d00 d01; d10 d11)` — `P·D·Pᵀ` evaluated at `(r, c)`.
+#[inline]
+pub fn upscale_value(d00: f32, d01: f32, d10: f32, d11: f32, r: usize, c: usize) -> f32 {
+    let top = INTERP[c][0] * d00 + INTERP[c][1] * d01;
+    let bot = INTERP[c][0] * d10 + INTERP[c][1] * d11;
+    INTERP[r][0] * top + INTERP[r][1] * bot
+}
+
+/// 1-D border interpolation between two downscaled samples at phase
+/// `c in 0..4` (paper Fig. 3).
+#[inline]
+pub fn border_interp(a: f32, b: f32, c: usize) -> f32 {
+    INTERP[c][0] * a + INTERP[c][1] * b
+}
+
+/// Sobel response from a 3×3 neighbourhood, row-major
+/// `[tl, t, tr, l, c, r, bl, b, br]` (paper Fig. 7): `|Gx| + |Gy|`.
+///
+/// The centre value is unused — the paper's "fetching eight nodes".
+#[inline]
+pub fn sobel_pixel(n: &[f32; 9]) -> f32 {
+    let gx = (n[2] + 2.0 * n[5] + n[8]) - (n[0] + 2.0 * n[3] + n[6]);
+    let gy = (n[6] + 2.0 * n[7] + n[8]) - (n[0] + 2.0 * n[1] + n[2]);
+    gx.abs() + gy.abs()
+}
+
+/// Brightness-strength curve: how strongly an edge of magnitude `edge`
+/// is amplified, given the global pEdge mean. Contains the stage's
+/// expensive `powf` (the paper: "many exponentiations resulting in big
+/// overhead").
+#[inline]
+pub fn strength(edge: f32, mean: f32, p: &SharpnessParams) -> f32 {
+    let x = edge / (mean + p.eps);
+    (p.gain * x.powf(p.gamma)).clamp(0.0, p.s_max)
+}
+
+/// Preliminary sharpened value: upscaled + strength(pEdge) · pError.
+#[inline]
+pub fn preliminary(up: f32, edge: f32, err: f32, mean: f32, p: &SharpnessParams) -> f32 {
+    up + strength(edge, mean, p) * err
+}
+
+/// Min and max of a 3×3 neighbourhood (row-major 9 values).
+#[inline]
+pub fn minmax3x3(n: &[f32; 9]) -> (f32, f32) {
+    let mut mn = n[0];
+    let mut mx = n[0];
+    for &v in &n[1..] {
+        mn = mn.min(v);
+        mx = mx.max(v);
+    }
+    (mn, mx)
+}
+
+/// Overshoot control for one body pixel (paper Fig. 8): clamps the
+/// preliminary value `prelim` against the local `[mn, mx]` envelope of the
+/// original image, keeping a tunable fraction `osc` of the excursion,
+/// then clamps to the display range.
+#[inline]
+pub fn overshoot(prelim: f32, mn: f32, mx: f32, p: &SharpnessParams) -> f32 {
+    if prelim > mx {
+        (mx + p.osc * (prelim - mx)).min(255.0)
+    } else if prelim < mn {
+        (mn - p.osc * (mn - prelim)).max(0.0)
+    } else {
+        prelim.clamp(0.0, 255.0)
+    }
+}
+
+/// Border handling of the final matrix: the preliminary value clamped to
+/// the display range (the paper copies the preliminary border through).
+#[inline]
+pub fn final_border(prelim: f32) -> f32 {
+    prelim.clamp(0.0, 255.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SharpnessParams {
+        SharpnessParams::default()
+    }
+
+    #[test]
+    fn downscale_of_constant_block() {
+        assert_eq!(downscale_pixel(&[8.0; 16]), 8.0);
+        let mut block = [0.0f32; 16];
+        block[0] = 16.0;
+        assert_eq!(downscale_pixel(&block), 1.0);
+    }
+
+    #[test]
+    fn upscale_phase_zero_is_identity() {
+        // r = c = 0 picks d00 exactly.
+        assert_eq!(upscale_value(7.0, 1.0, 2.0, 3.0, 0, 0), 7.0);
+    }
+
+    #[test]
+    fn upscale_is_convex_combination() {
+        // Output of every phase lies within [min, max] of the support.
+        let (a, b, c, d) = (1.0, 9.0, 4.0, 6.5);
+        for r in 0..4 {
+            for cph in 0..4 {
+                let v = upscale_value(a, b, c, d, r, cph);
+                assert!((1.0..=9.0).contains(&v), "phase ({r},{cph}) -> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn upscale_midpoint() {
+        // Phase (2,2) is the average of all four corners for equal weights.
+        let v = upscale_value(0.0, 4.0, 8.0, 12.0, 2, 2);
+        assert_eq!(v, 6.0);
+    }
+
+    #[test]
+    fn upscale_equals_bilinear_interpolation() {
+        // P·D·Pᵀ with linear-phase rows is exactly bilinear interpolation
+        // at offsets (r/4, c/4) — verify against the direct formula for
+        // every phase pair.
+        let (d00, d01, d10, d11) = (13.0f32, 7.0, 2.5, 40.0);
+        for r in 0..4 {
+            for c in 0..4 {
+                let (a, b) = (r as f32 / 4.0, c as f32 / 4.0);
+                let bilinear = (1.0 - a) * ((1.0 - b) * d00 + b * d01)
+                    + a * ((1.0 - b) * d10 + b * d11);
+                let got = upscale_value(d00, d01, d10, d11, r, c);
+                assert!((got - bilinear).abs() < 1e-4, "({r},{c}): {got} vs {bilinear}");
+            }
+        }
+    }
+
+    #[test]
+    fn downscale_is_linear() {
+        let block: [f32; 16] = std::array::from_fn(|i| i as f32);
+        let scaled: [f32; 16] = std::array::from_fn(|i| 3.0 * i as f32);
+        assert!((downscale_pixel(&scaled) - 3.0 * downscale_pixel(&block)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sobel_scales_with_contrast() {
+        let n: [f32; 9] = [0.0, 5.0, 10.0, 0.0, 5.0, 10.0, 0.0, 5.0, 10.0];
+        let doubled: [f32; 9] = std::array::from_fn(|i| 2.0 * n[i]);
+        assert_eq!(sobel_pixel(&doubled), 2.0 * sobel_pixel(&n));
+    }
+
+    #[test]
+    fn border_interp_endpoints() {
+        assert_eq!(border_interp(3.0, 11.0, 0), 3.0);
+        assert_eq!(border_interp(3.0, 11.0, 2), 7.0);
+    }
+
+    #[test]
+    fn sobel_zero_on_constant() {
+        assert_eq!(sobel_pixel(&[5.0; 9]), 0.0);
+    }
+
+    #[test]
+    fn sobel_horizontal_step() {
+        // Left column 0, right column 10: |Gx| = 40, |Gy| = 0.
+        let n = [0.0, 5.0, 10.0, 0.0, 5.0, 10.0, 0.0, 5.0, 10.0];
+        assert_eq!(sobel_pixel(&n), 40.0);
+    }
+
+    #[test]
+    fn sobel_symmetric_under_flip() {
+        let n = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let flipped = [3.0, 2.0, 1.0, 6.0, 5.0, 4.0, 9.0, 8.0, 7.0];
+        assert_eq!(sobel_pixel(&n), sobel_pixel(&flipped));
+    }
+
+    #[test]
+    fn strength_monotone_and_clamped() {
+        let p = params();
+        let s0 = strength(0.0, 10.0, &p);
+        let s1 = strength(5.0, 10.0, &p);
+        let s2 = strength(50.0, 10.0, &p);
+        assert_eq!(s0, 0.0);
+        assert!(s1 > s0 && s2 > s1);
+        // Very large edge hits the clamp.
+        assert_eq!(strength(1e12, 1.0, &p), p.s_max);
+    }
+
+    #[test]
+    fn strength_safe_on_zero_mean() {
+        let p = params();
+        let s = strength(4.0, 0.0, &p);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn preliminary_is_up_plus_scaled_error() {
+        let p = params();
+        let v = preliminary(100.0, 0.0, 50.0, 10.0, &p);
+        assert_eq!(v, 100.0); // zero edge -> zero strength
+        let v2 = preliminary(100.0, 20.0, 1.0, 10.0, &p);
+        assert!(v2 > 100.0);
+    }
+
+    #[test]
+    fn minmax_basics() {
+        let n = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0];
+        assert_eq!(minmax3x3(&n), (1.0, 9.0));
+    }
+
+    #[test]
+    fn overshoot_branches() {
+        let p = params();
+        // Inside envelope: plain clamp.
+        assert_eq!(overshoot(100.0, 50.0, 150.0, &p), 100.0);
+        // Above the local max: partial excursion kept.
+        let v = overshoot(200.0, 50.0, 150.0, &p);
+        assert!((v - (150.0 + 0.35 * 50.0)).abs() < 1e-4);
+        // Below the local min: mirrored.
+        let v = overshoot(10.0, 50.0, 150.0, &p);
+        assert!((v - (50.0 - 0.35 * 40.0)).abs() < 1e-4);
+        // Display clamp dominates extreme overshoot.
+        assert_eq!(overshoot(1e6, 50.0, 254.0, &p), 255.0);
+        assert_eq!(overshoot(-1e6, 1.0, 150.0, &p), 0.0);
+    }
+
+    #[test]
+    fn overshoot_output_always_in_display_range() {
+        let p = params();
+        for prelim in [-500.0f32, -1.0, 0.0, 42.0, 255.0, 256.0, 1000.0] {
+            for (mn, mx) in [(0.0f32, 255.0f32), (10.0, 20.0), (200.0, 250.0)] {
+                let v = overshoot(prelim, mn, mx, &p);
+                assert!((0.0..=255.0).contains(&v), "{prelim} {mn} {mx} -> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn final_border_clamps() {
+        assert_eq!(final_border(-3.0), 0.0);
+        assert_eq!(final_border(300.0), 255.0);
+        assert_eq!(final_border(77.5), 77.5);
+    }
+}

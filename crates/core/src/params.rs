@@ -1,0 +1,131 @@
+//! Algorithm parameters and the interpolation matrix.
+//!
+//! The paper leaves several constants unspecified ("predefined parameter
+//! matrix", "user-defined parameters"); the concrete choices here are
+//! documented in DESIGN.md §5 and keep the structure (and arithmetic class)
+//! of every stage intact.
+
+/// The 4×2 interpolation ("parameter") matrix `P` of the upscale stage
+/// (paper Fig. 5): a 4×4 upscaled block is `P · D · Pᵀ` for a 2×2
+/// downscaled window `D`.
+///
+/// Rows are linear-interpolation weights at phases 0, ¼, ½, ¾ between the
+/// two supporting samples.
+pub const INTERP: [[f32; 2]; 4] =
+    [[1.0, 0.0], [0.75, 0.25], [0.5, 0.5], [0.25, 0.75]];
+
+/// Downscale/upscale factor (the paper's fixed 4).
+pub const SCALE: usize = 4;
+
+/// User-tunable sharpening parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharpnessParams {
+    /// Gain of the brightness-strength curve.
+    pub gain: f32,
+    /// Exponent of the brightness-strength curve (the stage's expensive
+    /// `pow` — the paper notes "many exponentiations resulting in big
+    /// overhead").
+    pub gamma: f32,
+    /// Upper clamp of the strength value.
+    pub s_max: f32,
+    /// Overshoot-control tuning factor: how much of the excursion past the
+    /// local min/max is kept.
+    pub osc: f32,
+    /// Small epsilon added to the pEdge mean to avoid division by zero on
+    /// constant images.
+    pub eps: f32,
+}
+
+impl Default for SharpnessParams {
+    fn default() -> Self {
+        // gain > 1 so that edges at or above the mean magnitude are
+        // amplified (strength > 1) while weak texture (edge << mean) is
+        // slightly suppressed — the adaptive-sharpening behaviour the
+        // strength curve exists for.
+        SharpnessParams { gain: 1.8, gamma: 0.5, s_max: 4.0, osc: 0.35, eps: 1.0 }
+    }
+}
+
+impl SharpnessParams {
+    /// Validates parameter ranges, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.gain.is_finite() || self.gain < 0.0 {
+            return Err(format!("gain must be finite and >= 0, got {}", self.gain));
+        }
+        if !self.gamma.is_finite() || self.gamma <= 0.0 {
+            return Err(format!("gamma must be finite and > 0, got {}", self.gamma));
+        }
+        if !self.s_max.is_finite() || self.s_max <= 0.0 {
+            return Err(format!("s_max must be finite and > 0, got {}", self.s_max));
+        }
+        if !(0.0..=1.0).contains(&self.osc) {
+            return Err(format!("osc must be in [0, 1], got {}", self.osc));
+        }
+        if !self.eps.is_finite() || self.eps <= 0.0 {
+            return Err(format!("eps must be finite and > 0, got {}", self.eps));
+        }
+        Ok(())
+    }
+}
+
+/// Validates that an image shape is processable by the pipeline: both
+/// dimensions multiples of [`SCALE`] and at least 16 pixels (the upscale
+/// border scheme needs a ≥2×2 downscaled interior plus two border
+/// rows/columns on each side).
+pub fn check_shape(width: usize, height: usize) -> Result<(), String> {
+    if width < 16 || height < 16 {
+        return Err(format!("image must be at least 16x16, got {width}x{height}"));
+    }
+    if !width.is_multiple_of(SCALE) || !height.is_multiple_of(SCALE) {
+        return Err(format!(
+            "image dimensions must be multiples of {SCALE}, got {width}x{height}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interp_rows_are_affine() {
+        for row in INTERP {
+            assert!((row[0] + row[1] - 1.0).abs() < 1e-6);
+            assert!(row[0] >= 0.0 && row[1] >= 0.0);
+        }
+        // Phase 0 is the identity row.
+        assert_eq!(INTERP[0], [1.0, 0.0]);
+    }
+
+    #[test]
+    fn default_params_valid() {
+        assert!(SharpnessParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let bad = [
+            SharpnessParams { gain: -1.0, ..SharpnessParams::default() },
+            SharpnessParams { gamma: 0.0, ..SharpnessParams::default() },
+            SharpnessParams { osc: 1.5, ..SharpnessParams::default() },
+            SharpnessParams { eps: 0.0, ..SharpnessParams::default() },
+            SharpnessParams { s_max: f32::NAN, ..SharpnessParams::default() },
+        ];
+        for p in bad {
+            assert!(p.validate().is_err(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn shape_checks() {
+        assert!(check_shape(256, 256).is_ok());
+        assert!(check_shape(448, 448).is_ok());
+        assert!(check_shape(16, 16).is_ok());
+        assert!(check_shape(12, 16).is_err()); // too small
+        assert!(check_shape(100, 100).is_ok());
+        assert!(check_shape(102, 100).is_err()); // not multiple of 4
+        assert!(check_shape(0, 0).is_err());
+    }
+}

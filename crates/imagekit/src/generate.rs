@@ -1,0 +1,174 @@
+//! Deterministic synthetic image generators.
+//!
+//! The paper benchmarks on square brightness matrices from 256×256 up to
+//! 8192×8192; the content itself is unspecified (sharpness cost is
+//! data-independent apart from which overshoot branch each pixel takes).
+//! These generators provide reproducible content with controlled edge
+//! structure so that functional tests, quality metrics, and the overshoot
+//! branches are all properly exercised.
+
+use crate::image::ImageF32;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Horizontal-then-vertical luminance ramp: smooth content, no hard edges.
+pub fn gradient(width: usize, height: usize) -> ImageF32 {
+    ImageF32::from_fn(width, height, |x, y| {
+        let gx = x as f32 / (width.max(2) - 1) as f32;
+        let gy = y as f32 / (height.max(2) - 1) as f32;
+        255.0 * (0.5 * gx + 0.5 * gy)
+    })
+}
+
+/// Checkerboard with `cell`-pixel squares: maximal hard edges, the
+/// worst case for overshoot control.
+pub fn checkerboard(width: usize, height: usize, cell: usize) -> ImageF32 {
+    let cell = cell.max(1);
+    ImageF32::from_fn(width, height, |x, y| {
+        if ((x / cell) + (y / cell)).is_multiple_of(2) {
+            230.0
+        } else {
+            25.0
+        }
+    })
+}
+
+/// Zone plate (concentric chirp): a classical sharpness/aliasing test chart
+/// sweeping all spatial frequencies.
+pub fn zone_plate(width: usize, height: usize) -> ImageF32 {
+    let cx = width as f32 / 2.0;
+    let cy = height as f32 / 2.0;
+    let k = 0.35 / (width.max(height) as f32);
+    ImageF32::from_fn(width, height, |x, y| {
+        let dx = x as f32 - cx;
+        let dy = y as f32 - cy;
+        let r2 = dx * dx + dy * dy;
+        127.5 + 127.5 * (k * r2).cos()
+    })
+}
+
+/// Sum of `n` random Gaussian blobs: smooth "photographic" lighting with a
+/// few soft features. Deterministic for a given seed.
+pub fn gaussian_blobs(width: usize, height: usize, n: usize, seed: u64) -> ImageF32 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blobs: Vec<(f32, f32, f32, f32)> = (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..width as f32),
+                rng.gen_range(0.0..height as f32),
+                rng.gen_range(width as f32 / 16.0..width as f32 / 4.0),
+                rng.gen_range(60.0..220.0),
+            )
+        })
+        .collect();
+    ImageF32::from_fn(width, height, |x, y| {
+        let mut v = 20.0f32;
+        for &(bx, by, sigma, amp) in &blobs {
+            let dx = x as f32 - bx;
+            let dy = y as f32 - by;
+            v += amp * (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp();
+        }
+        v.min(255.0)
+    })
+}
+
+/// Lattice value noise with bilinear interpolation: mid-frequency texture
+/// (grass/fabric-like). Deterministic for a given seed.
+pub fn value_noise(width: usize, height: usize, cell: usize, seed: u64) -> ImageF32 {
+    let cell = cell.max(2);
+    let gw = width / cell + 2;
+    let gh = height / cell + 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lattice: Vec<f32> = (0..gw * gh).map(|_| rng.gen_range(0.0f32..255.0)).collect();
+    let at = |gx: usize, gy: usize| lattice[gy * gw + gx];
+    ImageF32::from_fn(width, height, |x, y| {
+        let fx = x as f32 / cell as f32;
+        let fy = y as f32 / cell as f32;
+        let (x0, y0) = (fx as usize, fy as usize);
+        let (tx, ty) = (fx - x0 as f32, fy - y0 as f32);
+        let a = at(x0, y0) * (1.0 - tx) + at(x0 + 1, y0) * tx;
+        let b = at(x0, y0 + 1) * (1.0 - tx) + at(x0 + 1, y0 + 1) * tx;
+        a * (1.0 - ty) + b * ty
+    })
+}
+
+/// A "natural" composite: blobs for lighting, value noise for texture, and
+/// a few checkerboard patches for hard edges. The default workload for the
+/// figure-reproduction harness.
+pub fn natural(width: usize, height: usize, seed: u64) -> ImageF32 {
+    let blobs = gaussian_blobs(width, height, 6, seed);
+    let noise = value_noise(width, height, 13, seed ^ 0x9e37_79b9);
+    let check = checkerboard(width, height, (width / 32).max(1));
+    ImageF32::from_fn(width, height, |x, y| {
+        let base = 0.6 * blobs.get(x, y) + 0.3 * noise.get(x, y);
+        // Hard-edge patch in the lower-right quadrant only.
+        let v = if x > width / 2 && y > height / 2 {
+            0.5 * base + 0.5 * check.get(x, y)
+        } else {
+            base
+        };
+        v.clamp(0.0, 255.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: usize = 64;
+    const H: usize = 48;
+
+    fn in_range(img: &ImageF32) -> bool {
+        img.pixels().iter().all(|&v| (0.0..=255.0).contains(&v))
+    }
+
+    #[test]
+    fn all_generators_in_display_range() {
+        assert!(in_range(&gradient(W, H)));
+        assert!(in_range(&checkerboard(W, H, 8)));
+        assert!(in_range(&zone_plate(W, H)));
+        assert!(in_range(&gaussian_blobs(W, H, 5, 42)));
+        assert!(in_range(&value_noise(W, H, 8, 42)));
+        assert!(in_range(&natural(W, H, 42)));
+    }
+
+    #[test]
+    fn gradient_monotone_along_rows() {
+        let g = gradient(W, H);
+        for x in 1..W {
+            assert!(g.get(x, 10) >= g.get(x - 1, 10));
+        }
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let c = checkerboard(16, 16, 4);
+        assert_ne!(c.get(0, 0), c.get(4, 0));
+        assert_eq!(c.get(0, 0), c.get(8, 0));
+        assert_eq!(c.get(0, 0), c.get(4, 4));
+    }
+
+    #[test]
+    fn seeded_generators_are_deterministic() {
+        assert_eq!(gaussian_blobs(W, H, 5, 7), gaussian_blobs(W, H, 5, 7));
+        assert_eq!(value_noise(W, H, 8, 7), value_noise(W, H, 8, 7));
+        assert_eq!(natural(W, H, 7), natural(W, H, 7));
+        assert_ne!(natural(W, H, 7), natural(W, H, 8));
+    }
+
+    #[test]
+    fn zone_plate_centre_is_bright() {
+        let z = zone_plate(W, W);
+        assert!(z.get(W / 2, W / 2) > 250.0);
+    }
+
+    #[test]
+    fn natural_has_edges_and_smooth_regions() {
+        let n = natural(128, 128, 3);
+        // Hard-edge quadrant should contain larger jumps than the smooth one.
+        let jump = |x: usize, y: usize| (n.get(x + 1, y) - n.get(x, y)).abs();
+        let max_smooth = (8..56).map(|x| jump(x, 20)).fold(0.0f32, f32::max);
+        let max_edge = (72..120).map(|x| jump(x, 100)).fold(0.0f32, f32::max);
+        assert!(max_edge > max_smooth);
+    }
+}

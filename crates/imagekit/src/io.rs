@@ -1,0 +1,185 @@
+//! Minimal Netpbm (PGM/PPM) reading and writing.
+//!
+//! PGM (`P5`) covers the grayscale pipeline inputs/outputs; PPM (`P6`) is
+//! used by the RGB extension example. Implemented from the Netpbm spec so
+//! the crate stays dependency-free.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::image::ImageU8;
+use crate::rgb::RgbImageU8;
+
+/// Writes a grayscale image as binary PGM (`P5`, maxval 255).
+pub fn write_pgm(path: &Path, img: &ImageU8) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    w.write_all(img.pixels())?;
+    Ok(())
+}
+
+/// Writes an RGB image as binary PPM (`P6`, maxval 255).
+pub fn write_ppm(path: &Path, img: &RgbImageU8) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "P6\n{} {}\n255\n", img.width(), img.height())?;
+    w.write_all(img.bytes())?;
+    Ok(())
+}
+
+/// Reads a PGM image — binary (`P5`) or ASCII (`P2`) — with maxval ≤ 255.
+pub fn read_pgm(path: &Path) -> io::Result<ImageU8> {
+    let mut r = BufReader::new(File::open(path)?);
+    let magic = read_token(&mut r)?;
+    if magic != "P5" && magic != "P2" {
+        return Err(bad_data(format!("expected P5/P2 magic, got {magic:?}")));
+    }
+    let width: usize = parse_token(&mut r)?;
+    let height: usize = parse_token(&mut r)?;
+    let maxval: usize = parse_token(&mut r)?;
+    if maxval == 0 || maxval > 255 {
+        return Err(bad_data(format!("unsupported maxval {maxval}")));
+    }
+    let n = width * height;
+    let data = if magic == "P5" {
+        let mut data = vec![0u8; n];
+        r.read_exact(&mut data)?;
+        data
+    } else {
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(parse_token::<_, u16>(&mut r)?.min(255) as u8);
+        }
+        data
+    };
+    Ok(ImageU8::from_vec(width, height, data))
+}
+
+/// Reads a binary PPM (`P6`) image with maxval ≤ 255.
+pub fn read_ppm(path: &Path) -> io::Result<RgbImageU8> {
+    let mut r = BufReader::new(File::open(path)?);
+    let magic = read_token(&mut r)?;
+    if magic != "P6" {
+        return Err(bad_data(format!("expected P6 magic, got {magic:?}")));
+    }
+    let width: usize = parse_token(&mut r)?;
+    let height: usize = parse_token(&mut r)?;
+    let maxval: usize = parse_token(&mut r)?;
+    if maxval == 0 || maxval > 255 {
+        return Err(bad_data(format!("unsupported maxval {maxval}")));
+    }
+    let mut data = vec![0u8; width * height * 3];
+    r.read_exact(&mut data)?;
+    Ok(RgbImageU8::from_vec(width, height, data))
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads one whitespace-delimited header token, skipping `#` comments.
+fn read_token<R: BufRead>(r: &mut R) -> io::Result<String> {
+    let mut tok = String::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && !tok.is_empty() => break,
+            Err(e) => return Err(e),
+        }
+        let c = byte[0] as char;
+        if c == '#' {
+            // Comment to end of line.
+            let mut line = String::new();
+            r.read_line(&mut line)?;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            if tok.is_empty() {
+                continue;
+            }
+            break;
+        }
+        tok.push(c);
+    }
+    Ok(tok)
+}
+
+fn parse_token<R: BufRead, T: std::str::FromStr>(r: &mut R) -> io::Result<T> {
+    let tok = read_token(r)?;
+    tok.parse::<T>().map_err(|_| bad_data(format!("bad header token {tok:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::ImageU8;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("imagekit-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = ImageU8::from_vec(3, 2, vec![0, 64, 128, 192, 255, 7]);
+        let p = tmpfile("a.pgm");
+        write_pgm(&p, &img).unwrap();
+        let back = read_pgm(&p).unwrap();
+        assert_eq!(back, img);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn ppm_roundtrip() {
+        let img = RgbImageU8::from_vec(2, 1, vec![255, 0, 0, 0, 255, 0]);
+        let p = tmpfile("b.ppm");
+        write_ppm(&p, &img).unwrap();
+        let back = read_ppm(&p).unwrap();
+        assert_eq!(back.bytes(), img.bytes());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn pgm_with_comments_parses() {
+        let p = tmpfile("c.pgm");
+        std::fs::write(&p, b"P5\n# a comment\n2 1\n255\n\x10\x20").unwrap();
+        let img = read_pgm(&p).unwrap();
+        assert_eq!(img.pixels(), &[0x10, 0x20]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let p = tmpfile("d.pgm");
+        std::fs::write(&p, b"P6\n2 1\n255\nxxxxxx").unwrap();
+        assert!(read_pgm(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn ascii_pgm_parses() {
+        let p = tmpfile("f.pgm");
+        std::fs::write(&p, b"P2\n# ascii variant\n3 2\n255\n0 64 128\n192 255 7\n").unwrap();
+        let img = read_pgm(&p).unwrap();
+        assert_eq!(img.pixels(), &[0, 64, 128, 192, 255, 7]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn ascii_pgm_truncated_rejected() {
+        let p = tmpfile("g.pgm");
+        std::fs::write(&p, b"P2\n3 2\n255\n0 64 128\n").unwrap();
+        assert!(read_pgm(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let p = tmpfile("e.pgm");
+        std::fs::write(&p, b"P5\n4 4\n255\nxx").unwrap();
+        assert!(read_pgm(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+}

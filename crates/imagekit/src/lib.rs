@@ -1,0 +1,27 @@
+//! # imagekit — image substrate for the sharpness reproduction
+//!
+//! Single-channel `f32`/`u8` matrices (the representation the paper's
+//! pipeline computes on), interleaved RGB images for the multi-channel
+//! extension, deterministic synthetic content generators standing in for
+//! the paper's unspecified test images, Netpbm I/O, and quality metrics.
+//!
+//! ```
+//! use imagekit::{generate, metrics};
+//!
+//! let img = generate::natural(128, 128, 42);
+//! assert_eq!(img.width(), 128);
+//! assert!(metrics::mean(&img) > 0.0);
+//! let padded = img.padded(1, true);
+//! assert_eq!(padded.width(), 130);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod image;
+pub mod io;
+pub mod metrics;
+pub mod rgb;
+
+pub use image::{ImageF32, ImageU8};
+pub use rgb::RgbImageU8;

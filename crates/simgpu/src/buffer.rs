@@ -1,0 +1,374 @@
+//! Device buffers and the views kernels use to access them.
+//!
+//! A [`Buffer`] owns a slab of device memory. Kernels do not touch buffers
+//! directly; they capture cheap, clonable [`GlobalView`] (read) and
+//! [`GlobalWriteView`] (write) handles and go through the
+//! [`crate::kernel::GroupCtx`] accessors, which do the cost accounting.
+//!
+//! # Safety model
+//!
+//! Work-groups of one dispatch run in parallel (rayon). The simulator
+//! relies on the same invariant a real GPU kernel does: *distinct
+//! work-items write distinct elements*. Reads and writes go through raw
+//! pointers internally; the invariant is checked — not assumed — when the
+//! owning [`crate::context::Context`] enables validation, in which case
+//! every store sets a per-element mark and a second store to the same
+//! element within one write epoch is reported as a [`Error::WriteRace`].
+//!
+//! [`Error::WriteRace`]: crate::error::Error::WriteRace
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Element types storable in device buffers.
+pub trait Scalar: Copy + Send + Sync + Default + 'static {}
+impl Scalar for f32 {}
+impl Scalar for f64 {}
+impl Scalar for u8 {}
+impl Scalar for i32 {}
+impl Scalar for u32 {}
+impl Scalar for u64 {}
+
+/// `UnsafeCell` that can be shared across threads. All aliasing discipline
+/// is enforced by the dispatch structure (disjoint writes) and optionally
+/// checked by the validation marks.
+struct SyncCell<T>(UnsafeCell<Box<[T]>>);
+// SAFETY: access discipline is the GPU invariant documented in the module
+// docs; violations are caught by the validation layer in tests.
+unsafe impl<T: Scalar> Sync for SyncCell<T> {}
+unsafe impl<T: Scalar> Send for SyncCell<T> {}
+
+pub(crate) struct BufferInner<T: Scalar> {
+    data: SyncCell<T>,
+    len: usize,
+    /// One mark per element; `Some` only when the context validates writes.
+    marks: Option<Box<[AtomicU8]>>,
+    /// `index + 1` of the first detected double-write, 0 if none.
+    race: AtomicUsize,
+    /// True while a map guard is outstanding (aliasing check).
+    pub(crate) mapped: AtomicBool,
+    /// Debug label (usually the logical matrix name, e.g. `"pEdge"`).
+    label: String,
+}
+
+/// A slab of simulated device memory holding `len` elements of `T`.
+///
+/// Created through [`crate::context::Context::buffer`] /
+/// [`Context::buffer_from`](crate::context::Context::buffer_from).
+/// Clones share the same storage, like `cl_mem` handles.
+pub struct Buffer<T: Scalar> {
+    pub(crate) inner: Arc<BufferInner<T>>,
+}
+
+impl<T: Scalar> Clone for Buffer<T> {
+    fn clone(&self) -> Self {
+        Buffer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Scalar> Buffer<T> {
+    pub(crate) fn new(label: &str, len: usize, validate: bool) -> Self {
+        let data = vec![T::default(); len].into_boxed_slice();
+        let marks = if validate {
+            Some((0..len).map(|_| AtomicU8::new(0)).collect::<Vec<_>>().into_boxed_slice())
+        } else {
+            None
+        };
+        Buffer {
+            inner: Arc::new(BufferInner {
+                data: SyncCell(UnsafeCell::new(data)),
+                len,
+                marks,
+                race: AtomicUsize::new(0),
+                mapped: AtomicBool::new(false),
+                label: label.to_string(),
+            }),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    /// True if the buffer holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len == 0
+    }
+
+    /// The debug label the buffer was created with.
+    pub fn label(&self) -> &str {
+        &self.inner.label
+    }
+
+    /// Size of the buffer in bytes.
+    pub fn byte_len(&self) -> u64 {
+        (self.inner.len * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Read-only view for capture by kernels.
+    pub fn view(&self) -> GlobalView<T> {
+        GlobalView { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Writable view for capture by kernels.
+    pub fn write_view(&self) -> GlobalWriteView<T> {
+        GlobalWriteView { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Starts a new write epoch: clears validation marks and any recorded
+    /// race. Called by the queue before each dispatch that declares this
+    /// buffer as an output.
+    pub fn begin_write_epoch(&self) {
+        if let Some(marks) = &self.inner.marks {
+            for m in marks.iter() {
+                m.store(0, Ordering::Relaxed);
+            }
+        }
+        self.inner.race.store(0, Ordering::Relaxed);
+    }
+
+    /// Index of the first double-written element in the current epoch, if
+    /// the validation layer detected one.
+    pub fn race(&self) -> Option<usize> {
+        match self.inner.race.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n - 1),
+        }
+    }
+
+    /// Copies the buffer contents out for inspection.
+    ///
+    /// This is a *simulation debugging* facility: it does not charge any
+    /// transfer time. Model-honest readbacks go through
+    /// [`crate::queue::CommandQueue::enqueue_read`].
+    pub fn snapshot(&self) -> Vec<T> {
+        // SAFETY: no kernel is running while the host inspects (dispatches
+        // are synchronous in the simulator).
+        unsafe { (*self.inner.data.0.get()).to_vec() }
+    }
+
+    /// Overwrites buffer contents directly, without charging transfer time.
+    /// Counterpart of [`Buffer::snapshot`] for test setup.
+    pub fn fill_from(&self, src: &[T]) {
+        assert_eq!(src.len(), self.inner.len, "fill_from length mismatch");
+        // SAFETY: host-side, no concurrent kernel.
+        unsafe {
+            (*self.inner.data.0.get()).copy_from_slice(src);
+        }
+    }
+}
+
+impl<T: Scalar> BufferInner<T> {
+    #[inline]
+    pub(crate) fn load(&self, idx: usize) -> T {
+        debug_assert!(idx < self.len, "load out of bounds: {idx} >= {}", self.len);
+        // SAFETY: idx < len checked in debug; concurrent disjoint writes do
+        // not alias this element per the dispatch invariant.
+        unsafe { (*self.data.0.get())[idx] }
+    }
+
+    #[inline]
+    pub(crate) fn store(&self, idx: usize, v: T) {
+        debug_assert!(idx < self.len, "store out of bounds: {idx} >= {}", self.len);
+        if let Some(marks) = &self.marks {
+            if marks[idx].swap(1, Ordering::Relaxed) == 1 {
+                // Record the first race only.
+                let _ = self.race.compare_exchange(
+                    0,
+                    idx + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
+        }
+        // SAFETY: as above.
+        unsafe {
+            (*self.data.0.get())[idx] = v;
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Tries to mark the buffer mapped; `false` if already mapped.
+    pub(crate) fn try_map(&self) -> bool {
+        !self.mapped.swap(true, Ordering::AcqRel)
+    }
+
+    /// Clears the mapped flag.
+    pub(crate) fn unmap(&self) {
+        self.mapped.store(false, Ordering::Release);
+    }
+
+    /// Raw slice pointer for map guards. Callers must respect the mapping
+    /// discipline enforced by `try_map`.
+    pub(crate) fn data_ptr(&self) -> *mut T {
+        // SAFETY: pointer derivation only; dereferencing is gated by the
+        // map guard.
+        unsafe { (*self.data.0.get()).as_mut_ptr() }
+    }
+}
+
+/// Read-only handle to a buffer, cheap to clone into kernel closures.
+pub struct GlobalView<T: Scalar> {
+    pub(crate) inner: Arc<BufferInner<T>>,
+}
+
+impl<T: Scalar> Clone for GlobalView<T> {
+    fn clone(&self) -> Self {
+        GlobalView { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Scalar> GlobalView<T> {
+    /// Number of elements visible through the view.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+
+    /// Raw, *unaccounted* element read. Prefer
+    /// [`GroupCtx::load`](crate::kernel::GroupCtx::load), which charges the
+    /// cost model; this accessor exists for index arithmetic setup and
+    /// host-side checks.
+    #[inline]
+    pub fn get_raw(&self, idx: usize) -> T {
+        self.inner.load(idx)
+    }
+}
+
+/// Writable handle to a buffer, cheap to clone into kernel closures.
+pub struct GlobalWriteView<T: Scalar> {
+    pub(crate) inner: Arc<BufferInner<T>>,
+}
+
+impl<T: Scalar> Clone for GlobalWriteView<T> {
+    fn clone(&self) -> Self {
+        GlobalWriteView { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Scalar> GlobalWriteView<T> {
+    /// Number of elements visible through the view.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+
+    /// Raw, *unaccounted* element write. Prefer
+    /// [`GroupCtx::store`](crate::kernel::GroupCtx::store).
+    #[inline]
+    pub fn set_raw(&self, idx: usize, v: T) {
+        self.inner.store(idx, v);
+    }
+
+    /// Raw, *unaccounted* element read from a writable view (used by
+    /// read-modify-write stages).
+    #[inline]
+    pub fn get_raw(&self, idx: usize) -> T {
+        self.inner.load(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let b: Buffer<f32> = Buffer::new("t", 16, false);
+        b.fill_from(&(0..16).map(|i| i as f32).collect::<Vec<_>>());
+        let s = b.snapshot();
+        assert_eq!(s[3], 3.0);
+        assert_eq!(b.len(), 16);
+        assert_eq!(b.byte_len(), 64);
+        assert_eq!(b.label(), "t");
+    }
+
+    #[test]
+    fn views_share_storage() {
+        let b: Buffer<f32> = Buffer::new("t", 4, false);
+        let w = b.write_view();
+        let r = b.view();
+        w.set_raw(2, 7.5);
+        assert_eq!(r.get_raw(2), 7.5);
+        assert_eq!(b.snapshot()[2], 7.5);
+    }
+
+    #[test]
+    fn race_detection_catches_double_write() {
+        let b: Buffer<f32> = Buffer::new("t", 8, true);
+        b.begin_write_epoch();
+        let w = b.write_view();
+        w.set_raw(5, 1.0);
+        assert_eq!(b.race(), None);
+        w.set_raw(5, 2.0);
+        assert_eq!(b.race(), Some(5));
+        // New epoch clears it.
+        b.begin_write_epoch();
+        assert_eq!(b.race(), None);
+        w.set_raw(5, 3.0);
+        assert_eq!(b.race(), None);
+    }
+
+    #[test]
+    fn no_marks_means_no_race_reports() {
+        let b: Buffer<f32> = Buffer::new("t", 8, false);
+        let w = b.write_view();
+        w.set_raw(1, 1.0);
+        w.set_raw(1, 2.0);
+        assert_eq!(b.race(), None);
+    }
+
+    #[test]
+    fn parallel_disjoint_writes_are_clean() {
+        use rayon::prelude::*;
+        let b: Buffer<u32> = Buffer::new("t", 10_000, true);
+        b.begin_write_epoch();
+        let w = b.write_view();
+        (0..10_000u32).into_par_iter().for_each(|i| {
+            w.set_raw(i as usize, i * 2);
+        });
+        assert_eq!(b.race(), None);
+        let s = b.snapshot();
+        assert_eq!(s[1234], 2468);
+    }
+
+    #[test]
+    fn parallel_racy_writes_are_caught() {
+        use rayon::prelude::*;
+        let b: Buffer<u32> = Buffer::new("t", 4, true);
+        b.begin_write_epoch();
+        let w = b.write_view();
+        (0..1000u32).into_par_iter().for_each(|i| {
+            w.set_raw((i % 4) as usize, i);
+        });
+        assert!(b.race().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fill_from_length_checked() {
+        let b: Buffer<f32> = Buffer::new("t", 4, false);
+        b.fill_from(&[1.0; 5]);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let b: Buffer<f32> = Buffer::new("t", 4, false);
+        let c = b.clone();
+        c.write_view().set_raw(0, 9.0);
+        assert_eq!(b.snapshot()[0], 9.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! The context: device + host pairing and buffer factory.
+
+use crate::buffer::{Buffer, Scalar};
+use crate::device::{CpuSpec, DeviceSpec};
+use crate::queue::CommandQueue;
+
+/// An OpenCL-like context binding a simulated device to a modeled host CPU.
+///
+/// Buffers are created from the context; command queues are created from it
+/// too and inherit both machine models. When validation is enabled
+/// (see [`Context::with_validation`]) every buffer carries per-element write
+/// marks and kernel dispatches report write races — the simulator's
+/// equivalent of running under a GPU race checker.
+#[derive(Clone)]
+pub struct Context {
+    device: DeviceSpec,
+    cpu: CpuSpec,
+    validate: bool,
+}
+
+impl Context {
+    /// Creates a context for `device` with the paper's host CPU
+    /// (Core i5-3470) and validation off.
+    pub fn new(device: DeviceSpec) -> Self {
+        Context { device, cpu: CpuSpec::core_i5_3470(), validate: false }
+    }
+
+    /// Creates a context with write-race validation enabled. Intended for
+    /// tests: buffers allocate one mark byte per element.
+    pub fn with_validation(device: DeviceSpec) -> Self {
+        Context { device, cpu: CpuSpec::core_i5_3470(), validate: true }
+    }
+
+    /// Overrides the host CPU model.
+    pub fn with_cpu(mut self, cpu: CpuSpec) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// The device spec this context is bound to.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The host CPU model.
+    pub fn cpu(&self) -> &CpuSpec {
+        &self.cpu
+    }
+
+    /// Whether buffers validate writes.
+    pub fn validates(&self) -> bool {
+        self.validate
+    }
+
+    /// Allocates a zero-initialised device buffer of `len` elements.
+    pub fn buffer<T: Scalar>(&self, label: &str, len: usize) -> Buffer<T> {
+        Buffer::new(label, len, self.validate)
+    }
+
+    /// Allocates a device buffer initialised from a host slice *without*
+    /// charging transfer time (test/setup convenience; model-honest uploads
+    /// go through [`CommandQueue::enqueue_write`]).
+    pub fn buffer_from<T: Scalar>(&self, label: &str, data: &[T]) -> Buffer<T> {
+        let b = Buffer::new(label, data.len(), self.validate);
+        b.fill_from(data);
+        b
+    }
+
+    /// Creates a new in-order command queue.
+    pub fn queue(&self) -> CommandQueue {
+        CommandQueue::new(self.device.clone(), self.cpu.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_inherit_validation() {
+        let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+        let b = ctx.buffer::<f32>("t", 4);
+        b.begin_write_epoch();
+        let w = b.write_view();
+        w.set_raw(0, 1.0);
+        w.set_raw(0, 2.0);
+        assert_eq!(b.race(), Some(0));
+
+        let ctx2 = Context::new(DeviceSpec::firepro_w8000());
+        let b2 = ctx2.buffer::<f32>("t", 4);
+        let w2 = b2.write_view();
+        w2.set_raw(0, 1.0);
+        w2.set_raw(0, 2.0);
+        assert_eq!(b2.race(), None);
+    }
+
+    #[test]
+    fn buffer_from_initialises() {
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        let b = ctx.buffer_from("t", &[1.0f32, 2.0, 3.0]);
+        assert_eq!(b.snapshot(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn with_cpu_overrides() {
+        let mut cpu = CpuSpec::core_i5_3470();
+        cpu.clock_ghz = 4.0;
+        let ctx = Context::new(DeviceSpec::firepro_w8000()).with_cpu(cpu);
+        assert!((ctx.cpu().clock_ghz - 4.0).abs() < 1e-12);
+        assert_eq!(ctx.queue().cpu().name, "Intel Core i5-3470");
+    }
+}

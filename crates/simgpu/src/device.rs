@@ -1,0 +1,289 @@
+//! Device descriptions: the machine parameters the timing model consumes.
+//!
+//! The default preset, [`DeviceSpec::firepro_w8000`], follows Table I of the
+//! paper (AMD FirePro W8000: 1792 cores at 0.88 GHz, 3.23 TFlop/s peak,
+//! 176 GB/s memory bandwidth). Additional presets exist for ablations and
+//! for the paper's aside that map/unmap transfers "perform well on APU".
+
+/// PCI-E / host-device interconnect model.
+///
+/// Three transfer modes are distinguished, matching Section V-A of the
+/// paper:
+///
+/// * **bulk** (`clEnqueueWriteBuffer` / `clEnqueueReadBuffer`): one
+///   fixed-latency DMA plus bytes at full link bandwidth;
+/// * **rect** (`clEnqueueWriteBufferRect`): bulk plus a per-row descriptor
+///   overhead, at a slightly lower effective bandwidth;
+/// * **map/unmap**: a small setup cost plus dispersed accesses at a reduced
+///   effective bandwidth (every touched region crosses the link piecemeal).
+///
+/// On an APU (`TransferModel::apu_like`), mapping is genuinely zero-copy and
+/// the per-byte penalty disappears, which is why the paper notes map/unmap
+/// is the right choice there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferModel {
+    /// Fixed latency of one bulk read/write DMA, in seconds.
+    pub bulk_latency_s: f64,
+    /// Link bandwidth for bulk transfers, bytes/second.
+    pub bulk_bw: f64,
+    /// Fixed latency of a rect transfer, in seconds.
+    pub rect_latency_s: f64,
+    /// Extra per-row descriptor overhead for rect transfers, seconds/row.
+    pub rect_row_overhead_s: f64,
+    /// Effective bandwidth of rect transfers, bytes/second.
+    pub rect_bw: f64,
+    /// Setup cost of a map or unmap call, in seconds.
+    pub map_setup_s: f64,
+    /// Effective bandwidth of access through a mapping, bytes/second.
+    pub map_bw: f64,
+}
+
+impl TransferModel {
+    /// PCI-E 3.0 x16 discrete-GPU link, as in the paper's testbed.
+    pub const fn pcie_discrete() -> Self {
+        TransferModel {
+            bulk_latency_s: 25e-6,
+            bulk_bw: 6.0e9,
+            rect_latency_s: 25e-6,
+            rect_row_overhead_s: 0.6e-6,
+            rect_bw: 6.0e9,
+            map_setup_s: 3e-6,
+            map_bw: 5.2e9,
+        }
+    }
+
+    /// APU-like shared-memory link: mapping is near zero-copy, so map/unmap
+    /// beats bulk copies (the paper's Section V-A aside).
+    pub const fn apu_like() -> Self {
+        TransferModel {
+            bulk_latency_s: 8e-6,
+            bulk_bw: 12.0e9,
+            rect_latency_s: 10e-6,
+            rect_row_overhead_s: 0.3e-6,
+            rect_bw: 12.0e9,
+            map_setup_s: 1e-6,
+            map_bw: 20.0e9,
+        }
+    }
+}
+
+/// Parameters of a simulated GPU device.
+///
+/// All throughput-style numbers are peak values; efficiency factors that
+/// derate them live here too so that a preset fully determines timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, used in profiling output.
+    pub name: &'static str,
+    /// Number of compute units (CUs).
+    pub compute_units: u32,
+    /// SIMD lanes per wavefront (64 on AMD GCN).
+    pub wavefront: u32,
+    /// Total scalar ALU lanes (`compute_units * lanes_per_cu`).
+    pub total_lanes: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak single-precision throughput in GFlop/s (for documentation; the
+    /// timing model works from lanes × clock × efficiency).
+    pub peak_gflops: f64,
+    /// Peak global-memory bandwidth, bytes/second.
+    pub mem_bw: f64,
+    /// Aggregate local-memory (LDS) bandwidth, bytes/second.
+    pub lds_bw: f64,
+    /// Local-memory capacity per compute unit, bytes (64 KiB on GCN).
+    /// Limits resident work-groups, hence occupancy.
+    pub lds_per_cu: u64,
+    /// Fraction of peak ALU throughput a well-written kernel achieves.
+    pub alu_efficiency: f64,
+    /// Memory-coalescing factor for scalar, stencil-pattern accesses.
+    pub coalesce_scalar: f64,
+    /// Memory-coalescing factor for vector (`vloadN`) accesses.
+    pub coalesce_vector: f64,
+    /// Cost of launching one kernel, in seconds.
+    pub launch_overhead_s: f64,
+    /// Cost of a host-side synchronisation (`finish`) when commands are
+    /// pending, in seconds.
+    pub sync_overhead_s: f64,
+    /// Stall cycles a work-group barrier costs each lane of the group.
+    pub barrier_stall_cycles: f64,
+    /// Extra lane-cycles charged per divergent-branch event.
+    pub divergence_penalty_cycles: f64,
+    /// Wavefronts per CU needed to fully hide latency (occupancy target).
+    pub occupancy_target_waves_per_cu: f64,
+    /// Host-device interconnect model.
+    pub transfer: TransferModel,
+}
+
+impl DeviceSpec {
+    /// The paper's device: AMD FirePro W8000 (Table I).
+    ///
+    /// 1792 stream processors = 28 CUs × 64 lanes, 0.88 GHz, 3.23 TFlop/s,
+    /// 176 GB/s.
+    pub fn firepro_w8000() -> Self {
+        DeviceSpec {
+            name: "AMD FirePro W8000",
+            compute_units: 28,
+            wavefront: 64,
+            total_lanes: 1792,
+            clock_ghz: 0.88,
+            peak_gflops: 3230.0,
+            mem_bw: 176.0e9,
+            lds_bw: 1400.0e9,
+            lds_per_cu: 64 * 1024,
+            alu_efficiency: 0.70,
+            coalesce_scalar: 0.55,
+            coalesce_vector: 0.85,
+            launch_overhead_s: 20e-6,
+            sync_overhead_s: 12e-6,
+            barrier_stall_cycles: 64.0,
+            divergence_penalty_cycles: 48.0,
+            occupancy_target_waves_per_cu: 4.0,
+            transfer: TransferModel::pcie_discrete(),
+        }
+    }
+
+    /// A mid-range GPU preset (roughly half a W8000), for ablations.
+    pub fn midrange_gpu() -> Self {
+        DeviceSpec {
+            name: "Mid-range GPU",
+            compute_units: 14,
+            wavefront: 64,
+            total_lanes: 896,
+            clock_ghz: 0.9,
+            peak_gflops: 1600.0,
+            mem_bw: 96.0e9,
+            lds_bw: 700.0e9,
+            ..Self::firepro_w8000()
+        }
+    }
+
+    /// An APU-like preset: weak ALU/bandwidth but a shared-memory
+    /// interconnect where map/unmap shines.
+    pub fn apu() -> Self {
+        DeviceSpec {
+            name: "APU",
+            compute_units: 8,
+            wavefront: 64,
+            total_lanes: 512,
+            clock_ghz: 0.8,
+            peak_gflops: 820.0,
+            mem_bw: 25.0e9,
+            lds_bw: 200.0e9,
+            transfer: TransferModel::apu_like(),
+            ..Self::firepro_w8000()
+        }
+    }
+
+    /// Effective ALU throughput in lane-cycles per second.
+    pub fn effective_lane_hz(&self) -> f64 {
+        f64::from(self.total_lanes) * self.clock_ghz * 1e9 * self.alu_efficiency
+    }
+
+    /// Number of wavefronts needed device-wide to reach the occupancy
+    /// target.
+    pub fn occupancy_target_waves(&self) -> f64 {
+        f64::from(self.compute_units) * self.occupancy_target_waves_per_cu
+    }
+}
+
+/// Parameters of the modeled host CPU.
+///
+/// The paper's baseline is a single-threaded, `-O3`-compiled C
+/// implementation on an Intel Core i5-3470 (Table I: 3.2 GHz, 4 cores,
+/// 57.76 GFlop/s peak, 25 GB/s). The pipeline is branchy (overshoot
+/// control) and transcendental-heavy (the strength stage), which
+/// auto-vectorisation does not rescue, so the model uses scalar issue with
+/// a modest IPC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustained scalar ops per cycle for this workload class.
+    pub ipc: f64,
+    /// Effective memory bandwidth from one core, bytes/second.
+    pub mem_bw: f64,
+    /// Cycle cost table: add/sub.
+    pub cyc_add: f64,
+    /// Cycle cost: mul/mad.
+    pub cyc_mul: f64,
+    /// Cycle cost: div/rem.
+    pub cyc_div: f64,
+    /// Cycle cost: pow/exp (libm call).
+    pub cyc_pow: f64,
+    /// Cycle cost: compare/select (includes branch-miss amortisation).
+    pub cyc_cmp: f64,
+    /// Cycle cost: bit ops.
+    pub cyc_bit: f64,
+    /// Bandwidth of a host-side memcpy (used for CPU-side padding),
+    /// bytes/second.
+    pub memcpy_bw: f64,
+}
+
+impl CpuSpec {
+    /// The paper's host: Intel Core i5-3470 (Table I).
+    pub fn core_i5_3470() -> Self {
+        CpuSpec {
+            name: "Intel Core i5-3470",
+            clock_ghz: 3.2,
+            ipc: 1.0,
+            mem_bw: 8.0e9,
+            cyc_add: 1.0,
+            cyc_mul: 1.0,
+            cyc_div: 20.0,
+            cyc_pow: 250.0,
+            cyc_cmp: 4.0,
+            cyc_bit: 1.0,
+            memcpy_bw: 12.0e9,
+        }
+    }
+
+    /// Sustained scalar op throughput, ops/second (for unit-cost ops).
+    pub fn op_hz(&self) -> f64 {
+        self.clock_ghz * 1e9 * self.ipc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w8000_matches_table1() {
+        let d = DeviceSpec::firepro_w8000();
+        assert_eq!(d.total_lanes, 1792);
+        assert_eq!(d.compute_units * d.wavefront, d.total_lanes);
+        assert!((d.clock_ghz - 0.88).abs() < 1e-12);
+        assert!((d.peak_gflops - 3230.0).abs() < 1e-9);
+        assert!((d.mem_bw - 176.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn i5_matches_table1() {
+        let c = CpuSpec::core_i5_3470();
+        assert!((c.clock_ghz - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_lane_hz_below_peak() {
+        let d = DeviceSpec::firepro_w8000();
+        // Effective throughput must be below lanes*clock (efficiency < 1).
+        assert!(d.effective_lane_hz() < f64::from(d.total_lanes) * d.clock_ghz * 1e9);
+        assert!(d.effective_lane_hz() > 0.0);
+    }
+
+    #[test]
+    fn apu_map_beats_bulk_per_byte() {
+        let t = TransferModel::apu_like();
+        assert!(t.map_bw > t.bulk_bw);
+        let d = TransferModel::pcie_discrete();
+        assert!(d.map_bw < d.bulk_bw);
+    }
+
+    #[test]
+    fn presets_differ() {
+        assert_ne!(DeviceSpec::firepro_w8000(), DeviceSpec::midrange_gpu());
+        assert_ne!(DeviceSpec::firepro_w8000(), DeviceSpec::apu());
+    }
+}

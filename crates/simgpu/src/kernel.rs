@@ -1,0 +1,373 @@
+//! Kernel descriptions and the per-work-group execution context.
+//!
+//! A kernel in `simgpu` is a Rust closure invoked once per *work-group*
+//! with a [`GroupCtx`]. The closure iterates over its work-items itself
+//! (usually with [`items`]), which makes work-group barriers trivial to
+//! express faithfully: the author simply finishes a phase across all items
+//! before calling [`GroupCtx::barrier`] and starting the next — exactly the
+//! lockstep structure an OpenCL kernel with `barrier(CLK_LOCAL_MEM_FENCE)`
+//! has, without needing per-item coroutines.
+//!
+//! All data access goes through the `GroupCtx` accessors so the cost model
+//! sees every byte: [`GroupCtx::load`]/[`GroupCtx::store`] count as scalar
+//! accesses, [`GroupCtx::vload4`]/[`GroupCtx::vstore4`] as vector accesses
+//! (better coalescing — the paper's Section V-D), and local memory has its
+//! own counters.
+
+use crate::buffer::{GlobalView, GlobalWriteView, Scalar};
+use crate::cost::{CostCounters, OpCounts};
+use crate::error::{Error, Result};
+
+/// Geometry and identity of one kernel dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelDesc {
+    /// Kernel name, used in profiling records and error messages.
+    pub name: String,
+    /// Global NDRange size (x, y). Use `[n, 1]` for 1-D kernels.
+    pub global: [usize; 2],
+    /// Work-group size (x, y). Must divide `global` component-wise.
+    pub group: [usize; 2],
+}
+
+impl KernelDesc {
+    /// Describes a 2-D dispatch.
+    pub fn new(name: &str, global: [usize; 2], group: [usize; 2]) -> Self {
+        KernelDesc { name: name.to_string(), global, group }
+    }
+
+    /// Describes a 1-D dispatch of `global` items in groups of `group`.
+    pub fn new_1d(name: &str, global: usize, group: usize) -> Self {
+        KernelDesc { name: name.to_string(), global: [global, 1], group: [group, 1] }
+    }
+
+    /// Validates the geometry.
+    pub fn check(&self) -> Result<()> {
+        if self.group[0] == 0 || self.group[1] == 0 {
+            return Err(Error::EmptyGroup { kernel: self.name.clone() });
+        }
+        if !self.global[0].is_multiple_of(self.group[0]) || !self.global[1].is_multiple_of(self.group[1]) {
+            return Err(Error::InvalidNdRange {
+                kernel: self.name.clone(),
+                global: self.global,
+                group: self.group,
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of work-groups along each axis.
+    pub fn num_groups(&self) -> [usize; 2] {
+        [self.global[0] / self.group[0], self.global[1] / self.group[1]]
+    }
+
+    /// Total number of work-groups.
+    pub fn total_groups(&self) -> usize {
+        let g = self.num_groups();
+        g[0] * g[1]
+    }
+
+    /// Work-items per group.
+    pub fn group_lanes(&self) -> usize {
+        self.group[0] * self.group[1]
+    }
+
+    /// Total work-items in the dispatch.
+    pub fn total_items(&self) -> usize {
+        self.global[0] * self.global[1]
+    }
+}
+
+/// Rounds `n` up to the next multiple of `m` (for sizing NDRanges).
+pub fn round_up(n: usize, m: usize) -> usize {
+    debug_assert!(m > 0);
+    n.div_ceil(m) * m
+}
+
+/// Iterates the local item coordinates of a group of the given size, row
+/// major: `[x, y]` with `x` fastest.
+pub fn items(group_size: [usize; 2]) -> impl Iterator<Item = [usize; 2]> {
+    (0..group_size[1]).flat_map(move |y| (0..group_size[0]).map(move |x| [x, y]))
+}
+
+/// Per-work-group execution context handed to kernel closures.
+///
+/// Owns this group's cost counters and local (LDS) scratch memory.
+pub struct GroupCtx {
+    /// This group's coordinates in the grid.
+    pub group_id: [usize; 2],
+    /// The work-group size from the [`KernelDesc`].
+    pub group_size: [usize; 2],
+    /// Grid size in groups.
+    pub num_groups: [usize; 2],
+    /// Work accounting for this group; merged after the dispatch.
+    pub counters: CostCounters,
+    local: Vec<f32>,
+}
+
+impl GroupCtx {
+    pub(crate) fn new(desc: &KernelDesc, group_id: [usize; 2]) -> Self {
+        let mut counters = CostCounters::new();
+        counters.groups = 1;
+        counters.group_lanes = desc.group_lanes() as u64;
+        counters.items = desc.group_lanes() as u64;
+        GroupCtx {
+            group_id,
+            group_size: desc.group,
+            num_groups: desc.num_groups(),
+            counters,
+            local: Vec::new(),
+        }
+    }
+
+    /// Global coordinates of a local item.
+    #[inline]
+    pub fn global_id(&self, local: [usize; 2]) -> [usize; 2] {
+        [
+            self.group_id[0] * self.group_size[0] + local[0],
+            self.group_id[1] * self.group_size[1] + local[1],
+        ]
+    }
+
+    /// Flat global index of a local item in a row-major matrix of width
+    /// `width` (convenience for image kernels).
+    #[inline]
+    pub fn global_index(&self, local: [usize; 2], width: usize) -> usize {
+        let g = self.global_id(local);
+        g[1] * width + g[0]
+    }
+
+    // ---- global memory -------------------------------------------------
+
+    /// Scalar load: one element, charged as a scalar global access.
+    #[inline]
+    pub fn load<T: Scalar>(&mut self, view: &GlobalView<T>, idx: usize) -> T {
+        self.counters.global_read_scalar += std::mem::size_of::<T>() as u64;
+        view.inner.load(idx)
+    }
+
+    /// Vector load of four consecutive elements (`vload4`), charged as a
+    /// vector global access (coalesces better than four scalar loads).
+    #[inline]
+    pub fn vload4<T: Scalar>(&mut self, view: &GlobalView<T>, idx: usize) -> [T; 4] {
+        self.counters.global_read_vector += 4 * std::mem::size_of::<T>() as u64;
+        [
+            view.inner.load(idx),
+            view.inner.load(idx + 1),
+            view.inner.load(idx + 2),
+            view.inner.load(idx + 3),
+        ]
+    }
+
+    /// Scalar store.
+    #[inline]
+    pub fn store<T: Scalar>(&mut self, view: &GlobalWriteView<T>, idx: usize, v: T) {
+        self.counters.global_write_scalar += std::mem::size_of::<T>() as u64;
+        view.inner.store(idx, v);
+    }
+
+    /// Vector store of four consecutive elements (`vstore4`).
+    #[inline]
+    pub fn vstore4<T: Scalar>(&mut self, view: &GlobalWriteView<T>, idx: usize, v: [T; 4]) {
+        self.counters.global_write_vector += 4 * std::mem::size_of::<T>() as u64;
+        view.inner.store(idx, v[0]);
+        view.inner.store(idx + 1, v[1]);
+        view.inner.store(idx + 2, v[2]);
+        view.inner.store(idx + 3, v[3]);
+    }
+
+    /// Scalar load from a *writable* view (read-modify-write patterns).
+    #[inline]
+    pub fn load_mut<T: Scalar>(&mut self, view: &GlobalWriteView<T>, idx: usize) -> T {
+        self.counters.global_read_scalar += std::mem::size_of::<T>() as u64;
+        view.inner.load(idx)
+    }
+
+    // ---- local (LDS) memory --------------------------------------------
+
+    /// Allocates (or reallocates) this group's local scratch of `n` f32
+    /// elements, zero-initialised. Mirrors `__local float[n]`; the
+    /// allocation size feeds the occupancy model (a compute unit can only
+    /// keep as many groups resident as its LDS can hold).
+    pub fn alloc_local(&mut self, n: usize) {
+        self.local.clear();
+        self.local.resize(n, 0.0);
+        self.counters.local_alloc_bytes = self.counters.local_alloc_bytes.max(4 * n as u64);
+    }
+
+    /// Reads one element of local memory, charged to LDS traffic.
+    #[inline]
+    pub fn local_read(&mut self, idx: usize) -> f32 {
+        self.counters.local_bytes += 4;
+        self.local[idx]
+    }
+
+    /// Writes one element of local memory, charged to LDS traffic.
+    #[inline]
+    pub fn local_write(&mut self, idx: usize, v: f32) {
+        self.counters.local_bytes += 4;
+        self.local[idx] = v;
+    }
+
+    /// Length of the local allocation.
+    pub fn local_len(&self) -> usize {
+        self.local.len()
+    }
+
+    // ---- synchronisation & control flow --------------------------------
+
+    /// Work-group barrier (`barrier(CLK_LOCAL_MEM_FENCE)`): stalls every
+    /// lane of the group for the device's barrier cost.
+    #[inline]
+    pub fn barrier(&mut self) {
+        self.counters.barriers += 1;
+    }
+
+    /// Records one divergent-branch event: the wavefront executes both
+    /// sides of a condition that differs across its lanes.
+    #[inline]
+    pub fn divergent(&mut self, events: u64) {
+        self.counters.divergent_branches += events;
+    }
+
+    // ---- arithmetic accounting -----------------------------------------
+
+    /// Charges one op bundle.
+    #[inline]
+    pub fn charge(&mut self, ops: &OpCounts) {
+        self.counters.charge_ops(ops);
+    }
+
+    /// Charges an op bundle `n` times (per-item recipe × items).
+    #[inline]
+    pub fn charge_n(&mut self, ops: &OpCounts, n: u64) {
+        self.counters.charge_ops_n(ops, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+
+    fn desc() -> KernelDesc {
+        KernelDesc::new("k", [64, 32], [16, 8])
+    }
+
+    #[test]
+    fn desc_geometry() {
+        let d = desc();
+        assert!(d.check().is_ok());
+        assert_eq!(d.num_groups(), [4, 4]);
+        assert_eq!(d.total_groups(), 16);
+        assert_eq!(d.group_lanes(), 128);
+        assert_eq!(d.total_items(), 2048);
+    }
+
+    #[test]
+    fn desc_rejects_bad_geometry() {
+        let d = KernelDesc::new("k", [100, 100], [16, 16]);
+        assert!(matches!(d.check(), Err(Error::InvalidNdRange { .. })));
+        let d = KernelDesc::new("k", [64, 64], [0, 16]);
+        assert!(matches!(d.check(), Err(Error::EmptyGroup { .. })));
+    }
+
+    #[test]
+    fn one_d_constructor() {
+        let d = KernelDesc::new_1d("r", 1024, 256);
+        assert!(d.check().is_ok());
+        assert_eq!(d.total_groups(), 4);
+    }
+
+    #[test]
+    fn round_up_works() {
+        assert_eq!(round_up(100, 16), 112);
+        assert_eq!(round_up(112, 16), 112);
+        assert_eq!(round_up(1, 64), 64);
+    }
+
+    #[test]
+    fn items_iterates_row_major() {
+        let v: Vec<_> = items([2, 2]).collect();
+        assert_eq!(v, vec![[0, 0], [1, 0], [0, 1], [1, 1]]);
+        assert_eq!(items([16, 8]).count(), 128);
+    }
+
+    #[test]
+    fn global_id_offsets_by_group() {
+        let g = GroupCtx::new(&desc(), [2, 3]);
+        assert_eq!(g.global_id([5, 7]), [2 * 16 + 5, 3 * 8 + 7]);
+        assert_eq!(g.global_index([0, 0], 64), (3 * 8) * 64 + 2 * 16);
+    }
+
+    #[test]
+    fn accessors_account_bytes() {
+        let buf: Buffer<f32> = Buffer::new("b", 64, false);
+        buf.fill_from(&(0..64).map(|i| i as f32).collect::<Vec<_>>());
+        let mut g = GroupCtx::new(&desc(), [0, 0]);
+        let r = buf.view();
+        let w = buf.write_view();
+        let x = g.load(&r, 10);
+        assert_eq!(x, 10.0);
+        let v = g.vload4(&r, 4);
+        assert_eq!(v, [4.0, 5.0, 6.0, 7.0]);
+        g.store(&w, 0, 99.0);
+        g.vstore4(&w, 20, [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(g.counters.global_read_scalar, 4);
+        assert_eq!(g.counters.global_read_vector, 16);
+        assert_eq!(g.counters.global_write_scalar, 4);
+        assert_eq!(g.counters.global_write_vector, 16);
+        assert_eq!(buf.snapshot()[0], 99.0);
+        assert_eq!(buf.snapshot()[22], 3.0);
+    }
+
+    #[test]
+    fn load_mut_reads_through_write_view() {
+        let buf: Buffer<f32> = Buffer::new("b", 8, false);
+        buf.fill_from(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let mut g = GroupCtx::new(&desc(), [0, 0]);
+        let w = buf.write_view();
+        let v = g.load_mut(&w, 5);
+        assert_eq!(v, 5.0);
+        g.store(&w, 5, v * 2.0);
+        assert_eq!(buf.snapshot()[5], 10.0);
+        assert_eq!(g.counters.global_read_scalar, 4);
+    }
+
+    #[test]
+    fn alloc_local_records_peak_allocation() {
+        let mut g = GroupCtx::new(&desc(), [0, 0]);
+        g.alloc_local(64);
+        assert_eq!(g.counters.local_alloc_bytes, 256);
+        // Re-allocation keeps the peak.
+        g.alloc_local(16);
+        assert_eq!(g.counters.local_alloc_bytes, 256);
+        g.alloc_local(128);
+        assert_eq!(g.counters.local_alloc_bytes, 512);
+    }
+
+    #[test]
+    fn local_memory_roundtrip_and_accounting() {
+        let mut g = GroupCtx::new(&desc(), [0, 0]);
+        g.alloc_local(256);
+        assert_eq!(g.local_len(), 256);
+        g.local_write(3, 1.5);
+        assert_eq!(g.local_read(3), 1.5);
+        assert_eq!(g.counters.local_bytes, 8);
+        // Fresh allocation is zeroed.
+        assert_eq!(g.local_read(200), 0.0);
+    }
+
+    #[test]
+    fn sync_and_ops_accounting() {
+        let mut g = GroupCtx::new(&desc(), [0, 0]);
+        g.barrier();
+        g.barrier();
+        g.divergent(5);
+        g.charge_n(&OpCounts::ZERO.adds(2).pows(1), 10);
+        assert_eq!(g.counters.barriers, 2);
+        assert_eq!(g.counters.divergent_branches, 5);
+        assert_eq!(g.counters.ops.add, 20);
+        assert_eq!(g.counters.ops.pow, 10);
+        assert_eq!(g.counters.group_lanes, 128);
+    }
+}

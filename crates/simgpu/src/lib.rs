@@ -1,0 +1,93 @@
+//! # simgpu — a simulated OpenCL-like GPU for deterministic performance studies
+//!
+//! This crate is the hardware substrate for the reproduction of
+//! *Optimizing Image Sharpening Algorithm on GPU* (ICPP 2015). The paper's
+//! experiments ran on an AMD FirePro W8000 over PCI-E; this environment has
+//! neither, so the device is **simulated**: kernels execute functionally on
+//! the host (work-groups in parallel via rayon, producing real pixels) while
+//! a calibrated analytical cost model charges simulated time for every
+//! command — kernel launches, ALU work, global/local memory traffic,
+//! barriers, divergence, PCI-E transfers in three modes (bulk, rect,
+//! map/unmap), and host synchronisation.
+//!
+//! The API deliberately mirrors the OpenCL host API the paper uses:
+//!
+//! * [`Context`](context::Context) ≈ `cl_context` — owns the device spec and
+//!   creates buffers/queues;
+//! * [`Buffer`](buffer::Buffer) ≈ `cl_mem`;
+//! * [`CommandQueue`](queue::CommandQueue) ≈ an in-order `cl_command_queue`
+//!   with profiling enabled, including `enqueue_write`/`enqueue_read`
+//!   (`clEnqueueWriteBuffer`/`clEnqueueReadBuffer`),
+//!   [`enqueue_write_rect`](queue::CommandQueue::enqueue_write_rect)
+//!   (`clEnqueueWriteBufferRect` — the paper pads during this transfer),
+//!   [`map_write`](queue::CommandQueue::map_write)/[`map_read`](queue::CommandQueue::map_read)
+//!   (`clEnqueueMapBuffer`), and [`finish`](queue::CommandQueue::finish)
+//!   (`clFinish`);
+//! * [`KernelDesc`](kernel::KernelDesc) + a closure ≈ a compiled kernel and
+//!   its NDRange.
+//!
+//! Kernels are closures invoked per *work-group* with a
+//! [`GroupCtx`](kernel::GroupCtx); they iterate their work-items and access
+//! global memory through accounting accessors (`load`, `vload4`, `store`,
+//! `vstore4`), local memory through `local_read`/`local_write`, and
+//! synchronise with `barrier()`. See the [`kernel`] module docs for why this
+//! reproduces OpenCL barrier semantics faithfully.
+//!
+//! ## Example
+//!
+//! ```
+//! use simgpu::prelude::*;
+//!
+//! let ctx = Context::new(DeviceSpec::firepro_w8000());
+//! let mut q = ctx.queue();
+//!
+//! // Upload 1024 floats.
+//! let src: Vec<f32> = (0..1024).map(|i| i as f32).collect();
+//! let a = ctx.buffer::<f32>("a", 1024);
+//! q.enqueue_write(&a, &src).unwrap();
+//!
+//! // y[i] = 2*x[i] on the device.
+//! let y = ctx.buffer::<f32>("y", 1024);
+//! let (av, yv) = (a.view(), y.write_view());
+//! let per_item = OpCounts::ZERO.muls(1);
+//! q.run(&KernelDesc::new_1d("double", 1024, 256), &[&y], |g| {
+//!     for l in items(g.group_size) {
+//!         let i = g.global_index(l, 1024);
+//!         let x = g.load(&av, i);
+//!         g.store(&yv, i, 2.0 * x);
+//!     }
+//!     g.charge_n(&per_item, g.counters.items);
+//! }).unwrap();
+//!
+//! let mut out = vec![0.0f32; 1024];
+//! q.enqueue_read(&y, &mut out).unwrap();
+//! assert_eq!(out[7], 14.0);
+//! assert!(q.elapsed() > 0.0); // simulated seconds accumulated
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod context;
+pub mod cost;
+pub mod device;
+pub mod error;
+pub mod kernel;
+pub mod queue;
+pub mod timing;
+pub mod trace;
+
+/// Convenient glob-import of the common types.
+pub mod prelude {
+    pub use crate::buffer::{Buffer, GlobalView, GlobalWriteView, Scalar};
+    pub use crate::context::Context;
+    pub use crate::cost::{CostCounters, OpCounts};
+    pub use crate::device::{CpuSpec, DeviceSpec, TransferModel};
+    pub use crate::error::{Error, Result};
+    pub use crate::kernel::{items, round_up, GroupCtx, KernelDesc};
+    pub use crate::queue::{CommandKind, CommandQueue, CommandRecord};
+    pub use crate::timing::{
+        bulk_transfer_time, cpu_stage_time, host_memcpy_time, kernel_time, map_transfer_time,
+        rect_transfer_time, KernelTime,
+    };
+}

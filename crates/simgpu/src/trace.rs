@@ -1,0 +1,172 @@
+//! Timeline export of command records: Chrome-trace JSON (viewable in
+//! `chrome://tracing` / Perfetto) and a terminal Gantt rendering.
+//!
+//! Useful for eyeballing where a pipeline variant spends its simulated
+//! time — the visual counterpart of the paper's Fig. 13 stacked bars.
+
+use std::fmt::Write as _;
+
+use crate::queue::{CommandKind, CommandRecord};
+
+/// Lane (trace "thread") a command kind is drawn on.
+fn lane(kind: CommandKind) -> (&'static str, u32) {
+    match kind {
+        CommandKind::Kernel => ("device: kernels", 1),
+        CommandKind::WriteBuffer
+        | CommandKind::ReadBuffer
+        | CommandKind::RectWrite
+        | CommandKind::Map => ("bus: transfers", 2),
+        CommandKind::HostWork => ("host: cpu work", 3),
+        CommandKind::Finish => ("host: sync", 4),
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises the records as a Chrome-trace "traceEvents" JSON document.
+/// Timestamps are microseconds of simulated time.
+pub fn to_chrome_json(records: &[CommandRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for r in records {
+        let (lane_name, tid) = lane(r.kind);
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
+            json_escape(&r.name),
+            json_escape(lane_name),
+            r.start_s * 1e6,
+            r.duration_s * 1e6,
+            tid,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders an ASCII Gantt chart of the records, `width` columns wide.
+/// Each row is one command; the bar spans its simulated interval.
+pub fn gantt(records: &[CommandRecord], width: usize) -> String {
+    let total: f64 = records.iter().map(|r| r.start_s + r.duration_s).fold(0.0, f64::max);
+    if records.is_empty() || total <= 0.0 {
+        return String::from("(no commands)\n");
+    }
+    let width = width.clamp(20, 400);
+    let name_w = records.iter().map(|r| r.name.len()).max().unwrap_or(0).min(28);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<name_w$} {:>9}  |{}| total {:.1} µs",
+        "command",
+        "µs",
+        "-".repeat(width),
+        total * 1e6,
+    );
+    for r in records {
+        let c0 = ((r.start_s / total) * width as f64).floor() as usize;
+        let c1 = (((r.start_s + r.duration_s) / total) * width as f64).ceil() as usize;
+        let c1 = c1.clamp(c0 + 1, width);
+        let mut bar = String::with_capacity(width);
+        bar.push_str(&" ".repeat(c0));
+        bar.push_str(&"#".repeat(c1 - c0));
+        bar.push_str(&" ".repeat(width - c1));
+        let mut name = r.name.clone();
+        if name.len() > name_w {
+            name.truncate(name_w);
+        }
+        let _ = writeln!(out, "{name:<name_w$} {:>9.1}  |{bar}|", r.duration_s * 1e6);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<CommandRecord> {
+        vec![
+            CommandRecord {
+                name: "write:padded".into(),
+                kind: CommandKind::WriteBuffer,
+                start_s: 0.0,
+                duration_s: 10e-6,
+                counters: None,
+            },
+            CommandRecord {
+                name: "sobel \"v4\"".into(),
+                kind: CommandKind::Kernel,
+                start_s: 10e-6,
+                duration_s: 30e-6,
+                counters: None,
+            },
+            CommandRecord {
+                name: "finish".into(),
+                kind: CommandKind::Finish,
+                start_s: 40e-6,
+                duration_s: 5e-6,
+                counters: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let j = to_chrome_json(&records());
+        assert!(j.starts_with("{\"traceEvents\":["));
+        assert!(j.ends_with("]}"));
+        assert_eq!(j.matches("\"ph\":\"X\"").count(), 3);
+        // Quote in the kernel name must be escaped.
+        assert!(j.contains("sobel \\\"v4\\\""));
+        // Balanced braces (crude well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn chrome_json_empty() {
+        assert_eq!(to_chrome_json(&[]), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn gantt_renders_rows_in_order() {
+        let g = gantt(&records(), 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 commands
+        assert!(lines[1].contains("write:padded"));
+        assert!(lines[3].contains("finish"));
+        // Last command's bar ends at the right edge.
+        assert!(lines[3].trim_end().ends_with('|'));
+        // Every bar has at least one cell.
+        for l in &lines[1..] {
+            assert!(l.contains('#'), "{l}");
+        }
+    }
+
+    #[test]
+    fn gantt_handles_empty() {
+        assert_eq!(gantt(&[], 40), "(no commands)\n");
+    }
+
+    #[test]
+    fn lanes_partition_kinds() {
+        assert_ne!(lane(CommandKind::Kernel).1, lane(CommandKind::Map).1);
+        assert_eq!(lane(CommandKind::WriteBuffer).0, lane(CommandKind::RectWrite).0);
+    }
+}

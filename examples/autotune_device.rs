@@ -1,0 +1,62 @@
+//! Device autotuning: derive the hardware-dependent choices the paper
+//! "tested in advance" — for several device presets.
+//!
+//! The paper hard-codes the border CPU/GPU crossover (768²), the
+//! reduction unrolling strategy (one wavefront) and the stage-2
+//! host/device threshold for its W8000. Retargeting the pipeline to a
+//! different device invalidates all three; this example re-derives them
+//! with [`sharpness::core::autotune`] for the W8000, a mid-range GPU, and
+//! an APU-like part, and shows how the transfer-mode tradeoff flips on
+//! the APU.
+//!
+//! ```text
+//! cargo run --release --example autotune_device
+//! ```
+
+use sharpness::core::autotune;
+use sharpness::prelude::*;
+use sharpness::simgpu::timing::{bulk_transfer_time, map_transfer_time};
+
+fn main() {
+    let devices = [DeviceSpec::firepro_w8000(), DeviceSpec::midrange_gpu(), DeviceSpec::apu()];
+
+    println!("autotuning pipeline thresholds per device\n");
+    for dev in devices {
+        let name = dev.name;
+        let transfer = dev.transfer;
+        let ctx = Context::new(dev);
+        let tuning = autotune::autotune(&ctx);
+        println!("{name}:");
+        println!("  reduction strategy     : {:?}", tuning.reduction_strategy);
+        println!(
+            "  stage-2 on GPU above   : {}",
+            if tuning.stage2_gpu_threshold == usize::MAX {
+                "never (host finish always wins on this link)".to_string()
+            } else {
+                format!("{} partial sums", tuning.stage2_gpu_threshold)
+            }
+        );
+        println!("  border on GPU at/above : {}²", tuning.border_gpu_min_width);
+
+        // Section V-A's aside: map/unmap wins on APUs, loses on discrete
+        // parts for large transfers.
+        let big = (4096 * 4096 * 4) as u64;
+        let bulk = bulk_transfer_time(&transfer, big);
+        let map = map_transfer_time(&transfer, big);
+        println!(
+            "  64 MiB upload          : bulk {:.2} ms vs map {:.2} ms -> prefer {}",
+            bulk * 1e3,
+            map * 1e3,
+            if bulk <= map { "read/write" } else { "map/unmap" }
+        );
+
+        // Sanity: run the pipeline with the tuned config.
+        let img = generate::natural(256, 256, 5);
+        let t = GpuPipeline::new(ctx, SharpnessParams::default(), OptConfig::all())
+            .with_tuning(tuning)
+            .run(&img)
+            .expect("tuned run")
+            .total_s;
+        println!("  256² pipeline (tuned)  : {:.3} ms\n", t * 1e3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Optimization walkthrough: apply the paper's techniques one step at a
+//! time (the Fig. 14 ladder) and show where each one's time goes.
+//!
+//! ```text
+//! cargo run --release --example opt_walkthrough [width]
+//! ```
+
+use sharpness::core::report::classify_gpu_stage;
+use sharpness::prelude::*;
+
+fn main() {
+    let width: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+
+    let img = generate::natural(width, width, 11);
+    let params = SharpnessParams::default();
+    let ctx = Context::new(DeviceSpec::firepro_w8000());
+
+    let cpu = CpuPipeline::new(params).run(&img).expect("cpu run");
+    println!("optimization walkthrough at {width}x{width}");
+    println!("CPU baseline: {:.3} ms (simulated)\n", cpu.total_s * 1e3);
+
+    let mut base_s = None;
+    let mut reference: Option<ImageF32> = None;
+    for (name, opts) in OptConfig::cumulative_steps() {
+        let run = GpuPipeline::new(ctx.clone(), params, opts).run(&img).expect("gpu run");
+        let base = *base_s.get_or_insert(run.total_s);
+
+        // Correctness stays locked through every optimization step.
+        if let Some(r) = &reference {
+            let d = run.output.max_abs_diff(r);
+            assert!(d < 0.05, "step `{name}` diverged by {d}");
+        } else {
+            reference = Some(run.output.clone());
+        }
+
+        println!(
+            "{name}: {:.3} ms  ({:.2}x over base, {:.1}x over CPU)",
+            run.total_s * 1e3,
+            base / run.total_s,
+            cpu.total_s / run.total_s
+        );
+        let mut cats = run.by_category(classify_gpu_stage);
+        cats.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (cat, s) in cats.iter().take(4) {
+            println!("    {:<12} {:>8.1} µs ({:>4.1}%)", cat, s * 1e6, 100.0 * s / run.total_s);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: sharpen a synthetic image on the simulated GPU and save
+//! before/after PGMs.
+//!
+//! ```text
+//! cargo run --release --example quickstart [width] [out_dir]
+//! ```
+
+use std::path::PathBuf;
+
+use sharpness::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let width: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(512);
+    let out_dir: PathBuf = args.next().map(PathBuf::from).unwrap_or_else(std::env::temp_dir);
+
+    // A deterministic "photo": soft lighting, texture, a hard-edge patch.
+    let image = generate::natural(width, width, 42);
+
+    // Sharpen on the simulated FirePro W8000 with every optimization of
+    // the paper enabled.
+    let ctx = Context::new(DeviceSpec::firepro_w8000());
+    let pipeline = GpuPipeline::new(ctx, SharpnessParams::default(), OptConfig::all());
+    let run = pipeline.run(&image).expect("pipeline run");
+
+    println!("sharpness quickstart — {width}x{width} image");
+    println!("  simulated GPU time : {:.3} ms", run.total_s * 1e3);
+    println!("  input  gradient    : {:.3}", metrics::gradient_energy(&image));
+    println!("  output gradient    : {:.3}", metrics::gradient_energy(&run.output));
+    println!("  PSNR vs input      : {:.1} dB", metrics::psnr(&image, &run.output));
+    println!(
+        "  out-of-range pixels: {:.1}% (overshoot control keeps this at 0)",
+        metrics::out_of_range_fraction(&run.output) * 100.0
+    );
+
+    let before = out_dir.join("quickstart_before.pgm");
+    let after = out_dir.join("quickstart_after.pgm");
+    imagekit::io::write_pgm(&before, &image.to_u8()).expect("write before");
+    imagekit::io::write_pgm(&after, &run.output.to_u8()).expect("write after");
+    println!("  wrote {} and {}", before.display(), after.display());
+
+    // Top five most expensive pipeline commands.
+    let mut stages = run.stages.clone();
+    stages.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
+    println!("  top commands:");
+    for s in stages.iter().take(5) {
+        println!("    {:<28} {:>9.1} µs", s.name, s.seconds * 1e6);
+    }
+}

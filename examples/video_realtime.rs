@@ -1,0 +1,80 @@
+//! Real-time video sharpening budget check.
+//!
+//! The paper's motivation is real-time enhancement in TVs and cameras.
+//! This example streams a sequence of full-HD-class frames through the
+//! base and optimized pipelines and reports whether each configuration
+//! holds a 30 fps / 60 fps budget *on the simulated W8000* — both with
+//! the paper's serial per-frame model and with double-buffered
+//! transfer/compute overlap (`gpu::batch::StreamingPipeline`, an
+//! extension beyond the paper).
+//!
+//! ```text
+//! cargo run --release --example video_realtime [frames]
+//! ```
+
+use sharpness::core::gpu::batch::StreamingPipeline;
+use sharpness::prelude::*;
+
+const W: usize = 1920;
+const H: usize = 1088; // 1080 rounded to the pipeline's multiple-of-4 rule
+
+fn main() {
+    let frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+
+    let ctx = Context::new(DeviceSpec::firepro_w8000());
+    let params = SharpnessParams::default();
+    let configs: [(&str, OptConfig); 3] = [
+        ("base port", OptConfig::none()),
+        ("fusion+transfer", OptConfig {
+            data_transfer: true,
+            kernel_fusion: true,
+            ..OptConfig::none()
+        }),
+        ("fully optimized", OptConfig::all()),
+    ];
+
+    println!("video sharpening — {frames} frames of {W}x{H}");
+    let cpu = CpuPipeline::new(params);
+    let mut cpu_total = 0.0;
+    for f in 0..frames {
+        let frame = generate::natural(W, H, 100 + f as u64);
+        cpu_total += cpu.run(&frame).expect("cpu frame").total_s;
+    }
+    report("CPU baseline", cpu_total, frames);
+
+    // Scene changes per frame: regenerate content.
+    let sequence: Vec<_> = (0..frames).map(|f| generate::natural(W, H, 100 + f as u64)).collect();
+
+    for (name, opts) in configs {
+        let pipeline = StreamingPipeline::new(GpuPipeline::new(ctx.clone(), params, opts));
+        let stream = pipeline.run_stream(&sequence).expect("stream");
+        report(name, stream.serial_s, frames);
+        println!(
+            "      with double-buffered overlap: {:>8.2} ms/frame  {:>7.1} fps  ({:.2}x from overlap)",
+            stream.pipelined_s / frames as f64 * 1e3,
+            stream.fps(),
+            stream.overlap_speedup()
+        );
+    }
+}
+
+fn report(name: &str, total_s: f64, frames: usize) {
+    let per_frame = total_s / frames as f64;
+    let fps = 1.0 / per_frame;
+    let verdict = if fps >= 60.0 {
+        "60 fps OK"
+    } else if fps >= 30.0 {
+        "30 fps OK"
+    } else {
+        "below 30 fps"
+    };
+    println!(
+        "  {:<16} {:>8.2} ms/frame  {:>7.1} fps  [{verdict}]",
+        name,
+        per_frame * 1e3,
+        fps
+    );
+}

@@ -1,0 +1,28 @@
+//! `sharpen` — command-line image sharpening on the simulated GPU.
+//!
+//! See `sharpness::cli::USAGE` (printed with no arguments) for options.
+
+use sharpness::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprint!("{}", cli::USAGE);
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let parsed = match cli::parse_args(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match cli::run(&parsed) {
+        Ok(summary) => print!("{summary}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

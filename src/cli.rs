@@ -1,0 +1,375 @@
+//! Implementation of the `sharpen` command-line tool.
+//!
+//! Parsing and orchestration live here (unit-testable); the binary in
+//! `src/bin/sharpen.rs` is a thin wrapper.
+
+use std::path::PathBuf;
+
+use imagekit::{io, metrics, ImageF32};
+use sharpness_core::color::{sharpen_rgb, ColorMode};
+use sharpness_core::cpu::CpuPipeline;
+use sharpness_core::gpu::{GpuPipeline, OptConfig};
+use sharpness_core::params::SharpnessParams;
+use sharpness_core::report::RunReport;
+use simgpu::context::Context;
+use simgpu::device::DeviceSpec;
+use simgpu::queue::{CommandKind, CommandRecord};
+use simgpu::trace;
+
+/// Which engine executes the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The serial CPU reference.
+    Cpu,
+    /// The simulated-GPU port with the given device preset.
+    Gpu(DevicePreset),
+}
+
+/// Named device presets selectable from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DevicePreset {
+    /// AMD FirePro W8000 (the paper's card).
+    W8000,
+    /// Mid-range GPU.
+    Midrange,
+    /// APU-like part with a shared-memory link.
+    Apu,
+}
+
+impl DevicePreset {
+    /// Resolves the preset to a device spec.
+    pub fn spec(self) -> DeviceSpec {
+        match self {
+            DevicePreset::W8000 => DeviceSpec::firepro_w8000(),
+            DevicePreset::Midrange => DeviceSpec::midrange_gpu(),
+            DevicePreset::Apu => DeviceSpec::apu(),
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// Input image path (`.pgm` grayscale or `.ppm` colour).
+    pub input: PathBuf,
+    /// Output image path (same format as input).
+    pub output: PathBuf,
+    /// Sharpening parameters.
+    pub params: SharpnessParams,
+    /// Engine selection.
+    pub engine: Engine,
+    /// GPU optimization flags.
+    pub opts: OptConfig,
+    /// Colour strategy for PPM inputs.
+    pub color: ColorMode,
+    /// Optional Chrome-trace JSON output path.
+    pub trace_json: Option<PathBuf>,
+    /// Print an ASCII Gantt chart of the run.
+    pub gantt: bool,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: sharpen <input.pgm|input.ppm> <output> [options]
+options:
+  --gain <f>        strength gain            (default 1.8)
+  --gamma <f>       strength exponent        (default 0.5)
+  --osc <f>         overshoot fraction 0..1  (default 0.35)
+  --cpu             run the CPU reference instead of the GPU port
+  --device <name>   w8000 | midrange | apu   (default w8000)
+  --opts <which>    none | all               (default all)
+  --color <mode>    luma | rgb               (default luma; PPM only)
+  --trace <file>    write a Chrome-trace JSON of the run
+  --gantt           print an ASCII timeline of the run
+";
+
+fn parse_value<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
+    let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse().map_err(|_| format!("invalid value {v:?} for {flag}"))
+}
+
+/// Parses the argument list (without the program name).
+pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut it = args.iter().cloned();
+    let input = PathBuf::from(it.next().ok_or("missing input path")?);
+    let output = PathBuf::from(it.next().ok_or("missing output path")?);
+    let mut cli = CliArgs {
+        input,
+        output,
+        params: SharpnessParams::default(),
+        engine: Engine::Gpu(DevicePreset::W8000),
+        opts: OptConfig::all(),
+        color: ColorMode::LumaOnly,
+        trace_json: None,
+        gantt: false,
+    };
+    let mut device = DevicePreset::W8000;
+    let mut use_cpu = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--gain" => cli.params.gain = parse_value(&arg, it.next())?,
+            "--gamma" => cli.params.gamma = parse_value(&arg, it.next())?,
+            "--osc" => cli.params.osc = parse_value(&arg, it.next())?,
+            "--cpu" => use_cpu = true,
+            "--device" => {
+                device = match it.next().as_deref() {
+                    Some("w8000") => DevicePreset::W8000,
+                    Some("midrange") => DevicePreset::Midrange,
+                    Some("apu") => DevicePreset::Apu,
+                    other => return Err(format!("unknown device {other:?}")),
+                }
+            }
+            "--opts" => {
+                cli.opts = match it.next().as_deref() {
+                    Some("none") => OptConfig::none(),
+                    Some("all") => OptConfig::all(),
+                    other => return Err(format!("unknown opts {other:?}")),
+                }
+            }
+            "--color" => {
+                cli.color = match it.next().as_deref() {
+                    Some("luma") => ColorMode::LumaOnly,
+                    Some("rgb") => ColorMode::PerChannel,
+                    other => return Err(format!("unknown color mode {other:?}")),
+                }
+            }
+            "--trace" => cli.trace_json = Some(PathBuf::from(parse_value::<String>(&arg, it.next())?)),
+            "--gantt" => cli.gantt = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    cli.engine = if use_cpu { Engine::Cpu } else { Engine::Gpu(device) };
+    cli.params.validate()?;
+    Ok(cli)
+}
+
+/// Converts a run report back into command records for trace export,
+/// inferring the command kind from the pipeline's naming convention.
+pub fn report_to_records(report: &RunReport) -> Vec<CommandRecord> {
+    let mut t = 0.0;
+    report
+        .stages
+        .iter()
+        .map(|s| {
+            let kind = if s.name.starts_with("write:") {
+                CommandKind::WriteBuffer
+            } else if s.name.starts_with("rect-write:") {
+                CommandKind::RectWrite
+            } else if s.name.starts_with("read:") {
+                CommandKind::ReadBuffer
+            } else if s.name.starts_with("map-") {
+                CommandKind::Map
+            } else if s.name.starts_with("host:") {
+                CommandKind::HostWork
+            } else if s.name == "finish" {
+                CommandKind::Finish
+            } else {
+                CommandKind::Kernel
+            };
+            let rec = CommandRecord {
+                name: s.name.clone(),
+                kind,
+                start_s: t,
+                duration_s: s.seconds,
+                counters: None,
+            };
+            t += s.seconds;
+            rec
+        })
+        .collect()
+}
+
+fn sharpen_plane(cli: &CliArgs, plane: &ImageF32) -> Result<RunReport, String> {
+    match cli.engine {
+        Engine::Cpu => CpuPipeline::new(cli.params).run(plane),
+        Engine::Gpu(preset) => {
+            GpuPipeline::new(Context::new(preset.spec()), cli.params, cli.opts).run(plane)
+        }
+    }
+}
+
+/// Executes the parsed command, returning the human-readable summary that
+/// the binary prints.
+pub fn run(cli: &CliArgs) -> Result<String, String> {
+    let ext = cli.input.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let mut summary = String::new();
+    let report: RunReport;
+    match ext {
+        "pgm" => {
+            let img = io::read_pgm(&cli.input).map_err(|e| e.to_string())?.to_f32();
+            report = sharpen_plane(cli, &img)?;
+            io::write_pgm(&cli.output, &report.output.to_u8()).map_err(|e| e.to_string())?;
+            summary.push_str(&format!(
+                "sharpened {}x{} grayscale in {:.3} simulated ms\n",
+                img.width(),
+                img.height(),
+                report.total_s * 1e3
+            ));
+            summary.push_str(&format!(
+                "gradient energy {:.3} -> {:.3}\n",
+                metrics::gradient_energy(&img),
+                metrics::gradient_energy(&report.output)
+            ));
+        }
+        "ppm" => {
+            let frame = io::read_ppm(&cli.input).map_err(|e| e.to_string())?;
+            struct PlaneSharpener<'a>(&'a CliArgs);
+            impl sharpness_core::color::Sharpener for PlaneSharpener<'_> {
+                fn sharpen(&self, plane: &ImageF32) -> Result<RunReport, String> {
+                    sharpen_plane(self.0, plane)
+                }
+            }
+            let color = sharpen_rgb(&PlaneSharpener(cli), &frame, cli.color)?;
+            io::write_ppm(&cli.output, &color.output).map_err(|e| e.to_string())?;
+            summary.push_str(&format!(
+                "sharpened {}x{} colour frame ({:?}, {} plane runs) in {:.3} simulated ms\n",
+                frame.width(),
+                frame.height(),
+                cli.color,
+                color.plane_runs,
+                color.total_s * 1e3
+            ));
+            // Trace/gantt need a plane report; redo the luma plane cheaply.
+            report = sharpen_plane(cli, &frame.to_luma())?;
+        }
+        other => return Err(format!("unsupported input extension {other:?} (use .pgm or .ppm)")),
+    }
+
+    if let Some(path) = &cli.trace_json {
+        let json = trace::to_chrome_json(&report_to_records(&report));
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        summary.push_str(&format!("wrote trace to {}\n", path.display()));
+    }
+    if cli.gantt {
+        summary.push_str(&trace::gantt(&report_to_records(&report), 60));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_minimal() {
+        let cli = parse_args(&strs(&["in.pgm", "out.pgm"])).unwrap();
+        assert_eq!(cli.engine, Engine::Gpu(DevicePreset::W8000));
+        assert_eq!(cli.opts, OptConfig::all());
+        assert_eq!(cli.color, ColorMode::LumaOnly);
+    }
+
+    #[test]
+    fn parses_everything() {
+        let cli = parse_args(&strs(&[
+            "a.ppm", "b.ppm", "--gain", "2.5", "--gamma", "0.7", "--osc", "0.2", "--device",
+            "apu", "--opts", "none", "--color", "rgb", "--trace", "t.json", "--gantt",
+        ]))
+        .unwrap();
+        assert_eq!(cli.engine, Engine::Gpu(DevicePreset::Apu));
+        assert_eq!(cli.opts, OptConfig::none());
+        assert_eq!(cli.color, ColorMode::PerChannel);
+        assert!((cli.params.gain - 2.5).abs() < 1e-6);
+        assert!(cli.gantt);
+        assert_eq!(cli.trace_json.as_deref(), Some(std::path::Path::new("t.json")));
+    }
+
+    #[test]
+    fn cpu_flag_overrides_device() {
+        let cli = parse_args(&strs(&["a.pgm", "b.pgm", "--cpu", "--device", "midrange"])).unwrap();
+        assert_eq!(cli.engine, Engine::Cpu);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_args(&strs(&[])).is_err());
+        assert!(parse_args(&strs(&["a.pgm"])).is_err());
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--bogus"])).is_err());
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--gain"])).is_err());
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--gain", "x"])).is_err());
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--device", "rtx"])).is_err());
+        // Invalid parameter values are caught at parse time.
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--osc", "7"])).is_err());
+    }
+
+    #[test]
+    fn record_reconstruction_classifies_kinds() {
+        use sharpness_core::report::StageRecord;
+        let report = RunReport {
+            output: ImageF32::zeros(4, 4),
+            total_s: 4.0,
+            stages: vec![
+                StageRecord { name: "rect-write:padded".into(), seconds: 1.0 },
+                StageRecord { name: "sobel_vec4".into(), seconds: 1.0 },
+                StageRecord { name: "host:reduction".into(), seconds: 1.0 },
+                StageRecord { name: "read:final".into(), seconds: 1.0 },
+            ],
+        };
+        let recs = report_to_records(&report);
+        assert_eq!(recs[0].kind, CommandKind::RectWrite);
+        assert_eq!(recs[1].kind, CommandKind::Kernel);
+        assert_eq!(recs[2].kind, CommandKind::HostWork);
+        assert_eq!(recs[3].kind, CommandKind::ReadBuffer);
+        assert!((recs[3].start_s - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn end_to_end_pgm_roundtrip() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("cli-in-{}.pgm", std::process::id()));
+        let output = dir.join(format!("cli-out-{}.pgm", std::process::id()));
+        let trace = dir.join(format!("cli-trace-{}.json", std::process::id()));
+        let img = imagekit::generate::natural(64, 64, 3).to_u8();
+        io::write_pgm(&input, &img).unwrap();
+        let cli = parse_args(&strs(&[
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--gantt",
+        ]))
+        .unwrap();
+        let summary = run(&cli).unwrap();
+        assert!(summary.contains("sharpened 64x64 grayscale"));
+        assert!(summary.contains("wrote trace"));
+        assert!(summary.contains('#')); // gantt bars
+        let out = io::read_pgm(&output).unwrap();
+        assert_eq!(out.width(), 64);
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        for p in [input, output, trace] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn end_to_end_ppm_roundtrip() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("cli-in-{}.ppm", std::process::id()));
+        let output = dir.join(format!("cli-out-{}.ppm", std::process::id()));
+        let g = imagekit::generate::natural(32, 32, 9).to_u8();
+        io::write_ppm(&input, &imagekit::rgb::gray_to_rgb(&g)).unwrap();
+        let cli = parse_args(&strs(&[
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--color",
+            "rgb",
+        ]))
+        .unwrap();
+        let summary = run(&cli).unwrap();
+        assert!(summary.contains("3 plane runs"));
+        assert!(io::read_ppm(&output).is_ok());
+        for p in [input, output] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn unsupported_extension_rejected() {
+        let cli = parse_args(&strs(&["a.png", "b.png"])).unwrap();
+        assert!(run(&cli).unwrap_err().contains("unsupported"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Golden regression tests: the pipeline's output statistics for fixed
+//! seeds are pinned so that refactors cannot silently change the
+//! algorithm. Statistics (mean brightness, gradient energy) are compared
+//! with a tight tolerance rather than bit patterns so the tests survive
+//! platform differences in `powf`.
+
+use sharpness::prelude::*;
+
+/// `(width, seed, mean, gradient_energy)` of the CPU pipeline output with
+/// default parameters, recorded at repository creation.
+const GOLDEN: [(usize, u64, f64, f64); 3] = [
+    (64, 1, 114.272436, 24.674385),
+    (128, 7, 119.623260, 16.040611),
+    (256, 2015, 108.615550, 9.191470),
+];
+
+const TOL: f64 = 0.05;
+
+#[test]
+fn cpu_pipeline_statistics_are_pinned() {
+    for (w, seed, mean, grad) in GOLDEN {
+        let img = generate::natural(w, w, seed);
+        let r = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        let m = metrics::mean(&r.output);
+        let g = metrics::gradient_energy(&r.output);
+        assert!((m - mean).abs() < TOL, "{w}/{seed}: mean {m} vs golden {mean}");
+        assert!((g - grad).abs() < TOL, "{w}/{seed}: gradient {g} vs golden {grad}");
+    }
+}
+
+#[test]
+fn gpu_pipeline_statistics_match_golden_too() {
+    // The optimized GPU path must land on the same statistics (its only
+    // deviation from the CPU path is the tree-summed mean).
+    for (w, seed, mean, grad) in GOLDEN {
+        let img = generate::natural(w, w, seed);
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        let r = GpuPipeline::new(ctx, SharpnessParams::default(), OptConfig::all())
+            .run(&img)
+            .unwrap();
+        let m = metrics::mean(&r.output);
+        let g = metrics::gradient_energy(&r.output);
+        assert!((m - mean).abs() < TOL, "{w}/{seed}: mean {m} vs golden {mean}");
+        assert!((g - grad).abs() < TOL, "{w}/{seed}: gradient {g} vs golden {grad}");
+    }
+}
+
+#[test]
+fn workload_generator_is_pinned() {
+    // The figure harness depends on the workload being reproducible.
+    let img = generate::natural(256, 256, 2015);
+    let m = metrics::mean(&img);
+    assert!((m - 108.44).abs() < 1.0, "workload mean drifted: {m}");
+    let g = metrics::gradient_energy(&img);
+    assert!(g > 3.0 && g < 12.0, "workload gradient drifted: {g}");
+}
