@@ -15,11 +15,9 @@ fn bench_fig15(c: &mut Criterion) {
         ("no_unroll", ReductionStrategy::NoUnroll),
     ] {
         for n in [256 * 256usize, 1024 * 1024] {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &n,
-                |b, &n| b.iter(|| reduction_gpu_time(&ctx, n, strategy, usize::MAX)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| reduction_gpu_time(&ctx, n, strategy, usize::MAX))
+            });
         }
     }
     group.finish();

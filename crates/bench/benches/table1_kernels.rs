@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sharpness_bench::{w8000, workload};
 use sharpness_core::cpu::stages;
-use sharpness_core::gpu::kernels::sharpen::{
-    sharpness_fused_kernel, sharpness_fused_vec4_kernel,
-};
+use sharpness_core::gpu::kernels::sharpen::{sharpness_fused_kernel, sharpness_fused_vec4_kernel};
 use sharpness_core::gpu::kernels::sobel::{sobel_scalar_kernel, sobel_vec4_kernel};
 use sharpness_core::gpu::kernels::upscale::{
     upscale_center_scalar_kernel, upscale_center_vec4_kernel,
@@ -32,8 +30,16 @@ fn bench_kernels(c: &mut Criterion) {
     let up_buf = ctx.buffer_from("up", up.pixels());
     let pedge_buf = ctx.buffer_from("pEdge", pedge.pixels());
     let out = ctx.buffer::<f32>("final", W * W);
-    let raw = SrcImage { view: orig_buf.view(), pitch: W, pad: 0 };
-    let pad = SrcImage { view: padded_buf.view(), pitch: W + 2, pad: 1 };
+    let raw = SrcImage {
+        view: orig_buf.view(),
+        pitch: W,
+        pad: 0,
+    };
+    let pad = SrcImage {
+        view: padded_buf.view(),
+        pitch: W + 2,
+        pad: 1,
+    };
     let tune = KernelTuning { others: true };
     let params = SharpnessParams::default();
 
@@ -42,20 +48,33 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("sobel", "scalar"), |b| {
         b.iter(|| {
             let mut q = ctx.queue();
-            sobel_scalar_kernel(&mut q, &raw, &out, W, W, tune).unwrap().total_s
+            sobel_scalar_kernel(&mut q, &raw, &out, W, W, tune)
+                .unwrap()
+                .total_s
         })
     });
     group.bench_function(BenchmarkId::new("sobel", "vec4"), |b| {
         b.iter(|| {
             let mut q = ctx.queue();
-            sobel_vec4_kernel(&mut q, &pad, &out, W, W, tune).unwrap().total_s
+            sobel_vec4_kernel(&mut q, &pad, &out, W, W, tune)
+                .unwrap()
+                .total_s
         })
     });
     group.bench_function(BenchmarkId::new("sharpness", "fused_scalar"), |b| {
         b.iter(|| {
             let mut q = ctx.queue();
             sharpness_fused_kernel(
-                &mut q, &pad, &up_buf.view(), &pedge_buf.view(), &out, mean, params, W, W, tune,
+                &mut q,
+                &pad,
+                &up_buf.view(),
+                &pedge_buf.view(),
+                &out,
+                mean,
+                params,
+                W,
+                W,
+                tune,
             )
             .unwrap()
             .total_s
@@ -65,7 +84,16 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| {
             let mut q = ctx.queue();
             sharpness_fused_vec4_kernel(
-                &mut q, &pad, &up_buf.view(), &pedge_buf.view(), &out, mean, params, W, W, tune,
+                &mut q,
+                &pad,
+                &up_buf.view(),
+                &pedge_buf.view(),
+                &out,
+                mean,
+                params,
+                W,
+                W,
+                tune,
             )
             .unwrap()
             .total_s

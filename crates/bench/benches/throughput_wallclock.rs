@@ -1,0 +1,102 @@
+//! Wall-clock throughput of the multi-frame paths (not a figure from the
+//! paper — this measures the *host* cost of running the simulator, which
+//! is what persistent plans, buffer pooling and the throughput engine
+//! optimize).
+//!
+//! Three ways to push N identical-shape frames through the GPU pipeline:
+//!
+//! * `fresh`  — one `GpuPipeline::run` per frame on an unpooled context:
+//!   every frame re-allocates every device buffer (the pre-plan path);
+//! * `plan`   — one prepared `PipelinePlan`, `run_into` per frame:
+//!   buffers, queue, host scratch and stage names all reused;
+//! * `engine` — `ThroughputEngine` fanning the frames over the host
+//!   cores, one pooled plan per worker.
+//!
+//! Run with `cargo bench --bench throughput_wallclock`. Environment knobs:
+//! `TP_WIDTH` (default 1024), `TP_FRAMES` (default 12).
+
+use std::time::Instant;
+
+use sharpness_bench::workload;
+use sharpness_core::gpu::{GpuPipeline, OptConfig, ThroughputEngine};
+use sharpness_core::params::SharpnessParams;
+use simgpu::context::Context;
+use simgpu::device::DeviceSpec;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fps(frames: usize, seconds: f64) -> f64 {
+    frames as f64 / seconds
+}
+
+fn main() {
+    let width = env_usize("TP_WIDTH", 1024);
+    let frames = env_usize("TP_FRAMES", 12);
+    let img = workload(width);
+    let params = SharpnessParams::default();
+    let stream: Vec<_> = (0..frames).map(|_| img.clone()).collect();
+
+    println!("throughput_wallclock: {frames} frames of {width}x{width}, OptConfig::all()");
+
+    // Per-frame allocation path: fresh pipeline + unpooled context every
+    // frame, exactly what a caller without `prepared()` pays.
+    let fresh_s = {
+        let run_one = || {
+            let ctx = Context::new(DeviceSpec::firepro_w8000()).with_pooling(false);
+            GpuPipeline::new(ctx, params, OptConfig::all())
+                .run(&img)
+                .unwrap()
+                .total_s
+        };
+        run_one(); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..frames {
+            std::hint::black_box(run_one());
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    println!(
+        "  fresh : {fresh_s:8.3} s  ({:7.2} frames/s)",
+        fps(frames, fresh_s)
+    );
+
+    // Persistent plan on a pooled context, single worker.
+    let plan_s = {
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        let pipe = GpuPipeline::new(ctx, params, OptConfig::all());
+        let mut plan = pipe.prepared(width, width).unwrap();
+        let mut out = vec![0.0f32; img.len()];
+        plan.run_into(&img, &mut out).unwrap(); // warm-up (fills the pool)
+        let t0 = Instant::now();
+        for _ in 0..frames {
+            std::hint::black_box(plan.run_into(&img, &mut out).unwrap());
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    println!(
+        "  plan  : {plan_s:8.3} s  ({:7.2} frames/s)  {:4.2}x vs fresh",
+        fps(frames, plan_s),
+        fresh_s / plan_s
+    );
+
+    // Throughput engine: pooled plans fanned over the host cores.
+    let (engine_s, workers) = {
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        let pipe = GpuPipeline::new(ctx, params, OptConfig::all());
+        let engine = ThroughputEngine::new(pipe, 0);
+        engine.process(&stream[..1]).unwrap(); // warm-up
+        let t0 = Instant::now();
+        let rep = std::hint::black_box(engine.process(&stream).unwrap());
+        (t0.elapsed().as_secs_f64(), rep.threads)
+    };
+    println!(
+        "  engine: {engine_s:8.3} s  ({:7.2} frames/s)  {:4.2}x vs fresh  [{workers} workers]",
+        fps(frames, engine_s),
+        fresh_s / engine_s
+    );
+}

@@ -27,10 +27,16 @@ fn main() {
         fig13a();
     }
     if all || what == "fig13b" {
-        fig13("Fig. 13(b) — time fraction per stage, base GPU version", OptConfig::none());
+        fig13(
+            "Fig. 13(b) — time fraction per stage, base GPU version",
+            OptConfig::none(),
+        );
     }
     if all || what == "fig13c" {
-        fig13("Fig. 13(c) — time fraction per stage, optimized GPU version", OptConfig::all());
+        fig13(
+            "Fig. 13(c) — time fraction per stage, optimized GPU version",
+            OptConfig::all(),
+        );
     }
     if all || what == "fig14" {
         fig14();
@@ -52,8 +58,20 @@ fn main() {
         write_csvs(dir);
     }
     if !all
-        && !["table1", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "fig16", "fig17", "ablations", "csv"]
-            .contains(&what)
+        && ![
+            "table1",
+            "fig12",
+            "fig13a",
+            "fig13b",
+            "fig13c",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "ablations",
+            "csv",
+        ]
+        .contains(&what)
     {
         eprintln!("unknown experiment `{what}`");
         eprintln!(
@@ -137,8 +155,10 @@ fn fig13(title: &str, opts: OptConfig) {
 
 fn print_fractions(data: Vec<(usize, Vec<(String, f64)>)>) {
     // Collect category order from the largest size (most complete).
-    let cats: Vec<String> =
-        data.last().map(|(_, c)| c.iter().map(|(n, _)| n.clone()).collect()).unwrap_or_default();
+    let cats: Vec<String> = data
+        .last()
+        .map(|(_, c)| c.iter().map(|(n, _)| n.clone()).collect())
+        .unwrap_or_default();
     print!("{:>10}", "size");
     for c in &cats {
         print!(" {:>12.12}", c);
@@ -147,7 +167,11 @@ fn print_fractions(data: Vec<(usize, Vec<(String, f64)>)>) {
     for (width, row) in &data {
         print!("{width:>9}²");
         for c in &cats {
-            let f = row.iter().find(|(n, _)| n == c).map(|(_, f)| *f).unwrap_or(0.0);
+            let f = row
+                .iter()
+                .find(|(n, _)| n == c)
+                .map(|(_, f)| *f)
+                .unwrap_or(0.0);
             print!(" {:>11.1}%", f * 100.0);
         }
         println!();
@@ -168,18 +192,34 @@ fn fig14() {
 
 fn fig15() {
     println!("Fig. 15 — reduction tail strategies (simulated seconds)");
-    println!("{:>10} {:>12} {:>12} {:>12}", "size", "unroll 1", "unroll 2", "no unroll");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "size", "unroll 1", "unroll 2", "no unroll"
+    );
     for (w, one, two, none) in fig15_data(&FIG14_SIZES) {
-        println!("{w:>9}² {} {} {}", fmt_time(one), fmt_time(two), fmt_time(none));
+        println!(
+            "{w:>9}² {} {} {}",
+            fmt_time(one),
+            fmt_time(two),
+            fmt_time(none)
+        );
     }
     println!("paper shape: unrolling ONE wavefront beats unrolling two (extra barrier)\n");
 }
 
 fn fig16() {
     println!("Fig. 16 — reduction on CPU (incl. pEdge transfer) vs on GPU");
-    println!("{:>10} {:>12} {:>12} {:>10}", "size", "CPU", "GPU", "speedup");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "size", "CPU", "GPU", "speedup"
+    );
     for (w, cpu, gpu) in fig16_data(&FIG14_SIZES) {
-        println!("{w:>9}² {} {} {:>9.1}x", fmt_time(cpu), fmt_time(gpu), cpu / gpu);
+        println!(
+            "{w:>9}² {} {} {:>9.1}x",
+            fmt_time(cpu),
+            fmt_time(gpu),
+            cpu / gpu
+        );
     }
     println!("paper shape: GPU reduction up to 30.8x faster\n");
 }
@@ -207,8 +247,14 @@ fn write_csvs(dir: &str) {
     let files: [(&str, String); 7] = [
         ("fig12.csv", csv::fig12_csv(&FIG12_SIZES)),
         ("fig13a.csv", csv::fig13a_csv(&FIG12_SIZES)),
-        ("fig13b.csv", csv::fig13_gpu_csv(&FIG12_SIZES, OptConfig::none())),
-        ("fig13c.csv", csv::fig13_gpu_csv(&FIG12_SIZES, OptConfig::all())),
+        (
+            "fig13b.csv",
+            csv::fig13_gpu_csv(&FIG12_SIZES, OptConfig::none()),
+        ),
+        (
+            "fig13c.csv",
+            csv::fig13_gpu_csv(&FIG12_SIZES, OptConfig::all()),
+        ),
         ("fig14.csv", csv::fig14_csv(&FIG14_SIZES)),
         ("fig15.csv", csv::fig15_csv(&FIG14_SIZES)),
         ("fig16.csv", csv::fig16_csv(&FIG14_SIZES)),

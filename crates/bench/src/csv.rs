@@ -7,7 +7,9 @@
 
 use std::fmt::Write as _;
 
-use crate::{fig12_data, fig13_gpu_data, fig13a_data, fig14_data, fig15_data, fig16_data, fig17_data};
+use crate::{
+    fig12_data, fig13_gpu_data, fig13a_data, fig14_data, fig15_data, fig16_data, fig17_data,
+};
 use sharpness_core::gpu::OptConfig;
 
 /// Fig. 12 rows: `size,cpu_s,base_s,opt_s,base_speedup,opt_speedup`.
@@ -30,8 +32,10 @@ pub fn fig12_csv(sizes: &[usize]) -> String {
 
 fn fractions_csv(data: Vec<(usize, Vec<(String, f64)>)>) -> String {
     // Column order from the largest size.
-    let cats: Vec<String> =
-        data.last().map(|(_, c)| c.iter().map(|(n, _)| n.clone()).collect()).unwrap_or_default();
+    let cats: Vec<String> = data
+        .last()
+        .map(|(_, c)| c.iter().map(|(n, _)| n.clone()).collect())
+        .unwrap_or_default();
     let mut out = String::from("size");
     for c in &cats {
         let _ = write!(out, ",{}", c.replace(' ', "_"));
@@ -40,7 +44,11 @@ fn fractions_csv(data: Vec<(usize, Vec<(String, f64)>)>) -> String {
     for (w, row) in &data {
         let _ = write!(out, "{w}");
         for c in &cats {
-            let f = row.iter().find(|(n, _)| n == c).map(|(_, f)| *f).unwrap_or(0.0);
+            let f = row
+                .iter()
+                .find(|(n, _)| n == c)
+                .map(|(_, f)| *f)
+                .unwrap_or(0.0);
             let _ = write!(out, ",{f:.6}");
         }
         out.push('\n');
@@ -92,7 +100,11 @@ pub fn fig16_csv(sizes: &[usize]) -> String {
 pub fn fig17_csv(sizes: &[usize]) -> String {
     let mut out = String::from("size,cpu_s,gpu_s,winner\n");
     for (w, cpu, gpu) in fig17_data(sizes) {
-        let _ = writeln!(out, "{w},{cpu:.9},{gpu:.9},{}", if cpu <= gpu { "cpu" } else { "gpu" });
+        let _ = writeln!(
+            out,
+            "{w},{cpu:.9},{gpu:.9},{}",
+            if cpu <= gpu { "cpu" } else { "gpu" }
+        );
     }
     out
 }

@@ -75,13 +75,17 @@ impl Fig12Row {
 /// Runs the CPU pipeline at `width` and returns the report.
 pub fn run_cpu(width: usize) -> RunReport {
     let img = workload(width);
-    CpuPipeline::new(SharpnessParams::default()).run(&img).expect("cpu pipeline")
+    CpuPipeline::new(SharpnessParams::default())
+        .run(&img)
+        .expect("cpu pipeline")
 }
 
 /// Runs the GPU pipeline at `width` with `opts` and returns the report.
 pub fn run_gpu(width: usize, opts: OptConfig) -> RunReport {
     let img = workload(width);
-    GpuPipeline::new(w8000(), SharpnessParams::default(), opts).run(&img).expect("gpu pipeline")
+    GpuPipeline::new(w8000(), SharpnessParams::default(), opts)
+        .run(&img)
+        .expect("gpu pipeline")
 }
 
 /// Fig. 12: CPU vs base GPU vs optimized GPU across image sizes.
@@ -105,7 +109,10 @@ pub fn fig13a_data(sizes: &[usize]) -> Vec<(usize, Vec<(String, f64)>)> {
             let r = run_cpu(width);
             let cats = r.by_category(classify_cpu_stage);
             let total = r.total_s;
-            (width, cats.into_iter().map(|(c, s)| (c, s / total)).collect())
+            (
+                width,
+                cats.into_iter().map(|(c, s)| (c, s / total)).collect(),
+            )
         })
         .collect()
 }
@@ -118,7 +125,10 @@ pub fn fig13_gpu_data(sizes: &[usize], opts: OptConfig) -> Vec<(usize, Vec<(Stri
             let r = run_gpu(width, opts);
             let cats = r.by_category(classify_gpu_stage);
             let total = r.total_s;
-            (width, cats.into_iter().map(|(c, s)| (c, s / total)).collect())
+            (
+                width,
+                cats.into_iter().map(|(c, s)| (c, s / total)).collect(),
+            )
         })
         .collect()
 }
@@ -197,7 +207,10 @@ pub fn table1() -> String {
         format!("{:.2} GHz", g.clock_ghz),
         format!("{:.1} GHz", c.clock_ghz)
     ));
-    s.push_str(&format!("{:<28}{:>20}{:>22}\n", "Number of cores", g.total_lanes, 4));
+    s.push_str(&format!(
+        "{:<28}{:>20}{:>22}\n",
+        "Number of cores", g.total_lanes, 4
+    ));
     s.push_str(&format!(
         "{:<28}{:>20}{:>22}\n",
         "Peak GFlops",
@@ -233,8 +246,16 @@ mod tests {
         let rows = fig12_data(&[256, 512]);
         assert_eq!(rows.len(), 2);
         for r in &rows {
-            assert!(r.cpu_s > r.base_s, "GPU base should beat CPU at {}", r.width);
-            assert!(r.opt_s <= r.base_s * 1.05, "opt should not regress at {}", r.width);
+            assert!(
+                r.cpu_s > r.base_s,
+                "GPU base should beat CPU at {}",
+                r.width
+            );
+            assert!(
+                r.opt_s <= r.base_s * 1.05,
+                "opt should not regress at {}",
+                r.width
+            );
         }
         // Speedup grows with size.
         assert!(rows[1].opt_speedup() > rows[0].opt_speedup());

@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn reduction_strategy_is_unroll_one_on_w8000() {
         // Fig. 15's conclusion.
-        assert_eq!(tune_reduction_strategy(&ctx(), 2048 * 2048), ReductionStrategy::UnrollOne);
+        assert_eq!(
+            tune_reduction_strategy(&ctx(), 2048 * 2048),
+            ReductionStrategy::UnrollOne
+        );
     }
 
     #[test]

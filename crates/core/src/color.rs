@@ -109,7 +109,11 @@ mod tests {
         let base = generate::natural(64, 64, 5).to_u8();
         let tex = generate::value_noise(64, 64, 7, 3);
         RgbImageU8::from_fn(64, 64, |x, y| {
-            (base.get(x, y), tex.get(x, y) as u8, 128u8.saturating_sub(base.get(x, y) / 2))
+            (
+                base.get(x, y),
+                tex.get(x, y) as u8,
+                128u8.saturating_sub(base.get(x, y) / 2),
+            )
         })
     }
 
@@ -145,8 +149,12 @@ mod tests {
     #[test]
     fn cpu_and_gpu_sharpeners_agree() {
         let f = frame();
-        let cpu = sharpen_rgb(&CpuPipeline::new(SharpnessParams::default()), &f, ColorMode::PerChannel)
-            .unwrap();
+        let cpu = sharpen_rgb(
+            &CpuPipeline::new(SharpnessParams::default()),
+            &f,
+            ColorMode::PerChannel,
+        )
+        .unwrap();
         let gpu = sharpen_rgb(&gpu(), &f, ColorMode::PerChannel).unwrap();
         // u8 quantisation plus reduction rounding: allow ±1 levels.
         for (a, b) in cpu.output.bytes().iter().zip(gpu.output.bytes()) {

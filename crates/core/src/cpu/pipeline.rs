@@ -22,7 +22,10 @@ pub struct CpuPipeline {
 impl CpuPipeline {
     /// Pipeline with the paper's host CPU and the given parameters.
     pub fn new(params: SharpnessParams) -> Self {
-        CpuPipeline { cpu: CpuSpec::core_i5_3470(), params }
+        CpuPipeline {
+            cpu: CpuSpec::core_i5_3470(),
+            params,
+        }
     }
 
     /// Overrides the CPU model.
@@ -48,7 +51,7 @@ impl CpuPipeline {
         let mut records = Vec::with_capacity(8);
         let push = |name: &str, c: &simgpu::cost::CostCounters, records: &mut Vec<StageRecord>| {
             records.push(StageRecord {
-                name: name.to_string(),
+                name: name.into(),
                 seconds: cpu_stage_time(&self.cpu, c),
             });
         };
@@ -76,7 +79,11 @@ impl CpuPipeline {
         push("overshoot", &c, &mut records);
 
         let total_s = records.iter().map(|r| r.seconds).sum();
-        Ok(RunReport { output: finalimg, total_s, stages: records })
+        Ok(RunReport {
+            output: finalimg,
+            total_s,
+            stages: records,
+        })
     }
 
     /// Runs only up to the preliminary matrix (no overshoot) — used by the
@@ -104,7 +111,9 @@ mod tests {
     #[test]
     fn runs_and_output_in_range() {
         let img = generate::natural(64, 64, 3);
-        let r = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        let r = CpuPipeline::new(SharpnessParams::default())
+            .run(&img)
+            .unwrap();
         assert_eq!((r.output.width(), r.output.height()), (64, 64));
         assert_eq!(metrics::out_of_range_fraction(&r.output), 0.0);
         assert!(r.total_s > 0.0);
@@ -116,7 +125,9 @@ mod tests {
         // Start from a slightly-soft image (blobs) and check the output has
         // more edge energy than the input.
         let img = generate::gaussian_blobs(96, 96, 6, 5);
-        let r = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        let r = CpuPipeline::new(SharpnessParams::default())
+            .run(&img)
+            .unwrap();
         assert!(
             metrics::gradient_energy(&r.output) > metrics::gradient_energy(&img),
             "sharpening should raise gradient energy"
@@ -136,9 +147,14 @@ mod tests {
     #[test]
     fn rejects_bad_shapes_and_params() {
         let img = generate::natural(30, 32, 1); // 30 not multiple of 4
-        assert!(CpuPipeline::new(SharpnessParams::default()).run(&img).is_err());
+        assert!(CpuPipeline::new(SharpnessParams::default())
+            .run(&img)
+            .is_err());
         let img = generate::natural(32, 32, 1);
-        let p = SharpnessParams { gamma: -1.0, ..SharpnessParams::default() };
+        let p = SharpnessParams {
+            gamma: -1.0,
+            ..SharpnessParams::default()
+        };
         assert!(CpuPipeline::new(p).run(&img).is_err());
     }
 
@@ -147,14 +163,22 @@ mod tests {
         // The paper's Fig. 13(a): overshoot control and the strength matrix
         // are the CPU bottlenecks.
         let img = generate::natural(256, 256, 2);
-        let r = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        let r = CpuPipeline::new(SharpnessParams::default())
+            .run(&img)
+            .unwrap();
         let cats = r.by_category(classify_cpu_stage);
         let get = |name: &str| {
-            cats.iter().find(|(c, _)| c == name).map(|(_, s)| *s).unwrap_or(0.0)
+            cats.iter()
+                .find(|(c, _)| c == name)
+                .map(|(_, s)| *s)
+                .unwrap_or(0.0)
         };
         let strength = get("strength matrix");
         let overshoot = get("overshoot control");
-        assert!(strength + overshoot > 0.5 * r.total_s, "bottlenecks: {cats:?}");
+        assert!(
+            strength + overshoot > 0.5 * r.total_s,
+            "bottlenecks: {cats:?}"
+        );
         assert!(strength > get("sobel"));
     }
 
@@ -163,7 +187,10 @@ mod tests {
         // With gain = 0 the output is overshoot(upscale(downscale)) — no
         // edge amplification; on a constant image that is the identity.
         let img = imagekit::ImageF32::filled(32, 32, 120.0);
-        let p = SharpnessParams { gain: 0.0, ..SharpnessParams::default() };
+        let p = SharpnessParams {
+            gain: 0.0,
+            ..SharpnessParams::default()
+        };
         let r = CpuPipeline::new(p).run(&img).unwrap();
         assert!(r.output.max_abs_diff(&img) < 1e-3);
     }

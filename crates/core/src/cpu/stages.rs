@@ -152,7 +152,11 @@ pub fn upscale(down: &ImageF32, w: usize, h: usize) -> (ImageF32, CostCounters, 
 
 /// Difference matrix: `pError = original − upscaled`.
 pub fn perror(orig: &ImageF32, up: &ImageF32) -> (ImageF32, CostCounters) {
-    assert_eq!((orig.width(), orig.height()), (up.width(), up.height()), "shape mismatch");
+    assert_eq!(
+        (orig.width(), orig.height()),
+        (up.width(), up.height()),
+        "shape mismatch"
+    );
     let mut out = ImageF32::zeros(orig.width(), orig.height());
     for (i, v) in out.pixels_mut().iter_mut().enumerate() {
         *v = orig.pixels()[i] - up.pixels()[i];
@@ -322,7 +326,10 @@ mod tests {
         let mut up = ImageF32::from_fn(32, 32, |_, _| f32::NAN);
         upscale_border_into(&d, &mut up);
         upscale_body_into(&d, &mut up);
-        assert!(up.pixels().iter().all(|v| v.is_finite()), "uncovered pixels remain");
+        assert!(
+            up.pixels().iter().all(|v| v.is_finite()),
+            "uncovered pixels remain"
+        );
     }
 
     #[test]
@@ -398,8 +405,7 @@ mod tests {
     fn reduction_mean_matches_naive() {
         let im = img();
         let (m, c) = reduction(&im);
-        let naive: f64 =
-            im.pixels().iter().map(|&v| f64::from(v)).sum::<f64>() / im.len() as f64;
+        let naive: f64 = im.pixels().iter().map(|&v| f64::from(v)).sum::<f64>() / im.len() as f64;
         assert!((f64::from(m) - naive).abs() < 1e-3);
         assert_eq!(c.ops.add, im.len() as u64);
     }
@@ -409,8 +415,7 @@ mod tests {
         let up = ImageF32::filled(16, 16, 50.0);
         let zero = ImageF32::zeros(16, 16);
         let err = ImageF32::filled(16, 16, 10.0);
-        let (pr, _) =
-            strength_preliminary(&up, &zero, &err, 5.0, &SharpnessParams::default());
+        let (pr, _) = strength_preliminary(&up, &zero, &err, 5.0, &SharpnessParams::default());
         assert!(pr.pixels().iter().all(|&v| v == 50.0));
     }
 

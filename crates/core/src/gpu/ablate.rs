@@ -94,7 +94,11 @@ pub fn border_cpu_time(ctx: &Context, w: usize, h: usize) -> f64 {
     let counters = cpu_stages::upscale_border_into(&down_img, &mut up_host);
     q.charge_host("host:upscale_border", &counters);
     let border_bytes = (4 * w + 4 * (h - 4)) as u64 * 4;
-    q.charge_bulk("write:up_border", simgpu::queue::CommandKind::WriteBuffer, border_bytes);
+    q.charge_bulk(
+        "write:up_border",
+        simgpu::queue::CommandKind::WriteBuffer,
+        border_bytes,
+    );
     q.elapsed()
 }
 

@@ -18,7 +18,7 @@
 use imagekit::ImageF32;
 
 use crate::gpu::pipeline::GpuPipeline;
-use crate::report::RunReport;
+use crate::report::{classify_stage_lane, RunReport, StageLane};
 
 /// Per-frame time decomposition used by the overlap model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,19 +32,19 @@ pub struct FrameComponents {
 }
 
 impl FrameComponents {
-    /// Splits a pipeline run's stage records into the three lanes.
+    /// Splits a pipeline run's stage records into the three lanes using
+    /// the shared [`classify_stage_lane`] classifier.
     pub fn from_report(report: &RunReport) -> Self {
-        let mut c = FrameComponents { upload_s: 0.0, compute_s: 0.0, download_s: 0.0 };
+        let mut c = FrameComponents {
+            upload_s: 0.0,
+            compute_s: 0.0,
+            download_s: 0.0,
+        };
         for s in &report.stages {
-            if s.name.starts_with("write:")
-                || s.name.starts_with("rect-write:")
-                || s.name.starts_with("map-write:")
-            {
-                c.upload_s += s.seconds;
-            } else if s.name.starts_with("read:") || s.name.starts_with("map-read:") {
-                c.download_s += s.seconds;
-            } else {
-                c.compute_s += s.seconds;
+            match classify_stage_lane(&s.name) {
+                StageLane::Upload => c.upload_s += s.seconds,
+                StageLane::Compute => c.compute_s += s.seconds,
+                StageLane::Download => c.download_s += s.seconds,
             }
         }
         c
@@ -141,7 +141,12 @@ impl StreamingPipeline {
             outputs.push(report.output);
         }
         let pipelined_s = pipelined_time(&comps);
-        Ok(StreamReport { outputs, frames: comps, serial_s: serial, pipelined_s })
+        Ok(StreamReport {
+            outputs,
+            frames: comps,
+            serial_s: serial,
+            pipelined_s,
+        })
     }
 }
 
@@ -164,14 +169,22 @@ mod tests {
 
     #[test]
     fn single_frame_has_no_overlap_benefit() {
-        let f = [FrameComponents { upload_s: 2.0, compute_s: 3.0, download_s: 1.0 }];
+        let f = [FrameComponents {
+            upload_s: 2.0,
+            compute_s: 3.0,
+            download_s: 1.0,
+        }];
         assert!((pipelined_time(&f) - 6.0).abs() < 1e-12);
     }
 
     #[test]
     fn steady_state_is_bottleneck_bound() {
         // N identical frames: total -> fill + N * max(stage).
-        let c = FrameComponents { upload_s: 2.0, compute_s: 5.0, download_s: 1.0 };
+        let c = FrameComponents {
+            upload_s: 2.0,
+            compute_s: 5.0,
+            download_s: 1.0,
+        };
         let frames = vec![c; 100];
         let t = pipelined_time(&frames);
         let lower = 100.0 * 5.0;
@@ -182,9 +195,21 @@ mod tests {
     #[test]
     fn pipelining_never_slower_and_never_faster_than_bottleneck() {
         let frames = vec![
-            FrameComponents { upload_s: 1.0, compute_s: 2.0, download_s: 3.0 },
-            FrameComponents { upload_s: 3.0, compute_s: 1.0, download_s: 2.0 },
-            FrameComponents { upload_s: 2.0, compute_s: 3.0, download_s: 1.0 },
+            FrameComponents {
+                upload_s: 1.0,
+                compute_s: 2.0,
+                download_s: 3.0,
+            },
+            FrameComponents {
+                upload_s: 3.0,
+                compute_s: 1.0,
+                download_s: 2.0,
+            },
+            FrameComponents {
+                upload_s: 2.0,
+                compute_s: 3.0,
+                download_s: 1.0,
+            },
         ];
         let serial: f64 = frames.iter().map(FrameComponents::total).sum();
         let t = pipelined_time(&frames);

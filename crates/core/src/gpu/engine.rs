@@ -1,0 +1,253 @@
+//! Multi-frame throughput engine: fans a frame stream over a host worker
+//! pool, one prepared [`PipelinePlan`] per worker.
+//!
+//! The paper's motivating workloads (TV, camera, video — Section I) are
+//! streams, and a stream's figure of merit is sustained frames/sec, not
+//! one frame's latency. The engine measures both sides of that:
+//!
+//! * **wall-clock frames/sec** — how fast this host actually chews
+//!   through the simulation, which is what plan reuse and buffer pooling
+//!   accelerate; and
+//! * **simulated steady-state time** — the double-buffered overlap model
+//!   from [`crate::gpu::batch`], fed with each frame's measured lane
+//!   components, which is what the modeled hardware would sustain.
+//!
+//! Each worker pins its kernel dispatches to one thread
+//! (`with_dispatch_threads(1)`) so parallelism comes from frames, not from
+//! oversubscribing every dispatch across all cores.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use imagekit::ImageF32;
+
+use crate::gpu::batch::{pipelined_time, FrameComponents};
+use crate::gpu::pipeline::GpuPipeline;
+
+/// Result of a [`ThroughputEngine::process`] run.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Sharpened frames, in input order.
+    pub outputs: Vec<ImageF32>,
+    /// Per-frame simulated lane components, in input order.
+    pub frames: Vec<FrameComponents>,
+    /// Total simulated time without overlap (sum of frame totals).
+    pub serial_s: f64,
+    /// Total simulated time with double-buffered overlap.
+    pub pipelined_s: f64,
+    /// Measured wall-clock duration of the whole run, seconds.
+    pub wall_s: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl ThroughputReport {
+    /// Measured wall-clock throughput in frames/second.
+    pub fn wall_fps(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.outputs.len() as f64 / self.wall_s
+        }
+    }
+
+    /// Simulated steady-state throughput in frames/second (overlap model).
+    pub fn simulated_fps(&self) -> f64 {
+        if self.pipelined_s <= 0.0 {
+            0.0
+        } else {
+            self.frames.len() as f64 / self.pipelined_s
+        }
+    }
+}
+
+/// Parallel multi-frame executor over a [`GpuPipeline`] configuration.
+pub struct ThroughputEngine {
+    pipe: GpuPipeline,
+    threads: usize,
+}
+
+impl ThroughputEngine {
+    /// Creates an engine over `pipe` using `threads` workers
+    /// (0 = available host parallelism).
+    pub fn new(pipe: GpuPipeline, threads: usize) -> Self {
+        ThroughputEngine { pipe, threads }
+    }
+
+    /// Worker count the engine will use for a run.
+    pub fn threads(&self) -> usize {
+        if self.threads == 0 {
+            simgpu::par::default_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    /// The pipeline configuration frames are executed with.
+    pub fn pipeline(&self) -> &GpuPipeline {
+        &self.pipe
+    }
+
+    /// Processes every frame, fanning them over the worker pool. Frames
+    /// may differ in shape; a worker re-prepares its plan when the shape
+    /// changes (streams of one shape keep a plan for the worker's whole
+    /// life).
+    ///
+    /// # Errors
+    /// The first frame failure (shape/parameter errors, simulated faults)
+    /// aborts the run.
+    pub fn process(&self, frames: &[ImageF32]) -> Result<ThroughputReport, String> {
+        let threads = self.threads().min(frames.len()).max(1);
+        // Workers pin each dispatch to one host thread: with many frames in
+        // flight, frame-level parallelism beats oversubscribed dispatches.
+        let worker_pipe = if threads > 1 {
+            self.pipe
+                .with_context_tweak(|ctx| ctx.with_dispatch_threads(1))
+        } else {
+            self.pipe.clone()
+        };
+
+        let started = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let failure: Mutex<Option<String>> = Mutex::new(None);
+        let mut results: Vec<Option<(ImageF32, FrameComponents)>> = Vec::new();
+        results.resize_with(frames.len(), || None);
+        let slots: Vec<Mutex<&mut Option<(ImageF32, FrameComponents)>>> =
+            results.iter_mut().map(Mutex::new).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut plan = None;
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= frames.len() || failure.lock().expect("failure lock").is_some() {
+                            return;
+                        }
+                        let frame = &frames[i];
+                        let shape = (frame.width(), frame.height());
+                        let keep = matches!(&plan, Some(p) if crate::gpu::pipeline::PipelinePlan::shape(p) == shape);
+                        if !keep {
+                            match worker_pipe.prepared(shape.0, shape.1) {
+                                Ok(p) => plan = Some(p),
+                                Err(e) => {
+                                    failure.lock().expect("failure lock").get_or_insert(e);
+                                    return;
+                                }
+                            }
+                        }
+                        let plan = plan.as_mut().expect("plan prepared above");
+                        out.resize(frame.len(), 0.0);
+                        match plan.run_into(frame, &mut out) {
+                            Ok(comps) => {
+                                let img =
+                                    ImageF32::from_vec(shape.0, shape.1, out.clone());
+                                **slots[i].lock().expect("slot lock") = Some((img, comps));
+                            }
+                            Err(e) => {
+                                failure.lock().expect("failure lock").get_or_insert(e);
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let wall_s = started.elapsed().as_secs_f64();
+
+        if let Some(e) = failure.into_inner().expect("failure lock") {
+            return Err(e);
+        }
+        drop(slots);
+        let mut outputs = Vec::with_capacity(frames.len());
+        let mut comps = Vec::with_capacity(frames.len());
+        for r in results {
+            let (img, c) = r.expect("no failure recorded, so every frame completed");
+            outputs.push(img);
+            comps.push(c);
+        }
+        let serial_s = comps.iter().map(FrameComponents::total).sum();
+        let pipelined_s = pipelined_time(&comps);
+        Ok(ThroughputReport {
+            outputs,
+            frames: comps,
+            serial_s,
+            pipelined_s,
+            wall_s,
+            threads,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::opts::OptConfig;
+    use crate::params::SharpnessParams;
+    use imagekit::generate;
+    use simgpu::context::Context;
+    use simgpu::device::DeviceSpec;
+
+    fn engine(threads: usize) -> ThroughputEngine {
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        ThroughputEngine::new(
+            GpuPipeline::new(ctx, SharpnessParams::default(), OptConfig::all()),
+            threads,
+        )
+    }
+
+    fn frames(n: u64, w: usize) -> Vec<ImageF32> {
+        (0..n).map(|i| generate::natural(w, w, 100 + i)).collect()
+    }
+
+    #[test]
+    fn outputs_match_single_runs_in_order() {
+        let fs = frames(6, 64);
+        let eng = engine(3);
+        let rep = eng.process(&fs).unwrap();
+        assert_eq!(rep.outputs.len(), 6);
+        for (f, out) in fs.iter().zip(&rep.outputs) {
+            let single = eng.pipeline().run(f).unwrap();
+            assert_eq!(&single.output, out);
+        }
+        assert!(rep.wall_s > 0.0 && rep.wall_fps() > 0.0);
+        assert!(rep.pipelined_s > 0.0 && rep.pipelined_s <= rep.serial_s);
+        assert!(rep.simulated_fps() > 0.0);
+        assert_eq!(rep.threads, 3);
+    }
+
+    #[test]
+    fn simulated_times_are_thread_count_invariant() {
+        let fs = frames(4, 64);
+        let serial = engine(1).process(&fs).unwrap();
+        let parallel = engine(4).process(&fs).unwrap();
+        assert_eq!(serial.frames, parallel.frames);
+        assert!((serial.pipelined_s - parallel.pipelined_s).abs() < 1e-15);
+        assert_eq!(serial.outputs, parallel.outputs);
+    }
+
+    #[test]
+    fn mixed_shapes_reprepare_plans() {
+        let mut fs = frames(2, 64);
+        fs.extend(frames(2, 32));
+        let rep = engine(2).process(&fs).unwrap();
+        assert_eq!(rep.outputs[0].width(), 64);
+        assert_eq!(rep.outputs[3].width(), 32);
+    }
+
+    #[test]
+    fn first_error_aborts() {
+        let mut fs = frames(2, 64);
+        fs.push(generate::gradient(30, 18)); // unsupported shape
+        assert!(engine(2).process(&fs).is_err());
+    }
+
+    #[test]
+    fn empty_stream_is_ok() {
+        let rep = engine(2).process(&[]).unwrap();
+        assert!(rep.outputs.is_empty());
+        assert_eq!(rep.simulated_fps(), 0.0);
+    }
+}

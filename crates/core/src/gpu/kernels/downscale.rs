@@ -4,12 +4,10 @@
 use simgpu::buffer::Buffer;
 use simgpu::cost::OpCounts;
 use simgpu::error::Result;
-use simgpu::kernel::items;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
 use super::{grid2d, KernelTuning, SrcImage};
-use crate::math;
 use crate::params::SCALE;
 
 /// Dispatches the downscale kernel: `down[j, i] = mean(src 4×4 block)`.
@@ -31,24 +29,43 @@ pub fn downscale_kernel(
     // Per item: 15 adds + 1 mul for the block mean, plus index arithmetic.
     let per_item = OpCounts::ZERO.adds(15).muls(1).plus(&tune.idx_ops());
     q.run(&desc, &[down], move |g| {
+        // Row-segment form: each output row of the group reads its four
+        // source rows as contiguous slices and accumulates the 4×4 block
+        // sums in the same dy-major/dx-minor order as
+        // [`math::downscale_pixel`] (bit-identical results), with the
+        // per-thread traffic — 16 scalar loads, 1 scalar store — charged
+        // in bulk.
+        let gw = g.group_size[0];
+        let x_start = g.group_id[0] * gw;
         let mut n_items = 0u64;
-        for l in items(g.group_size) {
-            let [i, j] = g.global_id(l);
-            if i >= w4 || j >= h4 {
+        let mut scratch = vec![0.0f32; gw];
+        for ly in 0..g.group_size[1] {
+            let j = g.group_id[1] * g.group_size[1] + ly;
+            if j >= h4 || x_start >= w4 {
                 continue;
             }
-            n_items += 1;
-            let mut block = [0.0f32; 16];
-            for dy in 0..SCALE {
-                for dx in 0..SCALE {
-                    block[dy * SCALE + dx] = g.load(
-                        &src.view,
-                        src.idx((SCALE * i + dx) as isize, (SCALE * j + dy) as isize),
-                    );
+            let x_end = (x_start + gw).min(w4);
+            let span = x_end - x_start;
+            n_items += span as u64;
+            let row_out = &mut scratch[..span];
+            let rows: [&[f32]; SCALE] = std::array::from_fn(|dy| {
+                src.view.slice_raw(
+                    src.idx((SCALE * x_start) as isize, (SCALE * j + dy) as isize),
+                    SCALE * span,
+                )
+            });
+            for (i, o) in row_out.iter_mut().enumerate() {
+                let mut s = 0.0f32;
+                for row in &rows {
+                    for dx in 0..SCALE {
+                        s += row[SCALE * i + dx];
+                    }
                 }
+                *o = s * (1.0 / 16.0);
             }
-            g.store(&dview, j * w4 + i, math::downscale_pixel(&block));
+            dview.set_span_raw(j * w4 + x_start, row_out);
         }
+        g.charge_global_n(64, 0, 4, 0, n_items);
         g.charge_n(&per_item, n_items);
     })
 }
@@ -70,7 +87,11 @@ mod tests {
         let mut q = ctx.queue();
         let orig = ctx.buffer_from("original", img.pixels());
         let down = ctx.buffer::<f32>("down", 16 * 12);
-        let src = SrcImage { view: orig.view(), pitch: 64, pad: 0 };
+        let src = SrcImage {
+            view: orig.view(),
+            pitch: 64,
+            pad: 0,
+        };
         downscale_kernel(&mut q, &src, &down, 16, 12, KernelTuning::default()).unwrap();
         assert_eq!(down.snapshot(), cpu_down.pixels());
     }
@@ -85,7 +106,11 @@ mod tests {
         let padded = img.padded(1, false);
         let pbuf = ctx.buffer_from("padded", padded.pixels());
         let down = ctx.buffer::<f32>("down", 8 * 8);
-        let src = SrcImage { view: pbuf.view(), pitch: 34, pad: 1 };
+        let src = SrcImage {
+            view: pbuf.view(),
+            pitch: 34,
+            pad: 1,
+        };
         downscale_kernel(&mut q, &src, &down, 8, 8, KernelTuning::default()).unwrap();
         assert_eq!(down.snapshot(), cpu_down.pixels());
     }
@@ -97,7 +122,11 @@ mod tests {
         let mut q = ctx.queue();
         let orig = ctx.buffer_from("original", img.pixels());
         let down = ctx.buffer::<f32>("down", 16 * 16);
-        let src = SrcImage { view: orig.view(), pitch: 64, pad: 0 };
+        let src = SrcImage {
+            view: orig.view(),
+            pitch: 64,
+            pad: 0,
+        };
         downscale_kernel(&mut q, &src, &down, 16, 16, KernelTuning::default()).unwrap();
         let c = q.records()[0].counters.unwrap();
         assert_eq!(c.global_read_scalar, 16 * 16 * 16 * 4);

@@ -48,7 +48,11 @@ impl SrcImage {
     pub fn idx(&self, x: isize, y: isize) -> usize {
         let px = x + self.pad as isize;
         let py = y + self.pad as isize;
-        debug_assert!(px >= 0 && py >= 0, "index ({x},{y}) outside source (pad {})", self.pad);
+        debug_assert!(
+            px >= 0 && py >= 0,
+            "index ({x},{y}) outside source (pad {})",
+            self.pad
+        );
         py as usize * self.pitch + px as usize
     }
 }
@@ -93,7 +97,11 @@ pub const GROUP_2D: [usize; 2] = [16, 16];
 /// 16×16 groups (kernels bounds-check the overhang, as real OpenCL kernels
 /// do).
 pub fn grid2d(name: &str, nx: usize, ny: usize) -> KernelDesc {
-    KernelDesc::new(name, [round_up(nx, GROUP_2D[0]), round_up(ny, GROUP_2D[1])], GROUP_2D)
+    KernelDesc::new(
+        name,
+        [round_up(nx, GROUP_2D[0]), round_up(ny, GROUP_2D[1])],
+        GROUP_2D,
+    )
 }
 
 /// Builds a 1-D dispatch of `n` items in groups of `group`, rounded up.
@@ -110,9 +118,17 @@ mod tests {
     #[test]
     fn src_image_indexing_raw_and_padded() {
         let ctx = Context::new(DeviceSpec::firepro_w8000());
-        let raw = SrcImage { view: ctx.buffer::<f32>("o", 64).view(), pitch: 8, pad: 0 };
+        let raw = SrcImage {
+            view: ctx.buffer::<f32>("o", 64).view(),
+            pitch: 8,
+            pad: 0,
+        };
         assert_eq!(raw.idx(3, 2), 2 * 8 + 3);
-        let padded = SrcImage { view: ctx.buffer::<f32>("p", 100).view(), pitch: 10, pad: 1 };
+        let padded = SrcImage {
+            view: ctx.buffer::<f32>("p", 100).view(),
+            pitch: 10,
+            pad: 1,
+        };
         assert_eq!(padded.idx(0, 0), 11);
         assert_eq!(padded.idx(-1, -1), 0);
         assert_eq!(padded.idx(8, 8), 99);

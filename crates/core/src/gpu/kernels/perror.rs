@@ -64,9 +64,21 @@ mod tests {
         let orig = ctx.buffer_from("original", img.pixels());
         let upbuf = ctx.buffer_from("up", up.pixels());
         let perr = ctx.buffer::<f32>("pError", 32 * 32);
-        let src = SrcImage { view: orig.view(), pitch: 32, pad: 0 };
-        perror_kernel(&mut q, &src, &upbuf.view(), &perr, 32, 32, KernelTuning::default())
-            .unwrap();
+        let src = SrcImage {
+            view: orig.view(),
+            pitch: 32,
+            pad: 0,
+        };
+        perror_kernel(
+            &mut q,
+            &src,
+            &upbuf.view(),
+            &perr,
+            32,
+            32,
+            KernelTuning::default(),
+        )
+        .unwrap();
         assert_eq!(perr.snapshot(), cpu_err.pixels());
     }
 }

@@ -93,16 +93,36 @@ pub fn reduction_stage1_range_kernel(
     let t = q.run(&desc, &[partials], move |g| {
         g.alloc_local(RED_GROUP);
         let base = g.group_id[0] * ELEMS_PER_GROUP;
-        // Add-during-load: strided, coalesced accesses.
-        for lid in 0..RED_GROUP {
-            let mut s = 0.0f32;
+        // Add-during-load: strided, coalesced accesses. For a full group
+        // the pass runs k-major — stride `k` touches the contiguous span
+        // `base + k*RED_GROUP ..+RED_GROUP` (one element per lid), so the
+        // host loop is branch-free and autovectorizes. Each lid still
+        // accumulates its 8 elements in identical k-order, so the partial
+        // sums are bit-identical to the lid-major form; the charged
+        // traffic (8 scalar loads per thread) is also unchanged.
+        if base + ELEMS_PER_GROUP <= n {
+            let mut sums = [0.0f32; RED_GROUP];
             for k in 0..ELEMS_PER_THREAD {
-                let idx = base + k * RED_GROUP + lid;
-                if idx < n {
-                    s += g.load(&src, offset + idx);
+                let row = src.slice_raw(offset + base + k * RED_GROUP, RED_GROUP);
+                for (s, &v) in sums.iter_mut().zip(row) {
+                    *s += v;
                 }
             }
-            g.local_write(lid, s);
+            for (lid, &s) in sums.iter().enumerate() {
+                g.local_write(lid, s);
+            }
+            g.charge_global_n(4 * ELEMS_PER_THREAD as u64, 0, 0, 0, RED_GROUP as u64);
+        } else {
+            for lid in 0..RED_GROUP {
+                let mut s = 0.0f32;
+                for k in 0..ELEMS_PER_THREAD {
+                    let idx = base + k * RED_GROUP + lid;
+                    if idx < n {
+                        s += g.load(&src, offset + idx);
+                    }
+                }
+                g.local_write(lid, s);
+            }
         }
         g.barrier();
         let tree_step = |g: &mut simgpu::kernel::GroupCtx, lo: usize, step: usize| {
@@ -173,7 +193,9 @@ pub fn reduction_stage2_kernel(
     let partials = partials.clone();
     let out = result.write_view();
     let per_thread_loads = n_partials.div_ceil(RED_GROUP) as u64;
-    let per_thread = OpCounts::ZERO.adds(per_thread_loads + 7).cmps(per_thread_loads);
+    let per_thread = OpCounts::ZERO
+        .adds(per_thread_loads + 7)
+        .cmps(per_thread_loads);
     let t = q.run(&desc, &[result], move |g| {
         g.alloc_local(RED_GROUP);
         for lid in 0..RED_GROUP {
@@ -219,8 +241,7 @@ mod tests {
         let src = ctx.buffer_from("pEdge", data);
         let partials = ctx.buffer::<f32>("partials", stage1_groups(data.len()).max(1));
         let (groups, _) =
-            reduction_stage1_kernel(&mut q, &src.view(), data.len(), &partials, strategy)
-                .unwrap();
+            reduction_stage1_kernel(&mut q, &src.view(), data.len(), &partials, strategy).unwrap();
         let result = ctx.buffer::<f32>("mean", 1);
         reduction_stage2_kernel(&mut q, &partials.view(), groups, &result).unwrap();
         (result.snapshot()[0], q.elapsed())
@@ -230,9 +251,11 @@ mod tests {
     fn all_strategies_compute_the_sum() {
         let data: Vec<f32> = (0..10_000).map(|i| (i % 97) as f32 * 0.25).collect();
         let expect: f64 = data.iter().map(|&v| f64::from(v)).sum();
-        for s in
-            [ReductionStrategy::NoUnroll, ReductionStrategy::UnrollOne, ReductionStrategy::UnrollTwo]
-        {
+        for s in [
+            ReductionStrategy::NoUnroll,
+            ReductionStrategy::UnrollOne,
+            ReductionStrategy::UnrollTwo,
+        ] {
             let (got, _) = sum_gpu(&data, s);
             let rel = (f64::from(got) - expect).abs() / expect;
             assert!(rel < 1e-5, "{s:?}: got {got}, want {expect}");
@@ -259,7 +282,10 @@ mod tests {
         let (_, t_one) = sum_gpu(&data, ReductionStrategy::UnrollOne);
         let (_, t_two) = sum_gpu(&data, ReductionStrategy::UnrollTwo);
         assert!(t_one < t_two, "unroll1 {t_one} should beat unroll2 {t_two}");
-        assert!(t_two < t_none, "unroll2 {t_two} should beat no-unroll {t_none}");
+        assert!(
+            t_two < t_none,
+            "unroll2 {t_two} should beat no-unroll {t_none}"
+        );
     }
 
     #[test]

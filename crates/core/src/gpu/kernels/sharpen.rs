@@ -37,7 +37,13 @@ pub fn preliminary_kernel(
     let out = prelim.write_view();
     let (up, pedge, perr) = (up.clone(), pedge.clone(), perr.clone());
     // strength: div + add + pow + mul + 2 cmp; preliminary: mul + add.
-    let per_item = OpCounts::ZERO.divs(1).adds(2).pows(1).muls(2).cmps(2).plus(&tune.idx_ops());
+    let per_item = OpCounts::ZERO
+        .divs(1)
+        .adds(2)
+        .pows(1)
+        .muls(2)
+        .cmps(2)
+        .plus(&tune.idx_ops());
     let clamp_div = tune.clamp_divergence();
     q.run(&desc, &[prelim], move |g| {
         let mut n = 0u64;
@@ -75,7 +81,11 @@ pub fn overshoot_kernel(
     let out = finalbuf.write_view();
     let src = src.clone();
     let prelim = prelim.clone();
-    let per_body = OpCounts::ZERO.cmps(20).muls(1).adds(1).plus(&tune.idx_ops());
+    let per_body = OpCounts::ZERO
+        .cmps(20)
+        .muls(1)
+        .adds(1)
+        .plus(&tune.idx_ops());
     let clamp_div = tune.clamp_divergence();
     q.run(&desc, &[finalbuf], move |g| {
         let mut n_body = 0u64;
@@ -159,8 +169,13 @@ pub fn sharpness_fused_kernel(
     let (up, pedge) = (up.clone(), pedge.clone());
     // pError(1 add) + strength/preliminary + minmax(16 cmp) + overshoot
     // branches and clamps (6 cmp) + excursion (mul + add).
-    let per_body =
-        OpCounts::ZERO.adds(4).divs(1).pows(1).muls(3).cmps(24).plus(&tune.idx_ops());
+    let per_body = OpCounts::ZERO
+        .adds(4)
+        .divs(1)
+        .pows(1)
+        .muls(3)
+        .cmps(24)
+        .plus(&tune.idx_ops());
     let clamp_div = tune.clamp_divergence();
     q.run(&desc, &[finalbuf], move |g| {
         let mut n_body = 0u64;
@@ -201,9 +216,92 @@ pub fn sharpness_fused_kernel(
             g.store(&out, i, fused_pixel(&n9, u, e, mean, &params, body));
         }
         g.charge_n(&per_body, n_body);
-        g.charge_n(&OpCounts::ZERO.adds(3).divs(1).pows(1).muls(2).cmps(6), n_border);
+        g.charge_n(
+            &OpCounts::ZERO.adds(3).divs(1).pows(1).muls(2).cmps(6),
+            n_border,
+        );
         g.divergent((n_body * 2 + n_border) * clamp_div);
     })
+}
+
+/// Fused sharpness for a span of consecutive *body* pixels of one row.
+///
+/// `r0`/`r1`/`r2` are the padded-source rows above/at/below, starting one
+/// column left of the first pixel and extending one past the last (so
+/// pixel `i`'s 3×3 window is columns `i..i+3`). The 9-element min/max
+/// fold runs in the same order as [`math::minmax3x3`] and the tail calls
+/// the same shared per-pixel math, so every pixel is bit-identical to
+/// [`fused_pixel`] — but the loop is branch-free over the span, which is
+/// what lets the host autovectorize it (the analogue of the kernel's
+/// uniform interior wavefronts).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn fused_body_span(
+    r0: &[f32],
+    r1: &[f32],
+    r2: &[f32],
+    up_row: &[f32],
+    pe_row: &[f32],
+    out_row: &mut [f32],
+    mean: f32,
+    params: &SharpnessParams,
+) {
+    if params.gamma == 0.5 {
+        // Specialized span for the default gamma: the body of
+        // `strength`/`preliminary`/`overshoot` written out inline, in the
+        // identical operation order (so identical bits — pinned by
+        // `fused_vec4_matches_cpu_exactly`). Calling through the shared
+        // functions defeats LLVM's vectorizer here; inlined, the whole
+        // loop (including `sqrtps`) autovectorizes.
+        let denom = mean + params.eps;
+        for i in 0..out_row.len() {
+            let mut mn = r0[i];
+            let mut mx = r0[i];
+            for v in [
+                r0[i + 1],
+                r0[i + 2],
+                r1[i],
+                r1[i + 1],
+                r1[i + 2],
+                r2[i],
+                r2[i + 1],
+                r2[i + 2],
+            ] {
+                mn = math::fmin(mn, v);
+                mx = math::fmax(mx, v);
+            }
+            let err = r1[i + 1] - up_row[i];
+            let x = pe_row[i] / denom;
+            let s = math::fmin(math::fmax(params.gain * x.sqrt(), 0.0), params.s_max);
+            let prelim = up_row[i] + s * err;
+            let above = math::fmin(mx + params.osc * (prelim - mx), 255.0);
+            let below = math::fmax(mn - params.osc * (mn - prelim), 0.0);
+            let inside = math::fmin(math::fmax(prelim, 0.0), 255.0);
+            let low = if prelim < mn { below } else { inside };
+            out_row[i] = if prelim > mx { above } else { low };
+        }
+    } else {
+        for i in 0..out_row.len() {
+            let mut mn = r0[i];
+            let mut mx = r0[i];
+            for v in [
+                r0[i + 1],
+                r0[i + 2],
+                r1[i],
+                r1[i + 1],
+                r1[i + 2],
+                r2[i],
+                r2[i + 1],
+                r2[i + 2],
+            ] {
+                mn = math::fmin(mn, v);
+                mx = math::fmax(mx, v);
+            }
+            let err = r1[i + 1] - up_row[i];
+            let prelim = math::preliminary(up_row[i], pe_row[i], err, mean, params);
+            out_row[i] = math::overshoot(prelim, mn, mx, params);
+        }
+    }
 }
 
 /// The fused sharpness kernel, vectorized: four adjacent pixels per
@@ -223,7 +321,10 @@ pub fn sharpness_fused_vec4_kernel(
     h: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
-    assert_eq!(src.pad, 1, "vectorized sharpness requires the padded source");
+    assert_eq!(
+        src.pad, 1,
+        "vectorized sharpness requires the padded source"
+    );
     assert_eq!(w % 4, 0, "width must be a multiple of 4");
     let desc = grid2d("sharpness_vec4", w / 4, h);
     let out = finalbuf.write_view();
@@ -238,38 +339,73 @@ pub fn sharpness_fused_vec4_kernel(
         .plus(&tune.idx_ops());
     let clamp_div = tune.clamp_divergence();
     q.run(&desc, &[finalbuf], move |g| {
+        // One border pixel, computed exactly as `fused_pixel` with
+        // `body = false` would (only the window centre matters).
+        let border_pixel =
+            |x: usize, y: usize, src: &SrcImage, up: &GlobalView<f32>, pe: &GlobalView<f32>| {
+                let mut n9 = [0.0f32; 9];
+                n9[4] = src.view.get_raw(src.idx(x as isize, y as isize));
+                let i = y * w + x;
+                fused_pixel(&n9, up.get_raw(i), pe.get_raw(i), mean, &params, false)
+            };
+        // The group's threads cover `4 * group_size[0]` consecutive pixels
+        // per row; the work is done row-segment at a time so the body loop
+        // is branch-free, while the charged traffic below stays exactly
+        // what the per-thread vload4/vstore4 pattern accounts.
+        let gw = g.group_size[0];
+        let x_start = 4 * g.group_id[0] * gw;
         let mut n_threads = 0u64;
-        for l in items(g.group_size) {
-            let [xg, y] = g.global_id(l);
-            let x0 = 4 * xg;
-            if x0 >= w || y >= h {
+        let mut scratch = vec![0.0f32; 4 * gw];
+        for ly in 0..g.group_size[1] {
+            let y = g.group_id[1] * g.group_size[1] + ly;
+            if y >= h || x_start >= w {
                 continue;
             }
-            n_threads += 1;
+            let x_end = (x_start + 4 * gw).min(w);
+            let span = x_end - x_start;
+            n_threads += (span / 4) as u64;
             let yi = y as isize;
-            let mut win = [[0.0f32; 6]; 3];
-            for (dy, row) in win.iter_mut().enumerate() {
-                let ry = yi + dy as isize - 1;
-                let v = g.vload4(&src.view, src.idx(x0 as isize - 1, ry));
-                row[..4].copy_from_slice(&v);
-                row[4] = g.load(&src.view, src.idx(x0 as isize + 3, ry));
-                row[5] = g.load(&src.view, src.idx(x0 as isize + 4, ry));
+            let row_out = &mut scratch[..span];
+            if y == 0 || y == h - 1 {
+                for (j, x) in (x_start..x_end).enumerate() {
+                    row_out[j] = border_pixel(x, y, &src, &up, &pedge);
+                }
+            } else {
+                let body_lo = x_start.max(1);
+                let body_hi = x_end.min(w - 1);
+                let blen = body_hi - body_lo;
+                let r0 = src
+                    .view
+                    .slice_raw(src.idx(body_lo as isize - 1, yi - 1), blen + 2);
+                let r1 = src
+                    .view
+                    .slice_raw(src.idx(body_lo as isize - 1, yi), blen + 2);
+                let r2 = src
+                    .view
+                    .slice_raw(src.idx(body_lo as isize - 1, yi + 1), blen + 2);
+                let up_row = up.slice_raw(y * w + body_lo, blen);
+                let pe_row = pedge.slice_raw(y * w + body_lo, blen);
+                fused_body_span(
+                    r0,
+                    r1,
+                    r2,
+                    up_row,
+                    pe_row,
+                    &mut row_out[body_lo - x_start..body_hi - x_start],
+                    mean,
+                    &params,
+                );
+                for x in [0, w - 1] {
+                    if x >= x_start && x < x_end {
+                        row_out[x - x_start] = border_pixel(x, y, &src, &up, &pedge);
+                    }
+                }
             }
-            let uq = g.vload4(&up, y * w + x0);
-            let eq = g.vload4(&pedge, y * w + x0);
-            let mut res = [0.0f32; 4];
-            for k in 0..4 {
-                let x = x0 + k;
-                let body = x > 0 && y > 0 && x < w - 1 && y < h - 1;
-                let n9 = [
-                    win[0][k], win[0][k + 1], win[0][k + 2],
-                    win[1][k], win[1][k + 1], win[1][k + 2],
-                    win[2][k], win[2][k + 1], win[2][k + 2],
-                ];
-                res[k] = fused_pixel(&n9, uq[k], eq[k], mean, &params, body);
-            }
-            g.vstore4(&out, y * w + x0, res);
+            out.set_span_raw(y * w + x_start, row_out);
         }
+        // Per thread: 3 src vload4 (48 B) + up/pEdge vload4 (32 B) vector
+        // reads, 6 src scalar loads (24 B), one vstore4 (16 B).
+        g.charge_global_n(24, 80, 0, 16, n_threads);
         g.charge_n(&per_thread, n_threads);
         g.divergent(n_threads * clamp_div);
     })
@@ -303,7 +439,15 @@ mod tests {
         let p = SharpnessParams::default();
         let (prelim, _) = stages::strength_preliminary(&up, &pedge, &perr, mean, &p);
         let (finalimg, _) = stages::overshoot_with(&img, &prelim, &p);
-        Fixture { img, up, pedge, perr, mean, prelim, finalimg }
+        Fixture {
+            img,
+            up,
+            pedge,
+            perr,
+            mean,
+            prelim,
+            finalimg,
+        }
     }
 
     #[test]
@@ -339,7 +483,11 @@ mod tests {
         let orig = ctx.buffer_from("original", f.img.pixels());
         let prelim = ctx.buffer_from("prelim", f.prelim.pixels());
         let fin = ctx.buffer::<f32>("final", 32 * 32);
-        let src = SrcImage { view: orig.view(), pitch: 32, pad: 0 };
+        let src = SrcImage {
+            view: orig.view(),
+            pitch: 32,
+            pad: 0,
+        };
         overshoot_kernel(
             &mut q,
             &src,
@@ -363,7 +511,11 @@ mod tests {
         let up = ctx.buffer_from("up", f.up.pixels());
         let pedge = ctx.buffer_from("pEdge", f.pedge.pixels());
         let fin = ctx.buffer::<f32>("final", 48 * 32);
-        let src = SrcImage { view: orig.view(), pitch: 48, pad: 0 };
+        let src = SrcImage {
+            view: orig.view(),
+            pitch: 48,
+            pad: 0,
+        };
         sharpness_fused_kernel(
             &mut q,
             &src,
@@ -390,7 +542,11 @@ mod tests {
         let up = ctx.buffer_from("up", f.up.pixels());
         let pedge = ctx.buffer_from("pEdge", f.pedge.pixels());
         let fin = ctx.buffer::<f32>("final", 64 * 48);
-        let src = SrcImage { view: pbuf.view(), pitch: 66, pad: 1 };
+        let src = SrcImage {
+            view: pbuf.view(),
+            pitch: 66,
+            pad: 1,
+        };
         sharpness_fused_vec4_kernel(
             &mut q,
             &src,
@@ -417,36 +573,77 @@ mod tests {
         let orig = ctx.buffer_from("original", f.img.pixels());
         let up = ctx.buffer_from("up", f.up.pixels());
         let pedge = ctx.buffer_from("pEdge", f.pedge.pixels());
-        let src = SrcImage { view: orig.view(), pitch: 64, pad: 0 };
+        let src = SrcImage {
+            view: orig.view(),
+            pitch: 64,
+            pad: 0,
+        };
         let perr = ctx.buffer::<f32>("pError", 64 * 64);
         let prelim = ctx.buffer::<f32>("prelim", 64 * 64);
         let fin1 = ctx.buffer::<f32>("final", 64 * 64);
         super::super::perror::perror_kernel(
-            &mut q1, &src, &up.view(), &perr, 64, 64, KernelTuning::default(),
+            &mut q1,
+            &src,
+            &up.view(),
+            &perr,
+            64,
+            64,
+            KernelTuning::default(),
         )
         .unwrap();
         preliminary_kernel(
-            &mut q1, &up.view(), &pedge.view(), &perr.view(), &prelim, f.mean, p, 64, 64,
+            &mut q1,
+            &up.view(),
+            &pedge.view(),
+            &perr.view(),
+            &prelim,
+            f.mean,
+            p,
+            64,
+            64,
             KernelTuning::default(),
         )
         .unwrap();
         overshoot_kernel(
-            &mut q1, &src, &prelim.view(), &fin1, 64, 64, p, KernelTuning::default(),
+            &mut q1,
+            &src,
+            &prelim.view(),
+            &fin1,
+            64,
+            64,
+            p,
+            KernelTuning::default(),
         )
         .unwrap();
-        let unfused_bytes: u64 =
-            q1.records().iter().filter_map(|r| r.counters).map(|c| c.global_bytes()).sum();
+        let unfused_bytes: u64 = q1
+            .records()
+            .iter()
+            .filter_map(|r| r.counters)
+            .map(|c| c.global_bytes())
+            .sum();
 
         // Fused.
         let mut q2 = ctx.queue();
         let fin2 = ctx.buffer::<f32>("final", 64 * 64);
         sharpness_fused_kernel(
-            &mut q2, &src, &up.view(), &pedge.view(), &fin2, f.mean, p, 64, 64,
+            &mut q2,
+            &src,
+            &up.view(),
+            &pedge.view(),
+            &fin2,
+            f.mean,
+            p,
+            64,
+            64,
             KernelTuning::default(),
         )
         .unwrap();
-        let fused_bytes: u64 =
-            q2.records().iter().filter_map(|r| r.counters).map(|c| c.global_bytes()).sum();
+        let fused_bytes: u64 = q2
+            .records()
+            .iter()
+            .filter_map(|r| r.counters)
+            .map(|c| c.global_bytes())
+            .sum();
 
         assert_eq!(fin1.snapshot(), fin2.snapshot());
         assert!(

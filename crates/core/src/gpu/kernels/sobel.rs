@@ -26,7 +26,11 @@ pub fn sobel_scalar_kernel(
     let desc = grid2d("sobel", w, h);
     let out = pedge.write_view();
     let src = src.clone();
-    let per_item = OpCounts::ZERO.adds(11).muls(4).cmps(2).plus(&tune.idx_ops());
+    let per_item = OpCounts::ZERO
+        .adds(11)
+        .muls(4)
+        .cmps(2)
+        .plus(&tune.idx_ops());
     let border_div = tune.clamp_divergence();
     q.run(&desc, &[pedge], move |g| {
         let mut n_body = 0u64;
@@ -80,43 +84,70 @@ pub fn sobel_vec4_kernel(
     let out = pedge.write_view();
     let src = src.clone();
     // Per thread: 4 pixels × (11 add + 4 mul + 2 cmp) + border selects.
-    let per_thread =
-        OpCounts::ZERO.adds(44).muls(16).cmps(8 + 4).plus(&tune.idx_ops());
+    let per_thread = OpCounts::ZERO
+        .adds(44)
+        .muls(16)
+        .cmps(8 + 4)
+        .plus(&tune.idx_ops());
     q.run(&desc, &[pedge], move |g| {
+        // Row-segment form: the group's threads cover `4 * group_size[0]`
+        // consecutive pixels per row, computed as one branch-free span so
+        // the host autovectorizes it, while the charged traffic stays
+        // exactly the per-thread 3×vload4 + 6 loads + vstore4 pattern
+        // (border-row threads load their windows too before zeroing, so
+        // every covered thread charges the full window).
+        let gw = g.group_size[0];
+        let x_start = 4 * g.group_id[0] * gw;
         let mut n_threads = 0u64;
-        for l in items(g.group_size) {
-            let [xg, y] = g.global_id(l);
-            let x0 = 4 * xg;
-            if x0 >= w || y >= h {
+        let mut scratch = vec![0.0f32; 4 * gw];
+        for ly in 0..g.group_size[1] {
+            let y = g.group_id[1] * g.group_size[1] + ly;
+            if y >= h || x_start >= w {
                 continue;
             }
-            n_threads += 1;
-            let yi = y as isize;
-            // Window rows y-1, y, y+1 over columns x0-1 .. x0+4 (6 wide).
-            let mut win = [[0.0f32; 6]; 3];
-            for (dy, row) in win.iter_mut().enumerate() {
-                let ry = yi + dy as isize - 1;
-                let v = g.vload4(&src.view, src.idx(x0 as isize - 1, ry));
-                row[..4].copy_from_slice(&v);
-                row[4] = g.load(&src.view, src.idx(x0 as isize + 3, ry));
-                row[5] = g.load(&src.view, src.idx(x0 as isize + 4, ry));
+            let x_end = (x_start + 4 * gw).min(w);
+            let span = x_end - x_start;
+            n_threads += (span / 4) as u64;
+            let row_out = &mut scratch[..span];
+            if y == 0 || y == h - 1 {
+                row_out.fill(0.0);
+            } else {
+                let yi = y as isize;
+                let body_lo = x_start.max(1);
+                let body_hi = x_end.min(w - 1);
+                let blen = body_hi - body_lo;
+                let r0 = src
+                    .view
+                    .slice_raw(src.idx(body_lo as isize - 1, yi - 1), blen + 2);
+                let r1 = src
+                    .view
+                    .slice_raw(src.idx(body_lo as isize - 1, yi), blen + 2);
+                let r2 = src
+                    .view
+                    .slice_raw(src.idx(body_lo as isize - 1, yi + 1), blen + 2);
+                let body = &mut row_out[body_lo - x_start..body_hi - x_start];
+                // `sobel_pixel` with the window columns i..i+3, written out
+                // in the identical operation order (left-to-right sums) so
+                // the span is bit-identical to the per-pixel form — pinned
+                // by `vec4_matches_scalar_exactly`.
+                for i in 0..body.len() {
+                    let gx =
+                        (r0[i + 2] + 2.0 * r1[i + 2] + r2[i + 2]) - (r0[i] + 2.0 * r1[i] + r2[i]);
+                    let gy = (r2[i] + 2.0 * r2[i + 1] + r2[i + 2])
+                        - (r0[i] + 2.0 * r0[i + 1] + r0[i + 2]);
+                    body[i] = gx.abs() + gy.abs();
+                }
+                for x in [0, w - 1] {
+                    if x >= x_start && x < x_end {
+                        row_out[x - x_start] = 0.0;
+                    }
+                }
             }
-            let mut res = [0.0f32; 4];
-            for k in 0..4 {
-                let x = x0 + k;
-                res[k] = if x == 0 || y == 0 || x == w - 1 || y == h - 1 {
-                    0.0
-                } else {
-                    let n = [
-                        win[0][k], win[0][k + 1], win[0][k + 2],
-                        win[1][k], 0.0, win[1][k + 2],
-                        win[2][k], win[2][k + 1], win[2][k + 2],
-                    ];
-                    math::sobel_pixel(&n)
-                };
-            }
-            g.vstore4(&out, y * w + x0, res);
+            out.set_span_raw(y * w + x_start, row_out);
         }
+        // Per thread: one 3-row window = 3 vload4 (48 B) + 6 scalar loads
+        // (24 B), one vstore4 (16 B).
+        g.charge_global_n(24, 48, 0, 16, n_threads);
         g.charge_n(&per_thread, n_threads);
     })
 }
@@ -141,7 +172,11 @@ mod tests {
         let mut q = ctx.queue();
         let orig = ctx.buffer_from("original", img.pixels());
         let pedge = ctx.buffer::<f32>("pEdge", 48 * 32);
-        let src = SrcImage { view: orig.view(), pitch: 48, pad: 0 };
+        let src = SrcImage {
+            view: orig.view(),
+            pitch: 48,
+            pad: 0,
+        };
         sobel_scalar_kernel(&mut q, &src, &pedge, 48, 32, KernelTuning::default()).unwrap();
         assert_eq!(pedge.snapshot(), cpu.pixels());
     }
@@ -155,7 +190,11 @@ mod tests {
         let padded = img.padded(1, false);
         let pbuf = ctx.buffer_from("padded", padded.pixels());
         let pedge = ctx.buffer::<f32>("pEdge", 64 * 48);
-        let src = SrcImage { view: pbuf.view(), pitch: 66, pad: 1 };
+        let src = SrcImage {
+            view: pbuf.view(),
+            pitch: 66,
+            pad: 1,
+        };
         sobel_vec4_kernel(&mut q, &src, &pedge, 64, 48, KernelTuning::default()).unwrap();
         assert_eq!(pedge.snapshot(), cpu.pixels());
     }
@@ -168,15 +207,18 @@ mod tests {
         let padded = img.padded(1, false);
         let pbuf = ctx.buffer_from("padded", padded.pixels());
         let pedge = ctx.buffer::<f32>("pEdge", 64 * 64);
-        let src = SrcImage { view: pbuf.view(), pitch: 66, pad: 1 };
+        let src = SrcImage {
+            view: pbuf.view(),
+            pitch: 66,
+            pad: 1,
+        };
         sobel_vec4_kernel(&mut q, &src, &pedge, 64, 64, KernelTuning::default()).unwrap();
         let c = q.records()[0].counters.unwrap();
         assert!(c.global_read_vector > 0);
         assert!(c.global_write_vector > 0);
         assert_eq!(c.global_write_scalar, 0);
         // 18 loads per thread for 4 pixels = 4.5 per pixel, vs 8 scalar.
-        let per_pixel = (c.global_read_vector + c.global_read_scalar) as f64
-            / (64.0 * 64.0 * 4.0);
+        let per_pixel = (c.global_read_vector + c.global_read_scalar) as f64 / (64.0 * 64.0 * 4.0);
         assert!((per_pixel - 4.5).abs() < 0.01, "loads/pixel = {per_pixel}");
     }
 
@@ -187,7 +229,11 @@ mod tests {
         let mut q = ctx.queue();
         let orig = ctx.buffer_from("original", img.pixels());
         let pedge = ctx.buffer::<f32>("pEdge", 32 * 32);
-        let src = SrcImage { view: orig.view(), pitch: 32, pad: 0 };
+        let src = SrcImage {
+            view: orig.view(),
+            pitch: 32,
+            pad: 0,
+        };
         sobel_scalar_kernel(&mut q, &src, &pedge, 32, 32, KernelTuning::default()).unwrap();
         let c = q.records()[0].counters.unwrap();
         assert_eq!(c.global_read_scalar, 30 * 30 * 8 * 4);

@@ -3,10 +3,12 @@
 
 pub mod ablate;
 pub mod batch;
+pub mod engine;
 pub mod kernels;
 pub mod opts;
 pub mod pipeline;
 pub mod strips;
 
+pub use engine::{ThroughputEngine, ThroughputReport};
 pub use opts::{OptConfig, Tuning};
-pub use pipeline::GpuPipeline;
+pub use pipeline::{GpuPipeline, PipelinePlan};

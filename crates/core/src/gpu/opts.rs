@@ -50,9 +50,20 @@ impl OptConfig {
     /// +vectorization & border → +others.
     pub fn cumulative_steps() -> Vec<(&'static str, OptConfig)> {
         let base = OptConfig::none();
-        let s1 = OptConfig { data_transfer: true, kernel_fusion: true, ..base };
-        let s2 = OptConfig { reduction_gpu: true, ..s1 };
-        let s3 = OptConfig { vectorization: true, border_gpu: true, ..s2 };
+        let s1 = OptConfig {
+            data_transfer: true,
+            kernel_fusion: true,
+            ..base
+        };
+        let s2 = OptConfig {
+            reduction_gpu: true,
+            ..s1
+        };
+        let s3 = OptConfig {
+            vectorization: true,
+            border_gpu: true,
+            ..s2
+        };
         let s4 = OptConfig { others: true, ..s3 };
         vec![
             ("base", base),

@@ -52,7 +52,12 @@ impl GpuPipeline {
     /// Creates a pipeline on `ctx` with the given parameters and
     /// optimization flags, using default tuning.
     pub fn new(ctx: Context, params: SharpnessParams, opts: OptConfig) -> Self {
-        GpuPipeline { ctx, params, opts, tuning: Tuning::default() }
+        GpuPipeline {
+            ctx,
+            params,
+            opts,
+            tuning: Tuning::default(),
+        }
     }
 
     /// Overrides the tuning thresholds/strategies.
@@ -74,6 +79,15 @@ impl GpuPipeline {
     /// The context this pipeline dispatches to.
     pub fn context(&self) -> &Context {
         &self.ctx
+    }
+
+    /// Returns a clone of this pipeline whose context has been rebuilt by
+    /// `f` (e.g. to pin dispatch threads for per-frame workers). The clone
+    /// shares the original's buffer pool.
+    pub fn with_context_tweak(&self, f: impl FnOnce(Context) -> Context) -> Self {
+        let mut clone = self.clone();
+        clone.ctx = f(clone.ctx);
+        clone
     }
 
     fn sync(&self, q: &mut CommandQueue) {
@@ -102,6 +116,9 @@ impl GpuPipeline {
     /// Runs the pipeline on `orig`, returning the sharpened image and the
     /// simulated command-level time breakdown.
     ///
+    /// Each call allocates a fresh set of device buffers; for repeated
+    /// frames of one shape, [`GpuPipeline::prepared`] amortises that setup.
+    ///
     /// # Errors
     /// On unsupported shapes, invalid parameters, or simulated-runtime
     /// faults (write races under a validating context).
@@ -118,176 +135,235 @@ impl GpuPipeline {
         orig: &ImageF32,
         mean_override: Option<f32>,
     ) -> Result<RunReport, String> {
-        let (w, h) = (orig.width(), orig.height());
-        check_shape(w, h)?;
-        self.params.validate()?;
-        let (w4, h4) = (w / SCALE, h / SCALE);
-        let n = w * h;
-        let pw = w + 2;
-        let tune = KernelTuning { others: self.opts.others };
+        let mut res = FrameResources::new(self, orig.width(), orig.height())?;
         let mut q = self.ctx.queue();
+        let mut out = vec![0.0f32; res.n];
+        self.run_frame(&mut q, &mut res, orig, mean_override, &mut out)?;
+        Ok(report_from_queue(&q, orig.width(), orig.height(), out))
+    }
+
+    /// Prepares a reusable execution plan for `width`×`height` frames: all
+    /// device buffers are allocated once and reused across
+    /// [`PipelinePlan::run`] calls.
+    ///
+    /// # Errors
+    /// On unsupported shapes or invalid parameters.
+    pub fn prepared(&self, width: usize, height: usize) -> Result<PipelinePlan, String> {
+        let res = FrameResources::new(self, width, height)?;
+        let q = self.ctx.queue();
+        Ok(PipelinePlan {
+            pipe: self.clone(),
+            q,
+            res,
+        })
+    }
+
+    /// Executes one frame against pre-allocated resources, recording
+    /// commands on `q` (which the caller has reset) and writing the
+    /// sharpened pixels into `out`.
+    fn run_frame(
+        &self,
+        q: &mut CommandQueue,
+        res: &mut FrameResources,
+        orig: &ImageF32,
+        mean_override: Option<f32>,
+        out: &mut [f32],
+    ) -> Result<(), String> {
+        let (w, h) = (res.w, res.h);
+        if (orig.width(), orig.height()) != (w, h) {
+            return Err(format!(
+                "frame is {}x{}, plan prepared for {w}x{h}",
+                orig.width(),
+                orig.height()
+            ));
+        }
+        let (w4, h4) = (res.w4, res.h4);
+        let n = res.n;
+        let pw = res.pw;
+        let tune = KernelTuning {
+            others: self.opts.others,
+        };
 
         // ---- uploads (Section V-A) ------------------------------------
-        let padded_buf = self.ctx.buffer::<f32>("padded", pw * (h + 2));
-        let orig_buf: Option<Buffer<f32>> = if self.opts.data_transfer {
+        // The padded buffer's one-pixel border is zeroed at allocation and
+        // never written afterwards (both upload paths touch only the
+        // interior), so reuse across frames preserves the zero padding.
+        if self.opts.data_transfer {
             // One rect-write places the original inside the pre-zeroed
             // padded buffer: padding happens during the transfer.
-            q.enqueue_write_rect(&padded_buf, pw, 1, 1, orig.pixels(), w, h)
+            q.enqueue_write_rect(&res.padded, pw, 1, 1, orig.pixels(), w, h)
                 .map_err(|e| e.to_string())?;
-            None
         } else {
             // Base: the host pads (line-by-line copy), then both matrices
             // go up through map/unmap.
-            let padded_host = orig.padded(1, false);
             q.charge_host_seconds(
                 "host:padding",
-                host_memcpy_time(q.cpu(), padded_buf.byte_len()),
+                host_memcpy_time(q.cpu(), res.padded.byte_len()),
             );
             {
-                let mut g = q.map_write(&padded_buf).map_err(|e| e.to_string())?;
-                g.as_mut_slice().copy_from_slice(padded_host.pixels());
+                let mut g = q.map_write(&res.padded).map_err(|e| e.to_string())?;
+                let dst = g.as_mut_slice();
+                for y in 0..h {
+                    dst[(y + 1) * pw + 1..(y + 1) * pw + 1 + w]
+                        .copy_from_slice(&orig.pixels()[y * w..(y + 1) * w]);
+                }
             }
-            let ob = self.ctx.buffer::<f32>("original", n);
+            let ob = res.original.as_ref().expect("base path allocates original");
             {
-                let mut g = q.map_write(&ob).map_err(|e| e.to_string())?;
+                let mut g = q.map_write(ob).map_err(|e| e.to_string())?;
                 g.as_mut_slice().copy_from_slice(orig.pixels());
             }
-            Some(ob)
-        };
-        self.sync(&mut q);
+        }
+        self.sync(q);
 
-        let padded_src = SrcImage { view: padded_buf.view(), pitch: pw, pad: 1 };
+        let padded_src = SrcImage {
+            view: res.padded.view(),
+            pitch: pw,
+            pad: 1,
+        };
         // What downscale/Sobel/pError read: the raw original in the base
         // pipeline, the padded matrix once the upload is unified.
-        let main_src = match &orig_buf {
-            Some(b) => SrcImage { view: b.view(), pitch: w, pad: 0 },
+        let main_src = match &res.original {
+            Some(b) => SrcImage {
+                view: b.view(),
+                pitch: w,
+                pad: 0,
+            },
             None => padded_src.clone(),
         };
 
         // ---- downscale --------------------------------------------------
-        let down = self.ctx.buffer::<f32>("down", w4 * h4);
-        downscale_kernel(&mut q, &main_src, &down, w4, h4, tune).map_err(|e| e.to_string())?;
-        self.sync(&mut q);
+        downscale_kernel(q, &main_src, &res.down, w4, h4, tune).map_err(|e| e.to_string())?;
+        self.sync(q);
 
         // ---- upscale: border (Section V-E) ------------------------------
-        let up = self.ctx.buffer::<f32>("up", n);
         let gpu_border = self.opts.border_gpu && w >= self.tuning.border_gpu_min_width;
         if gpu_border {
-            upscale_border_gpu(&mut q, &down.view(), &up, w, h, tune)
+            upscale_border_gpu(q, &res.down.view(), &res.up, w, h, tune)
                 .map_err(|e| e.to_string())?;
-            self.sync(&mut q);
+            self.sync(q);
         } else {
-            self.cpu_border(&mut q, &down, &up, w, h, w4, h4)?;
+            self.cpu_border(q, res)?;
         }
 
         // ---- upscale: center --------------------------------------------
         if self.opts.vectorization {
-            upscale_center_vec4_kernel(&mut q, &down.view(), &up, w, h, tune)
+            upscale_center_vec4_kernel(q, &res.down.view(), &res.up, w, h, tune)
         } else {
-            upscale_center_scalar_kernel(&mut q, &down.view(), &up, w, h, tune)
+            upscale_center_scalar_kernel(q, &res.down.view(), &res.up, w, h, tune)
         }
         .map_err(|e| e.to_string())?;
-        self.sync(&mut q);
+        self.sync(q);
 
         // ---- Sobel --------------------------------------------------------
-        let pedge = self.ctx.buffer::<f32>("pEdge", n);
         if self.opts.vectorization {
-            sobel_vec4_kernel(&mut q, &padded_src, &pedge, w, h, tune)
+            sobel_vec4_kernel(q, &padded_src, &res.pedge, w, h, tune)
         } else {
-            sobel_scalar_kernel(&mut q, &main_src, &pedge, w, h, tune)
+            sobel_scalar_kernel(q, &main_src, &res.pedge, w, h, tune)
         }
         .map_err(|e| e.to_string())?;
-        self.sync(&mut q);
+        self.sync(q);
 
         // ---- reduction (Section V-C) -------------------------------------
         let mean = match mean_override {
             Some(m) => m,
-            None => self.reduction(&mut q, &pedge, n)?,
+            None => self.reduction(q, res)?,
         };
 
         // ---- sharpening tail (Section V-B) --------------------------------
-        let finalbuf = self.ctx.buffer::<f32>("final", n);
         if self.opts.kernel_fusion {
             if self.opts.vectorization {
                 sharpness_fused_vec4_kernel(
-                    &mut q, &padded_src, &up.view(), &pedge.view(), &finalbuf, mean,
-                    self.params, w, h, tune,
+                    q,
+                    &padded_src,
+                    &res.up.view(),
+                    &res.pedge.view(),
+                    &res.finalbuf,
+                    mean,
+                    self.params,
+                    w,
+                    h,
+                    tune,
                 )
             } else {
                 sharpness_fused_kernel(
-                    &mut q, &padded_src, &up.view(), &pedge.view(), &finalbuf, mean,
-                    self.params, w, h, tune,
+                    q,
+                    &padded_src,
+                    &res.up.view(),
+                    &res.pedge.view(),
+                    &res.finalbuf,
+                    mean,
+                    self.params,
+                    w,
+                    h,
+                    tune,
                 )
             }
             .map_err(|e| e.to_string())?;
-            self.sync(&mut q);
+            self.sync(q);
         } else {
-            let perr = self.ctx.buffer::<f32>("pError", n);
-            perror_kernel(&mut q, &main_src, &up.view(), &perr, w, h, tune)
+            let perr = res.perror.as_ref().expect("unfused path allocates pError");
+            perror_kernel(q, &main_src, &res.up.view(), perr, w, h, tune)
                 .map_err(|e| e.to_string())?;
-            self.sync(&mut q);
-            let prelim = self.ctx.buffer::<f32>("prelim", n);
+            self.sync(q);
+            let prelim = res.prelim.as_ref().expect("unfused path allocates prelim");
             preliminary_kernel(
-                &mut q, &up.view(), &pedge.view(), &perr.view(), &prelim, mean, self.params,
-                w, h, tune,
+                q,
+                &res.up.view(),
+                &res.pedge.view(),
+                &perr.view(),
+                prelim,
+                mean,
+                self.params,
+                w,
+                h,
+                tune,
             )
             .map_err(|e| e.to_string())?;
-            self.sync(&mut q);
+            self.sync(q);
             overshoot_kernel(
-                &mut q, &padded_src, &prelim.view(), &finalbuf, w, h, self.params, tune,
+                q,
+                &padded_src,
+                &prelim.view(),
+                &res.finalbuf,
+                w,
+                h,
+                self.params,
+                tune,
             )
             .map_err(|e| e.to_string())?;
-            self.sync(&mut q);
+            self.sync(q);
         }
 
         // ---- readback -------------------------------------------------------
         q.finish();
-        let mut out = vec![0.0f32; n];
-        self.read_back(&mut q, &finalbuf, &mut out)?;
-
-        let stages = q
-            .records()
-            .iter()
-            .map(|r| StageRecord { name: r.name.clone(), seconds: r.duration_s })
-            .collect();
-        Ok(RunReport {
-            output: ImageF32::from_vec(w, h, out),
-            total_s: q.elapsed(),
-            stages,
-        })
+        self.read_back(q, &res.finalbuf, &mut out[..n])?;
+        Ok(())
     }
 
     /// CPU-side upscale border: read the downscaled matrix back, compute
-    /// the border on the host, and write the border region to the device.
-    #[allow(clippy::too_many_arguments)]
-    fn cpu_border(
-        &self,
-        q: &mut CommandQueue,
-        down: &Buffer<f32>,
-        up: &Buffer<f32>,
-        w: usize,
-        h: usize,
-        w4: usize,
-        h4: usize,
-    ) -> Result<(), String> {
-        let mut down_host = vec![0.0f32; w4 * h4];
-        self.read_back(q, down, &mut down_host)?;
-        let down_img = ImageF32::from_vec(w4, h4, down_host);
-        let mut up_host = ImageF32::zeros(w, h);
-        let counters = cpu_stages::upscale_border_into(&down_img, &mut up_host);
+    /// the border on the host (in the plan's reusable scratch), and write
+    /// the border region to the device.
+    fn cpu_border(&self, q: &mut CommandQueue, res: &mut FrameResources) -> Result<(), String> {
+        let (w, h) = (res.w, res.h);
+        self.read_back(q, &res.down, res.down_host.pixels_mut())?;
+        // Only the border cells of the scratch are written here and only
+        // they are read below, so stale interior values from a previous
+        // frame are harmless.
+        let counters = cpu_stages::upscale_border_into(&res.down_host, &mut res.up_host);
         q.charge_host("host:upscale_border", &counters);
         // Write exactly the border region into the device buffer.
-        let upv = up.write_view();
+        let upv = res.up.write_view();
         let mut border_elems = 0u64;
         for y in [0, 1, h - 2, h - 1] {
             for x in 0..w {
-                upv.set_raw(y * w + x, up_host.get(x, y));
+                upv.set_raw(y * w + x, res.up_host.get(x, y));
                 border_elems += 1;
             }
         }
         for y in 2..=h - 3 {
             for x in [0, 1, w - 2, w - 1] {
-                upv.set_raw(y * w + x, up_host.get(x, y));
+                upv.set_raw(y * w + x, res.up_host.get(x, y));
                 border_elems += 1;
             }
         }
@@ -302,17 +378,13 @@ impl GpuPipeline {
 
     /// Reduction of the pEdge matrix to its mean, on CPU or GPU per the
     /// config; returns the mean used by the strength curve.
-    fn reduction(
-        &self,
-        q: &mut CommandQueue,
-        pedge: &Buffer<f32>,
-        n: usize,
-    ) -> Result<f32, String> {
+    fn reduction(&self, q: &mut CommandQueue, res: &mut FrameResources) -> Result<f32, String> {
+        let n = res.n;
         if !self.opts.reduction_gpu {
             // Whole pEdge matrix crosses the bus, then a serial host sum —
             // Fig. 16's CPU side.
-            let mut host = vec![0.0f32; n];
-            self.read_back(q, pedge, &mut host)?;
+            let host = &mut res.reduction_host;
+            self.read_back(q, &res.pedge, host)?;
             // f64 accumulation, identical to the CPU reference stage, so
             // the base GPU pipeline reproduces the CPU output bit-exactly.
             let sum: f64 = host.iter().map(|&v| f64::from(v)).sum();
@@ -323,39 +395,210 @@ impl GpuPipeline {
             return Ok((sum / n as f64) as f32);
         }
         let groups = stage1_groups(n);
-        let partials = self.ctx.buffer::<f32>("partials", groups);
+        let partials = res
+            .partials
+            .as_ref()
+            .expect("gpu reduction allocates partials");
         reduction_stage1_kernel(
             q,
-            &pedge.view(),
+            &res.pedge.view(),
             n,
-            &partials,
+            partials,
             self.tuning.reduction_strategy,
         )
         .map_err(|e| e.to_string())?;
         self.sync(q);
         if groups > self.tuning.stage2_gpu_threshold {
             // Stage 2 on the device, then a single-value readback.
-            let result = self.ctx.buffer::<f32>("reduction_out", 1);
-            reduction_stage2_kernel(q, &partials.view(), groups, &result)
+            let result = res
+                .reduction_out
+                .as_ref()
+                .expect("gpu stage2 allocates reduction_out");
+            reduction_stage2_kernel(q, &partials.view(), groups, result)
                 .map_err(|e| e.to_string())?;
             self.sync(q);
             let mut one = [0.0f32];
-            self.read_back(q, &result, &mut one)?;
+            self.read_back(q, result, &mut one)?;
             Ok(one[0] / n as f32)
         } else {
             // Stage 2 on the host: small partial array crosses the bus.
-            let mut part = vec![0.0f32; groups];
-            self.read_back(q, &partials, &mut part)?;
+            let part = &mut res.reduction_host[..groups];
+            self.read_back(q, partials, part)?;
             let mut c = CostCounters::new();
             c.charge_ops_n(&simgpu::cost::OpCounts::ZERO.adds(1), groups as u64);
             c.global_read_scalar = groups as u64 * 4;
             q.charge_host("host:reduction_stage2", &c);
             let mut sum = 0.0f32;
-            for v in part {
+            for &v in part.iter() {
                 sum += v;
             }
             Ok(sum / n as f32)
         }
+    }
+}
+
+/// Builds a [`RunReport`] from the queue's recorded commands.
+fn report_from_queue(q: &CommandQueue, w: usize, h: usize, out: Vec<f32>) -> RunReport {
+    let stages = q
+        .records()
+        .iter()
+        .map(|r| StageRecord {
+            name: r.name.clone(),
+            seconds: r.duration_s,
+        })
+        .collect();
+    RunReport {
+        output: ImageF32::from_vec(w, h, out),
+        total_s: q.elapsed(),
+        stages,
+    }
+}
+
+/// Every device buffer and host scratch area one frame of the pipeline
+/// needs, allocated once for a fixed shape and optimization config.
+///
+/// Reuse across frames is bit-safe by construction: every buffer is fully
+/// overwritten each frame except `padded`, whose border is zeroed at
+/// allocation and never written afterwards (only the interior is
+/// uploaded), and the host scratch areas, whose stale cells are never read.
+struct FrameResources {
+    w: usize,
+    h: usize,
+    w4: usize,
+    h4: usize,
+    n: usize,
+    pw: usize,
+    padded: Buffer<f32>,
+    /// Base (non-`data_transfer`) path only: the unpadded original.
+    original: Option<Buffer<f32>>,
+    down: Buffer<f32>,
+    up: Buffer<f32>,
+    pedge: Buffer<f32>,
+    finalbuf: Buffer<f32>,
+    /// GPU reduction only: per-group partial sums.
+    partials: Option<Buffer<f32>>,
+    /// GPU reduction with device-side stage 2 only: the single-value sum.
+    reduction_out: Option<Buffer<f32>>,
+    /// Unfused sharpening tail only.
+    perror: Option<Buffer<f32>>,
+    prelim: Option<Buffer<f32>>,
+    /// Host scratch for the CPU border stage (downscaled frame readback).
+    down_host: ImageF32,
+    /// Host scratch the CPU border stage writes its border pixels into.
+    up_host: ImageF32,
+    /// Host scratch for CPU-side reduction readbacks (pEdge or partials).
+    reduction_host: Vec<f32>,
+}
+
+impl FrameResources {
+    fn new(pipe: &GpuPipeline, w: usize, h: usize) -> Result<Self, String> {
+        check_shape(w, h)?;
+        pipe.params.validate()?;
+        let (w4, h4) = (w / SCALE, h / SCALE);
+        let n = w * h;
+        let pw = w + 2;
+        let ctx = &pipe.ctx;
+        let groups = stage1_groups(n);
+        Ok(FrameResources {
+            w,
+            h,
+            w4,
+            h4,
+            n,
+            pw,
+            padded: ctx.buffer("padded", pw * (h + 2)),
+            original: (!pipe.opts.data_transfer).then(|| ctx.buffer("original", n)),
+            down: ctx.buffer("down", w4 * h4),
+            up: ctx.buffer("up", n),
+            pedge: ctx.buffer("pEdge", n),
+            finalbuf: ctx.buffer("final", n),
+            partials: pipe
+                .opts
+                .reduction_gpu
+                .then(|| ctx.buffer("partials", groups)),
+            reduction_out: (pipe.opts.reduction_gpu && groups > pipe.tuning.stage2_gpu_threshold)
+                .then(|| ctx.buffer("reduction_out", 1)),
+            perror: (!pipe.opts.kernel_fusion).then(|| ctx.buffer("pError", n)),
+            prelim: (!pipe.opts.kernel_fusion).then(|| ctx.buffer("prelim", n)),
+            down_host: ImageF32::zeros(w4, h4),
+            up_host: ImageF32::zeros(w, h),
+            reduction_host: vec![0.0f32; n],
+        })
+    }
+}
+
+/// A prepared, reusable execution plan: one queue and one set of
+/// [`FrameResources`] serving frame after frame of a fixed shape.
+///
+/// Created by [`GpuPipeline::prepared`]. Compared to calling
+/// [`GpuPipeline::run`] in a loop, a plan allocates no device buffers on
+/// the hot path, interns stage names (the queue survives across frames),
+/// and reuses host scratch; the simulated times and output pixels are
+/// identical (asserted by the equivalence test suite).
+pub struct PipelinePlan {
+    pipe: GpuPipeline,
+    q: CommandQueue,
+    res: FrameResources,
+}
+
+impl PipelinePlan {
+    /// The frame shape this plan was prepared for.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.res.w, self.res.h)
+    }
+
+    /// The pipeline configuration this plan executes.
+    pub fn pipeline(&self) -> &GpuPipeline {
+        &self.pipe
+    }
+
+    /// Runs one frame, returning the same [`RunReport`] a fresh
+    /// [`GpuPipeline::run`] would produce.
+    ///
+    /// # Errors
+    /// If the frame's shape differs from the prepared shape, or on
+    /// simulated-runtime faults.
+    pub fn run(&mut self, orig: &ImageF32) -> Result<RunReport, String> {
+        let mut out = vec![0.0f32; self.res.n];
+        self.run_into(orig, &mut out)?;
+        Ok(report_from_queue(&self.q, self.res.w, self.res.h, out))
+    }
+
+    /// Hot-path variant of [`PipelinePlan::run`]: writes the sharpened
+    /// pixels into `out` (length `w*h`) and returns the frame's simulated
+    /// lane components, performing no per-frame allocation at all.
+    ///
+    /// # Errors
+    /// As for [`PipelinePlan::run`]; additionally if `out` has the wrong
+    /// length.
+    pub fn run_into(
+        &mut self,
+        orig: &ImageF32,
+        out: &mut [f32],
+    ) -> Result<crate::gpu::batch::FrameComponents, String> {
+        if out.len() != self.res.n {
+            return Err(format!(
+                "output slice is {}, frame needs {}",
+                out.len(),
+                self.res.n
+            ));
+        }
+        self.q.reset();
+        self.pipe
+            .run_frame(&mut self.q, &mut self.res, orig, None, out)?;
+        let mut c = crate::gpu::batch::FrameComponents {
+            upload_s: 0.0,
+            compute_s: 0.0,
+            download_s: 0.0,
+        };
+        for r in self.q.records() {
+            match crate::report::classify_stage_lane(&r.name) {
+                crate::report::StageLane::Upload => c.upload_s += r.duration_s,
+                crate::report::StageLane::Compute => c.compute_s += r.duration_s,
+                crate::report::StageLane::Download => c.download_s += r.duration_s,
+            }
+        }
+        Ok(c)
     }
 }
 
@@ -379,7 +622,9 @@ mod tests {
         // With the reduction on the CPU (base config) the mean is computed
         // identically, so outputs must be bit-exact.
         let img = img64();
-        let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        let cpu = CpuPipeline::new(SharpnessParams::default())
+            .run(&img)
+            .unwrap();
         let gpu = GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig::none())
             .run(&img)
             .unwrap();
@@ -389,7 +634,9 @@ mod tests {
     #[test]
     fn all_optimizations_match_cpu_within_tolerance() {
         let img = img64();
-        let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        let cpu = CpuPipeline::new(SharpnessParams::default())
+            .run(&img)
+            .unwrap();
         let gpu = GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig::all())
             .run(&img)
             .unwrap();
@@ -400,7 +647,9 @@ mod tests {
     #[test]
     fn every_cumulative_step_is_correct() {
         let img = img64();
-        let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        let cpu = CpuPipeline::new(SharpnessParams::default())
+            .run(&img)
+            .unwrap();
         for (name, opts) in OptConfig::cumulative_steps() {
             let gpu = GpuPipeline::new(vctx(), SharpnessParams::default(), opts)
                 .run(&img)
@@ -441,20 +690,32 @@ mod tests {
     #[test]
     fn border_crossover_switches_device() {
         let img = img64();
-        let mut tuning = Tuning { border_gpu_min_width: 64, ..Tuning::default() };
-        let opts = OptConfig { border_gpu: true, ..OptConfig::none() };
+        let mut tuning = Tuning {
+            border_gpu_min_width: 64,
+            ..Tuning::default()
+        };
+        let opts = OptConfig {
+            border_gpu: true,
+            ..OptConfig::none()
+        };
         let r = GpuPipeline::new(vctx(), SharpnessParams::default(), opts)
             .with_tuning(tuning)
             .run(&img)
             .unwrap();
-        assert!(r.stages.iter().any(|s| s.name.starts_with("upscale_border_top")));
+        assert!(r
+            .stages
+            .iter()
+            .any(|s| s.name.starts_with("upscale_border_top")));
         // Below the crossover the border runs on the host.
         tuning.border_gpu_min_width = 128;
         let r = GpuPipeline::new(vctx(), SharpnessParams::default(), opts)
             .with_tuning(tuning)
             .run(&img)
             .unwrap();
-        assert!(r.stages.iter().any(|s| s.name == "host:upscale_border"));
+        assert!(r
+            .stages
+            .iter()
+            .any(|s| s.name.as_ref() == "host:upscale_border"));
     }
 
     #[test]
@@ -463,11 +724,22 @@ mod tests {
         let base = GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig::none())
             .run(&img)
             .unwrap();
-        let others =
-            GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig { others: true, ..OptConfig::none() })
-                .run(&img)
-                .unwrap();
-        let count = |r: &RunReport| r.stages.iter().filter(|s| s.name == "finish").count();
+        let others = GpuPipeline::new(
+            vctx(),
+            SharpnessParams::default(),
+            OptConfig {
+                others: true,
+                ..OptConfig::none()
+            },
+        )
+        .run(&img)
+        .unwrap();
+        let count = |r: &RunReport| {
+            r.stages
+                .iter()
+                .filter(|s| s.name.as_ref() == "finish")
+                .count()
+        };
         assert!(count(&base) > 1);
         assert_eq!(count(&others), 1);
     }
@@ -476,11 +748,16 @@ mod tests {
     fn gpu_reduction_mean_close_to_cpu() {
         let img = generate::natural(128, 128, 5);
         let p = SharpnessParams::default();
-        let base = GpuPipeline::new(vctx(), p, OptConfig::none()).run(&img).unwrap();
+        let base = GpuPipeline::new(vctx(), p, OptConfig::none())
+            .run(&img)
+            .unwrap();
         let red = GpuPipeline::new(
             vctx(),
             p,
-            OptConfig { reduction_gpu: true, ..OptConfig::none() },
+            OptConfig {
+                reduction_gpu: true,
+                ..OptConfig::none()
+            },
         )
         .run(&img)
         .unwrap();

@@ -32,9 +32,7 @@
 
 use imagekit::ImageF32;
 
-use crate::gpu::kernels::reduction::{
-    reduction_stage1_range_kernel, stage1_groups,
-};
+use crate::gpu::kernels::reduction::{reduction_stage1_range_kernel, stage1_groups};
 use crate::gpu::kernels::sobel::sobel_vec4_kernel;
 use crate::gpu::kernels::{KernelTuning, SrcImage};
 use crate::gpu::opts::OptConfig;
@@ -74,7 +72,7 @@ impl StripPipeline {
     /// # Errors
     /// If `strip_rows` is invalid.
     pub fn new(inner: GpuPipeline, strip_rows: usize) -> Result<Self, String> {
-        if strip_rows < 16 || strip_rows % SCALE != 0 {
+        if strip_rows < 16 || !strip_rows.is_multiple_of(SCALE) {
             return Err(format!(
                 "strip_rows must be a multiple of {SCALE} and >= 16, got {strip_rows}"
             ));
@@ -119,7 +117,9 @@ impl StripPipeline {
     fn global_mean(&self, orig: &ImageF32) -> Result<(f32, f64), String> {
         let ctx = self.inner.context();
         let (w, h) = (orig.width(), orig.height());
-        let tune = KernelTuning { others: self.inner.opts().others };
+        let tune = KernelTuning {
+            others: self.inner.opts().others,
+        };
         let mut sum = 0.0f64;
         let mut elapsed = 0.0f64;
         for (r0, r1, sub0, sub1) in self.strips_for(h) {
@@ -130,10 +130,13 @@ impl StripPipeline {
             let padded = ctx.buffer::<f32>("padded", (w + 2) * (sub_h + 2));
             q.enqueue_write_rect(&padded, w + 2, 1, 1, sub.pixels(), w, sub_h)
                 .map_err(|e| e.to_string())?;
-            let src = SrcImage { view: padded.view(), pitch: w + 2, pad: 1 };
+            let src = SrcImage {
+                view: padded.view(),
+                pitch: w + 2,
+                pad: 1,
+            };
             let pedge = ctx.buffer::<f32>("pEdge", w * sub_h);
-            sobel_vec4_kernel(&mut q, &src, &pedge, w, sub_h, tune)
-                .map_err(|e| e.to_string())?;
+            sobel_vec4_kernel(&mut q, &src, &pedge, w, sub_h, tune).map_err(|e| e.to_string())?;
             // Reduce only the owned rows: their Sobel values are exact.
             // Global edge rows (0 and h-1) are zero in the full image too,
             // and the sub-image reproduces that because sub0/sub1 clamp.
@@ -150,7 +153,8 @@ impl StripPipeline {
             )
             .map_err(|e| e.to_string())?;
             let mut part = vec![0.0f32; groups];
-            q.enqueue_read(&partials, &mut part).map_err(|e| e.to_string())?;
+            q.enqueue_read(&partials, &mut part)
+                .map_err(|e| e.to_string())?;
             sum += part.iter().map(|&v| f64::from(v)).sum::<f64>();
             q.finish();
             elapsed += q.elapsed();
@@ -183,7 +187,13 @@ impl StripPipeline {
                 }
             }
         }
-        Ok(StripReport { output, total_s, strips: strips.len(), peak_device_bytes: peak, mean })
+        Ok(StripReport {
+            output,
+            total_s,
+            strips: strips.len(),
+            peak_device_bytes: peak,
+            mean,
+        })
     }
 }
 
@@ -227,7 +237,9 @@ mod tests {
     #[test]
     fn strip_output_matches_cpu_reference() {
         let img = generate::natural(64, 160, 21);
-        let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        let cpu = CpuPipeline::new(SharpnessParams::default())
+            .run(&img)
+            .unwrap();
         for strip_rows in [16usize, 32, 48, 64] {
             let sp = StripPipeline::new(inner(), strip_rows).unwrap();
             let run = sp.run(&img).unwrap();
@@ -288,7 +300,9 @@ mod tests {
         // keeps it legal and the output still matches the reference.
         for h in [68usize, 72, 84] {
             let img = generate::natural(32, h, 5);
-            let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+            let cpu = CpuPipeline::new(SharpnessParams::default())
+                .run(&img)
+                .unwrap();
             let run = StripPipeline::new(inner(), 64).unwrap().run(&img).unwrap();
             let diff = run.output.max_abs_diff(&cpu.output);
             assert!(diff < 0.05, "h={h}: diff {diff}");

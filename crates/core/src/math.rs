@@ -9,6 +9,39 @@
 
 use crate::params::{SharpnessParams, INTERP};
 
+/// Select-form minimum: `b < a ? b : a` — exactly one `minss`/`minps`
+/// instruction, unlike `f32::min` whose NaN-propagation contract costs a
+/// `ucomiss` + branch per call and blocks autovectorization of every
+/// kernel loop using it (the Section V-F `select`-over-branch shape,
+/// applied host-side). Identical to `f32::min` for the non-NaN pixel
+/// domain; for NaN inputs it propagates `a` where `f32::min` would not,
+/// consistently across the CPU reference and every GPU kernel.
+#[inline]
+pub fn fmin(a: f32, b: f32) -> f32 {
+    if b < a {
+        b
+    } else {
+        a
+    }
+}
+
+/// Select-form maximum, counterpart of [`fmin`].
+#[inline]
+pub fn fmax(a: f32, b: f32) -> f32 {
+    if b > a {
+        b
+    } else {
+        a
+    }
+}
+
+/// Select-form `clamp(x, lo, hi)` built from [`fmin`]/[`fmax`]: two
+/// instructions, no NaN branches.
+#[inline]
+pub fn clampf(x: f32, lo: f32, hi: f32) -> f32 {
+    fmin(fmax(x, lo), hi)
+}
+
 /// Mean of a 4×4 downscale block (row-major 16 values), paper Fig. 2.
 #[inline]
 pub fn downscale_pixel(block: &[f32; 16]) -> f32 {
@@ -54,7 +87,17 @@ pub fn sobel_pixel(n: &[f32; 9]) -> f32 {
 #[inline]
 pub fn strength(edge: f32, mean: f32, p: &SharpnessParams) -> f32 {
     let x = edge / (mean + p.eps);
-    (p.gain * x.powf(p.gamma)).clamp(0.0, p.s_max)
+    // `powf` with a runtime exponent costs ~20 ns/pixel and dominates the
+    // fused kernel's host time. The default gamma is 0.5, where the
+    // correctly-rounded `sqrt` returns the identical bits (both are
+    // IEEE-correctly rounded here; pinned by `sqrt_matches_powf_half`), so
+    // special-case it. Shared by CPU and GPU, keeping them bit-equal.
+    let pow = if p.gamma == 0.5 {
+        x.sqrt()
+    } else {
+        x.powf(p.gamma)
+    };
+    clampf(p.gain * pow, 0.0, p.s_max)
 }
 
 /// Preliminary sharpened value: upscaled + strength(pEdge) · pError.
@@ -69,8 +112,8 @@ pub fn minmax3x3(n: &[f32; 9]) -> (f32, f32) {
     let mut mn = n[0];
     let mut mx = n[0];
     for &v in &n[1..] {
-        mn = mn.min(v);
-        mx = mx.max(v);
+        mn = fmin(mn, v);
+        mx = fmax(mx, v);
     }
     (mn, mx)
 }
@@ -81,12 +124,18 @@ pub fn minmax3x3(n: &[f32; 9]) -> (f32, f32) {
 /// then clamps to the display range.
 #[inline]
 pub fn overshoot(prelim: f32, mn: f32, mx: f32, p: &SharpnessParams) -> f32 {
+    // All three candidates are computed unconditionally and selected — the
+    // `select`-over-branch shape of Section V-F. The branches depend on
+    // per-pixel data, so on the host this also trades mispredictions for
+    // two cmovs; the selected values are identical to the branched form.
+    let above = fmin(mx + p.osc * (prelim - mx), 255.0);
+    let below = fmax(mn - p.osc * (mn - prelim), 0.0);
+    let inside = clampf(prelim, 0.0, 255.0);
+    let low = if prelim < mn { below } else { inside };
     if prelim > mx {
-        (mx + p.osc * (prelim - mx)).min(255.0)
-    } else if prelim < mn {
-        (mn - p.osc * (mn - prelim)).max(0.0)
+        above
     } else {
-        prelim.clamp(0.0, 255.0)
+        low
     }
 }
 
@@ -94,7 +143,7 @@ pub fn overshoot(prelim: f32, mn: f32, mx: f32, p: &SharpnessParams) -> f32 {
 /// the display range (the paper copies the preliminary border through).
 #[inline]
 pub fn final_border(prelim: f32) -> f32 {
-    prelim.clamp(0.0, 255.0)
+    clampf(prelim, 0.0, 255.0)
 }
 
 #[cfg(test)]
@@ -147,10 +196,13 @@ mod tests {
         for r in 0..4 {
             for c in 0..4 {
                 let (a, b) = (r as f32 / 4.0, c as f32 / 4.0);
-                let bilinear = (1.0 - a) * ((1.0 - b) * d00 + b * d01)
-                    + a * ((1.0 - b) * d10 + b * d11);
+                let bilinear =
+                    (1.0 - a) * ((1.0 - b) * d00 + b * d01) + a * ((1.0 - b) * d10 + b * d11);
                 let got = upscale_value(d00, d01, d10, d11, r, c);
-                assert!((got - bilinear).abs() < 1e-4, "({r},{c}): {got} vs {bilinear}");
+                assert!(
+                    (got - bilinear).abs() < 1e-4,
+                    "({r},{c}): {got} vs {bilinear}"
+                );
             }
         }
     }
@@ -204,6 +256,18 @@ mod tests {
         assert!(s1 > s0 && s2 > s1);
         // Very large edge hits the clamp.
         assert_eq!(strength(1e12, 1.0, &p), p.s_max);
+    }
+
+    #[test]
+    fn sqrt_matches_powf_half() {
+        // The gamma == 0.5 fast path is only sound if sqrt and powf(·, 0.5)
+        // agree bit-for-bit (they must: both are correctly rounded).
+        for i in (0..=u32::MAX).step_by(9973) {
+            let x = f32::from_bits(i);
+            if x.is_finite() && x >= 0.0 {
+                assert_eq!(x.sqrt().to_bits(), x.powf(0.5).to_bits(), "x = {x}");
+            }
+        }
     }
 
     #[test]

@@ -71,7 +71,10 @@ mod tests {
     #[test]
     fn fusion_shrinks_footprint() {
         let unfused = OptConfig::none();
-        let fused = OptConfig { kernel_fusion: true, ..OptConfig::none() };
+        let fused = OptConfig {
+            kernel_fusion: true,
+            ..OptConfig::none()
+        };
         let a = device_bytes_required(1024, 1024, &unfused);
         let b = device_bytes_required(1024, 1024, &fused);
         // Fusion removes two full-size matrices.
@@ -81,7 +84,10 @@ mod tests {
     #[test]
     fn data_transfer_opt_drops_the_raw_original() {
         let base = OptConfig::none();
-        let dt = OptConfig { data_transfer: true, ..OptConfig::none() };
+        let dt = OptConfig {
+            data_transfer: true,
+            ..OptConfig::none()
+        };
         let a = device_bytes_required(512, 512, &base);
         let b = device_bytes_required(512, 512, &dt);
         assert_eq!(a - b, 512 * 512 * 4);

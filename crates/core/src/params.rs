@@ -11,8 +11,7 @@
 ///
 /// Rows are linear-interpolation weights at phases 0, ¼, ½, ¾ between the
 /// two supporting samples.
-pub const INTERP: [[f32; 2]; 4] =
-    [[1.0, 0.0], [0.75, 0.25], [0.5, 0.5], [0.25, 0.75]];
+pub const INTERP: [[f32; 2]; 4] = [[1.0, 0.0], [0.75, 0.25], [0.5, 0.5], [0.25, 0.75]];
 
 /// Downscale/upscale factor (the paper's fixed 4).
 pub const SCALE: usize = 4;
@@ -42,7 +41,13 @@ impl Default for SharpnessParams {
         // amplified (strength > 1) while weak texture (edge << mean) is
         // slightly suppressed — the adaptive-sharpening behaviour the
         // strength curve exists for.
-        SharpnessParams { gain: 1.8, gamma: 0.5, s_max: 4.0, osc: 0.35, eps: 1.0 }
+        SharpnessParams {
+            gain: 1.8,
+            gamma: 0.5,
+            s_max: 4.0,
+            osc: 0.35,
+            eps: 1.0,
+        }
     }
 }
 
@@ -75,7 +80,9 @@ impl SharpnessParams {
 /// rows/columns on each side).
 pub fn check_shape(width: usize, height: usize) -> Result<(), String> {
     if width < 16 || height < 16 {
-        return Err(format!("image must be at least 16x16, got {width}x{height}"));
+        return Err(format!(
+            "image must be at least 16x16, got {width}x{height}"
+        ));
     }
     if !width.is_multiple_of(SCALE) || !height.is_multiple_of(SCALE) {
         return Err(format!(
@@ -107,11 +114,26 @@ mod tests {
     #[test]
     fn invalid_params_rejected() {
         let bad = [
-            SharpnessParams { gain: -1.0, ..SharpnessParams::default() },
-            SharpnessParams { gamma: 0.0, ..SharpnessParams::default() },
-            SharpnessParams { osc: 1.5, ..SharpnessParams::default() },
-            SharpnessParams { eps: 0.0, ..SharpnessParams::default() },
-            SharpnessParams { s_max: f32::NAN, ..SharpnessParams::default() },
+            SharpnessParams {
+                gain: -1.0,
+                ..SharpnessParams::default()
+            },
+            SharpnessParams {
+                gamma: 0.0,
+                ..SharpnessParams::default()
+            },
+            SharpnessParams {
+                osc: 1.5,
+                ..SharpnessParams::default()
+            },
+            SharpnessParams {
+                eps: 0.0,
+                ..SharpnessParams::default()
+            },
+            SharpnessParams {
+                s_max: f32::NAN,
+                ..SharpnessParams::default()
+            },
         ];
         for p in bad {
             assert!(p.validate().is_err(), "{p:?}");

@@ -4,13 +4,17 @@
 //! Fig. 12 (totals), Fig. 13 (per-stage fractions), and Figs. 14–17
 //! (variant comparisons).
 
+use std::sync::Arc;
+
 use imagekit::ImageF32;
 
 /// One timed stage (or command group) of a pipeline run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageRecord {
     /// Stage name (pipeline-level, e.g. `"sobel"`, `"reduction"`).
-    pub name: String,
+    /// Shares the command queue's interned allocation: cloning a report's
+    /// stages bumps refcounts instead of copying strings.
+    pub name: Arc<str>,
     /// Simulated duration in seconds.
     pub seconds: f64,
 }
@@ -36,7 +40,11 @@ impl RunReport {
 
     /// Total seconds charged to stages whose name equals `name`.
     pub fn stage_seconds(&self, name: &str) -> f64 {
-        self.stages.iter().filter(|s| s.name == name).map(|s| s.seconds).sum()
+        self.stages
+            .iter()
+            .filter(|s| s.name.as_ref() == name)
+            .map(|s| s.seconds)
+            .sum()
     }
 
     /// Fraction of total time spent in `name` (0 if the run is empty).
@@ -63,7 +71,43 @@ impl RunReport {
             }
             *totals.entry(cat).or_insert(0.0) += s.seconds;
         }
-        order.into_iter().map(|c| (c.to_string(), totals[c])).collect()
+        order
+            .into_iter()
+            .map(|c| (c.to_string(), totals[c]))
+            .collect()
+    }
+}
+
+/// Which engine a command occupies in the double-buffered overlap model:
+/// the upload DMA engine, the compute device (plus host stages and sync),
+/// or the download DMA engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageLane {
+    /// Host→device transfers (bulk, rect, and map writes).
+    Upload,
+    /// Kernels, host-side stages, synchronisation.
+    Compute,
+    /// Device→host transfers (bulk, rect, and map reads).
+    Download,
+}
+
+/// Classifies a command/stage name into its overlap [`StageLane`] from the
+/// queue's `"<kind>:<buffer>"` naming convention. The single source of
+/// truth for lane splits — `gpu/batch.rs` and the throughput engine both
+/// use it, so a renamed stage cannot silently land in the wrong lane.
+pub fn classify_stage_lane(name: &str) -> StageLane {
+    if name.starts_with("write:")
+        || name.starts_with("rect-write:")
+        || name.starts_with("map-write:")
+    {
+        StageLane::Upload
+    } else if name.starts_with("read:")
+        || name.starts_with("rect-read:")
+        || name.starts_with("map-read:")
+    {
+        StageLane::Download
+    } else {
+        StageLane::Compute
     }
 }
 
@@ -115,11 +159,18 @@ pub fn classify_gpu_stage(name: &str) -> &'static str {
     if name.starts_with("sobel") {
         return "sobel";
     }
-    if name.contains("reduction") || name.starts_with("read:pEdge") || name.starts_with("map-read:pEdge") || name.starts_with("read:partials") || name.starts_with("map-read:partials")
+    if name.contains("reduction")
+        || name.starts_with("read:pEdge")
+        || name.starts_with("map-read:pEdge")
+        || name.starts_with("read:partials")
+        || name.starts_with("map-read:partials")
     {
         return "reduction";
     }
-    if name.starts_with("perror") || name.starts_with("preliminary") || name.starts_with("overshoot") || name.starts_with("sharpness")
+    if name.starts_with("perror")
+        || name.starts_with("preliminary")
+        || name.starts_with("overshoot")
+        || name.starts_with("sharpness")
     {
         return "sharpness";
     }
@@ -135,9 +186,18 @@ mod tests {
             output: ImageF32::zeros(4, 4),
             total_s: 1.0,
             stages: vec![
-                StageRecord { name: "sobel".into(), seconds: 0.25 },
-                StageRecord { name: "reduction".into(), seconds: 0.5 },
-                StageRecord { name: "strength_preliminary".into(), seconds: 0.25 },
+                StageRecord {
+                    name: "sobel".into(),
+                    seconds: 0.25,
+                },
+                StageRecord {
+                    name: "reduction".into(),
+                    seconds: 0.5,
+                },
+                StageRecord {
+                    name: "strength_preliminary".into(),
+                    seconds: 0.25,
+                },
             ],
         }
     }
@@ -182,6 +242,19 @@ mod tests {
         assert_eq!(classify_gpu_stage("overshoot"), "sharpness");
         assert_eq!(classify_gpu_stage("read:final"), "data init");
         assert_eq!(classify_gpu_stage("finish"), "data init");
+    }
+
+    #[test]
+    fn lane_classifier_covers_every_transfer_kind() {
+        assert_eq!(classify_stage_lane("write:original"), StageLane::Upload);
+        assert_eq!(classify_stage_lane("rect-write:padded"), StageLane::Upload);
+        assert_eq!(classify_stage_lane("map-write:padded"), StageLane::Upload);
+        assert_eq!(classify_stage_lane("read:final"), StageLane::Download);
+        assert_eq!(classify_stage_lane("rect-read:down"), StageLane::Download);
+        assert_eq!(classify_stage_lane("map-read:pEdge"), StageLane::Download);
+        assert_eq!(classify_stage_lane("sobel_vec4"), StageLane::Compute);
+        assert_eq!(classify_stage_lane("host:padding"), StageLane::Compute);
+        assert_eq!(classify_stage_lane("finish"), StageLane::Compute);
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //! branches are all properly exercised.
 
 use crate::image::ImageF32;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Horizontal-then-vertical luminance ramp: smooth content, no hard edges.
 pub fn gradient(width: usize, height: usize) -> ImageF32 {
@@ -50,14 +49,14 @@ pub fn zone_plate(width: usize, height: usize) -> ImageF32 {
 /// Sum of `n` random Gaussian blobs: smooth "photographic" lighting with a
 /// few soft features. Deterministic for a given seed.
 pub fn gaussian_blobs(width: usize, height: usize, n: usize, seed: u64) -> ImageF32 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let blobs: Vec<(f32, f32, f32, f32)> = (0..n)
         .map(|_| {
             (
-                rng.gen_range(0.0..width as f32),
-                rng.gen_range(0.0..height as f32),
-                rng.gen_range(width as f32 / 16.0..width as f32 / 4.0),
-                rng.gen_range(60.0..220.0),
+                rng.gen_range(0.0, width as f32),
+                rng.gen_range(0.0, height as f32),
+                rng.gen_range(width as f32 / 16.0, width as f32 / 4.0),
+                rng.gen_range(60.0, 220.0),
             )
         })
         .collect();
@@ -78,8 +77,8 @@ pub fn value_noise(width: usize, height: usize, cell: usize, seed: u64) -> Image
     let cell = cell.max(2);
     let gw = width / cell + 2;
     let gh = height / cell + 2;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let lattice: Vec<f32> = (0..gw * gh).map(|_| rng.gen_range(0.0f32..255.0)).collect();
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let lattice: Vec<f32> = (0..gw * gh).map(|_| rng.gen_range(0.0, 255.0)).collect();
     let at = |gx: usize, gy: usize| lattice[gy * gw + gx];
     ImageF32::from_fn(width, height, |x, y| {
         let fx = x as f32 / cell as f32;

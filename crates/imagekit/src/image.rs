@@ -16,12 +16,20 @@ pub struct ImageF32 {
 impl ImageF32 {
     /// Creates a zero-filled image.
     pub fn zeros(width: usize, height: usize) -> Self {
-        ImageF32 { width, height, data: vec![0.0; width * height] }
+        ImageF32 {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
     }
 
     /// Creates an image filled with `v`.
     pub fn filled(width: usize, height: usize, v: f32) -> Self {
-        ImageF32 { width, height, data: vec![v; width * height] }
+        ImageF32 {
+            width,
+            height,
+            data: vec![v; width * height],
+        }
     }
 
     /// Builds an image from a function of `(x, y)`.
@@ -32,7 +40,11 @@ impl ImageF32 {
                 data.push(f(x, y));
             }
         }
-        ImageF32 { width, height, data }
+        ImageF32 {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Wraps an existing row-major pixel vector.
@@ -41,7 +53,11 @@ impl ImageF32 {
     /// If `data.len() != width * height`.
     pub fn from_vec(width: usize, height: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), width * height, "pixel count mismatch");
-        ImageF32 { width, height, data }
+        ImageF32 {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.
@@ -130,7 +146,10 @@ impl ImageF32 {
     /// Extracts the interior of a padded image (inverse of
     /// [`ImageF32::padded`]).
     pub fn cropped(&self, pad: usize) -> ImageF32 {
-        assert!(self.width > 2 * pad && self.height > 2 * pad, "crop larger than image");
+        assert!(
+            self.width > 2 * pad && self.height > 2 * pad,
+            "crop larger than image"
+        );
         ImageF32::from_fn(self.width - 2 * pad, self.height - 2 * pad, |x, y| {
             self.get(x + pad, y + pad)
         })
@@ -141,7 +160,11 @@ impl ImageF32 {
         ImageU8 {
             width: self.width,
             height: self.height,
-            data: self.data.iter().map(|&v| v.clamp(0.0, 255.0).round() as u8).collect(),
+            data: self
+                .data
+                .iter()
+                .map(|&v| v.clamp(0.0, 255.0).round() as u8)
+                .collect(),
         }
     }
 
@@ -150,7 +173,11 @@ impl ImageF32 {
     /// # Panics
     /// If the shapes differ.
     pub fn max_abs_diff(&self, other: &ImageF32) -> f32 {
-        assert_eq!((self.width, self.height), (other.width, other.height), "shape mismatch");
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -170,7 +197,11 @@ pub struct ImageU8 {
 impl ImageU8 {
     /// Creates a zero-filled image.
     pub fn zeros(width: usize, height: usize) -> Self {
-        ImageU8 { width, height, data: vec![0; width * height] }
+        ImageU8 {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
     }
 
     /// Wraps an existing row-major byte vector.
@@ -179,7 +210,11 @@ impl ImageU8 {
     /// If `data.len() != width * height`.
     pub fn from_vec(width: usize, height: usize, data: Vec<u8>) -> Self {
         assert_eq!(data.len(), width * height, "pixel count mismatch");
-        ImageU8 { width, height, data }
+        ImageU8 {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.

@@ -107,7 +107,8 @@ fn read_token<R: BufRead>(r: &mut R) -> io::Result<String> {
 
 fn parse_token<R: BufRead, T: std::str::FromStr>(r: &mut R) -> io::Result<T> {
     let tok = read_token(r)?;
-    tok.parse::<T>().map_err(|_| bad_data(format!("bad header token {tok:?}")))
+    tok.parse::<T>()
+        .map_err(|_| bad_data(format!("bad header token {tok:?}")))
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ pub mod image;
 pub mod io;
 pub mod metrics;
 pub mod rgb;
+pub mod rng;
 
 pub use image::{ImageF32, ImageU8};
 pub use rgb::RgbImageU8;

@@ -19,7 +19,11 @@ pub fn mean(img: &ImageF32) -> f64 {
 /// # Panics
 /// If shapes differ.
 pub fn mse(a: &ImageF32, b: &ImageF32) -> f64 {
-    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "shape mismatch");
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "shape mismatch"
+    );
     if a.is_empty() {
         return 0.0;
     }
@@ -69,7 +73,11 @@ pub fn out_of_range_fraction(img: &ImageF32) -> f64 {
     if img.is_empty() {
         return 0.0;
     }
-    let n = img.pixels().iter().filter(|&&v| !(0.0..=255.0).contains(&v)).count();
+    let n = img
+        .pixels()
+        .iter()
+        .filter(|&&v| !(0.0..=255.0).contains(&v))
+        .count();
     n as f64 / img.len() as f64
 }
 

@@ -18,7 +18,11 @@ pub struct RgbImageU8 {
 impl RgbImageU8 {
     /// Creates a black image.
     pub fn zeros(width: usize, height: usize) -> Self {
-        RgbImageU8 { width, height, data: vec![0; width * height * 3] }
+        RgbImageU8 {
+            width,
+            height,
+            data: vec![0; width * height * 3],
+        }
     }
 
     /// Wraps an interleaved byte vector.
@@ -27,7 +31,11 @@ impl RgbImageU8 {
     /// If `data.len() != width * height * 3`.
     pub fn from_vec(width: usize, height: usize, data: Vec<u8>) -> Self {
         assert_eq!(data.len(), width * height * 3, "RGB byte count mismatch");
-        RgbImageU8 { width, height, data }
+        RgbImageU8 {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.
@@ -82,15 +90,27 @@ impl RgbImageU8 {
     /// # Panics
     /// If channel shapes differ.
     pub fn merge_channels(r: &ImageF32, g: &ImageF32, b: &ImageF32) -> Self {
-        assert_eq!((r.width(), r.height()), (g.width(), g.height()), "channel shape mismatch");
-        assert_eq!((r.width(), r.height()), (b.width(), b.height()), "channel shape mismatch");
+        assert_eq!(
+            (r.width(), r.height()),
+            (g.width(), g.height()),
+            "channel shape mismatch"
+        );
+        assert_eq!(
+            (r.width(), r.height()),
+            (b.width(), b.height()),
+            "channel shape mismatch"
+        );
         let mut data = Vec::with_capacity(r.len() * 3);
         for i in 0..r.len() {
             data.push(r.pixels()[i].clamp(0.0, 255.0).round() as u8);
             data.push(g.pixels()[i].clamp(0.0, 255.0).round() as u8);
             data.push(b.pixels()[i].clamp(0.0, 255.0).round() as u8);
         }
-        RgbImageU8 { width: r.width(), height: r.height(), data }
+        RgbImageU8 {
+            width: r.width(),
+            height: r.height(),
+            data,
+        }
     }
 
     /// BT.601 luma plane (`0.299 R + 0.587 G + 0.114 B`).

@@ -7,7 +7,8 @@
 //!
 //! # Safety model
 //!
-//! Work-groups of one dispatch run in parallel (rayon). The simulator
+//! Work-groups of one dispatch run in parallel (scoped host threads, see
+//! [`crate::par`]). The simulator
 //! relies on the same invariant a real GPU kernel does: *distinct
 //! work-items write distinct elements*. Reads and writes go through raw
 //! pointers internally; the invariant is checked — not assumed — when the
@@ -19,7 +20,9 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+
+use crate::pool::{BufferPool, PoolShared};
 
 /// Element types storable in device buffers.
 pub trait Scalar: Copy + Send + Sync + Default + 'static {}
@@ -50,6 +53,22 @@ pub(crate) struct BufferInner<T: Scalar> {
     pub(crate) mapped: AtomicBool,
     /// Debug label (usually the logical matrix name, e.g. `"pEdge"`).
     label: String,
+    /// Pool to return the backing slab to on drop, for pool-managed
+    /// buffers. `Weak`: a buffer outliving its context must not keep the
+    /// pool (and every parked slab) alive.
+    pool: Option<Weak<PoolShared>>,
+}
+
+impl<T: Scalar> Drop for BufferInner<T> {
+    fn drop(&mut self) {
+        if let Some(weak) = self.pool.take() {
+            if let Some(pool) = weak.upgrade() {
+                pool.retire_live();
+                let slab = std::mem::take(self.data.0.get_mut());
+                pool.give(&self.label, slab);
+            }
+        }
+    }
 }
 
 /// A slab of simulated device memory holding `len` elements of `T`.
@@ -63,15 +82,58 @@ pub struct Buffer<T: Scalar> {
 
 impl<T: Scalar> Clone for Buffer<T> {
     fn clone(&self) -> Self {
-        Buffer { inner: Arc::clone(&self.inner) }
+        Buffer {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
 impl<T: Scalar> Buffer<T> {
     pub(crate) fn new(label: &str, len: usize, validate: bool) -> Self {
-        let data = vec![T::default(); len].into_boxed_slice();
+        Self::build(
+            label,
+            len,
+            validate,
+            vec![T::default(); len].into_boxed_slice(),
+            None,
+        )
+    }
+
+    /// Allocates through `pool`: reuses (and re-zeroes) a recycled slab
+    /// with the same `(label, len, T)` identity when one is parked, and
+    /// returns the slab to the pool when the last handle drops.
+    pub(crate) fn pooled(label: &str, len: usize, validate: bool, pool: &BufferPool) -> Self {
+        let data = match pool.shared.take::<T>(label, len) {
+            Some(mut slab) => {
+                slab.fill(T::default());
+                slab
+            }
+            None => vec![T::default(); len].into_boxed_slice(),
+        };
+        Self::build(
+            label,
+            len,
+            validate,
+            data,
+            Some(Arc::downgrade(&pool.shared)),
+        )
+    }
+
+    fn build(
+        label: &str,
+        len: usize,
+        validate: bool,
+        data: Box<[T]>,
+        pool: Option<Weak<PoolShared>>,
+    ) -> Self {
+        debug_assert_eq!(data.len(), len);
         let marks = if validate {
-            Some((0..len).map(|_| AtomicU8::new(0)).collect::<Vec<_>>().into_boxed_slice())
+            Some(
+                (0..len)
+                    .map(|_| AtomicU8::new(0))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+            )
         } else {
             None
         };
@@ -83,6 +145,7 @@ impl<T: Scalar> Buffer<T> {
                 race: AtomicUsize::new(0),
                 mapped: AtomicBool::new(false),
                 label: label.to_string(),
+                pool,
             }),
         }
     }
@@ -109,12 +172,22 @@ impl<T: Scalar> Buffer<T> {
 
     /// Read-only view for capture by kernels.
     pub fn view(&self) -> GlobalView<T> {
-        GlobalView { inner: Arc::clone(&self.inner) }
+        let ptr = self.inner.data_ptr();
+        GlobalView {
+            inner: Arc::clone(&self.inner),
+            ptr,
+        }
     }
 
     /// Writable view for capture by kernels.
     pub fn write_view(&self) -> GlobalWriteView<T> {
-        GlobalWriteView { inner: Arc::clone(&self.inner) }
+        let ptr = self.inner.data_ptr();
+        let validate = self.inner.marks.is_some();
+        GlobalWriteView {
+            inner: Arc::clone(&self.inner),
+            ptr,
+            validate,
+        }
     }
 
     /// Starts a new write epoch: clears validation marks and any recorded
@@ -162,30 +235,63 @@ impl<T: Scalar> Buffer<T> {
 
 impl<T: Scalar> BufferInner<T> {
     #[inline]
-    pub(crate) fn load(&self, idx: usize) -> T {
-        debug_assert!(idx < self.len, "load out of bounds: {idx} >= {}", self.len);
-        // SAFETY: idx < len checked in debug; concurrent disjoint writes do
-        // not alias this element per the dispatch invariant.
-        unsafe { (*self.data.0.get())[idx] }
-    }
-
-    #[inline]
     pub(crate) fn store(&self, idx: usize, v: T) {
-        debug_assert!(idx < self.len, "store out of bounds: {idx} >= {}", self.len);
+        assert!(idx < self.len, "store out of bounds on {:?}", self.label);
         if let Some(marks) = &self.marks {
             if marks[idx].swap(1, Ordering::Relaxed) == 1 {
                 // Record the first race only.
-                let _ = self.race.compare_exchange(
-                    0,
-                    idx + 1,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                );
+                let _ =
+                    self.race
+                        .compare_exchange(0, idx + 1, Ordering::Relaxed, Ordering::Relaxed);
             }
         }
         // SAFETY: as above.
         unsafe {
-            (*self.data.0.get())[idx] = v;
+            *(*self.data.0.get()).as_mut_ptr().add(idx) = v;
+        }
+    }
+
+    /// Bulk host→device copy of `src` into `offset..offset+src.len()`.
+    /// Equivalent to a `store` per element (including write-race marking
+    /// under validation) but memcpy-speed when no marks are kept.
+    pub(crate) fn copy_in(&self, offset: usize, src: &[T]) {
+        assert!(
+            offset + src.len() <= self.len,
+            "copy_in out of bounds on {:?}",
+            self.label
+        );
+        if self.marks.is_some() {
+            for (i, v) in src.iter().enumerate() {
+                self.store(offset + i, *v);
+            }
+            return;
+        }
+        // SAFETY: bounds asserted above; host-side transfer, no concurrent
+        // kernel is running on this buffer per the queue discipline.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.as_ptr(),
+                (*self.data.0.get()).as_mut_ptr().add(offset),
+                src.len(),
+            );
+        }
+    }
+
+    /// Bulk device→host copy of `offset..offset+dst.len()` into `dst`.
+    pub(crate) fn copy_out(&self, offset: usize, dst: &mut [T]) {
+        assert!(
+            offset + dst.len() <= self.len,
+            "copy_out out of bounds on {:?}",
+            self.label
+        );
+        // SAFETY: bounds asserted above; reads never race per the dispatch
+        // invariant.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                (*self.data.0.get()).as_ptr().add(offset),
+                dst.as_mut_ptr(),
+                dst.len(),
+            );
         }
     }
 
@@ -213,13 +319,28 @@ impl<T: Scalar> BufferInner<T> {
 }
 
 /// Read-only handle to a buffer, cheap to clone into kernel closures.
+///
+/// Caches the raw data pointer at creation so the kernel hot path is a
+/// single bounds check + load, instead of re-chasing
+/// `Arc → UnsafeCell → Box<[T]>` on every element access (the `Box`
+/// allocation address is stable for the life of the view's `Arc`).
 pub struct GlobalView<T: Scalar> {
     pub(crate) inner: Arc<BufferInner<T>>,
+    ptr: *const T,
 }
+
+// SAFETY: the pointer targets storage owned by `inner` (kept alive by the
+// Arc); cross-thread access follows the same disjoint-writes dispatch
+// invariant as `SyncCell`.
+unsafe impl<T: Scalar> Send for GlobalView<T> {}
+unsafe impl<T: Scalar> Sync for GlobalView<T> {}
 
 impl<T: Scalar> Clone for GlobalView<T> {
     fn clone(&self) -> Self {
-        GlobalView { inner: Arc::clone(&self.inner) }
+        GlobalView {
+            inner: Arc::clone(&self.inner),
+            ptr: self.ptr,
+        }
     }
 }
 
@@ -240,18 +361,82 @@ impl<T: Scalar> GlobalView<T> {
     /// host-side checks.
     #[inline]
     pub fn get_raw(&self, idx: usize) -> T {
-        self.inner.load(idx)
+        assert!(
+            idx < self.inner.len,
+            "load out of bounds on {:?}",
+            self.inner.label
+        );
+        // SAFETY: bounds asserted; disjoint-writes invariant as per module
+        // docs; `ptr` is valid while `inner` is alive.
+        unsafe { *self.ptr.add(idx) }
+    }
+
+    /// Raw, *unaccounted* bulk read of `out.len()` consecutive elements
+    /// starting at `idx` — one bounds check for the whole run, so hot
+    /// kernel loops that charge their traffic explicitly (via
+    /// [`GroupCtx::charge`](crate::kernel::GroupCtx::charge) /
+    /// [`GroupCtx::charge_global_n`](crate::kernel::GroupCtx::charge_global_n))
+    /// stay vectorizable.
+    #[inline]
+    pub fn read_into(&self, idx: usize, out: &mut [T]) {
+        assert!(
+            idx + out.len() <= self.inner.len,
+            "bulk load out of bounds on {:?}",
+            self.inner.label
+        );
+        // SAFETY: bounds asserted; reads never race per the dispatch
+        // invariant.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.add(idx), out.as_mut_ptr(), out.len());
+        }
+    }
+
+    /// Raw, *unaccounted* read of four consecutive elements.
+    #[inline]
+    pub fn get4_raw(&self, idx: usize) -> [T; 4] {
+        let mut q = [T::default(); 4];
+        self.read_into(idx, &mut q);
+        q
+    }
+
+    /// Raw, *unaccounted* borrow of `len` consecutive elements starting at
+    /// `idx`, for span-at-a-time kernel loops (the returned slice borrows
+    /// the view, so the storage stays alive). Callers rely on the dispatch
+    /// invariant: no work-item writes this buffer while the slice is held.
+    #[inline]
+    pub fn slice_raw(&self, idx: usize, len: usize) -> &[T] {
+        assert!(
+            idx + len <= self.inner.len,
+            "slice out of bounds on {:?}",
+            self.inner.label
+        );
+        // SAFETY: bounds asserted; reads never race per the dispatch
+        // invariant.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(idx), len) }
     }
 }
 
 /// Writable handle to a buffer, cheap to clone into kernel closures.
+///
+/// Like [`GlobalView`], caches the raw data pointer; stores fall back to
+/// the slow path only when the buffer keeps validation marks.
 pub struct GlobalWriteView<T: Scalar> {
     pub(crate) inner: Arc<BufferInner<T>>,
+    ptr: *mut T,
+    validate: bool,
 }
+
+// SAFETY: as for `GlobalView`.
+unsafe impl<T: Scalar> Send for GlobalWriteView<T> {}
+unsafe impl<T: Scalar> Sync for GlobalWriteView<T> {}
 
 impl<T: Scalar> Clone for GlobalWriteView<T> {
     fn clone(&self) -> Self {
-        GlobalWriteView { inner: Arc::clone(&self.inner) }
+        GlobalWriteView {
+            inner: Arc::clone(&self.inner),
+            ptr: self.ptr,
+            validate: self.validate,
+        }
     }
 }
 
@@ -270,14 +455,79 @@ impl<T: Scalar> GlobalWriteView<T> {
     /// [`GroupCtx::store`](crate::kernel::GroupCtx::store).
     #[inline]
     pub fn set_raw(&self, idx: usize, v: T) {
-        self.inner.store(idx, v);
+        if self.validate {
+            self.inner.store(idx, v);
+            return;
+        }
+        assert!(
+            idx < self.inner.len,
+            "store out of bounds on {:?}",
+            self.inner.label
+        );
+        // SAFETY: bounds asserted; work-items write disjoint elements per
+        // the dispatch invariant; `ptr` is valid while `inner` is alive.
+        unsafe {
+            *self.ptr.add(idx) = v;
+        }
     }
 
     /// Raw, *unaccounted* element read from a writable view (used by
     /// read-modify-write stages).
     #[inline]
     pub fn get_raw(&self, idx: usize) -> T {
-        self.inner.load(idx)
+        assert!(
+            idx < self.inner.len,
+            "load out of bounds on {:?}",
+            self.inner.label
+        );
+        // SAFETY: as for `set_raw`.
+        unsafe { *self.ptr.add(idx) }
+    }
+
+    /// Raw, *unaccounted* write of four consecutive elements — one bounds
+    /// check. Falls back to per-element stores when validation marks are
+    /// kept, so write-race detection still sees every element.
+    #[inline]
+    pub fn set4_raw(&self, idx: usize, v: [T; 4]) {
+        if self.validate {
+            for (k, x) in v.into_iter().enumerate() {
+                self.inner.store(idx + k, x);
+            }
+            return;
+        }
+        assert!(
+            idx + 4 <= self.inner.len,
+            "bulk store out of bounds on {:?}",
+            self.inner.label
+        );
+        // SAFETY: as for `set_raw`; the four elements belong to this
+        // work-item per the dispatch invariant.
+        unsafe {
+            std::ptr::copy_nonoverlapping(v.as_ptr(), self.ptr.add(idx), 4);
+        }
+    }
+
+    /// Raw, *unaccounted* write of a span of consecutive elements. Like
+    /// [`GlobalWriteView::set4_raw`], per-element stores under validation
+    /// (so write-race marks stay element-accurate), memcpy otherwise.
+    #[inline]
+    pub fn set_span_raw(&self, idx: usize, src: &[T]) {
+        if self.validate {
+            for (k, v) in src.iter().enumerate() {
+                self.inner.store(idx + k, *v);
+            }
+            return;
+        }
+        assert!(
+            idx + src.len() <= self.inner.len,
+            "bulk store out of bounds on {:?}",
+            self.inner.label
+        );
+        // SAFETY: as for `set_raw`; the span belongs to the writing
+        // work-items per the dispatch invariant.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(idx), src.len());
+        }
     }
 }
 
@@ -333,12 +583,11 @@ mod tests {
 
     #[test]
     fn parallel_disjoint_writes_are_clean() {
-        use rayon::prelude::*;
         let b: Buffer<u32> = Buffer::new("t", 10_000, true);
         b.begin_write_epoch();
         let w = b.write_view();
-        (0..10_000u32).into_par_iter().for_each(|i| {
-            w.set_raw(i as usize, i * 2);
+        crate::par::for_each_index(10_000, 8, |i| {
+            w.set_raw(i, i as u32 * 2);
         });
         assert_eq!(b.race(), None);
         let s = b.snapshot();
@@ -347,12 +596,11 @@ mod tests {
 
     #[test]
     fn parallel_racy_writes_are_caught() {
-        use rayon::prelude::*;
         let b: Buffer<u32> = Buffer::new("t", 4, true);
         b.begin_write_epoch();
         let w = b.write_view();
-        (0..1000u32).into_par_iter().for_each(|i| {
-            w.set_raw((i % 4) as usize, i);
+        crate::par::for_each_index(1000, 8, |i| {
+            w.set_raw(i % 4, i as u32);
         });
         assert!(b.race().is_some());
     }

@@ -1,7 +1,8 @@
-//! The context: device + host pairing and buffer factory.
+//! The context: device + host pairing, buffer factory, and buffer pool.
 
 use crate::buffer::{Buffer, Scalar};
 use crate::device::{CpuSpec, DeviceSpec};
+use crate::pool::{BufferPool, PoolStats};
 use crate::queue::CommandQueue;
 
 /// An OpenCL-like context binding a simulated device to a modeled host CPU.
@@ -11,29 +12,63 @@ use crate::queue::CommandQueue;
 /// (see [`Context::with_validation`]) every buffer carries per-element write
 /// marks and kernel dispatches report write races — the simulator's
 /// equivalent of running under a GPU race checker.
+///
+/// The context also owns a [`BufferPool`] that recycles buffer backing
+/// storage across allocations (clones share the pool). Pooling is on by
+/// default; [`Context::with_pooling`]`(false)` restores allocate-per-buffer
+/// behaviour for baseline measurements.
 #[derive(Clone)]
 pub struct Context {
     device: DeviceSpec,
     cpu: CpuSpec,
     validate: bool,
+    pool: BufferPool,
+    pooling: bool,
+    /// Host threads per kernel dispatch (0 = all available cores).
+    dispatch_threads: usize,
 }
 
 impl Context {
     /// Creates a context for `device` with the paper's host CPU
     /// (Core i5-3470) and validation off.
     pub fn new(device: DeviceSpec) -> Self {
-        Context { device, cpu: CpuSpec::core_i5_3470(), validate: false }
+        Context {
+            device,
+            cpu: CpuSpec::core_i5_3470(),
+            validate: false,
+            pool: BufferPool::new(),
+            pooling: true,
+            dispatch_threads: 0,
+        }
     }
 
     /// Creates a context with write-race validation enabled. Intended for
     /// tests: buffers allocate one mark byte per element.
     pub fn with_validation(device: DeviceSpec) -> Self {
-        Context { device, cpu: CpuSpec::core_i5_3470(), validate: true }
+        let mut ctx = Context::new(device);
+        ctx.validate = true;
+        ctx
     }
 
     /// Overrides the host CPU model.
     pub fn with_cpu(mut self, cpu: CpuSpec) -> Self {
         self.cpu = cpu;
+        self
+    }
+
+    /// Enables or disables buffer pooling (on by default). With pooling off
+    /// every buffer allocates fresh storage — the per-run-allocation
+    /// baseline the wall-clock benches compare against.
+    pub fn with_pooling(mut self, pooling: bool) -> Self {
+        self.pooling = pooling;
+        self
+    }
+
+    /// Pins the number of host threads each kernel dispatch uses
+    /// (0 = all available cores, the default). A throughput engine running
+    /// frames concurrently pins this to 1 and parallelises across frames.
+    pub fn with_dispatch_threads(mut self, threads: usize) -> Self {
+        self.dispatch_threads = threads;
         self
     }
 
@@ -52,23 +87,48 @@ impl Context {
         self.validate
     }
 
-    /// Allocates a zero-initialised device buffer of `len` elements.
+    /// Whether buffer allocations recycle through the pool.
+    pub fn pools(&self) -> bool {
+        self.pooling
+    }
+
+    /// The context's buffer pool (shared by clones).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Snapshot of the buffer pool's hit/miss/live counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Host threads per kernel dispatch (0 = all available cores).
+    pub fn dispatch_threads(&self) -> usize {
+        self.dispatch_threads
+    }
+
+    /// Allocates a zero-initialised device buffer of `len` elements,
+    /// recycling pooled storage when available.
     pub fn buffer<T: Scalar>(&self, label: &str, len: usize) -> Buffer<T> {
-        Buffer::new(label, len, self.validate)
+        if self.pooling {
+            Buffer::pooled(label, len, self.validate, &self.pool)
+        } else {
+            Buffer::new(label, len, self.validate)
+        }
     }
 
     /// Allocates a device buffer initialised from a host slice *without*
     /// charging transfer time (test/setup convenience; model-honest uploads
     /// go through [`CommandQueue::enqueue_write`]).
     pub fn buffer_from<T: Scalar>(&self, label: &str, data: &[T]) -> Buffer<T> {
-        let b = Buffer::new(label, data.len(), self.validate);
+        let b = self.buffer(label, data.len());
         b.fill_from(data);
         b
     }
 
     /// Creates a new in-order command queue.
     pub fn queue(&self) -> CommandQueue {
-        CommandQueue::new(self.device.clone(), self.cpu.clone())
+        CommandQueue::new(self.device.clone(), self.cpu.clone(), self.dispatch_threads)
     }
 }
 
@@ -108,5 +168,24 @@ mod tests {
         let ctx = Context::new(DeviceSpec::firepro_w8000()).with_cpu(cpu);
         assert!((ctx.cpu().clock_ghz - 4.0).abs() < 1e-12);
         assert_eq!(ctx.queue().cpu().name, "Intel Core i5-3470");
+    }
+
+    #[test]
+    fn dispatch_threads_knob_round_trips() {
+        let ctx = Context::new(DeviceSpec::firepro_w8000()).with_dispatch_threads(1);
+        assert_eq!(ctx.dispatch_threads(), 1);
+        assert_eq!(
+            Context::new(DeviceSpec::firepro_w8000()).dispatch_threads(),
+            0
+        );
+    }
+
+    #[test]
+    fn buffer_from_recycles_through_pool() {
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        drop(ctx.buffer_from("t", &[1.0f32, 2.0]));
+        let b = ctx.buffer_from("t", &[3.0f32, 4.0]);
+        assert_eq!(b.snapshot(), vec![3.0, 4.0]);
+        assert_eq!(ctx.pool_stats().hits, 1);
     }
 }

@@ -58,7 +58,14 @@ pub struct OpCounts {
 
 impl OpCounts {
     /// A bundle with all counts zero.
-    pub const ZERO: OpCounts = OpCounts { add: 0, mul: 0, div: 0, pow: 0, cmp: 0, bit: 0 };
+    pub const ZERO: OpCounts = OpCounts {
+        add: 0,
+        mul: 0,
+        div: 0,
+        pow: 0,
+        cmp: 0,
+        bit: 0,
+    };
 
     /// Returns the total number of operations, ignoring class weights.
     pub fn total(&self) -> u64 {
@@ -215,7 +222,13 @@ mod tests {
 
     #[test]
     fn op_counts_algebra() {
-        let a = OpCounts::ZERO.adds(1).muls(2).divs(3).pows(4).cmps(5).bits(6);
+        let a = OpCounts::ZERO
+            .adds(1)
+            .muls(2)
+            .divs(3)
+            .pows(4)
+            .cmps(5)
+            .bits(6);
         let b = a.plus(&a);
         assert_eq!(b.add, 2);
         assert_eq!(b.bit, 12);

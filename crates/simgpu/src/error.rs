@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn display_write_race() {
-        let e = Error::WriteRace { kernel: "k".into(), index: 42 };
+        let e = Error::WriteRace {
+            kernel: "k".into(),
+            index: 42,
+        };
         assert!(e.to_string().contains("42"));
     }
 

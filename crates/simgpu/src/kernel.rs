@@ -32,20 +32,32 @@ pub struct KernelDesc {
 impl KernelDesc {
     /// Describes a 2-D dispatch.
     pub fn new(name: &str, global: [usize; 2], group: [usize; 2]) -> Self {
-        KernelDesc { name: name.to_string(), global, group }
+        KernelDesc {
+            name: name.to_string(),
+            global,
+            group,
+        }
     }
 
     /// Describes a 1-D dispatch of `global` items in groups of `group`.
     pub fn new_1d(name: &str, global: usize, group: usize) -> Self {
-        KernelDesc { name: name.to_string(), global: [global, 1], group: [group, 1] }
+        KernelDesc {
+            name: name.to_string(),
+            global: [global, 1],
+            group: [group, 1],
+        }
     }
 
     /// Validates the geometry.
     pub fn check(&self) -> Result<()> {
         if self.group[0] == 0 || self.group[1] == 0 {
-            return Err(Error::EmptyGroup { kernel: self.name.clone() });
+            return Err(Error::EmptyGroup {
+                kernel: self.name.clone(),
+            });
         }
-        if !self.global[0].is_multiple_of(self.group[0]) || !self.global[1].is_multiple_of(self.group[1]) {
+        if !self.global[0].is_multiple_of(self.group[0])
+            || !self.global[1].is_multiple_of(self.group[1])
+        {
             return Err(Error::InvalidNdRange {
                 kernel: self.name.clone(),
                 global: self.global,
@@ -57,7 +69,10 @@ impl KernelDesc {
 
     /// Number of work-groups along each axis.
     pub fn num_groups(&self) -> [usize; 2] {
-        [self.global[0] / self.group[0], self.global[1] / self.group[1]]
+        [
+            self.global[0] / self.group[0],
+            self.global[1] / self.group[1],
+        ]
     }
 
     /// Total number of work-groups.
@@ -142,7 +157,7 @@ impl GroupCtx {
     #[inline]
     pub fn load<T: Scalar>(&mut self, view: &GlobalView<T>, idx: usize) -> T {
         self.counters.global_read_scalar += std::mem::size_of::<T>() as u64;
-        view.inner.load(idx)
+        view.get_raw(idx)
     }
 
     /// Vector load of four consecutive elements (`vload4`), charged as a
@@ -151,10 +166,10 @@ impl GroupCtx {
     pub fn vload4<T: Scalar>(&mut self, view: &GlobalView<T>, idx: usize) -> [T; 4] {
         self.counters.global_read_vector += 4 * std::mem::size_of::<T>() as u64;
         [
-            view.inner.load(idx),
-            view.inner.load(idx + 1),
-            view.inner.load(idx + 2),
-            view.inner.load(idx + 3),
+            view.get_raw(idx),
+            view.get_raw(idx + 1),
+            view.get_raw(idx + 2),
+            view.get_raw(idx + 3),
         ]
     }
 
@@ -162,24 +177,24 @@ impl GroupCtx {
     #[inline]
     pub fn store<T: Scalar>(&mut self, view: &GlobalWriteView<T>, idx: usize, v: T) {
         self.counters.global_write_scalar += std::mem::size_of::<T>() as u64;
-        view.inner.store(idx, v);
+        view.set_raw(idx, v);
     }
 
     /// Vector store of four consecutive elements (`vstore4`).
     #[inline]
     pub fn vstore4<T: Scalar>(&mut self, view: &GlobalWriteView<T>, idx: usize, v: [T; 4]) {
         self.counters.global_write_vector += 4 * std::mem::size_of::<T>() as u64;
-        view.inner.store(idx, v[0]);
-        view.inner.store(idx + 1, v[1]);
-        view.inner.store(idx + 2, v[2]);
-        view.inner.store(idx + 3, v[3]);
+        view.set_raw(idx, v[0]);
+        view.set_raw(idx + 1, v[1]);
+        view.set_raw(idx + 2, v[2]);
+        view.set_raw(idx + 3, v[3]);
     }
 
     /// Scalar load from a *writable* view (read-modify-write patterns).
     #[inline]
     pub fn load_mut<T: Scalar>(&mut self, view: &GlobalWriteView<T>, idx: usize) -> T {
         self.counters.global_read_scalar += std::mem::size_of::<T>() as u64;
-        view.inner.load(idx)
+        view.get_raw(idx)
     }
 
     // ---- local (LDS) memory --------------------------------------------
@@ -241,6 +256,29 @@ impl GroupCtx {
     #[inline]
     pub fn charge_n(&mut self, ops: &OpCounts, n: u64) {
         self.counters.charge_ops_n(ops, n);
+    }
+
+    /// Charges global-memory traffic in bulk, in bytes per access class.
+    ///
+    /// Hot kernels whose access pattern is fixed per work-item can read
+    /// through the raw view accessors (`get_raw` / `read_into` /
+    /// `set4_raw`) and charge the identical byte totals here once per item
+    /// (or once per group with `n` items), instead of paying a counter
+    /// update on every element. The cost model sees exactly the same
+    /// traffic either way.
+    #[inline]
+    pub fn charge_global_n(
+        &mut self,
+        scalar_read: u64,
+        vector_read: u64,
+        scalar_write: u64,
+        vector_write: u64,
+        n: u64,
+    ) {
+        self.counters.global_read_scalar += scalar_read * n;
+        self.counters.global_read_vector += vector_read * n;
+        self.counters.global_write_scalar += scalar_write * n;
+        self.counters.global_write_vector += vector_write * n;
     }
 }
 

@@ -4,7 +4,8 @@
 //! *Optimizing Image Sharpening Algorithm on GPU* (ICPP 2015). The paper's
 //! experiments ran on an AMD FirePro W8000 over PCI-E; this environment has
 //! neither, so the device is **simulated**: kernels execute functionally on
-//! the host (work-groups in parallel via rayon, producing real pixels) while
+//! the host (work-groups in parallel on scoped threads, producing real
+//! pixels) while
 //! a calibrated analytical cost model charges simulated time for every
 //! command — kernel launches, ALU work, global/local memory traffic,
 //! barriers, divergence, PCI-E transfers in three modes (bulk, rect,
@@ -73,6 +74,8 @@ pub mod cost;
 pub mod device;
 pub mod error;
 pub mod kernel;
+pub mod par;
+pub mod pool;
 pub mod queue;
 pub mod timing;
 pub mod trace;
@@ -85,6 +88,7 @@ pub mod prelude {
     pub use crate::device::{CpuSpec, DeviceSpec, TransferModel};
     pub use crate::error::{Error, Result};
     pub use crate::kernel::{items, round_up, GroupCtx, KernelDesc};
+    pub use crate::pool::{BufferPool, PoolStats};
     pub use crate::queue::{CommandKind, CommandQueue, CommandRecord};
     pub use crate::timing::{
         bulk_transfer_time, cpu_stage_time, host_memcpy_time, kernel_time, map_transfer_time,

@@ -1,0 +1,241 @@
+//! Device-buffer pooling: recycles [`Buffer`](crate::buffer::Buffer)
+//! backing storage across allocations.
+//!
+//! The paper's workloads are streams, and the dominant host-side waste in
+//! a stream is re-allocating (and re-faulting) the same device buffers for
+//! every frame. The pool keys retired backing slabs by
+//! `(label, length, element type)` — the same identity a pipeline's
+//! logical matrices have — so a frame's `padded`/`down`/`up`/… buffers are
+//! satisfied from the previous frame's storage instead of the allocator.
+//!
+//! Recycled slabs are re-zeroed on acquisition, preserving the
+//! freshly-allocated-buffers-are-zero contract, which is still far cheaper
+//! than allocate + zero + first-touch page faults. Hit/miss/return
+//! counters are exported through [`PoolStats`] and can be embedded in
+//! Chrome traces via [`crate::trace::to_chrome_json_with_pool`].
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Retired slabs kept per key; beyond this the slab is simply freed.
+const MAX_SLABS_PER_KEY: usize = 32;
+
+#[derive(PartialEq, Eq, Hash)]
+struct PoolKey {
+    label: String,
+    len: usize,
+    ty: TypeId,
+}
+
+/// Snapshot of the pool's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Buffer requests satisfied from a recycled slab.
+    pub hits: u64,
+    /// Buffer requests that had to allocate fresh storage.
+    pub misses: u64,
+    /// Slabs returned to the pool by dropped buffers.
+    pub returns: u64,
+    /// Pool-managed buffers currently alive (acquired, not yet dropped).
+    pub live: u64,
+    /// Retired slabs currently parked in the pool.
+    pub pooled: u64,
+}
+
+pub(crate) struct PoolShared {
+    slabs: Mutex<HashMap<PoolKey, Vec<Box<dyn Any + Send>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returns: AtomicU64,
+    live: AtomicU64,
+}
+
+impl PoolShared {
+    /// Takes a recycled slab for `(label, len, T)` if one is parked.
+    pub(crate) fn take<T: 'static>(&self, label: &str, len: usize) -> Option<Box<[T]>> {
+        let key = PoolKey {
+            label: label.to_string(),
+            len,
+            ty: TypeId::of::<T>(),
+        };
+        let slab = self
+            .slabs
+            .lock()
+            .expect("pool lock")
+            .get_mut(&key)
+            .and_then(Vec::pop);
+        let hit = slab.map(|any| *any.downcast::<Box<[T]>>().expect("pool slab type"));
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.live.fetch_add(1, Ordering::Relaxed);
+        hit
+    }
+
+    /// Parks a retired slab for reuse (dropping it if the key is full).
+    pub(crate) fn give<T: Send + 'static>(&self, label: &str, slab: Box<[T]>) {
+        let key = PoolKey {
+            label: label.to_string(),
+            len: slab.len(),
+            ty: TypeId::of::<T>(),
+        };
+        let mut slabs = self.slabs.lock().expect("pool lock");
+        let entry = slabs.entry(key).or_default();
+        if entry.len() < MAX_SLABS_PER_KEY {
+            entry.push(Box::new(slab));
+            self.returns.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the death of a pool-managed buffer.
+    pub(crate) fn retire_live(&self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A shared recycling pool for device-buffer backing storage.
+///
+/// Owned by a [`Context`](crate::context::Context); clones of the context
+/// share the same pool, so every pipeline (and every worker thread of a
+/// throughput engine) created from one context recycles from the same
+/// inventory.
+#[derive(Clone)]
+pub struct BufferPool {
+    pub(crate) shared: Arc<PoolShared>,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BufferPool {
+            shared: Arc::new(PoolShared {
+                slabs: Mutex::new(HashMap::new()),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                returns: AtomicU64::new(0),
+                live: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> PoolStats {
+        let pooled = self
+            .shared
+            .slabs
+            .lock()
+            .expect("pool lock")
+            .values()
+            .map(|v| v.len() as u64)
+            .sum();
+        PoolStats {
+            hits: self.shared.hits.load(Ordering::Relaxed),
+            misses: self.shared.misses.load(Ordering::Relaxed),
+            returns: self.shared.returns.load(Ordering::Relaxed),
+            live: self.shared.live.load(Ordering::Relaxed),
+            pooled,
+        }
+    }
+
+    /// Frees every parked slab (counters are preserved).
+    pub fn clear(&self) {
+        self.shared.slabs.lock().expect("pool lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::Context;
+    use crate::device::DeviceSpec;
+
+    #[test]
+    fn repeated_allocation_recycles() {
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        {
+            let _b = ctx.buffer::<f32>("m", 1024);
+        }
+        let s = ctx.pool_stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.returns, 1);
+        assert_eq!(s.live, 0);
+        assert_eq!(s.pooled, 1);
+        {
+            let b = ctx.buffer::<f32>("m", 1024);
+            assert_eq!(b.snapshot()[0], 0.0);
+            let s = ctx.pool_stats();
+            assert_eq!(s.hits, 1);
+            assert_eq!(s.live, 1);
+            assert_eq!(s.pooled, 0);
+        }
+        assert_eq!(ctx.pool_stats().pooled, 1);
+    }
+
+    #[test]
+    fn recycled_buffers_are_zeroed() {
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        {
+            let b = ctx.buffer::<f32>("z", 64);
+            b.fill_from(&[3.5; 64]);
+        }
+        let b = ctx.buffer::<f32>("z", 64);
+        assert!(b.snapshot().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn distinct_identities_do_not_alias() {
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        drop(ctx.buffer::<f32>("a", 16));
+        // Different label, length, or element type: all misses.
+        drop(ctx.buffer::<f32>("b", 16));
+        drop(ctx.buffer::<f32>("a", 32));
+        drop(ctx.buffer::<u32>("a", 16));
+        assert_eq!(ctx.pool_stats().hits, 0);
+        assert_eq!(ctx.pool_stats().misses, 4);
+        // Exact identity: hit.
+        drop(ctx.buffer::<f32>("a", 16));
+        assert_eq!(ctx.pool_stats().hits, 1);
+    }
+
+    #[test]
+    fn pool_is_shared_across_context_clones() {
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        let ctx2 = ctx.clone();
+        drop(ctx.buffer::<f32>("s", 8));
+        drop(ctx2.buffer::<f32>("s", 8));
+        let s = ctx.pool_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn disabled_pooling_never_recycles() {
+        let ctx = Context::new(DeviceSpec::firepro_w8000()).with_pooling(false);
+        drop(ctx.buffer::<f32>("n", 8));
+        drop(ctx.buffer::<f32>("n", 8));
+        let s = ctx.pool_stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.pooled, 0);
+    }
+
+    #[test]
+    fn clear_empties_inventory() {
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        drop(ctx.buffer::<f32>("c", 8));
+        assert_eq!(ctx.pool_stats().pooled, 1);
+        ctx.pool().clear();
+        assert_eq!(ctx.pool_stats().pooled, 0);
+        // Next acquisition is a miss again.
+        drop(ctx.buffer::<f32>("c", 8));
+        assert_eq!(ctx.pool_stats().hits, 0);
+    }
+}

@@ -1,7 +1,8 @@
 //! The in-order command queue: dispatch, transfers, host work, profiling.
 //!
 //! Commands execute *functionally* right away (kernels run in parallel over
-//! work-groups with rayon; transfers copy memory) while their *simulated*
+//! work-groups on scoped host threads; transfers copy memory) while their
+//! *simulated*
 //! duration is computed from the timing model and appended to the queue's
 //! virtual clock. Because the queue is in-order — like the paper's OpenCL
 //! command queue with the default execution mode — virtual time is simply
@@ -12,7 +13,8 @@
 //! Every command leaves a [`CommandRecord`]; the per-stage breakdowns of
 //! the paper's Fig. 13 are produced by aggregating these records by name.
 
-use rayon::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
 
 use crate::buffer::{Buffer, Scalar};
 use crate::cost::CostCounters;
@@ -47,8 +49,9 @@ pub enum CommandKind {
 /// One executed command with its simulated start time and duration.
 #[derive(Debug, Clone)]
 pub struct CommandRecord {
-    /// Command name (kernel name, buffer label, or stage label).
-    pub name: String,
+    /// Command name (kernel name, buffer label, or stage label). Interned:
+    /// repeated commands of a steady-state frame loop share one allocation.
+    pub name: Arc<str>,
     /// Command class.
     pub kind: CommandKind,
     /// Simulated start time, seconds since queue creation/reset.
@@ -88,16 +91,27 @@ pub struct CommandQueue {
     clock_s: f64,
     records: Vec<CommandRecord>,
     commands_since_finish: usize,
+    /// Host threads used per kernel dispatch (0 = all available).
+    dispatch_threads: usize,
+    /// Interned command names: one `Arc<str>` per distinct name for the
+    /// queue's lifetime, shared by every record (survives [`Self::reset`]).
+    interner: HashSet<Arc<str>>,
+    /// Reused scratch for composing `"prefix:label"` names without a fresh
+    /// `String` per command.
+    name_scratch: String,
 }
 
 impl CommandQueue {
-    pub(crate) fn new(device: DeviceSpec, cpu: CpuSpec) -> Self {
+    pub(crate) fn new(device: DeviceSpec, cpu: CpuSpec, dispatch_threads: usize) -> Self {
         CommandQueue {
             device,
             cpu,
             clock_s: 0.0,
             records: Vec::new(),
             commands_since_finish: 0,
+            dispatch_threads,
+            interner: HashSet::new(),
+            name_scratch: String::new(),
         }
     }
 
@@ -111,9 +125,21 @@ impl CommandQueue {
         &self.cpu
     }
 
+    /// Returns the interned `Arc<str>` for `name`, allocating only the
+    /// first time each distinct name is seen.
+    fn intern(&mut self, name: &str) -> Arc<str> {
+        if let Some(n) = self.interner.get(name) {
+            return Arc::clone(n);
+        }
+        let n: Arc<str> = Arc::from(name);
+        self.interner.insert(Arc::clone(&n));
+        n
+    }
+
     fn push(&mut self, name: &str, kind: CommandKind, dur: f64, counters: Option<CostCounters>) {
+        let name = self.intern(name);
         self.records.push(CommandRecord {
-            name: name.to_string(),
+            name,
             kind,
             start_s: self.clock_s,
             duration_s: dur,
@@ -123,6 +149,24 @@ impl CommandQueue {
         if kind != CommandKind::Finish {
             self.commands_since_finish += 1;
         }
+    }
+
+    /// Pushes a record named `"{prefix}{label}"`, composing the name in the
+    /// queue's scratch `String` so steady-state frames allocate nothing.
+    fn push_labeled(
+        &mut self,
+        prefix: &str,
+        label: &str,
+        kind: CommandKind,
+        dur: f64,
+        counters: Option<CostCounters>,
+    ) {
+        let mut scratch = std::mem::take(&mut self.name_scratch);
+        scratch.clear();
+        scratch.push_str(prefix);
+        scratch.push_str(label);
+        self.push(&scratch, kind, dur, counters);
+        self.name_scratch = scratch;
     }
 
     // ---- kernel dispatch ------------------------------------------------
@@ -147,21 +191,32 @@ impl CommandQueue {
         }
         let [gx, _gy] = desc.num_groups();
         let total = desc.total_groups();
-        let counters = (0..total)
-            .into_par_iter()
-            .map(|gi| {
+        let threads = if self.dispatch_threads == 0 {
+            crate::par::default_threads()
+        } else {
+            self.dispatch_threads
+        };
+        let counters = crate::par::map_reduce(
+            total,
+            threads,
+            CostCounters::new,
+            |gi| {
                 let gid = [gi % gx, gi / gx];
                 let mut ctx = GroupCtx::new(desc, gid);
                 f(&mut ctx);
                 ctx.counters
-            })
-            .reduce(CostCounters::new, |mut a, b| {
+            },
+            |mut a, b| {
                 a.merge(&b);
                 a
-            });
+            },
+        );
         for out in outputs {
             if let Some(index) = out.race_index() {
-                return Err(Error::WriteRace { kernel: desc.name.clone(), index });
+                return Err(Error::WriteRace {
+                    kernel: desc.name.clone(),
+                    index,
+                });
             }
         }
         let t = kernel_time(&self.device, &counters);
@@ -182,11 +237,9 @@ impl CommandQueue {
             });
         }
         // Functional copy.
-        for (i, v) in src.iter().enumerate() {
-            buf.write_view().set_raw(i, *v);
-        }
+        buf.inner.copy_in(0, src);
         let dur = bulk_transfer_time(&self.device.transfer, std::mem::size_of_val(src) as u64);
-        self.push(&format!("write:{}", buf.label()), CommandKind::WriteBuffer, dur, None);
+        self.push_labeled("write:", buf.label(), CommandKind::WriteBuffer, dur, None);
         Ok(dur)
     }
 
@@ -200,12 +253,9 @@ impl CommandQueue {
                 offending_index: dst.len() - 1,
             });
         }
-        let view = buf.view();
-        for (i, d) in dst.iter_mut().enumerate() {
-            *d = view.get_raw(i);
-        }
+        buf.inner.copy_out(0, dst);
         let dur = bulk_transfer_time(&self.device.transfer, std::mem::size_of_val(dst) as u64);
-        self.push(&format!("read:{}", buf.label()), CommandKind::ReadBuffer, dur, None);
+        self.push_labeled("read:", buf.label(), CommandKind::ReadBuffer, dur, None);
         Ok(dur)
     }
 
@@ -228,10 +278,18 @@ impl CommandQueue {
         rows: usize,
     ) -> Result<f64> {
         if src.len() != src_width * rows {
-            return Err(Error::RectShapeMismatch { rows, row_len: src_width, host_len: src.len() });
+            return Err(Error::RectShapeMismatch {
+                rows,
+                row_len: src_width,
+                host_len: src.len(),
+            });
         }
         if rows == 0 || src_width == 0 {
-            return Err(Error::RectShapeMismatch { rows, row_len: src_width, host_len: src.len() });
+            return Err(Error::RectShapeMismatch {
+                rows,
+                row_len: src_width,
+                host_len: src.len(),
+            });
         }
         if buf_x + src_width > buf_width {
             // The region would wrap into the next row of the destination.
@@ -249,20 +307,22 @@ impl CommandQueue {
                 offending_index: last,
             });
         }
-        let w = buf.write_view();
         for r in 0..rows {
             let src_row = &src[r * src_width..(r + 1) * src_width];
-            let dst_base = (buf_y + r) * buf_width + buf_x;
-            for (i, v) in src_row.iter().enumerate() {
-                w.set_raw(dst_base + i, *v);
-            }
+            buf.inner.copy_in((buf_y + r) * buf_width + buf_x, src_row);
         }
         let dur = rect_transfer_time(
             &self.device.transfer,
             rows as u64,
             std::mem::size_of_val(src) as u64,
         );
-        self.push(&format!("rect-write:{}", buf.label()), CommandKind::RectWrite, dur, None);
+        self.push_labeled(
+            "rect-write:",
+            buf.label(),
+            CommandKind::RectWrite,
+            dur,
+            None,
+        );
         Ok(dur)
     }
 
@@ -283,10 +343,18 @@ impl CommandQueue {
         rows: usize,
     ) -> Result<f64> {
         if dst.len() != src_width * rows {
-            return Err(Error::RectShapeMismatch { rows, row_len: src_width, host_len: dst.len() });
+            return Err(Error::RectShapeMismatch {
+                rows,
+                row_len: src_width,
+                host_len: dst.len(),
+            });
         }
         if rows == 0 || src_width == 0 {
-            return Err(Error::RectShapeMismatch { rows, row_len: src_width, host_len: dst.len() });
+            return Err(Error::RectShapeMismatch {
+                rows,
+                row_len: src_width,
+                host_len: dst.len(),
+            });
         }
         if buf_x + src_width > buf_width {
             return Err(Error::TransferOutOfBounds {
@@ -303,19 +371,23 @@ impl CommandQueue {
                 offending_index: last,
             });
         }
-        let view = buf.view();
         for r in 0..rows {
             let src_base = (buf_y + r) * buf_width + buf_x;
-            for i in 0..src_width {
-                dst[r * src_width + i] = view.get_raw(src_base + i);
-            }
+            buf.inner
+                .copy_out(src_base, &mut dst[r * src_width..(r + 1) * src_width]);
         }
         let dur = rect_transfer_time(
             &self.device.transfer,
             rows as u64,
             std::mem::size_of_val(dst) as u64,
         );
-        self.push(&format!("rect-read:{}", buf.label()), CommandKind::ReadBuffer, dur, None);
+        self.push_labeled(
+            "rect-read:",
+            buf.label(),
+            CommandKind::ReadBuffer,
+            dur,
+            None,
+        );
         Ok(dur)
     }
 
@@ -328,7 +400,7 @@ impl CommandQueue {
             return Err(Error::AlreadyMapped);
         }
         let dur = map_transfer_time(&self.device.transfer, buf.byte_len());
-        self.push(&format!("map-write:{}", buf.label()), CommandKind::Map, dur, None);
+        self.push_labeled("map-write:", buf.label(), CommandKind::Map, dur, None);
         Ok(MapWriteGuard { buf })
     }
 
@@ -339,7 +411,7 @@ impl CommandQueue {
             return Err(Error::AlreadyMapped);
         }
         let dur = map_transfer_time(&self.device.transfer, buf.byte_len());
-        self.push(&format!("map-read:{}", buf.label()), CommandKind::Map, dur, None);
+        self.push_labeled("map-read:", buf.label(), CommandKind::Map, dur, None);
         Ok(MapReadGuard { buf })
     }
 
@@ -401,21 +473,25 @@ impl CommandQueue {
 
     /// Aggregated `(name, total_seconds)` pairs, in first-seen order.
     pub fn time_by_name(&self) -> Vec<(String, f64)> {
-        let mut order: Vec<String> = Vec::new();
-        let mut totals: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+        let mut order: Vec<Arc<str>> = Vec::new();
+        let mut totals: std::collections::HashMap<Arc<str>, f64> = std::collections::HashMap::new();
         for r in &self.records {
             if !totals.contains_key(&r.name) {
-                order.push(r.name.clone());
+                order.push(Arc::clone(&r.name));
             }
-            *totals.entry(r.name.clone()).or_insert(0.0) += r.duration_s;
+            *totals.entry(Arc::clone(&r.name)).or_insert(0.0) += r.duration_s;
         }
-        order.into_iter().map(|n| {
-            let t = totals[&n];
-            (n, t)
-        }).collect()
+        order
+            .into_iter()
+            .map(|n| {
+                let t = totals[&n];
+                (n.to_string(), t)
+            })
+            .collect()
     }
 
-    /// Clears the clock and records (new measurement run).
+    /// Clears the clock and records (new measurement run). The name
+    /// interner is kept: subsequent frames reuse the same `Arc<str>` names.
     pub fn reset(&mut self) {
         self.clock_s = 0.0;
         self.records.clear();
@@ -626,7 +702,13 @@ mod tests {
         q.finish();
         assert!(q.elapsed() > before);
         q.finish(); // no new commands: free again
-        assert_eq!(q.records().iter().filter(|r| r.kind == CommandKind::Finish).count(), 1);
+        assert_eq!(
+            q.records()
+                .iter()
+                .filter(|r| r.kind == CommandKind::Finish)
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -642,6 +724,22 @@ mod tests {
         let rec_total: f64 = q.records().iter().map(|r| r.duration_s).sum();
         assert!((agg[0].1 - rec_total).abs() < 1e-15);
         assert!((q.elapsed() - rec_total).abs() < 1e-15);
+    }
+
+    #[test]
+    fn repeated_names_share_one_interned_allocation() {
+        let ctx = ctx();
+        let mut q = ctx.queue();
+        let buf = ctx.buffer::<f32>("b", 4);
+        q.enqueue_write(&buf, &[1.0; 4]).unwrap();
+        q.enqueue_write(&buf, &[2.0; 4]).unwrap();
+        let r = q.records();
+        assert!(Arc::ptr_eq(&r[0].name, &r[1].name));
+        // Interning survives reset: the next frame reuses the same name.
+        let first = Arc::clone(&r[0].name);
+        q.reset();
+        q.enqueue_write(&buf, &[3.0; 4]).unwrap();
+        assert!(Arc::ptr_eq(&q.records()[0].name, &first));
     }
 
     #[test]
@@ -665,12 +763,8 @@ mod tests {
         let recs = q.records();
         assert_eq!(recs.len(), 2);
         let t = &q.device().transfer;
-        assert!(
-            (recs[0].duration_s - crate::timing::bulk_transfer_time(t, bytes)).abs() < 1e-15
-        );
-        assert!(
-            (recs[1].duration_s - crate::timing::map_transfer_time(t, bytes)).abs() < 1e-15
-        );
+        assert!((recs[0].duration_s - crate::timing::bulk_transfer_time(t, bytes)).abs() < 1e-15);
+        assert!((recs[1].duration_s - crate::timing::map_transfer_time(t, bytes)).abs() < 1e-15);
         assert_eq!(recs[1].kind, CommandKind::Map);
     }
 

@@ -60,7 +60,14 @@ pub struct GpuOpWeights {
 
 impl Default for GpuOpWeights {
     fn default() -> Self {
-        GpuOpWeights { add: 1.0, mul: 1.0, div: 16.0, pow: 32.0, cmp: 1.0, bit: 1.0 }
+        GpuOpWeights {
+            add: 1.0,
+            mul: 1.0,
+            div: 16.0,
+            pow: 32.0,
+            cmp: 1.0,
+            bit: 1.0,
+        }
     }
 }
 
@@ -128,8 +135,7 @@ pub fn kernel_time(dev: &DeviceSpec, c: &CostCounters) -> KernelTime {
         ((dev.lds_per_cu as f64 / c.local_alloc_bytes as f64).floor()).max(1.0)
     };
     let resident_cap = lds_groups_per_cu * waves_per_group * f64::from(dev.compute_units);
-    let utilisation =
-        (waves.min(resident_cap) / dev.occupancy_target_waves()).clamp(1e-6, 1.0);
+    let utilisation = (waves.min(resident_cap) / dev.occupancy_target_waves()).clamp(1e-6, 1.0);
 
     let body = (t_alu.max(t_mem).max(t_lds) + t_sync) / utilisation;
     KernelTime {
@@ -231,7 +237,10 @@ mod tests {
         vector.group_lanes = 256;
         let ts = kernel_time(&dev(), &scalar);
         let tv = kernel_time(&dev(), &vector);
-        assert!(tv.total_s < ts.total_s, "vector {tv:?} should beat scalar {ts:?}");
+        assert!(
+            tv.total_s < ts.total_s,
+            "vector {tv:?} should beat scalar {ts:?}"
+        );
     }
 
     #[test]

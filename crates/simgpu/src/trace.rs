@@ -6,6 +6,7 @@
 
 use std::fmt::Write as _;
 
+use crate::pool::PoolStats;
 use crate::queue::{CommandKind, CommandRecord};
 
 /// Lane (trace "thread") a command kind is drawn on.
@@ -41,6 +42,38 @@ fn json_escape(s: &str) -> String {
 /// Timestamps are microseconds of simulated time.
 pub fn to_chrome_json(records: &[CommandRecord]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
+    write_events(&mut out, records);
+    out.push_str("]}");
+    out
+}
+
+/// Like [`to_chrome_json`], with the buffer pool's hit/miss/live counters
+/// appended as Chrome-trace counter events (`ph: "C"`), so the trace viewer
+/// shows allocator recycling alongside the command timeline.
+pub fn to_chrome_json_with_pool(records: &[CommandRecord], pool: &PoolStats) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let any = write_events(&mut out, records);
+    let end_ts = records
+        .iter()
+        .map(|r| r.start_s + r.duration_s)
+        .fold(0.0, f64::max)
+        * 1e6;
+    if any {
+        out.push(',');
+    }
+    let _ = write!(
+        out,
+        "{{\"name\":\"buffer pool\",\"ph\":\"C\",\"ts\":{end_ts:.3},\"pid\":1,\
+         \"args\":{{\"hits\":{},\"misses\":{},\"returns\":{},\"live\":{},\"pooled\":{}}}}}",
+        pool.hits, pool.misses, pool.returns, pool.live, pool.pooled,
+    );
+    out.push_str("]}");
+    out
+}
+
+/// Writes the duration events for `records` into `out`; returns whether any
+/// event was written (callers appending more events need the comma state).
+fn write_events(out: &mut String, records: &[CommandRecord]) -> bool {
     let mut first = true;
     for r in records {
         let (lane_name, tid) = lane(r.kind);
@@ -58,19 +91,26 @@ pub fn to_chrome_json(records: &[CommandRecord]) -> String {
             tid,
         );
     }
-    out.push_str("]}");
-    out
+    !first
 }
 
 /// Renders an ASCII Gantt chart of the records, `width` columns wide.
 /// Each row is one command; the bar spans its simulated interval.
 pub fn gantt(records: &[CommandRecord], width: usize) -> String {
-    let total: f64 = records.iter().map(|r| r.start_s + r.duration_s).fold(0.0, f64::max);
+    let total: f64 = records
+        .iter()
+        .map(|r| r.start_s + r.duration_s)
+        .fold(0.0, f64::max);
     if records.is_empty() || total <= 0.0 {
         return String::from("(no commands)\n");
     }
     let width = width.clamp(20, 400);
-    let name_w = records.iter().map(|r| r.name.len()).max().unwrap_or(0).min(28);
+    let name_w = records
+        .iter()
+        .map(|r| r.name.len())
+        .max()
+        .unwrap_or(0)
+        .min(28);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -88,7 +128,7 @@ pub fn gantt(records: &[CommandRecord], width: usize) -> String {
         bar.push_str(&" ".repeat(c0));
         bar.push_str(&"#".repeat(c1 - c0));
         bar.push_str(&" ".repeat(width - c1));
-        let mut name = r.name.clone();
+        let mut name = r.name.to_string();
         if name.len() > name_w {
             name.truncate(name_w);
         }
@@ -145,6 +185,25 @@ mod tests {
     }
 
     #[test]
+    fn chrome_json_with_pool_appends_counter_event() {
+        let stats = PoolStats {
+            hits: 5,
+            misses: 2,
+            returns: 4,
+            live: 3,
+            pooled: 1,
+        };
+        let j = to_chrome_json_with_pool(&records(), &stats);
+        assert!(j.contains("\"ph\":\"C\""));
+        assert!(j.contains("\"hits\":5"));
+        assert!(j.contains("\"pooled\":1"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // Counter-only document is still well-formed.
+        let empty = to_chrome_json_with_pool(&[], &stats);
+        assert!(empty.starts_with("{\"traceEvents\":[{\"name\":\"buffer pool\""));
+    }
+
+    #[test]
     fn gantt_renders_rows_in_order() {
         let g = gantt(&records(), 40);
         let lines: Vec<&str> = g.lines().collect();
@@ -167,6 +226,9 @@ mod tests {
     #[test]
     fn lanes_partition_kinds() {
         assert_ne!(lane(CommandKind::Kernel).1, lane(CommandKind::Map).1);
-        assert_eq!(lane(CommandKind::WriteBuffer).0, lane(CommandKind::RectWrite).0);
+        assert_eq!(
+            lane(CommandKind::WriteBuffer).0,
+            lane(CommandKind::RectWrite).0
+        );
     }
 }

@@ -18,7 +18,11 @@ use sharpness::prelude::*;
 use sharpness::simgpu::timing::{bulk_transfer_time, map_transfer_time};
 
 fn main() {
-    let devices = [DeviceSpec::firepro_w8000(), DeviceSpec::midrange_gpu(), DeviceSpec::apu()];
+    let devices = [
+        DeviceSpec::firepro_w8000(),
+        DeviceSpec::midrange_gpu(),
+        DeviceSpec::apu(),
+    ];
 
     println!("autotuning pipeline thresholds per device\n");
     for dev in devices {
@@ -36,7 +40,10 @@ fn main() {
                 format!("{} partial sums", tuning.stage2_gpu_threshold)
             }
         );
-        println!("  border on GPU at/above : {}²", tuning.border_gpu_min_width);
+        println!(
+            "  border on GPU at/above : {}²",
+            tuning.border_gpu_min_width
+        );
 
         // Section V-A's aside: map/unmap wins on APUs, loses on discrete
         // parts for large transfers.
@@ -47,7 +54,11 @@ fn main() {
             "  64 MiB upload          : bulk {:.2} ms vs map {:.2} ms -> prefer {}",
             bulk * 1e3,
             map * 1e3,
-            if bulk <= map { "read/write" } else { "map/unmap" }
+            if bulk <= map {
+                "read/write"
+            } else {
+                "map/unmap"
+            }
         );
 
         // Sanity: run the pipeline with the tuned config.

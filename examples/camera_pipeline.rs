@@ -28,9 +28,17 @@ fn test_card(width: usize, height: usize) -> RgbImageU8 {
         if y > 2 * height / 3 && (x / 7) % 2 == 0 {
             (40, 30, 25) // fence slats: hard vertical edges
         } else if y > height / 2 {
-            ((0.3 * leaf) as u8, (0.5 * leaf + 60.0) as u8, (0.25 * leaf) as u8)
+            (
+                (0.3 * leaf) as u8,
+                (0.5 * leaf + 60.0) as u8,
+                (0.25 * leaf) as u8,
+            )
         } else {
-            ((0.55 * sky + 0.2 * light) as u8, (0.6 * sky) as u8, (sky * 0.9 + 20.0) as u8)
+            (
+                (0.55 * sky + 0.2 * light) as u8,
+                (0.6 * sky) as u8,
+                (sky * 0.9 + 20.0) as u8,
+            )
         }
     })
 }
@@ -38,7 +46,10 @@ fn test_card(width: usize, height: usize) -> RgbImageU8 {
 fn main() {
     let mut args = std::env::args().skip(1);
     let width: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(512);
-    let out_dir: PathBuf = args.next().map(PathBuf::from).unwrap_or_else(std::env::temp_dir);
+    let out_dir: PathBuf = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
 
     let frame = test_card(width, width);
     let ctx = Context::new(DeviceSpec::firepro_w8000());
@@ -49,7 +60,10 @@ fn main() {
     let run = pipeline.run(&luma).expect("luma run");
     let luma_sharpened = frame.with_luma(&run.output);
     println!("camera pipeline — {width}x{width} colour frame");
-    println!("  luma-only   : 1 pipeline run, {:.3} simulated ms", run.total_s * 1e3);
+    println!(
+        "  luma-only   : 1 pipeline run, {:.3} simulated ms",
+        run.total_s * 1e3
+    );
 
     // Strategy 2: per-channel.
     let (r, g, b) = frame.split_channels();
@@ -61,7 +75,10 @@ fn main() {
         sharpened.push(run.output);
     }
     let per_channel = RgbImageU8::merge_channels(&sharpened[0], &sharpened[1], &sharpened[2]);
-    println!("  per-channel : 3 pipeline runs, {:.3} simulated ms", total * 1e3);
+    println!(
+        "  per-channel : 3 pipeline runs, {:.3} simulated ms",
+        total * 1e3
+    );
 
     // Acuity comparison on the luma plane.
     let g_in = metrics::gradient_energy(&luma);
@@ -69,9 +86,11 @@ fn main() {
     let g_rgb = metrics::gradient_energy(&per_channel.to_luma());
     println!("  luma gradient energy: input {g_in:.3} -> luma-only {g_luma:.3} -> per-channel {g_rgb:.3}");
 
-    for (name, img) in
-        [("camera_input.ppm", &frame), ("camera_luma.ppm", &luma_sharpened), ("camera_rgb.ppm", &per_channel)]
-    {
+    for (name, img) in [
+        ("camera_input.ppm", &frame),
+        ("camera_luma.ppm", &luma_sharpened),
+        ("camera_rgb.ppm", &per_channel),
+    ] {
         let p = out_dir.join(name);
         imagekit::io::write_ppm(&p, img).expect("write ppm");
         println!("  wrote {}", p.display());

@@ -26,7 +26,10 @@ fn main() {
     let opts = OptConfig::all();
     let full_bytes = device_bytes_required(width, height, &opts);
     println!("embedded budget demo — {width}x{height} frame");
-    println!("  whole-frame footprint : {:.1} MiB", full_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "  whole-frame footprint : {:.1} MiB",
+        full_bytes as f64 / (1 << 20) as f64
+    );
     println!("  device budget         : {budget_mib} MiB");
 
     let ctx = Context::new(DeviceSpec::firepro_w8000());
@@ -50,7 +53,10 @@ fn main() {
         run.peak_device_bytes as f64 / (1 << 20) as f64,
         run.total_s * 1e3
     );
-    assert!(run.peak_device_bytes <= budget, "planner must respect the budget");
+    assert!(
+        run.peak_device_bytes <= budget,
+        "planner must respect the budget"
+    );
 
     // Accuracy check against the whole-image run (which we can still do
     // host-side, the simulator has no real memory limit).

@@ -25,7 +25,9 @@ fn main() {
     let mut base_s = None;
     let mut reference: Option<ImageF32> = None;
     for (name, opts) in OptConfig::cumulative_steps() {
-        let run = GpuPipeline::new(ctx.clone(), params, opts).run(&img).expect("gpu run");
+        let run = GpuPipeline::new(ctx.clone(), params, opts)
+            .run(&img)
+            .expect("gpu run");
         let base = *base_s.get_or_insert(run.total_s);
 
         // Correctness stays locked through every optimization step.
@@ -45,7 +47,12 @@ fn main() {
         let mut cats = run.by_category(classify_gpu_stage);
         cats.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (cat, s) in cats.iter().take(4) {
-            println!("    {:<12} {:>8.1} µs ({:>4.1}%)", cat, s * 1e6, 100.0 * s / run.total_s);
+            println!(
+                "    {:<12} {:>8.1} µs ({:>4.1}%)",
+                cat,
+                s * 1e6,
+                100.0 * s / run.total_s
+            );
         }
         println!();
     }

@@ -12,7 +12,10 @@ use sharpness::prelude::*;
 fn main() {
     let mut args = std::env::args().skip(1);
     let width: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(512);
-    let out_dir: PathBuf = args.next().map(PathBuf::from).unwrap_or_else(std::env::temp_dir);
+    let out_dir: PathBuf = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
 
     // A deterministic "photo": soft lighting, texture, a hard-edge patch.
     let image = generate::natural(width, width, 42);
@@ -25,9 +28,18 @@ fn main() {
 
     println!("sharpness quickstart — {width}x{width} image");
     println!("  simulated GPU time : {:.3} ms", run.total_s * 1e3);
-    println!("  input  gradient    : {:.3}", metrics::gradient_energy(&image));
-    println!("  output gradient    : {:.3}", metrics::gradient_energy(&run.output));
-    println!("  PSNR vs input      : {:.1} dB", metrics::psnr(&image, &run.output));
+    println!(
+        "  input  gradient    : {:.3}",
+        metrics::gradient_energy(&image)
+    );
+    println!(
+        "  output gradient    : {:.3}",
+        metrics::gradient_energy(&run.output)
+    );
+    println!(
+        "  PSNR vs input      : {:.1} dB",
+        metrics::psnr(&image, &run.output)
+    );
     println!(
         "  out-of-range pixels: {:.1}% (overshoot control keeps this at 0)",
         metrics::out_of_range_fraction(&run.output) * 100.0

@@ -28,11 +28,14 @@ fn main() {
     let params = SharpnessParams::default();
     let configs: [(&str, OptConfig); 3] = [
         ("base port", OptConfig::none()),
-        ("fusion+transfer", OptConfig {
-            data_transfer: true,
-            kernel_fusion: true,
-            ..OptConfig::none()
-        }),
+        (
+            "fusion+transfer",
+            OptConfig {
+                data_transfer: true,
+                kernel_fusion: true,
+                ..OptConfig::none()
+            },
+        ),
         ("fully optimized", OptConfig::all()),
     ];
 
@@ -46,7 +49,9 @@ fn main() {
     report("CPU baseline", cpu_total, frames);
 
     // Scene changes per frame: regenerate content.
-    let sequence: Vec<_> = (0..frames).map(|f| generate::natural(W, H, 100 + f as u64)).collect();
+    let sequence: Vec<_> = (0..frames)
+        .map(|f| generate::natural(W, H, 100 + f as u64))
+        .collect();
 
     for (name, opts) in configs {
         let pipeline = StreamingPipeline::new(GpuPipeline::new(ctx.clone(), params, opts));

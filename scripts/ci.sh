@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, tier-1 tests, and bench compilation.
+#
+#   ./scripts/ci.sh
+#
+# Tier-1 (per ROADMAP.md) is `cargo build --release && cargo test -q` at the
+# workspace root. `cargo bench --no-run` keeps the wall-clock throughput
+# bench compiling even though CI boxes are too noisy to gate on its numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== cargo bench --no-run"
+cargo bench --workspace --no-run
+
+echo "CI OK"

@@ -8,7 +8,7 @@ use std::path::PathBuf;
 use imagekit::{io, metrics, ImageF32};
 use sharpness_core::color::{sharpen_rgb, ColorMode};
 use sharpness_core::cpu::CpuPipeline;
-use sharpness_core::gpu::{GpuPipeline, OptConfig};
+use sharpness_core::gpu::{GpuPipeline, OptConfig, ThroughputEngine};
 use sharpness_core::params::SharpnessParams;
 use sharpness_core::report::RunReport;
 use simgpu::context::Context;
@@ -66,6 +66,11 @@ pub struct CliArgs {
     pub trace_json: Option<PathBuf>,
     /// Print an ASCII Gantt chart of the run.
     pub gantt: bool,
+    /// Number of frames the throughput engine replays the input for
+    /// (1 = single-shot, no engine).
+    pub frames: usize,
+    /// Worker threads for the throughput engine (0 = host parallelism).
+    pub threads: usize,
 }
 
 /// Usage text.
@@ -81,11 +86,15 @@ options:
   --color <mode>    luma | rgb               (default luma; PPM only)
   --trace <file>    write a Chrome-trace JSON of the run
   --gantt           print an ASCII timeline of the run
+  --frames <n>      replay the input as an n-frame stream through the
+                    throughput engine and report frames/sec (GPU only)
+  --threads <n>     worker threads for --frames (default 0 = all cores)
 ";
 
 fn parse_value<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
     let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
-    v.parse().map_err(|_| format!("invalid value {v:?} for {flag}"))
+    v.parse()
+        .map_err(|_| format!("invalid value {v:?} for {flag}"))
 }
 
 /// Parses the argument list (without the program name).
@@ -102,6 +111,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         color: ColorMode::LumaOnly,
         trace_json: None,
         gantt: false,
+        frames: 1,
+        threads: 0,
     };
     let mut device = DevicePreset::W8000;
     let mut use_cpu = false;
@@ -133,12 +144,26 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     other => return Err(format!("unknown color mode {other:?}")),
                 }
             }
-            "--trace" => cli.trace_json = Some(PathBuf::from(parse_value::<String>(&arg, it.next())?)),
+            "--trace" => {
+                cli.trace_json = Some(PathBuf::from(parse_value::<String>(&arg, it.next())?))
+            }
             "--gantt" => cli.gantt = true,
+            "--frames" => cli.frames = parse_value(&arg, it.next())?,
+            "--threads" => cli.threads = parse_value(&arg, it.next())?,
             other => return Err(format!("unknown option {other:?}")),
         }
     }
-    cli.engine = if use_cpu { Engine::Cpu } else { Engine::Gpu(device) };
+    cli.engine = if use_cpu {
+        Engine::Cpu
+    } else {
+        Engine::Gpu(device)
+    };
+    if cli.frames == 0 {
+        return Err("--frames must be at least 1".to_string());
+    }
+    if cli.frames > 1 && use_cpu {
+        return Err("--frames requires the GPU engine (drop --cpu)".to_string());
+    }
     cli.params.validate()?;
     Ok(cli)
 }
@@ -161,7 +186,7 @@ pub fn report_to_records(report: &RunReport) -> Vec<CommandRecord> {
                 CommandKind::Map
             } else if s.name.starts_with("host:") {
                 CommandKind::HostWork
-            } else if s.name == "finish" {
+            } else if s.name.as_ref() == "finish" {
                 CommandKind::Finish
             } else {
                 CommandKind::Kernel
@@ -188,6 +213,29 @@ fn sharpen_plane(cli: &CliArgs, plane: &ImageF32) -> Result<RunReport, String> {
     }
 }
 
+/// Replays `plane` as a `cli.frames`-long stream through the throughput
+/// engine and formats the measured and simulated rates.
+fn throughput_summary(cli: &CliArgs, plane: &ImageF32) -> Result<String, String> {
+    let Engine::Gpu(preset) = cli.engine else {
+        return Err("--frames requires the GPU engine".to_string());
+    };
+    let pipe = GpuPipeline::new(Context::new(preset.spec()), cli.params, cli.opts);
+    let engine = ThroughputEngine::new(pipe, cli.threads);
+    let frames: Vec<ImageF32> = (0..cli.frames).map(|_| plane.clone()).collect();
+    let rep = engine.process(&frames)?;
+    Ok(format!(
+        "throughput: {} frames on {} workers in {:.3} s wall ({:.1} frames/s)\n\
+         simulated steady-state: {:.3} ms/frame pipelined ({:.1} frames/s; {:.3} ms serial)\n",
+        cli.frames,
+        rep.threads,
+        rep.wall_s,
+        rep.wall_fps(),
+        rep.pipelined_s / cli.frames as f64 * 1e3,
+        rep.simulated_fps(),
+        rep.serial_s / cli.frames as f64 * 1e3,
+    ))
+}
+
 /// Executes the parsed command, returning the human-readable summary that
 /// the binary prints.
 pub fn run(cli: &CliArgs) -> Result<String, String> {
@@ -196,7 +244,9 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
     let report: RunReport;
     match ext {
         "pgm" => {
-            let img = io::read_pgm(&cli.input).map_err(|e| e.to_string())?.to_f32();
+            let img = io::read_pgm(&cli.input)
+                .map_err(|e| e.to_string())?
+                .to_f32();
             report = sharpen_plane(cli, &img)?;
             io::write_pgm(&cli.output, &report.output.to_u8()).map_err(|e| e.to_string())?;
             summary.push_str(&format!(
@@ -210,6 +260,9 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
                 metrics::gradient_energy(&img),
                 metrics::gradient_energy(&report.output)
             ));
+            if cli.frames > 1 {
+                summary.push_str(&throughput_summary(cli, &img)?);
+            }
         }
         "ppm" => {
             let frame = io::read_ppm(&cli.input).map_err(|e| e.to_string())?;
@@ -230,9 +283,17 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
                 color.total_s * 1e3
             ));
             // Trace/gantt need a plane report; redo the luma plane cheaply.
-            report = sharpen_plane(cli, &frame.to_luma())?;
+            let luma = frame.to_luma();
+            report = sharpen_plane(cli, &luma)?;
+            if cli.frames > 1 {
+                summary.push_str(&throughput_summary(cli, &luma)?);
+            }
         }
-        other => return Err(format!("unsupported input extension {other:?} (use .pgm or .ppm)")),
+        other => {
+            return Err(format!(
+                "unsupported input extension {other:?} (use .pgm or .ppm)"
+            ))
+        }
     }
 
     if let Some(path) = &cli.trace_json {
@@ -265,8 +326,8 @@ mod tests {
     #[test]
     fn parses_everything() {
         let cli = parse_args(&strs(&[
-            "a.ppm", "b.ppm", "--gain", "2.5", "--gamma", "0.7", "--osc", "0.2", "--device",
-            "apu", "--opts", "none", "--color", "rgb", "--trace", "t.json", "--gantt",
+            "a.ppm", "b.ppm", "--gain", "2.5", "--gamma", "0.7", "--osc", "0.2", "--device", "apu",
+            "--opts", "none", "--color", "rgb", "--trace", "t.json", "--gantt",
         ]))
         .unwrap();
         assert_eq!(cli.engine, Engine::Gpu(DevicePreset::Apu));
@@ -274,7 +335,10 @@ mod tests {
         assert_eq!(cli.color, ColorMode::PerChannel);
         assert!((cli.params.gain - 2.5).abs() < 1e-6);
         assert!(cli.gantt);
-        assert_eq!(cli.trace_json.as_deref(), Some(std::path::Path::new("t.json")));
+        assert_eq!(
+            cli.trace_json.as_deref(),
+            Some(std::path::Path::new("t.json"))
+        );
     }
 
     #[test]
@@ -296,16 +360,76 @@ mod tests {
     }
 
     #[test]
+    fn parses_throughput_flags() {
+        let cli = parse_args(&strs(&[
+            "a.pgm",
+            "b.pgm",
+            "--frames",
+            "32",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(cli.frames, 32);
+        assert_eq!(cli.threads, 4);
+        // Defaults: single frame, auto threads.
+        let cli = parse_args(&strs(&["a.pgm", "b.pgm"])).unwrap();
+        assert_eq!((cli.frames, cli.threads), (1, 0));
+        // Invalid combinations are rejected at parse time.
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--frames", "0"])).is_err());
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--frames", "4", "--cpu"])).is_err());
+    }
+
+    #[test]
+    fn frames_flag_reports_throughput() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("cli-tp-in-{}.pgm", std::process::id()));
+        let output = dir.join(format!("cli-tp-out-{}.pgm", std::process::id()));
+        let img = imagekit::generate::natural(64, 64, 5).to_u8();
+        io::write_pgm(&input, &img).unwrap();
+        let cli = parse_args(&strs(&[
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--frames",
+            "6",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        let summary = run(&cli).unwrap();
+        assert!(
+            summary.contains("throughput: 6 frames on 2 workers"),
+            "{summary}"
+        );
+        assert!(summary.contains("simulated steady-state"), "{summary}");
+        for p in [input, output] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
     fn record_reconstruction_classifies_kinds() {
         use sharpness_core::report::StageRecord;
         let report = RunReport {
             output: ImageF32::zeros(4, 4),
             total_s: 4.0,
             stages: vec![
-                StageRecord { name: "rect-write:padded".into(), seconds: 1.0 },
-                StageRecord { name: "sobel_vec4".into(), seconds: 1.0 },
-                StageRecord { name: "host:reduction".into(), seconds: 1.0 },
-                StageRecord { name: "read:final".into(), seconds: 1.0 },
+                StageRecord {
+                    name: "rect-write:padded".into(),
+                    seconds: 1.0,
+                },
+                StageRecord {
+                    name: "sobel_vec4".into(),
+                    seconds: 1.0,
+                },
+                StageRecord {
+                    name: "host:reduction".into(),
+                    seconds: 1.0,
+                },
+                StageRecord {
+                    name: "read:final".into(),
+                    seconds: 1.0,
+                },
             ],
         };
         let recs = report_to_records(&report);

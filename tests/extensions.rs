@@ -8,13 +8,19 @@ use sharpness::prelude::*;
 use sharpness::simgpu::trace;
 
 fn gpu(opts: OptConfig) -> GpuPipeline {
-    GpuPipeline::new(Context::new(DeviceSpec::firepro_w8000()), SharpnessParams::default(), opts)
+    GpuPipeline::new(
+        Context::new(DeviceSpec::firepro_w8000()),
+        SharpnessParams::default(),
+        opts,
+    )
 }
 
 #[test]
 fn streaming_respects_frame_order_and_content() {
     let frames: Vec<_> = (0..4).map(|i| generate::natural(64, 64, i)).collect();
-    let stream = StreamingPipeline::new(gpu(OptConfig::all())).run_stream(&frames).unwrap();
+    let stream = StreamingPipeline::new(gpu(OptConfig::all()))
+        .run_stream(&frames)
+        .unwrap();
     assert_eq!(stream.outputs.len(), 4);
     // Different frames give different outputs (order preserved).
     assert_ne!(stream.outputs[0], stream.outputs[1]);
@@ -25,8 +31,12 @@ fn streaming_respects_frame_order_and_content() {
 
 #[test]
 fn streaming_overlap_bounded_by_components() {
-    let frames: Vec<_> = (0..5).map(|i| generate::natural(128, 128, 10 + i)).collect();
-    let stream = StreamingPipeline::new(gpu(OptConfig::all())).run_stream(&frames).unwrap();
+    let frames: Vec<_> = (0..5)
+        .map(|i| generate::natural(128, 128, 10 + i))
+        .collect();
+    let stream = StreamingPipeline::new(gpu(OptConfig::all()))
+        .run_stream(&frames)
+        .unwrap();
     let up: f64 = stream.frames.iter().map(|f| f.upload_s).sum();
     let comp: f64 = stream.frames.iter().map(|f| f.compute_s).sum();
     let down: f64 = stream.frames.iter().map(|f| f.download_s).sum();
@@ -40,7 +50,9 @@ fn streaming_overlap_bounded_by_components() {
 fn base_pipeline_streams_too() {
     // The base (map/unmap) configuration also decomposes cleanly.
     let frames: Vec<_> = (0..3).map(|i| generate::natural(64, 64, i)).collect();
-    let stream = StreamingPipeline::new(gpu(OptConfig::none())).run_stream(&frames).unwrap();
+    let stream = StreamingPipeline::new(gpu(OptConfig::none()))
+        .run_stream(&frames)
+        .unwrap();
     for f in &stream.frames {
         assert!(f.upload_s > 0.0 && f.compute_s > 0.0 && f.download_s > 0.0);
     }
@@ -48,7 +60,9 @@ fn base_pipeline_streams_too() {
 
 #[test]
 fn empty_stream_is_empty() {
-    let stream = StreamingPipeline::new(gpu(OptConfig::all())).run_stream(&[]).unwrap();
+    let stream = StreamingPipeline::new(gpu(OptConfig::all()))
+        .run_stream(&[])
+        .unwrap();
     assert_eq!(stream.outputs.len(), 0);
     assert_eq!(stream.pipelined_s, 0.0);
     assert_eq!(stream.serial_s, 0.0);
@@ -104,7 +118,11 @@ fn trace_of_a_real_run_covers_all_lanes() {
 fn pipelined_time_degenerate_components() {
     // Zero-length stages collapse gracefully.
     let frames = vec![
-        FrameComponents { upload_s: 0.0, compute_s: 1.0, download_s: 0.0 };
+        FrameComponents {
+            upload_s: 0.0,
+            compute_s: 1.0,
+            download_s: 0.0
+        };
         4
     ];
     assert!((pipelined_time(&frames) - 4.0).abs() < 1e-12);
@@ -116,8 +134,13 @@ fn minimum_size_image_works_with_every_flag_set() {
     // 16×16 is the smallest legal frame; vec4 kernels, GPU border and the
     // tree reduction must all cope.
     let img = generate::natural(16, 16, 3);
-    let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
-    let tuning = Tuning { border_gpu_min_width: 0, ..Tuning::default() }; // force the GPU border even here
+    let cpu = CpuPipeline::new(SharpnessParams::default())
+        .run(&img)
+        .unwrap();
+    let tuning = Tuning {
+        border_gpu_min_width: 0,
+        ..Tuning::default()
+    }; // force the GPU border even here
     let gpu_run = GpuPipeline::new(
         Context::with_validation(DeviceSpec::firepro_w8000()),
         SharpnessParams::default(),
@@ -133,7 +156,9 @@ fn minimum_size_image_works_with_every_flag_set() {
 fn wide_and_tall_extremes() {
     for (w, h) in [(256, 16), (16, 256)] {
         let img = generate::natural(w, h, 8);
-        let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        let cpu = CpuPipeline::new(SharpnessParams::default())
+            .run(&img)
+            .unwrap();
         let gpu_run = GpuPipeline::new(
             Context::with_validation(DeviceSpec::firepro_w8000()),
             SharpnessParams::default(),
@@ -149,11 +174,18 @@ fn wide_and_tall_extremes() {
 fn all_reduction_strategies_through_the_full_pipeline() {
     use sharpness::core::gpu::kernels::reduction::ReductionStrategy;
     let img = generate::natural(96, 96, 12);
-    let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
-    for strategy in
-        [ReductionStrategy::NoUnroll, ReductionStrategy::UnrollOne, ReductionStrategy::UnrollTwo]
-    {
-        let tuning = Tuning { reduction_strategy: strategy, ..Tuning::default() };
+    let cpu = CpuPipeline::new(SharpnessParams::default())
+        .run(&img)
+        .unwrap();
+    for strategy in [
+        ReductionStrategy::NoUnroll,
+        ReductionStrategy::UnrollOne,
+        ReductionStrategy::UnrollTwo,
+    ] {
+        let tuning = Tuning {
+            reduction_strategy: strategy,
+            ..Tuning::default()
+        };
         let run = gpu(OptConfig::all()).with_tuning(tuning).run(&img).unwrap();
         assert!(run.output.max_abs_diff(&cpu.output) < 0.05, "{strategy:?}");
     }
@@ -162,22 +194,35 @@ fn all_reduction_strategies_through_the_full_pipeline() {
 #[test]
 fn stage2_on_device_through_the_full_pipeline() {
     let img = generate::natural(128, 128, 13);
-    let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
-    let tuning = Tuning { stage2_gpu_threshold: 0, ..Tuning::default() }; // force device stage 2
+    let cpu = CpuPipeline::new(SharpnessParams::default())
+        .run(&img)
+        .unwrap();
+    let tuning = Tuning {
+        stage2_gpu_threshold: 0,
+        ..Tuning::default()
+    }; // force device stage 2
     let run = gpu(OptConfig::all()).with_tuning(tuning).run(&img).unwrap();
     assert!(run.output.max_abs_diff(&cpu.output) < 0.05);
-    assert!(run.stages.iter().any(|s| s.name == "reduction_stage2"));
+    assert!(run
+        .stages
+        .iter()
+        .any(|s| s.name.as_ref() == "reduction_stage2"));
 }
 
 #[test]
 fn other_device_presets_run_the_full_pipeline() {
     let img = generate::natural(64, 64, 14);
-    let cpu = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+    let cpu = CpuPipeline::new(SharpnessParams::default())
+        .run(&img)
+        .unwrap();
     for dev in [DeviceSpec::midrange_gpu(), DeviceSpec::apu()] {
-        let run =
-            GpuPipeline::new(Context::new(dev), SharpnessParams::default(), OptConfig::all())
-                .run(&img)
-                .unwrap();
+        let run = GpuPipeline::new(
+            Context::new(dev),
+            SharpnessParams::default(),
+            OptConfig::all(),
+        )
+        .run(&img)
+        .unwrap();
         // Timing differs per device; pixels must not.
         assert!(run.output.max_abs_diff(&cpu.output) < 0.05);
     }

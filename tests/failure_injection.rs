@@ -69,7 +69,10 @@ fn bad_ndrange_reports_geometry() {
     let err = q.run(&desc, &[], |_| {}).unwrap_err();
     assert!(matches!(err, Error::InvalidNdRange { .. }));
     let desc = KernelDesc::new("bad", [64, 64], [0, 16]);
-    assert!(matches!(q.run(&desc, &[], |_| {}), Err(Error::EmptyGroup { .. })));
+    assert!(matches!(
+        q.run(&desc, &[], |_| {}),
+        Err(Error::EmptyGroup { .. })
+    ));
 }
 
 #[test]
@@ -84,7 +87,9 @@ fn transfer_bounds_are_enforced() {
     let mut big = vec![0.0f32; 17];
     assert!(q.enqueue_read(&buf, &mut big).is_err());
     // Rect region falling off the right edge.
-    assert!(q.enqueue_write_rect(&buf, 4, 3, 0, &[1.0; 8], 4, 2).is_err());
+    assert!(q
+        .enqueue_write_rect(&buf, 4, 3, 0, &[1.0; 8], 4, 2)
+        .is_err());
     // Rect shape inconsistent with host slice.
     assert!(matches!(
         q.enqueue_write_rect(&buf, 4, 0, 0, &[1.0; 7], 4, 2),
@@ -107,7 +112,9 @@ fn pipelines_reject_unsupported_shapes() {
     for (w, h) in [(8, 8), (12, 16), (30, 32), (33, 32)] {
         let img = imagekit::ImageF32::zeros(w, h);
         assert!(
-            CpuPipeline::new(SharpnessParams::default()).run(&img).is_err(),
+            CpuPipeline::new(SharpnessParams::default())
+                .run(&img)
+                .is_err(),
             "cpu accepted {w}x{h}"
         );
         assert!(
@@ -123,13 +130,27 @@ fn pipelines_reject_unsupported_shapes() {
 fn pipelines_reject_invalid_params() {
     let img = imagekit::generate::natural(32, 32, 1);
     let bad = [
-        SharpnessParams { gain: f32::NAN, ..SharpnessParams::default() },
-        SharpnessParams { gamma: 0.0, ..SharpnessParams::default() },
-        SharpnessParams { osc: 2.0, ..SharpnessParams::default() },
-        SharpnessParams { eps: -1.0, ..SharpnessParams::default() },
+        SharpnessParams {
+            gain: f32::NAN,
+            ..SharpnessParams::default()
+        },
+        SharpnessParams {
+            gamma: 0.0,
+            ..SharpnessParams::default()
+        },
+        SharpnessParams {
+            osc: 2.0,
+            ..SharpnessParams::default()
+        },
+        SharpnessParams {
+            eps: -1.0,
+            ..SharpnessParams::default()
+        },
     ];
     for p in bad {
         assert!(CpuPipeline::new(p).run(&img).is_err());
-        assert!(GpuPipeline::new(vctx(), p, OptConfig::none()).run(&img).is_err());
+        assert!(GpuPipeline::new(vctx(), p, OptConfig::none())
+            .run(&img)
+            .is_err());
     }
 }

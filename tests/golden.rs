@@ -7,11 +7,13 @@
 use sharpness::prelude::*;
 
 /// `(width, seed, mean, gradient_energy)` of the CPU pipeline output with
-/// default parameters, recorded at repository creation.
+/// default parameters. Re-recorded when the workload generators moved to
+/// the in-tree SplitMix64 PRNG (the images changed, the algorithm did not
+/// — the CPU/GPU agreement test below is the invariant that survived).
 const GOLDEN: [(usize, u64, f64, f64); 3] = [
-    (64, 1, 114.272436, 24.674385),
-    (128, 7, 119.623260, 16.040611),
-    (256, 2015, 108.615550, 9.191470),
+    (64, 1, 113.534149, 24.706078),
+    (128, 7, 118.946660, 16.197411),
+    (256, 2015, 104.871766, 9.179587),
 ];
 
 const TOL: f64 = 0.05;
@@ -20,11 +22,19 @@ const TOL: f64 = 0.05;
 fn cpu_pipeline_statistics_are_pinned() {
     for (w, seed, mean, grad) in GOLDEN {
         let img = generate::natural(w, w, seed);
-        let r = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
+        let r = CpuPipeline::new(SharpnessParams::default())
+            .run(&img)
+            .unwrap();
         let m = metrics::mean(&r.output);
         let g = metrics::gradient_energy(&r.output);
-        assert!((m - mean).abs() < TOL, "{w}/{seed}: mean {m} vs golden {mean}");
-        assert!((g - grad).abs() < TOL, "{w}/{seed}: gradient {g} vs golden {grad}");
+        assert!(
+            (m - mean).abs() < TOL,
+            "{w}/{seed}: mean {m} vs golden {mean}"
+        );
+        assert!(
+            (g - grad).abs() < TOL,
+            "{w}/{seed}: gradient {g} vs golden {grad}"
+        );
     }
 }
 
@@ -40,8 +50,14 @@ fn gpu_pipeline_statistics_match_golden_too() {
             .unwrap();
         let m = metrics::mean(&r.output);
         let g = metrics::gradient_energy(&r.output);
-        assert!((m - mean).abs() < TOL, "{w}/{seed}: mean {m} vs golden {mean}");
-        assert!((g - grad).abs() < TOL, "{w}/{seed}: gradient {g} vs golden {grad}");
+        assert!(
+            (m - mean).abs() < TOL,
+            "{w}/{seed}: mean {m} vs golden {mean}"
+        );
+        assert!(
+            (g - grad).abs() < TOL,
+            "{w}/{seed}: gradient {g} vs golden {grad}"
+        );
     }
 }
 
@@ -50,7 +66,7 @@ fn workload_generator_is_pinned() {
     // The figure harness depends on the workload being reproducible.
     let img = generate::natural(256, 256, 2015);
     let m = metrics::mean(&img);
-    assert!((m - 108.44).abs() < 1.0, "workload mean drifted: {m}");
+    assert!((m - 105.01).abs() < 1.0, "workload mean drifted: {m}");
     let g = metrics::gradient_energy(&img);
     assert!(g > 3.0 && g < 12.0, "workload gradient drifted: {g}");
 }

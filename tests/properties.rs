@@ -1,7 +1,12 @@
-//! Property-based tests (proptest) over the pipeline's core invariants.
+//! Property-style tests over the pipeline's core invariants.
+//!
+//! Formerly proptest-based; now driven by a seeded in-tree PRNG
+//! (deterministic case sweeps) so the suite builds fully offline. Each
+//! test keeps the original invariant and exercises it over a spread of
+//! randomised shapes/values.
 
+use imagekit::rng::SplitMix64;
 use imagekit::ImageF32;
-use proptest::prelude::*;
 use sharpness::core::cpu::stages;
 use sharpness::core::gpu::kernels::reduction::{
     reduction_stage1_kernel, reduction_stage2_kernel, stage1_groups, ReductionStrategy,
@@ -11,84 +16,116 @@ use sharpness::prelude::*;
 use sharpness::simgpu::cost::CostCounters;
 use sharpness::simgpu::timing::{bulk_transfer_time, kernel_time};
 
-/// Strategy: a pipeline-shaped image (dims multiple of 4, 16..=48) with
-/// arbitrary pixel values in the display range.
-fn arb_image() -> impl Strategy<Value = ImageF32> {
-    (4usize..=12, 4usize..=12).prop_flat_map(|(w4, h4)| {
-        let (w, h) = (4 * w4, 4 * h4);
-        proptest::collection::vec(0.0f32..=255.0, w * h)
-            .prop_map(move |data| ImageF32::from_vec(w, h, data))
-    })
+/// A pipeline-shaped image (dims multiple of 4, 16..=48) with pixel values
+/// in the display range, derived from `rng`.
+fn rand_image(rng: &mut SplitMix64) -> ImageF32 {
+    let w = 4 * (4 + (rng.next_u64() % 9) as usize);
+    let h = 4 * (4 + (rng.next_u64() % 9) as usize);
+    let data: Vec<f32> = (0..w * h).map(|_| rng.gen_range(0.0, 255.0)).collect();
+    ImageF32::from_vec(w, h, data)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn final_output_always_in_display_range(img in arb_image()) {
-        let r = CpuPipeline::new(SharpnessParams::default()).run(&img).unwrap();
-        prop_assert_eq!(imagekit::metrics::out_of_range_fraction(&r.output), 0.0);
+#[test]
+fn final_output_always_in_display_range() {
+    for seed in 0..CASES {
+        let img = rand_image(&mut SplitMix64::seed_from_u64(seed));
+        let r = CpuPipeline::new(SharpnessParams::default())
+            .run(&img)
+            .unwrap();
+        assert_eq!(
+            imagekit::metrics::out_of_range_fraction(&r.output),
+            0.0,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn downscale_means_within_block_bounds(img in arb_image()) {
+#[test]
+fn downscale_means_within_block_bounds() {
+    for seed in 0..CASES {
+        let img = rand_image(&mut SplitMix64::seed_from_u64(seed));
         let (d, _) = stages::downscale(&img);
         let lo = img.pixels().iter().cloned().fold(f32::INFINITY, f32::min);
-        let hi = img.pixels().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let hi = img
+            .pixels()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         for &v in d.pixels() {
-            prop_assert!(v >= lo - 1e-3 && v <= hi + 1e-3);
+            assert!(v >= lo - 1e-3 && v <= hi + 1e-3, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn upscale_within_downscaled_hull(img in arb_image()) {
+#[test]
+fn upscale_within_downscaled_hull() {
+    for seed in 0..CASES {
+        let img = rand_image(&mut SplitMix64::seed_from_u64(seed));
         let (d, _) = stages::downscale(&img);
         let (up, _, _) = stages::upscale(&d, img.width(), img.height());
         let lo = d.pixels().iter().cloned().fold(f32::INFINITY, f32::min);
         let hi = d.pixels().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         for &v in up.pixels() {
-            prop_assert!(v >= lo - 1e-3 && v <= hi + 1e-3);
+            assert!(v >= lo - 1e-3 && v <= hi + 1e-3, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn sobel_nonnegative_and_zero_border(img in arb_image()) {
+#[test]
+fn sobel_nonnegative_and_zero_border() {
+    for seed in 0..CASES {
+        let img = rand_image(&mut SplitMix64::seed_from_u64(seed));
         let (s, _) = stages::sobel(&img);
         let (w, h) = (s.width(), s.height());
         for y in 0..h {
             for x in 0..w {
                 let v = s.get(x, y);
-                prop_assert!(v >= 0.0);
+                assert!(v >= 0.0, "seed {seed}");
                 if x == 0 || y == 0 || x == w - 1 || y == h - 1 {
-                    prop_assert_eq!(v, 0.0);
+                    assert_eq!(v, 0.0, "seed {seed}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn sobel_invariant_under_constant_offset(img in arb_image(), off in 0.0f32..40.0) {
+#[test]
+fn sobel_invariant_under_constant_offset() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let img = rand_image(&mut rng);
+        let off = rng.gen_range(0.0, 40.0);
         let (s1, _) = stages::sobel(&img);
         let shifted = ImageF32::from_vec(
-            img.width(), img.height(),
+            img.width(),
+            img.height(),
             img.pixels().iter().map(|&v| v + off).collect(),
         );
         let (s2, _) = stages::sobel(&shifted);
         // Gradients of (img + c) equal gradients of img up to f32 error.
         for i in 0..s1.len() {
-            prop_assert!((s1.pixels()[i] - s2.pixels()[i]).abs() < 1e-2);
+            assert!(
+                (s1.pixels()[i] - s2.pixels()[i]).abs() < 1e-2,
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn gpu_tree_reduction_matches_serial_sum(
-        data in proptest::collection::vec(0.0f32..255.0, 1..5000),
-        strategy in prop_oneof![
-            Just(ReductionStrategy::NoUnroll),
-            Just(ReductionStrategy::UnrollOne),
-            Just(ReductionStrategy::UnrollTwo),
-        ],
-    ) {
+#[test]
+fn gpu_tree_reduction_matches_serial_sum() {
+    let strategies = [
+        ReductionStrategy::NoUnroll,
+        ReductionStrategy::UnrollOne,
+        ReductionStrategy::UnrollTwo,
+    ];
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let len = 1 + (rng.next_u64() % 4999) as usize;
+        let data: Vec<f32> = (0..len).map(|_| rng.gen_range(0.0, 255.0)).collect();
+        let strategy = strategies[(rng.next_u64() % 3) as usize];
         let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
         let mut q = ctx.queue();
         let src = ctx.buffer_from("pEdge", &data);
@@ -100,63 +137,99 @@ proptest! {
         let got = f64::from(result.snapshot()[0]);
         let want: f64 = data.iter().map(|&v| f64::from(v)).sum();
         let tol = (want.abs() + 1.0) * 1e-5;
-        prop_assert!((got - want).abs() <= tol, "got {got}, want {want}");
+        assert!(
+            (got - want).abs() <= tol,
+            "seed {seed}: got {got}, want {want}"
+        );
     }
+}
 
-    #[test]
-    fn overshoot_never_exceeds_envelope_by_more_than_osc_fraction(
-        prelim in -200.0f32..500.0,
-        mn in 0.0f32..100.0,
-        span in 0.0f32..150.0,
-        osc in 0.0f32..=1.0,
-    ) {
+#[test]
+fn overshoot_never_exceeds_envelope_by_more_than_osc_fraction() {
+    for seed in 0..200 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let prelim = rng.gen_range(-200.0, 500.0);
+        let mn = rng.gen_range(0.0, 100.0);
+        let span = rng.gen_range(0.0, 150.0);
+        let osc = rng.gen_range(0.0, 1.0);
         let mx = mn + span;
-        let p = SharpnessParams { osc, ..SharpnessParams::default() };
+        let p = SharpnessParams {
+            osc,
+            ..SharpnessParams::default()
+        };
         let v = math::overshoot(prelim, mn, mx, &p);
-        prop_assert!((0.0..=255.0).contains(&v));
+        assert!((0.0..=255.0).contains(&v), "seed {seed}");
         // Overshoot past the envelope is at most osc times the excursion.
         if prelim > mx {
-            prop_assert!(v <= (mx + osc * (prelim - mx)).min(255.0) + 1e-4);
-            prop_assert!(v + 1e-4 >= mx.min(255.0));
+            assert!(
+                v <= (mx + osc * (prelim - mx)).min(255.0) + 1e-4,
+                "seed {seed}"
+            );
+            assert!(v + 1e-4 >= mx.min(255.0), "seed {seed}");
         } else if prelim < mn {
-            prop_assert!(v + 1e-4 >= (mn - osc * (mn - prelim)).max(0.0) - 1e-4);
+            assert!(
+                v + 1e-4 >= (mn - osc * (mn - prelim)).max(0.0) - 1e-4,
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn strength_is_monotone_in_edge(e1 in 0.0f32..1000.0, e2 in 0.0f32..1000.0, mean in 0.0f32..500.0) {
+#[test]
+fn strength_is_monotone_in_edge() {
+    for seed in 0..200 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let e1 = rng.gen_range(0.0, 1000.0);
+        let e2 = rng.gen_range(0.0, 1000.0);
+        let mean = rng.gen_range(0.0, 500.0);
         let p = SharpnessParams::default();
         let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
-        prop_assert!(math::strength(lo, mean, &p) <= math::strength(hi, mean, &p) + 1e-6);
+        assert!(
+            math::strength(lo, mean, &p) <= math::strength(hi, mean, &p) + 1e-6,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn kernel_time_monotone_in_work(
-        base_bytes in 1u64..1_000_000,
-        extra in 0u64..1_000_000,
-        groups in 1u64..10_000,
-    ) {
-        let dev = DeviceSpec::firepro_w8000();
+#[test]
+fn kernel_time_monotone_in_work() {
+    let dev = DeviceSpec::firepro_w8000();
+    for seed in 0..200 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let base_bytes = 1 + rng.next_u64() % 999_999;
+        let extra = rng.next_u64() % 1_000_000;
+        let groups = 1 + rng.next_u64() % 9_999;
         let mut a = CostCounters::new();
         a.global_read_scalar = base_bytes;
         a.groups = groups;
         a.group_lanes = 256;
         let mut b = a;
         b.global_read_scalar += extra;
-        prop_assert!(kernel_time(&dev, &b).total_s >= kernel_time(&dev, &a).total_s);
+        assert!(
+            kernel_time(&dev, &b).total_s >= kernel_time(&dev, &a).total_s,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn transfer_time_monotone_and_superlatency(bytes in 0u64..100_000_000) {
-        let t = DeviceSpec::firepro_w8000().transfer;
+#[test]
+fn transfer_time_monotone_and_superlatency() {
+    let t = DeviceSpec::firepro_w8000().transfer;
+    for seed in 0..200 {
+        let bytes = SplitMix64::seed_from_u64(seed).next_u64() % 100_000_000;
         let cost = bulk_transfer_time(&t, bytes);
-        prop_assert!(cost >= t.bulk_latency_s);
-        prop_assert!(bulk_transfer_time(&t, bytes + 4096) >= cost);
+        assert!(cost >= t.bulk_latency_s, "seed {seed}");
+        assert!(bulk_transfer_time(&t, bytes + 4096) >= cost, "seed {seed}");
     }
+}
 
-    #[test]
-    fn padding_roundtrip(img in arb_image(), replicate in any::<bool>()) {
+#[test]
+fn padding_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let img = rand_image(&mut rng);
+        let replicate = rng.next_u64().is_multiple_of(2);
         let padded = img.padded(2, replicate);
-        prop_assert_eq!(padded.cropped(2), img);
+        assert_eq!(padded.cropped(2), img, "seed {seed}");
     }
 }
