@@ -2,18 +2,79 @@
 //!
 //! ```text
 //! repro [table1|fig12|fig13a|fig13b|fig13c|fig14|fig15|fig16|fig17|all]
+//!       [--sanitize]
 //! ```
 //!
 //! Prints, for every experiment of the paper's evaluation section, the
 //! regenerated rows/series alongside the shape criterion the paper
 //! reports. Model times are deterministic; run with `--release` for
 //! reasonable wall-clock at 4096².
+//!
+//! `--sanitize` first verifies every optimization config under the
+//! shadow-execution sanitizer (races, out-of-bounds, barrier divergence,
+//! accounting drift) and exits non-zero on any finding; alone, it runs
+//! only that verification sweep.
 
 use sharpness_bench::*;
-use sharpness_core::gpu::OptConfig;
+use sharpness_core::gpu::{GpuPipeline, OptConfig};
+use sharpness_core::params::SharpnessParams;
+use simgpu::context::Context;
+use simgpu::device::DeviceSpec;
+
+/// Runs every optimization config under the sanitizer at 128² plus the
+/// end-member configs at a ragged 1000x700; returns whether all came back
+/// clean, printing findings as they appear.
+fn sanitize_sweep() -> bool {
+    println!("sanitizer sweep — every config must be race/OOB/drift-free");
+    let mut clean = true;
+    let mut check = |w: usize, h: usize, bits: u32, cfg: OptConfig| {
+        let img = imagekit::generate::natural(w, h, 17);
+        let ctx = Context::sanitized(DeviceSpec::firepro_w8000());
+        let run = GpuPipeline::new(ctx.clone(), SharpnessParams::default(), cfg).run(&img);
+        let report = ctx.sanitize_report().expect("sanitizer enabled");
+        match run {
+            Ok(_) if report.is_clean() => {}
+            Ok(_) => {
+                clean = false;
+                println!("  {w}x{h} config {bits:06b}: {report}");
+            }
+            Err(e) => {
+                clean = false;
+                println!("  {w}x{h} config {bits:06b}: run failed: {e}");
+            }
+        }
+    };
+    for bits in 0..64u32 {
+        let cfg = OptConfig {
+            data_transfer: bits & 1 != 0,
+            kernel_fusion: bits & 2 != 0,
+            reduction_gpu: bits & 4 != 0,
+            vectorization: bits & 8 != 0,
+            border_gpu: bits & 16 != 0,
+            others: bits & 32 != 0,
+        };
+        check(128, 128, bits, cfg);
+    }
+    check(1000, 700, 0, OptConfig::none());
+    check(1000, 700, 63, OptConfig::all());
+    if clean {
+        println!("  66 sanitized runs, all clean\n");
+    }
+    clean
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let sanitize = args.iter().any(|a| a == "--sanitize");
+    args.retain(|a| a != "--sanitize");
+    if sanitize {
+        if !sanitize_sweep() {
+            std::process::exit(1);
+        }
+        if args.is_empty() {
+            return;
+        }
+    }
     let what = args.first().map(String::as_str).unwrap_or("all");
     let all = what == "all";
 
@@ -75,7 +136,7 @@ fn main() {
     {
         eprintln!("unknown experiment `{what}`");
         eprintln!(
-            "usage: repro [table1|fig12|fig13a|fig13b|fig13c|fig14|fig15|fig16|fig17|ablations|all|csv <dir>]"
+            "usage: repro [table1|fig12|fig13a|fig13b|fig13c|fig14|fig15|fig16|fig17|ablations|all|csv <dir>] [--sanitize]"
         );
         std::process::exit(2);
     }

@@ -360,8 +360,12 @@ mod tests {
     fn upscale_body_within_support_hull() {
         let (d, _) = downscale(&img());
         let (up, _, _) = upscale(&d, 32, 32);
-        let dmin = d.pixels().iter().cloned().fold(f32::INFINITY, f32::min);
-        let dmax = d.pixels().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let dmin = d.pixels().iter().cloned().fold(f32::INFINITY, math::fmin);
+        let dmax = d
+            .pixels()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, math::fmax);
         for &v in up.pixels() {
             assert!(v >= dmin - 1e-3 && v <= dmax + 1e-3);
         }

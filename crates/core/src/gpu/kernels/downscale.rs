@@ -40,6 +40,7 @@ pub fn downscale_kernel(
         let mut n_items = 0u64;
         let mut scratch = vec![0.0f32; gw];
         for ly in 0..g.group_size[1] {
+            g.begin_item([0, ly]);
             let j = g.group_id[1] * g.group_size[1] + ly;
             if j >= h4 || x_start >= w4 {
                 continue;

@@ -31,6 +31,7 @@ pub fn perror_kernel(
     q.run(&desc, &[perr], move |g| {
         let mut n_items = 0u64;
         for l in items(g.group_size) {
+            g.begin_item(l);
             let [x, y] = g.global_id(l);
             if x >= w || y >= h {
                 continue;

@@ -101,6 +101,9 @@ pub fn reduction_stage1_range_kernel(
         // sums are bit-identical to the lid-major form; the charged
         // traffic (8 scalar loads per thread) is also unchanged.
         if base + ELEMS_PER_GROUP <= n {
+            // The span loads are attributed to lane 0 — global reads never
+            // conflict with each other, so one-lane attribution is safe.
+            g.begin_item([0, 0]);
             let mut sums = [0.0f32; RED_GROUP];
             for k in 0..ELEMS_PER_THREAD {
                 let row = src.slice_raw(offset + base + k * RED_GROUP, RED_GROUP);
@@ -109,11 +112,13 @@ pub fn reduction_stage1_range_kernel(
                 }
             }
             for (lid, &s) in sums.iter().enumerate() {
+                g.begin_item([lid, 0]);
                 g.local_write(lid, s);
             }
             g.charge_global_n(4 * ELEMS_PER_THREAD as u64, 0, 0, 0, RED_GROUP as u64);
         } else {
             for lid in 0..RED_GROUP {
+                g.begin_item([lid, 0]);
                 let mut s = 0.0f32;
                 for k in 0..ELEMS_PER_THREAD {
                     let idx = base + k * RED_GROUP + lid;
@@ -127,6 +132,7 @@ pub fn reduction_stage1_range_kernel(
         g.barrier();
         let tree_step = |g: &mut simgpu::kernel::GroupCtx, lo: usize, step: usize| {
             for lid in lo..lo + step {
+                g.begin_item([lid, 0]);
                 let a = g.local_read(lid);
                 let b = g.local_read(lid + step);
                 g.local_write(lid, a + b);
@@ -141,6 +147,7 @@ pub fn reduction_stage1_range_kernel(
                     g.barrier();
                     step /= 2;
                 }
+                g.begin_item([0, 0]);
                 let s = g.local_read(0);
                 g.store(&out, g.group_id[0], s);
             }
@@ -154,6 +161,7 @@ pub fn reduction_stage1_range_kernel(
                     g.divergent(1);
                     step /= 2;
                 }
+                g.begin_item([0, 0]);
                 let s = g.local_read(0);
                 g.store(&out, g.group_id[0], s);
             }
@@ -170,6 +178,7 @@ pub fn reduction_stage1_range_kernel(
                 // ...then one extra barrier before combining the halves —
                 // the overhead that makes this variant lose (Fig. 15).
                 g.barrier();
+                g.begin_item([0, 0]);
                 let a = g.local_read(0);
                 let b = g.local_read(64);
                 g.counters.ops.add += 1;
@@ -199,6 +208,7 @@ pub fn reduction_stage2_kernel(
     let t = q.run(&desc, &[result], move |g| {
         g.alloc_local(RED_GROUP);
         for lid in 0..RED_GROUP {
+            g.begin_item([lid, 0]);
             let mut s = 0.0f32;
             let mut i = lid;
             while i < n_partials {
@@ -211,6 +221,7 @@ pub fn reduction_stage2_kernel(
         let mut step = RED_GROUP / 2;
         while step >= 1 {
             for lid in 0..step {
+                g.begin_item([lid, 0]);
                 let a = g.local_read(lid);
                 let b = g.local_read(lid + step);
                 g.local_write(lid, a + b);
@@ -222,6 +233,7 @@ pub fn reduction_stage2_kernel(
             }
             step /= 2;
         }
+        g.begin_item([0, 0]);
         let s = g.local_read(0);
         g.store(&out, 0, s);
         g.charge_n(&per_thread, RED_GROUP as u64);

@@ -48,6 +48,7 @@ pub fn preliminary_kernel(
     q.run(&desc, &[prelim], move |g| {
         let mut n = 0u64;
         for l in items(g.group_size) {
+            g.begin_item(l);
             let [x, y] = g.global_id(l);
             if x >= w || y >= h {
                 continue;
@@ -91,6 +92,7 @@ pub fn overshoot_kernel(
         let mut n_body = 0u64;
         let mut n_border = 0u64;
         for l in items(g.group_size) {
+            g.begin_item(l);
             let [x, y] = g.global_id(l);
             if x >= w || y >= h {
                 continue;
@@ -181,6 +183,7 @@ pub fn sharpness_fused_kernel(
         let mut n_body = 0u64;
         let mut n_border = 0u64;
         for l in items(g.group_size) {
+            g.begin_item(l);
             let [x, y] = g.global_id(l);
             if x >= w || y >= h {
                 continue;
@@ -352,11 +355,15 @@ pub fn sharpness_fused_vec4_kernel(
         // per row; the work is done row-segment at a time so the body loop
         // is branch-free, while the charged traffic below stays exactly
         // what the per-thread vload4/vstore4 pattern accounts.
+        // As in the vectorized Sobel, the charged overlapping-window
+        // traffic exceeds the distinct elements the row spans touch.
+        g.declare_read_overcharge(4.0);
         let gw = g.group_size[0];
         let x_start = 4 * g.group_id[0] * gw;
         let mut n_threads = 0u64;
         let mut scratch = vec![0.0f32; 4 * gw];
         for ly in 0..g.group_size[1] {
+            g.begin_item([0, ly]);
             let y = g.group_id[1] * g.group_size[1] + ly;
             if y >= h || x_start >= w {
                 continue;

@@ -36,6 +36,7 @@ pub fn sobel_scalar_kernel(
         let mut n_body = 0u64;
         let mut n_border = 0u64;
         for l in items(g.group_size) {
+            g.begin_item(l);
             let [x, y] = g.global_id(l);
             if x >= w || y >= h {
                 continue;
@@ -96,11 +97,17 @@ pub fn sobel_vec4_kernel(
         // exactly the per-thread 3×vload4 + 6 loads + vstore4 pattern
         // (border-row threads load their windows too before zeroing, so
         // every covered thread charges the full window).
+        // The charged traffic (18 loads per thread, windows overlapping by
+        // design) exceeds the distinct elements the row-span form touches;
+        // declare the worst-case ratio so the drift audit stays exact-or-
+        // declared.
+        g.declare_read_overcharge(4.0);
         let gw = g.group_size[0];
         let x_start = 4 * g.group_id[0] * gw;
         let mut n_threads = 0u64;
         let mut scratch = vec![0.0f32; 4 * gw];
         for ly in 0..g.group_size[1] {
+            g.begin_item([0, ly]);
             let y = g.group_id[1] * g.group_size[1] + ly;
             if y >= h || x_start >= w {
                 continue;

@@ -38,6 +38,7 @@ pub fn upscale_center_scalar_kernel(
     q.run(&desc, &[up], move |g| {
         let mut n_blocks = 0u64;
         for l in items(g.group_size) {
+            g.begin_item(l);
             let [bi, bj] = g.global_id(l);
             if bi >= nx || bj >= ny {
                 continue;
@@ -87,6 +88,7 @@ pub fn upscale_center_vec4_kernel(
         let mut n_threads = 0u64;
         let mut n_fast = 0u64;
         for l in items(g.group_size) {
+            g.begin_item(l);
             let [t, bj] = g.global_id(l);
             let bi0 = 4 * t;
             if bi0 >= nx || bj >= ny {
@@ -201,6 +203,7 @@ pub fn upscale_border_gpu(
             let mut n = 0u64;
             let mut corner_events = 0u64;
             for l in items(g.group_size) {
+                g.begin_item(l);
                 let [bi, _] = g.global_id(l);
                 if bi >= w4 - 1 {
                     continue;
@@ -254,6 +257,7 @@ pub fn upscale_border_gpu(
         let t = q.run(&desc, &[up], move |g| {
             let mut n = 0u64;
             for l in items(g.group_size) {
+                g.begin_item(l);
                 let [bj, _] = g.global_id(l);
                 if bj >= h4 - 1 {
                     continue;

@@ -88,10 +88,12 @@ pub fn sobel_pixel(n: &[f32; 9]) -> f32 {
 pub fn strength(edge: f32, mean: f32, p: &SharpnessParams) -> f32 {
     let x = edge / (mean + p.eps);
     // `powf` with a runtime exponent costs ~20 ns/pixel and dominates the
-    // fused kernel's host time. The default gamma is 0.5, where the
-    // correctly-rounded `sqrt` returns the identical bits (both are
-    // IEEE-correctly rounded here; pinned by `sqrt_matches_powf_half`), so
-    // special-case it. Shared by CPU and GPU, keeping them bit-equal.
+    // fused kernel's host time. The default gamma is 0.5, so special-case
+    // it to the correctly-rounded `sqrt`. libm's `powf(x, 0.5)` may differ
+    // from `sqrt` by 1 ULP (it is not correctly rounded everywhere —
+    // pinned by `sqrt_tracks_powf_half`), which is safe *because* this
+    // selection lives in the one shared function: the CPU reference and
+    // every GPU kernel take the same branch, keeping them bit-equal.
     let pow = if p.gamma == 0.5 {
         x.sqrt()
     } else {
@@ -259,13 +261,19 @@ mod tests {
     }
 
     #[test]
-    fn sqrt_matches_powf_half() {
-        // The gamma == 0.5 fast path is only sound if sqrt and powf(·, 0.5)
-        // agree bit-for-bit (they must: both are correctly rounded).
+    fn sqrt_tracks_powf_half() {
+        // The gamma == 0.5 fast path replaces powf(·, 0.5) with sqrt inside
+        // the *shared* `strength`, so CPU and GPU stay bit-equal by
+        // construction. This pins the numerical premise: sqrt never strays
+        // more than 1 ULP from powf (libm's powf is not correctly rounded
+        // everywhere, e.g. x = 4.245497e-37 on glibc, so exact bit equality
+        // is not guaranteed and not required).
         for i in (0..=u32::MAX).step_by(9973) {
             let x = f32::from_bits(i);
             if x.is_finite() && x >= 0.0 {
-                assert_eq!(x.sqrt().to_bits(), x.powf(0.5).to_bits(), "x = {x}");
+                let s = x.sqrt().to_bits();
+                let p = x.powf(0.5).to_bits();
+                assert!(s.abs_diff(p) <= 1, "x = {x}: sqrt {s:#x} vs powf {p:#x}");
             }
         }
     }

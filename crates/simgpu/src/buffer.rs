@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
 use crate::pool::{BufferPool, PoolShared};
+use crate::sanitize::{BufferShadow, SanitizeShared};
 
 /// Element types storable in device buffers.
 pub trait Scalar: Copy + Send + Sync + Default + 'static {}
@@ -57,6 +58,9 @@ pub(crate) struct BufferInner<T: Scalar> {
     /// buffers. `Weak`: a buffer outliving its context must not keep the
     /// pool (and every parked slab) alive.
     pool: Option<Weak<PoolShared>>,
+    /// Sanitizer shadow memory; `Some` only for buffers created from a
+    /// sanitized context. Observation only — never alters data.
+    shadow: Option<Arc<BufferShadow>>,
 }
 
 impl<T: Scalar> Drop for BufferInner<T> {
@@ -89,34 +93,45 @@ impl<T: Scalar> Clone for Buffer<T> {
 }
 
 impl<T: Scalar> Buffer<T> {
+    #[cfg(test)]
     pub(crate) fn new(label: &str, len: usize, validate: bool) -> Self {
-        Self::build(
-            label,
-            len,
-            validate,
-            vec![T::default(); len].into_boxed_slice(),
-            None,
-        )
+        Self::build_in(label, len, validate, None, None)
     }
 
-    /// Allocates through `pool`: reuses (and re-zeroes) a recycled slab
-    /// with the same `(label, len, T)` identity when one is parked, and
-    /// returns the slab to the pool when the last handle drops.
-    pub(crate) fn pooled(label: &str, len: usize, validate: bool, pool: &BufferPool) -> Self {
-        let data = match pool.shared.take::<T>(label, len) {
-            Some(mut slab) => {
-                slab.fill(T::default());
-                slab
+    /// Full-control constructor used by [`crate::context::Context`]:
+    /// optional pooling (reuse + re-zero of a recycled slab with the same
+    /// `(label, len, T)` identity) and an optional sanitizer shadow. The
+    /// shadow is always fresh, so a pooled buffer starts every life
+    /// uninitialised as far as the sanitizer can tell.
+    pub(crate) fn build_in(
+        label: &str,
+        len: usize,
+        validate: bool,
+        sanitize: Option<&Arc<SanitizeShared>>,
+        pool: Option<&BufferPool>,
+    ) -> Self {
+        let (data, pool_weak) = match pool {
+            Some(pool) => {
+                let data = match pool.shared.take::<T>(label, len) {
+                    Some(mut slab) => {
+                        slab.fill(T::default());
+                        slab
+                    }
+                    None => vec![T::default(); len].into_boxed_slice(),
+                };
+                (data, Some(Arc::downgrade(&pool.shared)))
             }
-            None => vec![T::default(); len].into_boxed_slice(),
+            None => (vec![T::default(); len].into_boxed_slice(), None),
         };
-        Self::build(
-            label,
-            len,
-            validate,
-            data,
-            Some(Arc::downgrade(&pool.shared)),
-        )
+        let shadow = sanitize.map(|s| {
+            Arc::new(BufferShadow::new(
+                Arc::clone(s),
+                label,
+                len,
+                std::mem::size_of::<T>(),
+            ))
+        });
+        Self::build(label, len, validate, data, pool_weak, shadow)
     }
 
     fn build(
@@ -125,6 +140,7 @@ impl<T: Scalar> Buffer<T> {
         validate: bool,
         data: Box<[T]>,
         pool: Option<Weak<PoolShared>>,
+        shadow: Option<Arc<BufferShadow>>,
     ) -> Self {
         debug_assert_eq!(data.len(), len);
         let marks = if validate {
@@ -146,6 +162,7 @@ impl<T: Scalar> Buffer<T> {
                 mapped: AtomicBool::new(false),
                 label: label.to_string(),
                 pool,
+                shadow,
             }),
         }
     }
@@ -226,9 +243,21 @@ impl<T: Scalar> Buffer<T> {
     /// Counterpart of [`Buffer::snapshot`] for test setup.
     pub fn fill_from(&self, src: &[T]) {
         assert_eq!(src.len(), self.inner.len, "fill_from length mismatch");
+        if let Some(sh) = &self.inner.shadow {
+            sh.mark_init_range(0, src.len());
+        }
         // SAFETY: host-side, no concurrent kernel.
         unsafe {
             (*self.inner.data.0.get()).copy_from_slice(src);
+        }
+    }
+
+    /// Marks the whole buffer initialised for the sanitizer's stale-read
+    /// detector. Called when a map-write guard exposes the full slab to
+    /// the host.
+    pub(crate) fn mark_all_init(&self) {
+        if let Some(sh) = &self.inner.shadow {
+            sh.mark_init_range(0, self.inner.len);
         }
     }
 }
@@ -260,6 +289,9 @@ impl<T: Scalar> BufferInner<T> {
             "copy_in out of bounds on {:?}",
             self.label
         );
+        if let Some(sh) = &self.shadow {
+            sh.mark_init_range(offset, src.len());
+        }
         if self.marks.is_some() {
             for (i, v) in src.iter().enumerate() {
                 self.store(offset + i, *v);
@@ -361,6 +393,17 @@ impl<T: Scalar> GlobalView<T> {
     /// host-side checks.
     #[inline]
     pub fn get_raw(&self, idx: usize) -> T {
+        if let Some(sh) = &self.inner.shadow {
+            if let Some((e, tag)) = sh.shared.cursor() {
+                if idx >= self.inner.len {
+                    // Record and recover: the sanitizer keeps collecting
+                    // instead of aborting on the first bad access.
+                    sh.on_oob(idx, false);
+                    return T::default();
+                }
+                sh.on_read(e, tag, idx);
+            }
+        }
         assert!(
             idx < self.inner.len,
             "load out of bounds on {:?}",
@@ -379,6 +422,26 @@ impl<T: Scalar> GlobalView<T> {
     /// stay vectorizable.
     #[inline]
     pub fn read_into(&self, idx: usize, out: &mut [T]) {
+        if let Some(sh) = &self.inner.shadow {
+            if let Some((e, tag)) = sh.shared.cursor() {
+                let valid = sh.span_read(e, tag, idx, out.len());
+                if valid < out.len() {
+                    // Recover: copy the in-bounds prefix, zero the rest.
+                    if valid > 0 {
+                        // SAFETY: `idx + valid <= len` by construction.
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(
+                                self.ptr.add(idx),
+                                out.as_mut_ptr(),
+                                valid,
+                            );
+                        }
+                    }
+                    out[valid..].fill(T::default());
+                    return;
+                }
+            }
+        }
         assert!(
             idx + out.len() <= self.inner.len,
             "bulk load out of bounds on {:?}",
@@ -405,6 +468,15 @@ impl<T: Scalar> GlobalView<T> {
     /// invariant: no work-item writes this buffer while the slice is held.
     #[inline]
     pub fn slice_raw(&self, idx: usize, len: usize) -> &[T] {
+        if let Some(sh) = &self.inner.shadow {
+            if let Some((e, tag)) = sh.shared.cursor() {
+                if sh.span_read(e, tag, idx, len) < len {
+                    // Recover with a zeroed stand-in slice. Leaked — only
+                    // on the violation path, which the report flags.
+                    return Box::leak(vec![T::default(); len].into_boxed_slice());
+                }
+            }
+        }
         assert!(
             idx + len <= self.inner.len,
             "slice out of bounds on {:?}",
@@ -455,6 +527,25 @@ impl<T: Scalar> GlobalWriteView<T> {
     /// [`GroupCtx::store`](crate::kernel::GroupCtx::store).
     #[inline]
     pub fn set_raw(&self, idx: usize, v: T) {
+        if let Some(sh) = &self.inner.shadow {
+            match sh.shared.cursor() {
+                Some((e, tag)) => {
+                    if idx >= self.inner.len {
+                        // Record and recover by dropping the store.
+                        sh.on_oob(idx, true);
+                        return;
+                    }
+                    sh.on_write(e, tag, idx);
+                }
+                // Host-side store outside any dispatch (e.g. the CPU
+                // border stage): only feeds the stale-read detector.
+                None => {
+                    if idx < self.inner.len {
+                        sh.mark_init_range(idx, 1);
+                    }
+                }
+            }
+        }
         if self.validate {
             self.inner.store(idx, v);
             return;
@@ -475,6 +566,18 @@ impl<T: Scalar> GlobalWriteView<T> {
     /// read-modify-write stages).
     #[inline]
     pub fn get_raw(&self, idx: usize) -> T {
+        if let Some(sh) = &self.inner.shadow {
+            if let Some((e, tag)) = sh.shared.cursor() {
+                if idx >= self.inner.len {
+                    sh.on_oob(idx, false);
+                    return T::default();
+                }
+                // A read through a write view participates in the same
+                // conflict tracking: another item's write to this element
+                // is a read/write race.
+                sh.on_read(e, tag, idx);
+            }
+        }
         assert!(
             idx < self.inner.len,
             "load out of bounds on {:?}",
@@ -484,11 +587,54 @@ impl<T: Scalar> GlobalWriteView<T> {
         unsafe { *self.ptr.add(idx) }
     }
 
+    /// Shadow bookkeeping for a span store. Returns `Some(valid)` when the
+    /// sanitizer recorded an out-of-bounds overflow and the caller must
+    /// truncate the store to the in-bounds prefix.
+    #[inline]
+    fn shadow_span_write(&self, idx: usize, n: usize) -> Option<usize> {
+        if let Some(sh) = &self.inner.shadow {
+            match sh.shared.cursor() {
+                Some((e, tag)) => {
+                    let valid = sh.span_write(e, tag, idx, n);
+                    if valid < n {
+                        return Some(valid);
+                    }
+                }
+                None => {
+                    if idx + n <= self.inner.len {
+                        sh.mark_init_range(idx, n);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Recovery path for a sanitized out-of-bounds span store: writes only
+    /// the in-bounds prefix.
+    #[cold]
+    fn store_truncated(&self, idx: usize, src: &[T], valid: usize) {
+        for (k, v) in src[..valid].iter().enumerate() {
+            if self.validate {
+                self.inner.store(idx + k, *v);
+            } else {
+                // SAFETY: `idx + valid <= len` per the shadow bounds check.
+                unsafe {
+                    *self.ptr.add(idx + k) = *v;
+                }
+            }
+        }
+    }
+
     /// Raw, *unaccounted* write of four consecutive elements — one bounds
     /// check. Falls back to per-element stores when validation marks are
     /// kept, so write-race detection still sees every element.
     #[inline]
     pub fn set4_raw(&self, idx: usize, v: [T; 4]) {
+        if let Some(valid) = self.shadow_span_write(idx, 4) {
+            self.store_truncated(idx, &v, valid);
+            return;
+        }
         if self.validate {
             for (k, x) in v.into_iter().enumerate() {
                 self.inner.store(idx + k, x);
@@ -512,6 +658,10 @@ impl<T: Scalar> GlobalWriteView<T> {
     /// (so write-race marks stay element-accurate), memcpy otherwise.
     #[inline]
     pub fn set_span_raw(&self, idx: usize, src: &[T]) {
+        if let Some(valid) = self.shadow_span_write(idx, src.len()) {
+            self.store_truncated(idx, src, valid);
+            return;
+        }
         if self.validate {
             for (k, v) in src.iter().enumerate() {
                 self.inner.store(idx + k, *v);

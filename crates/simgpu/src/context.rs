@@ -1,9 +1,12 @@
 //! The context: device + host pairing, buffer factory, and buffer pool.
 
+use std::sync::Arc;
+
 use crate::buffer::{Buffer, Scalar};
 use crate::device::{CpuSpec, DeviceSpec};
 use crate::pool::{BufferPool, PoolStats};
 use crate::queue::CommandQueue;
+use crate::sanitize::{SanitizeConfig, SanitizeReport, SanitizeShared};
 
 /// An OpenCL-like context binding a simulated device to a modeled host CPU.
 ///
@@ -26,6 +29,9 @@ pub struct Context {
     pooling: bool,
     /// Host threads per kernel dispatch (0 = all available cores).
     dispatch_threads: usize,
+    /// Shared sanitizer state (shadow-access recorder); `None` when the
+    /// sanitizer is off. Clones share the same recorder.
+    sanitize: Option<Arc<SanitizeShared>>,
 }
 
 impl Context {
@@ -39,6 +45,7 @@ impl Context {
             pool: BufferPool::new(),
             pooling: true,
             dispatch_threads: 0,
+            sanitize: None,
         }
     }
 
@@ -48,6 +55,30 @@ impl Context {
         let mut ctx = Context::new(device);
         ctx.validate = true;
         ctx
+    }
+
+    /// Creates a context with the shadow-execution sanitizer enabled at its
+    /// default configuration. Equivalent to
+    /// `Context::new(device).with_sanitize(SanitizeConfig::default())`.
+    ///
+    /// Sanitized runs produce byte-identical pixels and identical simulated
+    /// seconds to unsanitized runs — the overhead is wall-clock only. Only
+    /// one kernel may be in flight at a time per sanitized context, so pin
+    /// frame-level parallelism to a single frame when sanitizing.
+    pub fn sanitized(device: DeviceSpec) -> Self {
+        Context::new(device).with_sanitize(SanitizeConfig::default())
+    }
+
+    /// Enables the shadow-execution sanitizer with an explicit
+    /// configuration. Buffers and queues created afterwards record every
+    /// accounted access into shadow state; retrieve findings with
+    /// [`Context::sanitize_report`].
+    pub fn with_sanitize(mut self, config: SanitizeConfig) -> Self {
+        self.sanitize = Some(Arc::new(SanitizeShared::new(
+            config,
+            self.device.wavefront as u64,
+        )));
+        self
     }
 
     /// Overrides the host CPU model.
@@ -92,6 +123,17 @@ impl Context {
         self.pooling
     }
 
+    /// Whether the shadow-execution sanitizer is enabled.
+    pub fn sanitizes(&self) -> bool {
+        self.sanitize.is_some()
+    }
+
+    /// Snapshot of the sanitizer's findings so far, or `None` when the
+    /// sanitizer is off.
+    pub fn sanitize_report(&self) -> Option<SanitizeReport> {
+        self.sanitize.as_ref().map(|s| s.report())
+    }
+
     /// The context's buffer pool (shared by clones).
     pub fn pool(&self) -> &BufferPool {
         &self.pool
@@ -110,11 +152,13 @@ impl Context {
     /// Allocates a zero-initialised device buffer of `len` elements,
     /// recycling pooled storage when available.
     pub fn buffer<T: Scalar>(&self, label: &str, len: usize) -> Buffer<T> {
-        if self.pooling {
-            Buffer::pooled(label, len, self.validate, &self.pool)
-        } else {
-            Buffer::new(label, len, self.validate)
-        }
+        Buffer::build_in(
+            label,
+            len,
+            self.validate,
+            self.sanitize.as_ref(),
+            self.pooling.then_some(&self.pool),
+        )
     }
 
     /// Allocates a device buffer initialised from a host slice *without*
@@ -128,7 +172,12 @@ impl Context {
 
     /// Creates a new in-order command queue.
     pub fn queue(&self) -> CommandQueue {
-        CommandQueue::new(self.device.clone(), self.cpu.clone(), self.dispatch_threads)
+        CommandQueue::new(
+            self.device.clone(),
+            self.cpu.clone(),
+            self.dispatch_threads,
+            self.sanitize.clone(),
+        )
     }
 }
 

@@ -66,6 +66,16 @@ pub enum Error {
     AlreadyMapped,
     /// Unmapping a buffer that is not mapped.
     NotMapped,
+    /// A kernel closure panicked during dispatch (for example on an
+    /// out-of-bounds access assertion). The dispatch is abandoned, no
+    /// command is recorded, and the panic message is preserved so callers
+    /// can surface it instead of aborting the process.
+    KernelPanic {
+        /// Kernel whose closure panicked.
+        kernel: String,
+        /// The panic payload, rendered as a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -96,6 +106,9 @@ impl fmt::Display for Error {
             ),
             Error::AlreadyMapped => write!(f, "buffer is already mapped"),
             Error::NotMapped => write!(f, "buffer is not mapped"),
+            Error::KernelPanic { kernel, message } => {
+                write!(f, "kernel `{kernel}` panicked during dispatch: {message}")
+            }
         }
     }
 }

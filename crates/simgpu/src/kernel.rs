@@ -17,6 +17,7 @@
 use crate::buffer::{GlobalView, GlobalWriteView, Scalar};
 use crate::cost::{CostCounters, OpCounts};
 use crate::error::{Error, Result};
+use crate::sanitize::GroupSan;
 
 /// Geometry and identity of one kernel dispatch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -117,10 +118,18 @@ pub struct GroupCtx {
     /// Work accounting for this group; merged after the dispatch.
     pub counters: CostCounters,
     local: Vec<f32>,
+    /// Sanitizer state for this group; `Some` only under a sanitized
+    /// context. Observation only — never touches `counters`.
+    san: Option<GroupSan>,
 }
 
 impl GroupCtx {
+    #[cfg(test)]
     pub(crate) fn new(desc: &KernelDesc, group_id: [usize; 2]) -> Self {
+        Self::new_with(desc, group_id, None)
+    }
+
+    pub(crate) fn new_with(desc: &KernelDesc, group_id: [usize; 2], san: Option<GroupSan>) -> Self {
         let mut counters = CostCounters::new();
         counters.groups = 1;
         counters.group_lanes = desc.group_lanes() as u64;
@@ -131,6 +140,39 @@ impl GroupCtx {
             num_groups: desc.num_groups(),
             counters,
             local: Vec::new(),
+            san,
+        }
+    }
+
+    // ---- sanitizer hooks -----------------------------------------------
+
+    /// Declares which work-item the following accesses belong to, for the
+    /// sanitizer's per-item attribution. Charges nothing and is a no-op on
+    /// unsanitized contexts, so calling it never changes simulated time.
+    ///
+    /// Kernels that process one element per item call it at the top of
+    /// their `items()` loop; span-form kernels that handle a whole row per
+    /// logical thread call it once per row (row-level attribution — races
+    /// *within* one row are not distinguished, which matches the
+    /// one-thread-per-row dispatch shape they model).
+    #[inline]
+    pub fn begin_item(&mut self, local: [usize; 2]) {
+        if let Some(s) = &mut self.san {
+            let lane = (local[1] * self.group_size[0] + local[0]) as u64;
+            s.begin_item(lane);
+        }
+    }
+
+    /// Declares that this kernel deliberately charges up to `ratio`× the
+    /// global read bytes it actually performs (e.g. vectorized stencil
+    /// kernels charging redundant window loads the paper's GPU would
+    /// issue). The sanitizer's drift audit then accepts
+    /// `observed <= charged <= observed * ratio` for reads; writes must
+    /// always match exactly. No-op (and free) on unsanitized contexts.
+    #[inline]
+    pub fn declare_read_overcharge(&mut self, ratio: f64) {
+        if let Some(s) = &self.san {
+            s.declare_read_overcharge(ratio);
         }
     }
 
@@ -207,12 +249,21 @@ impl GroupCtx {
         self.local.clear();
         self.local.resize(n, 0.0);
         self.counters.local_alloc_bytes = self.counters.local_alloc_bytes.max(4 * n as u64);
+        if let Some(s) = &mut self.san {
+            s.on_alloc_local(n);
+        }
     }
 
     /// Reads one element of local memory, charged to LDS traffic.
     #[inline]
     pub fn local_read(&mut self, idx: usize) -> f32 {
         self.counters.local_bytes += 4;
+        if let Some(s) = &mut self.san {
+            if !s.local_read(idx, self.local.len()) {
+                // Out of bounds: recorded; recover with zero.
+                return 0.0;
+            }
+        }
         self.local[idx]
     }
 
@@ -220,6 +271,12 @@ impl GroupCtx {
     #[inline]
     pub fn local_write(&mut self, idx: usize, v: f32) {
         self.counters.local_bytes += 4;
+        if let Some(s) = &mut self.san {
+            if !s.local_write(idx, self.local.len()) {
+                // Out of bounds: recorded; recover by dropping the store.
+                return;
+            }
+        }
         self.local[idx] = v;
     }
 
@@ -235,6 +292,9 @@ impl GroupCtx {
     #[inline]
     pub fn barrier(&mut self) {
         self.counters.barriers += 1;
+        if let Some(s) = &mut self.san {
+            s.on_barrier();
+        }
     }
 
     /// Records one divergent-branch event: the wavefront executes both

@@ -77,6 +77,7 @@ pub mod kernel;
 pub mod par;
 pub mod pool;
 pub mod queue;
+pub mod sanitize;
 pub mod timing;
 pub mod trace;
 
@@ -90,6 +91,7 @@ pub mod prelude {
     pub use crate::kernel::{items, round_up, GroupCtx, KernelDesc};
     pub use crate::pool::{BufferPool, PoolStats};
     pub use crate::queue::{CommandKind, CommandQueue, CommandRecord};
+    pub use crate::sanitize::{DriftClass, RaceKind, SanitizeConfig, SanitizeReport, Violation};
     pub use crate::timing::{
         bulk_transfer_time, cpu_stage_time, host_memcpy_time, kernel_time, map_transfer_time,
         rect_transfer_time, KernelTime,

@@ -207,6 +207,23 @@ mod tests {
     }
 
     #[test]
+    fn live_counter_tracks_overlapping_lifetimes() {
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        let a = ctx.buffer::<f32>("o", 8);
+        let b = ctx.buffer::<f32>("o", 8);
+        let c = ctx.buffer::<f32>("o", 16);
+        assert_eq!(ctx.pool_stats().live, 3);
+        drop(b);
+        assert_eq!(ctx.pool_stats().live, 2);
+        drop(a);
+        drop(c);
+        let s = ctx.pool_stats();
+        assert_eq!(s.live, 0);
+        assert_eq!(s.returns, 3);
+        assert_eq!(s.pooled, 3);
+    }
+
+    #[test]
     fn pool_is_shared_across_context_clones() {
         let ctx = Context::new(DeviceSpec::firepro_w8000());
         let ctx2 = ctx.clone();

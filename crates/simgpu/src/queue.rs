@@ -14,13 +14,15 @@
 //! the paper's Fig. 13 are produced by aggregating these records by name.
 
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::buffer::{Buffer, Scalar};
 use crate::cost::CostCounters;
 use crate::device::{CpuSpec, DeviceSpec};
 use crate::error::{Error, Result};
 use crate::kernel::{GroupCtx, KernelDesc};
+use crate::sanitize::{GroupSan, SanitizeShared};
 use crate::timing::{
     bulk_transfer_time, cpu_stage_time, kernel_time, map_transfer_time, rect_transfer_time,
     KernelTime,
@@ -99,10 +101,18 @@ pub struct CommandQueue {
     /// Reused scratch for composing `"prefix:label"` names without a fresh
     /// `String` per command.
     name_scratch: String,
+    /// Sanitizer handle inherited from the creating context; `Some` only
+    /// for sanitized contexts.
+    sanitize: Option<Arc<SanitizeShared>>,
 }
 
 impl CommandQueue {
-    pub(crate) fn new(device: DeviceSpec, cpu: CpuSpec, dispatch_threads: usize) -> Self {
+    pub(crate) fn new(
+        device: DeviceSpec,
+        cpu: CpuSpec,
+        dispatch_threads: usize,
+        sanitize: Option<Arc<SanitizeShared>>,
+    ) -> Self {
         CommandQueue {
             device,
             cpu,
@@ -112,6 +122,7 @@ impl CommandQueue {
             dispatch_threads,
             interner: HashSet::new(),
             name_scratch: String::new(),
+            sanitize,
         }
     }
 
@@ -196,21 +207,63 @@ impl CommandQueue {
         } else {
             self.dispatch_threads
         };
+        let san_epoch = self.sanitize.as_ref().map(|s| s.begin_dispatch(&desc.name));
+        // A panicking kernel closure (e.g. an out-of-bounds assertion on an
+        // unsanitized context) is caught and surfaced as a recoverable
+        // `Error::KernelPanic` instead of tearing the process down.
+        let panic_msg: Mutex<Option<String>> = Mutex::new(None);
+        let poisoned = AtomicBool::new(false);
         let counters = crate::par::map_reduce(
             total,
             threads,
             CostCounters::new,
             |gi| {
+                if poisoned.load(Ordering::Relaxed) {
+                    return CostCounters::new();
+                }
                 let gid = [gi % gx, gi / gx];
-                let mut ctx = GroupCtx::new(desc, gid);
-                f(&mut ctx);
-                ctx.counters
+                let san = match (&self.sanitize, san_epoch) {
+                    (Some(s), Some(e)) => {
+                        Some(GroupSan::new(Arc::clone(s), e, gi, desc.group_lanes()))
+                    }
+                    _ => None,
+                };
+                let mut ctx = GroupCtx::new_with(desc, gid, san);
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx))) {
+                    Ok(()) => ctx.counters,
+                    Err(payload) => {
+                        poisoned.store(true, Ordering::Relaxed);
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "kernel closure panicked".to_string());
+                        let mut g = panic_msg.lock().unwrap();
+                        if g.is_none() {
+                            *g = Some(msg);
+                        }
+                        CostCounters::new()
+                    }
+                }
             },
             |mut a, b| {
                 a.merge(&b);
                 a
             },
         );
+        let panicked = panic_msg.into_inner().unwrap();
+        if let Some(sh) = &self.sanitize {
+            if panicked.is_none() {
+                sh.audit(&desc.name, &counters);
+            }
+            sh.end_dispatch();
+        }
+        if let Some(message) = panicked {
+            return Err(Error::KernelPanic {
+                kernel: desc.name.clone(),
+                message,
+            });
+        }
         for out in outputs {
             if let Some(index) = out.race_index() {
                 return Err(Error::WriteRace {
@@ -399,6 +452,9 @@ impl CommandQueue {
         if !buf.inner.try_map() {
             return Err(Error::AlreadyMapped);
         }
+        // The guard hands the host the whole slab, so for the stale-read
+        // detector every element counts as initialised from here on.
+        buf.mark_all_init();
         let dur = map_transfer_time(&self.device.transfer, buf.byte_len());
         self.push_labeled("map-write:", buf.label(), CommandKind::Map, dur, None);
         Ok(MapWriteGuard { buf })

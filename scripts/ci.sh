@@ -1,13 +1,23 @@
 #!/usr/bin/env bash
 # Repo CI gate: formatting, lints, tier-1 tests, and bench compilation.
 #
-#   ./scripts/ci.sh
+#   ./scripts/ci.sh          # fast gate (includes the small sanitizer sweep)
+#   ./scripts/ci.sh --full   # also run the full sanitizer sweep (64 configs
+#                            # x four sizes; minutes, not seconds)
 #
 # Tier-1 (per ROADMAP.md) is `cargo build --release && cargo test -q` at the
 # workspace root. `cargo bench --no-run` keeps the wall-clock throughput
 # bench compiling even though CI boxes are too noisy to gate on its numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+full=0
+if [ "${1:-}" = "--full" ]; then
+    full=1
+fi
+
+echo "== lint_invariants"
+./scripts/lint_invariants.sh
 
 echo "== cargo fmt --check"
 cargo fmt --all --check
@@ -18,6 +28,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+if [ "$full" -eq 1 ]; then
+    echo "== full sanitizer sweep (all configs x all sizes)"
+    cargo test -q --release --test sanitize -- --ignored
+fi
 
 echo "== cargo bench --no-run"
 cargo bench --workspace --no-run

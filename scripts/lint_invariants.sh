@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Static invariant lint for hot-loop and accounting discipline.
+#
+#   ./scripts/lint_invariants.sh
+#
+# Two rules, both cheap greps, both load-bearing:
+#
+# 1. Kernel and CPU-stage hot loops must use the shared `math` helpers
+#    (`math::fmin` / `math::fmax` / `math::clampf`), never the std float
+#    methods. `f32::min`/`f32::max` branch on NaN semantics and the std
+#    forms have drifted CPU/GPU results here before; the shared helpers
+#    are the single source of truth both engines compare against.
+#
+# 2. Any kernel file that reads or writes device memory through the raw
+#    (uncharged) span accessors must also bulk-charge the traffic via
+#    `charge_global_n`, otherwise the timing model silently undercounts
+#    bytes. The sanitizer (`cargo test --test sanitize`) audits the
+#    amounts at runtime; this lint catches a file that forgot to charge
+#    at all before any test runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+hot_paths=(crates/core/src/gpu/kernels crates/core/src/cpu/stages.rs)
+banned='f32::min|f32::max|\.clamp\('
+if matches=$(grep -rnE "$banned" "${hot_paths[@]}"); then
+    echo "lint: std float min/max/clamp in hot-loop code (use math::fmin/fmax/clampf):"
+    echo "$matches"
+    fail=1
+fi
+
+raw_span='read_into|slice_raw|set_span_raw'
+for f in crates/core/src/gpu/kernels/*.rs; do
+    if grep -qE "$raw_span" "$f" && ! grep -q 'charge_global_n' "$f"; then
+        echo "lint: $f uses raw span accessors but never calls charge_global_n"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint_invariants: FAILED"
+    exit 1
+fi
+echo "lint_invariants: OK"

@@ -71,6 +71,9 @@ pub struct CliArgs {
     pub frames: usize,
     /// Worker threads for the throughput engine (0 = host parallelism).
     pub threads: usize,
+    /// Run every kernel under the shadow-execution sanitizer and fail on
+    /// any finding (GPU single-frame only).
+    pub sanitize: bool,
 }
 
 /// Usage text.
@@ -89,6 +92,11 @@ options:
   --frames <n>      replay the input as an n-frame stream through the
                     throughput engine and report frames/sec (GPU only)
   --threads <n>     worker threads for --frames (default 0 = all cores)
+  --sanitize        run every kernel under the shadow-execution sanitizer
+                    (data races, out-of-bounds, barrier divergence, cost
+                    accounting drift); exits non-zero on any finding.
+                    GPU single-frame only; results and simulated time are
+                    unchanged — the overhead is wall-clock only
 ";
 
 fn parse_value<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
@@ -113,6 +121,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         gantt: false,
         frames: 1,
         threads: 0,
+        sanitize: false,
     };
     let mut device = DevicePreset::W8000;
     let mut use_cpu = false;
@@ -150,6 +159,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--gantt" => cli.gantt = true,
             "--frames" => cli.frames = parse_value(&arg, it.next())?,
             "--threads" => cli.threads = parse_value(&arg, it.next())?,
+            "--sanitize" => cli.sanitize = true,
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -163,6 +173,16 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     }
     if cli.frames > 1 && use_cpu {
         return Err("--frames requires the GPU engine (drop --cpu)".to_string());
+    }
+    if cli.sanitize && use_cpu {
+        return Err("--sanitize requires the GPU engine (drop --cpu)".to_string());
+    }
+    if cli.sanitize && cli.frames > 1 {
+        return Err(
+            "--sanitize cannot be combined with --frames: the sanitizer analyses one \
+             kernel dispatch at a time, so the throughput engine runs unsanitized"
+                .to_string(),
+        );
     }
     cli.params.validate()?;
     Ok(cli)
@@ -208,7 +228,18 @@ fn sharpen_plane(cli: &CliArgs, plane: &ImageF32) -> Result<RunReport, String> {
     match cli.engine {
         Engine::Cpu => CpuPipeline::new(cli.params).run(plane),
         Engine::Gpu(preset) => {
-            GpuPipeline::new(Context::new(preset.spec()), cli.params, cli.opts).run(plane)
+            let ctx = if cli.sanitize {
+                Context::sanitized(preset.spec())
+            } else {
+                Context::new(preset.spec())
+            };
+            let report = GpuPipeline::new(ctx.clone(), cli.params, cli.opts).run(plane)?;
+            if let Some(san) = ctx.sanitize_report() {
+                if !san.is_clean() {
+                    return Err(format!("{san}"));
+                }
+            }
+            Ok(report)
         }
     }
 }
@@ -296,6 +327,13 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
         }
     }
 
+    if cli.sanitize {
+        // Any violation aborts the run with the sanitizer's report, so
+        // reaching this point means every dispatch came back clean.
+        summary.push_str(
+            "sanitizer: clean (no races, out-of-bounds, barrier divergence, or accounting drift)\n",
+        );
+    }
     if let Some(path) = &cli.trace_json {
         let json = trace::to_chrome_json(&report_to_records(&report));
         std::fs::write(path, json).map_err(|e| e.to_string())?;
@@ -402,6 +440,41 @@ mod tests {
             "{summary}"
         );
         assert!(summary.contains("simulated steady-state"), "{summary}");
+        for p in [input, output] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn parses_sanitize_flag_and_rejects_bad_combinations() {
+        let cli = parse_args(&strs(&["a.pgm", "b.pgm", "--sanitize"])).unwrap();
+        assert!(cli.sanitize);
+        assert!(!parse_args(&strs(&["a.pgm", "b.pgm"])).unwrap().sanitize);
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--sanitize", "--cpu"])).is_err());
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--sanitize", "--frames", "4"])).is_err());
+    }
+
+    #[test]
+    fn sanitize_flag_runs_clean_end_to_end() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("cli-san-in-{}.pgm", std::process::id()));
+        let output = dir.join(format!("cli-san-out-{}.pgm", std::process::id()));
+        let img = imagekit::generate::natural(64, 64, 4).to_u8();
+        io::write_pgm(&input, &img).unwrap();
+        let cli = parse_args(&strs(&[
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--sanitize",
+        ]))
+        .unwrap();
+        let summary = run(&cli).unwrap();
+        assert!(summary.contains("sanitizer: clean"), "{summary}");
+        // The sanitized output is the same image the plain run produces.
+        let plain =
+            parse_args(&strs(&[input.to_str().unwrap(), output.to_str().unwrap()])).unwrap();
+        let plain_summary = run(&plain).unwrap();
+        let line = |s: &str| s.lines().next().unwrap_or("").to_string();
+        assert_eq!(line(&summary), line(&plain_summary));
         for p in [input, output] {
             std::fs::remove_file(p).ok();
         }
