@@ -14,6 +14,11 @@
 //! shadow-execution sanitizer (races, out-of-bounds, barrier divergence,
 //! accounting drift) and exits non-zero on any finding; alone, it runs
 //! only that verification sweep.
+//!
+//! `--metrics-dir <dir>` writes the per-config efficiency metrics (the
+//! same JSONL files `metrics_baseline` maintains under
+//! `baselines/metrics/`) into `<dir>`, one file per cumulative
+//! optimization step; alone, it writes only the metrics.
 
 use sharpness_bench::*;
 use sharpness_core::gpu::{GpuPipeline, OptConfig};
@@ -63,14 +68,41 @@ fn sanitize_sweep() -> bool {
     clean
 }
 
+/// Writes the per-config efficiency metrics JSONL files into `dir`.
+fn write_metrics(dir: &str) {
+    use sharpness_core::telemetry::{baseline_configs, baseline_registry};
+    std::fs::create_dir_all(dir).expect("create metrics dir");
+    for (slug, cfg) in baseline_configs() {
+        let reg = baseline_registry(&cfg).expect("baseline config runs");
+        let path = std::path::Path::new(dir).join(format!("{slug}.jsonl"));
+        std::fs::write(&path, reg.to_jsonl()).expect("write metrics");
+        println!("wrote {}", path.display());
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let sanitize = args.iter().any(|a| a == "--sanitize");
     args.retain(|a| a != "--sanitize");
+    let metrics_dir = args.iter().position(|a| a == "--metrics-dir").map(|i| {
+        if i + 1 >= args.len() {
+            eprintln!("--metrics-dir needs a directory");
+            std::process::exit(2);
+        }
+        let dir = args[i + 1].clone();
+        args.drain(i..=i + 1);
+        dir
+    });
     if sanitize {
         if !sanitize_sweep() {
             std::process::exit(1);
         }
+        if args.is_empty() && metrics_dir.is_none() {
+            return;
+        }
+    }
+    if let Some(dir) = &metrics_dir {
+        write_metrics(dir);
         if args.is_empty() {
             return;
         }
@@ -136,7 +168,7 @@ fn main() {
     {
         eprintln!("unknown experiment `{what}`");
         eprintln!(
-            "usage: repro [table1|fig12|fig13a|fig13b|fig13c|fig14|fig15|fig16|fig17|ablations|all|csv <dir>] [--sanitize]"
+            "usage: repro [table1|fig12|fig13a|fig13b|fig13c|fig14|fig15|fig16|fig17|ablations|all|csv <dir>] [--sanitize] [--metrics-dir <dir>]"
         );
         std::process::exit(2);
     }

@@ -21,6 +21,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use imagekit::ImageF32;
+use simgpu::metrics::Histogram;
+use simgpu::trace::WorkerSpan;
 
 use crate::gpu::batch::{pipelined_time, FrameComponents};
 use crate::gpu::pipeline::GpuPipeline;
@@ -32,6 +34,10 @@ pub struct ThroughputReport {
     pub outputs: Vec<ImageF32>,
     /// Per-frame simulated lane components, in input order.
     pub frames: Vec<FrameComponents>,
+    /// Per-frame wall-clock spans (which worker ran each frame, when), in
+    /// input order. Feeds the per-worker trace/Gantt exports and the
+    /// wall-latency histogram.
+    pub traces: Vec<WorkerSpan>,
     /// Total simulated time without overlap (sum of frame totals).
     pub serial_s: f64,
     /// Total simulated time with double-buffered overlap.
@@ -59,6 +65,37 @@ impl ThroughputReport {
         } else {
             self.frames.len() as f64 / self.pipelined_s
         }
+    }
+
+    /// Histogram of per-frame **wall-clock** latency (seconds a frame
+    /// spent on its worker, host measurement — varies run to run).
+    pub fn wall_latency_histogram(&self) -> Histogram {
+        let mut h = Histogram::latency_seconds();
+        for t in &self.traces {
+            h.observe((t.end_s - t.start_s).max(0.0));
+        }
+        h
+    }
+
+    /// Histogram of per-frame **simulated** latency (the cost model's
+    /// upload+compute+download seconds — deterministic for a given config
+    /// and workload).
+    pub fn sim_latency_histogram(&self) -> Histogram {
+        let mut h = Histogram::latency_seconds();
+        for f in &self.frames {
+            h.observe(f.total());
+        }
+        h
+    }
+
+    /// Two-line p50/p95/p99 latency summary (wall + simulated), the text
+    /// the CLI prints to stderr after a multi-frame run.
+    pub fn latency_summary(&self) -> String {
+        format!(
+            "frame latency (wall): {}\nframe latency (simulated): {}\n",
+            self.wall_latency_histogram().summary(1e3, "ms"),
+            self.sim_latency_histogram().summary(1e3, "ms"),
+        )
     }
 }
 
@@ -108,17 +145,20 @@ impl ThroughputEngine {
             self.pipe.clone()
         };
 
+        // Finished frame: output pixels, simulated components, worker span.
+        type FrameSlot = Option<(ImageF32, FrameComponents, WorkerSpan)>;
         let started = Instant::now();
         let cursor = AtomicUsize::new(0);
         let failure: Mutex<Option<String>> = Mutex::new(None);
-        let mut results: Vec<Option<(ImageF32, FrameComponents)>> = Vec::new();
+        let mut results: Vec<FrameSlot> = Vec::new();
         results.resize_with(frames.len(), || None);
-        let slots: Vec<Mutex<&mut Option<(ImageF32, FrameComponents)>>> =
-            results.iter_mut().map(Mutex::new).collect();
+        let slots: Vec<Mutex<&mut FrameSlot>> = results.iter_mut().map(Mutex::new).collect();
 
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
+            for worker in 0..threads {
+                let (cursor, failure, slots, worker_pipe) =
+                    (&cursor, &failure, &slots, &worker_pipe);
+                scope.spawn(move || {
                     let mut plan = None;
                     let mut out = Vec::new();
                     loop {
@@ -140,11 +180,18 @@ impl ThroughputEngine {
                         }
                         let plan = plan.as_mut().expect("plan prepared above");
                         out.resize(frame.len(), 0.0);
+                        let frame_start = started.elapsed().as_secs_f64();
                         match plan.run_into(frame, &mut out) {
                             Ok(comps) => {
+                                let span = WorkerSpan {
+                                    frame: i,
+                                    worker,
+                                    start_s: frame_start,
+                                    end_s: started.elapsed().as_secs_f64(),
+                                };
                                 let img =
                                     ImageF32::from_vec(shape.0, shape.1, out.clone());
-                                **slots[i].lock().expect("slot lock") = Some((img, comps));
+                                **slots[i].lock().expect("slot lock") = Some((img, comps, span));
                             }
                             Err(e) => {
                                 failure.lock().expect("failure lock").get_or_insert(e);
@@ -163,16 +210,19 @@ impl ThroughputEngine {
         drop(slots);
         let mut outputs = Vec::with_capacity(frames.len());
         let mut comps = Vec::with_capacity(frames.len());
+        let mut traces = Vec::with_capacity(frames.len());
         for r in results {
-            let (img, c) = r.expect("no failure recorded, so every frame completed");
+            let (img, c, span) = r.expect("no failure recorded, so every frame completed");
             outputs.push(img);
             comps.push(c);
+            traces.push(span);
         }
         let serial_s = comps.iter().map(FrameComponents::total).sum();
         let pipelined_s = pipelined_time(&comps);
         Ok(ThroughputReport {
             outputs,
             frames: comps,
+            traces,
             serial_s,
             pipelined_s,
             wall_s,
@@ -249,5 +299,119 @@ mod tests {
         let rep = engine(2).process(&[]).unwrap();
         assert!(rep.outputs.is_empty());
         assert_eq!(rep.simulated_fps(), 0.0);
+        assert!(rep.traces.is_empty());
+        assert_eq!(rep.wall_latency_histogram().count(), 0);
+    }
+
+    fn zero_report(n: usize) -> ThroughputReport {
+        ThroughputReport {
+            outputs: vec![ImageF32::zeros(4, 4); n],
+            frames: vec![
+                FrameComponents {
+                    upload_s: 0.0,
+                    compute_s: 0.0,
+                    download_s: 0.0,
+                };
+                n
+            ],
+            traces: Vec::new(),
+            serial_s: 0.0,
+            pipelined_s: 0.0,
+            wall_s: 0.0,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn fps_zero_duration_edges_do_not_divide_by_zero() {
+        // A run too fast for the clock (or empty) must report 0, not
+        // inf/NaN, on both the wall and simulated sides.
+        let rep = zero_report(3);
+        assert_eq!(rep.wall_fps(), 0.0);
+        assert_eq!(rep.simulated_fps(), 0.0);
+        let rep = zero_report(0);
+        assert_eq!(rep.wall_fps(), 0.0);
+        assert_eq!(rep.simulated_fps(), 0.0);
+        // Negative wall time (clock skew) is treated as zero duration.
+        let mut rep = zero_report(2);
+        rep.wall_s = -1.0;
+        assert_eq!(rep.wall_fps(), 0.0);
+    }
+
+    #[test]
+    fn pipelined_never_exceeds_serial() {
+        use crate::gpu::opts::OptConfig;
+        for cfg in [OptConfig::none(), OptConfig::all()] {
+            let ctx = Context::new(DeviceSpec::firepro_w8000());
+            let eng =
+                ThroughputEngine::new(GpuPipeline::new(ctx, SharpnessParams::default(), cfg), 2);
+            let rep = eng.process(&frames(5, 64)).unwrap();
+            assert!(
+                rep.pipelined_s <= rep.serial_s + 1e-15,
+                "pipelined {} > serial {}",
+                rep.pipelined_s,
+                rep.serial_s
+            );
+            assert!(rep.pipelined_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn outputs_stay_in_input_order_with_more_threads_than_frames() {
+        let fs = frames(3, 64);
+        let rep = engine(8).process(&fs).unwrap();
+        // Worker count is clamped to the frame count…
+        assert_eq!(rep.threads, 3);
+        assert_eq!(rep.outputs.len(), 3);
+        // …and outputs land at their input index regardless of which
+        // worker got there first.
+        for (f, out) in fs.iter().zip(&rep.outputs) {
+            let single = engine(1).pipeline().run(f).unwrap();
+            assert_eq!(&single.output, out);
+        }
+    }
+
+    #[test]
+    fn traces_cover_every_frame_with_valid_workers() {
+        let fs = frames(6, 64);
+        let rep = engine(3).process(&fs).unwrap();
+        assert_eq!(rep.traces.len(), 6);
+        for (i, t) in rep.traces.iter().enumerate() {
+            assert_eq!(t.frame, i);
+            assert!(
+                t.worker < rep.threads,
+                "worker {} of {}",
+                t.worker,
+                rep.threads
+            );
+            assert!(t.end_s >= t.start_s);
+            assert!(t.end_s <= rep.wall_s + 1e-3);
+        }
+        // Per-worker spans never overlap: each worker runs one frame at a
+        // time.
+        for w in 0..rep.threads {
+            let mut spans: Vec<_> = rep.traces.iter().filter(|t| t.worker == w).collect();
+            spans.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+            for pair in spans.windows(2) {
+                assert!(pair[1].start_s >= pair[0].end_s - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_histograms_and_summary() {
+        let fs = frames(4, 64);
+        let rep = engine(2).process(&fs).unwrap();
+        let wall = rep.wall_latency_histogram();
+        let sim = rep.sim_latency_histogram();
+        assert_eq!(wall.count(), 4);
+        assert_eq!(sim.count(), 4);
+        assert!(wall.quantile(0.99) >= wall.quantile(0.50));
+        // Simulated latencies are the frame component totals.
+        let expect: f64 = rep.frames.iter().map(FrameComponents::total).sum();
+        assert!((sim.sum() - expect).abs() < 1e-12);
+        let s = rep.latency_summary();
+        assert!(s.contains("frame latency (wall)"));
+        assert!(s.contains("p99"));
     }
 }

@@ -142,6 +142,33 @@ impl GpuPipeline {
         Ok(report_from_queue(&q, orig.width(), orig.height(), out))
     }
 
+    /// Like [`GpuPipeline::run`], additionally deriving per-kernel
+    /// efficiency telemetry from the frame's command records.
+    ///
+    /// The execution path is *identical* to [`GpuPipeline::run`] — the
+    /// telemetry is read off the finished queue afterwards, so pixels and
+    /// simulated seconds are bit-identical with telemetry on or off (the
+    /// observation-only invariant, test-enforced across all 64 configs).
+    ///
+    /// # Errors
+    /// As for [`GpuPipeline::run`].
+    pub fn run_with_telemetry(
+        &self,
+        orig: &ImageF32,
+    ) -> Result<(RunReport, crate::telemetry::FrameTelemetry), String> {
+        let mut res = FrameResources::new(self, orig.width(), orig.height())?;
+        let mut q = self.ctx.queue();
+        let mut out = vec![0.0f32; res.n];
+        self.run_frame(&mut q, &mut res, orig, None, &mut out)?;
+        let tel = crate::telemetry::FrameTelemetry::collect(
+            q.records(),
+            q.device(),
+            orig.width(),
+            orig.height(),
+        );
+        Ok((report_from_queue(&q, orig.width(), orig.height(), out), tel))
+    }
+
     /// Prepares a reusable execution plan for `width`×`height` frames: all
     /// device buffers are allocated once and reused across
     /// [`PipelinePlan::run`] calls.
@@ -599,6 +626,24 @@ impl PipelinePlan {
             }
         }
         Ok(c)
+    }
+
+    /// The command records of the most recently executed frame (empty
+    /// before the first run). Unlike [`RunReport::stages`], these keep
+    /// their [`CostCounters`], so efficiency telemetry can be derived.
+    pub fn records(&self) -> &[simgpu::queue::CommandRecord] {
+        self.q.records()
+    }
+
+    /// Derives per-kernel efficiency telemetry from the most recently
+    /// executed frame (observation-only: reads the retained records).
+    pub fn telemetry(&self) -> crate::telemetry::FrameTelemetry {
+        crate::telemetry::FrameTelemetry::collect(
+            self.q.records(),
+            self.q.device(),
+            self.res.w,
+            self.res.h,
+        )
     }
 }
 

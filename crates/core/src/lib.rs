@@ -49,6 +49,7 @@ pub mod math;
 pub mod memory;
 pub mod params;
 pub mod report;
+pub mod telemetry;
 
 pub use cpu::CpuPipeline;
 pub use gpu::{GpuPipeline, OptConfig, Tuning};

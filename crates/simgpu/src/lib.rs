@@ -74,6 +74,7 @@ pub mod cost;
 pub mod device;
 pub mod error;
 pub mod kernel;
+pub mod metrics;
 pub mod par;
 pub mod pool;
 pub mod queue;
@@ -89,6 +90,7 @@ pub mod prelude {
     pub use crate::device::{CpuSpec, DeviceSpec, TransferModel};
     pub use crate::error::{Error, Result};
     pub use crate::kernel::{items, round_up, GroupCtx, KernelDesc};
+    pub use crate::metrics::{Counter, Gauge, Histogram, Metric, MetricsRegistry};
     pub use crate::pool::{BufferPool, PoolStats};
     pub use crate::queue::{CommandKind, CommandQueue, CommandRecord};
     pub use crate::sanitize::{DriftClass, RaceKind, SanitizeConfig, SanitizeReport, Violation};

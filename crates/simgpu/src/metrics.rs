@@ -1,0 +1,661 @@
+//! A dependency-free metrics registry: counters, gauges, and fixed-bucket
+//! histograms, with JSONL and terminal-table export.
+//!
+//! This is the observability substrate the telemetry layer builds on. It is
+//! deliberately *passive*: nothing in this module touches queues, buffers or
+//! cost counters — callers observe finished [`crate::queue::CommandRecord`]s
+//! (or wall-clock samples) and write the derived numbers here. Recording
+//! metrics therefore cannot perturb simulated time or pixels; the
+//! observation-only invariant is enforced by the telemetry test suite.
+//!
+//! Histograms use fixed bucket bounds chosen at creation (no dynamic
+//! resizing), so merging registries from parallel workers is exact:
+//! bucket-wise addition.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A monotonically increasing integer metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    /// Current value.
+    pub value: u64,
+}
+
+/// A last-writer-wins floating-point metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge {
+    /// Current value.
+    pub value: f64,
+}
+
+/// A fixed-bucket histogram of non-negative samples.
+///
+/// Buckets are defined by their ascending upper bounds; a final implicit
+/// overflow bucket catches samples above the last bound. Quantiles are
+/// estimated by linear interpolation inside the containing bucket and
+/// clamped to the observed min/max, so exact-for-small-counts behaviour is
+/// reasonable without storing raw samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Ascending upper bucket bounds.
+    bounds: Vec<f64>,
+    /// Per-bucket sample counts; `counts.len() == bounds.len() + 1`, the
+    /// last entry being the overflow bucket.
+    counts: Vec<u64>,
+    /// Total samples observed.
+    count: u64,
+    /// Sum of all samples.
+    sum: f64,
+    /// Smallest sample observed (`INFINITY` when empty).
+    min: f64,
+    /// Largest sample observed (`NEG_INFINITY` when empty).
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper bucket bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; n],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Exponential bucket layout: `n` bounds starting at `start`, each
+    /// `factor` times the previous. The default layout for latency metrics
+    /// (`exponential(1e-6, 2.0, 40)` spans 1 µs to ~550 s).
+    pub fn exponential(start: f64, factor: f64, n: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && n > 0);
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = start;
+        for _ in 0..n {
+            bounds.push(b);
+            b *= factor;
+        }
+        Histogram::new(bounds)
+    }
+
+    /// The default latency layout: exponential 1 µs … ~550 s.
+    pub fn latency_seconds() -> Self {
+        Histogram::exponential(1e-6, 2.0, 40)
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: f64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Total samples observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear interpolation
+    /// within the containing bucket, clamped to the observed min/max.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= target {
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                let est = lo + (hi - lo) * frac;
+                return est.clamp(self.min, self.max);
+            }
+            cum = next;
+        }
+        self.max
+    }
+
+    /// Bucket-wise merge of another histogram with identical bounds.
+    ///
+    /// # Panics
+    /// If the bucket layouts differ.
+    pub fn merge(&mut self, o: &Histogram) {
+        assert_eq!(self.bounds, o.bounds, "histogram layouts must match");
+        for (a, b) in self.counts.iter_mut().zip(&o.counts) {
+            *a += b;
+        }
+        self.count += o.count;
+        self.sum += o.sum;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+
+    /// One-line `count/mean/p50/p95/p99/max` rendering with a unit scale
+    /// (e.g. `1e3` and `"ms"` to print seconds as milliseconds).
+    pub fn summary(&self, scale: f64, unit: &str) -> String {
+        format!(
+            "n={} mean={:.3}{u} p50={:.3}{u} p95={:.3}{u} p99={:.3}{u} max={:.3}{u}",
+            self.count,
+            self.mean() * scale,
+            self.quantile(0.50) * scale,
+            self.quantile(0.95) * scale,
+            self.quantile(0.99) * scale,
+            self.max() * scale,
+            u = unit,
+        )
+    }
+}
+
+/// One named metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic integer.
+    Counter(Counter),
+    /// Last-writer-wins float.
+    Gauge(Gauge),
+    /// Fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+/// A name-keyed collection of metrics preserving first-registration order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    /// Metrics in registration order.
+    metrics: Vec<(String, Metric)>,
+    /// Name → index into `metrics`.
+    index: HashMap<String, usize>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&mut self, name: &str, default: Metric) -> &mut Metric {
+        let i = match self.index.get(name) {
+            Some(&i) => i,
+            None => {
+                let i = self.metrics.len();
+                self.metrics.push((name.to_string(), default));
+                self.index.insert(name.to_string(), i);
+                i
+            }
+        };
+        &mut self.metrics[i].1
+    }
+
+    /// Adds `v` to the counter `name`, creating it at zero first.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn inc(&mut self, name: &str, v: u64) {
+        match self.slot(name, Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c.value += v,
+            other => panic!("metric {name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the gauge `name` to `v`, creating it if needed.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        match self.slot(name, Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g.value = v,
+            other => panic!("metric {name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records `v` into the histogram `name`, creating it with `layout`'s
+    /// bucket bounds on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn observe(&mut self, name: &str, v: f64, layout: impl FnOnce() -> Histogram) {
+        match self.slot(name, Metric::Histogram(layout())) {
+            Metric::Histogram(h) => h.observe(v),
+            other => panic!("metric {name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Registers the histogram `name` with `h`'s contents, merging
+    /// bucket-wise if it already exists.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type, or with
+    /// a different bucket layout.
+    pub fn record_histogram(&mut self, name: &str, h: &Histogram) {
+        let existed = self.index.contains_key(name);
+        match self.slot(name, Metric::Histogram(h.clone())) {
+            Metric::Histogram(mine) => {
+                if existed {
+                    mine.merge(h);
+                }
+            }
+            other => panic!("metric {name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.index.get(name).map(|&i| &self.metrics[i].1)
+    }
+
+    /// The value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(Metric::Counter(c)) => c.value,
+            _ => 0,
+        }
+    }
+
+    /// The value of gauge `name` (0 if absent).
+    pub fn gauge(&self, name: &str) -> f64 {
+        match self.get(name) {
+            Some(Metric::Gauge(g)) => g.value,
+            _ => 0.0,
+        }
+    }
+
+    /// The histogram `name`, if registered as one.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// All metrics in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(n, m)| (n.as_str(), m))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Merges another registry: counters add, gauges take the other's
+    /// value, histograms merge bucket-wise. Metrics absent here are
+    /// registered in the other's order.
+    ///
+    /// # Panics
+    /// If a shared name has mismatched metric types or histogram layouts.
+    pub fn merge(&mut self, o: &MetricsRegistry) {
+        for (name, m) in o.iter() {
+            match m {
+                Metric::Counter(c) => self.inc(name, c.value),
+                Metric::Gauge(g) => self.set_gauge(name, g.value),
+                Metric::Histogram(h) => self.record_histogram(name, h),
+            }
+        }
+    }
+
+    /// Serialises every metric as one JSON object per line.
+    ///
+    /// Counters: `{"name":N,"type":"counter","value":V}`; gauges likewise
+    /// with a float value; histograms carry `count`, `sum`, `min`, `max`
+    /// and the `p50`/`p95`/`p99` estimates. The schema is stable — the
+    /// metric-baseline gate parses it back.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, m) in self.iter() {
+            match m {
+                Metric::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"{}\",\"type\":\"counter\",\"value\":{}}}",
+                        json_escape(name),
+                        c.value
+                    );
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"{}\",\"type\":\"gauge\",\"value\":{}}}",
+                        json_escape(name),
+                        fmt_f64(g.value)
+                    );
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"{}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\
+                         \"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                        json_escape(name),
+                        h.count(),
+                        fmt_f64(h.sum()),
+                        fmt_f64(h.min()),
+                        fmt_f64(h.max()),
+                        fmt_f64(h.quantile(0.50)),
+                        fmt_f64(h.quantile(0.95)),
+                        fmt_f64(h.quantile(0.99)),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a two-column terminal table of every metric.
+    pub fn summary_table(&self) -> String {
+        let name_w = self.iter().map(|(n, _)| n.len()).max().unwrap_or(6).max(6);
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<name_w$}  value", "metric");
+        for (name, m) in self.iter() {
+            match m {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name:<name_w$}  {}", c.value);
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name:<name_w$}  {:.6}", g.value);
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "{name:<name_w$}  {}", h.summary(1.0, ""));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Formats an f64 as a JSON number (finite values only; non-finite values
+/// become 0, which cannot occur for the metrics exported here).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Shortest roundtrip formatting keeps the files diff-friendly.
+        format!("{v}")
+    } else {
+        String::from("0")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses one line of [`MetricsRegistry::to_jsonl`] output back into its
+/// numeric fields (`(metric_name, [(field, value), ...])`). Only the flat
+/// schema emitted by this module is supported — this is the reader half of
+/// the metric-baseline gate, not a general JSON parser.
+pub fn parse_jsonl_line(line: &str) -> Option<(String, Vec<(String, f64)>)> {
+    let line = line.trim();
+    let body = line.strip_prefix('{')?.strip_suffix('}')?;
+    let mut name = None;
+    let mut fields = Vec::new();
+    for part in split_top_level(body) {
+        let (k, v) = part.split_once(':')?;
+        let k = k.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let v = v.trim();
+        if k == "name" {
+            name = Some(v.strip_prefix('"')?.strip_suffix('"')?.to_string());
+        } else if k == "type" {
+            continue;
+        } else {
+            fields.push((k.to_string(), v.parse().ok()?));
+        }
+    }
+    Some((name?, fields))
+}
+
+/// Splits a JSON object body at top-level commas (no nested objects appear
+/// in the flat schema, but quoted strings may contain commas).
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => escaped = false,
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let mut r = MetricsRegistry::new();
+        r.inc("frames", 3);
+        r.inc("frames", 2);
+        r.set_gauge("fps", 12.5);
+        r.set_gauge("fps", 14.0);
+        assert_eq!(r.counter("frames"), 5);
+        assert!((r.gauge("fps") - 14.0).abs() < 1e-12);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = Histogram::latency_seconds();
+        for i in 1..=100 {
+            h.observe(i as f64 * 1e-3); // 1..100 ms
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!(p50 >= h.min() && p50 <= h.max());
+        assert!(p99 >= p50, "p99 {p99} < p50 {p50}");
+        assert!((h.max() - 0.1).abs() < 1e-12);
+        assert!((h.mean() - 0.0505).abs() < 1e-6);
+        // Worst-case quantile error is one bucket width: p50 of 1..100 ms
+        // must land in the right power-of-two bucket (32..64 ms contains
+        // the true median 50 ms).
+        assert!(p50 > 0.032 && p50 < 0.064, "p50 {p50}");
+    }
+
+    #[test]
+    fn histogram_empty_and_single() {
+        let h = Histogram::latency_seconds();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        let mut h = Histogram::latency_seconds();
+        h.observe(5e-3);
+        // Any quantile of a single sample is that sample (clamped).
+        assert!((h.quantile(0.0) - 5e-3).abs() < 1e-12);
+        assert!((h.quantile(1.0) - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = Histogram::new(vec![1.0, 2.0]);
+        h.observe(100.0);
+        h.observe(0.5);
+        assert_eq!(h.count(), 2);
+        assert!((h.quantile(1.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let mut a = Histogram::latency_seconds();
+        let mut b = Histogram::latency_seconds();
+        let mut whole = Histogram::latency_seconds();
+        for i in 0..50 {
+            let v = (i + 1) as f64 * 1e-4;
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+            whole.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn registry_merge_semantics() {
+        let mut a = MetricsRegistry::new();
+        a.inc("n", 1);
+        a.observe("lat", 1e-3, Histogram::latency_seconds);
+        let mut b = MetricsRegistry::new();
+        b.inc("n", 2);
+        b.set_gauge("fps", 9.0);
+        b.observe("lat", 2e-3, Histogram::latency_seconds);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 3);
+        assert!((a.gauge("fps") - 9.0).abs() < 1e-12);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        // Merging into an empty registry copies histograms verbatim.
+        let mut c = MetricsRegistry::new();
+        c.merge(&a);
+        assert_eq!(c.histogram("lat").unwrap().count(), 2);
+        // Recording identical histogram contents twice still accumulates.
+        let mut d = MetricsRegistry::new();
+        d.record_histogram("lat", a.histogram("lat").unwrap());
+        d.record_histogram("lat", a.histogram("lat").unwrap());
+        assert_eq!(d.histogram("lat").unwrap().count(), 4);
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_parser() {
+        let mut r = MetricsRegistry::new();
+        r.inc("kernel.sobel.dispatches", 2);
+        r.set_gauge("kernel.sobel.loads_per_source_pixel", 4.5);
+        r.observe("latency_s", 3e-3, Histogram::latency_seconds);
+        let jsonl = r.to_jsonl();
+        let lines: Vec<_> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let (name, fields) = parse_jsonl_line(lines[0]).unwrap();
+        assert_eq!(name, "kernel.sobel.dispatches");
+        assert_eq!(fields, vec![("value".to_string(), 2.0)]);
+        let (name, fields) = parse_jsonl_line(lines[1]).unwrap();
+        assert_eq!(name, "kernel.sobel.loads_per_source_pixel");
+        assert!((fields[0].1 - 4.5).abs() < 1e-12);
+        let (name, fields) = parse_jsonl_line(lines[2]).unwrap();
+        assert_eq!(name, "latency_s");
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(f, _)| f == k)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("count"), 1.0);
+        assert!((get("p50") - 3e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_jsonl_line("").is_none());
+        assert!(parse_jsonl_line("not json").is_none());
+        assert!(parse_jsonl_line("{\"type\":\"gauge\",\"value\":1}").is_none());
+        assert!(parse_jsonl_line("{\"name\":\"x\",\"value\":abc}").is_none());
+    }
+
+    #[test]
+    fn summary_table_lists_everything() {
+        let mut r = MetricsRegistry::new();
+        r.inc("a.counter", 7);
+        r.set_gauge("b.gauge", 1.25);
+        r.observe("c.hist", 2.0, || Histogram::new(vec![1.0, 4.0]));
+        let t = r.summary_table();
+        assert!(t.contains("a.counter"));
+        assert!(t.contains('7'));
+        assert!(t.contains("b.gauge"));
+        assert!(t.contains("c.hist"));
+        assert!(t.contains("p95"));
+    }
+
+    #[test]
+    fn type_mismatch_panics() {
+        let mut r = MetricsRegistry::new();
+        r.inc("x", 1);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.set_gauge("x", 1.0)
+        }))
+        .is_err());
+    }
+}

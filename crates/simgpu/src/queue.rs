@@ -528,22 +528,23 @@ impl CommandQueue {
     }
 
     /// Aggregated `(name, total_seconds)` pairs, in first-seen order.
-    pub fn time_by_name(&self) -> Vec<(String, f64)> {
-        let mut order: Vec<Arc<str>> = Vec::new();
-        let mut totals: std::collections::HashMap<Arc<str>, f64> = std::collections::HashMap::new();
+    ///
+    /// Names are the queue's interned `Arc<str>`s — aggregation allocates
+    /// no per-record strings, only refcount bumps on the shared names.
+    pub fn time_by_name(&self) -> Vec<(Arc<str>, f64)> {
+        let mut order: Vec<(Arc<str>, f64)> = Vec::new();
+        let mut index: std::collections::HashMap<Arc<str>, usize> =
+            std::collections::HashMap::new();
         for r in &self.records {
-            if !totals.contains_key(&r.name) {
-                order.push(Arc::clone(&r.name));
+            match index.get(&r.name) {
+                Some(&i) => order[i].1 += r.duration_s,
+                None => {
+                    index.insert(Arc::clone(&r.name), order.len());
+                    order.push((Arc::clone(&r.name), r.duration_s));
+                }
             }
-            *totals.entry(Arc::clone(&r.name)).or_insert(0.0) += r.duration_s;
         }
         order
-            .into_iter()
-            .map(|n| {
-                let t = totals[&n];
-                (n.to_string(), t)
-            })
-            .collect()
     }
 
     /// Clears the clock and records (new measurement run). The name
@@ -776,7 +777,9 @@ mod tests {
         q.enqueue_write(&buf, &[2.0; 4]).unwrap();
         let agg = q.time_by_name();
         assert_eq!(agg.len(), 1);
-        assert_eq!(agg[0].0, "write:b");
+        assert_eq!(&*agg[0].0, "write:b");
+        // The aggregated name is the interned Arc, not a fresh allocation.
+        assert!(Arc::ptr_eq(&agg[0].0, &q.records()[0].name));
         let rec_total: f64 = q.records().iter().map(|r| r.duration_s).sum();
         assert!((agg[0].1 - rec_total).abs() < 1e-15);
         assert!((q.elapsed() - rec_total).abs() < 1e-15);

@@ -22,6 +22,36 @@ fn lane(kind: CommandKind) -> (&'static str, u32) {
     }
 }
 
+/// Gantt bar glyph for a command kind: kernels, transfers, host work and
+/// sync get visually distinct bars so a row is identifiable even when its
+/// name is truncated.
+fn glyph(kind: CommandKind) -> char {
+    match kind {
+        CommandKind::Kernel => '#',
+        CommandKind::WriteBuffer
+        | CommandKind::ReadBuffer
+        | CommandKind::RectWrite
+        | CommandKind::Map => '=',
+        CommandKind::HostWork => '~',
+        CommandKind::Finish => '+',
+    }
+}
+
+/// One frame processed by one worker, in wall-clock seconds relative to the
+/// start of a multi-frame run. The unit of the per-worker timeline exports
+/// ([`multiframe_chrome_json`], [`worker_gantt`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerSpan {
+    /// Index of the frame in submission order.
+    pub frame: usize,
+    /// Index of the worker thread that processed it.
+    pub worker: usize,
+    /// Wall-clock start, seconds since the run began.
+    pub start_s: f64,
+    /// Wall-clock end, seconds since the run began.
+    pub end_s: f64,
+}
+
 /// Escapes a string for embedding in a JSON literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -73,8 +103,13 @@ pub fn to_chrome_json_with_pool(records: &[CommandRecord], pool: &PoolStats) -> 
 
 /// Writes the duration events for `records` into `out`; returns whether any
 /// event was written (callers appending more events need the comma state).
+///
+/// Records that carry [`crate::cost::CostCounters`] additionally emit a
+/// cumulative "global bytes moved" counter track (`ph: "C"`), so the trace
+/// viewer plots memory traffic under the command timeline.
 fn write_events(out: &mut String, records: &[CommandRecord]) -> bool {
     let mut first = true;
+    let mut cum_bytes = 0u64;
     for r in records {
         let (lane_name, tid) = lane(r.kind);
         if !first {
@@ -90,8 +125,117 @@ fn write_events(out: &mut String, records: &[CommandRecord]) -> bool {
             r.duration_s * 1e6,
             tid,
         );
+        if let Some(c) = &r.counters {
+            cum_bytes += c.global_bytes();
+            let _ = write!(
+                out,
+                ",{{\"name\":\"global bytes moved\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":1,\
+                 \"args\":{{\"bytes\":{cum_bytes}}}}}",
+                (r.start_s + r.duration_s) * 1e6,
+            );
+        }
     }
     !first
+}
+
+/// Serialises a multi-frame run as a Chrome-trace document with **one lane
+/// per worker**: each worker becomes a named thread (`ph: "M"` metadata),
+/// each frame a duration event on its worker's lane, and consecutive frames
+/// are linked with flow arrows (`ph: "s"`/`"f"`) showing hand-off order.
+/// Timestamps are wall-clock microseconds since the run began.
+pub fn multiframe_chrome_json(spans: &[WorkerSpan]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+    };
+    let n_workers = spans.iter().map(|s| s.worker + 1).max().unwrap_or(0);
+    for w in 0..n_workers {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"worker {w}\"}}}}",
+            w + 1,
+        );
+    }
+    let mut ordered: Vec<&WorkerSpan> = spans.iter().collect();
+    ordered.sort_by_key(|s| s.frame);
+    for s in &ordered {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"frame {}\",\"cat\":\"frame\",\"ph\":\"X\",\"ts\":{:.3},\
+             \"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
+            s.frame,
+            s.start_s * 1e6,
+            (s.end_s - s.start_s) * 1e6,
+            s.worker + 1,
+        );
+    }
+    // Flow arrows frame i → frame i+1 (submission order), drawn from the
+    // end of the earlier frame to the start of the later one.
+    for pair in ordered.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"order\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{},\
+             \"ts\":{:.3},\"pid\":1,\"tid\":{}}},\
+             {{\"name\":\"order\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\
+             \"ts\":{:.3},\"pid\":1,\"tid\":{}}}",
+            a.frame + 1,
+            a.end_s * 1e6,
+            a.worker + 1,
+            a.frame + 1,
+            b.start_s.max(a.end_s) * 1e6,
+            b.worker + 1,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders an ASCII Gantt chart of a multi-frame run with one row per
+/// worker; each frame is a bar on its worker's row, alternating `#`/`=`
+/// glyphs so adjacent frames stay distinguishable.
+pub fn worker_gantt(spans: &[WorkerSpan], width: usize) -> String {
+    let total = spans.iter().map(|s| s.end_s).fold(0.0, f64::max);
+    if spans.is_empty() || total <= 0.0 {
+        return String::from("(no frames)\n");
+    }
+    let width = width.clamp(20, 400);
+    let n_workers = spans.iter().map(|s| s.worker + 1).max().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>7}  |{}| total {:.1} ms",
+        "lane",
+        "frames",
+        "-".repeat(width),
+        total * 1e3,
+    );
+    for w in 0..n_workers {
+        let mut bar = vec![' '; width];
+        let mut frames = 0usize;
+        for s in spans.iter().filter(|s| s.worker == w) {
+            frames += 1;
+            let g = if s.frame % 2 == 0 { '#' } else { '=' };
+            let c0 = ((s.start_s / total) * width as f64).floor() as usize;
+            let c1 = ((s.end_s / total) * width as f64).ceil() as usize;
+            let c1 = c1.clamp(c0 + 1, width);
+            for cell in bar.iter_mut().take(c1).skip(c0.min(width - 1)) {
+                *cell = g;
+            }
+        }
+        let bar: String = bar.into_iter().collect();
+        let name = format!("worker {w}");
+        let _ = writeln!(out, "{name:<12} {frames:>7}  |{bar}|");
+    }
+    out
 }
 
 /// Renders an ASCII Gantt chart of the records, `width` columns wide.
@@ -107,7 +251,7 @@ pub fn gantt(records: &[CommandRecord], width: usize) -> String {
     let width = width.clamp(20, 400);
     let name_w = records
         .iter()
-        .map(|r| r.name.len())
+        .map(|r| r.name.chars().count())
         .max()
         .unwrap_or(0)
         .min(28);
@@ -124,16 +268,27 @@ pub fn gantt(records: &[CommandRecord], width: usize) -> String {
         let c0 = ((r.start_s / total) * width as f64).floor() as usize;
         let c1 = (((r.start_s + r.duration_s) / total) * width as f64).ceil() as usize;
         let c1 = c1.clamp(c0 + 1, width);
+        let g = glyph(r.kind);
         let mut bar = String::with_capacity(width);
         bar.push_str(&" ".repeat(c0));
-        bar.push_str(&"#".repeat(c1 - c0));
+        bar.extend(std::iter::repeat_n(g, c1 - c0));
         bar.push_str(&" ".repeat(width - c1));
-        let mut name = r.name.to_string();
-        if name.len() > name_w {
-            name.truncate(name_w);
-        }
+        let name = truncate_name(&r.name, name_w);
         let _ = writeln!(out, "{name:<name_w$} {:>9.1}  |{bar}|", r.duration_s * 1e6);
     }
+    out
+}
+
+/// Truncates `name` to at most `max` display characters, marking any cut
+/// with a trailing `…` so two long names that share a prefix never render
+/// as misleadingly identical rows.
+fn truncate_name(name: &str, max: usize) -> String {
+    if name.chars().count() <= max {
+        return name.to_string();
+    }
+    let keep = max.saturating_sub(1);
+    let mut out: String = name.chars().take(keep).collect();
+    out.push('…');
     out
 }
 
@@ -212,15 +367,104 @@ mod tests {
         assert!(lines[3].contains("finish"));
         // Last command's bar ends at the right edge.
         assert!(lines[3].trim_end().ends_with('|'));
-        // Every bar has at least one cell.
-        for l in &lines[1..] {
-            assert!(l.contains('#'), "{l}");
-        }
+        // Kinds draw distinct glyphs: transfer '=', kernel '#', sync '+'.
+        assert!(lines[1].contains('='), "{}", lines[1]);
+        assert!(lines[2].contains('#'), "{}", lines[2]);
+        assert!(lines[3].contains('+'), "{}", lines[3]);
     }
 
     #[test]
     fn gantt_handles_empty() {
         assert_eq!(gantt(&[], 40), "(no commands)\n");
+    }
+
+    #[test]
+    fn gantt_truncation_marks_cut_names() {
+        let long = |tag: &str| CommandRecord {
+            name: format!("kernel:with-a-very-long-shared-prefix-{tag}").into(),
+            kind: CommandKind::Kernel,
+            start_s: 0.0,
+            duration_s: 10e-6,
+            counters: None,
+        };
+        let g = gantt(&[long("alpha"), long("beta")], 40);
+        let lines: Vec<&str> = g.lines().collect();
+        // Both names exceed the 28-char cap: each row ends in an ellipsis
+        // and is capped at 28 display chars.
+        for l in &lines[1..] {
+            let name: String = l.chars().take(28).collect();
+            assert!(name.trim_end().ends_with('…'), "{l}");
+            assert_eq!(name.chars().count(), 28);
+        }
+    }
+
+    #[test]
+    fn counter_track_accumulates_global_bytes() {
+        let mut recs = records();
+        let c = crate::cost::CostCounters {
+            global_read_scalar: 100,
+            global_write_vector: 24,
+            ..Default::default()
+        };
+        recs[1].counters = Some(c);
+        let j = to_chrome_json(&recs);
+        assert!(j.contains("\"global bytes moved\""));
+        assert!(j.contains("\"bytes\":124"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    fn spans() -> Vec<WorkerSpan> {
+        vec![
+            WorkerSpan {
+                frame: 0,
+                worker: 0,
+                start_s: 0.0,
+                end_s: 2e-3,
+            },
+            WorkerSpan {
+                frame: 1,
+                worker: 1,
+                start_s: 0.5e-3,
+                end_s: 2.5e-3,
+            },
+            WorkerSpan {
+                frame: 2,
+                worker: 0,
+                start_s: 2e-3,
+                end_s: 4e-3,
+            },
+        ]
+    }
+
+    #[test]
+    fn multiframe_trace_names_one_lane_per_worker() {
+        let j = multiframe_chrome_json(&spans());
+        assert!(j.starts_with("{\"traceEvents\":["));
+        assert!(j.ends_with("]}"));
+        // Two workers → two thread_name metadata events.
+        assert_eq!(j.matches("\"thread_name\"").count(), 2);
+        assert!(j.contains("\"worker 0\""));
+        assert!(j.contains("\"worker 1\""));
+        // One duration event per frame, plus flow arrows linking them.
+        assert_eq!(j.matches("\"ph\":\"X\"").count(), 3);
+        assert_eq!(j.matches("\"ph\":\"s\"").count(), 2);
+        assert_eq!(j.matches("\"ph\":\"f\"").count(), 2);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(multiframe_chrome_json(&[]), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn worker_gantt_draws_one_row_per_worker() {
+        let g = worker_gantt(&spans(), 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 workers
+        assert!(lines[1].starts_with("worker 0"));
+        assert!(lines[2].starts_with("worker 1"));
+        // Worker 0 processed frames 0 and 2 (both even → '#'); worker 1
+        // frame 1 ('='). Alternating glyphs keep adjacent frames distinct.
+        assert!(lines[1].contains('#'));
+        assert!(lines[2].contains('='));
+        assert!(worker_gantt(&[], 40).contains("no frames"));
     }
 
     #[test]

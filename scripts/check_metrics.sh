@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Metric baseline gate: regenerates the per-config efficiency metrics on
+# the deterministic 256² workload and fails on >2% drift against the
+# committed files under baselines/metrics/, on shape changes (missing or
+# new metrics), or on violation of the paper's Sobel load-count claims
+# (vec4 ≤ 4.6 loads/source-pixel, naive ≥ 7.5).
+#
+#   ./scripts/check_metrics.sh            # gate against baselines/metrics
+#   ./scripts/check_metrics.sh --update   # accept current numbers
+#
+# Intentional model/optimizer changes are accepted by re-running with
+# --update and committing the refreshed JSONL files alongside the change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="--check"
+if [ "${1:-}" = "--update" ]; then
+    mode="--update"
+fi
+
+cargo run --release --quiet --bin metrics_baseline -- "$mode" baselines/metrics

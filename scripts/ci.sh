@@ -29,6 +29,9 @@ echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "== metric baselines"
+./scripts/check_metrics.sh
+
 if [ "$full" -eq 1 ]; then
     echo "== full sanitizer sweep (all configs x all sizes)"
     cargo test -q --release --test sanitize -- --ignored

@@ -3,7 +3,7 @@
 #
 #   ./scripts/lint_invariants.sh
 #
-# Two rules, both cheap greps, both load-bearing:
+# Three rules, all cheap greps, all load-bearing:
 #
 # 1. Kernel and CPU-stage hot loops must use the shared `math` helpers
 #    (`math::fmin` / `math::fmax` / `math::clampf`), never the std float
@@ -17,6 +17,15 @@
 #    bytes. The sanitizer (`cargo test --test sanitize`) audits the
 #    amounts at runtime; this lint catches a file that forgot to charge
 #    at all before any test runs.
+#
+# 3. Telemetry is observation-only. The files that read command records
+#    and cost counters to derive metrics/traces must never mutate the
+#    state they observe (reset queues, rewrite records, charge bytes) —
+#    otherwise "metrics on" changes the numbers being measured. The
+#    runtime half of this invariant is tests/telemetry.rs (bit-identical
+#    pixels, identical simulated seconds); this grep catches a mutation
+#    creeping into the recording path before any test runs. Test modules
+#    (after `#[cfg(test)]`) are exempt: fixtures may build records.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +43,23 @@ raw_span='read_into|slice_raw|set_span_raw'
 for f in crates/core/src/gpu/kernels/*.rs; do
     if grep -qE "$raw_span" "$f" && ! grep -q 'charge_global_n' "$f"; then
         echo "lint: $f uses raw span accessors but never calls charge_global_n"
+        fail=1
+    fi
+done
+
+telemetry_files=(
+    crates/core/src/telemetry.rs
+    crates/simgpu/src/metrics.rs
+    crates/simgpu/src/trace.rs
+)
+observer_mutations='\.reset\(|records_mut|charge_global|set_span|\.counters[[:space:]]*=|&mut CommandRecord|&mut CostCounters'
+for f in "${telemetry_files[@]}"; do
+    # Only non-test code is held to the rule; fixtures below #[cfg(test)]
+    # may construct and edit records freely.
+    if matches=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR":"$0}' "$f" \
+        | grep -E "$observer_mutations"); then
+        echo "lint: telemetry recording path mutates observed state (observation-only invariant):"
+        echo "$matches"
         fail=1
     fi
 done

@@ -1,0 +1,238 @@
+//! Emit or check the committed per-config metric baselines.
+//!
+//! `metrics_baseline --update [dir]` regenerates the baseline JSONL files
+//! (one per cumulative optimization step, deterministic workload);
+//! `metrics_baseline --check [dir]` regenerates the metrics in-memory and
+//! fails on >2% drift against the committed files, missing/extra metrics,
+//! or violation of the paper's Sobel load-count claims (vec4 ≤ 4.6
+//! loads/source-pixel, naive ≥ 7.5). `scripts/check_metrics.sh` runs the
+//! check in CI.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use sharpness_core::telemetry::{baseline_configs, baseline_registry, BASELINE_WIDTH};
+use simgpu::metrics::parse_jsonl_line;
+
+/// Relative drift tolerated per metric field before the check fails.
+const TOLERANCE: f64 = 0.02;
+/// Below this magnitude, drift is compared absolutely instead.
+const ABS_EPS: f64 = 1e-12;
+
+const USAGE: &str = "usage: metrics_baseline --update|--check [dir]\n\
+                     default dir: baselines/metrics";
+
+fn parse_file(text: &str) -> Result<BTreeMap<String, Vec<(String, f64)>>, String> {
+    let mut map = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let (name, fields) =
+            parse_jsonl_line(line).ok_or_else(|| format!("unparseable metric line: {line}"))?;
+        map.insert(name, fields);
+    }
+    Ok(map)
+}
+
+fn within_tolerance(old: f64, new: f64) -> bool {
+    let diff = (new - old).abs();
+    diff <= ABS_EPS || diff <= TOLERANCE * old.abs().max(new.abs())
+}
+
+/// Compares a regenerated metric set against the committed baseline,
+/// returning every drifted/missing/extra entry.
+fn diff(
+    old: &BTreeMap<String, Vec<(String, f64)>>,
+    new: &BTreeMap<String, Vec<(String, f64)>>,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    for (name, old_fields) in old {
+        let Some(new_fields) = new.get(name) else {
+            problems.push(format!("metric {name} missing from regenerated set"));
+            continue;
+        };
+        for (field, old_v) in old_fields {
+            match new_fields.iter().find(|(f, _)| f == field) {
+                None => problems.push(format!("{name}.{field} missing from regenerated set")),
+                Some((_, new_v)) if !within_tolerance(*old_v, *new_v) => {
+                    let pct = if old_v.abs() > ABS_EPS {
+                        (new_v - old_v) / old_v.abs() * 100.0
+                    } else {
+                        f64::INFINITY
+                    };
+                    problems.push(format!(
+                        "{name}.{field}: baseline {old_v} vs current {new_v} ({pct:+.2}% > ±{:.0}%)",
+                        TOLERANCE * 100.0
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    for name in new.keys() {
+        if !old.contains_key(name) {
+            problems.push(format!(
+                "new metric {name} not in baseline (run --update to accept)"
+            ));
+        }
+    }
+    problems
+}
+
+/// The paper's §V.D Sobel load-count gates, checked on the regenerated
+/// metrics regardless of what the committed files say.
+fn paper_claim_problems(
+    vectorized: bool,
+    reg: &BTreeMap<String, Vec<(String, f64)>>,
+) -> Vec<String> {
+    let gauge = |name: &str| {
+        reg.get(name)
+            .and_then(|f| f.iter().find(|(k, _)| k == "value"))
+            .map(|(_, v)| *v)
+    };
+    let mut problems = Vec::new();
+    if vectorized {
+        match gauge("kernel.sobel_vec4.loads_per_source_pixel") {
+            Some(v) if v <= 4.6 => {}
+            Some(v) => problems.push(format!(
+                "vec4 sobel loads/source-pixel {v} exceeds the paper's ~4.5 claim (gate: ≤ 4.6)"
+            )),
+            None => problems.push("vec4 sobel load metric missing".to_string()),
+        }
+    } else {
+        match gauge("kernel.sobel.loads_per_source_pixel") {
+            Some(v) if v >= 7.5 => {}
+            Some(v) => problems.push(format!(
+                "naive sobel loads/source-pixel {v} below the paper's ~8 claim (gate: ≥ 7.5)"
+            )),
+            None => problems.push("naive sobel load metric missing".to_string()),
+        }
+    }
+    problems
+}
+
+fn run(update: bool, dir: &Path) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for (slug, cfg) in baseline_configs() {
+        let reg = baseline_registry(&cfg)?;
+        let jsonl = reg.to_jsonl();
+        let path = dir.join(format!("{slug}.jsonl"));
+        let current = parse_file(&jsonl)?;
+        for p in paper_claim_problems(cfg.vectorization, &current) {
+            failures.push(format!("{slug}: {p}"));
+        }
+        if update {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            std::fs::write(&path, &jsonl).map_err(|e| e.to_string())?;
+            println!("wrote {} ({} metrics)", path.display(), current.len());
+            continue;
+        }
+        let committed = std::fs::read_to_string(&path).map_err(|e| {
+            format!(
+                "cannot read baseline {}: {e} (run --update)",
+                path.display()
+            )
+        })?;
+        let problems = diff(&parse_file(&committed)?, &current);
+        if problems.is_empty() {
+            println!(
+                "{slug}: OK ({} metrics within ±{:.0}%)",
+                current.len(),
+                TOLERANCE * 100.0
+            );
+        } else {
+            for p in problems {
+                failures.push(format!("{slug}: {p}"));
+            }
+        }
+    }
+    if failures.is_empty() {
+        if !update {
+            println!(
+                "metric baselines clean ({}², deterministic workload)",
+                BASELINE_WIDTH
+            );
+        }
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (update, rest) = match args.first().map(String::as_str) {
+        Some("--update") => (true, &args[1..]),
+        Some("--check") => (false, &args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dir = match rest {
+        [] => PathBuf::from("baselines/metrics"),
+        [d] => PathBuf::from(d),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(update, &dir) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("metric baseline check FAILED:\n{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_windows() {
+        assert!(within_tolerance(100.0, 101.9));
+        assert!(!within_tolerance(100.0, 102.5));
+        assert!(within_tolerance(0.0, 0.0));
+        assert!(!within_tolerance(0.0, 1.0));
+        assert!(within_tolerance(1e-15, 0.0)); // sub-epsilon noise
+    }
+
+    #[test]
+    fn diff_reports_drift_and_shape_changes() {
+        let old = parse_file(
+            "{\"name\":\"a\",\"type\":\"gauge\",\"value\":1}\n\
+             {\"name\":\"b\",\"type\":\"gauge\",\"value\":10}\n",
+        )
+        .unwrap();
+        let same = old.clone();
+        assert!(diff(&old, &same).is_empty());
+        let drifted = parse_file(
+            "{\"name\":\"a\",\"type\":\"gauge\",\"value\":1.5}\n\
+             {\"name\":\"c\",\"type\":\"gauge\",\"value\":3}\n",
+        )
+        .unwrap();
+        let problems = diff(&old, &drifted);
+        assert_eq!(problems.len(), 3, "{problems:?}"); // a drift, b missing, c extra
+    }
+
+    #[test]
+    fn paper_gates_fire_on_bad_values() {
+        let good = parse_file(
+            "{\"name\":\"kernel.sobel_vec4.loads_per_source_pixel\",\"type\":\"gauge\",\"value\":4.5}\n",
+        )
+        .unwrap();
+        assert!(paper_claim_problems(true, &good).is_empty());
+        let bad = parse_file(
+            "{\"name\":\"kernel.sobel_vec4.loads_per_source_pixel\",\"type\":\"gauge\",\"value\":8.0}\n",
+        )
+        .unwrap();
+        assert_eq!(paper_claim_problems(true, &bad).len(), 1);
+        let naive = parse_file(
+            "{\"name\":\"kernel.sobel.loads_per_source_pixel\",\"type\":\"gauge\",\"value\":7.9}\n",
+        )
+        .unwrap();
+        assert!(paper_claim_problems(false, &naive).is_empty());
+        assert_eq!(paper_claim_problems(false, &good).len(), 1);
+    }
+}

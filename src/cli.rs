@@ -8,11 +8,13 @@ use std::path::PathBuf;
 use imagekit::{io, metrics, ImageF32};
 use sharpness_core::color::{sharpen_rgb, ColorMode};
 use sharpness_core::cpu::CpuPipeline;
-use sharpness_core::gpu::{GpuPipeline, OptConfig, ThroughputEngine};
+use sharpness_core::gpu::{GpuPipeline, OptConfig, ThroughputEngine, ThroughputReport};
 use sharpness_core::params::SharpnessParams;
 use sharpness_core::report::RunReport;
+use sharpness_core::telemetry::FrameTelemetry;
 use simgpu::context::Context;
 use simgpu::device::DeviceSpec;
+use simgpu::metrics::MetricsRegistry;
 use simgpu::queue::{CommandKind, CommandRecord};
 use simgpu::trace;
 
@@ -74,6 +76,10 @@ pub struct CliArgs {
     /// Run every kernel under the shadow-execution sanitizer and fail on
     /// any finding (GPU single-frame only).
     pub sanitize: bool,
+    /// Optional JSONL metrics output path (GPU only).
+    pub metrics: Option<PathBuf>,
+    /// Print the per-kernel efficiency table (GPU only).
+    pub profile: bool,
 }
 
 /// Usage text.
@@ -90,8 +96,16 @@ options:
   --trace <file>    write a Chrome-trace JSON of the run
   --gantt           print an ASCII timeline of the run
   --frames <n>      replay the input as an n-frame stream through the
-                    throughput engine and report frames/sec (GPU only)
+                    throughput engine and report frames/sec (GPU only);
+                    --trace/--gantt then show one lane per worker and a
+                    latency histogram summary goes to stderr
   --threads <n>     worker threads for --frames (default 0 = all cores)
+  --metrics <file>  write a JSONL metrics file: per-kernel efficiency
+                    (loads/source-pixel, vector fraction, arithmetic
+                    intensity, achieved vs peak bandwidth, occupancy);
+                    with --frames also throughput gauges and wall +
+                    simulated latency histograms (GPU only)
+  --profile         print the per-kernel efficiency table (GPU only)
   --sanitize        run every kernel under the shadow-execution sanitizer
                     (data races, out-of-bounds, barrier divergence, cost
                     accounting drift); exits non-zero on any finding.
@@ -122,6 +136,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         frames: 1,
         threads: 0,
         sanitize: false,
+        metrics: None,
+        profile: false,
     };
     let mut device = DevicePreset::W8000;
     let mut use_cpu = false;
@@ -160,6 +176,10 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--frames" => cli.frames = parse_value(&arg, it.next())?,
             "--threads" => cli.threads = parse_value(&arg, it.next())?,
             "--sanitize" => cli.sanitize = true,
+            "--metrics" => {
+                cli.metrics = Some(PathBuf::from(parse_value::<String>(&arg, it.next())?))
+            }
+            "--profile" => cli.profile = true,
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -181,6 +201,13 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         return Err(
             "--sanitize cannot be combined with --frames: the sanitizer analyses one \
              kernel dispatch at a time, so the throughput engine runs unsanitized"
+                .to_string(),
+        );
+    }
+    if (cli.metrics.is_some() || cli.profile) && use_cpu {
+        return Err(
+            "--metrics/--profile require the GPU engine (efficiency metrics come from \
+             the simulated device's cost counters; drop --cpu)"
                 .to_string(),
         );
     }
@@ -245,8 +272,9 @@ fn sharpen_plane(cli: &CliArgs, plane: &ImageF32) -> Result<RunReport, String> {
 }
 
 /// Replays `plane` as a `cli.frames`-long stream through the throughput
-/// engine and formats the measured and simulated rates.
-fn throughput_summary(cli: &CliArgs, plane: &ImageF32) -> Result<String, String> {
+/// engine, returning the formatted rates and the full report (whose
+/// per-worker traces feed `--trace`/`--gantt` and the latency summary).
+fn run_throughput(cli: &CliArgs, plane: &ImageF32) -> Result<(String, ThroughputReport), String> {
     let Engine::Gpu(preset) = cli.engine else {
         return Err("--frames requires the GPU engine".to_string());
     };
@@ -254,7 +282,7 @@ fn throughput_summary(cli: &CliArgs, plane: &ImageF32) -> Result<String, String>
     let engine = ThroughputEngine::new(pipe, cli.threads);
     let frames: Vec<ImageF32> = (0..cli.frames).map(|_| plane.clone()).collect();
     let rep = engine.process(&frames)?;
-    Ok(format!(
+    let text = format!(
         "throughput: {} frames on {} workers in {:.3} s wall ({:.1} frames/s)\n\
          simulated steady-state: {:.3} ms/frame pipelined ({:.1} frames/s; {:.3} ms serial)\n",
         cli.frames,
@@ -264,7 +292,25 @@ fn throughput_summary(cli: &CliArgs, plane: &ImageF32) -> Result<String, String>
         rep.pipelined_s / cli.frames as f64 * 1e3,
         rep.simulated_fps(),
         rep.serial_s / cli.frames as f64 * 1e3,
-    ))
+    );
+    Ok((text, rep))
+}
+
+/// Re-runs one plane through a prepared plan and returns the frame's raw
+/// command records (with cost counters) plus its derived telemetry — the
+/// data behind `--metrics`, `--profile`, and enriched single-frame traces.
+fn gpu_observe(
+    cli: &CliArgs,
+    plane: &ImageF32,
+) -> Result<(Vec<CommandRecord>, FrameTelemetry), String> {
+    let Engine::Gpu(preset) = cli.engine else {
+        return Err("kernel telemetry requires the GPU engine".to_string());
+    };
+    let pipe = GpuPipeline::new(Context::new(preset.spec()), cli.params, cli.opts);
+    let mut plan = pipe.prepared(plane.width(), plane.height())?;
+    plan.run(plane)?;
+    let tel = plan.telemetry();
+    Ok((plan.records().to_vec(), tel))
 }
 
 /// Executes the parsed command, returning the human-readable summary that
@@ -273,6 +319,7 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
     let ext = cli.input.extension().and_then(|e| e.to_str()).unwrap_or("");
     let mut summary = String::new();
     let report: RunReport;
+    let plane: ImageF32;
     match ext {
         "pgm" => {
             let img = io::read_pgm(&cli.input)
@@ -291,9 +338,7 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
                 metrics::gradient_energy(&img),
                 metrics::gradient_energy(&report.output)
             ));
-            if cli.frames > 1 {
-                summary.push_str(&throughput_summary(cli, &img)?);
-            }
+            plane = img;
         }
         "ppm" => {
             let frame = io::read_ppm(&cli.input).map_err(|e| e.to_string())?;
@@ -313,12 +358,11 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
                 color.plane_runs,
                 color.total_s * 1e3
             ));
-            // Trace/gantt need a plane report; redo the luma plane cheaply.
+            // Trace/gantt/telemetry need a plane report; redo the luma
+            // plane cheaply.
             let luma = frame.to_luma();
             report = sharpen_plane(cli, &luma)?;
-            if cli.frames > 1 {
-                summary.push_str(&throughput_summary(cli, &luma)?);
-            }
+            plane = luma;
         }
         other => {
             return Err(format!(
@@ -327,6 +371,29 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
         }
     }
 
+    // Multi-frame stream: run the throughput engine once; its report also
+    // carries the per-worker traces for --trace/--gantt.
+    let tput: Option<ThroughputReport> = if cli.frames > 1 {
+        let (text, rep) = run_throughput(cli, &plane)?;
+        summary.push_str(&text);
+        eprint!("{}", rep.latency_summary());
+        Some(rep)
+    } else {
+        None
+    };
+
+    // Kernel telemetry (counters survive only on the plan's queue, not in
+    // the RunReport): collected when --metrics/--profile ask for it, and
+    // for single-frame GPU traces so they carry real command kinds and the
+    // cumulative global-bytes counter track.
+    let is_gpu = matches!(cli.engine, Engine::Gpu(_));
+    let wants_single_trace = (cli.trace_json.is_some() || cli.gantt) && cli.frames == 1;
+    let observed = if is_gpu && (cli.metrics.is_some() || cli.profile || wants_single_trace) {
+        Some(gpu_observe(cli, &plane)?)
+    } else {
+        None
+    };
+
     if cli.sanitize {
         // Any violation aborts the run with the sanitizer's report, so
         // reaching this point means every dispatch came back clean.
@@ -334,13 +401,45 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
             "sanitizer: clean (no races, out-of-bounds, barrier divergence, or accounting drift)\n",
         );
     }
+    if let Some(path) = &cli.metrics {
+        let (_, tel) = observed.as_ref().expect("observed when --metrics");
+        let mut reg = MetricsRegistry::new();
+        tel.to_registry(&mut reg);
+        if let Some(tp) = &tput {
+            reg.inc("throughput.frames", tp.outputs.len() as u64);
+            reg.set_gauge("throughput.threads", tp.threads as f64);
+            reg.set_gauge("throughput.wall_fps", tp.wall_fps());
+            reg.set_gauge("throughput.simulated_fps", tp.simulated_fps());
+            reg.record_histogram("latency.wall_s", &tp.wall_latency_histogram());
+            reg.record_histogram("latency.sim_s", &tp.sim_latency_histogram());
+        }
+        std::fs::write(path, reg.to_jsonl()).map_err(|e| e.to_string())?;
+        summary.push_str(&format!("wrote metrics to {}\n", path.display()));
+    }
+    if cli.profile {
+        let (_, tel) = observed.as_ref().expect("observed when --profile");
+        summary.push_str("kernel efficiency (one luma-plane frame):\n");
+        summary.push_str(&tel.efficiency_table());
+    }
     if let Some(path) = &cli.trace_json {
-        let json = trace::to_chrome_json(&report_to_records(&report));
+        let json = match &tput {
+            Some(tp) => trace::multiframe_chrome_json(&tp.traces),
+            None => match &observed {
+                Some((records, _)) => trace::to_chrome_json(records),
+                None => trace::to_chrome_json(&report_to_records(&report)),
+            },
+        };
         std::fs::write(path, json).map_err(|e| e.to_string())?;
         summary.push_str(&format!("wrote trace to {}\n", path.display()));
     }
     if cli.gantt {
-        summary.push_str(&trace::gantt(&report_to_records(&report), 60));
+        match &tput {
+            Some(tp) => summary.push_str(&trace::worker_gantt(&tp.traces, 60)),
+            None => match &observed {
+                Some((records, _)) => summary.push_str(&trace::gantt(records, 60)),
+                None => summary.push_str(&trace::gantt(&report_to_records(&report), 60)),
+            },
+        }
     }
     Ok(summary)
 }
@@ -476,6 +575,110 @@ mod tests {
         let line = |s: &str| s.lines().next().unwrap_or("").to_string();
         assert_eq!(line(&summary), line(&plain_summary));
         for p in [input, output] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn parses_metrics_and_profile_flags() {
+        let cli = parse_args(&strs(&[
+            "a.pgm",
+            "b.pgm",
+            "--metrics",
+            "m.jsonl",
+            "--profile",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.metrics.as_deref(),
+            Some(std::path::Path::new("m.jsonl"))
+        );
+        assert!(cli.profile);
+        let cli = parse_args(&strs(&["a.pgm", "b.pgm"])).unwrap();
+        assert_eq!(cli.metrics, None);
+        assert!(!cli.profile);
+        // Efficiency metrics come from the simulated device: CPU engine
+        // combinations are rejected at parse time.
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--cpu", "--profile"])).is_err());
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--cpu", "--metrics", "m"])).is_err());
+    }
+
+    #[test]
+    fn metrics_and_profile_end_to_end() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("cli-met-in-{}.pgm", std::process::id()));
+        let output = dir.join(format!("cli-met-out-{}.pgm", std::process::id()));
+        let mfile = dir.join(format!("cli-met-{}.jsonl", std::process::id()));
+        let img = imagekit::generate::natural(64, 64, 11).to_u8();
+        io::write_pgm(&input, &img).unwrap();
+        let cli = parse_args(&strs(&[
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--metrics",
+            mfile.to_str().unwrap(),
+            "--profile",
+        ]))
+        .unwrap();
+        let summary = run(&cli).unwrap();
+        assert!(summary.contains("kernel efficiency"), "{summary}");
+        assert!(summary.contains("loads/px"), "{summary}");
+        assert!(summary.contains("wrote metrics"), "{summary}");
+        let jsonl = std::fs::read_to_string(&mfile).unwrap();
+        let mut sobel_loads = None;
+        for line in jsonl.lines() {
+            let (name, fields) =
+                simgpu::metrics::parse_jsonl_line(line).unwrap_or_else(|| panic!("{line}"));
+            if name == "kernel.sobel_vec4.loads_per_source_pixel" {
+                sobel_loads = Some(fields[0].1);
+            }
+        }
+        // The paper's §V.D claim, machine-checked end to end through the
+        // CLI export path.
+        let loads = sobel_loads.expect("vec4 sobel metric present");
+        assert!((loads - 4.5).abs() < 0.01, "loads/px {loads}");
+        for p in [input, output, mfile] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn multiframe_trace_and_gantt_show_worker_lanes() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("cli-mf-in-{}.pgm", std::process::id()));
+        let output = dir.join(format!("cli-mf-out-{}.pgm", std::process::id()));
+        let tfile = dir.join(format!("cli-mf-trace-{}.json", std::process::id()));
+        let mfile = dir.join(format!("cli-mf-met-{}.jsonl", std::process::id()));
+        let img = imagekit::generate::natural(64, 64, 13).to_u8();
+        io::write_pgm(&input, &img).unwrap();
+        let cli = parse_args(&strs(&[
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--frames",
+            "4",
+            "--threads",
+            "2",
+            "--trace",
+            tfile.to_str().unwrap(),
+            "--gantt",
+            "--metrics",
+            mfile.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let summary = run(&cli).unwrap();
+        // The gantt shows worker lanes, not a single-frame command list.
+        assert!(summary.contains("worker 0"), "{summary}");
+        assert!(summary.contains("throughput: 4 frames"), "{summary}");
+        // The trace names one lane per worker and carries the frame spans.
+        let json = std::fs::read_to_string(&tfile).unwrap();
+        assert!(json.contains("\"thread_name\""), "{json}");
+        assert!(json.contains("\"worker 0\""), "{json}");
+        assert!(json.contains("\"frame 3\""), "{json}");
+        // The metrics file gains throughput gauges + latency histograms.
+        let jsonl = std::fs::read_to_string(&mfile).unwrap();
+        assert!(jsonl.contains("\"name\":\"throughput.frames\""), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"latency.wall_s\""), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"latency.sim_s\""), "{jsonl}");
+        for p in [input, output, tfile, mfile] {
             std::fs::remove_file(p).ok();
         }
     }

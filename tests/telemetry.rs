@@ -1,0 +1,122 @@
+//! Telemetry integration tests: enabling metrics collection must never
+//! change what it measures. Runs with telemetry on produce bit-identical
+//! pixels and identical simulated seconds across every optimization
+//! config, the derived metrics agree with the run report they were read
+//! from, and the committed baseline ladder reproduces the paper's Sobel
+//! load-count claims end to end.
+
+use imagekit::generate;
+use sharpness_core::gpu::{GpuPipeline, OptConfig};
+use sharpness_core::params::SharpnessParams;
+use sharpness_core::telemetry::{baseline_configs, baseline_registry};
+use simgpu::prelude::*;
+
+fn spec() -> DeviceSpec {
+    DeviceSpec::firepro_w8000()
+}
+
+/// All 64 combinations of the six optimization flags.
+fn all_configs() -> Vec<OptConfig> {
+    (0..64u32)
+        .map(|bits| OptConfig {
+            data_transfer: bits & 1 != 0,
+            kernel_fusion: bits & 2 != 0,
+            reduction_gpu: bits & 4 != 0,
+            vectorization: bits & 8 != 0,
+            border_gpu: bits & 16 != 0,
+            others: bits & 32 != 0,
+        })
+        .collect()
+}
+
+// ---- observation-only invariant ---------------------------------------
+
+#[test]
+fn telemetry_is_observation_only_for_every_opt_config() {
+    let img = generate::natural(64, 64, 7);
+    let ctx = Context::new(spec());
+    for (bits, cfg) in all_configs().into_iter().enumerate() {
+        let pipe = GpuPipeline::new(ctx.clone(), SharpnessParams::default(), cfg);
+        let plain = pipe.run(&img).expect("plain run");
+        let (observed, tel) = pipe.run_with_telemetry(&img).expect("telemetry run");
+
+        // Bit-identical pixels: exact f32 equality, not tolerance.
+        assert_eq!(
+            plain.output.pixels().len(),
+            observed.output.pixels().len(),
+            "config bits {bits}: output shape changed under telemetry"
+        );
+        for (i, (a, b)) in plain
+            .output
+            .pixels()
+            .iter()
+            .zip(observed.output.pixels())
+            .enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "config bits {bits}: pixel {i} differs with telemetry on"
+            );
+        }
+
+        // Identical simulated seconds, exactly.
+        assert_eq!(
+            plain.total_s, observed.total_s,
+            "config bits {bits}: simulated time changed under telemetry"
+        );
+
+        // And the telemetry agrees with the report it was read from.
+        assert_eq!(tel.simulated_s, observed.total_s, "config bits {bits}");
+        assert!(tel.kernels.len() > 1, "config bits {bits}: no kernels seen");
+    }
+}
+
+#[test]
+fn plan_telemetry_matches_single_shot_telemetry() {
+    let img = generate::natural(96, 96, 9);
+    let ctx = Context::new(spec());
+    let pipe = GpuPipeline::new(ctx.clone(), SharpnessParams::default(), OptConfig::all());
+    let (_, one_shot) = pipe.run_with_telemetry(&img).expect("one-shot run");
+
+    let mut plan = pipe.prepared(96, 96).expect("plan");
+    plan.run(&img).expect("plan run");
+    let planned = plan.telemetry();
+
+    assert_eq!(planned.simulated_s, one_shot.simulated_s);
+    assert_eq!(planned.kernels.len(), one_shot.kernels.len());
+    for k in &one_shot.kernels {
+        let p = planned.kernel(&k.name).expect("kernel present in plan run");
+        assert_eq!(p.dispatches, k.dispatches, "{}", k.name);
+        assert_eq!(p.counters, k.counters, "{}", k.name);
+    }
+}
+
+// ---- the committed baseline ladder reproduces the paper's claims ------
+
+#[test]
+fn baseline_ladder_carries_the_sobel_load_claims() {
+    let configs = baseline_configs();
+    let naive = &configs.first().expect("ladder has steps").1;
+    let full = &configs.last().expect("ladder has steps").1;
+    assert!(!naive.vectorization && full.vectorization);
+
+    let gauge = |reg: &MetricsRegistry, name: &str| {
+        assert!(reg.get(name).is_some(), "missing {name}");
+        reg.gauge(name)
+    };
+
+    let base = baseline_registry(naive).expect("base config runs");
+    let opt = baseline_registry(full).expect("opt config runs");
+    let naive_loads = gauge(&base, "kernel.sobel.loads_per_source_pixel");
+    let vec_loads = gauge(&opt, "kernel.sobel_vec4.loads_per_source_pixel");
+    assert!(
+        (7.5..8.0).contains(&naive_loads),
+        "naive sobel loads/px {naive_loads} out of the paper's ~8 window"
+    );
+    assert!(
+        (vec_loads - 4.5).abs() < 0.1,
+        "vec4 sobel loads/px {vec_loads} off the paper's ~4.5 claim"
+    );
+    assert!(vec_loads < naive_loads);
+}
