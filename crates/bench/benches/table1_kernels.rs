@@ -48,7 +48,7 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("sobel", "scalar"), |b| {
         b.iter(|| {
             let mut q = ctx.queue();
-            sobel_scalar_kernel(&mut q, &raw, &out, W, W, tune)
+            sobel_scalar_kernel(&mut q, &raw, &out, W, W, W, tune)
                 .unwrap()
                 .total_s
         })
@@ -56,7 +56,7 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("sobel", "vec4"), |b| {
         b.iter(|| {
             let mut q = ctx.queue();
-            sobel_vec4_kernel(&mut q, &pad, &out, W, W, tune)
+            sobel_vec4_kernel(&mut q, &pad, &out, W, W, W, tune)
                 .unwrap()
                 .total_s
         })
@@ -72,6 +72,7 @@ fn bench_kernels(c: &mut Criterion) {
                 &out,
                 mean,
                 params,
+                W,
                 W,
                 W,
                 tune,
@@ -93,6 +94,7 @@ fn bench_kernels(c: &mut Criterion) {
                 params,
                 W,
                 W,
+                W,
                 tune,
             )
             .unwrap()
@@ -102,7 +104,7 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("upscale_center", "scalar"), |b| {
         b.iter(|| {
             let mut q = ctx.queue();
-            upscale_center_scalar_kernel(&mut q, &down_buf.view(), &out, W, W, tune)
+            upscale_center_scalar_kernel(&mut q, &down_buf.view(), &out, W, W, W, tune)
                 .unwrap()
                 .total_s
         })
@@ -110,7 +112,7 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("upscale_center", "vec4"), |b| {
         b.iter(|| {
             let mut q = ctx.queue();
-            upscale_center_vec4_kernel(&mut q, &down_buf.view(), &out, W, W, tune)
+            upscale_center_vec4_kernel(&mut q, &down_buf.view(), &out, W, W, W, tune)
                 .unwrap()
                 .total_s
         })

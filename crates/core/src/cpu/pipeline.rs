@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_shapes_and_params() {
-        let img = generate::natural(30, 32, 1); // 30 not multiple of 4
+        let img = generate::natural(2, 32, 1); // below the 3x3 minimum
         assert!(CpuPipeline::new(SharpnessParams::default())
             .run(&img)
             .is_err());

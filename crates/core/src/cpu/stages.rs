@@ -5,11 +5,14 @@
 //! charge it. These functions are the golden reference: the GPU kernels are
 //! tested for exact agreement against them (given the same pEdge mean).
 //!
-//! Stage geometry (see DESIGN.md §5): for a `w × h` input (`w`, `h`
-//! multiples of 4, ≥ 16) the downscaled image is `w/4 × h/4`; the upscale
-//! *body* covers rows/columns `2 ..= h-4+1` via stride-4 blocks interpolated
-//! from stride-1 2×2 windows, and the *border* fills the first two and last
-//! two rows and columns.
+//! Stage geometry (see DESIGN.md §5): for a `w × h` input (any `w`, `h`
+//! ≥ 3) the downscaled image is `⌈w/4⌉ × ⌈h/4⌉`, with ragged edge blocks
+//! averaging only the pixels that exist; the upscale *body* covers
+//! rows/columns `2 ..= h-3` via stride-4 blocks interpolated from stride-1
+//! 2×2 windows (writes past the border band are clamped away), and the
+//! *border* fills the first two and last two rows and columns. For
+//! multiple-of-4 dimensions every clamp is a no-op and the geometry — and
+//! the charged cost — is identical to the historical aligned-only scheme.
 
 use imagekit::ImageF32;
 use simgpu::cost::{CostCounters, OpCounts};
@@ -18,27 +21,46 @@ use crate::math;
 use crate::params::{SharpnessParams, SCALE};
 
 /// Downscale: each output is the mean of the corresponding 4×4 input block
-/// (paper Fig. 2).
+/// (paper Fig. 2). Ragged right/bottom blocks (when `w` or `h` is not a
+/// multiple of 4) average only the pixels that exist, summed in the same
+/// dy-major order as the full-block path.
 pub fn downscale(orig: &ImageF32) -> (ImageF32, CostCounters) {
     let (w, h) = (orig.width(), orig.height());
-    let (w4, h4) = (w / SCALE, h / SCALE);
-    let mut out = ImageF32::zeros(w4, h4);
-    for j in 0..h4 {
-        for i in 0..w4 {
-            let mut block = [0.0f32; 16];
-            for dy in 0..SCALE {
-                for dx in 0..SCALE {
-                    block[dy * SCALE + dx] = orig.get(SCALE * i + dx, SCALE * j + dy);
+    let (wd, hd) = (w.div_ceil(SCALE), h.div_ceil(SCALE));
+    let mut out = ImageF32::zeros(wd, hd);
+    let mut sampled = 0u64;
+    for j in 0..hd {
+        for i in 0..wd {
+            let bw = (w - SCALE * i).min(SCALE);
+            let bh = (h - SCALE * j).min(SCALE);
+            if bw == SCALE && bh == SCALE {
+                let mut block = [0.0f32; 16];
+                for dy in 0..SCALE {
+                    for dx in 0..SCALE {
+                        block[dy * SCALE + dx] = orig.get(SCALE * i + dx, SCALE * j + dy);
+                    }
                 }
+                out.set(i, j, math::downscale_pixel(&block));
+            } else {
+                let mut sum = 0.0f32;
+                for dy in 0..bh {
+                    for dx in 0..bw {
+                        sum += orig.get(SCALE * i + dx, SCALE * j + dy);
+                    }
+                }
+                out.set(i, j, sum * (1.0 / (bw * bh) as f32));
             }
-            out.set(i, j, math::downscale_pixel(&block));
+            sampled += (bw * bh) as u64;
         }
     }
-    let n = (w4 * h4) as u64;
+    let blocks = (wd * hd) as u64;
     let mut c = CostCounters::new();
-    c.charge_ops_n(&OpCounts::ZERO.adds(15).muls(1), n);
-    c.global_read_scalar = n * 16 * 4;
-    c.global_write_scalar = n * 4;
+    // Per block: (samples − 1) adds + 1 mul; a full 4×4 block charges the
+    // historical 15 adds + 1 mul exactly.
+    c.charge_ops_n(&OpCounts::ZERO.adds(1), sampled - blocks);
+    c.charge_ops_n(&OpCounts::ZERO.muls(1), blocks);
+    c.global_read_scalar = sampled * 4;
+    c.global_write_scalar = blocks * 4;
     (out, c)
 }
 
@@ -53,58 +75,85 @@ pub fn downscale(orig: &ImageF32) -> (ImageF32, CostCounters) {
 /// symmetrically along y.
 pub fn upscale_border_into(down: &ImageF32, up: &mut ImageF32) -> CostCounters {
     let (w, h) = (up.width(), up.height());
-    let (w4, h4) = (down.width(), down.height());
-    assert_eq!((w4 * SCALE, h4 * SCALE), (w, h), "shape mismatch");
+    let (wd, hd) = (down.width(), down.height());
+    assert_eq!(
+        (w.div_ceil(SCALE), h.div_ceil(SCALE)),
+        (wd, hd),
+        "shape mismatch"
+    );
     let mut c = CostCounters::new();
+    let mut interp_vals = 0u64;
+    let mut copied = 0u64;
 
     // Horizontal border rows: (source downscaled row, destination row).
-    for (src_row, dst_row) in [(0usize, 0usize), (h4 - 1, h - 2)] {
-        for bi in 0..w4 - 1 {
-            let a = down.get(bi, src_row);
-            let b = down.get(bi + 1, src_row);
-            for ph in 0..SCALE {
-                up.set(SCALE * bi + 2 + ph, dst_row, math::border_interp(a, b, ph));
+    for (src_row, dst_row) in [(0usize, 0usize), (hd - 1, h - 2)] {
+        if wd >= 2 {
+            for bi in 0..wd - 1 {
+                let a = down.get(bi, src_row);
+                let b = down.get(bi + 1, src_row);
+                for ph in 0..SCALE {
+                    let x = SCALE * bi + 2 + ph;
+                    // Ragged widths: the last window would run past the
+                    // right border band; those phases are clamped away.
+                    if x <= w - 3 {
+                        up.set(x, dst_row, math::border_interp(a, b, ph));
+                        interp_vals += 1;
+                    }
+                }
             }
+            // Outer columns copy the nearest computed value.
+            let first = up.get(2, dst_row);
+            up.set(0, dst_row, first);
+            up.set(1, dst_row, first);
+            let last = up.get(w - 3, dst_row);
+            up.set(w - 2, dst_row, last);
+            up.set(w - 1, dst_row, last);
+            copied += 4;
+        } else {
+            // w ≤ 4: a single downscaled column — replicate it across the
+            // whole row (interpolation needs two supporting samples).
+            let v = down.get(0, src_row);
+            for x in 0..w {
+                up.set(x, dst_row, v);
+            }
+            copied += w as u64;
         }
-        // Outer columns copy the nearest computed value.
-        let first = up.get(2, dst_row);
-        up.set(0, dst_row, first);
-        up.set(1, dst_row, first);
-        let last = up.get(w - 3, dst_row);
-        up.set(w - 2, dst_row, last);
-        up.set(w - 1, dst_row, last);
         // Copy to the companion row (row 1 / row h-1).
         let companion = if dst_row == 0 { 1 } else { h - 1 };
         for x in 0..w {
             let v = up.get(x, dst_row);
             up.set(x, companion, v);
         }
+        copied += w as u64;
     }
 
-    // Vertical border columns for the body rows 2 ..= h-3.
-    for (src_col, dst_col) in [(0usize, 0usize), (w4 - 1, w - 2)] {
-        for bj in 0..h4 - 1 {
+    // Vertical border columns for the body rows 2 ..= h-3 (empty when
+    // h ≤ 4, i.e. hd == 1: the four border rows already cover everything).
+    for (src_col, dst_col) in [(0usize, 0usize), (wd - 1, w - 2)] {
+        for bj in 0..hd.saturating_sub(1) {
             let a = down.get(src_col, bj);
             let b = down.get(src_col, bj + 1);
             for ph in 0..SCALE {
                 let y = SCALE * bj + 2 + ph;
                 if y >= 2 && y <= h - 3 {
                     up.set(dst_col, y, math::border_interp(a, b, ph));
+                    interp_vals += 1;
                 }
             }
         }
         let companion = if dst_col == 0 { 1 } else { w - 1 };
-        for y in 2..=h - 3 {
+        for y in 2..h.saturating_sub(2) {
             let v = up.get(dst_col, y);
             up.set(companion, y, v);
+            copied += 1;
         }
     }
 
-    // Accounting: interpolated values (2 mul + 1 add each) + copies.
-    let interp_vals = (2 * SCALE * (w4 - 1) + 2 * SCALE * (h4 - 1)) as u64;
+    // Accounting: interpolated values (2 mul + 1 add each) + copies. For
+    // multiple-of-4 shapes these counters reproduce the historical
+    // closed-form charges exactly.
     c.charge_ops_n(&OpCounts::ZERO.muls(2).adds(1), interp_vals);
     c.global_read_scalar = interp_vals * 2 * 4;
-    let copied = (2 * w + 2 * (h - 4) + 8) as u64;
     c.global_read_scalar += copied * 4;
     c.global_write_scalar = (interp_vals + copied + 8) * 4;
     c
@@ -114,30 +163,37 @@ pub fn upscale_border_into(down: &ImageF32, up: &mut ImageF32) -> CostCounters {
 /// interior is `P · D₂ₓ₂ · Pᵀ` for the stride-1 2×2 window of the
 /// downscaled matrix.
 pub fn upscale_body_into(down: &ImageF32, up: &mut ImageF32) -> CostCounters {
-    let (w4, h4) = (down.width(), down.height());
+    let (w, h) = (up.width(), up.height());
+    let (wd, hd) = (down.width(), down.height());
     let mut c = CostCounters::new();
-    for bj in 0..h4 - 1 {
-        for bi in 0..w4 - 1 {
+    let mut written = 0u64;
+    for bj in 0..hd.saturating_sub(1) {
+        for bi in 0..wd - 1 {
             let d00 = down.get(bi, bj);
             let d01 = down.get(bi + 1, bj);
             let d10 = down.get(bi, bj + 1);
             let d11 = down.get(bi + 1, bj + 1);
             for r in 0..SCALE {
                 for ph in 0..SCALE {
-                    up.set(
-                        SCALE * bi + 2 + ph,
-                        SCALE * bj + 2 + r,
-                        math::upscale_value(d00, d01, d10, d11, r, ph),
-                    );
+                    let x = SCALE * bi + 2 + ph;
+                    let y = SCALE * bj + 2 + r;
+                    // Ragged widths/heights: the last block column/row
+                    // overlaps the border band; clamp those writes away.
+                    if x <= w - 3 && y <= h - 3 {
+                        up.set(x, y, math::upscale_value(d00, d01, d10, d11, r, ph));
+                        written += 1;
+                    }
                 }
             }
         }
     }
-    let blocks = ((h4 - 1) * (w4 - 1)) as u64;
-    // Per block: 4 loads, 16 outputs × (6 mul + 3 add), 16 stores.
-    c.charge_ops_n(&OpCounts::ZERO.muls(6).adds(3), blocks * 16);
+    let blocks = (hd.saturating_sub(1) * wd.saturating_sub(1)) as u64;
+    // Per block: 4 loads, then (6 mul + 3 add) + 1 store per value kept.
+    // Aligned shapes keep all 16 values of every block — the historical
+    // charge exactly.
+    c.charge_ops_n(&OpCounts::ZERO.muls(6).adds(3), written);
     c.global_read_scalar = blocks * 4 * 4;
-    c.global_write_scalar = blocks * 16 * 4;
+    c.global_write_scalar = written * 4;
     c
 }
 
@@ -330,6 +386,59 @@ mod tests {
             up.pixels().iter().all(|v| v.is_finite()),
             "uncovered pixels remain"
         );
+    }
+
+    #[test]
+    fn downscale_ragged_blocks_average_existing_pixels() {
+        // 6x6: edge blocks are 2 wide / 2 tall; their means only use the
+        // pixels that exist.
+        let img = ImageF32::filled(6, 6, 3.0);
+        let (d, c) = downscale(&img);
+        assert_eq!((d.width(), d.height()), (2, 2));
+        assert!(d.pixels().iter().all(|&v| (v - 3.0).abs() < 1e-5));
+        // Samples: 16 + 8 + 8 + 4 = 36 (every input pixel exactly once).
+        assert_eq!(c.global_read_scalar, 36 * 4);
+        let grad = ImageF32::from_fn(5, 3, |x, _| x as f32);
+        let (d, _) = downscale(&grad);
+        assert_eq!((d.width(), d.height()), (2, 1));
+        // Right block is the lone column x=4 over 3 rows.
+        assert!((d.get(1, 0) - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn upscale_covers_every_pixel_on_odd_shapes() {
+        for (w, h) in [
+            (3, 3),
+            (5, 7),
+            (7, 5),
+            (4, 4),
+            (5, 4),
+            (3, 1000),
+            (13, 11),
+            (33, 29),
+        ] {
+            let img = generate::natural(w, h, 7);
+            let (d, _) = downscale(&img);
+            let mut up = ImageF32::from_fn(w, h, |_, _| f32::NAN);
+            upscale_border_into(&d, &mut up);
+            upscale_body_into(&d, &mut up);
+            assert!(
+                up.pixels().iter().all(|v| v.is_finite()),
+                "uncovered pixels at {w}x{h}"
+            );
+        }
+    }
+
+    #[test]
+    fn upscale_of_constant_is_constant_on_odd_shapes() {
+        for (w, h) in [(3, 3), (5, 7), (6, 6), (13, 11)] {
+            let flat = ImageF32::filled(w, h, 7.0);
+            let (d, _) = downscale(&flat);
+            let (up, _, _) = upscale(&d, w, h);
+            for &v in up.pixels() {
+                assert!((v - 7.0).abs() < 1e-4, "{w}x{h}: {v}");
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::gpu::kernels::reduction::{
 };
 use crate::gpu::kernels::upscale::upscale_border_gpu;
 use crate::gpu::kernels::KernelTuning;
-use crate::params::SCALE;
+use crate::params::{device_stride, SCALE};
 
 /// Simulated time of the two-stage GPU reduction of `n` elements,
 /// including the stage-2 host finish (or device stage 2 above
@@ -69,12 +69,13 @@ pub fn reduction_cpu_time(ctx: &Context, n: usize) -> f64 {
 /// Simulated time of the GPU upscale-border for a `w × h` image (four
 /// small, divergence-heavy kernels).
 pub fn border_gpu_time(ctx: &Context, w: usize, h: usize) -> f64 {
-    let (w4, h4) = (w / SCALE, h / SCALE);
+    let (w4, h4) = (w.div_ceil(SCALE), h.div_ceil(SCALE));
+    let ws = device_stride(w);
     let mut q = ctx.queue();
     let down = ctx.buffer::<f32>("down", w4 * h4);
     down.fill_from(&vec![1.0f32; w4 * h4]);
-    let up = ctx.buffer::<f32>("up", w * h);
-    upscale_border_gpu(&mut q, &down.view(), &up, w, h, KernelTuning::default())
+    let up = ctx.buffer::<f32>("up", ws * h);
+    upscale_border_gpu(&mut q, &down.view(), &up, w, h, ws, KernelTuning::default())
         .expect("border kernels");
     q.elapsed()
 }
@@ -83,7 +84,7 @@ pub fn border_gpu_time(ctx: &Context, w: usize, h: usize) -> f64 {
 /// downscaled matrix read back, host interpolation, border region written
 /// to the device.
 pub fn border_cpu_time(ctx: &Context, w: usize, h: usize) -> f64 {
-    let (w4, h4) = (w / SCALE, h / SCALE);
+    let (w4, h4) = (w.div_ceil(SCALE), h.div_ceil(SCALE));
     let mut q = ctx.queue();
     let down = ctx.buffer::<f32>("down", w4 * h4);
     down.fill_from(&vec![1.0f32; w4 * h4]);

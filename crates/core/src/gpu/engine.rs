@@ -290,7 +290,7 @@ mod tests {
     #[test]
     fn first_error_aborts() {
         let mut fs = frames(2, 64);
-        fs.push(generate::gradient(30, 18)); // unsupported shape
+        fs.push(generate::gradient(2, 18)); // unsupported shape
         assert!(engine(2).process(&fs).is_err());
     }
 

@@ -3,14 +3,17 @@
 
 use simgpu::buffer::Buffer;
 use simgpu::cost::OpCounts;
-use simgpu::error::Result;
+use simgpu::error::{Error, Result};
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
 use super::{grid2d, KernelTuning, SrcImage};
-use crate::params::SCALE;
+use crate::params::{MIN_DIM, SCALE};
 
-/// Dispatches the downscale kernel: `down[j, i] = mean(src 4×4 block)`.
+/// Dispatches the downscale kernel: `down[j, i] = mean(src block)`, where
+/// interior blocks are 4×4 and the ragged right/bottom blocks (widths not
+/// a multiple of 4) average only the pixels that exist, exactly as the CPU
+/// reference does. The downscaled grid is `⌈w/4⌉ × ⌈h/4⌉`.
 ///
 /// Works against either the raw original or the padded source (the
 /// data-transfer optimization removes the raw upload entirely, so the
@@ -19,55 +22,95 @@ pub fn downscale_kernel(
     q: &mut CommandQueue,
     src: &SrcImage,
     down: &Buffer<f32>,
-    w4: usize,
-    h4: usize,
+    w: usize,
+    h: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
-    let desc = grid2d("downscale", w4, h4);
+    if w < MIN_DIM || h < MIN_DIM {
+        return Err(Error::InvalidKernelArgs {
+            kernel: "downscale".into(),
+            detail: format!("shape {w}x{h} below the {MIN_DIM}x{MIN_DIM} minimum"),
+        });
+    }
+    let (wd, hd) = (w.div_ceil(SCALE), h.div_ceil(SCALE));
+    let desc = grid2d("downscale", wd, hd);
     let dview = down.write_view();
     let src = src.clone();
-    // Per item: 15 adds + 1 mul for the block mean, plus index arithmetic.
+    // Per full block: 15 adds + 1 mul for the mean, plus index arithmetic.
     let per_item = OpCounts::ZERO.adds(15).muls(1).plus(&tune.idx_ops());
+    let idx_ops = tune.idx_ops();
     q.run(&desc, &[down], move |g| {
         // Row-segment form: each output row of the group reads its four
         // source rows as contiguous slices and accumulates the 4×4 block
         // sums in the same dy-major/dx-minor order as
         // [`math::downscale_pixel`] (bit-identical results), with the
         // per-thread traffic — 16 scalar loads, 1 scalar store — charged
-        // in bulk.
+        // in bulk. Ragged blocks (right column with w % 4 != 0, bottom row
+        // with h % 4 != 0) fall back to per-element loads of the pixels
+        // that exist, in the same dy-major order as the CPU partial-block
+        // path.
         let gw = g.group_size[0];
         let x_start = g.group_id[0] * gw;
-        let mut n_items = 0u64;
+        let mut n_full = 0u64;
+        let mut tail_adds = 0u64;
+        let mut n_tail = 0u64;
         let mut scratch = vec![0.0f32; gw];
         for ly in 0..g.group_size[1] {
             g.begin_item([0, ly]);
             let j = g.group_id[1] * g.group_size[1] + ly;
-            if j >= h4 || x_start >= w4 {
+            if j >= hd || x_start >= wd {
                 continue;
             }
-            let x_end = (x_start + gw).min(w4);
-            let span = x_end - x_start;
-            n_items += span as u64;
-            let row_out = &mut scratch[..span];
-            let rows: [&[f32]; SCALE] = std::array::from_fn(|dy| {
-                src.view.slice_raw(
-                    src.idx((SCALE * x_start) as isize, (SCALE * j + dy) as isize),
-                    SCALE * span,
-                )
-            });
-            for (i, o) in row_out.iter_mut().enumerate() {
+            let x_end = (x_start + gw).min(wd);
+            let bh = (h - SCALE * j).min(SCALE);
+            // Columns whose 4-wide, 4-tall source block is complete; a
+            // short bottom row makes every block in the segment partial.
+            let full_end = if bh == SCALE {
+                x_end.min(w / SCALE)
+            } else {
+                x_start
+            };
+            if full_end > x_start {
+                let span = full_end - x_start;
+                n_full += span as u64;
+                let row_out = &mut scratch[..span];
+                let rows: [&[f32]; SCALE] = std::array::from_fn(|dy| {
+                    src.view.slice_raw(
+                        src.idx((SCALE * x_start) as isize, (SCALE * j + dy) as isize),
+                        SCALE * span,
+                    )
+                });
+                for (i, o) in row_out.iter_mut().enumerate() {
+                    let mut s = 0.0f32;
+                    for row in &rows {
+                        for dx in 0..SCALE {
+                            s += row[SCALE * i + dx];
+                        }
+                    }
+                    *o = s * (1.0 / 16.0);
+                }
+                dview.set_span_raw(j * wd + x_start, row_out);
+            }
+            for i in full_end..x_end {
+                let bw = (w - SCALE * i).min(SCALE);
+                n_tail += 1;
+                tail_adds += (bw * bh) as u64 - 1;
                 let mut s = 0.0f32;
-                for row in &rows {
-                    for dx in 0..SCALE {
-                        s += row[SCALE * i + dx];
+                for dy in 0..bh {
+                    for dx in 0..bw {
+                        s += g.load(
+                            &src.view,
+                            src.idx((SCALE * i + dx) as isize, (SCALE * j + dy) as isize),
+                        );
                     }
                 }
-                *o = s * (1.0 / 16.0);
+                g.store(&dview, j * wd + i, s * (1.0 / (bw * bh) as f32));
             }
-            dview.set_span_raw(j * w4 + x_start, row_out);
         }
-        g.charge_global_n(64, 0, 4, 0, n_items);
-        g.charge_n(&per_item, n_items);
+        g.charge_global_n(64, 0, 4, 0, n_full);
+        g.charge_n(&per_item, n_full);
+        g.charge_n(&OpCounts::ZERO.adds(1), tail_adds);
+        g.charge_n(&OpCounts::ZERO.muls(1).plus(&idx_ops), n_tail);
     })
 }
 
@@ -93,8 +136,36 @@ mod tests {
             pitch: 64,
             pad: 0,
         };
-        downscale_kernel(&mut q, &src, &down, 16, 12, KernelTuning::default()).unwrap();
+        downscale_kernel(&mut q, &src, &down, 64, 48, KernelTuning::default()).unwrap();
         assert_eq!(down.snapshot(), cpu_down.pixels());
+    }
+
+    #[test]
+    fn ragged_shapes_match_cpu_reference_exactly() {
+        for (w, h) in [
+            (5, 7),
+            (13, 11),
+            (33, 29),
+            (1001 / 7, 701 / 7),
+            (3, 3),
+            (66, 18),
+        ] {
+            let img = generate::natural(w, h, 11);
+            let (cpu_down, _) = stages::downscale(&img);
+            let (wd, hd) = (w.div_ceil(SCALE), h.div_ceil(SCALE));
+
+            let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+            let mut q = ctx.queue();
+            let orig = ctx.buffer_from("original", img.pixels());
+            let down = ctx.buffer::<f32>("down", wd * hd);
+            let src = SrcImage {
+                view: orig.view(),
+                pitch: w,
+                pad: 0,
+            };
+            downscale_kernel(&mut q, &src, &down, w, h, KernelTuning::default()).unwrap();
+            assert_eq!(down.snapshot(), cpu_down.pixels(), "{w}x{h}");
+        }
     }
 
     #[test]
@@ -112,7 +183,7 @@ mod tests {
             pitch: 34,
             pad: 1,
         };
-        downscale_kernel(&mut q, &src, &down, 8, 8, KernelTuning::default()).unwrap();
+        downscale_kernel(&mut q, &src, &down, 32, 32, KernelTuning::default()).unwrap();
         assert_eq!(down.snapshot(), cpu_down.pixels());
     }
 
@@ -128,7 +199,7 @@ mod tests {
             pitch: 64,
             pad: 0,
         };
-        downscale_kernel(&mut q, &src, &down, 16, 16, KernelTuning::default()).unwrap();
+        downscale_kernel(&mut q, &src, &down, 64, 64, KernelTuning::default()).unwrap();
         let c = q.records()[0].counters.unwrap();
         assert_eq!(c.global_read_scalar, 16 * 16 * 16 * 4);
         assert_eq!(c.global_write_scalar, 16 * 16 * 4);

@@ -90,6 +90,20 @@ impl KernelTuning {
     }
 }
 
+/// Declared read-overcharge ratio for the span-form vectorized kernels.
+///
+/// `charged` is the kernel's total charged loads (elements, from the
+/// per-thread overlapping-window pattern); `observed_floor` is a lower
+/// bound on the distinct elements the row spans actually touch. The audit
+/// only needs `charged <= observed * ratio`, so a conservative (large)
+/// quotient is safe; the historical 4.0 floor keeps the declared value
+/// unchanged for multiple-of-4 shapes, and the 1% headroom keeps float
+/// rounding in the comparison from biting. Sanitizer metadata only — never
+/// affects simulated time.
+pub fn overcharge_ratio(charged: u64, observed_floor: u64) -> f64 {
+    (charged as f64 / observed_floor.max(1) as f64 * 1.01).max(4.0)
+}
+
 /// The standard 2-D work-group shape used by the image kernels.
 pub const GROUP_2D: [usize; 2] = [16, 16];
 

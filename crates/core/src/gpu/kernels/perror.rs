@@ -13,7 +13,10 @@ use simgpu::timing::KernelTime;
 
 use super::{grid2d, KernelTuning, SrcImage};
 
-/// Dispatches the pError kernel over the full image.
+/// Dispatches the pError kernel over the full image. `ws` is the device
+/// row stride of the up/pError buffers (equal to `w` for multiple-of-4
+/// widths).
+#[allow(clippy::too_many_arguments)]
 pub fn perror_kernel(
     q: &mut CommandQueue,
     src: &SrcImage,
@@ -21,6 +24,7 @@ pub fn perror_kernel(
     perr: &Buffer<f32>,
     w: usize,
     h: usize,
+    ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
     let desc = grid2d("perror", w, h);
@@ -38,8 +42,8 @@ pub fn perror_kernel(
             }
             n_items += 1;
             let o = g.load(&src.view, src.idx(x as isize, y as isize));
-            let u = g.load(&up, y * w + x);
-            g.store(&pview, y * w + x, o - u);
+            let u = g.load(&up, y * ws + x);
+            g.store(&pview, y * ws + x, o - u);
         }
         g.charge_n(&per_item, n_items);
     })
@@ -75,6 +79,7 @@ mod tests {
             &src,
             &upbuf.view(),
             &perr,
+            32,
             32,
             32,
             KernelTuning::default(),

@@ -23,7 +23,7 @@
 
 use simgpu::buffer::{Buffer, GlobalView};
 use simgpu::cost::OpCounts;
-use simgpu::error::Result;
+use simgpu::error::{Error, Result};
 use simgpu::kernel::KernelDesc;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
@@ -76,7 +76,15 @@ pub fn reduction_stage1_range_kernel(
     strategy: ReductionStrategy,
 ) -> Result<(usize, KernelTime)> {
     let groups = stage1_groups(n);
-    assert!(partials.len() >= groups, "partials buffer too small");
+    if partials.len() < groups {
+        return Err(Error::InvalidKernelArgs {
+            kernel: "reduction_stage1".into(),
+            detail: format!(
+                "partials buffer holds {} elements, {groups} work-groups required",
+                partials.len()
+            ),
+        });
+    }
     let name = match strategy {
         ReductionStrategy::NoUnroll => "reduction_stage1",
         ReductionStrategy::UnrollOne => "reduction_stage1_unroll1",

@@ -10,16 +10,17 @@
 
 use simgpu::buffer::{Buffer, GlobalView};
 use simgpu::cost::OpCounts;
-use simgpu::error::Result;
+use simgpu::error::{Error, Result};
 use simgpu::kernel::items;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid2d, KernelTuning, SrcImage};
+use super::{grid2d, overcharge_ratio, KernelTuning, SrcImage};
 use crate::math;
-use crate::params::SharpnessParams;
+use crate::params::{SharpnessParams, MIN_DIM};
 
 /// Unfused preliminary kernel: `prelim = up + strength(pEdge) · pError`.
+/// `ws` is the device row stride of the up/pEdge/pError/prelim buffers.
 #[allow(clippy::too_many_arguments)]
 pub fn preliminary_kernel(
     q: &mut CommandQueue,
@@ -31,6 +32,7 @@ pub fn preliminary_kernel(
     params: SharpnessParams,
     w: usize,
     h: usize,
+    ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
     let desc = grid2d("preliminary", w, h);
@@ -54,7 +56,7 @@ pub fn preliminary_kernel(
                 continue;
             }
             n += 1;
-            let i = y * w + x;
+            let i = y * ws + x;
             let u = g.load(&up, i);
             let e = g.load(&pedge, i);
             let err = g.load(&perr, i);
@@ -66,7 +68,8 @@ pub fn preliminary_kernel(
 }
 
 /// Unfused overshoot kernel (paper Fig. 8): clamps the preliminary matrix
-/// against the 3×3 envelope of the original.
+/// against the 3×3 envelope of the original. `ws` is the device row
+/// stride of the prelim/final buffers.
 #[allow(clippy::too_many_arguments)]
 pub fn overshoot_kernel(
     q: &mut CommandQueue,
@@ -75,6 +78,7 @@ pub fn overshoot_kernel(
     finalbuf: &Buffer<f32>,
     w: usize,
     h: usize,
+    ws: usize,
     params: SharpnessParams,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
@@ -97,7 +101,7 @@ pub fn overshoot_kernel(
             if x >= w || y >= h {
                 continue;
             }
-            let i = y * w + x;
+            let i = y * ws + x;
             let p = g.load(&prelim, i);
             if x == 0 || y == 0 || x == w - 1 || y == h - 1 {
                 n_border += 1;
@@ -163,6 +167,7 @@ pub fn sharpness_fused_kernel(
     params: SharpnessParams,
     w: usize,
     h: usize,
+    ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
     let desc = grid2d("sharpness", w, h);
@@ -188,7 +193,7 @@ pub fn sharpness_fused_kernel(
             if x >= w || y >= h {
                 continue;
             }
-            let i = y * w + x;
+            let i = y * ws + x;
             let u = g.load(&up, i);
             let e = g.load(&pedge, i);
             let (xi, yi) = (x as isize, y as isize);
@@ -322,14 +327,27 @@ pub fn sharpness_fused_vec4_kernel(
     params: SharpnessParams,
     w: usize,
     h: usize,
+    ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
-    assert_eq!(
-        src.pad, 1,
-        "vectorized sharpness requires the padded source"
-    );
-    assert_eq!(w % 4, 0, "width must be a multiple of 4");
-    let desc = grid2d("sharpness_vec4", w / 4, h);
+    if src.pad != 1 {
+        return Err(Error::InvalidKernelArgs {
+            kernel: "sharpness_vec4".into(),
+            detail: "requires the padded source (pad == 1)".into(),
+        });
+    }
+    if w < MIN_DIM || h < MIN_DIM || !ws.is_multiple_of(4) || ws < w || src.pitch != ws + 2 {
+        return Err(Error::InvalidKernelArgs {
+            kernel: "sharpness_vec4".into(),
+            detail: format!(
+                "shape {w}x{h} with stride {ws} (pitch {}): stride must be a \
+                 multiple of 4 covering the width, pitch = stride + 2, and the \
+                 shape at least {MIN_DIM}x{MIN_DIM}",
+                src.pitch
+            ),
+        });
+    }
+    let desc = grid2d("sharpness_vec4", ws / 4, h);
     let out = finalbuf.write_view();
     let src = src.clone();
     let (up, pedge) = (up.clone(), pedge.clone());
@@ -341,6 +359,13 @@ pub fn sharpness_fused_vec4_kernel(
         .cmps(96 + 8)
         .plus(&tune.idx_ops());
     let clamp_div = tune.clamp_divergence();
+    // Charged loads are 26 per thread over (ws/4)·h threads; the distinct
+    // elements actually read are at least the 5·(w-2)·(h-2) body rows
+    // (3 source rows + up + pEdge).
+    let ratio = overcharge_ratio(
+        26 * (ws as u64 / 4) * h as u64,
+        5 * (w as u64 - 2) * (h as u64 - 2),
+    );
     q.run(&desc, &[finalbuf], move |g| {
         // One border pixel, computed exactly as `fused_pixel` with
         // `body = false` would (only the window centre matters).
@@ -348,7 +373,7 @@ pub fn sharpness_fused_vec4_kernel(
             |x: usize, y: usize, src: &SrcImage, up: &GlobalView<f32>, pe: &GlobalView<f32>| {
                 let mut n9 = [0.0f32; 9];
                 n9[4] = src.view.get_raw(src.idx(x as isize, y as isize));
-                let i = y * w + x;
+                let i = y * ws + x;
                 fused_pixel(&n9, up.get_raw(i), pe.get_raw(i), mean, &params, false)
             };
         // The group's threads cover `4 * group_size[0]` consecutive pixels
@@ -357,7 +382,7 @@ pub fn sharpness_fused_vec4_kernel(
         // what the per-thread vload4/vstore4 pattern accounts.
         // As in the vectorized Sobel, the charged overlapping-window
         // traffic exceeds the distinct elements the row spans touch.
-        g.declare_read_overcharge(4.0);
+        g.declare_read_overcharge(ratio);
         let gw = g.group_size[0];
         let x_start = 4 * g.group_id[0] * gw;
         let mut n_threads = 0u64;
@@ -365,16 +390,19 @@ pub fn sharpness_fused_vec4_kernel(
         for ly in 0..g.group_size[1] {
             g.begin_item([0, ly]);
             let y = g.group_id[1] * g.group_size[1] + ly;
-            if y >= h || x_start >= w {
+            if y >= h || x_start >= ws {
                 continue;
             }
-            let x_end = (x_start + 4 * gw).min(w);
+            let x_end = (x_start + 4 * gw).min(ws);
             let span = x_end - x_start;
             n_threads += (span / 4) as u64;
             let yi = y as isize;
             let row_out = &mut scratch[..span];
+            // Stride-padding columns beyond `w` stay zero on every row,
+            // matching the scalar kernels (which never write them).
+            row_out.fill(0.0);
             if y == 0 || y == h - 1 {
-                for (j, x) in (x_start..x_end).enumerate() {
+                for (j, x) in (x_start..x_end.min(w)).enumerate() {
                     row_out[j] = border_pixel(x, y, &src, &up, &pedge);
                 }
             } else {
@@ -390,8 +418,8 @@ pub fn sharpness_fused_vec4_kernel(
                 let r2 = src
                     .view
                     .slice_raw(src.idx(body_lo as isize - 1, yi + 1), blen + 2);
-                let up_row = up.slice_raw(y * w + body_lo, blen);
-                let pe_row = pedge.slice_raw(y * w + body_lo, blen);
+                let up_row = up.slice_raw(y * ws + body_lo, blen);
+                let pe_row = pedge.slice_raw(y * ws + body_lo, blen);
                 fused_body_span(
                     r0,
                     r1,
@@ -408,7 +436,7 @@ pub fn sharpness_fused_vec4_kernel(
                     }
                 }
             }
-            out.set_span_raw(y * w + x_start, row_out);
+            out.set_span_raw(y * ws + x_start, row_out);
         }
         // Per thread: 3 src vload4 (48 B) + up/pEdge vload4 (32 B) vector
         // reads, 6 src scalar loads (24 B), one vstore4 (16 B).
@@ -476,6 +504,7 @@ mod tests {
             SharpnessParams::default(),
             32,
             32,
+            32,
             KernelTuning::default(),
         )
         .unwrap();
@@ -500,6 +529,7 @@ mod tests {
             &src,
             &prelim.view(),
             &fin,
+            32,
             32,
             32,
             SharpnessParams::default(),
@@ -533,6 +563,7 @@ mod tests {
             SharpnessParams::default(),
             48,
             32,
+            48,
             KernelTuning::default(),
         )
         .unwrap();
@@ -564,6 +595,7 @@ mod tests {
             SharpnessParams::default(),
             64,
             48,
+            64,
             KernelTuning::default(),
         )
         .unwrap();
@@ -595,6 +627,7 @@ mod tests {
             &perr,
             64,
             64,
+            64,
             KernelTuning::default(),
         )
         .unwrap();
@@ -608,6 +641,7 @@ mod tests {
             p,
             64,
             64,
+            64,
             KernelTuning::default(),
         )
         .unwrap();
@@ -616,6 +650,7 @@ mod tests {
             &src,
             &prelim.view(),
             &fin1,
+            64,
             64,
             64,
             p,
@@ -640,6 +675,7 @@ mod tests {
             &fin2,
             f.mean,
             p,
+            64,
             64,
             64,
             KernelTuning::default(),

@@ -5,24 +5,35 @@
 
 use simgpu::buffer::Buffer;
 use simgpu::cost::OpCounts;
-use simgpu::error::Result;
+use simgpu::error::{Error, Result};
 use simgpu::kernel::items;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid2d, KernelTuning, SrcImage};
+use super::{grid2d, overcharge_ratio, KernelTuning, SrcImage};
 use crate::math;
+use crate::params::MIN_DIM;
 
 /// Scalar Sobel: each thread computes one pEdge value from eight
-/// neighbour loads; border threads store zero.
+/// neighbour loads; border threads store zero. `ws` is the device row
+/// stride of `pedge` (equal to `w` for multiple-of-4 widths).
 pub fn sobel_scalar_kernel(
     q: &mut CommandQueue,
     src: &SrcImage,
     pedge: &Buffer<f32>,
     w: usize,
     h: usize,
+    ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
+    if w < MIN_DIM || h < MIN_DIM || ws < w {
+        return Err(Error::InvalidKernelArgs {
+            kernel: "sobel".into(),
+            detail: format!(
+                "shape {w}x{h} (stride {ws}) below the {MIN_DIM}x{MIN_DIM} stencil minimum"
+            ),
+        });
+    }
     let desc = grid2d("sobel", w, h);
     let out = pedge.write_view();
     let src = src.clone();
@@ -43,7 +54,7 @@ pub fn sobel_scalar_kernel(
             }
             if x == 0 || y == 0 || x == w - 1 || y == h - 1 {
                 n_border += 1;
-                g.store(&out, y * w + x, 0.0);
+                g.store(&out, y * ws + x, 0.0);
                 continue;
             }
             n_body += 1;
@@ -59,7 +70,7 @@ pub fn sobel_scalar_kernel(
                 g.load(&src.view, src.idx(xi, yi + 1)),
                 g.load(&src.view, src.idx(xi + 1, yi + 1)),
             ];
-            g.store(&out, y * w + x, math::sobel_pixel(&n));
+            g.store(&out, y * ws + x, math::sobel_pixel(&n));
         }
         g.charge_n(&per_item, n_body);
         g.charge_n(&OpCounts::ZERO.cmps(4), n_border + n_body);
@@ -70,18 +81,36 @@ pub fn sobel_scalar_kernel(
 /// Vectorized Sobel (paper Fig. 11): each thread produces four adjacent
 /// pEdge values. Loads the 3×6 source window as three `vload4`s plus six
 /// scalar loads (18 values) and writes with one `vstore4`. Requires the
-/// padded source so that the window loads need no bounds checks.
+/// padded source so that the window loads need no bounds checks. `ws` is
+/// the vec4-aligned device row stride of `pedge`; threads cover the full
+/// stride, writing zero into the padding columns beyond `w`.
 pub fn sobel_vec4_kernel(
     q: &mut CommandQueue,
     src: &SrcImage,
     pedge: &Buffer<f32>,
     w: usize,
     h: usize,
+    ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
-    assert_eq!(src.pad, 1, "vectorized Sobel requires the padded source");
-    assert_eq!(w % 4, 0, "width must be a multiple of 4");
-    let desc = grid2d("sobel_vec4", w / 4, h);
+    if src.pad != 1 {
+        return Err(Error::InvalidKernelArgs {
+            kernel: "sobel_vec4".into(),
+            detail: "requires the padded source (pad == 1)".into(),
+        });
+    }
+    if w < MIN_DIM || h < MIN_DIM || !ws.is_multiple_of(4) || ws < w || src.pitch != ws + 2 {
+        return Err(Error::InvalidKernelArgs {
+            kernel: "sobel_vec4".into(),
+            detail: format!(
+                "shape {w}x{h} with stride {ws} (pitch {}): stride must be a \
+                 multiple of 4 covering the width, pitch = stride + 2, and the \
+                 shape at least {MIN_DIM}x{MIN_DIM}",
+                src.pitch
+            ),
+        });
+    }
+    let desc = grid2d("sobel_vec4", ws / 4, h);
     let out = pedge.write_view();
     let src = src.clone();
     // Per thread: 4 pixels × (11 add + 4 mul + 2 cmp) + border selects.
@@ -90,6 +119,13 @@ pub fn sobel_vec4_kernel(
         .muls(16)
         .cmps(8 + 4)
         .plus(&tune.idx_ops());
+    // Charged loads are 18 per thread over (ws/4)·h threads; the distinct
+    // elements actually read are at least the 3·(w-2)·(h-2) body-window
+    // rows. For aligned shapes this quotient is below the historical 4.0.
+    let ratio = overcharge_ratio(
+        18 * (ws as u64 / 4) * h as u64,
+        3 * (w as u64 - 2) * (h as u64 - 2),
+    );
     q.run(&desc, &[pedge], move |g| {
         // Row-segment form: the group's threads cover `4 * group_size[0]`
         // consecutive pixels per row, computed as one branch-free span so
@@ -101,7 +137,7 @@ pub fn sobel_vec4_kernel(
         // design) exceeds the distinct elements the row-span form touches;
         // declare the worst-case ratio so the drift audit stays exact-or-
         // declared.
-        g.declare_read_overcharge(4.0);
+        g.declare_read_overcharge(ratio);
         let gw = g.group_size[0];
         let x_start = 4 * g.group_id[0] * gw;
         let mut n_threads = 0u64;
@@ -109,16 +145,19 @@ pub fn sobel_vec4_kernel(
         for ly in 0..g.group_size[1] {
             g.begin_item([0, ly]);
             let y = g.group_id[1] * g.group_size[1] + ly;
-            if y >= h || x_start >= w {
+            if y >= h || x_start >= ws {
                 continue;
             }
-            let x_end = (x_start + 4 * gw).min(w);
+            let x_end = (x_start + 4 * gw).min(ws);
             let span = x_end - x_start;
             n_threads += (span / 4) as u64;
             let row_out = &mut scratch[..span];
-            if y == 0 || y == h - 1 {
-                row_out.fill(0.0);
-            } else {
+            // Zero everything the body loop below does not overwrite: the
+            // image border columns and the stride-padding tail beyond `w`
+            // stay zero, matching the scalar kernel (which never writes
+            // the padding at all — it is zero from allocation).
+            row_out.fill(0.0);
+            if y > 0 && y < h - 1 {
                 let yi = y as isize;
                 let body_lo = x_start.max(1);
                 let body_hi = x_end.min(w - 1);
@@ -144,13 +183,8 @@ pub fn sobel_vec4_kernel(
                         - (r0[i] + 2.0 * r0[i + 1] + r0[i + 2]);
                     body[i] = gx.abs() + gy.abs();
                 }
-                for x in [0, w - 1] {
-                    if x >= x_start && x < x_end {
-                        row_out[x - x_start] = 0.0;
-                    }
-                }
             }
-            out.set_span_raw(y * w + x_start, row_out);
+            out.set_span_raw(y * ws + x_start, row_out);
         }
         // Per thread: one 3-row window = 3 vload4 (48 B) + 6 scalar loads
         // (24 B), one vstore4 (16 B).
@@ -184,7 +218,7 @@ mod tests {
             pitch: 48,
             pad: 0,
         };
-        sobel_scalar_kernel(&mut q, &src, &pedge, 48, 32, KernelTuning::default()).unwrap();
+        sobel_scalar_kernel(&mut q, &src, &pedge, 48, 32, 48, KernelTuning::default()).unwrap();
         assert_eq!(pedge.snapshot(), cpu.pixels());
     }
 
@@ -202,8 +236,81 @@ mod tests {
             pitch: 66,
             pad: 1,
         };
-        sobel_vec4_kernel(&mut q, &src, &pedge, 64, 48, KernelTuning::default()).unwrap();
+        sobel_vec4_kernel(&mut q, &src, &pedge, 64, 48, 64, KernelTuning::default()).unwrap();
         assert_eq!(pedge.snapshot(), cpu.pixels());
+    }
+
+    #[test]
+    fn vec4_matches_scalar_on_odd_widths() {
+        // Ragged widths: the vec4 kernel runs over the padded stride and
+        // must produce the scalar kernel's pixels in the `w` image columns
+        // and zeros in the padding tail.
+        for (w, h) in [(5, 7), (13, 11), (33, 29), (3, 3), (61, 16)] {
+            let ws = crate::params::device_stride(w);
+            let img = generate::natural(w, h, 3);
+            let ctx = gpu_ctx();
+            let mut q = ctx.queue();
+
+            let orig = ctx.buffer_from("original", img.pixels());
+            let scalar_out = ctx.buffer::<f32>("pEdgeS", ws * h);
+            let raw = SrcImage {
+                view: orig.view(),
+                pitch: w,
+                pad: 0,
+            };
+            sobel_scalar_kernel(&mut q, &raw, &scalar_out, w, h, ws, KernelTuning::default())
+                .unwrap();
+
+            // Padded source at the device stride, image rect at (1,1).
+            let pw = ws + 2;
+            let mut padded = vec![0.0f32; pw * (h + 2)];
+            for y in 0..h {
+                for x in 0..w {
+                    padded[(y + 1) * pw + x + 1] = img.get(x, y);
+                }
+            }
+            let pbuf = ctx.buffer_from("padded", &padded);
+            let vec_out = ctx.buffer::<f32>("pEdgeV", ws * h);
+            let psrc = SrcImage {
+                view: pbuf.view(),
+                pitch: pw,
+                pad: 1,
+            };
+            sobel_vec4_kernel(&mut q, &psrc, &vec_out, w, h, ws, KernelTuning::default()).unwrap();
+
+            assert_eq!(vec_out.snapshot(), scalar_out.snapshot(), "{w}x{h}");
+            let snap = vec_out.snapshot();
+            for y in 0..h {
+                for x in w..ws {
+                    assert_eq!(snap[y * ws + x], 0.0, "padding ({x},{y}) of {w}x{h}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vec4_rejects_bad_arguments_with_typed_error() {
+        let ctx = gpu_ctx();
+        let mut q = ctx.queue();
+        let pbuf = ctx.buffer::<f32>("padded", 10 * 10);
+        let pedge = ctx.buffer::<f32>("pEdge", 64);
+        let unpadded = SrcImage {
+            view: pbuf.view(),
+            pitch: 8,
+            pad: 0,
+        };
+        let err = sobel_vec4_kernel(&mut q, &unpadded, &pedge, 8, 8, 8, KernelTuning::default())
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidKernelArgs { .. }), "{err}");
+        let padded = SrcImage {
+            view: pbuf.view(),
+            pitch: 10,
+            pad: 1,
+        };
+        // Stride not covering the width.
+        let err = sobel_vec4_kernel(&mut q, &padded, &pedge, 8, 8, 4, KernelTuning::default())
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidKernelArgs { .. }), "{err}");
     }
 
     #[test]
@@ -219,7 +326,7 @@ mod tests {
             pitch: 66,
             pad: 1,
         };
-        sobel_vec4_kernel(&mut q, &src, &pedge, 64, 64, KernelTuning::default()).unwrap();
+        sobel_vec4_kernel(&mut q, &src, &pedge, 64, 64, 64, KernelTuning::default()).unwrap();
         let c = q.records()[0].counters.unwrap();
         assert!(c.global_read_vector > 0);
         assert!(c.global_write_vector > 0);
@@ -241,7 +348,7 @@ mod tests {
             pitch: 32,
             pad: 0,
         };
-        sobel_scalar_kernel(&mut q, &src, &pedge, 32, 32, KernelTuning::default()).unwrap();
+        sobel_scalar_kernel(&mut q, &src, &pedge, 32, 32, 32, KernelTuning::default()).unwrap();
         let c = q.records()[0].counters.unwrap();
         assert_eq!(c.global_read_scalar, 30 * 30 * 8 * 4);
     }

@@ -9,34 +9,57 @@
 
 use simgpu::buffer::{Buffer, GlobalView};
 use simgpu::cost::OpCounts;
-use simgpu::error::Result;
+use simgpu::error::{Error, Result};
 use simgpu::kernel::items;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
 use super::{grid1d, grid2d, KernelTuning};
 use crate::math;
-use crate::params::{INTERP, SCALE};
+use crate::params::{INTERP, MIN_DIM, SCALE};
+
+/// Validates the shared center-kernel geometry: the downscaled grid must
+/// have at least a 2×2 window somewhere (otherwise there is no interior
+/// and the caller must skip the center dispatch — the border kernels cover
+/// the whole image then).
+fn check_center_args(kernel: &str, w: usize, h: usize, ws: usize) -> Result<(usize, usize)> {
+    let (wd, hd) = (w.div_ceil(SCALE), h.div_ceil(SCALE));
+    if w < MIN_DIM || h < MIN_DIM || ws < w || wd < 2 || hd < 2 {
+        return Err(Error::InvalidKernelArgs {
+            kernel: kernel.into(),
+            detail: format!(
+                "shape {w}x{h} (stride {ws}) has no interior 4x4 blocks; \
+                 the border kernels cover images below 5 pixels per axis"
+            ),
+        });
+    }
+    Ok((wd, hd))
+}
 
 /// Scalar upscale-center kernel: one thread per 4×4 output block,
-/// interpolating its 2×2 downscaled window (paper Figs. 4–5).
+/// interpolating its 2×2 downscaled window (paper Figs. 4–5). `ws` is the
+/// device row stride of `up`; writes are clamped to the interior
+/// (`x ≤ w-3`, `y ≤ h-3`), which for multiple-of-4 shapes never fires.
 pub fn upscale_center_scalar_kernel(
     q: &mut CommandQueue,
     down: &GlobalView<f32>,
     up: &Buffer<f32>,
     w: usize,
     h: usize,
+    ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
-    let (w4, h4) = (w / SCALE, h / SCALE);
-    let (nx, ny) = (w4 - 1, h4 - 1);
+    let (wd, hd) = check_center_args("upscale_center", w, h, ws)?;
+    let (nx, ny) = (wd - 1, hd - 1);
     let desc = grid2d("upscale_center", nx, ny);
     let down = down.clone();
     let upv = up.write_view();
-    // Per block: 16 values × (6 mul + 3 add) + index arithmetic.
-    let per_block = OpCounts::ZERO.muls(96).adds(48).plus(&tune.idx_ops());
+    // Per interpolated value: 6 mul + 3 add; index arithmetic per block.
+    let per_value = OpCounts::ZERO.muls(6).adds(3);
+    let idx_ops = tune.idx_ops();
     q.run(&desc, &[up], move |g| {
         let mut n_blocks = 0u64;
+        let mut n_vals = 0u64;
         for l in items(g.group_size) {
             g.begin_item(l);
             let [bi, bj] = g.global_id(l);
@@ -44,21 +67,31 @@ pub fn upscale_center_scalar_kernel(
                 continue;
             }
             n_blocks += 1;
-            let d00 = g.load(&down, bj * w4 + bi);
-            let d01 = g.load(&down, bj * w4 + bi + 1);
-            let d10 = g.load(&down, (bj + 1) * w4 + bi);
-            let d11 = g.load(&down, (bj + 1) * w4 + bi + 1);
+            let d00 = g.load(&down, bj * wd + bi);
+            let d01 = g.load(&down, bj * wd + bi + 1);
+            let d10 = g.load(&down, (bj + 1) * wd + bi);
+            let d11 = g.load(&down, (bj + 1) * wd + bi + 1);
             for r in 0..SCALE {
+                let y = SCALE * bj + 2 + r;
+                if y > h - 3 {
+                    break;
+                }
                 for c in 0..SCALE {
+                    let x = SCALE * bi + 2 + c;
+                    if x > w - 3 {
+                        break;
+                    }
+                    n_vals += 1;
                     g.store(
                         &upv,
-                        (SCALE * bj + 2 + r) * w + SCALE * bi + 2 + c,
+                        y * ws + x,
                         math::upscale_value(d00, d01, d10, d11, r, c),
                     );
                 }
             }
         }
-        g.charge_n(&per_block, n_blocks);
+        g.charge_n(&per_value, n_vals);
+        g.charge_n(&idx_ops, n_blocks);
     })
 }
 
@@ -72,19 +105,20 @@ pub fn upscale_center_vec4_kernel(
     up: &Buffer<f32>,
     w: usize,
     h: usize,
+    ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
-    let (w4, h4) = (w / SCALE, h / SCALE);
-    let (nx, ny) = (w4 - 1, h4 - 1);
+    let (wd, hd) = check_center_args("upscale_center_vec4", w, h, ws)?;
+    let (nx, ny) = (wd - 1, hd - 1);
     let nx_threads = nx.div_ceil(4);
     let desc = grid2d("upscale_center_vec4", nx_threads, ny);
     let down = down.clone();
     let upv = up.write_view();
-    // Per thread: up to 4 blocks × 16 values × (6 mul + 3 add); window
-    // loads are 2 vload4 + 2 scalar; bounds selects cost 4 cmp.
-    let per_block = OpCounts::ZERO.muls(96).adds(48);
+    // Per interpolated value: 6 mul + 3 add (the fast path hoists shared
+    // factors but charges the same per-value recipe).
+    let per_value = OpCounts::ZERO.muls(6).adds(3);
     q.run(&desc, &[up], move |g| {
-        let mut n_blocks = 0u64;
+        let mut n_vals = 0u64;
         let mut n_threads = 0u64;
         let mut n_fast = 0u64;
         for l in items(g.group_size) {
@@ -95,20 +129,23 @@ pub fn upscale_center_vec4_kernel(
                 continue;
             }
             n_threads += 1;
-            if bi0 + 3 < nx {
-                // Fast path: all four blocks exist and the 5-wide row
-                // segments are in bounds. `upscale_value` is evaluated
-                // with the column interpolants hoisted out of the row
-                // loop — the identical multiplies/adds in the identical
-                // order, each computed once instead of four times — and
-                // the four vstore4s of one output row written as a 16-wide
-                // span so the host loop autovectorizes. The thread's
-                // charged traffic (2 vload4 + 2 scalar loads, 16 vstore4)
-                // is accounted in bulk below, unchanged.
+            // Fast path: all four blocks exist, the 5-wide row segments
+            // are in bounds, and the whole 16×4 output tile is interior
+            // (the two clamp conditions are automatically true for
+            // multiple-of-4 shapes).
+            if bi0 + 3 < nx && SCALE * bi0 + 17 <= w - 3 && SCALE * bj + 5 <= h - 3 {
+                // `upscale_value` is evaluated with the column
+                // interpolants hoisted out of the row loop — the identical
+                // multiplies/adds in the identical order, each computed
+                // once instead of four times — and the four vstore4s of
+                // one output row written as a 16-wide span so the host
+                // loop autovectorizes. The thread's charged traffic
+                // (2 vload4 + 2 scalar loads, 16 vstore4) is accounted in
+                // bulk below, unchanged.
                 n_fast += 1;
-                n_blocks += 4;
-                let r0 = down.slice_raw(bj * w4 + bi0, 5);
-                let r1 = down.slice_raw((bj + 1) * w4 + bi0, 5);
+                n_vals += 64;
+                let r0 = down.slice_raw(bj * wd + bi0, 5);
+                let r1 = down.slice_raw((bj + 1) * wd + bi0, 5);
                 let mut tops = [0.0f32; 16];
                 let mut bots = [0.0f32; 16];
                 for k in 0..4 {
@@ -122,7 +159,7 @@ pub fn upscale_center_vec4_kernel(
                     for j in 0..16 {
                         out16[j] = i0 * tops[j] + i1 * bots[j];
                     }
-                    upv.set_span_raw((SCALE * bj + 2 + r) * w + SCALE * bi0 + 2, &out16);
+                    upv.set_span_raw((SCALE * bj + 2 + r) * ws + SCALE * bi0 + 2, &out16);
                 }
                 continue;
             }
@@ -131,19 +168,19 @@ pub fn upscale_center_vec4_kernel(
             // needed — and only in bounds — when block bi0+3 exists).
             let mut rows = [[0.0f32; 5]; 2];
             for (dr, row) in rows.iter_mut().enumerate() {
-                let base = (bj + dr) * w4;
-                if bi0 + 3 < w4 {
-                    // Fast path: aligned interior, one vload4 + one scalar.
+                let base = (bj + dr) * wd;
+                if bi0 + 3 < wd {
+                    // Aligned interior: one vload4 + one scalar.
                     let v = g.vload4(&down, base + bi0);
                     row[..4].copy_from_slice(&v);
-                    if bi0 + 4 < w4 {
+                    if bi0 + 4 < wd {
                         row[4] = g.load(&down, base + bi0 + 4);
                     }
                 } else {
-                    // Row tail (w4 not a multiple of 4): scalar loads of
+                    // Row tail (wd not a multiple of 4): scalar loads of
                     // whatever columns exist.
                     for (k, slot) in row.iter_mut().enumerate() {
-                        if bi0 + k < w4 {
+                        if bi0 + k < wd {
                             *slot = g.load(&down, base + bi0 + k);
                         }
                     }
@@ -154,21 +191,44 @@ pub fn upscale_center_vec4_kernel(
                 if bi >= nx {
                     break;
                 }
-                n_blocks += 1;
                 let d00 = rows[0][k];
                 let d01 = rows[0][k + 1];
                 let d10 = rows[1][k];
                 let d11 = rows[1][k + 1];
                 for r in 0..SCALE {
-                    let mut out = [0.0f32; 4];
-                    for (c, slot) in out.iter_mut().enumerate() {
-                        *slot = math::upscale_value(d00, d01, d10, d11, r, c);
+                    let y = SCALE * bj + 2 + r;
+                    if y > h - 3 {
+                        break;
                     }
-                    g.vstore4(&upv, (SCALE * bj + 2 + r) * w + SCALE * bi + 2, out);
+                    let x0 = SCALE * bi + 2;
+                    if x0 + 3 <= w - 3 {
+                        // Whole 4-wide output row is interior: one vstore4
+                        // (the only case for multiple-of-4 shapes).
+                        let mut out = [0.0f32; 4];
+                        for (c, slot) in out.iter_mut().enumerate() {
+                            *slot = math::upscale_value(d00, d01, d10, d11, r, c);
+                        }
+                        g.vstore4(&upv, y * ws + x0, out);
+                        n_vals += 4;
+                    } else {
+                        // Ragged right edge: clamped scalar stores.
+                        for c in 0..SCALE {
+                            let x = x0 + c;
+                            if x > w - 3 {
+                                break;
+                            }
+                            n_vals += 1;
+                            g.store(
+                                &upv,
+                                y * ws + x,
+                                math::upscale_value(d00, d01, d10, d11, r, c),
+                            );
+                        }
+                    }
                 }
             }
         }
-        g.charge_n(&per_block, n_blocks);
+        g.charge_n(&per_value, n_vals);
         g.charge_n(&OpCounts::ZERO.cmps(4).plus(&tune.idx_ops()), n_threads);
         // Fast-path threads: 2 vload4 (32 B) + 2 scalar loads (8 B) in,
         // 16 vstore4 (256 B) out.
@@ -177,79 +237,111 @@ pub fn upscale_center_vec4_kernel(
 }
 
 /// Dispatches the four GPU border kernels (top/bottom rows, left/right
-/// columns), matching the CPU border bit-exactly.
+/// columns), matching the CPU border bit-exactly. `ws` is the device row
+/// stride of `up`. Always four dispatches, for any shape ≥ 3×3: a
+/// single-column downscaled grid replicates its one value across the
+/// border rows, and a single-row grid leaves the vertical column kernels
+/// with no items (the rows cover everything).
 pub fn upscale_border_gpu(
     q: &mut CommandQueue,
     down: &GlobalView<f32>,
     up: &Buffer<f32>,
     w: usize,
     h: usize,
+    ws: usize,
     tune: KernelTuning,
 ) -> Result<Vec<KernelTime>> {
-    let (w4, h4) = (w / SCALE, h / SCALE);
+    if w < MIN_DIM || h < MIN_DIM || ws < w {
+        return Err(Error::InvalidKernelArgs {
+            kernel: "upscale_border".into(),
+            detail: format!("shape {w}x{h} (stride {ws}) below the {MIN_DIM}x{MIN_DIM} minimum"),
+        });
+    }
+    let (wd, hd) = (w.div_ceil(SCALE), h.div_ceil(SCALE));
     let mut times = Vec::with_capacity(4);
 
     // Horizontal border rows: (name, source downscaled row, dest row).
     for (name, src_row, dst_row) in [
         ("upscale_border_top", 0usize, 0usize),
-        ("upscale_border_bottom", h4 - 1, h - 2),
+        ("upscale_border_bottom", hd - 1, h - 2),
     ] {
-        let desc = grid1d(name, w4 - 1, 64);
+        let n_items = (wd - 1).max(1);
+        let desc = grid1d(name, n_items, 64);
         let down = down.clone();
         let upv = up.write_view();
         let companion = if dst_row == 0 { 1 } else { h - 1 };
         let per_item = OpCounts::ZERO.muls(8).adds(4).cmps(2).plus(&tune.idx_ops());
+        let replicate_item = OpCounts::ZERO.cmps(2).plus(&tune.idx_ops());
         let t = q.run(&desc, &[up], move |g| {
             let mut n = 0u64;
+            let mut n_repl = 0u64;
             let mut corner_events = 0u64;
             for l in items(g.group_size) {
                 g.begin_item(l);
                 let [bi, _] = g.global_id(l);
-                if bi >= w4 - 1 {
+                if bi >= n_items {
+                    continue;
+                }
+                if wd == 1 {
+                    // Single downscaled column: no pair to interpolate —
+                    // replicate the one value across both rows, exactly as
+                    // the CPU reference does.
+                    n_repl += 1;
+                    let v = g.load(&down, src_row);
+                    for x in 0..w {
+                        g.store(&upv, dst_row * ws + x, v);
+                        g.store(&upv, companion * ws + x, v);
+                    }
                     continue;
                 }
                 n += 1;
-                let a = g.load(&down, src_row * w4 + bi);
-                let b = g.load(&down, src_row * w4 + bi + 1);
+                let a = g.load(&down, src_row * wd + bi);
+                let b = g.load(&down, src_row * wd + bi + 1);
                 let mut vals = [0.0f32; SCALE];
                 for (ph, v) in vals.iter_mut().enumerate() {
                     *v = math::border_interp(a, b, ph);
                 }
                 for (ph, &v) in vals.iter().enumerate() {
                     let x = SCALE * bi + 2 + ph;
-                    g.store(&upv, dst_row * w + x, v);
-                    g.store(&upv, companion * w + x, v);
+                    if x <= w - 3 {
+                        g.store(&upv, dst_row * ws + x, v);
+                        g.store(&upv, companion * ws + x, v);
+                    }
                 }
                 if bi == 0 {
                     // Outer-left columns copy the phase-0 value.
                     corner_events += 1;
                     for x in 0..2 {
-                        g.store(&upv, dst_row * w + x, vals[0]);
-                        g.store(&upv, companion * w + x, vals[0]);
+                        g.store(&upv, dst_row * ws + x, vals[0]);
+                        g.store(&upv, companion * ws + x, vals[0]);
                     }
                 }
-                if bi == w4 - 2 {
-                    // Outer-right columns copy the last computed value.
+                if bi == wd - 2 {
+                    // Outer-right columns copy the value at x = w-3 (the
+                    // tail phase; 3 for multiple-of-4 widths).
                     corner_events += 1;
-                    let v = vals[3];
+                    let v = vals[w + 3 - SCALE * wd];
                     for x in [w - 2, w - 1] {
-                        g.store(&upv, dst_row * w + x, v);
-                        g.store(&upv, companion * w + x, v);
+                        g.store(&upv, dst_row * ws + x, v);
+                        g.store(&upv, companion * ws + x, v);
                     }
                 }
             }
             g.charge_n(&per_item, n);
+            g.charge_n(&replicate_item, n_repl);
             g.divergent(corner_events);
         })?;
         times.push(t);
     }
 
-    // Vertical border columns for rows 2 ..= h-3.
+    // Vertical border columns for rows 2 ..= h-3 (empty when the
+    // downscaled grid has a single row: the border rows covered them).
     for (name, src_col, dst_col) in [
         ("upscale_border_left", 0usize, 0usize),
-        ("upscale_border_right", w4 - 1, w - 2),
+        ("upscale_border_right", wd - 1, w - 2),
     ] {
-        let desc = grid1d(name, h4 - 1, 64);
+        let n_items = (hd - 1).max(1);
+        let desc = grid1d(name, n_items, 64);
         let down = down.clone();
         let upv = up.write_view();
         let companion = if dst_col == 0 { 1 } else { w - 1 };
@@ -259,17 +351,20 @@ pub fn upscale_border_gpu(
             for l in items(g.group_size) {
                 g.begin_item(l);
                 let [bj, _] = g.global_id(l);
-                if bj >= h4 - 1 {
+                if bj >= hd - 1 {
                     continue;
                 }
                 n += 1;
-                let a = g.load(&down, bj * w4 + src_col);
-                let b = g.load(&down, (bj + 1) * w4 + src_col);
+                let a = g.load(&down, bj * wd + src_col);
+                let b = g.load(&down, (bj + 1) * wd + src_col);
                 for ph in 0..SCALE {
                     let y = SCALE * bj + 2 + ph;
+                    if y > h - 3 {
+                        break;
+                    }
                     let v = math::border_interp(a, b, ph);
-                    g.store(&upv, y * w + dst_col, v);
-                    g.store(&upv, y * w + companion, v);
+                    g.store(&upv, y * ws + dst_col, v);
+                    g.store(&upv, y * ws + companion, v);
                 }
             }
             g.charge_n(&per_item, n);
@@ -301,8 +396,16 @@ mod tests {
         let mut q = ctx.queue();
         let dbuf = ctx.buffer_from("down", down.pixels());
         let up = ctx.buffer::<f32>("up", 64 * 48);
-        upscale_center_scalar_kernel(&mut q, &dbuf.view(), &up, 64, 48, KernelTuning::default())
-            .unwrap();
+        upscale_center_scalar_kernel(
+            &mut q,
+            &dbuf.view(),
+            &up,
+            64,
+            48,
+            64,
+            KernelTuning::default(),
+        )
+        .unwrap();
         // Compare interior only (border kernel not dispatched here).
         let got = ImageF32::from_vec(64, 48, up.snapshot());
         for y in 2..=48 - 3 {
@@ -320,11 +423,105 @@ mod tests {
         let dbuf = ctx.buffer_from("down", down.pixels());
         let up_a = ctx.buffer::<f32>("upA", 96 * 64);
         let up_b = ctx.buffer::<f32>("upB", 96 * 64);
-        upscale_center_scalar_kernel(&mut q, &dbuf.view(), &up_a, 96, 64, KernelTuning::default())
-            .unwrap();
-        upscale_center_vec4_kernel(&mut q, &dbuf.view(), &up_b, 96, 64, KernelTuning::default())
-            .unwrap();
+        upscale_center_scalar_kernel(
+            &mut q,
+            &dbuf.view(),
+            &up_a,
+            96,
+            64,
+            96,
+            KernelTuning::default(),
+        )
+        .unwrap();
+        upscale_center_vec4_kernel(
+            &mut q,
+            &dbuf.view(),
+            &up_b,
+            96,
+            64,
+            96,
+            KernelTuning::default(),
+        )
+        .unwrap();
         assert_eq!(up_a.snapshot(), up_b.snapshot());
+    }
+
+    #[test]
+    fn center_vec4_matches_scalar_on_odd_shapes() {
+        for (w, h) in [(5, 7), (13, 11), (33, 29), (97, 64), (21, 5)] {
+            let ws = crate::params::device_stride(w);
+            let img = generate::natural(w, h, 8);
+            let (down, _) = stages::downscale(&img);
+            let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+            let mut q = ctx.queue();
+            let dbuf = ctx.buffer_from("down", down.pixels());
+            let up_a = ctx.buffer::<f32>("upA", ws * h);
+            let up_b = ctx.buffer::<f32>("upB", ws * h);
+            upscale_center_scalar_kernel(
+                &mut q,
+                &dbuf.view(),
+                &up_a,
+                w,
+                h,
+                ws,
+                KernelTuning::default(),
+            )
+            .unwrap();
+            upscale_center_vec4_kernel(
+                &mut q,
+                &dbuf.view(),
+                &up_b,
+                w,
+                h,
+                ws,
+                KernelTuning::default(),
+            )
+            .unwrap();
+            assert_eq!(up_a.snapshot(), up_b.snapshot(), "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn border_plus_center_covers_everything_on_odd_shapes() {
+        for (w, h) in [
+            (5, 7),
+            (7, 5),
+            (13, 11),
+            (33, 29),
+            (3, 3),
+            (3, 9),
+            (9, 3),
+            (4, 4),
+        ] {
+            let ws = crate::params::device_stride(w);
+            let img = generate::natural(w, h, 5);
+            let (down, _) = stages::downscale(&img);
+            let (cpu_up, _, _) = stages::upscale(&down, w, h);
+            let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+            let mut q = ctx.queue();
+            let dbuf = ctx.buffer_from("down", down.pixels());
+            let up = ctx.buffer::<f32>("up", ws * h);
+            upscale_border_gpu(&mut q, &dbuf.view(), &up, w, h, ws, KernelTuning::default())
+                .unwrap();
+            if w.div_ceil(SCALE) > 1 && h.div_ceil(SCALE) > 1 {
+                upscale_center_vec4_kernel(
+                    &mut q,
+                    &dbuf.view(),
+                    &up,
+                    w,
+                    h,
+                    ws,
+                    KernelTuning::default(),
+                )
+                .unwrap();
+            }
+            let snap = up.snapshot();
+            for y in 0..h {
+                for x in 0..w {
+                    assert_eq!(snap[y * ws + x], cpu_up.get(x, y), "({x},{y}) of {w}x{h}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -334,8 +531,16 @@ mod tests {
         let mut q = ctx.queue();
         let dbuf = ctx.buffer_from("down", down.pixels());
         let up = ctx.buffer::<f32>("up", 64 * 64);
-        let times =
-            upscale_border_gpu(&mut q, &dbuf.view(), &up, 64, 64, KernelTuning::default()).unwrap();
+        let times = upscale_border_gpu(
+            &mut q,
+            &dbuf.view(),
+            &up,
+            64,
+            64,
+            64,
+            KernelTuning::default(),
+        )
+        .unwrap();
         assert_eq!(times.len(), 4);
         let got = ImageF32::from_vec(64, 64, up.snapshot());
         // Border rows (full width).
@@ -359,9 +564,26 @@ mod tests {
         let mut q = ctx.queue();
         let dbuf = ctx.buffer_from("down", down.pixels());
         let up = ctx.buffer::<f32>("up", 64 * 48);
-        upscale_border_gpu(&mut q, &dbuf.view(), &up, 64, 48, KernelTuning::default()).unwrap();
-        upscale_center_vec4_kernel(&mut q, &dbuf.view(), &up, 64, 48, KernelTuning::default())
-            .unwrap();
+        upscale_border_gpu(
+            &mut q,
+            &dbuf.view(),
+            &up,
+            64,
+            48,
+            64,
+            KernelTuning::default(),
+        )
+        .unwrap();
+        upscale_center_vec4_kernel(
+            &mut q,
+            &dbuf.view(),
+            &up,
+            64,
+            48,
+            64,
+            KernelTuning::default(),
+        )
+        .unwrap();
         assert_eq!(up.snapshot(), cpu_up.pixels());
     }
 
@@ -372,7 +594,16 @@ mod tests {
         let mut q = ctx.queue();
         let dbuf = ctx.buffer_from("down", down.pixels());
         let up = ctx.buffer::<f32>("up", 64 * 64);
-        upscale_border_gpu(&mut q, &dbuf.view(), &up, 64, 64, KernelTuning::default()).unwrap();
+        upscale_border_gpu(
+            &mut q,
+            &dbuf.view(),
+            &up,
+            64,
+            64,
+            64,
+            KernelTuning::default(),
+        )
+        .unwrap();
         assert_eq!(q.records().len(), 4);
         assert!(q
             .records()

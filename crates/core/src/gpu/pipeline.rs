@@ -36,7 +36,7 @@ use crate::gpu::kernels::upscale::{
 };
 use crate::gpu::kernels::{KernelTuning, SrcImage};
 use crate::gpu::opts::{OptConfig, Tuning};
-use crate::params::{check_shape, SharpnessParams, SCALE};
+use crate::params::{check_shape, device_stride, SharpnessParams, SCALE};
 use crate::report::{RunReport, StageRecord};
 
 /// The OpenCL-style sharpness pipeline on the simulated GPU.
@@ -204,8 +204,8 @@ impl GpuPipeline {
                 orig.height()
             ));
         }
-        let (w4, h4) = (res.w4, res.h4);
         let n = res.n;
+        let ws = res.ws;
         let pw = res.pw;
         let tune = KernelTuning {
             others: self.opts.others,
@@ -260,13 +260,13 @@ impl GpuPipeline {
         };
 
         // ---- downscale --------------------------------------------------
-        downscale_kernel(q, &main_src, &res.down, w4, h4, tune).map_err(|e| e.to_string())?;
+        downscale_kernel(q, &main_src, &res.down, w, h, tune).map_err(|e| e.to_string())?;
         self.sync(q);
 
         // ---- upscale: border (Section V-E) ------------------------------
         let gpu_border = self.opts.border_gpu && w >= self.tuning.border_gpu_min_width;
         if gpu_border {
-            upscale_border_gpu(q, &res.down.view(), &res.up, w, h, tune)
+            upscale_border_gpu(q, &res.down.view(), &res.up, w, h, ws, tune)
                 .map_err(|e| e.to_string())?;
             self.sync(q);
         } else {
@@ -274,19 +274,23 @@ impl GpuPipeline {
         }
 
         // ---- upscale: center --------------------------------------------
-        if self.opts.vectorization {
-            upscale_center_vec4_kernel(q, &res.down.view(), &res.up, w, h, tune)
-        } else {
-            upscale_center_scalar_kernel(q, &res.down.view(), &res.up, w, h, tune)
+        // Images below 5 pixels on an axis have no interior 4×4 blocks —
+        // the border pass above already covered every pixel.
+        if res.w4 > 1 && res.h4 > 1 {
+            if self.opts.vectorization {
+                upscale_center_vec4_kernel(q, &res.down.view(), &res.up, w, h, ws, tune)
+            } else {
+                upscale_center_scalar_kernel(q, &res.down.view(), &res.up, w, h, ws, tune)
+            }
+            .map_err(|e| e.to_string())?;
+            self.sync(q);
         }
-        .map_err(|e| e.to_string())?;
-        self.sync(q);
 
         // ---- Sobel --------------------------------------------------------
         if self.opts.vectorization {
-            sobel_vec4_kernel(q, &padded_src, &res.pedge, w, h, tune)
+            sobel_vec4_kernel(q, &padded_src, &res.pedge, w, h, ws, tune)
         } else {
-            sobel_scalar_kernel(q, &main_src, &res.pedge, w, h, tune)
+            sobel_scalar_kernel(q, &main_src, &res.pedge, w, h, ws, tune)
         }
         .map_err(|e| e.to_string())?;
         self.sync(q);
@@ -310,6 +314,7 @@ impl GpuPipeline {
                     self.params,
                     w,
                     h,
+                    ws,
                     tune,
                 )
             } else {
@@ -323,6 +328,7 @@ impl GpuPipeline {
                     self.params,
                     w,
                     h,
+                    ws,
                     tune,
                 )
             }
@@ -330,7 +336,7 @@ impl GpuPipeline {
             self.sync(q);
         } else {
             let perr = res.perror.as_ref().expect("unfused path allocates pError");
-            perror_kernel(q, &main_src, &res.up.view(), perr, w, h, tune)
+            perror_kernel(q, &main_src, &res.up.view(), perr, w, h, ws, tune)
                 .map_err(|e| e.to_string())?;
             self.sync(q);
             let prelim = res.prelim.as_ref().expect("unfused path allocates prelim");
@@ -344,6 +350,7 @@ impl GpuPipeline {
                 self.params,
                 w,
                 h,
+                ws,
                 tune,
             )
             .map_err(|e| e.to_string())?;
@@ -355,6 +362,7 @@ impl GpuPipeline {
                 &res.finalbuf,
                 w,
                 h,
+                ws,
                 self.params,
                 tune,
             )
@@ -364,7 +372,20 @@ impl GpuPipeline {
 
         // ---- readback -------------------------------------------------------
         q.finish();
-        self.read_back(q, &res.finalbuf, &mut out[..n])?;
+        if ws == w {
+            self.read_back(q, &res.finalbuf, &mut out[..n])?;
+        } else if self.opts.data_transfer {
+            // Rect read crops the stride padding during the transfer, the
+            // mirror of the rect-write upload.
+            q.enqueue_read_rect(&res.finalbuf, ws, 0, 0, &mut out[..n], w, h)
+                .map_err(|e| e.to_string())?;
+        } else {
+            let guard = q.map_read(&res.finalbuf).map_err(|e| e.to_string())?;
+            let s = guard.as_slice();
+            for y in 0..h {
+                out[y * w..(y + 1) * w].copy_from_slice(&s[y * ws..y * ws + w]);
+            }
+        }
         Ok(())
     }
 
@@ -372,25 +393,31 @@ impl GpuPipeline {
     /// the border on the host (in the plan's reusable scratch), and write
     /// the border region to the device.
     fn cpu_border(&self, q: &mut CommandQueue, res: &mut FrameResources) -> Result<(), String> {
-        let (w, h) = (res.w, res.h);
+        let (w, h, ws) = (res.w, res.h, res.ws);
         self.read_back(q, &res.down, res.down_host.pixels_mut())?;
         // Only the border cells of the scratch are written here and only
         // they are read below, so stale interior values from a previous
         // frame are harmless.
         let counters = cpu_stages::upscale_border_into(&res.down_host, &mut res.up_host);
         q.charge_host("host:upscale_border", &counters);
-        // Write exactly the border region into the device buffer.
+        // Write exactly the border region into the device buffer. The
+        // row/column lists are deduplicated for tiny shapes (h = 3 makes
+        // row 1 both "second" and "second-to-last").
         let upv = res.up.write_view();
         let mut border_elems = 0u64;
-        for y in [0, 1, h - 2, h - 1] {
+        let mut rows = vec![0, 1, h - 2, h - 1];
+        rows.dedup();
+        for y in rows {
             for x in 0..w {
-                upv.set_raw(y * w + x, res.up_host.get(x, y));
+                upv.set_raw(y * ws + x, res.up_host.get(x, y));
                 border_elems += 1;
             }
         }
-        for y in 2..=h - 3 {
-            for x in [0, 1, w - 2, w - 1] {
-                upv.set_raw(y * w + x, res.up_host.get(x, y));
+        let mut cols = vec![0, 1, w - 2, w - 1];
+        cols.dedup();
+        for y in 2..=h.saturating_sub(3) {
+            for x in cols.iter().copied() {
+                upv.set_raw(y * ws + x, res.up_host.get(x, y));
                 border_elems += 1;
             }
         }
@@ -407,21 +434,25 @@ impl GpuPipeline {
     /// config; returns the mean used by the strength curve.
     fn reduction(&self, q: &mut CommandQueue, res: &mut FrameResources) -> Result<f32, String> {
         let n = res.n;
+        let ns = res.ns;
         if !self.opts.reduction_gpu {
             // Whole pEdge matrix crosses the bus, then a serial host sum —
-            // Fig. 16's CPU side.
+            // Fig. 16's CPU side. The strided buffer's padding columns are
+            // exact zeros in every config, so summing all `ns` elements and
+            // dividing by the true pixel count `n` is bit-identical to a
+            // sum over the cropped image.
             let host = &mut res.reduction_host;
             self.read_back(q, &res.pedge, host)?;
             // f64 accumulation, identical to the CPU reference stage, so
             // the base GPU pipeline reproduces the CPU output bit-exactly.
             let sum: f64 = host.iter().map(|&v| f64::from(v)).sum();
             let mut c = CostCounters::new();
-            c.charge_ops_n(&simgpu::cost::OpCounts::ZERO.adds(1), n as u64);
-            c.global_read_scalar = n as u64 * 4;
+            c.charge_ops_n(&simgpu::cost::OpCounts::ZERO.adds(1), ns as u64);
+            c.global_read_scalar = ns as u64 * 4;
             q.charge_host("host:reduction", &c);
             return Ok((sum / n as f64) as f32);
         }
-        let groups = stage1_groups(n);
+        let groups = stage1_groups(ns);
         let partials = res
             .partials
             .as_ref()
@@ -429,7 +460,7 @@ impl GpuPipeline {
         reduction_stage1_kernel(
             q,
             &res.pedge.view(),
-            n,
+            ns,
             partials,
             self.tuning.reduction_strategy,
         )
@@ -494,6 +525,11 @@ struct FrameResources {
     w4: usize,
     h4: usize,
     n: usize,
+    /// Vec4-aligned device row stride (`device_stride(w)`; equals `w` for
+    /// multiple-of-4 widths).
+    ws: usize,
+    /// Elements of one strided device image (`ws * h`).
+    ns: usize,
     pw: usize,
     padded: Buffer<f32>,
     /// Base (non-`data_transfer`) path only: the unpadded original.
@@ -521,35 +557,44 @@ impl FrameResources {
     fn new(pipe: &GpuPipeline, w: usize, h: usize) -> Result<Self, String> {
         check_shape(w, h)?;
         pipe.params.validate()?;
-        let (w4, h4) = (w / SCALE, h / SCALE);
+        // Downscaled grid is the ceiling: ragged edge blocks average the
+        // pixels that exist. Intermediates live at the vec4-aligned device
+        // stride `ws` so the vectorized kernels never need a misaligned
+        // span; for multiple-of-4 widths every size below equals the
+        // historical unpadded one.
+        let (w4, h4) = (w.div_ceil(SCALE), h.div_ceil(SCALE));
         let n = w * h;
-        let pw = w + 2;
+        let ws = device_stride(w);
+        let ns = ws * h;
+        let pw = ws + 2;
         let ctx = &pipe.ctx;
-        let groups = stage1_groups(n);
+        let groups = stage1_groups(ns);
         Ok(FrameResources {
             w,
             h,
             w4,
             h4,
             n,
+            ws,
+            ns,
             pw,
             padded: ctx.buffer("padded", pw * (h + 2)),
             original: (!pipe.opts.data_transfer).then(|| ctx.buffer("original", n)),
             down: ctx.buffer("down", w4 * h4),
-            up: ctx.buffer("up", n),
-            pedge: ctx.buffer("pEdge", n),
-            finalbuf: ctx.buffer("final", n),
+            up: ctx.buffer("up", ns),
+            pedge: ctx.buffer("pEdge", ns),
+            finalbuf: ctx.buffer("final", ns),
             partials: pipe
                 .opts
                 .reduction_gpu
                 .then(|| ctx.buffer("partials", groups)),
             reduction_out: (pipe.opts.reduction_gpu && groups > pipe.tuning.stage2_gpu_threshold)
                 .then(|| ctx.buffer("reduction_out", 1)),
-            perror: (!pipe.opts.kernel_fusion).then(|| ctx.buffer("pError", n)),
-            prelim: (!pipe.opts.kernel_fusion).then(|| ctx.buffer("prelim", n)),
+            perror: (!pipe.opts.kernel_fusion).then(|| ctx.buffer("pError", ns)),
+            prelim: (!pipe.opts.kernel_fusion).then(|| ctx.buffer("prelim", ns)),
             down_host: ImageF32::zeros(w4, h4),
             up_host: ImageF32::zeros(w, h),
-            reduction_host: vec![0.0f32; n],
+            reduction_host: vec![0.0f32; ns],
         })
     }
 }
@@ -812,8 +857,40 @@ mod tests {
 
     #[test]
     fn rejects_bad_shapes() {
-        let img = generate::gradient(24, 18); // 18 not a multiple of 4
+        let img = generate::gradient(24, 2); // below the 3x3 minimum
         let r = GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig::none()).run(&img);
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn odd_shapes_run_end_to_end() {
+        for (w, h) in [(5, 7), (13, 11), (33, 29), (3, 3)] {
+            let img = generate::natural(w, h, 9);
+            let base = GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig::none())
+                .run(&img)
+                .unwrap();
+            let vec = GpuPipeline::new(
+                vctx(),
+                SharpnessParams::default(),
+                OptConfig {
+                    vectorization: true,
+                    data_transfer: true,
+                    kernel_fusion: true,
+                    ..OptConfig::none()
+                },
+            )
+            .run(&img)
+            .unwrap();
+            assert_eq!(
+                base.output.pixels(),
+                vec.output.pixels(),
+                "base vs vectorized mismatch at {w}x{h}"
+            );
+            let all = GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig::all())
+                .run(&img)
+                .unwrap();
+            let diff = all.output.max_abs_diff(&base.output);
+            assert!(diff < 0.05, "all-opts diff {diff} at {w}x{h}");
+        }
     }
 }

@@ -38,7 +38,7 @@ use crate::gpu::kernels::{KernelTuning, SrcImage};
 use crate::gpu::opts::OptConfig;
 use crate::gpu::pipeline::GpuPipeline;
 use crate::memory::device_bytes_required;
-use crate::params::{check_shape, SCALE};
+use crate::params::{check_shape, device_stride, SCALE};
 
 /// Halo rows added above and below each strip (multiple of 4, ≥ 8).
 pub const MARGIN: usize = 8;
@@ -94,12 +94,13 @@ impl StripPipeline {
             let r1 = (r0 + self.strip_rows).min(h);
             let mut sub0 = r0.saturating_sub(MARGIN);
             let sub1 = (r1 + MARGIN).min(h);
-            // A short tail strip could fall below the pipeline's 16-row
-            // minimum; widen the halo upward to compensate (h >= 16 is
-            // guaranteed by the shape check, and all quantities stay
-            // multiples of 4).
+            // A short tail strip would leave its owned rows close to the
+            // sub-image's top cut; widen the halo upward to at least 16
+            // rows when the image allows it. `sub0` must stay a multiple
+            // of 4 so the sub-image's downscale grid aligns with the
+            // whole-image grid (arbitrary heights make `sub1` ragged).
             if sub1 - sub0 < 16 {
-                sub0 = sub1 - 16;
+                sub0 = (sub1.saturating_sub(16) / SCALE) * SCALE;
             }
             out.push((r0, r1, sub0, sub1));
             r0 = r1;
@@ -122,26 +123,32 @@ impl StripPipeline {
         };
         let mut sum = 0.0f64;
         let mut elapsed = 0.0f64;
+        let ws = device_stride(w);
         for (r0, r1, sub0, sub1) in self.strips_for(h) {
             let sub = Self::crop_rows(orig, sub0, sub1);
             let sub_h = sub.height();
             let mut q = ctx.queue();
-            // Upload the zero-padded sub-image with one rect write.
-            let padded = ctx.buffer::<f32>("padded", (w + 2) * (sub_h + 2));
-            q.enqueue_write_rect(&padded, w + 2, 1, 1, sub.pixels(), w, sub_h)
+            // Upload the zero-padded sub-image with one rect write; rows
+            // live at the vec4-aligned stride `ws`, with the stride
+            // padding zeroed at allocation.
+            let padded = ctx.buffer::<f32>("padded", (ws + 2) * (sub_h + 2));
+            q.enqueue_write_rect(&padded, ws + 2, 1, 1, sub.pixels(), w, sub_h)
                 .map_err(|e| e.to_string())?;
             let src = SrcImage {
                 view: padded.view(),
-                pitch: w + 2,
+                pitch: ws + 2,
                 pad: 1,
             };
-            let pedge = ctx.buffer::<f32>("pEdge", w * sub_h);
-            sobel_vec4_kernel(&mut q, &src, &pedge, w, sub_h, tune).map_err(|e| e.to_string())?;
+            let pedge = ctx.buffer::<f32>("pEdge", ws * sub_h);
+            sobel_vec4_kernel(&mut q, &src, &pedge, w, sub_h, ws, tune)
+                .map_err(|e| e.to_string())?;
             // Reduce only the owned rows: their Sobel values are exact.
             // Global edge rows (0 and h-1) are zero in the full image too,
             // and the sub-image reproduces that because sub0/sub1 clamp.
-            let own_start = (r0 - sub0) * w;
-            let own_len = (r1 - r0) * w;
+            // Stride-padding columns are exact zeros in every row, so
+            // including them in the ranged sum changes nothing.
+            let own_start = (r0 - sub0) * ws;
+            let own_len = (r1 - r0) * ws;
             let partials = ctx.buffer::<f32>("partials", stage1_groups(own_len));
             let (groups, _) = reduction_stage1_range_kernel(
                 &mut q,
@@ -306,6 +313,22 @@ mod tests {
             let run = StripPipeline::new(inner(), 64).unwrap().run(&img).unwrap();
             let diff = run.output.max_abs_diff(&cpu.output);
             assert!(diff < 0.05, "h={h}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn odd_shapes_match_cpu_reference() {
+        // Widths not a multiple of 4 exercise the strided pass-1 Sobel;
+        // heights not a multiple of the strip size exercise ragged tails
+        // and the align-down-4 halo widening.
+        for (w, h) in [(33, 100), (64, 101), (37, 53), (61, 68)] {
+            let img = generate::natural(w, h, 13);
+            let cpu = CpuPipeline::new(SharpnessParams::default())
+                .run(&img)
+                .unwrap();
+            let run = StripPipeline::new(inner(), 16).unwrap().run(&img).unwrap();
+            let diff = run.output.max_abs_diff(&cpu.output);
+            assert!(diff < 0.05, "{w}x{h}: diff {diff}");
         }
     }
 

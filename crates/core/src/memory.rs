@@ -8,27 +8,31 @@
 
 use crate::gpu::kernels::reduction::stage1_groups;
 use crate::gpu::opts::OptConfig;
-use crate::params::SCALE;
+use crate::params::{device_stride, SCALE};
 
 /// Bytes of device memory one `w × h` frame requires under `opts`.
 ///
 /// Counts every buffer the pipeline allocates: padded source (plus the
 /// raw original in the base transfer mode), downscaled, upscaled, pEdge,
 /// final, the reduction partials when the reduction runs on the device,
-/// and the pError/preliminary intermediates when fusion is off.
+/// and the pError/preliminary intermediates when fusion is off. Device
+/// intermediates live at the vec4-aligned row stride `device_stride(w)`,
+/// so widths not a multiple of 4 cost slightly more than `w * h`.
 pub fn device_bytes_required(w: usize, h: usize, opts: &OptConfig) -> u64 {
     let n = (w * h) as u64;
-    let padded = ((w + 2) * (h + 2)) as u64;
-    let down = ((w / SCALE) * (h / SCALE)) as u64;
-    let mut elems = padded + down + n /* up */ + n /* pEdge */ + n /* final */;
+    let ws = device_stride(w);
+    let ns = (ws * h) as u64;
+    let padded = ((ws + 2) * (h + 2)) as u64;
+    let down = (w.div_ceil(SCALE) * h.div_ceil(SCALE)) as u64;
+    let mut elems = padded + down + ns /* up */ + ns /* pEdge */ + ns /* final */;
     if !opts.data_transfer {
         elems += n; // raw original uploaded alongside the padded matrix
     }
     if !opts.kernel_fusion {
-        elems += 2 * n; // pError + preliminary intermediates
+        elems += 2 * ns; // pError + preliminary intermediates
     }
     if opts.reduction_gpu {
-        elems += stage1_groups(w * h) as u64 + 1;
+        elems += stage1_groups(ws * h) as u64 + 1;
     }
     elems * 4
 }

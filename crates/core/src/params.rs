@@ -74,22 +74,42 @@ impl SharpnessParams {
     }
 }
 
+/// Smallest width/height the pipeline accepts. The Sobel stencil and the
+/// two-pixel border band both need three rows/columns to be defined at
+/// all; everything above that is handled by partial downscale blocks and
+/// clamped upscale writes.
+pub const MIN_DIM: usize = 3;
+
+/// Device row stride for a logical width: `width` rounded up to the next
+/// multiple of [`SCALE`], so every device row starts vec4-aligned. The
+/// rect-write upload pads each row to this stride and readback crops it
+/// again; for multiple-of-4 widths the stride equals the width and the
+/// padded layout is byte-identical to the unpadded one.
+pub fn device_stride(width: usize) -> usize {
+    width.div_ceil(SCALE) * SCALE
+}
+
 /// Validates that an image shape is processable by the pipeline: both
-/// dimensions multiples of [`SCALE`] and at least 16 pixels (the upscale
-/// border scheme needs a ≥2×2 downscaled interior plus two border
-/// rows/columns on each side).
+/// dimensions at least [`MIN_DIM`], and the pixel count (including the
+/// padded device stride and halo) representable without overflow.
 pub fn check_shape(width: usize, height: usize) -> Result<(), String> {
-    if width < 16 || height < 16 {
+    if width < MIN_DIM || height < MIN_DIM {
         return Err(format!(
-            "image must be at least 16x16, got {width}x{height}"
+            "image must be at least {MIN_DIM}x{MIN_DIM}, got {width}x{height}"
         ));
     }
-    if !width.is_multiple_of(SCALE) || !height.is_multiple_of(SCALE) {
-        return Err(format!(
-            "image dimensions must be multiples of {SCALE}, got {width}x{height}"
-        ));
+    // The largest allocation derived from the shape is the padded source,
+    // (stride + 2) x (height + 2) elements; reject anything whose padded
+    // pixel count cannot be computed (or addressed) in usize.
+    let padded_w = width
+        .div_ceil(SCALE)
+        .checked_mul(SCALE)
+        .and_then(|s| s.checked_add(2));
+    let padded_h = height.checked_add(2);
+    match (padded_w, padded_h) {
+        (Some(pw), Some(ph)) if pw.checked_mul(ph).is_some() => Ok(()),
+        _ => Err(format!("image dimensions {width}x{height} overflow usize")),
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -145,9 +165,26 @@ mod tests {
         assert!(check_shape(256, 256).is_ok());
         assert!(check_shape(448, 448).is_ok());
         assert!(check_shape(16, 16).is_ok());
-        assert!(check_shape(12, 16).is_err()); // too small
         assert!(check_shape(100, 100).is_ok());
-        assert!(check_shape(102, 100).is_err()); // not multiple of 4
+        // Arbitrary (non-multiple-of-4, odd, tiny) shapes are accepted.
+        assert!(check_shape(102, 100).is_ok());
+        assert!(check_shape(1001, 701).is_ok());
+        assert!(check_shape(3, 3).is_ok());
+        assert!(check_shape(3, 1000).is_ok());
+        // Below the 3x3 stencil minimum, or overflowing, is rejected.
+        assert!(check_shape(2, 16).is_err());
+        assert!(check_shape(16, 2).is_err());
         assert!(check_shape(0, 0).is_err());
+        assert!(check_shape(usize::MAX - 1, usize::MAX - 1).is_err());
+        assert!(check_shape(usize::MAX, 3).is_err());
+    }
+
+    #[test]
+    fn device_stride_rounds_up_to_vec4() {
+        assert_eq!(device_stride(64), 64);
+        assert_eq!(device_stride(1000), 1000);
+        assert_eq!(device_stride(1001), 1004);
+        assert_eq!(device_stride(3), 4);
+        assert_eq!(device_stride(5), 8);
     }
 }

@@ -11,6 +11,32 @@ use std::path::Path;
 use crate::image::ImageU8;
 use crate::rgb::RgbImageU8;
 
+/// Upper bound on either image dimension accepted by the readers — a
+/// sanity cap so a corrupt header cannot drive a near-`usize::MAX`
+/// allocation (the multiplication itself is checked as well).
+pub const MAX_DIM: usize = 1 << 20;
+
+/// Parses and validates the `width height maxval` header triple shared by
+/// PGM and PPM, returning `(width, height, pixel_count, maxval)` with the
+/// product overflow-checked and both dimensions capped at [`MAX_DIM`].
+fn read_dims<R: BufRead>(r: &mut R) -> io::Result<(usize, usize, usize, usize)> {
+    let width: usize = parse_token(r)?;
+    let height: usize = parse_token(r)?;
+    let maxval: usize = parse_token(r)?;
+    if width == 0 || height == 0 || width > MAX_DIM || height > MAX_DIM {
+        return Err(bad_data(format!(
+            "unsupported dimensions {width}x{height} (limit {MAX_DIM} per axis)"
+        )));
+    }
+    if maxval == 0 || maxval > 255 {
+        return Err(bad_data(format!("unsupported maxval {maxval}")));
+    }
+    let n = width
+        .checked_mul(height)
+        .ok_or_else(|| bad_data(format!("dimensions {width}x{height} overflow")))?;
+    Ok((width, height, n, maxval))
+}
+
 /// Writes a grayscale image as binary PGM (`P5`, maxval 255).
 pub fn write_pgm(path: &Path, img: &ImageU8) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
@@ -34,13 +60,7 @@ pub fn read_pgm(path: &Path) -> io::Result<ImageU8> {
     if magic != "P5" && magic != "P2" {
         return Err(bad_data(format!("expected P5/P2 magic, got {magic:?}")));
     }
-    let width: usize = parse_token(&mut r)?;
-    let height: usize = parse_token(&mut r)?;
-    let maxval: usize = parse_token(&mut r)?;
-    if maxval == 0 || maxval > 255 {
-        return Err(bad_data(format!("unsupported maxval {maxval}")));
-    }
-    let n = width * height;
+    let (width, height, n, maxval) = read_dims(&mut r)?;
     let data = if magic == "P5" {
         let mut data = vec![0u8; n];
         r.read_exact(&mut data)?;
@@ -48,7 +68,11 @@ pub fn read_pgm(path: &Path) -> io::Result<ImageU8> {
     } else {
         let mut data = Vec::with_capacity(n);
         for _ in 0..n {
-            data.push(parse_token::<_, u16>(&mut r)?.min(255) as u8);
+            let v = parse_token::<_, u16>(&mut r)?;
+            if v as usize > maxval {
+                return Err(bad_data(format!("sample {v} exceeds maxval {maxval}")));
+            }
+            data.push(v as u8);
         }
         data
     };
@@ -62,13 +86,11 @@ pub fn read_ppm(path: &Path) -> io::Result<RgbImageU8> {
     if magic != "P6" {
         return Err(bad_data(format!("expected P6 magic, got {magic:?}")));
     }
-    let width: usize = parse_token(&mut r)?;
-    let height: usize = parse_token(&mut r)?;
-    let maxval: usize = parse_token(&mut r)?;
-    if maxval == 0 || maxval > 255 {
-        return Err(bad_data(format!("unsupported maxval {maxval}")));
-    }
-    let mut data = vec![0u8; width * height * 3];
+    let (width, height, n, _maxval) = read_dims(&mut r)?;
+    let bytes = n
+        .checked_mul(3)
+        .ok_or_else(|| bad_data(format!("dimensions {width}x{height} overflow")))?;
+    let mut data = vec![0u8; bytes];
     r.read_exact(&mut data)?;
     Ok(RgbImageU8::from_vec(width, height, data))
 }
@@ -182,5 +204,69 @@ mod tests {
         std::fs::write(&p, b"P5\n4 4\n255\nxx").unwrap();
         assert!(read_pgm(&p).is_err());
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn ascii_sample_above_maxval_rejected() {
+        // The reader used to clamp out-of-range ASCII samples to 255;
+        // they must be an InvalidData error instead.
+        for (name, body) in [
+            ("h1.pgm", &b"P2\n2 1\n255\n0 300\n"[..]),
+            ("h2.pgm", &b"P2\n2 1\n100\n0 101\n"[..]),
+        ] {
+            let p = tmpfile(name);
+            std::fs::write(&p, body).unwrap();
+            let err = read_pgm(&p).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{name}");
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn oversized_or_degenerate_dims_rejected() {
+        let huge = format!("P5\n{} {}\n255\n", usize::MAX / 2, 3);
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("i1.pgm", b"P5\n0 4\n255\n".to_vec()),
+            ("i2.pgm", b"P5\n4 0\n255\n".to_vec()),
+            (
+                "i3.pgm",
+                format!("P5\n{} 4\n255\n", MAX_DIM + 1).into_bytes(),
+            ),
+            ("i4.pgm", huge.into_bytes()),
+            ("i5.pgm", b"P5\n4 4\n0\n".to_vec()),
+            ("i6.pgm", b"P5\n4 4\n65536\n".to_vec()),
+        ];
+        for (name, body) in cases {
+            let p = tmpfile(name);
+            std::fs::write(&p, &body).unwrap();
+            let err = read_pgm(&p).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{name}");
+            std::fs::remove_file(&p).ok();
+        }
+        // Same header validation on the PPM path.
+        let p = tmpfile("i7.ppm");
+        std::fs::write(&p, format!("P6\n{} 4\n255\n", MAX_DIM + 1)).unwrap();
+        assert_eq!(read_ppm(&p).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn header_corpus_parses() {
+        // Comment placement and whitespace variants the spec allows.
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("j1.pgm", b"P5 2 1 255\n\x01\x02".to_vec()),
+            (
+                "j2.pgm",
+                b"P5\n# c1\n# c2\n2\n# between dims\n1\n255\n\x01\x02".to_vec(),
+            ),
+            ("j3.pgm", b"P2\n2 1\n255\n  1\t2\n".to_vec()),
+        ];
+        for (name, body) in cases {
+            let p = tmpfile(name);
+            std::fs::write(&p, &body).unwrap();
+            let img = read_pgm(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(img.pixels(), &[1, 2], "{name}");
+            std::fs::remove_file(&p).ok();
+        }
     }
 }

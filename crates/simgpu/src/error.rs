@@ -27,6 +27,17 @@ pub enum Error {
         /// Kernel name the launch was for.
         kernel: String,
     },
+    /// A kernel was handed arguments that violate its shape preconditions
+    /// (wrong padding, a stride that is not vec4-aligned, a buffer too
+    /// small for the geometry). Returned to the caller as a typed error
+    /// instead of panicking inside the dispatch, which would surface as an
+    /// opaque [`Error::KernelPanic`] via the sanitizer's `catch_unwind`.
+    InvalidKernelArgs {
+        /// Kernel the arguments were for.
+        kernel: String,
+        /// Human-readable description of the violated precondition.
+        detail: String,
+    },
     /// A transfer touched bytes outside the buffer.
     TransferOutOfBounds {
         /// Human-readable operation name ("write", "read", "rect-write", ...).
@@ -87,6 +98,9 @@ impl fmt::Display for Error {
             ),
             Error::EmptyGroup { kernel } => {
                 write!(f, "kernel `{kernel}`: work-group size must be non-zero")
+            }
+            Error::InvalidKernelArgs { kernel, detail } => {
+                write!(f, "kernel `{kernel}`: invalid arguments: {detail}")
             }
             Error::TransferOutOfBounds { op, buffer_len, offending_index } => write!(
                 f,

@@ -503,6 +503,21 @@ mod tests {
     use super::*;
 
     #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        // Pin the empty-histogram contract: every statistic is exactly 0.0
+        // (finite — never NaN from a 0/0 or a divide by `count`).
+        let h = Histogram::exponential(1e-6, 2.0, 40);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert_eq!(v, 0.0, "quantile({q})");
+            assert!(v.is_finite());
+        }
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
     fn counters_and_gauges_roundtrip() {
         let mut r = MetricsRegistry::new();
         r.inc("frames", 3);

@@ -32,9 +32,26 @@ cargo test -q
 echo "== metric baselines"
 ./scripts/check_metrics.sh
 
+echo "== odd-shape smoke (1001x701 through the CLI, base and optimized)"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+{ printf 'P5\n1001 701\n255\n'; head -c $((1001 * 701)) /dev/urandom; } \
+    > "$smoke_dir/odd.pgm"
+./target/release/sharpen "$smoke_dir/odd.pgm" "$smoke_dir/odd-all.pgm" \
+    --opts all --sanitize > /dev/null
+./target/release/sharpen "$smoke_dir/odd.pgm" "$smoke_dir/odd-none.pgm" \
+    --opts none > /dev/null
+./target/release/sharpen "$smoke_dir/odd.pgm" "$smoke_dir/odd-cpu.pgm" \
+    --cpu > /dev/null
+# The base GPU config keeps the reduction on the CPU, so its output must
+# match the CPU reference bit-for-bit even on odd shapes.
+cmp "$smoke_dir/odd-none.pgm" "$smoke_dir/odd-cpu.pgm"
+
 if [ "$full" -eq 1 ]; then
     echo "== full sanitizer sweep (all configs x all sizes)"
     cargo test -q --release --test sanitize -- --ignored
+    echo "== full arbitrary-shape sweep (all configs at 1001x701)"
+    cargo test -q --release --test arbitrary_shapes -- --ignored
 fi
 
 echo "== cargo bench --no-run"

@@ -18,7 +18,15 @@
 #    amounts at runtime; this lint catches a file that forgot to charge
 #    at all before any test runs.
 #
-# 3. Telemetry is observation-only. The files that read command records
+# 3. Kernel shape preconditions must be typed errors, not panics. A
+#    violated `assert!` inside a kernel closure surfaces as an opaque
+#    `Error::KernelPanic` with no kernel name or offending dimension;
+#    dispatch functions return `Error::InvalidKernelArgs` instead (the
+#    arbitrary-dimension work converted every legacy multiple-of-4
+#    assert). `debug_assert!` on internal invariants stays allowed, as do
+#    asserts in test modules.
+#
+# 4. Telemetry is observation-only. The files that read command records
 #    and cost counters to derive metrics/traces must never mutate the
 #    state they observe (reset queues, rewrite records, charge bytes) —
 #    otherwise "metrics on" changes the numbers being measured. The
@@ -43,6 +51,16 @@ raw_span='read_into|slice_raw|set_span_raw'
 for f in crates/core/src/gpu/kernels/*.rs; do
     if grep -qE "$raw_span" "$f" && ! grep -q 'charge_global_n' "$f"; then
         echo "lint: $f uses raw span accessors but never calls charge_global_n"
+        fail=1
+    fi
+done
+
+shape_asserts='(^|[^_[:alnum:]])(assert|assert_eq|assert_ne)!'
+for f in crates/core/src/gpu/kernels/*.rs; do
+    if matches=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR":"$0}' "$f" \
+        | grep -E "$shape_asserts"); then
+        echo "lint: kernel precondition panics (return Error::InvalidKernelArgs instead):"
+        echo "$matches"
         fail=1
     fi
 done

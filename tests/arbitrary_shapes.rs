@@ -1,0 +1,149 @@
+//! Arbitrary-dimension acceptance tests: the pipeline accepts any shape
+//! of at least 3×3, and the equivalence ladder holds on shapes that are
+//! not multiples of 4 — every non-GPU-reduction config reproduces the CPU
+//! reference bit-exactly, toggling vectorization never changes a bit, and
+//! the sanitizer sweeps clean on ragged shapes.
+
+use imagekit::generate;
+use sharpness_core::gpu::{GpuPipeline, OptConfig, Tuning};
+use sharpness_core::params::SharpnessParams;
+use sharpness_core::CpuPipeline;
+use simgpu::prelude::*;
+
+fn spec() -> DeviceSpec {
+    DeviceSpec::firepro_w8000()
+}
+
+fn vctx() -> Context {
+    Context::with_validation(spec())
+}
+
+/// All 64 combinations of the six optimization flags.
+fn all_configs() -> Vec<OptConfig> {
+    (0..64u32)
+        .map(|bits| OptConfig {
+            data_transfer: bits & 1 != 0,
+            kernel_fusion: bits & 2 != 0,
+            reduction_gpu: bits & 4 != 0,
+            vectorization: bits & 8 != 0,
+            border_gpu: bits & 16 != 0,
+            others: bits & 32 != 0,
+        })
+        .collect()
+}
+
+/// Asserts the equivalence ladder for one image across `configs`:
+/// non-GPU-reduction configs match the CPU reference bit-exactly,
+/// GPU-reduction configs match within the float-summation tolerance, and
+/// each config matches its vectorization-toggled twin bit-exactly (the
+/// pEdge matrix, stride padding included, is identical either way, so even
+/// the GPU tree reduction sees the same bits).
+fn assert_equivalence(w: usize, h: usize, seed: u64, configs: &[OptConfig], tuning: Tuning) {
+    let img = generate::natural(w, h, seed);
+    let cpu = CpuPipeline::new(SharpnessParams::default())
+        .run(&img)
+        .expect("cpu reference");
+    for cfg in configs {
+        let gpu = GpuPipeline::new(vctx(), SharpnessParams::default(), *cfg)
+            .with_tuning(tuning)
+            .run(&img)
+            .unwrap_or_else(|e| panic!("{w}x{h} {cfg:?}: {e}"));
+        if cfg.reduction_gpu {
+            let diff = gpu.output.max_abs_diff(&cpu.output);
+            assert!(diff < 0.05, "{w}x{h} {cfg:?}: diff {diff}");
+        } else {
+            assert_eq!(gpu.output, cpu.output, "{w}x{h} {cfg:?}");
+        }
+        let twin = OptConfig {
+            vectorization: !cfg.vectorization,
+            ..*cfg
+        };
+        let tgpu = GpuPipeline::new(vctx(), SharpnessParams::default(), twin)
+            .with_tuning(tuning)
+            .run(&img)
+            .unwrap_or_else(|e| panic!("{w}x{h} {twin:?}: {e}"));
+        assert_eq!(
+            gpu.output, tgpu.output,
+            "{w}x{h} {cfg:?}: vectorization toggle changed pixels"
+        );
+    }
+}
+
+#[test]
+fn small_odd_shapes_all_64_configs() {
+    for (w, h) in [(3, 3), (5, 7), (31, 17), (33, 29)] {
+        assert_equivalence(w, h, 41, &all_configs(), Tuning::default());
+    }
+}
+
+#[test]
+fn gpu_border_forced_on_small_odd_shapes() {
+    // Default tuning keeps the border on the CPU below 768 px; force the
+    // GPU border kernels so their ragged paths run end-to-end too.
+    let tuning = Tuning {
+        border_gpu_min_width: 0,
+        ..Tuning::default()
+    };
+    let configs: Vec<OptConfig> = all_configs().into_iter().filter(|c| c.border_gpu).collect();
+    for (w, h) in [(5, 7), (13, 11), (33, 29)] {
+        assert_equivalence(w, h, 43, &configs, tuning);
+    }
+}
+
+#[test]
+fn large_odd_shapes_representative_configs() {
+    // 1001x701 (both axes odd), 1000x700 (aligned axes, ragged downscale
+    // groups), 1023x769 (odd, width crosses the GPU-border crossover so
+    // OptConfig::all() takes the device border path).
+    let configs = [
+        OptConfig::none(),
+        OptConfig::all(),
+        OptConfig {
+            data_transfer: true,
+            vectorization: true,
+            kernel_fusion: true,
+            ..OptConfig::none()
+        },
+        OptConfig {
+            reduction_gpu: true,
+            kernel_fusion: true,
+            ..OptConfig::none()
+        },
+    ];
+    for (w, h) in [(1001, 701), (1000, 700), (1023, 769)] {
+        assert_equivalence(w, h, 47, &configs, Tuning::default());
+    }
+}
+
+#[test]
+fn sanitizer_is_clean_on_odd_shapes() {
+    for cfg in [
+        OptConfig::none(),
+        OptConfig::all(),
+        OptConfig {
+            vectorization: true,
+            reduction_gpu: true,
+            ..OptConfig::none()
+        },
+    ] {
+        for (w, h) in [(3, 3), (5, 7), (33, 29), (101, 67)] {
+            let img = generate::natural(w, h, 53);
+            let ctx = Context::sanitized(spec());
+            GpuPipeline::new(ctx.clone(), SharpnessParams::default(), cfg)
+                .run(&img)
+                .expect("sanitized odd-shape run failed");
+            let report = ctx.sanitize_report().expect("sanitizer was enabled");
+            assert!(report.is_clean(), "{w}x{h} {cfg:?}: {}", report.summary());
+        }
+    }
+}
+
+/// The full acceptance sweep of the issue: all 64 configs at 1001×701.
+/// Heavy on one core — run explicitly with
+/// `cargo test -q --test arbitrary_shapes -- --ignored` or
+/// `scripts/ci.sh --full`.
+#[test]
+#[ignore = "full 64-config sweep at 1001x701 is expensive; run via ci.sh --full"]
+fn full_sweep_1001x701_all_configs() {
+    assert_equivalence(1001, 701, 59, &all_configs(), Tuning::default());
+}

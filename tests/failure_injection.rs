@@ -109,7 +109,7 @@ fn double_map_is_rejected() {
 
 #[test]
 fn pipelines_reject_unsupported_shapes() {
-    for (w, h) in [(8, 8), (12, 16), (30, 32), (33, 32)] {
+    for (w, h) in [(2, 8), (8, 2), (1, 1), (0, 0)] {
         let img = imagekit::ImageF32::zeros(w, h);
         assert!(
             CpuPipeline::new(SharpnessParams::default())

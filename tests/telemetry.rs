@@ -92,6 +92,27 @@ fn plan_telemetry_matches_single_shot_telemetry() {
     }
 }
 
+#[test]
+fn telemetry_denominators_use_true_pixels_on_odd_shapes() {
+    // On widths that are not a multiple of 4 the device rows are padded to
+    // the vec4 stride, but every per-pixel metric must divide by the true
+    // w*h (the padding lanes only add their small real traffic on top).
+    let (w, h) = (257usize, 129usize);
+    let img = generate::natural(w, h, 3);
+    let ctx = Context::new(spec());
+    let pipe = GpuPipeline::new(ctx, SharpnessParams::default(), OptConfig::all());
+    let (_, tel) = pipe.run_with_telemetry(&img).expect("odd-shape run");
+    assert_eq!(tel.pixels(), (w * h) as u64);
+    let loads = tel
+        .sobel_loads_per_source_pixel()
+        .expect("sobel_vec4 dispatched");
+    // 4.5 exactly when aligned; the 260-wide stride adds ~1.2% here.
+    assert!(
+        (4.4..4.7).contains(&loads),
+        "vec4 sobel loads/px {loads} out of window at {w}x{h}"
+    );
+}
+
 // ---- the committed baseline ladder reproduces the paper's claims ------
 
 #[test]
