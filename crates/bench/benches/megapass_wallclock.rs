@@ -1,0 +1,100 @@
+//! Wall-clock comparison of the monolithic and cache-blocked (banded)
+//! schedules (not a figure from the paper — banding optimizes the *host*
+//! cost of running the simulator; pixels and simulated seconds are
+//! bit-identical by construction, so frames/s of real time is the only
+//! number that can move).
+//!
+//! For each square size the bench runs one persistent plan per schedule
+//! over the same frame stream and reports frames/s plus the banded
+//! speedup. Results land in `MP_OUT` (default the committed
+//! `baselines/BENCH_5.json`, so a re-run refreshes the tracked record).
+//!
+//! Run with `cargo bench --bench megapass_wallclock`. Environment knobs:
+//! `MP_SIZES` (default `1024,2048,4096`), `MP_FRAMES` (default 3),
+//! `MP_BAND` (band rows; default 0 = auto from the host cache size),
+//! `MP_OUT` (output path).
+
+use std::time::Instant;
+
+use sharpness_bench::benchjson::{self, BenchRow};
+use sharpness_bench::workload;
+use sharpness_core::gpu::{BandedStats, GpuPipeline, OptConfig, Schedule};
+use sharpness_core::params::SharpnessParams;
+use simgpu::context::Context;
+use simgpu::device::DeviceSpec;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_sizes() -> Vec<usize> {
+    std::env::var("MP_SIZES")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1024, 2048, 4096])
+}
+
+/// Times `frames` runs of a persistent plan under `schedule`; returns
+/// frames/s of wall-clock time.
+fn measure(width: usize, frames: usize, schedule: Schedule) -> f64 {
+    let img = workload(width);
+    let ctx = Context::new(DeviceSpec::firepro_w8000());
+    let pipe =
+        GpuPipeline::new(ctx, SharpnessParams::default(), OptConfig::all()).with_schedule(schedule);
+    let mut plan = pipe.prepared(width, width).unwrap();
+    let mut out = vec![0.0f32; width * width];
+    plan.run_into(&img, &mut out).unwrap(); // warm-up (fills the pool)
+    let t0 = Instant::now();
+    for _ in 0..frames {
+        std::hint::black_box(plan.run_into(&img, &mut out).unwrap());
+    }
+    frames as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let sizes = env_sizes();
+    let frames = env_usize("MP_FRAMES", 3);
+    let band = env_usize("MP_BAND", 0);
+    let out_path = std::env::var("MP_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../baselines/BENCH_5.json").to_string()
+    });
+    let band_label = if band == 0 {
+        "banded(auto)".to_string()
+    } else {
+        format!("banded({band})")
+    };
+
+    println!("megapass_wallclock: {frames} frames per schedule, OptConfig::all()");
+    let mut rows = Vec::new();
+    for &width in &sizes {
+        let stats = BandedStats::for_frame(width, width, &OptConfig::all(), band);
+        let mono_fps = measure(width, frames, Schedule::Monolithic);
+        let band_fps = measure(width, frames, Schedule::Banded(band));
+        let speedup = band_fps / mono_fps;
+        println!(
+            "  {width:>4}²: monolithic {mono_fps:7.2} fps | {band_label} {band_fps:7.2} fps \
+             ({speedup:4.2}x, {} bands of {} rows, peak resident {:.1} MiB)",
+            stats.bands,
+            stats.rows_per_band,
+            stats.peak_resident_bytes as f64 / (1 << 20) as f64,
+        );
+        rows.push(BenchRow {
+            width,
+            schedule: "monolithic".to_string(),
+            frames_per_s: mono_fps,
+            speedup_vs_monolithic: 1.0,
+        });
+        rows.push(BenchRow {
+            width,
+            schedule: band_label.clone(),
+            frames_per_s: band_fps,
+            speedup_vs_monolithic: speedup,
+        });
+    }
+    benchjson::write(&out_path, "megapass_wallclock", &rows).expect("write bench json");
+    println!("wrote {out_path}");
+}

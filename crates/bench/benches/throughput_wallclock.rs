@@ -13,12 +13,14 @@
 //!   cores, one pooled plan per worker.
 //!
 //! Run with `cargo bench --bench throughput_wallclock`. Environment knobs:
-//! `TP_WIDTH` (default 1024), `TP_FRAMES` (default 12).
+//! `TP_WIDTH` (default 1024), `TP_FRAMES` (default 12), `TP_OUT` (JSON
+//! results path, default the committed `baselines/BENCH_5_throughput.json`).
 
 use std::time::Instant;
 
+use sharpness_bench::benchjson::{self, BenchRow};
 use sharpness_bench::workload;
-use sharpness_core::gpu::{GpuPipeline, OptConfig, ThroughputEngine};
+use sharpness_core::gpu::{GpuPipeline, OptConfig, Schedule, ThroughputEngine};
 use sharpness_core::params::SharpnessParams;
 use simgpu::context::Context;
 use simgpu::device::DeviceSpec;
@@ -84,6 +86,27 @@ fn main() {
         fresh_s / plan_s
     );
 
+    // Persistent plan under the cache-blocked banded schedule (auto band
+    // height). Same pixels, same simulated time — wall-clock only.
+    let banded_s = {
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        let pipe =
+            GpuPipeline::new(ctx, params, OptConfig::all()).with_schedule(Schedule::Banded(0));
+        let mut plan = pipe.prepared(width, width).unwrap();
+        let mut out = vec![0.0f32; img.len()];
+        plan.run_into(&img, &mut out).unwrap(); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..frames {
+            std::hint::black_box(plan.run_into(&img, &mut out).unwrap());
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    println!(
+        "  banded: {banded_s:8.3} s  ({:7.2} frames/s)  {:4.2}x vs plan",
+        fps(frames, banded_s),
+        plan_s / banded_s
+    );
+
     // Throughput engine: pooled plans fanned over the host cores.
     let (engine_s, workers) = {
         let ctx = Context::new(DeviceSpec::firepro_w8000());
@@ -99,4 +122,28 @@ fn main() {
         fps(frames, engine_s),
         fresh_s / engine_s
     );
+
+    // Machine-readable results; speedups are relative to the monolithic
+    // persistent plan (the single-worker reference schedule).
+    let out_path = std::env::var("TP_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../baselines/BENCH_5_throughput.json"
+        )
+        .to_string()
+    });
+    let row = |schedule: &str, seconds: f64| BenchRow {
+        width,
+        schedule: schedule.to_string(),
+        frames_per_s: fps(frames, seconds),
+        speedup_vs_monolithic: plan_s / seconds,
+    };
+    let rows = vec![
+        row("fresh", fresh_s),
+        row("monolithic", plan_s),
+        row("banded(auto)", banded_s),
+        row(&format!("engine[{workers}]"), engine_s),
+    ];
+    benchjson::write(&out_path, "throughput_wallclock", &rows).expect("write bench json");
+    println!("wrote {out_path}");
 }

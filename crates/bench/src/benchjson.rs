@@ -1,0 +1,101 @@
+//! Minimal JSON emission for the wall-clock benches.
+//!
+//! The self-timed benches (`megapass_wallclock`, `throughput_wallclock`)
+//! record their measurements in `BENCH_<n>.json` files at the repository
+//! root so CI and the README table have machine-readable numbers. The
+//! schema is one object per measurement: square image size, schedule
+//! label, achieved frames per second, and the speedup over the monolithic
+//! reference at the same size. Hand-rolled (no serde in the dependency
+//! closure).
+
+use std::fmt::Write as _;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Square image width (pixels).
+    pub width: usize,
+    /// Human-readable schedule label, e.g. `monolithic` or `banded(512)`.
+    pub schedule: String,
+    /// Achieved wall-clock frames per second.
+    pub frames_per_s: f64,
+    /// Throughput relative to the monolithic reference at this size
+    /// (1.0 for the reference itself).
+    pub speedup_vs_monolithic: f64,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders the bench result document.
+pub fn render(bench: &str, rows: &[BenchRow]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\n  \"bench\": \"{}\",\n  \"rows\": [", esc(bench));
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"width\": {}, \"schedule\": \"{}\", \"frames_per_s\": {:.6}, \
+             \"speedup_vs_monolithic\": {:.4}}}",
+            r.width,
+            esc(&r.schedule),
+            r.frames_per_s,
+            r.speedup_vs_monolithic
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes the bench result document to `path`.
+///
+/// # Errors
+/// Propagates the underlying I/O error.
+pub fn write(path: &str, bench: &str, rows: &[BenchRow]) -> std::io::Result<()> {
+    std::fs::write(path, render(bench, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_schema() {
+        let rows = vec![
+            BenchRow {
+                width: 1024,
+                schedule: "monolithic".into(),
+                frames_per_s: 12.5,
+                speedup_vs_monolithic: 1.0,
+            },
+            BenchRow {
+                width: 1024,
+                schedule: "banded(512)".into(),
+                frames_per_s: 15.0,
+                speedup_vs_monolithic: 1.2,
+            },
+        ];
+        let doc = render("megapass_wallclock", &rows);
+        assert!(doc.contains("\"bench\": \"megapass_wallclock\""));
+        assert!(doc.contains("\"width\": 1024"));
+        assert!(doc.contains("\"schedule\": \"banded(512)\""));
+        assert!(doc.contains("\"speedup_vs_monolithic\": 1.2000"));
+        // Balanced braces/brackets — crude well-formedness check.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

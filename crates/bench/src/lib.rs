@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod benchjson;
 pub mod csv;
 
 use imagekit::{generate, ImageF32};

@@ -1,13 +1,17 @@
 //! Autotuning of the hardware-dependent choices the paper "tested in
 //! advance": the border CPU/GPU crossover (Fig. 17), the reduction
 //! stage-2 host/device threshold, and the reduction unrolling strategy
-//! (Fig. 15).
+//! (Fig. 15) — plus the band height of the cache-blocked megapass
+//! schedule, which depends on the *host* cache hierarchy rather than the
+//! simulated device.
 //!
 //! The paper hard-codes these after manual measurement; this module
 //! automates the measurement against whatever device the context models,
 //! so re-targeting the pipeline to another [`DeviceSpec`] re-derives them.
 //!
 //! [`DeviceSpec`]: simgpu::device::DeviceSpec
+
+use std::sync::OnceLock;
 
 use simgpu::context::Context;
 
@@ -65,6 +69,87 @@ pub fn tune_stage2_threshold(ctx: &Context) -> usize {
         n *= 4;
     }
     usize::MAX
+}
+
+/// Bytes of the largest data cache the host advertises, read once from
+/// `/sys/devices/system/cpu/cpu0/cache` (the usual Linux sysfs layout);
+/// falls back to 8 MiB when the hierarchy cannot be read.
+pub fn detected_cache_bytes() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| read_cache_bytes().unwrap_or(8 << 20))
+}
+
+fn read_cache_bytes() -> Option<usize> {
+    let base = std::path::Path::new("/sys/devices/system/cpu/cpu0/cache");
+    let mut best = 0usize;
+    for entry in std::fs::read_dir(base).ok()? {
+        let dir = entry.ok()?.path();
+        let is_data = std::fs::read_to_string(dir.join("type"))
+            .map(|t| matches!(t.trim(), "Data" | "Unified"))
+            .unwrap_or(false);
+        if !is_data {
+            continue;
+        }
+        let size = std::fs::read_to_string(dir.join("size")).ok()?;
+        let size = size.trim();
+        let bytes = if let Some(k) = size.strip_suffix('K') {
+            k.parse::<usize>().ok()? << 10
+        } else if let Some(m) = size.strip_suffix('M') {
+            m.parse::<usize>().ok()? << 20
+        } else {
+            size.parse::<usize>().ok()?
+        };
+        best = best.max(bytes);
+    }
+    (best > 0).then_some(best)
+}
+
+/// Rows per band for the cache-blocked megapass on images of device row
+/// stride `ws`: sized so one band's working set — about six f32 streams of
+/// `ws` elements each (source, up, pEdge, final, plus the down band and
+/// loop slack) — fills roughly half the detected last-level cache, leaving
+/// the other half for everything else. Rounded down to whole 16-row
+/// work-group rows and clamped to a sane range.
+pub fn band_rows_for(ws: usize) -> usize {
+    const STREAMS: usize = 6;
+    let budget = detected_cache_bytes() / 2;
+    let rows = budget / (STREAMS * ws.max(1) * 4);
+    (rows / 16 * 16).clamp(16, 4096)
+}
+
+/// Wall-clock self-check for the band height: times a few frames of each
+/// candidate (the cache-derived height, half, and double) on the given
+/// pipeline and returns the fastest. This is the one tuner that measures
+/// *host* time, not simulated time — banding is invisible to the virtual
+/// clock by design.
+///
+/// # Errors
+/// On unsupported shapes or invalid parameters.
+pub fn tune_band_rows(pipe: &crate::gpu::GpuPipeline, w: usize, h: usize) -> Result<usize, String> {
+    use crate::gpu::megapass::Schedule;
+    let base = band_rows_for(crate::params::device_stride(w));
+    let img = imagekit::generate::natural(w, h, 42);
+    let mut best = base;
+    let mut best_t = f64::INFINITY;
+    for cand in [base / 2, base, base * 2] {
+        if cand < 16 {
+            continue;
+        }
+        let banded = pipe.clone().with_schedule(Schedule::Banded(cand));
+        let mut plan = banded.prepared(w, h)?;
+        let mut out = vec![0.0f32; w * h];
+        plan.run_into(&img, &mut out)?; // warm the plan and pool
+        let t0 = std::time::Instant::now();
+        for _ in 0..2 {
+            plan.run_into(&img, &mut out)?;
+        }
+        let t = t0.elapsed().as_secs_f64();
+        if t < best_t {
+            best_t = t;
+            best = cand;
+        }
+    }
+    Ok(best)
 }
 
 /// Full autotune pass: derives a [`Tuning`] for the context's device.

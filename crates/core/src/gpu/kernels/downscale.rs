@@ -7,7 +7,7 @@ use simgpu::error::{Error, Result};
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid2d, KernelTuning, SrcImage};
+use super::{grid2d, KernelTuning, Launch, SrcImage};
 use crate::params::{MIN_DIM, SCALE};
 
 /// Dispatches the downscale kernel: `down[j, i] = mean(src block)`, where
@@ -26,6 +26,20 @@ pub fn downscale_kernel(
     h: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
+    downscale_launch(q, src, down, w, h, tune, Launch::Full)
+}
+
+/// [`downscale_kernel`] with an explicit [`Launch`] mode (one work-group
+/// row covers 16 downscaled rows = 64 source rows).
+pub(crate) fn downscale_launch(
+    q: &mut CommandQueue,
+    src: &SrcImage,
+    down: &Buffer<f32>,
+    w: usize,
+    h: usize,
+    tune: KernelTuning,
+    launch: Launch<'_>,
+) -> Result<KernelTime> {
     if w < MIN_DIM || h < MIN_DIM {
         return Err(Error::InvalidKernelArgs {
             kernel: "downscale".into(),
@@ -39,7 +53,7 @@ pub fn downscale_kernel(
     // Per full block: 15 adds + 1 mul for the mean, plus index arithmetic.
     let per_item = OpCounts::ZERO.adds(15).muls(1).plus(&tune.idx_ops());
     let idx_ops = tune.idx_ops();
-    q.run(&desc, &[down], move |g| {
+    launch.dispatch(q, &desc, &[down], move |g| {
         // Row-segment form: each output row of the group reads its four
         // source rows as contiguous slices and accumulates the 4×4 block
         // sums in the same dy-major/dx-minor order as

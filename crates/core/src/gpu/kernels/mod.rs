@@ -22,7 +22,10 @@ pub mod upscale;
 
 use simgpu::buffer::GlobalView;
 use simgpu::cost::OpCounts;
-use simgpu::kernel::{round_up, KernelDesc};
+use simgpu::error::Result;
+use simgpu::kernel::{round_up, GroupCtx, KernelDesc};
+use simgpu::queue::{CommandQueue, SlicedDispatch, WriteTracked};
+use simgpu::timing::KernelTime;
 
 /// A device image a kernel reads from: the view plus its geometry.
 ///
@@ -102,6 +105,48 @@ impl KernelTuning {
 /// affects simulated time.
 pub fn overcharge_ratio(charged: u64, observed_floor: u64) -> f64 {
     (charged as f64 / observed_floor.max(1) as f64 * 1.01).max(4.0)
+}
+
+/// How a kernel dispatch executes: as one whole-grid `run` (recording its
+/// command immediately, the monolithic schedule) or as a contiguous
+/// work-group-row slice of the grid merged into a megapass accumulator.
+/// Sliced launches record nothing — the banded scheduler commits the
+/// accumulator once per frame via
+/// [`simgpu::queue::CommandQueue::commit_sliced`], producing the identical
+/// single kernel record (same counters, same simulated time) the
+/// monolithic dispatch would have.
+pub enum Launch<'a> {
+    /// Whole-grid dispatch.
+    Full,
+    /// Execute only this contiguous range of work-group *rows* (a group
+    /// row is `num_groups()[0]` consecutive flat group indices; for 1-D
+    /// grids it is one work-group).
+    Slice(std::ops::Range<usize>, &'a mut SlicedDispatch),
+}
+
+impl Launch<'_> {
+    /// Dispatches `f` over `desc` per the launch mode. Sliced launches
+    /// return a zero [`KernelTime`]: the simulated cost is charged at
+    /// commit, not here.
+    pub(crate) fn dispatch<F>(
+        self,
+        q: &mut CommandQueue,
+        desc: &KernelDesc,
+        outputs: &[&dyn WriteTracked],
+        f: F,
+    ) -> Result<KernelTime>
+    where
+        F: Fn(&mut GroupCtx) + Sync,
+    {
+        match self {
+            Launch::Full => q.run(desc, outputs, f),
+            Launch::Slice(rows, acc) => {
+                let [gx, _] = desc.num_groups();
+                q.run_sliced(desc, outputs, rows.start * gx..rows.end * gx, acc, f)?;
+                Ok(KernelTime::default())
+            }
+        }
+    }
 }
 
 /// The standard 2-D work-group shape used by the image kernels.

@@ -11,7 +11,7 @@ use simgpu::kernel::items;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid2d, KernelTuning, SrcImage};
+use super::{grid2d, KernelTuning, Launch, SrcImage};
 
 /// Dispatches the pError kernel over the full image. `ws` is the device
 /// row stride of the up/pError buffers (equal to `w` for multiple-of-4
@@ -27,12 +27,29 @@ pub fn perror_kernel(
     ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
+    perror_launch(q, src, up, perr, w, h, ws, tune, Launch::Full)
+}
+
+/// [`perror_kernel`] with an explicit [`Launch`] mode (one work-group row
+/// covers 16 image rows).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn perror_launch(
+    q: &mut CommandQueue,
+    src: &SrcImage,
+    up: &GlobalView<f32>,
+    perr: &Buffer<f32>,
+    w: usize,
+    h: usize,
+    ws: usize,
+    tune: KernelTuning,
+    launch: Launch<'_>,
+) -> Result<KernelTime> {
     let desc = grid2d("perror", w, h);
     let pview = perr.write_view();
     let src = src.clone();
     let up = up.clone();
     let per_item = OpCounts::ZERO.adds(1).plus(&tune.idx_ops());
-    q.run(&desc, &[perr], move |g| {
+    launch.dispatch(q, &desc, &[perr], move |g| {
         let mut n_items = 0u64;
         for l in items(g.group_size) {
             g.begin_item(l);

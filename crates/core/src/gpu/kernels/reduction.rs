@@ -21,11 +21,11 @@
 //! threshold, as the paper does ("the usage of GPU is determined by the
 //! amount of data, and the critical value is tested in advance").
 
-use simgpu::buffer::{Buffer, GlobalView};
+use simgpu::buffer::{Buffer, GlobalView, GlobalWriteView};
 use simgpu::cost::OpCounts;
 use simgpu::error::{Error, Result};
-use simgpu::kernel::KernelDesc;
-use simgpu::queue::CommandQueue;
+use simgpu::kernel::{GroupCtx, KernelDesc};
+use simgpu::queue::{CommandQueue, SlicedDispatch};
 use simgpu::timing::KernelTime;
 
 /// Work-group size of the reduction kernels (two 64-lane wavefronts).
@@ -85,20 +85,66 @@ pub fn reduction_stage1_range_kernel(
             ),
         });
     }
+    let desc = stage1_desc(n, strategy);
+    let body = stage1_body(src.clone(), partials.write_view(), offset, n, strategy);
+    let t = q.run(&desc, &[partials], body)?;
+    Ok((groups, t))
+}
+
+/// The stage-1 dispatch descriptor for `n` input elements — shared by the
+/// monolithic kernel and the megapass commit (which must pin the identical
+/// name and geometry).
+pub(crate) fn stage1_desc(n: usize, strategy: ReductionStrategy) -> KernelDesc {
     let name = match strategy {
         ReductionStrategy::NoUnroll => "reduction_stage1",
         ReductionStrategy::UnrollOne => "reduction_stage1_unroll1",
         ReductionStrategy::UnrollTwo => "reduction_stage1_unroll2",
     };
-    let desc = KernelDesc::new_1d(name, groups * RED_GROUP, RED_GROUP);
-    let src = src.clone();
-    let out = partials.write_view();
+    KernelDesc::new_1d(name, stage1_groups(n) * RED_GROUP, RED_GROUP)
+}
+
+/// Stage 1 over a flat work-group range, merged into a megapass
+/// accumulator (stage 1 is a 1-D grid, so [`super::Launch`]'s group-row
+/// slicing does not apply; the banded scheduler slices it by flat group
+/// index directly and commits once with [`stage1_desc`]).
+pub(crate) fn reduction_stage1_sliced(
+    q: &mut CommandQueue,
+    src: &GlobalView<f32>,
+    n: usize,
+    partials: &Buffer<f32>,
+    strategy: ReductionStrategy,
+    groups: std::ops::Range<usize>,
+    acc: &mut SlicedDispatch,
+) -> Result<()> {
+    if partials.len() < stage1_groups(n) {
+        return Err(Error::InvalidKernelArgs {
+            kernel: "reduction_stage1".into(),
+            detail: format!(
+                "partials buffer holds {} elements, {} work-groups required",
+                partials.len(),
+                stage1_groups(n)
+            ),
+        });
+    }
+    let desc = stage1_desc(n, strategy);
+    let body = stage1_body(src.clone(), partials.write_view(), 0, n, strategy);
+    q.run_sliced(&desc, &[partials], groups, acc, body)
+}
+
+/// The stage-1 kernel body, shared by the monolithic and sliced entries.
+fn stage1_body(
+    src: GlobalView<f32>,
+    out: GlobalWriteView<f32>,
+    offset: usize,
+    n: usize,
+    strategy: ReductionStrategy,
+) -> impl Fn(&mut GroupCtx) + Sync {
     // Per thread: ELEMS-1 adds for the load pass plus ELEMS bounds compares.
     let per_thread = OpCounts::ZERO
         .adds(ELEMS_PER_THREAD as u64)
         .cmps(ELEMS_PER_THREAD as u64)
         .muls(1);
-    let t = q.run(&desc, &[partials], move |g| {
+    move |g| {
         g.alloc_local(RED_GROUP);
         let base = g.group_id[0] * ELEMS_PER_GROUP;
         // Add-during-load: strided, coalesced accesses. For a full group
@@ -194,8 +240,7 @@ pub fn reduction_stage1_range_kernel(
             }
         }
         g.charge_n(&per_thread, RED_GROUP as u64);
-    })?;
-    Ok((groups, t))
+    }
 }
 
 /// Stage 2 on the device: a single work-group strided-sums the partials

@@ -15,7 +15,7 @@ use simgpu::kernel::items;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid2d, overcharge_ratio, KernelTuning, SrcImage};
+use super::{grid2d, overcharge_ratio, KernelTuning, Launch, SrcImage};
 use crate::math;
 use crate::params::{SharpnessParams, MIN_DIM};
 
@@ -35,6 +35,39 @@ pub fn preliminary_kernel(
     ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
+    preliminary_launch(
+        q,
+        up,
+        pedge,
+        perr,
+        prelim,
+        mean,
+        params,
+        w,
+        h,
+        ws,
+        tune,
+        Launch::Full,
+    )
+}
+
+/// [`preliminary_kernel`] with an explicit [`Launch`] mode (one work-group
+/// row covers 16 image rows).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn preliminary_launch(
+    q: &mut CommandQueue,
+    up: &GlobalView<f32>,
+    pedge: &GlobalView<f32>,
+    perr: &GlobalView<f32>,
+    prelim: &Buffer<f32>,
+    mean: f32,
+    params: SharpnessParams,
+    w: usize,
+    h: usize,
+    ws: usize,
+    tune: KernelTuning,
+    launch: Launch<'_>,
+) -> Result<KernelTime> {
     let desc = grid2d("preliminary", w, h);
     let out = prelim.write_view();
     let (up, pedge, perr) = (up.clone(), pedge.clone(), perr.clone());
@@ -47,7 +80,7 @@ pub fn preliminary_kernel(
         .cmps(2)
         .plus(&tune.idx_ops());
     let clamp_div = tune.clamp_divergence();
-    q.run(&desc, &[prelim], move |g| {
+    launch.dispatch(q, &desc, &[prelim], move |g| {
         let mut n = 0u64;
         for l in items(g.group_size) {
             g.begin_item(l);
@@ -82,6 +115,36 @@ pub fn overshoot_kernel(
     params: SharpnessParams,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
+    overshoot_launch(
+        q,
+        src,
+        prelim,
+        finalbuf,
+        w,
+        h,
+        ws,
+        params,
+        tune,
+        Launch::Full,
+    )
+}
+
+/// [`overshoot_kernel`] with an explicit [`Launch`] mode (one work-group
+/// row covers 16 image rows; the 3×3 window reads the fully-resident
+/// original, and `prelim` only at the pixel itself).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn overshoot_launch(
+    q: &mut CommandQueue,
+    src: &SrcImage,
+    prelim: &GlobalView<f32>,
+    finalbuf: &Buffer<f32>,
+    w: usize,
+    h: usize,
+    ws: usize,
+    params: SharpnessParams,
+    tune: KernelTuning,
+    launch: Launch<'_>,
+) -> Result<KernelTime> {
     let desc = grid2d("overshoot", w, h);
     let out = finalbuf.write_view();
     let src = src.clone();
@@ -92,7 +155,7 @@ pub fn overshoot_kernel(
         .adds(1)
         .plus(&tune.idx_ops());
     let clamp_div = tune.clamp_divergence();
-    q.run(&desc, &[finalbuf], move |g| {
+    launch.dispatch(q, &desc, &[finalbuf], move |g| {
         let mut n_body = 0u64;
         let mut n_border = 0u64;
         for l in items(g.group_size) {
@@ -170,6 +233,40 @@ pub fn sharpness_fused_kernel(
     ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
+    sharpness_fused_launch(
+        q,
+        src,
+        up,
+        pedge,
+        finalbuf,
+        mean,
+        params,
+        w,
+        h,
+        ws,
+        tune,
+        Launch::Full,
+    )
+}
+
+/// [`sharpness_fused_kernel`] with an explicit [`Launch`] mode (one
+/// work-group row covers 16 image rows; the 3×3 window reads the
+/// fully-resident original, and up/pEdge only at the pixel itself).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sharpness_fused_launch(
+    q: &mut CommandQueue,
+    src: &SrcImage,
+    up: &GlobalView<f32>,
+    pedge: &GlobalView<f32>,
+    finalbuf: &Buffer<f32>,
+    mean: f32,
+    params: SharpnessParams,
+    w: usize,
+    h: usize,
+    ws: usize,
+    tune: KernelTuning,
+    launch: Launch<'_>,
+) -> Result<KernelTime> {
     let desc = grid2d("sharpness", w, h);
     let out = finalbuf.write_view();
     let src = src.clone();
@@ -184,7 +281,7 @@ pub fn sharpness_fused_kernel(
         .cmps(24)
         .plus(&tune.idx_ops());
     let clamp_div = tune.clamp_divergence();
-    q.run(&desc, &[finalbuf], move |g| {
+    launch.dispatch(q, &desc, &[finalbuf], move |g| {
         let mut n_body = 0u64;
         let mut n_border = 0u64;
         for l in items(g.group_size) {
@@ -330,6 +427,39 @@ pub fn sharpness_fused_vec4_kernel(
     ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
+    sharpness_fused_vec4_launch(
+        q,
+        src,
+        up,
+        pedge,
+        finalbuf,
+        mean,
+        params,
+        w,
+        h,
+        ws,
+        tune,
+        Launch::Full,
+    )
+}
+
+/// [`sharpness_fused_vec4_kernel`] with an explicit [`Launch`] mode (one
+/// work-group row covers 16 image rows).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sharpness_fused_vec4_launch(
+    q: &mut CommandQueue,
+    src: &SrcImage,
+    up: &GlobalView<f32>,
+    pedge: &GlobalView<f32>,
+    finalbuf: &Buffer<f32>,
+    mean: f32,
+    params: SharpnessParams,
+    w: usize,
+    h: usize,
+    ws: usize,
+    tune: KernelTuning,
+    launch: Launch<'_>,
+) -> Result<KernelTime> {
     if src.pad != 1 {
         return Err(Error::InvalidKernelArgs {
             kernel: "sharpness_vec4".into(),
@@ -366,7 +496,7 @@ pub fn sharpness_fused_vec4_kernel(
         26 * (ws as u64 / 4) * h as u64,
         5 * (w as u64 - 2) * (h as u64 - 2),
     );
-    q.run(&desc, &[finalbuf], move |g| {
+    launch.dispatch(q, &desc, &[finalbuf], move |g| {
         // One border pixel, computed exactly as `fused_pixel` with
         // `body = false` would (only the window centre matters).
         let border_pixel =

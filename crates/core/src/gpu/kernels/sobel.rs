@@ -10,7 +10,7 @@ use simgpu::kernel::items;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid2d, overcharge_ratio, KernelTuning, SrcImage};
+use super::{grid2d, overcharge_ratio, KernelTuning, Launch, SrcImage};
 use crate::math;
 use crate::params::MIN_DIM;
 
@@ -25,6 +25,22 @@ pub fn sobel_scalar_kernel(
     h: usize,
     ws: usize,
     tune: KernelTuning,
+) -> Result<KernelTime> {
+    sobel_scalar_launch(q, src, pedge, w, h, ws, tune, Launch::Full)
+}
+
+/// [`sobel_scalar_kernel`] with an explicit [`Launch`] mode (the banded
+/// scheduler slices the grid by work-group rows of 16 image rows).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sobel_scalar_launch(
+    q: &mut CommandQueue,
+    src: &SrcImage,
+    pedge: &Buffer<f32>,
+    w: usize,
+    h: usize,
+    ws: usize,
+    tune: KernelTuning,
+    launch: Launch<'_>,
 ) -> Result<KernelTime> {
     if w < MIN_DIM || h < MIN_DIM || ws < w {
         return Err(Error::InvalidKernelArgs {
@@ -43,7 +59,7 @@ pub fn sobel_scalar_kernel(
         .cmps(2)
         .plus(&tune.idx_ops());
     let border_div = tune.clamp_divergence();
-    q.run(&desc, &[pedge], move |g| {
+    launch.dispatch(q, &desc, &[pedge], move |g| {
         let mut n_body = 0u64;
         let mut n_border = 0u64;
         for l in items(g.group_size) {
@@ -93,6 +109,21 @@ pub fn sobel_vec4_kernel(
     ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
+    sobel_vec4_launch(q, src, pedge, w, h, ws, tune, Launch::Full)
+}
+
+/// [`sobel_vec4_kernel`] with an explicit [`Launch`] mode.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sobel_vec4_launch(
+    q: &mut CommandQueue,
+    src: &SrcImage,
+    pedge: &Buffer<f32>,
+    w: usize,
+    h: usize,
+    ws: usize,
+    tune: KernelTuning,
+    launch: Launch<'_>,
+) -> Result<KernelTime> {
     if src.pad != 1 {
         return Err(Error::InvalidKernelArgs {
             kernel: "sobel_vec4".into(),
@@ -126,7 +157,7 @@ pub fn sobel_vec4_kernel(
         18 * (ws as u64 / 4) * h as u64,
         3 * (w as u64 - 2) * (h as u64 - 2),
     );
-    q.run(&desc, &[pedge], move |g| {
+    launch.dispatch(q, &desc, &[pedge], move |g| {
         // Row-segment form: the group's threads cover `4 * group_size[0]`
         // consecutive pixels per row, computed as one branch-free span so
         // the host autovectorizes it, while the charged traffic stays

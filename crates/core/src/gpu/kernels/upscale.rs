@@ -14,7 +14,7 @@ use simgpu::kernel::items;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid1d, grid2d, KernelTuning};
+use super::{grid1d, grid2d, KernelTuning, Launch};
 use crate::math;
 use crate::params::{INTERP, MIN_DIM, SCALE};
 
@@ -49,6 +49,22 @@ pub fn upscale_center_scalar_kernel(
     ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
+    upscale_center_scalar_launch(q, down, up, w, h, ws, tune, Launch::Full)
+}
+
+/// [`upscale_center_scalar_kernel`] with an explicit [`Launch`] mode (one
+/// work-group row covers 16 block rows = 64 output rows).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn upscale_center_scalar_launch(
+    q: &mut CommandQueue,
+    down: &GlobalView<f32>,
+    up: &Buffer<f32>,
+    w: usize,
+    h: usize,
+    ws: usize,
+    tune: KernelTuning,
+    launch: Launch<'_>,
+) -> Result<KernelTime> {
     let (wd, hd) = check_center_args("upscale_center", w, h, ws)?;
     let (nx, ny) = (wd - 1, hd - 1);
     let desc = grid2d("upscale_center", nx, ny);
@@ -57,7 +73,7 @@ pub fn upscale_center_scalar_kernel(
     // Per interpolated value: 6 mul + 3 add; index arithmetic per block.
     let per_value = OpCounts::ZERO.muls(6).adds(3);
     let idx_ops = tune.idx_ops();
-    q.run(&desc, &[up], move |g| {
+    launch.dispatch(q, &desc, &[up], move |g| {
         let mut n_blocks = 0u64;
         let mut n_vals = 0u64;
         for l in items(g.group_size) {
@@ -108,6 +124,22 @@ pub fn upscale_center_vec4_kernel(
     ws: usize,
     tune: KernelTuning,
 ) -> Result<KernelTime> {
+    upscale_center_vec4_launch(q, down, up, w, h, ws, tune, Launch::Full)
+}
+
+/// [`upscale_center_vec4_kernel`] with an explicit [`Launch`] mode (one
+/// work-group row covers 16 block rows = 64 output rows).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn upscale_center_vec4_launch(
+    q: &mut CommandQueue,
+    down: &GlobalView<f32>,
+    up: &Buffer<f32>,
+    w: usize,
+    h: usize,
+    ws: usize,
+    tune: KernelTuning,
+    launch: Launch<'_>,
+) -> Result<KernelTime> {
     let (wd, hd) = check_center_args("upscale_center_vec4", w, h, ws)?;
     let (nx, ny) = (wd - 1, hd - 1);
     let nx_threads = nx.div_ceil(4);
@@ -117,7 +149,7 @@ pub fn upscale_center_vec4_kernel(
     // Per interpolated value: 6 mul + 3 add (the fast path hoists shared
     // factors but charges the same per-value recipe).
     let per_value = OpCounts::ZERO.muls(6).adds(3);
-    q.run(&desc, &[up], move |g| {
+    launch.dispatch(q, &desc, &[up], move |g| {
         let mut n_vals = 0u64;
         let mut n_threads = 0u64;
         let mut n_fast = 0u64;

@@ -5,10 +5,12 @@ pub mod ablate;
 pub mod batch;
 pub mod engine;
 pub mod kernels;
+pub mod megapass;
 pub mod opts;
 pub mod pipeline;
 pub mod strips;
 
 pub use engine::{ThroughputEngine, ThroughputReport};
+pub use megapass::{BandedStats, Schedule};
 pub use opts::{OptConfig, Tuning};
 pub use pipeline::{GpuPipeline, PipelinePlan};

@@ -39,6 +39,8 @@ use crate::gpu::opts::{OptConfig, Tuning};
 use crate::params::{check_shape, device_stride, SharpnessParams, SCALE};
 use crate::report::{RunReport, StageRecord};
 
+use crate::gpu::megapass::Schedule;
+
 /// The OpenCL-style sharpness pipeline on the simulated GPU.
 #[derive(Clone)]
 pub struct GpuPipeline {
@@ -46,6 +48,7 @@ pub struct GpuPipeline {
     params: SharpnessParams,
     opts: OptConfig,
     tuning: Tuning,
+    schedule: Schedule,
 }
 
 impl GpuPipeline {
@@ -57,6 +60,7 @@ impl GpuPipeline {
             params,
             opts,
             tuning: Tuning::default(),
+            schedule: Schedule::Monolithic,
         }
     }
 
@@ -66,9 +70,39 @@ impl GpuPipeline {
         self
     }
 
+    /// Selects the execution schedule (whole-frame kernel passes or the
+    /// cache-blocked banded megapass). Orthogonal to every [`OptConfig`]
+    /// flag: pixels, simulated seconds and sanitizer verdicts are identical
+    /// under either schedule — only host wall-clock changes.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The execution schedule in effect.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// Banding counters for a `w`×`h` frame under this pipeline's
+    /// schedule; `None` when monolithic.
+    pub fn banded_stats(&self, w: usize, h: usize) -> Option<crate::gpu::BandedStats> {
+        match self.schedule {
+            Schedule::Monolithic => None,
+            Schedule::Banded(rows) => {
+                Some(crate::gpu::BandedStats::for_frame(w, h, &self.opts, rows))
+            }
+        }
+    }
+
     /// The optimization flags in effect.
     pub fn opts(&self) -> &OptConfig {
         &self.opts
+    }
+
+    /// The sharpening parameters in effect.
+    pub fn params(&self) -> &SharpnessParams {
+        &self.params
     }
 
     /// The tuning in effect.
@@ -90,7 +124,7 @@ impl GpuPipeline {
         clone
     }
 
-    fn sync(&self, q: &mut CommandQueue) {
+    pub(crate) fn sync(&self, q: &mut CommandQueue) {
         if !self.opts.others {
             q.finish();
         }
@@ -98,7 +132,7 @@ impl GpuPipeline {
 
     /// Device→host read of a whole buffer in the transfer mode the config
     /// selects (bulk when `data_transfer` is on, map/unmap otherwise).
-    fn read_back(
+    pub(crate) fn read_back(
         &self,
         q: &mut CommandQueue,
         buf: &Buffer<f32>,
@@ -160,12 +194,13 @@ impl GpuPipeline {
         let mut q = self.ctx.queue();
         let mut out = vec![0.0f32; res.n];
         self.run_frame(&mut q, &mut res, orig, None, &mut out)?;
-        let tel = crate::telemetry::FrameTelemetry::collect(
+        let mut tel = crate::telemetry::FrameTelemetry::collect(
             q.records(),
             q.device(),
             orig.width(),
             orig.height(),
         );
+        tel.banded = self.banded_stats(orig.width(), orig.height());
         Ok((report_from_queue(&q, orig.width(), orig.height(), out), tel))
     }
 
@@ -187,7 +222,7 @@ impl GpuPipeline {
 
     /// Executes one frame against pre-allocated resources, recording
     /// commands on `q` (which the caller has reset) and writing the
-    /// sharpened pixels into `out`.
+    /// sharpened pixels into `out`, under the configured [`Schedule`].
     fn run_frame(
         &self,
         q: &mut CommandQueue,
@@ -196,22 +231,33 @@ impl GpuPipeline {
         mean_override: Option<f32>,
         out: &mut [f32],
     ) -> Result<(), String> {
-        let (w, h) = (res.w, res.h);
-        if (orig.width(), orig.height()) != (w, h) {
+        if (orig.width(), orig.height()) != (res.w, res.h) {
             return Err(format!(
-                "frame is {}x{}, plan prepared for {w}x{h}",
+                "frame is {}x{}, plan prepared for {}x{}",
                 orig.width(),
-                orig.height()
+                orig.height(),
+                res.w,
+                res.h
             ));
         }
-        let n = res.n;
-        let ws = res.ws;
-        let pw = res.pw;
-        let tune = KernelTuning {
-            others: self.opts.others,
-        };
+        match self.schedule {
+            Schedule::Monolithic => self.run_frame_monolithic(q, res, orig, mean_override, out),
+            Schedule::Banded(rows) => {
+                crate::gpu::megapass::run_frame_banded(self, q, res, orig, mean_override, out, rows)
+            }
+        }
+    }
 
-        // ---- uploads (Section V-A) ------------------------------------
+    /// Uploads the frame in the transfer mode the config selects and
+    /// synchronises, exactly as every schedule must (the upload records are
+    /// schedule-invariant).
+    pub(crate) fn upload_frame(
+        &self,
+        q: &mut CommandQueue,
+        res: &mut FrameResources,
+        orig: &ImageF32,
+    ) -> Result<(), String> {
+        let (w, h, pw) = (res.w, res.h, res.pw);
         // The padded buffer's one-pixel border is zeroed at allocation and
         // never written afterwards (both upload paths touch only the
         // interior), so reuse across frames preserves the zero padding.
@@ -242,30 +288,41 @@ impl GpuPipeline {
             }
         }
         self.sync(q);
+        Ok(())
+    }
 
-        let padded_src = SrcImage {
-            view: res.padded.view(),
-            pitch: pw,
-            pad: 1,
+    /// Whether the upscale border runs on the device for width `w`
+    /// (Section V-E crossover).
+    pub(crate) fn gpu_border_enabled(&self, w: usize) -> bool {
+        self.opts.border_gpu && w >= self.tuning.border_gpu_min_width
+    }
+
+    /// The whole-frame schedule: each kernel dispatched once over its full
+    /// grid, in the order of Section IV.
+    fn run_frame_monolithic(
+        &self,
+        q: &mut CommandQueue,
+        res: &mut FrameResources,
+        orig: &ImageF32,
+        mean_override: Option<f32>,
+        out: &mut [f32],
+    ) -> Result<(), String> {
+        let (w, h) = (res.w, res.h);
+        let ws = res.ws;
+        let tune = KernelTuning {
+            others: self.opts.others,
         };
-        // What downscale/Sobel/pError read: the raw original in the base
-        // pipeline, the padded matrix once the upload is unified.
-        let main_src = match &res.original {
-            Some(b) => SrcImage {
-                view: b.view(),
-                pitch: w,
-                pad: 0,
-            },
-            None => padded_src.clone(),
-        };
+
+        // ---- uploads (Section V-A) ------------------------------------
+        self.upload_frame(q, res, orig)?;
+        let (padded_src, main_src) = res.sources();
 
         // ---- downscale --------------------------------------------------
         downscale_kernel(q, &main_src, &res.down, w, h, tune).map_err(|e| e.to_string())?;
         self.sync(q);
 
         // ---- upscale: border (Section V-E) ------------------------------
-        let gpu_border = self.opts.border_gpu && w >= self.tuning.border_gpu_min_width;
-        if gpu_border {
+        if self.gpu_border_enabled(w) {
             upscale_border_gpu(q, &res.down.view(), &res.up, w, h, ws, tune)
                 .map_err(|e| e.to_string())?;
             self.sync(q);
@@ -371,6 +428,18 @@ impl GpuPipeline {
         }
 
         // ---- readback -------------------------------------------------------
+        self.readback_final(q, res, out)
+    }
+
+    /// The end-of-frame `finish` plus the final-image readback in the
+    /// transfer mode the config selects (schedule-invariant records).
+    pub(crate) fn readback_final(
+        &self,
+        q: &mut CommandQueue,
+        res: &FrameResources,
+        out: &mut [f32],
+    ) -> Result<(), String> {
+        let (w, h, ws, n) = (res.w, res.h, res.ws, res.n);
         q.finish();
         if ws == w {
             self.read_back(q, &res.finalbuf, &mut out[..n])?;
@@ -392,7 +461,11 @@ impl GpuPipeline {
     /// CPU-side upscale border: read the downscaled matrix back, compute
     /// the border on the host (in the plan's reusable scratch), and write
     /// the border region to the device.
-    fn cpu_border(&self, q: &mut CommandQueue, res: &mut FrameResources) -> Result<(), String> {
+    pub(crate) fn cpu_border(
+        &self,
+        q: &mut CommandQueue,
+        res: &mut FrameResources,
+    ) -> Result<(), String> {
         let (w, h, ws) = (res.w, res.h, res.ws);
         self.read_back(q, &res.down, res.down_host.pixels_mut())?;
         // Only the border cells of the scratch are written here and only
@@ -433,26 +506,9 @@ impl GpuPipeline {
     /// Reduction of the pEdge matrix to its mean, on CPU or GPU per the
     /// config; returns the mean used by the strength curve.
     fn reduction(&self, q: &mut CommandQueue, res: &mut FrameResources) -> Result<f32, String> {
-        let n = res.n;
-        let ns = res.ns;
         if !self.opts.reduction_gpu {
-            // Whole pEdge matrix crosses the bus, then a serial host sum —
-            // Fig. 16's CPU side. The strided buffer's padding columns are
-            // exact zeros in every config, so summing all `ns` elements and
-            // dividing by the true pixel count `n` is bit-identical to a
-            // sum over the cropped image.
-            let host = &mut res.reduction_host;
-            self.read_back(q, &res.pedge, host)?;
-            // f64 accumulation, identical to the CPU reference stage, so
-            // the base GPU pipeline reproduces the CPU output bit-exactly.
-            let sum: f64 = host.iter().map(|&v| f64::from(v)).sum();
-            let mut c = CostCounters::new();
-            c.charge_ops_n(&simgpu::cost::OpCounts::ZERO.adds(1), ns as u64);
-            c.global_read_scalar = ns as u64 * 4;
-            q.charge_host("host:reduction", &c);
-            return Ok((sum / n as f64) as f32);
+            return self.reduction_cpu(q, res);
         }
-        let groups = stage1_groups(ns);
         let partials = res
             .partials
             .as_ref()
@@ -460,12 +516,53 @@ impl GpuPipeline {
         reduction_stage1_kernel(
             q,
             &res.pedge.view(),
-            ns,
+            res.ns,
             partials,
             self.tuning.reduction_strategy,
         )
         .map_err(|e| e.to_string())?;
         self.sync(q);
+        self.reduction_stage2_phase(q, res)
+    }
+
+    /// CPU-side reduction: the whole pEdge matrix crosses the bus, then a
+    /// serial host sum — Fig. 16's CPU side.
+    pub(crate) fn reduction_cpu(
+        &self,
+        q: &mut CommandQueue,
+        res: &mut FrameResources,
+    ) -> Result<f32, String> {
+        let n = res.n;
+        let ns = res.ns;
+        // The strided buffer's padding columns are exact zeros in every
+        // config, so summing all `ns` elements and dividing by the true
+        // pixel count `n` is bit-identical to a sum over the cropped image.
+        let host = &mut res.reduction_host;
+        self.read_back(q, &res.pedge, host)?;
+        // f64 accumulation, identical to the CPU reference stage, so
+        // the base GPU pipeline reproduces the CPU output bit-exactly.
+        let sum: f64 = host.iter().map(|&v| f64::from(v)).sum();
+        let mut c = CostCounters::new();
+        c.charge_ops_n(&simgpu::cost::OpCounts::ZERO.adds(1), ns as u64);
+        c.global_read_scalar = ns as u64 * 4;
+        q.charge_host("host:reduction", &c);
+        Ok((sum / n as f64) as f32)
+    }
+
+    /// Everything after the stage-1 record of the GPU reduction: stage 2 on
+    /// host or device per the tuned threshold. Shared by both schedules (the
+    /// banded executor commits its sliced stage 1, then calls this).
+    pub(crate) fn reduction_stage2_phase(
+        &self,
+        q: &mut CommandQueue,
+        res: &mut FrameResources,
+    ) -> Result<f32, String> {
+        let n = res.n;
+        let groups = stage1_groups(res.ns);
+        let partials = res
+            .partials
+            .as_ref()
+            .expect("gpu reduction allocates partials");
         if groups > self.tuning.stage2_gpu_threshold {
             // Stage 2 on the device, then a single-value readback.
             let result = res
@@ -519,41 +616,61 @@ fn report_from_queue(q: &CommandQueue, w: usize, h: usize, out: Vec<f32>) -> Run
 /// overwritten each frame except `padded`, whose border is zeroed at
 /// allocation and never written afterwards (only the interior is
 /// uploaded), and the host scratch areas, whose stale cells are never read.
-struct FrameResources {
-    w: usize,
-    h: usize,
-    w4: usize,
-    h4: usize,
-    n: usize,
+pub(crate) struct FrameResources {
+    pub(crate) w: usize,
+    pub(crate) h: usize,
+    pub(crate) w4: usize,
+    pub(crate) h4: usize,
+    pub(crate) n: usize,
     /// Vec4-aligned device row stride (`device_stride(w)`; equals `w` for
     /// multiple-of-4 widths).
-    ws: usize,
+    pub(crate) ws: usize,
     /// Elements of one strided device image (`ws * h`).
-    ns: usize,
-    pw: usize,
-    padded: Buffer<f32>,
+    pub(crate) ns: usize,
+    pub(crate) pw: usize,
+    pub(crate) padded: Buffer<f32>,
     /// Base (non-`data_transfer`) path only: the unpadded original.
-    original: Option<Buffer<f32>>,
-    down: Buffer<f32>,
-    up: Buffer<f32>,
-    pedge: Buffer<f32>,
-    finalbuf: Buffer<f32>,
+    pub(crate) original: Option<Buffer<f32>>,
+    pub(crate) down: Buffer<f32>,
+    pub(crate) up: Buffer<f32>,
+    pub(crate) pedge: Buffer<f32>,
+    pub(crate) finalbuf: Buffer<f32>,
     /// GPU reduction only: per-group partial sums.
-    partials: Option<Buffer<f32>>,
+    pub(crate) partials: Option<Buffer<f32>>,
     /// GPU reduction with device-side stage 2 only: the single-value sum.
-    reduction_out: Option<Buffer<f32>>,
+    pub(crate) reduction_out: Option<Buffer<f32>>,
     /// Unfused sharpening tail only.
-    perror: Option<Buffer<f32>>,
-    prelim: Option<Buffer<f32>>,
+    pub(crate) perror: Option<Buffer<f32>>,
+    pub(crate) prelim: Option<Buffer<f32>>,
     /// Host scratch for the CPU border stage (downscaled frame readback).
-    down_host: ImageF32,
+    pub(crate) down_host: ImageF32,
     /// Host scratch the CPU border stage writes its border pixels into.
-    up_host: ImageF32,
+    pub(crate) up_host: ImageF32,
     /// Host scratch for CPU-side reduction readbacks (pEdge or partials).
-    reduction_host: Vec<f32>,
+    pub(crate) reduction_host: Vec<f32>,
 }
 
 impl FrameResources {
+    /// The two kernel-facing views of the uploaded frame: the padded
+    /// source, and what downscale/Sobel/pError read — the raw original in
+    /// the base pipeline, the padded matrix once the upload is unified.
+    pub(crate) fn sources(&self) -> (SrcImage, SrcImage) {
+        let padded_src = SrcImage {
+            view: self.padded.view(),
+            pitch: self.pw,
+            pad: 1,
+        };
+        let main_src = match &self.original {
+            Some(b) => SrcImage {
+                view: b.view(),
+                pitch: self.w,
+                pad: 0,
+            },
+            None => padded_src.clone(),
+        };
+        (padded_src, main_src)
+    }
+
     fn new(pipe: &GpuPipeline, w: usize, h: usize) -> Result<Self, String> {
         check_shape(w, h)?;
         pipe.params.validate()?;
@@ -648,6 +765,22 @@ impl PipelinePlan {
         orig: &ImageF32,
         out: &mut [f32],
     ) -> Result<crate::gpu::batch::FrameComponents, String> {
+        self.run_into_with_mean(orig, None, out)
+    }
+
+    /// [`PipelinePlan::run_into`] with an externally supplied pEdge mean
+    /// (skipping the reduction), mirroring [`GpuPipeline::run_with_mean`].
+    /// The strip pipeline's pass 2 runs on this: reusable plan, reusable
+    /// output scratch, injected global mean.
+    ///
+    /// # Errors
+    /// As for [`PipelinePlan::run_into`].
+    pub fn run_into_with_mean(
+        &mut self,
+        orig: &ImageF32,
+        mean: Option<f32>,
+        out: &mut [f32],
+    ) -> Result<crate::gpu::batch::FrameComponents, String> {
         if out.len() != self.res.n {
             return Err(format!(
                 "output slice is {}, frame needs {}",
@@ -657,7 +790,7 @@ impl PipelinePlan {
         }
         self.q.reset();
         self.pipe
-            .run_frame(&mut self.q, &mut self.res, orig, None, out)?;
+            .run_frame(&mut self.q, &mut self.res, orig, mean, out)?;
         let mut c = crate::gpu::batch::FrameComponents {
             upload_s: 0.0,
             compute_s: 0.0,
@@ -683,12 +816,14 @@ impl PipelinePlan {
     /// Derives per-kernel efficiency telemetry from the most recently
     /// executed frame (observation-only: reads the retained records).
     pub fn telemetry(&self) -> crate::telemetry::FrameTelemetry {
-        crate::telemetry::FrameTelemetry::collect(
+        let mut tel = crate::telemetry::FrameTelemetry::collect(
             self.q.records(),
             self.q.device(),
             self.res.w,
             self.res.h,
-        )
+        );
+        tel.banded = self.pipe.banded_stats(self.res.w, self.res.h);
+        tel
     }
 }
 

@@ -36,9 +36,30 @@ use crate::gpu::kernels::reduction::{reduction_stage1_range_kernel, stage1_group
 use crate::gpu::kernels::sobel::sobel_vec4_kernel;
 use crate::gpu::kernels::{KernelTuning, SrcImage};
 use crate::gpu::opts::OptConfig;
-use crate::gpu::pipeline::GpuPipeline;
+use crate::gpu::pipeline::{GpuPipeline, PipelinePlan};
 use crate::memory::device_bytes_required;
 use crate::params::{check_shape, device_stride, SCALE};
+
+/// Reusable per-sub-image-height scratch: at most a handful of distinct
+/// sub-image heights occur per run (interior strips share one, the first
+/// and last may differ), so strips recycle these instead of allocating on
+/// every iteration.
+struct SubScratch {
+    sub_h: usize,
+    sub: ImageF32,
+}
+
+/// Finds or creates the scratch image for sub-images of `sub_h` rows.
+fn scratch_for(list: &mut Vec<SubScratch>, w: usize, sub_h: usize) -> &mut ImageF32 {
+    if let Some(i) = list.iter().position(|s| s.sub_h == sub_h) {
+        return &mut list[i].sub;
+    }
+    list.push(SubScratch {
+        sub_h,
+        sub: ImageF32::zeros(w, sub_h),
+    });
+    &mut list.last_mut().expect("just pushed").sub
+}
 
 /// Halo rows added above and below each strip (multiple of 4, ≥ 8).
 pub const MARGIN: usize = 8;
@@ -108,10 +129,13 @@ impl StripPipeline {
         out
     }
 
-    /// Extracts rows `[a, b)` of `img` as a standalone image.
-    fn crop_rows(img: &ImageF32, a: usize, b: usize) -> ImageF32 {
+    /// Copies rows `[a, b)` of `img` into the reusable scratch image
+    /// `dst` (which must be `img.width()` × `b - a`).
+    fn crop_rows_into(img: &ImageF32, a: usize, b: usize, dst: &mut ImageF32) {
         let w = img.width();
-        ImageF32::from_vec(w, b - a, img.pixels()[a * w..b * w].to_vec())
+        debug_assert_eq!((dst.width(), dst.height()), (w, b - a));
+        dst.pixels_mut()
+            .copy_from_slice(&img.pixels()[a * w..b * w]);
     }
 
     /// Pass 1: global pEdge mean from per-strip Sobel + ranged reduction.
@@ -124,10 +148,23 @@ impl StripPipeline {
         let mut sum = 0.0f64;
         let mut elapsed = 0.0f64;
         let ws = device_stride(w);
-        for (r0, r1, sub0, sub1) in self.strips_for(h) {
-            let sub = Self::crop_rows(orig, sub0, sub1);
+        let strips = self.strips_for(h);
+        // One queue for all strips (reset between them) and host scratch
+        // sized once: the per-strip loop allocates nothing on the host,
+        // and the pooled context recycles the device buffers.
+        let mut q = ctx.queue();
+        let max_own_rows = strips
+            .iter()
+            .map(|&(r0, r1, _, _)| r1 - r0)
+            .max()
+            .unwrap_or(0);
+        let mut part = vec![0.0f32; stage1_groups(max_own_rows * ws)];
+        let mut scratch: Vec<SubScratch> = Vec::new();
+        for (r0, r1, sub0, sub1) in strips {
+            let sub = scratch_for(&mut scratch, w, sub1 - sub0);
+            Self::crop_rows_into(orig, sub0, sub1, sub);
             let sub_h = sub.height();
-            let mut q = ctx.queue();
+            q.reset();
             // Upload the zero-padded sub-image with one rect write; rows
             // live at the vec4-aligned stride `ws`, with the stride
             // padding zeroed at allocation.
@@ -159,9 +196,8 @@ impl StripPipeline {
                 self.inner.tuning().reduction_strategy,
             )
             .map_err(|e| e.to_string())?;
-            let mut part = vec![0.0f32; groups];
-            q.enqueue_read(&partials, &mut part)
-                .map_err(|e| e.to_string())?;
+            let part = &mut part[..groups];
+            q.enqueue_read(&partials, part).map_err(|e| e.to_string())?;
             sum += part.iter().map(|&v| f64::from(v)).sum::<f64>();
             q.finish();
             elapsed += q.elapsed();
@@ -181,17 +217,37 @@ impl StripPipeline {
         let mut output = ImageF32::zeros(w, h);
         let mut peak = 0u64;
         let strips = self.strips_for(h);
+        // One prepared plan, sub-image scratch and readback scratch per
+        // distinct sub-image height: the per-strip loop reuses them, so no
+        // device buffers, queues or host Vecs are allocated per strip
+        // (pixels and simulated time are identical to the fresh-run path,
+        // by the plan equivalence invariant).
+        let mut plans: Vec<(usize, PipelinePlan, Vec<f32>)> = Vec::new();
+        let mut scratch: Vec<SubScratch> = Vec::new();
         for &(r0, r1, sub0, sub1) in &strips {
-            let sub = Self::crop_rows(orig, sub0, sub1);
-            let report = self.inner.run_with_mean(&sub, Some(mean))?;
-            total_s += report.total_s;
-            peak = peak.max(device_bytes_required(w, sub.height(), self.inner.opts()));
+            let sub_h = sub1 - sub0;
+            if !plans.iter().any(|&(ph, ..)| ph == sub_h) {
+                plans.push((
+                    sub_h,
+                    self.inner.prepared(w, sub_h)?,
+                    vec![0.0f32; w * sub_h],
+                ));
+            }
+            let (_, plan, out) = plans
+                .iter_mut()
+                .find(|&&mut (ph, ..)| ph == sub_h)
+                .expect("just inserted");
+            let sub = scratch_for(&mut scratch, w, sub_h);
+            Self::crop_rows_into(orig, sub0, sub1, sub);
+            let c = plan.run_into_with_mean(sub, Some(mean), out)?;
+            total_s += c.upload_s + c.compute_s + c.download_s;
+            peak = peak.max(device_bytes_required(w, sub_h, self.inner.opts()));
             // Keep only the owned rows.
             let keep0 = r0 - sub0;
+            let opix = output.pixels_mut();
             for y in 0..(r1 - r0) {
-                for x in 0..w {
-                    output.set(x, r0 + y, report.output.get(x, keep0 + y));
-                }
+                opix[(r0 + y) * w..(r0 + y + 1) * w]
+                    .copy_from_slice(&out[(keep0 + y) * w..(keep0 + y + 1) * w]);
             }
         }
         Ok(StripReport {
@@ -330,6 +386,24 @@ mod tests {
             let diff = run.output.max_abs_diff(&cpu.output);
             assert!(diff < 0.05, "{w}x{h}: diff {diff}");
         }
+    }
+
+    #[test]
+    fn strip_runs_recycle_pooled_buffers() {
+        let img = generate::natural(64, 160, 3);
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        let pipe = GpuPipeline::new(ctx.clone(), SharpnessParams::default(), OptConfig::all());
+        let sp = StripPipeline::new(pipe, 32).unwrap();
+        sp.run(&img).unwrap(); // warm the pool
+        let warm = ctx.pool_stats();
+        sp.run(&img).unwrap();
+        let after = ctx.pool_stats();
+        // Both passes route through pooled buffers, reusable plans and
+        // host scratch: a warm run allocates no fresh device storage and
+        // leaves nothing live.
+        assert_eq!(after.misses, warm.misses, "warm strip run still allocated");
+        assert_eq!(after.live, warm.live, "buffers leaked across strip runs");
+        assert!(after.hits > warm.hits, "strips should recycle the pool");
     }
 
     #[test]

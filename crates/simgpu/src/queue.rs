@@ -85,6 +85,60 @@ impl<T: Scalar> WriteTracked for Buffer<T> {
     }
 }
 
+/// Accumulator for one *logical* kernel dispatch executed as several
+/// contiguous work-group slices via [`CommandQueue::run_sliced`].
+///
+/// The banded (megapass) scheduler cuts a dispatch into row-band slices so
+/// each band's data stays cache-resident on the host, but the cost model
+/// must see exactly the dispatch a whole-grid [`CommandQueue::run`] would
+/// have produced. Counters merge across slices with the same associative,
+/// commutative merge the per-group reduction uses, so the record committed
+/// by [`CommandQueue::commit_sliced`] carries bit-identical counters — and
+/// therefore a bit-identical [`kernel_time`] — to the monolithic dispatch.
+/// Nothing is recorded on the queue (and the simulated clock does not
+/// move) until commit.
+#[derive(Debug)]
+pub struct SlicedDispatch {
+    counters: CostCounters,
+    groups_done: usize,
+    /// Sanitizer-observed traffic summed across slices; audited once at
+    /// commit against the merged counters.
+    observed_read_bytes: u64,
+    observed_write_bytes: u64,
+    declared_ratio: f64,
+    slices: usize,
+}
+
+impl SlicedDispatch {
+    /// A fresh accumulator for one logical dispatch.
+    pub fn new() -> Self {
+        SlicedDispatch {
+            counters: CostCounters::new(),
+            groups_done: 0,
+            observed_read_bytes: 0,
+            observed_write_bytes: 0,
+            declared_ratio: 1.0,
+            slices: 0,
+        }
+    }
+
+    /// Work-groups executed so far across all slices.
+    pub fn groups_done(&self) -> usize {
+        self.groups_done
+    }
+
+    /// Number of slices executed so far.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+}
+
+impl Default for SlicedDispatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// An in-order command queue bound to one simulated device and one modeled
 /// host CPU.
 pub struct CommandQueue {
@@ -274,6 +328,170 @@ impl CommandQueue {
         }
         let t = kernel_time(&self.device, &counters);
         self.push(&desc.name, CommandKind::Kernel, t.total_s, Some(counters));
+        Ok(t)
+    }
+
+    /// Executes the contiguous flat-group-index slice `groups` of `desc`'s
+    /// grid, merging the group counters into `acc` without recording any
+    /// command. Flat index `gi` maps to group `[gi % gx, gi / gx]`, exactly
+    /// as in [`CommandQueue::run`], so the union of disjoint slices over
+    /// `0..desc.total_groups()` performs precisely the monolithic
+    /// dispatch's work — and, because the counter merge is associative and
+    /// commutative, accumulates bit-identical counters regardless of how
+    /// the grid was cut.
+    ///
+    /// Write-race validation and the sanitizer's race/bounds/barrier
+    /// analysis run per slice (each slice is its own write epoch and
+    /// sanitizer dispatch; cross-slice conflicts are out of scope — a
+    /// correct slicer gives slices disjoint output rows). The
+    /// cost-accounting drift audit is deferred to
+    /// [`CommandQueue::commit_sliced`], which compares the slice-summed
+    /// observed traffic against the merged counters once: a single slice
+    /// may legitimately observe zero read bytes while its bulk charge is
+    /// positive.
+    pub fn run_sliced<F>(
+        &mut self,
+        desc: &KernelDesc,
+        outputs: &[&dyn WriteTracked],
+        groups: std::ops::Range<usize>,
+        acc: &mut SlicedDispatch,
+        f: F,
+    ) -> Result<()>
+    where
+        F: Fn(&mut GroupCtx) + Sync,
+    {
+        desc.check()?;
+        if groups.end > desc.total_groups() {
+            return Err(Error::InvalidKernelArgs {
+                kernel: desc.name.clone(),
+                detail: format!(
+                    "sliced dispatch range {}..{} exceeds the grid's {} work-groups",
+                    groups.start,
+                    groups.end,
+                    desc.total_groups()
+                ),
+            });
+        }
+        if groups.is_empty() {
+            return Ok(());
+        }
+        for out in outputs {
+            out.begin_epoch();
+        }
+        let [gx, _gy] = desc.num_groups();
+        let threads = if self.dispatch_threads == 0 {
+            crate::par::default_threads()
+        } else {
+            self.dispatch_threads
+        };
+        let san_epoch = self.sanitize.as_ref().map(|s| s.begin_dispatch(&desc.name));
+        let panic_msg: Mutex<Option<String>> = Mutex::new(None);
+        let poisoned = AtomicBool::new(false);
+        let start = groups.start;
+        let counters = crate::par::map_reduce(
+            groups.len(),
+            threads,
+            CostCounters::new,
+            |i| {
+                if poisoned.load(Ordering::Relaxed) {
+                    return CostCounters::new();
+                }
+                let gi = start + i;
+                let gid = [gi % gx, gi / gx];
+                let san = match (&self.sanitize, san_epoch) {
+                    (Some(s), Some(e)) => {
+                        Some(GroupSan::new(Arc::clone(s), e, gi, desc.group_lanes()))
+                    }
+                    _ => None,
+                };
+                let mut ctx = GroupCtx::new_with(desc, gid, san);
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx))) {
+                    Ok(()) => ctx.counters,
+                    Err(payload) => {
+                        poisoned.store(true, Ordering::Relaxed);
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "kernel closure panicked".to_string());
+                        let mut g = panic_msg.lock().unwrap();
+                        if g.is_none() {
+                            *g = Some(msg);
+                        }
+                        CostCounters::new()
+                    }
+                }
+            },
+            |mut a, b| {
+                a.merge(&b);
+                a
+            },
+        );
+        let panicked = panic_msg.into_inner().unwrap();
+        if let Some(sh) = &self.sanitize {
+            if panicked.is_none() {
+                let (r, w, ratio) = sh.dispatch_traffic();
+                acc.observed_read_bytes += r;
+                acc.observed_write_bytes += w;
+                acc.declared_ratio = acc.declared_ratio.max(ratio);
+            }
+            sh.end_dispatch();
+        }
+        if let Some(message) = panicked {
+            return Err(Error::KernelPanic {
+                kernel: desc.name.clone(),
+                message,
+            });
+        }
+        for out in outputs {
+            if let Some(index) = out.race_index() {
+                return Err(Error::WriteRace {
+                    kernel: desc.name.clone(),
+                    index,
+                });
+            }
+        }
+        acc.counters.merge(&counters);
+        acc.groups_done += groups.len();
+        acc.slices += 1;
+        Ok(())
+    }
+
+    /// Commits a sliced dispatch: verifies every work-group of `desc`'s
+    /// grid ran exactly once across the accumulated slices, audits the
+    /// summed observed traffic against the merged counters (sanitized
+    /// contexts), and records the *single* kernel command the monolithic
+    /// [`CommandQueue::run`] would have recorded — same name, same
+    /// counters, same [`kernel_time`], so the simulated clock advances
+    /// identically.
+    pub fn commit_sliced(&mut self, desc: &KernelDesc, acc: SlicedDispatch) -> Result<KernelTime> {
+        desc.check()?;
+        if acc.groups_done != desc.total_groups() {
+            return Err(Error::InvalidKernelArgs {
+                kernel: desc.name.clone(),
+                detail: format!(
+                    "sliced dispatch covered {} of {} work-groups at commit",
+                    acc.groups_done,
+                    desc.total_groups()
+                ),
+            });
+        }
+        if let Some(sh) = &self.sanitize {
+            sh.audit_totals(
+                &desc.name,
+                &acc.counters,
+                acc.observed_read_bytes,
+                acc.observed_write_bytes,
+                acc.declared_ratio,
+            );
+        }
+        let t = kernel_time(&self.device, &acc.counters);
+        self.push(
+            &desc.name,
+            CommandKind::Kernel,
+            t.total_s,
+            Some(acc.counters),
+        );
         Ok(t)
     }
 
@@ -645,6 +863,116 @@ mod tests {
         assert_eq!(c.items, 64 * 64);
         assert_eq!(c.groups, 16);
         assert_eq!(c.global_write_scalar, 64 * 64 * 4);
+    }
+
+    fn fill_kernel(
+        q: &mut CommandQueue,
+        buf: &Buffer<f32>,
+        slices: Option<&[usize]>,
+    ) -> Result<KernelTime> {
+        let w = buf.write_view();
+        let desc = KernelDesc::new("fill", [64, 64], [16, 16]);
+        let body = |g: &mut GroupCtx| {
+            for l in crate::kernel::items(g.group_size) {
+                g.begin_item(l);
+                let idx = g.global_index(l, 64);
+                let v = g.load_mut(&w, idx);
+                g.store(&w, idx, v + idx as f32);
+                g.charge(&OpCounts::ZERO.adds(1));
+            }
+        };
+        match slices {
+            None => q.run(&desc, &[buf], body),
+            Some(cuts) => {
+                let mut acc = SlicedDispatch::new();
+                let mut start = 0;
+                for &end in cuts {
+                    q.run_sliced(&desc, &[buf], start..end, &mut acc, body)?;
+                    start = end;
+                }
+                q.run_sliced(&desc, &[buf], start..desc.total_groups(), &mut acc, body)?;
+                q.commit_sliced(&desc, acc)
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_dispatch_commits_bit_identical_record() {
+        let mono = ctx();
+        let mut qm = mono.queue();
+        let a = mono.buffer::<f32>("out", 64 * 64);
+        let tm = fill_kernel(&mut qm, &a, None).unwrap();
+
+        let sliced = ctx();
+        let mut qs = sliced.queue();
+        let b = sliced.buffer::<f32>("out", 64 * 64);
+        // Deliberately uneven cuts (1, 6, 9 groups) of the 16-group grid.
+        let ts = fill_kernel(&mut qs, &b, Some(&[1, 7])).unwrap();
+
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(tm.total_s.to_bits(), ts.total_s.to_bits());
+        assert_eq!(qm.elapsed().to_bits(), qs.elapsed().to_bits());
+        let (rm, rs) = (&qm.records()[0], &qs.records()[0]);
+        assert_eq!(rm.name, rs.name);
+        assert_eq!(rm.kind, rs.kind);
+        assert_eq!(rm.duration_s.to_bits(), rs.duration_s.to_bits());
+        assert_eq!(rm.counters.unwrap(), rs.counters.unwrap());
+        assert_eq!(qs.records().len(), 1);
+    }
+
+    #[test]
+    fn sliced_dispatch_is_sanitizer_clean_and_audits_once() {
+        let ctx = Context::sanitized(DeviceSpec::firepro_w8000());
+        let mut q = ctx.queue();
+        let buf = ctx.buffer::<f32>("out", 64 * 64);
+        buf.fill_from(&vec![0.0; 64 * 64]);
+        fill_kernel(&mut q, &buf, Some(&[4, 8, 12])).unwrap();
+        let report = ctx.sanitize_report().unwrap();
+        assert!(report.is_clean(), "{report}");
+        // Each slice counts as one analysed dispatch.
+        assert_eq!(report.dispatches, 4);
+    }
+
+    #[test]
+    fn sliced_dispatch_commit_requires_full_coverage() {
+        let ctx = ctx();
+        let mut q = ctx.queue();
+        let buf = ctx.buffer::<f32>("out", 64 * 64);
+        let w = buf.write_view();
+        let desc = KernelDesc::new("fill", [64, 64], [16, 16]);
+        let mut acc = SlicedDispatch::new();
+        q.run_sliced(&desc, &[&buf], 0..4, &mut acc, |g| {
+            for l in crate::kernel::items(g.group_size) {
+                let idx = g.global_index(l, 64);
+                g.store(&w, idx, 1.0);
+            }
+        })
+        .unwrap();
+        assert_eq!(acc.groups_done(), 4);
+        assert_eq!(acc.slices(), 1);
+        let err = q.commit_sliced(&desc, acc).unwrap_err();
+        assert!(matches!(err, Error::InvalidKernelArgs { .. }));
+        // Nothing was recorded and the clock did not move.
+        assert!(q.records().is_empty());
+        assert_eq!(q.elapsed(), 0.0);
+    }
+
+    #[test]
+    fn sliced_dispatch_range_checks_and_empty_slices() {
+        let ctx = ctx();
+        let mut q = ctx.queue();
+        let buf = ctx.buffer::<f32>("out", 64 * 64);
+        let desc = KernelDesc::new("fill", [64, 64], [16, 16]);
+        let mut acc = SlicedDispatch::new();
+        // Empty slice: fine, a no-op.
+        q.run_sliced(&desc, &[&buf], 3..3, &mut acc, |_| {})
+            .unwrap();
+        assert_eq!(acc.groups_done(), 0);
+        // Out-of-grid range: typed error.
+        let err = q
+            .run_sliced(&desc, &[&buf], 10..17, &mut acc, |_| {})
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidKernelArgs { .. }));
     }
 
     #[test]

@@ -430,11 +430,41 @@ impl SanitizeShared {
 
     /// Audits observed vs charged global traffic for the finished dispatch.
     pub(crate) fn audit(&self, kernel: &str, counters: &CostCounters) {
+        let (observed_reads, observed_writes, ratio) = self.dispatch_traffic();
+        self.audit_totals(kernel, counters, observed_reads, observed_writes, ratio);
+    }
+
+    /// The traffic observed since `begin_dispatch`: `(read_bytes,
+    /// write_bytes, max declared read-overcharge ratio)`.
+    ///
+    /// The sliced-dispatch path ([`crate::queue::CommandQueue::run_sliced`])
+    /// harvests these after each slice and sums them, so the drift audit
+    /// runs once on the whole-dispatch totals at commit time. Auditing per
+    /// slice would false-positive: one slice may legitimately observe zero
+    /// read bytes (e.g. a group range covering only border rows that store
+    /// constants) while the kernel's bulk charge for those groups is
+    /// positive — only the totals are required to balance.
+    pub(crate) fn dispatch_traffic(&self) -> (u64, u64, f64) {
+        (
+            self.read_bytes.load(Ordering::Relaxed),
+            self.write_bytes.load(Ordering::Relaxed),
+            f64::from_bits(self.declared_ratio_bits.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// Audits explicit observed totals against charged counters. `audit`
+    /// delegates here with the current dispatch's accumulators; the sliced
+    /// commit path passes slice-summed totals instead.
+    pub(crate) fn audit_totals(
+        &self,
+        kernel: &str,
+        counters: &CostCounters,
+        observed_reads: u64,
+        observed_writes: u64,
+        ratio: f64,
+    ) {
         let charged_reads = counters.global_read_scalar + counters.global_read_vector;
         let charged_writes = counters.global_write_scalar + counters.global_write_vector;
-        let observed_reads = self.read_bytes.load(Ordering::Relaxed);
-        let observed_writes = self.write_bytes.load(Ordering::Relaxed);
-        let ratio = f64::from_bits(self.declared_ratio_bits.load(Ordering::Relaxed));
         if observed_writes != charged_writes {
             self.record(Violation::AccountingDrift {
                 kernel: kernel.to_string(),

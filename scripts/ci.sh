@@ -47,11 +47,18 @@ trap 'rm -rf "$smoke_dir"' EXIT
 # match the CPU reference bit-for-bit even on odd shapes.
 cmp "$smoke_dir/odd-none.pgm" "$smoke_dir/odd-cpu.pgm"
 
+echo "== banded smoke (sanitized banded run is byte-identical to monolithic)"
+./target/release/sharpen "$smoke_dir/odd.pgm" "$smoke_dir/odd-banded.pgm" \
+    --opts all --banded --sanitize > /dev/null
+cmp "$smoke_dir/odd-all.pgm" "$smoke_dir/odd-banded.pgm"
+
 if [ "$full" -eq 1 ]; then
     echo "== full sanitizer sweep (all configs x all sizes)"
     cargo test -q --release --test sanitize -- --ignored
     echo "== full arbitrary-shape sweep (all configs at 1001x701)"
     cargo test -q --release --test arbitrary_shapes -- --ignored
+    echo "== full banded equivalence sweep (all configs, banded vs monolithic)"
+    cargo test -q --release --test banded -- --ignored
 fi
 
 echo "== cargo bench --no-run"

@@ -26,7 +26,16 @@
 #    assert). `debug_assert!` on internal invariants stays allowed, as do
 #    asserts in test modules.
 #
-# 4. Telemetry is observation-only. The files that read command records
+# 4. The megapass (banded) executor never charges cost itself. Its
+#    charge-equivalence argument — banded simulated seconds bit-identical
+#    to monolithic — rests on every cost flowing through the kernels' own
+#    per-group accounting, merged by commit_sliced, and through the shared
+#    GpuPipeline helpers. A direct `charge_*` call in megapass.rs would be
+#    a band-scheduling-dependent rate the monolithic schedule never pays,
+#    breaking the invariant silently. (Runtime half: tests/banded.rs
+#    asserts bit-equal totals across all 64 configs.)
+#
+# 5. Telemetry is observation-only. The files that read command records
 #    and cost counters to derive metrics/traces must never mutate the
 #    state they observe (reset queues, rewrite records, charge bytes) —
 #    otherwise "metrics on" changes the numbers being measured. The
@@ -64,6 +73,14 @@ for f in crates/core/src/gpu/kernels/*.rs; do
         fail=1
     fi
 done
+
+megapass=crates/core/src/gpu/megapass.rs
+if matches=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR":"$0}' "$megapass" \
+    | grep -E 'charge_[[:alnum:]_]*\('); then
+    echo "lint: megapass executor charges cost directly (must flow through kernel accounting/commit_sliced):"
+    echo "$matches"
+    fail=1
+fi
 
 telemetry_files=(
     crates/core/src/telemetry.rs

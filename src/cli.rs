@@ -8,7 +8,7 @@ use std::path::PathBuf;
 use imagekit::{io, metrics, ImageF32};
 use sharpness_core::color::{sharpen_rgb, ColorMode};
 use sharpness_core::cpu::CpuPipeline;
-use sharpness_core::gpu::{GpuPipeline, OptConfig, ThroughputEngine, ThroughputReport};
+use sharpness_core::gpu::{GpuPipeline, OptConfig, Schedule, ThroughputEngine, ThroughputReport};
 use sharpness_core::params::SharpnessParams;
 use sharpness_core::report::RunReport;
 use sharpness_core::telemetry::FrameTelemetry;
@@ -80,6 +80,10 @@ pub struct CliArgs {
     pub metrics: Option<PathBuf>,
     /// Print the per-kernel efficiency table (GPU only).
     pub profile: bool,
+    /// Cache-blocked banded scheduling: `None` = monolithic,
+    /// `Some(0)` = auto band height from the host cache size,
+    /// `Some(n)` = bands of about `n` rows (GPU only).
+    pub banded: Option<usize>,
 }
 
 /// Usage text.
@@ -106,6 +110,12 @@ options:
                     with --frames also throughput gauges and wall +
                     simulated latency histograms (GPU only)
   --profile         print the per-kernel efficiency table (GPU only)
+  --banded[=rows]   run the cache-blocked megapass schedule: kernels
+                    execute band-by-band over row bands sized to the host
+                    cache (default auto; =N requests ~N-row bands).
+                    Pixels and simulated time are identical to the
+                    monolithic schedule — only wall-clock changes
+                    (GPU only)
   --sanitize        run every kernel under the shadow-execution sanitizer
                     (data races, out-of-bounds, barrier divergence, cost
                     accounting drift); exits non-zero on any finding.
@@ -138,6 +148,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         sanitize: false,
         metrics: None,
         profile: false,
+        banded: None,
     };
     let mut device = DevicePreset::W8000;
     let mut use_cpu = false;
@@ -180,7 +191,11 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 cli.metrics = Some(PathBuf::from(parse_value::<String>(&arg, it.next())?))
             }
             "--profile" => cli.profile = true,
-            other => return Err(format!("unknown option {other:?}")),
+            "--banded" => cli.banded = Some(0),
+            other => match other.strip_prefix("--banded=") {
+                Some(rows) => cli.banded = Some(parse_value("--banded", Some(rows.to_string()))?),
+                None => return Err(format!("unknown option {other:?}")),
+            },
         }
     }
     cli.engine = if use_cpu {
@@ -203,6 +218,9 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
              kernel dispatch at a time, so the throughput engine runs unsanitized"
                 .to_string(),
         );
+    }
+    if cli.banded.is_some() && use_cpu {
+        return Err("--banded requires the GPU engine (drop --cpu)".to_string());
     }
     if (cli.metrics.is_some() || cli.profile) && use_cpu {
         return Err(
@@ -251,6 +269,14 @@ pub fn report_to_records(report: &RunReport) -> Vec<CommandRecord> {
         .collect()
 }
 
+/// The schedule the command line asked for.
+fn schedule_of(cli: &CliArgs) -> Schedule {
+    match cli.banded {
+        None => Schedule::Monolithic,
+        Some(rows) => Schedule::Banded(rows),
+    }
+}
+
 fn sharpen_plane(cli: &CliArgs, plane: &ImageF32) -> Result<RunReport, String> {
     match cli.engine {
         Engine::Cpu => CpuPipeline::new(cli.params).run(plane),
@@ -260,7 +286,9 @@ fn sharpen_plane(cli: &CliArgs, plane: &ImageF32) -> Result<RunReport, String> {
             } else {
                 Context::new(preset.spec())
             };
-            let report = GpuPipeline::new(ctx.clone(), cli.params, cli.opts).run(plane)?;
+            let report = GpuPipeline::new(ctx.clone(), cli.params, cli.opts)
+                .with_schedule(schedule_of(cli))
+                .run(plane)?;
             if let Some(san) = ctx.sanitize_report() {
                 if !san.is_clean() {
                     return Err(format!("{san}"));
@@ -278,7 +306,8 @@ fn run_throughput(cli: &CliArgs, plane: &ImageF32) -> Result<(String, Throughput
     let Engine::Gpu(preset) = cli.engine else {
         return Err("--frames requires the GPU engine".to_string());
     };
-    let pipe = GpuPipeline::new(Context::new(preset.spec()), cli.params, cli.opts);
+    let pipe = GpuPipeline::new(Context::new(preset.spec()), cli.params, cli.opts)
+        .with_schedule(schedule_of(cli));
     let engine = ThroughputEngine::new(pipe, cli.threads);
     let frames: Vec<ImageF32> = (0..cli.frames).map(|_| plane.clone()).collect();
     let rep = engine.process(&frames)?;
@@ -306,7 +335,8 @@ fn gpu_observe(
     let Engine::Gpu(preset) = cli.engine else {
         return Err("kernel telemetry requires the GPU engine".to_string());
     };
-    let pipe = GpuPipeline::new(Context::new(preset.spec()), cli.params, cli.opts);
+    let pipe = GpuPipeline::new(Context::new(preset.spec()), cli.params, cli.opts)
+        .with_schedule(schedule_of(cli));
     let mut plan = pipe.prepared(plane.width(), plane.height())?;
     plan.run(plane)?;
     let tel = plan.telemetry();
@@ -540,6 +570,52 @@ mod tests {
         );
         assert!(summary.contains("simulated steady-state"), "{summary}");
         for p in [input, output] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn parses_banded_flag() {
+        assert_eq!(parse_args(&strs(&["a.pgm", "b.pgm"])).unwrap().banded, None);
+        let auto = parse_args(&strs(&["a.pgm", "b.pgm", "--banded"])).unwrap();
+        assert_eq!(auto.banded, Some(0));
+        let fixed = parse_args(&strs(&["a.pgm", "b.pgm", "--banded=128"])).unwrap();
+        assert_eq!(fixed.banded, Some(128));
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--banded=x"])).is_err());
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--banded", "--cpu"])).is_err());
+    }
+
+    #[test]
+    fn banded_run_matches_monolithic_output() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("cli-band-in-{}.pgm", std::process::id()));
+        let out_mono = dir.join(format!("cli-band-mono-{}.pgm", std::process::id()));
+        let out_band = dir.join(format!("cli-band-band-{}.pgm", std::process::id()));
+        let img = imagekit::generate::natural(97, 61, 17).to_u8();
+        io::write_pgm(&input, &img).unwrap();
+        let mono = parse_args(&strs(&[
+            input.to_str().unwrap(),
+            out_mono.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let mono_summary = run(&mono).unwrap();
+        let band = parse_args(&strs(&[
+            input.to_str().unwrap(),
+            out_band.to_str().unwrap(),
+            "--banded=32",
+            "--sanitize",
+        ]))
+        .unwrap();
+        let band_summary = run(&band).unwrap();
+        assert!(band_summary.contains("sanitizer: clean"), "{band_summary}");
+        // Same pixels, same simulated milliseconds in the summary line.
+        assert_eq!(
+            std::fs::read(&out_mono).unwrap(),
+            std::fs::read(&out_band).unwrap()
+        );
+        let line = |s: &str| s.lines().next().unwrap_or("").to_string();
+        assert_eq!(line(&mono_summary), line(&band_summary));
+        for p in [input, out_mono, out_band] {
             std::fs::remove_file(p).ok();
         }
     }

@@ -39,7 +39,8 @@ pub mod prelude {
     pub use imagekit::{generate, metrics, ImageF32, ImageU8, RgbImageU8};
     pub use sharpness_core::cpu::CpuPipeline;
     pub use sharpness_core::gpu::{
-        GpuPipeline, OptConfig, PipelinePlan, ThroughputEngine, ThroughputReport, Tuning,
+        BandedStats, GpuPipeline, OptConfig, PipelinePlan, Schedule, ThroughputEngine,
+        ThroughputReport, Tuning,
     };
     pub use sharpness_core::params::SharpnessParams;
     pub use sharpness_core::report::RunReport;

@@ -1,0 +1,155 @@
+//! Banded-vs-monolithic equivalence: the cache-blocked megapass schedule
+//! must produce bit-identical pixels, identical simulated seconds and a
+//! clean sanitizer verdict for every band height and optimization config —
+//! banding is a host-side execution detail that the virtual machine must
+//! not be able to observe.
+
+use imagekit::generate;
+use sharpness::prelude::*;
+
+fn all_configs() -> Vec<OptConfig> {
+    (0..64u32)
+        .map(|bits| OptConfig {
+            data_transfer: bits & 1 != 0,
+            kernel_fusion: bits & 2 != 0,
+            reduction_gpu: bits & 4 != 0,
+            vectorization: bits & 8 != 0,
+            border_gpu: bits & 16 != 0,
+            others: bits & 32 != 0,
+        })
+        .collect()
+}
+
+/// Runs one frame under the given schedule and returns (pixels, elapsed).
+fn run_with(opts: OptConfig, schedule: Schedule, w: usize, h: usize, seed: u64) -> (Vec<f32>, f64) {
+    let img = generate::natural(w, h, seed);
+    let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+    let pipe = GpuPipeline::new(ctx, SharpnessParams::default(), opts).with_schedule(schedule);
+    let r = pipe
+        .run(&img)
+        .unwrap_or_else(|e| panic!("{opts:?} {schedule:?} {w}x{h}: {e}"));
+    (r.output.pixels().to_vec(), r.total_s)
+}
+
+fn assert_equivalent(opts: OptConfig, rows: usize, w: usize, h: usize, seed: u64) {
+    let (mono_px, mono_t) = run_with(opts, Schedule::Monolithic, w, h, seed);
+    let (band_px, band_t) = run_with(opts, Schedule::Banded(rows), w, h, seed);
+    assert_eq!(
+        mono_px, band_px,
+        "pixels differ: {opts:?} rows={rows} {w}x{h}"
+    );
+    assert_eq!(
+        mono_t.to_bits(),
+        band_t.to_bits(),
+        "simulated time differs: {opts:?} rows={rows} {w}x{h}: {mono_t} vs {band_t}"
+    );
+}
+
+// ---- band-edge cases: degenerate, prime, exact and oversized bands -----
+
+#[test]
+fn band_heights_at_the_edges_are_bit_identical_on_ragged_shapes() {
+    for (w, h) in [(1001usize, 701usize), (1023, 769)] {
+        // {1, prime, exactly the image height, beyond the image height}.
+        for rows in [1usize, 7, h, h + 100] {
+            assert_equivalent(OptConfig::none(), rows, w, h, 3);
+            assert_equivalent(OptConfig::all(), rows, w, h, 3);
+        }
+    }
+}
+
+#[test]
+fn mid_band_heights_are_bit_identical_across_representative_configs() {
+    let representative = [
+        OptConfig::none(),
+        OptConfig::all(),
+        OptConfig {
+            kernel_fusion: true,
+            reduction_gpu: true,
+            ..OptConfig::none()
+        },
+        OptConfig {
+            vectorization: true,
+            data_transfer: true,
+            ..OptConfig::none()
+        },
+        OptConfig {
+            border_gpu: true,
+            others: true,
+            ..OptConfig::none()
+        },
+    ];
+    for opts in representative {
+        for rows in [32usize, 48, 160] {
+            assert_equivalent(opts, rows, 1001, 701, 9);
+        }
+    }
+}
+
+#[test]
+fn autotuned_band_height_is_bit_identical() {
+    assert_equivalent(OptConfig::all(), 0, 1023, 769, 5);
+}
+
+#[test]
+fn banded_runs_sanitize_clean() {
+    let img = generate::natural(333, 257, 21);
+    for opts in [OptConfig::none(), OptConfig::all()] {
+        let ctx = Context::sanitized(DeviceSpec::firepro_w8000());
+        let pipe = GpuPipeline::new(ctx.clone(), SharpnessParams::default(), opts)
+            .with_schedule(Schedule::Banded(48));
+        pipe.run(&img).expect("banded sanitized run failed");
+        let report = ctx.sanitize_report().expect("sanitizer was enabled");
+        assert!(report.is_clean(), "{opts:?}: {}", report.summary());
+        assert!(report.dispatches > 0);
+    }
+}
+
+#[test]
+fn banded_plan_matches_fresh_banded_run() {
+    let img = generate::natural(257, 129, 8);
+    let ctx = Context::with_validation(DeviceSpec::firepro_w8000());
+    let pipe = GpuPipeline::new(ctx, SharpnessParams::default(), OptConfig::all())
+        .with_schedule(Schedule::Banded(64));
+    let fresh = pipe.run(&img).unwrap();
+    let mut plan = pipe.prepared(257, 129).unwrap();
+    for _ in 0..2 {
+        let planned = plan.run(&img).unwrap();
+        assert_eq!(planned.output.pixels(), fresh.output.pixels());
+        assert_eq!(planned.total_s.to_bits(), fresh.total_s.to_bits());
+    }
+}
+
+// ---- the full sweep: all 64 configs, banded vs monolithic --------------
+// Expensive; wired into `ci.sh --full` via `--ignored`.
+
+#[test]
+#[ignore]
+fn full_sweep_all_64_configs_banded_bit_identical() {
+    for (bits, opts) in all_configs().into_iter().enumerate() {
+        for rows in [48usize, 1024] {
+            let (mono_px, mono_t) = run_with(opts, Schedule::Monolithic, 333, 257, 13);
+            let (band_px, band_t) = run_with(opts, Schedule::Banded(rows), 333, 257, 13);
+            assert_eq!(mono_px, band_px, "bits {bits} rows {rows}: pixels differ");
+            assert_eq!(
+                mono_t.to_bits(),
+                band_t.to_bits(),
+                "bits {bits} rows {rows}: simulated time differs"
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn full_sweep_all_64_configs_banded_sanitize_clean() {
+    let img = generate::natural(333, 257, 13);
+    for (bits, opts) in all_configs().into_iter().enumerate() {
+        let ctx = Context::sanitized(DeviceSpec::firepro_w8000());
+        let pipe = GpuPipeline::new(ctx.clone(), SharpnessParams::default(), opts)
+            .with_schedule(Schedule::Banded(48));
+        pipe.run(&img).expect("banded sanitized run failed");
+        let report = ctx.sanitize_report().expect("sanitizer was enabled");
+        assert!(report.is_clean(), "bits {bits}: {}", report.summary());
+    }
+}

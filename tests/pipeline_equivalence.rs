@@ -200,6 +200,34 @@ fn repeated_runs_recycle_buffers_without_live_growth() {
 }
 
 #[test]
+fn plan_run_into_allocates_no_device_buffers_after_warmup() {
+    let img = generate::natural(97, 61, 12);
+    let ctx = Context::new(DeviceSpec::firepro_w8000());
+    let pipe = GpuPipeline::new(ctx.clone(), SharpnessParams::default(), OptConfig::all());
+    let mut out = vec![0.0f32; 97 * 61];
+    for schedule in [Schedule::Monolithic, Schedule::Banded(32)] {
+        let mut plan = pipe
+            .clone()
+            .with_schedule(schedule)
+            .prepared(97, 61)
+            .unwrap();
+        plan.run_into(&img, &mut out).unwrap(); // warm scratch + pool
+        let warm = ctx.pool_stats();
+        for _ in 0..4 {
+            plan.run_into(&img, &mut out).unwrap();
+        }
+        let after = ctx.pool_stats();
+        // The plan owns every buffer it needs: warm frames must neither
+        // allocate fresh device storage nor leave anything extra live.
+        assert_eq!(
+            after.misses, warm.misses,
+            "{schedule:?}: warm run_into still allocated"
+        );
+        assert_eq!(after.live, warm.live, "{schedule:?}: live buffers grew");
+    }
+}
+
+#[test]
 fn throughput_engine_outputs_match_the_single_frame_path() {
     let frames: Vec<_> = (0..5).map(|i| generate::natural(64, 64, 60 + i)).collect();
     let pipe = GpuPipeline::new(vctx(), SharpnessParams::default(), OptConfig::all());
