@@ -1,18 +1,21 @@
-//! Wall-clock comparison of the monolithic and cache-blocked (banded)
-//! schedules (not a figure from the paper — banding optimizes the *host*
-//! cost of running the simulator; pixels and simulated seconds are
+//! Wall-clock comparison of the kernel span backends and schedules (not a
+//! figure from the paper — the SIMD backends and banding optimize the
+//! *host* cost of running the simulator; pixels and simulated seconds are
 //! bit-identical by construction, so frames/s of real time is the only
 //! number that can move).
 //!
-//! For each square size the bench runs one persistent plan per schedule
-//! over the same frame stream and reports frames/s plus the banded
-//! speedup. Results land in `MP_OUT` (default the committed
-//! `baselines/BENCH_5.json`, so a re-run refreshes the tracked record).
+//! For each square size the bench runs one persistent plan per
+//! (backend, schedule) configuration over the same frame stream:
+//! the monolithic schedule with the backend forced to `autovec` (the
+//! scalar reference row, speedup 1.0), the monolithic schedule on the
+//! detected SIMD backend, and the cache-blocked banded schedule on the
+//! detected backend. Results land in `MP_OUT` (default the committed
+//! `baselines/BENCH_6.json`, so a re-run refreshes the tracked record).
 //!
-//! Run with `cargo bench --bench megapass_wallclock`. Environment knobs:
-//! `MP_SIZES` (default `1024,2048,4096`), `MP_FRAMES` (default 3),
-//! `MP_BAND` (band rows; default 0 = auto from the host cache size),
-//! `MP_OUT` (output path).
+//! Run with `cargo bench --features simd --bench megapass_wallclock`.
+//! Environment knobs: `MP_SIZES` (default `1024,2048,4096`), `MP_FRAMES`
+//! (default 3), `MP_BAND` (band rows; default 0 = auto from the host
+//! cache size), `MP_OUT` (output path).
 
 use std::time::Instant;
 
@@ -20,6 +23,7 @@ use sharpness_bench::benchjson::{self, BenchRow};
 use sharpness_bench::workload;
 use sharpness_core::gpu::{BandedStats, GpuPipeline, OptConfig, Schedule};
 use sharpness_core::params::SharpnessParams;
+use sharpness_core::simd::{self, Backend};
 use simgpu::context::Context;
 use simgpu::device::DeviceSpec;
 
@@ -60,7 +64,7 @@ fn main() {
     let frames = env_usize("MP_FRAMES", 3);
     let band = env_usize("MP_BAND", 0);
     let out_path = std::env::var("MP_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../baselines/BENCH_5.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../baselines/BENCH_6.json").to_string()
     });
     let band_label = if band == 0 {
         "banded(auto)".to_string()
@@ -68,32 +72,66 @@ fn main() {
         format!("banded({band})")
     };
 
-    println!("megapass_wallclock: {frames} frames per schedule, OptConfig::all()");
+    println!(
+        "megapass_wallclock: {frames} frames per configuration, OptConfig::all(), \
+         host features [{}]",
+        simd::host_features()
+    );
     let mut rows = Vec::new();
     for &width in &sizes {
         let stats = BandedStats::for_frame(width, width, &OptConfig::all(), band);
-        let mono_fps = measure(width, frames, Schedule::Monolithic);
+
+        // Scalar reference: the autovectorized spans, monolithic schedule.
+        simd::set_backend(Some(Backend::Autovec));
+        let scalar_fps = measure(width, frames, Schedule::Monolithic);
+        rows.push(BenchRow::with_active_backend(
+            width,
+            "monolithic".to_string(),
+            scalar_fps,
+            1.0,
+        ));
+        // Banding with the scalar spans, to isolate the backend effect at
+        // a fixed schedule.
+        let band_scalar_fps = measure(width, frames, Schedule::Banded(band));
+        rows.push(BenchRow::with_active_backend(
+            width,
+            band_label.clone(),
+            band_scalar_fps,
+            band_scalar_fps / scalar_fps,
+        ));
+
+        // Detected SIMD backend (autovec again when the feature is off).
+        simd::set_backend(None);
+        let simd_label = simd::active_backend().label();
+        let simd_fps = measure(width, frames, Schedule::Monolithic);
+        let simd_speedup = simd_fps / scalar_fps;
+        rows.push(BenchRow::with_active_backend(
+            width,
+            "monolithic".to_string(),
+            simd_fps,
+            simd_speedup,
+        ));
+
+        // Cache-blocked banding on top of the SIMD backend.
         let band_fps = measure(width, frames, Schedule::Banded(band));
-        let speedup = band_fps / mono_fps;
+        let band_speedup = band_fps / scalar_fps;
+        rows.push(BenchRow::with_active_backend(
+            width,
+            band_label.clone(),
+            band_fps,
+            band_speedup,
+        ));
+
         println!(
-            "  {width:>4}²: monolithic {mono_fps:7.2} fps | {band_label} {band_fps:7.2} fps \
-             ({speedup:4.2}x, {} bands of {} rows, peak resident {:.1} MiB)",
+            "  {width:>4}²: autovec {scalar_fps:7.2} fps | {band_label}+autovec \
+             {band_scalar_fps:7.2} fps ({:4.2}x) | {simd_label} {simd_fps:7.2} fps \
+             ({simd_speedup:4.2}x) | {band_label}+{simd_label} {band_fps:7.2} fps \
+             ({band_speedup:4.2}x, {} bands of {} rows, peak resident {:.1} MiB)",
+            band_scalar_fps / scalar_fps,
             stats.bands,
             stats.rows_per_band,
             stats.peak_resident_bytes as f64 / (1 << 20) as f64,
         );
-        rows.push(BenchRow {
-            width,
-            schedule: "monolithic".to_string(),
-            frames_per_s: mono_fps,
-            speedup_vs_monolithic: 1.0,
-        });
-        rows.push(BenchRow {
-            width,
-            schedule: band_label.clone(),
-            frames_per_s: band_fps,
-            speedup_vs_monolithic: speedup,
-        });
     }
     benchjson::write(&out_path, "megapass_wallclock", &rows).expect("write bench json");
     println!("wrote {out_path}");

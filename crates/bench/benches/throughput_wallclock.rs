@@ -132,11 +132,13 @@ fn main() {
         )
         .to_string()
     });
-    let row = |schedule: &str, seconds: f64| BenchRow {
-        width,
-        schedule: schedule.to_string(),
-        frames_per_s: fps(frames, seconds),
-        speedup_vs_monolithic: plan_s / seconds,
+    let row = |schedule: &str, seconds: f64| {
+        BenchRow::with_active_backend(
+            width,
+            schedule.to_string(),
+            fps(frames, seconds),
+            plan_s / seconds,
+        )
     };
     let rows = vec![
         row("fresh", fresh_s),

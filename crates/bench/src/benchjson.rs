@@ -22,6 +22,27 @@ pub struct BenchRow {
     /// Throughput relative to the monolithic reference at this size
     /// (1.0 for the reference itself).
     pub speedup_vs_monolithic: f64,
+    /// Kernel span backend active during the measurement (`autovec`,
+    /// `sse2`, or `avx2`; see [`sharpness_core::simd`]).
+    pub backend: String,
+}
+
+impl BenchRow {
+    /// A row stamped with the currently active kernel backend.
+    pub fn with_active_backend(
+        width: usize,
+        schedule: String,
+        frames_per_s: f64,
+        speedup_vs_monolithic: f64,
+    ) -> Self {
+        BenchRow {
+            width,
+            schedule,
+            frames_per_s,
+            speedup_vs_monolithic,
+            backend: sharpness_core::simd::active_backend().label().to_string(),
+        }
+    }
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -36,18 +57,28 @@ fn esc(s: &str) -> String {
         .collect()
 }
 
-/// Renders the bench result document.
+/// Renders the bench result document. The `host` object records the
+/// detected CPU features and whether the explicit-SIMD backend was
+/// compiled in, so a committed baseline says what machine produced it.
 pub fn render(bench: &str, rows: &[BenchRow]) -> String {
     let mut out = String::new();
-    let _ = write!(out, "{{\n  \"bench\": \"{}\",\n  \"rows\": [", esc(bench));
+    let _ = write!(
+        out,
+        "{{\n  \"bench\": \"{}\",\n  \"host\": {{\"cpu_features\": \"{}\", \
+         \"simd_compiled\": {}}},\n  \"rows\": [",
+        esc(bench),
+        esc(sharpness_core::simd::host_features()),
+        sharpness_core::simd::simd_compiled(),
+    );
     for (i, r) in rows.iter().enumerate() {
         let sep = if i == 0 { "" } else { "," };
         let _ = write!(
             out,
-            "{sep}\n    {{\"width\": {}, \"schedule\": \"{}\", \"frames_per_s\": {:.6}, \
-             \"speedup_vs_monolithic\": {:.4}}}",
+            "{sep}\n    {{\"width\": {}, \"schedule\": \"{}\", \"backend\": \"{}\", \
+             \"frames_per_s\": {:.6}, \"speedup_vs_monolithic\": {:.4}}}",
             r.width,
             esc(&r.schedule),
+            esc(&r.backend),
             r.frames_per_s,
             r.speedup_vs_monolithic
         );
@@ -76,18 +107,23 @@ mod tests {
                 schedule: "monolithic".into(),
                 frames_per_s: 12.5,
                 speedup_vs_monolithic: 1.0,
+                backend: "autovec".into(),
             },
             BenchRow {
                 width: 1024,
                 schedule: "banded(512)".into(),
                 frames_per_s: 15.0,
                 speedup_vs_monolithic: 1.2,
+                backend: "avx2".into(),
             },
         ];
         let doc = render("megapass_wallclock", &rows);
         assert!(doc.contains("\"bench\": \"megapass_wallclock\""));
+        assert!(doc.contains("\"host\": {\"cpu_features\": \""), "{doc}");
+        assert!(doc.contains("\"simd_compiled\": "), "{doc}");
         assert!(doc.contains("\"width\": 1024"));
         assert!(doc.contains("\"schedule\": \"banded(512)\""));
+        assert!(doc.contains("\"backend\": \"avx2\""));
         assert!(doc.contains("\"speedup_vs_monolithic\": 1.2000"));
         // Balanced braces/brackets — crude well-formedness check.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");

@@ -17,6 +17,7 @@
 use imagekit::ImageF32;
 use simgpu::cost::{CostCounters, OpCounts};
 
+use crate::gpu::kernels::simd;
 use crate::math;
 use crate::params::{SharpnessParams, SCALE};
 
@@ -214,9 +215,7 @@ pub fn perror(orig: &ImageF32, up: &ImageF32) -> (ImageF32, CostCounters) {
         "shape mismatch"
     );
     let mut out = ImageF32::zeros(orig.width(), orig.height());
-    for (i, v) in out.pixels_mut().iter_mut().enumerate() {
-        *v = orig.pixels()[i] - up.pixels()[i];
-    }
+    simd::sub_span(orig.pixels(), up.pixels(), out.pixels_mut());
     let n = orig.len() as u64;
     let mut c = CostCounters::new();
     c.charge_ops_n(&OpCounts::ZERO.adds(1), n);
@@ -230,20 +229,19 @@ pub fn perror(orig: &ImageF32, up: &ImageF32) -> (ImageF32, CostCounters) {
 pub fn sobel(orig: &ImageF32) -> (ImageF32, CostCounters) {
     let (w, h) = (orig.width(), orig.height());
     let mut out = ImageF32::zeros(w, h);
-    for y in 1..h - 1 {
-        for x in 1..w - 1 {
-            let n = [
-                orig.get(x - 1, y - 1),
-                orig.get(x, y - 1),
-                orig.get(x + 1, y - 1),
-                orig.get(x - 1, y),
-                orig.get(x, y),
-                orig.get(x + 1, y),
-                orig.get(x - 1, y + 1),
-                orig.get(x, y + 1),
-                orig.get(x + 1, y + 1),
-            ];
-            out.set(x, y, math::sobel_pixel(&n));
+    // Row-span form of `sobel_pixel` over the interior (bit-identical
+    // operation order), shared with the GPU kernels via
+    // [`simd::sobel_span`].
+    if w >= 3 {
+        let px = orig.pixels();
+        let out_px = out.pixels_mut();
+        for y in 1..h.saturating_sub(1) {
+            let (r0, r1, r2) = (
+                &px[(y - 1) * w..y * w],
+                &px[y * w..(y + 1) * w],
+                &px[(y + 1) * w..(y + 2) * w],
+            );
+            simd::sobel_span(r0, r1, r2, &mut out_px[y * w + 1..y * w + w - 1]);
         }
     }
     let n = ((w - 2) * (h - 2)) as u64;
@@ -283,10 +281,14 @@ pub fn strength_preliminary(
 ) -> (ImageF32, CostCounters) {
     let (w, h) = (up.width(), up.height());
     let mut out = ImageF32::zeros(w, h);
-    for i in 0..up.len() {
-        out.pixels_mut()[i] =
-            math::preliminary(up.pixels()[i], pedge.pixels()[i], perr.pixels()[i], mean, p);
-    }
+    simd::preliminary_span(
+        up.pixels(),
+        pedge.pixels(),
+        perr.pixels(),
+        out.pixels_mut(),
+        mean,
+        p,
+    );
     let n = up.len() as u64;
     let mut c = CostCounters::new();
     // strength: 1 div + 1 add + 1 pow + 1 mul + 2 cmp; preliminary: 1 mul + 1 add.
@@ -321,21 +323,27 @@ pub fn overshoot_with(
         out.set(0, y, math::final_border(prelim.get(0, y)));
         out.set(w - 1, y, math::final_border(prelim.get(w - 1, y)));
     }
-    for y in 1..h - 1 {
-        for x in 1..w - 1 {
-            let n = [
-                orig.get(x - 1, y - 1),
-                orig.get(x, y - 1),
-                orig.get(x + 1, y - 1),
-                orig.get(x - 1, y),
-                orig.get(x, y),
-                orig.get(x + 1, y),
-                orig.get(x - 1, y + 1),
-                orig.get(x, y + 1),
-                orig.get(x + 1, y + 1),
-            ];
-            let (mn, mx) = math::minmax3x3(&n);
-            out.set(x, y, math::overshoot(prelim.get(x, y), mn, mx, p));
+    // Row-span form of the 3×3 envelope clamp (bit-identical min/max fold
+    // and selects), shared with the GPU kernels via
+    // [`simd::overshoot_span`].
+    if w >= 3 {
+        let opx = orig.pixels();
+        let ppx = prelim.pixels();
+        let fpx = out.pixels_mut();
+        for y in 1..h.saturating_sub(1) {
+            let (r0, r1, r2) = (
+                &opx[(y - 1) * w..y * w],
+                &opx[y * w..(y + 1) * w],
+                &opx[(y + 1) * w..(y + 2) * w],
+            );
+            simd::overshoot_span(
+                r0,
+                r1,
+                r2,
+                &ppx[y * w + 1..y * w + w - 1],
+                &mut fpx[y * w + 1..y * w + w - 1],
+                p,
+            );
         }
     }
     let n = ((w - 2) * (h - 2)) as u64;

@@ -68,7 +68,7 @@ pub(crate) fn downscale_launch(
         let mut n_full = 0u64;
         let mut tail_adds = 0u64;
         let mut n_tail = 0u64;
-        let mut scratch = vec![0.0f32; gw];
+        let mut scratch = [0.0f32; super::GROUP_2D[0]];
         for ly in 0..g.group_size[1] {
             g.begin_item([0, ly]);
             let j = g.group_id[1] * g.group_size[1] + ly;

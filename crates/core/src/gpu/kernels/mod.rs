@@ -17,6 +17,7 @@ pub mod downscale;
 pub mod perror;
 pub mod reduction;
 pub mod sharpen;
+pub mod simd;
 pub mod sobel;
 pub mod upscale;
 

@@ -7,11 +7,10 @@
 use simgpu::buffer::{Buffer, GlobalView};
 use simgpu::cost::OpCounts;
 use simgpu::error::Result;
-use simgpu::kernel::items;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid2d, KernelTuning, Launch, SrcImage};
+use super::{grid2d, simd, KernelTuning, Launch, SrcImage, GROUP_2D};
 
 /// Dispatches the pError kernel over the full image. `ws` is the device
 /// row stride of the up/pError buffers (equal to `w` for multiple-of-4
@@ -49,19 +48,32 @@ pub(crate) fn perror_launch(
     let src = src.clone();
     let up = up.clone();
     let per_item = OpCounts::ZERO.adds(1).plus(&tune.idx_ops());
+    // Row-span form: the subtraction runs over contiguous row slices
+    // (autovectorized or dispatched via [`simd::sub_span`]). Charges are
+    // exact — two 4 B loads and one 4 B store per covered pixel, the same
+    // bytes the per-item form charged through `load`/`store`.
     launch.dispatch(q, &desc, &[perr], move |g| {
+        let gw = g.group_size[0];
+        let x_start = g.group_id[0] * gw;
         let mut n_items = 0u64;
-        for l in items(g.group_size) {
-            g.begin_item(l);
-            let [x, y] = g.global_id(l);
-            if x >= w || y >= h {
+        let mut scratch = [0.0f32; GROUP_2D[0]];
+        for ly in 0..g.group_size[1] {
+            g.begin_item([0, ly]);
+            let y = g.group_id[1] * g.group_size[1] + ly;
+            if y >= h || x_start >= w {
                 continue;
             }
-            n_items += 1;
-            let o = g.load(&src.view, src.idx(x as isize, y as isize));
-            let u = g.load(&up, y * ws + x);
-            g.store(&pview, y * ws + x, o - u);
+            let span = (x_start + gw).min(w) - x_start;
+            n_items += span as u64;
+            let o = src
+                .view
+                .slice_raw(src.idx(x_start as isize, y as isize), span);
+            let u = up.slice_raw(y * ws + x_start, span);
+            let row_out = &mut scratch[..span];
+            simd::sub_span(o, u, row_out);
+            pview.set_span_raw(y * ws + x_start, row_out);
         }
+        g.charge_global_n(8, 0, 4, 0, n_items);
         g.charge_n(&per_item, n_items);
     })
 }

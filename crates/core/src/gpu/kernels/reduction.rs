@@ -161,9 +161,7 @@ fn stage1_body(
             let mut sums = [0.0f32; RED_GROUP];
             for k in 0..ELEMS_PER_THREAD {
                 let row = src.slice_raw(offset + base + k * RED_GROUP, RED_GROUP);
-                for (s, &v) in sums.iter_mut().zip(row) {
-                    *s += v;
-                }
+                super::simd::add_assign_span(&mut sums, row);
             }
             for (lid, &s) in sums.iter().enumerate() {
                 g.begin_item([lid, 0]);

@@ -11,11 +11,10 @@
 use simgpu::buffer::{Buffer, GlobalView};
 use simgpu::cost::OpCounts;
 use simgpu::error::{Error, Result};
-use simgpu::kernel::items;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid2d, overcharge_ratio, KernelTuning, Launch, SrcImage};
+use super::{grid2d, overcharge_ratio, simd, KernelTuning, Launch, SrcImage, GROUP_2D};
 use crate::math;
 use crate::params::{SharpnessParams, MIN_DIM};
 
@@ -80,21 +79,35 @@ pub(crate) fn preliminary_launch(
         .cmps(2)
         .plus(&tune.idx_ops());
     let clamp_div = tune.clamp_divergence();
+    // Row-span form: three contiguous loads and one store per pixel, run
+    // span-at-a-time through [`simd::preliminary_span`]. Charges are exact
+    // (12 B read + 4 B write per pixel), identical to the per-item form.
     launch.dispatch(q, &desc, &[prelim], move |g| {
+        let gw = g.group_size[0];
+        let x_start = g.group_id[0] * gw;
         let mut n = 0u64;
-        for l in items(g.group_size) {
-            g.begin_item(l);
-            let [x, y] = g.global_id(l);
-            if x >= w || y >= h {
+        let mut scratch = [0.0f32; GROUP_2D[0]];
+        for ly in 0..g.group_size[1] {
+            g.begin_item([0, ly]);
+            let y = g.group_id[1] * g.group_size[1] + ly;
+            if y >= h || x_start >= w {
                 continue;
             }
-            n += 1;
-            let i = y * ws + x;
-            let u = g.load(&up, i);
-            let e = g.load(&pedge, i);
-            let err = g.load(&perr, i);
-            g.store(&out, i, math::preliminary(u, e, err, mean, &params));
+            let span = (x_start + gw).min(w) - x_start;
+            n += span as u64;
+            let i = y * ws + x_start;
+            let row_out = &mut scratch[..span];
+            simd::preliminary_span(
+                up.slice_raw(i, span),
+                pedge.slice_raw(i, span),
+                perr.slice_raw(i, span),
+                row_out,
+                mean,
+                &params,
+            );
+            out.set_span_raw(i, row_out);
         }
+        g.charge_global_n(12, 0, 4, 0, n);
         g.charge_n(&per_item, n);
         g.divergent(n * clamp_div);
     })
@@ -155,38 +168,81 @@ pub(crate) fn overshoot_launch(
         .adds(1)
         .plus(&tune.idx_ops());
     let clamp_div = tune.clamp_divergence();
+    // Row-span form: the body clamp runs over contiguous spans through
+    // [`simd::overshoot_span`]. Charged traffic stays the per-pixel
+    // pattern (prelim + nine window loads + store per body pixel; prelim +
+    // store per border pixel); the observed raw reads per body tile row
+    // are one prelim span plus three `(blen+2)`-wide source slices, below
+    // the charged windows for every `blen >= 1`, covered by the declared
+    // overlapping-window overcharge.
+    let ratio = overcharge_ratio(
+        10 * (w as u64).saturating_sub(2) * (h as u64).saturating_sub(2),
+        4 * (w as u64).saturating_sub(2) * (h as u64).saturating_sub(2),
+    );
     launch.dispatch(q, &desc, &[finalbuf], move |g| {
+        g.declare_read_overcharge(ratio);
+        let gw = g.group_size[0];
+        let x_start = g.group_id[0] * gw;
         let mut n_body = 0u64;
         let mut n_border = 0u64;
-        for l in items(g.group_size) {
-            g.begin_item(l);
-            let [x, y] = g.global_id(l);
-            if x >= w || y >= h {
+        let mut scratch = [0.0f32; GROUP_2D[0]];
+        for ly in 0..g.group_size[1] {
+            g.begin_item([0, ly]);
+            let y = g.group_id[1] * g.group_size[1] + ly;
+            if y >= h || x_start >= w {
                 continue;
             }
-            let i = y * ws + x;
-            let p = g.load(&prelim, i);
-            if x == 0 || y == 0 || x == w - 1 || y == h - 1 {
-                n_border += 1;
-                g.store(&out, i, math::final_border(p));
-                continue;
+            let x_end = (x_start + gw).min(w);
+            let span = x_end - x_start;
+            let i = y * ws + x_start;
+            let prow = prelim.slice_raw(i, span);
+            let row_out = &mut scratch[..span];
+            if y == 0 || y == h - 1 || w <= 2 {
+                for (o, &p) in row_out.iter_mut().zip(prow) {
+                    *o = math::final_border(p);
+                }
+                n_border += span as u64;
+            } else {
+                let body_lo = x_start.max(1);
+                let body_hi = x_end.min(w - 1);
+                let mut row_body = 0u64;
+                if body_hi > body_lo {
+                    let blen = body_hi - body_lo;
+                    let yi = y as isize;
+                    let r0 = src
+                        .view
+                        .slice_raw(src.idx(body_lo as isize - 1, yi - 1), blen + 2);
+                    let r1 = src
+                        .view
+                        .slice_raw(src.idx(body_lo as isize - 1, yi), blen + 2);
+                    let r2 = src
+                        .view
+                        .slice_raw(src.idx(body_lo as isize - 1, yi + 1), blen + 2);
+                    simd::overshoot_span(
+                        r0,
+                        r1,
+                        r2,
+                        &prow[body_lo - x_start..body_hi - x_start],
+                        &mut row_out[body_lo - x_start..body_hi - x_start],
+                        &params,
+                    );
+                    row_body = blen as u64;
+                }
+                // `w >= 3` here, so the two border columns are distinct.
+                for x in [0, w - 1] {
+                    if x >= x_start && x < x_end {
+                        row_out[x - x_start] = math::final_border(prow[x - x_start]);
+                    }
+                }
+                n_body += row_body;
+                n_border += span as u64 - row_body;
             }
-            n_body += 1;
-            let (xi, yi) = (x as isize, y as isize);
-            let n9 = [
-                g.load(&src.view, src.idx(xi - 1, yi - 1)),
-                g.load(&src.view, src.idx(xi, yi - 1)),
-                g.load(&src.view, src.idx(xi + 1, yi - 1)),
-                g.load(&src.view, src.idx(xi - 1, yi)),
-                g.load(&src.view, src.idx(xi, yi)),
-                g.load(&src.view, src.idx(xi + 1, yi)),
-                g.load(&src.view, src.idx(xi - 1, yi + 1)),
-                g.load(&src.view, src.idx(xi, yi + 1)),
-                g.load(&src.view, src.idx(xi + 1, yi + 1)),
-            ];
-            let (mn, mx) = math::minmax3x3(&n9);
-            g.store(&out, i, math::overshoot(p, mn, mx, &params));
+            out.set_span_raw(i, row_out);
         }
+        // Body pixel: prelim + nine window loads (40 B) + store; border
+        // pixel: prelim load + store — identical to the per-item charges.
+        g.charge_global_n(40, 0, 4, 0, n_body);
+        g.charge_global_n(4, 0, 4, 0, n_border);
         g.charge_n(&per_body, n_body);
         g.charge_n(&OpCounts::ZERO.cmps(4), n_border);
         g.divergent((n_body * 2 + n_border) * clamp_div);
@@ -281,45 +337,94 @@ pub(crate) fn sharpness_fused_launch(
         .cmps(24)
         .plus(&tune.idx_ops());
     let clamp_div = tune.clamp_divergence();
+    // Row-span form, same shape as the vectorized variant below: body
+    // pixels run span-at-a-time through [`simd::fused_span`], border
+    // pixels through the exact `fused_pixel(body = false)` path. Charged
+    // traffic stays the per-pixel pattern (up + pEdge + nine window loads
+    // + store per body pixel; up + pEdge + centre + store per border
+    // pixel); the observed raw reads per body tile row are the up/pEdge
+    // spans plus three `(blen+2)`-wide source slices, below the charged
+    // windows for every `blen >= 1`, covered by the declared ratio.
+    let ratio = overcharge_ratio(
+        11 * (w as u64).saturating_sub(2) * (h as u64).saturating_sub(2),
+        5 * (w as u64).saturating_sub(2) * (h as u64).saturating_sub(2),
+    );
     launch.dispatch(q, &desc, &[finalbuf], move |g| {
+        // One border pixel, computed exactly as `fused_pixel` with
+        // `body = false` would (only the window centre matters).
+        let border_pixel =
+            |x: usize, y: usize, src: &SrcImage, up: &GlobalView<f32>, pe: &GlobalView<f32>| {
+                let mut n9 = [0.0f32; 9];
+                n9[4] = src.view.get_raw(src.idx(x as isize, y as isize));
+                let i = y * ws + x;
+                fused_pixel(&n9, up.get_raw(i), pe.get_raw(i), mean, &params, false)
+            };
+        g.declare_read_overcharge(ratio);
+        let gw = g.group_size[0];
+        let x_start = g.group_id[0] * gw;
         let mut n_body = 0u64;
         let mut n_border = 0u64;
-        for l in items(g.group_size) {
-            g.begin_item(l);
-            let [x, y] = g.global_id(l);
-            if x >= w || y >= h {
+        let mut scratch = [0.0f32; GROUP_2D[0]];
+        for ly in 0..g.group_size[1] {
+            g.begin_item([0, ly]);
+            let y = g.group_id[1] * g.group_size[1] + ly;
+            if y >= h || x_start >= w {
                 continue;
             }
-            let i = y * ws + x;
-            let u = g.load(&up, i);
-            let e = g.load(&pedge, i);
-            let (xi, yi) = (x as isize, y as isize);
-            let body = x > 0 && y > 0 && x < w - 1 && y < h - 1;
-            let n9 = if body {
-                [
-                    g.load(&src.view, src.idx(xi - 1, yi - 1)),
-                    g.load(&src.view, src.idx(xi, yi - 1)),
-                    g.load(&src.view, src.idx(xi + 1, yi - 1)),
-                    g.load(&src.view, src.idx(xi - 1, yi)),
-                    g.load(&src.view, src.idx(xi, yi)),
-                    g.load(&src.view, src.idx(xi + 1, yi)),
-                    g.load(&src.view, src.idx(xi - 1, yi + 1)),
-                    g.load(&src.view, src.idx(xi, yi + 1)),
-                    g.load(&src.view, src.idx(xi + 1, yi + 1)),
-                ]
+            let x_end = (x_start + gw).min(w);
+            let span = x_end - x_start;
+            let row_out = &mut scratch[..span];
+            if y == 0 || y == h - 1 || w <= 2 {
+                for (j, x) in (x_start..x_end).enumerate() {
+                    row_out[j] = border_pixel(x, y, &src, &up, &pedge);
+                }
+                n_border += span as u64;
             } else {
-                let centre = g.load(&src.view, src.idx(xi, yi));
-                let mut a = [0.0f32; 9];
-                a[4] = centre;
-                a
-            };
-            if body {
-                n_body += 1;
-            } else {
-                n_border += 1;
+                let body_lo = x_start.max(1);
+                let body_hi = x_end.min(w - 1);
+                let mut row_body = 0u64;
+                if body_hi > body_lo {
+                    let blen = body_hi - body_lo;
+                    let yi = y as isize;
+                    let r0 = src
+                        .view
+                        .slice_raw(src.idx(body_lo as isize - 1, yi - 1), blen + 2);
+                    let r1 = src
+                        .view
+                        .slice_raw(src.idx(body_lo as isize - 1, yi), blen + 2);
+                    let r2 = src
+                        .view
+                        .slice_raw(src.idx(body_lo as isize - 1, yi + 1), blen + 2);
+                    let up_row = up.slice_raw(y * ws + body_lo, blen);
+                    let pe_row = pedge.slice_raw(y * ws + body_lo, blen);
+                    simd::fused_span(
+                        r0,
+                        r1,
+                        r2,
+                        up_row,
+                        pe_row,
+                        &mut row_out[body_lo - x_start..body_hi - x_start],
+                        mean,
+                        &params,
+                    );
+                    row_body = blen as u64;
+                }
+                // `w >= 3` here, so the two border columns are distinct.
+                for x in [0, w - 1] {
+                    if x >= x_start && x < x_end {
+                        row_out[x - x_start] = border_pixel(x, y, &src, &up, &pedge);
+                    }
+                }
+                n_body += row_body;
+                n_border += span as u64 - row_body;
             }
-            g.store(&out, i, fused_pixel(&n9, u, e, mean, &params, body));
+            out.set_span_raw(y * ws + x_start, row_out);
         }
+        // Body pixel: up + pEdge + nine window loads (44 B) + store;
+        // border pixel: up + pEdge + centre (12 B) + store — identical to
+        // the per-item charges.
+        g.charge_global_n(44, 0, 4, 0, n_body);
+        g.charge_global_n(12, 0, 4, 0, n_border);
         g.charge_n(&per_body, n_body);
         g.charge_n(
             &OpCounts::ZERO.adds(3).divs(1).pows(1).muls(2).cmps(6),
@@ -327,86 +432,6 @@ pub(crate) fn sharpness_fused_launch(
         );
         g.divergent((n_body * 2 + n_border) * clamp_div);
     })
-}
-
-/// Fused sharpness for a span of consecutive *body* pixels of one row.
-///
-/// `r0`/`r1`/`r2` are the padded-source rows above/at/below, starting one
-/// column left of the first pixel and extending one past the last (so
-/// pixel `i`'s 3×3 window is columns `i..i+3`). The 9-element min/max
-/// fold runs in the same order as [`math::minmax3x3`] and the tail calls
-/// the same shared per-pixel math, so every pixel is bit-identical to
-/// [`fused_pixel`] — but the loop is branch-free over the span, which is
-/// what lets the host autovectorize it (the analogue of the kernel's
-/// uniform interior wavefronts).
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn fused_body_span(
-    r0: &[f32],
-    r1: &[f32],
-    r2: &[f32],
-    up_row: &[f32],
-    pe_row: &[f32],
-    out_row: &mut [f32],
-    mean: f32,
-    params: &SharpnessParams,
-) {
-    if params.gamma == 0.5 {
-        // Specialized span for the default gamma: the body of
-        // `strength`/`preliminary`/`overshoot` written out inline, in the
-        // identical operation order (so identical bits — pinned by
-        // `fused_vec4_matches_cpu_exactly`). Calling through the shared
-        // functions defeats LLVM's vectorizer here; inlined, the whole
-        // loop (including `sqrtps`) autovectorizes.
-        let denom = mean + params.eps;
-        for i in 0..out_row.len() {
-            let mut mn = r0[i];
-            let mut mx = r0[i];
-            for v in [
-                r0[i + 1],
-                r0[i + 2],
-                r1[i],
-                r1[i + 1],
-                r1[i + 2],
-                r2[i],
-                r2[i + 1],
-                r2[i + 2],
-            ] {
-                mn = math::fmin(mn, v);
-                mx = math::fmax(mx, v);
-            }
-            let err = r1[i + 1] - up_row[i];
-            let x = pe_row[i] / denom;
-            let s = math::fmin(math::fmax(params.gain * x.sqrt(), 0.0), params.s_max);
-            let prelim = up_row[i] + s * err;
-            let above = math::fmin(mx + params.osc * (prelim - mx), 255.0);
-            let below = math::fmax(mn - params.osc * (mn - prelim), 0.0);
-            let inside = math::fmin(math::fmax(prelim, 0.0), 255.0);
-            let low = if prelim < mn { below } else { inside };
-            out_row[i] = if prelim > mx { above } else { low };
-        }
-    } else {
-        for i in 0..out_row.len() {
-            let mut mn = r0[i];
-            let mut mx = r0[i];
-            for v in [
-                r0[i + 1],
-                r0[i + 2],
-                r1[i],
-                r1[i + 1],
-                r1[i + 2],
-                r2[i],
-                r2[i + 1],
-                r2[i + 2],
-            ] {
-                mn = math::fmin(mn, v);
-                mx = math::fmax(mx, v);
-            }
-            let err = r1[i + 1] - up_row[i];
-            let prelim = math::preliminary(up_row[i], pe_row[i], err, mean, params);
-            out_row[i] = math::overshoot(prelim, mn, mx, params);
-        }
-    }
 }
 
 /// The fused sharpness kernel, vectorized: four adjacent pixels per
@@ -516,7 +541,7 @@ pub(crate) fn sharpness_fused_vec4_launch(
         let gw = g.group_size[0];
         let x_start = 4 * g.group_id[0] * gw;
         let mut n_threads = 0u64;
-        let mut scratch = vec![0.0f32; 4 * gw];
+        let mut scratch = [0.0f32; 4 * GROUP_2D[0]];
         for ly in 0..g.group_size[1] {
             g.begin_item([0, ly]);
             let y = g.group_id[1] * g.group_size[1] + ly;
@@ -550,7 +575,7 @@ pub(crate) fn sharpness_fused_vec4_launch(
                     .slice_raw(src.idx(body_lo as isize - 1, yi + 1), blen + 2);
                 let up_row = up.slice_raw(y * ws + body_lo, blen);
                 let pe_row = pedge.slice_raw(y * ws + body_lo, blen);
-                fused_body_span(
+                simd::fused_span(
                     r0,
                     r1,
                     r2,

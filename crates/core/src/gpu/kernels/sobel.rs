@@ -10,7 +10,7 @@ use simgpu::kernel::items;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid2d, overcharge_ratio, KernelTuning, Launch, SrcImage};
+use super::{grid2d, overcharge_ratio, simd, KernelTuning, Launch, SrcImage, GROUP_2D};
 use crate::math;
 use crate::params::MIN_DIM;
 
@@ -59,35 +59,106 @@ pub(crate) fn sobel_scalar_launch(
         .cmps(2)
         .plus(&tune.idx_ops());
     let border_div = tune.clamp_divergence();
+    // Row-span form: each group walks its 16-column tile row by row, so
+    // the stencil runs over contiguous slices (autovectorized by rustc or
+    // dispatched to the explicit backends via [`simd::sobel_span`]).
+    // Charged traffic stays exactly the per-pixel pattern of the one-item-
+    // per-pixel form: eight window loads + one store per body pixel, one
+    // zero store per border pixel. The observed raw reads are the three
+    // `(blen+2)`-wide row slices per tile row, which stay below the
+    // charged windows for every width except `w == 3` (one-pixel body
+    // spans), so narrow images keep the exact per-item path.
+    let ratio = overcharge_ratio(
+        8 * (w as u64 - 2) * (h as u64 - 2),
+        3 * (w as u64 - 2) * (h as u64 - 2),
+    );
     launch.dispatch(q, &desc, &[pedge], move |g| {
+        if w < 4 {
+            let mut n_body = 0u64;
+            let mut n_border = 0u64;
+            for l in items(g.group_size) {
+                g.begin_item(l);
+                let [x, y] = g.global_id(l);
+                if x >= w || y >= h {
+                    continue;
+                }
+                if x == 0 || y == 0 || x == w - 1 || y == h - 1 {
+                    n_border += 1;
+                    g.store(&out, y * ws + x, 0.0);
+                    continue;
+                }
+                n_body += 1;
+                let (xi, yi) = (x as isize, y as isize);
+                let n = [
+                    g.load(&src.view, src.idx(xi - 1, yi - 1)),
+                    g.load(&src.view, src.idx(xi, yi - 1)),
+                    g.load(&src.view, src.idx(xi + 1, yi - 1)),
+                    g.load(&src.view, src.idx(xi - 1, yi)),
+                    0.0, // centre value is unused by the operator
+                    g.load(&src.view, src.idx(xi + 1, yi)),
+                    g.load(&src.view, src.idx(xi - 1, yi + 1)),
+                    g.load(&src.view, src.idx(xi, yi + 1)),
+                    g.load(&src.view, src.idx(xi + 1, yi + 1)),
+                ];
+                g.store(&out, y * ws + x, math::sobel_pixel(&n));
+            }
+            g.charge_n(&per_item, n_body);
+            g.charge_n(&OpCounts::ZERO.cmps(4), n_border + n_body);
+            g.divergent(n_border * border_div);
+            return;
+        }
+        g.declare_read_overcharge(ratio);
+        let gw = g.group_size[0];
+        let x_start = g.group_id[0] * gw;
         let mut n_body = 0u64;
         let mut n_border = 0u64;
-        for l in items(g.group_size) {
-            g.begin_item(l);
-            let [x, y] = g.global_id(l);
-            if x >= w || y >= h {
+        let mut scratch = [0.0f32; GROUP_2D[0]];
+        for ly in 0..g.group_size[1] {
+            g.begin_item([0, ly]);
+            let y = g.group_id[1] * g.group_size[1] + ly;
+            if y >= h || x_start >= w {
                 continue;
             }
-            if x == 0 || y == 0 || x == w - 1 || y == h - 1 {
-                n_border += 1;
-                g.store(&out, y * ws + x, 0.0);
-                continue;
+            let x_end = (x_start + gw).min(w);
+            let span = x_end - x_start;
+            let row_out = &mut scratch[..span];
+            // Zero first: the border columns/rows the body span below does
+            // not overwrite store zero, as in the per-pixel form.
+            row_out.fill(0.0);
+            let mut row_body = 0u64;
+            if y > 0 && y < h - 1 {
+                let body_lo = x_start.max(1);
+                let body_hi = x_end.min(w - 1);
+                if body_hi > body_lo {
+                    let blen = body_hi - body_lo;
+                    let yi = y as isize;
+                    let r0 = src
+                        .view
+                        .slice_raw(src.idx(body_lo as isize - 1, yi - 1), blen + 2);
+                    let r1 = src
+                        .view
+                        .slice_raw(src.idx(body_lo as isize - 1, yi), blen + 2);
+                    let r2 = src
+                        .view
+                        .slice_raw(src.idx(body_lo as isize - 1, yi + 1), blen + 2);
+                    simd::sobel_span(
+                        r0,
+                        r1,
+                        r2,
+                        &mut row_out[body_lo - x_start..body_hi - x_start],
+                    );
+                    row_body = blen as u64;
+                }
             }
-            n_body += 1;
-            let (xi, yi) = (x as isize, y as isize);
-            let n = [
-                g.load(&src.view, src.idx(xi - 1, yi - 1)),
-                g.load(&src.view, src.idx(xi, yi - 1)),
-                g.load(&src.view, src.idx(xi + 1, yi - 1)),
-                g.load(&src.view, src.idx(xi - 1, yi)),
-                0.0, // centre value is unused by the operator
-                g.load(&src.view, src.idx(xi + 1, yi)),
-                g.load(&src.view, src.idx(xi - 1, yi + 1)),
-                g.load(&src.view, src.idx(xi, yi + 1)),
-                g.load(&src.view, src.idx(xi + 1, yi + 1)),
-            ];
-            g.store(&out, y * ws + x, math::sobel_pixel(&n));
+            n_body += row_body;
+            n_border += span as u64 - row_body;
+            out.set_span_raw(y * ws + x_start, row_out);
         }
+        // Eight window loads (32 B) + one store (4 B) per body pixel; one
+        // zero store (4 B) per border pixel — identical to the per-item
+        // charges above.
+        g.charge_global_n(32, 0, 4, 0, n_body);
+        g.charge_global_n(0, 0, 4, 0, n_border);
         g.charge_n(&per_item, n_body);
         g.charge_n(&OpCounts::ZERO.cmps(4), n_border + n_body);
         g.divergent(n_border * border_div);
@@ -172,7 +243,7 @@ pub(crate) fn sobel_vec4_launch(
         let gw = g.group_size[0];
         let x_start = 4 * g.group_id[0] * gw;
         let mut n_threads = 0u64;
-        let mut scratch = vec![0.0f32; 4 * gw];
+        let mut scratch = [0.0f32; 4 * GROUP_2D[0]];
         for ly in 0..g.group_size[1] {
             g.begin_item([0, ly]);
             let y = g.group_id[1] * g.group_size[1] + ly;
@@ -202,18 +273,16 @@ pub(crate) fn sobel_vec4_launch(
                 let r2 = src
                     .view
                     .slice_raw(src.idx(body_lo as isize - 1, yi + 1), blen + 2);
-                let body = &mut row_out[body_lo - x_start..body_hi - x_start];
-                // `sobel_pixel` with the window columns i..i+3, written out
-                // in the identical operation order (left-to-right sums) so
-                // the span is bit-identical to the per-pixel form — pinned
-                // by `vec4_matches_scalar_exactly`.
-                for i in 0..body.len() {
-                    let gx =
-                        (r0[i + 2] + 2.0 * r1[i + 2] + r2[i + 2]) - (r0[i] + 2.0 * r1[i] + r2[i]);
-                    let gy = (r2[i] + 2.0 * r2[i + 1] + r2[i + 2])
-                        - (r0[i] + 2.0 * r0[i + 1] + r0[i + 2]);
-                    body[i] = gx.abs() + gy.abs();
-                }
+                // `sobel_pixel` with the window columns i..i+3 in the
+                // identical operation order (left-to-right sums), so the
+                // span is bit-identical to the per-pixel form — pinned by
+                // `vec4_matches_scalar_exactly`.
+                simd::sobel_span(
+                    r0,
+                    r1,
+                    r2,
+                    &mut row_out[body_lo - x_start..body_hi - x_start],
+                );
             }
             out.set_span_raw(y * ws + x_start, row_out);
         }

@@ -478,18 +478,29 @@ impl GpuPipeline {
         // row 1 both "second" and "second-to-last").
         let upv = res.up.write_view();
         let mut border_elems = 0u64;
-        let mut rows = vec![0, 1, h - 2, h - 1];
-        rows.dedup();
-        for y in rows {
+        // Fixed, sorted lists — adjacent duplicates (h = 3 makes row 1
+        // both "second" and "second-to-last") are skipped in place, so the
+        // per-frame path stays allocation-free.
+        let rows = [0, 1, h - 2, h - 1];
+        let mut prev = usize::MAX;
+        for &y in &rows {
+            if y == prev {
+                continue;
+            }
+            prev = y;
             for x in 0..w {
                 upv.set_raw(y * ws + x, res.up_host.get(x, y));
                 border_elems += 1;
             }
         }
-        let mut cols = vec![0, 1, w - 2, w - 1];
-        cols.dedup();
+        let cols = [0, 1, w - 2, w - 1];
         for y in 2..=h.saturating_sub(3) {
-            for x in cols.iter().copied() {
+            let mut prev = usize::MAX;
+            for &x in &cols {
+                if x == prev {
+                    continue;
+                }
+                prev = x;
                 upv.set_raw(y * ws + x, res.up_host.get(x, y));
                 border_elems += 1;
             }

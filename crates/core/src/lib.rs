@@ -52,6 +52,7 @@ pub mod report;
 pub mod telemetry;
 
 pub use cpu::CpuPipeline;
+pub use gpu::kernels::simd;
 pub use gpu::{GpuPipeline, OptConfig, Tuning};
 pub use params::SharpnessParams;
 pub use report::RunReport;

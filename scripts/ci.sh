@@ -6,8 +6,11 @@
 #                            # x four sizes; minutes, not seconds)
 #
 # Tier-1 (per ROADMAP.md) is `cargo build --release && cargo test -q` at the
-# workspace root. `cargo bench --no-run` keeps the wall-clock throughput
-# bench compiling even though CI boxes are too noisy to gate on its numbers.
+# workspace root, run twice: default features and `--features simd` (the
+# explicit host-SIMD kernel backends must never change results, so the whole
+# suite is the equivalence oracle). `cargo bench --no-run` keeps the
+# wall-clock benches compiling even though CI boxes are too noisy to gate on
+# their numbers; `--full` adds a 0.9x sanity floor for the SIMD backend.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +31,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "== feature matrix: tier-1 again with --features simd"
+cargo clippy --all-targets --features simd -- -D warnings
+cargo clippy -p sharpness-bench --all-targets --features simd -- -D warnings
+cargo build --release --features simd
+cargo test -q --features simd
+cargo test -q -p sharpness-core --features simd
 
 echo "== metric baselines"
 ./scripts/check_metrics.sh
@@ -59,6 +69,34 @@ if [ "$full" -eq 1 ]; then
     cargo test -q --release --test arbitrary_shapes -- --ignored
     echo "== full banded equivalence sweep (all configs, banded vs monolithic)"
     cargo test -q --release --test banded -- --ignored
+    echo "== full SIMD backend equivalence sweep (all configs, sanitized)"
+    cargo test -q --release --features simd --test simd -- --ignored
+    echo "== SIMD wall-clock smoke (monolithic avx2/sse2 vs autovec at 1024^2)"
+    # Not a perf gate on absolute numbers (CI boxes are noisy) — only a
+    # sanity floor: the explicit backend must not be slower than 0.9x the
+    # autovectorized spans, which would mean dispatch is broken.
+    MP_SIZES=1024 MP_FRAMES=5 MP_OUT="$smoke_dir/bench_smoke.json" \
+        cargo bench -q -p sharpness-bench --features simd \
+        --bench megapass_wallclock > /dev/null
+    awk -F'"' '
+        /"schedule": "monolithic"/ && !ref_seen { ref_seen = 1; next }
+        /"schedule": "monolithic"/ && ref_seen && !checked {
+            checked = 1
+            split($0, a, "speedup_vs_monolithic\": ")
+            split(a[2], b, "}")
+            if (b[1] + 0 < 0.9) {
+                printf "SIMD smoke FAILED: monolithic simd speedup %s < 0.9x scalar\n", b[1]
+                exit 1
+            }
+            printf "SIMD smoke OK: monolithic simd speedup %sx\n", b[1]
+        }
+        END {
+            if (!checked) {
+                print "SIMD smoke FAILED: no simd monolithic row in bench JSON"
+                exit 1
+            }
+        }
+    ' "$smoke_dir/bench_smoke.json"
 fi
 
 echo "== cargo bench --no-run"

@@ -43,6 +43,18 @@
 #    pixels, identical simulated seconds); this grep catches a mutation
 #    creeping into the recording path before any test runs. Test modules
 #    (after `#[cfg(test)]`) are exempt: fixtures may build records.
+#
+# 6. SIMD stays contained and cost-blind. Explicit `std::arch`
+#    intrinsics and runtime feature detection may live only under the
+#    feature-gated `gpu/kernels/simd/` module — anywhere else they would
+#    bypass the runtime-dispatch safety story (scalar fallback, forced
+#    backend override, bit-exactness tests). And the simd span modules
+#    must never touch the cost model (`charge_*`, `GroupCtx`): charged
+#    simulated time is commit-order accounting owned by the kernel
+#    closures, so a charge inside a backend would make simulated seconds
+#    depend on the host's CPU features. (Runtime half: tests/simd.rs
+#    asserts bit-identical pixels and `.to_bits()`-identical simulated
+#    seconds across backends.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -94,6 +106,25 @@ for f in "${telemetry_files[@]}"; do
     if matches=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR":"$0}' "$f" \
         | grep -E "$observer_mutations"); then
         echo "lint: telemetry recording path mutates observed state (observation-only invariant):"
+        echo "$matches"
+        fail=1
+    fi
+done
+
+simd_dir=crates/core/src/gpu/kernels/simd
+arch_markers='(std|core)::arch|is_x86_feature_detected|_mm_|_mm256_'
+if matches=$(grep -rnE "$arch_markers" crates src --include='*.rs' \
+    | grep -v "^$simd_dir/"); then
+    echo "lint: std::arch intrinsics/feature detection outside $simd_dir (keep SIMD behind the dispatch module):"
+    echo "$matches"
+    fail=1
+fi
+
+for f in "$simd_dir"/*.rs; do
+    if matches=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR":"$0}' "$f" \
+        | grep -E 'charge_[[:alnum:]_]*\(|GroupCtx' \
+        | grep -vE ':[0-9]+:[[:space:]]*//'); then
+        echo "lint: simd span module touches the cost model (charges are owned by kernel closures):"
         echo "$matches"
         fail=1
     fi

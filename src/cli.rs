@@ -84,6 +84,10 @@ pub struct CliArgs {
     /// `Some(0)` = auto band height from the host cache size,
     /// `Some(n)` = bands of about `n` rows (GPU only).
     pub banded: Option<usize>,
+    /// Force the scalar/autovectorized kernel spans even when the `simd`
+    /// feature is compiled in (pixels and simulated time are identical
+    /// either way; only wall-clock changes).
+    pub no_simd: bool,
 }
 
 /// Usage text.
@@ -116,6 +120,10 @@ options:
                     Pixels and simulated time are identical to the
                     monolithic schedule — only wall-clock changes
                     (GPU only)
+  --no-simd         force the scalar/autovectorized kernel spans even when
+                    the simd feature is compiled in. Pixels and simulated
+                    time are bit-identical either way — only wall-clock
+                    changes
   --sanitize        run every kernel under the shadow-execution sanitizer
                     (data races, out-of-bounds, barrier divergence, cost
                     accounting drift); exits non-zero on any finding.
@@ -149,6 +157,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         metrics: None,
         profile: false,
         banded: None,
+        no_simd: false,
     };
     let mut device = DevicePreset::W8000;
     let mut use_cpu = false;
@@ -192,6 +201,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             }
             "--profile" => cli.profile = true,
             "--banded" => cli.banded = Some(0),
+            "--no-simd" => cli.no_simd = true,
             other => match other.strip_prefix("--banded=") {
                 Some(rows) => cli.banded = Some(parse_value("--banded", Some(rows.to_string()))?),
                 None => return Err(format!("unknown option {other:?}")),
@@ -346,6 +356,9 @@ fn gpu_observe(
 /// Executes the parsed command, returning the human-readable summary that
 /// the binary prints.
 pub fn run(cli: &CliArgs) -> Result<String, String> {
+    if cli.no_simd {
+        sharpness_core::simd::set_backend(Some(sharpness_core::simd::Backend::Autovec));
+    }
     let ext = cli.input.extension().and_then(|e| e.to_str()).unwrap_or("");
     let mut summary = String::new();
     let report: RunReport;
@@ -448,6 +461,16 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
     }
     if cli.profile {
         let (_, tel) = observed.as_ref().expect("observed when --profile");
+        summary.push_str(&format!(
+            "host: cpu features [{}], kernel backend {} (simd feature {})\n",
+            sharpness_core::simd::host_features(),
+            sharpness_core::simd::active_backend().label(),
+            if sharpness_core::simd::simd_compiled() {
+                "on"
+            } else {
+                "off"
+            },
+        ));
         summary.push_str("kernel efficiency (one luma-plane frame):\n");
         summary.push_str(&tel.efficiency_table());
     }
@@ -621,6 +644,15 @@ mod tests {
     }
 
     #[test]
+    fn parses_no_simd_flag() {
+        assert!(!parse_args(&strs(&["a.pgm", "b.pgm"])).unwrap().no_simd);
+        let cli = parse_args(&strs(&["a.pgm", "b.pgm", "--no-simd"])).unwrap();
+        assert!(cli.no_simd);
+        // Valid with either engine: the CPU reference shares the spans.
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--no-simd", "--cpu"])).is_ok());
+    }
+
+    #[test]
     fn parses_sanitize_flag_and_rejects_bad_combinations() {
         let cli = parse_args(&strs(&["a.pgm", "b.pgm", "--sanitize"])).unwrap();
         assert!(cli.sanitize);
@@ -697,6 +729,8 @@ mod tests {
         .unwrap();
         let summary = run(&cli).unwrap();
         assert!(summary.contains("kernel efficiency"), "{summary}");
+        assert!(summary.contains("host: cpu features ["), "{summary}");
+        assert!(summary.contains("kernel backend"), "{summary}");
         assert!(summary.contains("loads/px"), "{summary}");
         assert!(summary.contains("wrote metrics"), "{summary}");
         let jsonl = std::fs::read_to_string(&mfile).unwrap();

@@ -200,6 +200,30 @@ fn repeated_runs_recycle_buffers_without_live_growth() {
 }
 
 #[test]
+fn cpu_border_path_allocates_no_device_buffers_after_warmup() {
+    // border_gpu=false routes the final border rows/columns through the
+    // host-side cpu_border fixup, which historically built per-frame
+    // temporaries; warm frames must stay allocation-free there too.
+    let img = generate::natural(97, 61, 12);
+    let ctx = Context::new(DeviceSpec::firepro_w8000());
+    let cfg = OptConfig {
+        border_gpu: false,
+        ..OptConfig::all()
+    };
+    let pipe = GpuPipeline::new(ctx.clone(), SharpnessParams::default(), cfg);
+    let mut out = vec![0.0f32; 97 * 61];
+    let mut plan = pipe.prepared(97, 61).unwrap();
+    plan.run_into(&img, &mut out).unwrap(); // warm scratch + pool
+    let warm = ctx.pool_stats();
+    for _ in 0..4 {
+        plan.run_into(&img, &mut out).unwrap();
+    }
+    let after = ctx.pool_stats();
+    assert_eq!(after.misses, warm.misses, "warm cpu-border run allocated");
+    assert_eq!(after.live, warm.live, "live buffers grew");
+}
+
+#[test]
 fn plan_run_into_allocates_no_device_buffers_after_warmup() {
     let img = generate::natural(97, 61, 12);
     let ctx = Context::new(DeviceSpec::firepro_w8000());
