@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [table1|fig12|fig13a|fig13b|fig13c|fig14|fig15|fig16|fig17|all]
-//!       [--sanitize]
+//!       [--sanitize] [--verify-static]
 //! ```
 //!
 //! Prints, for every experiment of the paper's evaluation section, the
@@ -15,13 +15,19 @@
 //! accounting drift) and exits non-zero on any finding; alone, it runs
 //! only that verification sweep.
 //!
+//! `--verify-static` runs the static access-summary verifier over every
+//! optimization config × shape (aligned/ragged/odd) × schedule — proving
+//! bounds, write disjointness, byte accounting, and banded slice coverage
+//! without executing a single kernel — and exits non-zero on any failed
+//! proof; alone, it runs only the static sweep.
+//!
 //! `--metrics-dir <dir>` writes the per-config efficiency metrics (the
 //! same JSONL files `metrics_baseline` maintains under
 //! `baselines/metrics/`) into `<dir>`, one file per cumulative
 //! optimization step; alone, it writes only the metrics.
 
 use sharpness_bench::*;
-use sharpness_core::gpu::{GpuPipeline, OptConfig};
+use sharpness_core::gpu::{verify_static, GpuPipeline, OptConfig, Schedule, Tuning};
 use sharpness_core::params::SharpnessParams;
 use simgpu::context::Context;
 use simgpu::device::DeviceSpec;
@@ -68,6 +74,50 @@ fn sanitize_sweep() -> bool {
     clean
 }
 
+/// Statically proves the full acceptance grid — all 64 configs × four
+/// shapes × both schedules — without executing a kernel; returns whether
+/// every proof succeeded, printing failures as they appear.
+fn verify_static_sweep() -> bool {
+    println!("static verifier sweep — every config/shape/schedule must prove sound");
+    let tuning = Tuning::default();
+    let mut clean = true;
+    let (mut proofs, mut dispatches, mut windows) = (0u64, 0u64, 0u64);
+    let mut max_slack = 0.0f64;
+    for (w, h) in [(256, 256), (768, 768), (1001, 701), (1023, 769)] {
+        for bits in 0..64u32 {
+            let cfg = OptConfig {
+                data_transfer: bits & 1 != 0,
+                kernel_fusion: bits & 2 != 0,
+                reduction_gpu: bits & 4 != 0,
+                vectorization: bits & 8 != 0,
+                border_gpu: bits & 16 != 0,
+                others: bits & 32 != 0,
+            };
+            for schedule in [Schedule::Monolithic, Schedule::Banded(64)] {
+                match verify_static(w, h, &cfg, &tuning, schedule) {
+                    Ok(r) => {
+                        proofs += 1;
+                        dispatches += r.stats.dispatches;
+                        windows += r.stats.windows;
+                        max_slack = max_slack.max(r.stats.max_ratio_slack);
+                    }
+                    Err(e) => {
+                        clean = false;
+                        println!("  {w}x{h} config {bits:06b} {schedule:?}: {e}");
+                    }
+                }
+            }
+        }
+    }
+    if clean {
+        println!(
+            "  {proofs} schedules proved sound ({dispatches} dispatches, {windows} access \
+             windows; max read-overcharge slack {max_slack:.4})\n"
+        );
+    }
+    clean
+}
+
 /// Writes the per-config efficiency metrics JSONL files into `dir`.
 fn write_metrics(dir: &str) {
     use sharpness_core::telemetry::{baseline_configs, baseline_registry};
@@ -84,6 +134,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let sanitize = args.iter().any(|a| a == "--sanitize");
     args.retain(|a| a != "--sanitize");
+    let verify = args.iter().any(|a| a == "--verify-static");
+    args.retain(|a| a != "--verify-static");
     let metrics_dir = args.iter().position(|a| a == "--metrics-dir").map(|i| {
         if i + 1 >= args.len() {
             eprintln!("--metrics-dir needs a directory");
@@ -93,6 +145,14 @@ fn main() {
         args.drain(i..=i + 1);
         dir
     });
+    if verify {
+        if !verify_static_sweep() {
+            std::process::exit(1);
+        }
+        if args.is_empty() && !sanitize && metrics_dir.is_none() {
+            return;
+        }
+    }
     if sanitize {
         if !sanitize_sweep() {
             std::process::exit(1);
@@ -168,7 +228,7 @@ fn main() {
     {
         eprintln!("unknown experiment `{what}`");
         eprintln!(
-            "usage: repro [table1|fig12|fig13a|fig13b|fig13c|fig14|fig15|fig16|fig17|ablations|all|csv <dir>] [--sanitize] [--metrics-dir <dir>]"
+            "usage: repro [table1|fig12|fig13a|fig13b|fig13c|fig14|fig15|fig16|fig17|ablations|all|csv <dir>] [--sanitize] [--verify-static] [--metrics-dir <dir>]"
         );
         std::process::exit(2);
     }

@@ -1,13 +1,15 @@
 //! The downscale kernel: one thread per downscaled pixel, averaging its
 //! 4×4 source block (paper Fig. 2).
 
+use simgpu::access::{AccessSummary, AccessWindow, BufRef};
 use simgpu::buffer::Buffer;
 use simgpu::cost::OpCounts;
 use simgpu::error::{Error, Result};
+use simgpu::kernel::KernelDesc;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid2d, KernelTuning, Launch, SrcImage};
+use super::{covered_rows, grid2d, summarize, KernelTuning, Launch, SrcImage, SrcInfo};
 use crate::params::{MIN_DIM, SCALE};
 
 /// Dispatches the downscale kernel: `down[j, i] = mean(src block)`, where
@@ -48,12 +50,15 @@ pub(crate) fn downscale_launch(
     }
     let (wd, hd) = (w.div_ceil(SCALE), h.div_ceil(SCALE));
     let desc = grid2d("downscale", wd, hd);
-    let dview = down.write_view();
     let src = src.clone();
+    let access = summarize(&launch, &desc, |groups| {
+        downscale_access(&desc, groups, &SrcInfo::of(&src), down.info(), w, h)
+    });
+    let dview = down.write_view();
     // Per full block: 15 adds + 1 mul for the mean, plus index arithmetic.
     let per_item = OpCounts::ZERO.adds(15).muls(1).plus(&tune.idx_ops());
     let idx_ops = tune.idx_ops();
-    launch.dispatch(q, &desc, &[down], move |g| {
+    launch.dispatch(q, &desc, access, &[down], move |g| {
         // Row-segment form: each output row of the group reads its four
         // source rows as contiguous slices and accumulates the 4×4 block
         // sums in the same dy-major/dx-minor order as
@@ -126,6 +131,74 @@ pub(crate) fn downscale_launch(
         g.charge_n(&OpCounts::ZERO.adds(1), tail_adds);
         g.charge_n(&OpCounts::ZERO.muls(1).plus(&idx_ops), n_tail);
     })
+}
+
+/// Closed-form access summary of the downscale dispatch: full 4×4 blocks
+/// read their source rows as slices (16 loads per block, exact); the
+/// ragged right column and bottom row fall back to per-element loads of
+/// the pixels that exist. Every covered downscaled row is written in full.
+pub(crate) fn downscale_access(
+    desc: &KernelDesc,
+    groups: std::ops::Range<usize>,
+    src: &SrcInfo,
+    down: BufRef,
+    w: usize,
+    h: usize,
+) -> AccessSummary {
+    let (wd, hd) = (w.div_ceil(SCALE), h.div_ceil(SCALE));
+    let rows = covered_rows(desc, &groups, hd);
+    let nr = rows.len();
+    let mut s = AccessSummary::new(&desc.name, groups, desc.total_groups());
+    if nr == 0 {
+        return s;
+    }
+    s.push(AccessWindow::write(down, rows.start * wd, wd).by_y(nr, wd));
+    // Covered rows whose blocks are 4 tall (a short bottom row is the only
+    // exception, and only when h is not a multiple of 4).
+    let njf = rows.end.min(h / SCALE).saturating_sub(rows.start);
+    let fc = w / SCALE;
+    let bw_tail = w % SCALE;
+    if njf > 0 {
+        if fc > 0 {
+            s.push(
+                AccessWindow::read(
+                    src.buf.clone(),
+                    src.idx(0, (SCALE * rows.start) as isize),
+                    SCALE * fc,
+                )
+                .by_x(SCALE, src.pitch)
+                .by_y(njf, SCALE * src.pitch),
+            );
+        }
+        if bw_tail > 0 {
+            s.push(
+                AccessWindow::read(
+                    src.buf.clone(),
+                    src.idx((SCALE * fc) as isize, (SCALE * rows.start) as isize),
+                    bw_tail,
+                )
+                .by_x(SCALE, src.pitch)
+                .by_y(njf, SCALE * src.pitch),
+            );
+        }
+    }
+    let bottom = !h.is_multiple_of(SCALE) && rows.contains(&(hd - 1));
+    let bh = h % SCALE;
+    if bottom {
+        s.push(
+            AccessWindow::read(src.buf.clone(), src.idx(0, (SCALE * (hd - 1)) as isize), w)
+                .by_x(bh, src.pitch),
+        );
+    }
+    let n_full = (njf * fc) as u64;
+    let tail_cols = (wd - fc) as u64;
+    let tail_reads = (njf as u64) * tail_cols * (bw_tail as u64) * SCALE as u64
+        + if bottom { (w * bh) as u64 } else { 0 };
+    let tail_stores = (njf as u64) * tail_cols + if bottom { wd as u64 } else { 0 };
+    s.charge_global_n(64, 0, 4, 0, n_full);
+    s.charge_global_n(4, 0, 0, 0, tail_reads);
+    s.charge_global_n(0, 0, 4, 0, tail_stores);
+    s
 }
 
 #[cfg(test)]

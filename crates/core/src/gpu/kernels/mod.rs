@@ -21,6 +21,7 @@ pub mod simd;
 pub mod sobel;
 pub mod upscale;
 
+use simgpu::access::{AccessSummary, BufRef};
 use simgpu::buffer::GlobalView;
 use simgpu::cost::OpCounts;
 use simgpu::error::Result;
@@ -94,18 +95,38 @@ impl KernelTuning {
     }
 }
 
-/// Declared read-overcharge ratio for the span-form vectorized kernels.
-///
-/// `charged` is the kernel's total charged loads (elements, from the
-/// per-thread overlapping-window pattern); `observed_floor` is a lower
-/// bound on the distinct elements the row spans actually touch. The audit
-/// only needs `charged <= observed * ratio`, so a conservative (large)
-/// quotient is safe; the historical 4.0 floor keeps the declared value
-/// unchanged for multiple-of-4 shapes, and the 1% headroom keeps float
-/// rounding in the comparison from biting. Sanitizer metadata only — never
-/// affects simulated time.
-pub fn overcharge_ratio(charged: u64, observed_floor: u64) -> f64 {
-    (charged as f64 / observed_floor.max(1) as f64 * 1.01).max(4.0)
+/// The static half of [`SrcImage`]: buffer identity plus geometry, enough
+/// for an access-summary constructor to compute indices without holding a
+/// live view. The `core::gpu::verify` enumerator builds these from pure
+/// arithmetic (no buffers allocated).
+#[derive(Debug, Clone)]
+pub struct SrcInfo {
+    /// Buffer identity (label, length, element size).
+    pub buf: BufRef,
+    /// Row pitch of the buffer (image width + 2·pad).
+    pub pitch: usize,
+    /// Padding border width (0 = raw original, 1 = padded).
+    pub pad: usize,
+}
+
+impl SrcInfo {
+    /// The static description of a live [`SrcImage`].
+    pub fn of(src: &SrcImage) -> Self {
+        SrcInfo {
+            buf: src.view.info(),
+            pitch: src.pitch,
+            pad: src.pad,
+        }
+    }
+
+    /// Flat index of logical image coordinate `(x, y)`, identically to
+    /// [`SrcImage::idx`].
+    #[inline]
+    pub fn idx(&self, x: isize, y: isize) -> usize {
+        let px = x + self.pad as isize;
+        let py = y + self.pad as isize;
+        py as usize * self.pitch + px as usize
+    }
 }
 
 /// How a kernel dispatch executes: as one whole-grid `run` (recording its
@@ -126,13 +147,26 @@ pub enum Launch<'a> {
 }
 
 impl Launch<'_> {
-    /// Dispatches `f` over `desc` per the launch mode. Sliced launches
-    /// return a zero [`KernelTime`]: the simulated cost is charged at
-    /// commit, not here.
+    /// The flat work-group range this launch covers.
+    pub(crate) fn groups(&self, desc: &KernelDesc) -> std::ops::Range<usize> {
+        match self {
+            Launch::Full => 0..desc.total_groups(),
+            Launch::Slice(rows, _) => {
+                let [gx, _] = desc.num_groups();
+                rows.start * gx..rows.end * gx
+            }
+        }
+    }
+
+    /// Dispatches `f` over `desc` per the launch mode, declaring `access`
+    /// (its statically verified [`AccessSummary`]) to the queue first.
+    /// Sliced launches return a zero [`KernelTime`]: the simulated cost is
+    /// charged at commit, not here.
     pub(crate) fn dispatch<F>(
         self,
         q: &mut CommandQueue,
         desc: &KernelDesc,
+        access: AccessSummary,
         outputs: &[&dyn WriteTracked],
         f: F,
     ) -> Result<KernelTime>
@@ -140,14 +174,112 @@ impl Launch<'_> {
         F: Fn(&mut GroupCtx) + Sync,
     {
         match self {
-            Launch::Full => q.run(desc, outputs, f),
+            Launch::Full => {
+                q.declare_access(access)?;
+                q.run(desc, outputs, f)
+            }
             Launch::Slice(rows, acc) => {
                 let [gx, _] = desc.num_groups();
-                q.run_sliced(desc, outputs, rows.start * gx..rows.end * gx, acc, f)?;
+                let range = rows.start * gx..rows.end * gx;
+                if range.is_empty() {
+                    return Ok(KernelTime::default());
+                }
+                q.declare_access(access)?;
+                q.run_sliced(desc, outputs, range, acc, f)?;
                 Ok(KernelTime::default())
             }
         }
     }
+}
+
+/// Builds the access summary for a launch via the kernel's closed-form
+/// constructor `build`, carrying the *whole-dispatch* exact read-overcharge
+/// ratio on every slice: the ratio bounds the dispatch totals (a
+/// border-only slice may charge reads while declaring none), exactly as
+/// the dynamic audit applies it at commit.
+pub(crate) fn summarize(
+    launch: &Launch<'_>,
+    desc: &KernelDesc,
+    build: impl Fn(std::ops::Range<usize>) -> AccessSummary,
+) -> AccessSummary {
+    let full = build(0..desc.total_groups());
+    let ratio = full.exact_read_ratio();
+    let groups = launch.groups(desc);
+    let mut s = if groups == (0..desc.total_groups()) {
+        full
+    } else {
+        build(groups)
+    };
+    s.read_ratio = ratio;
+    s
+}
+
+/// Image rows covered by the flat group range `groups` of a 2-D dispatch
+/// over `ny` logical rows (slices always cover whole work-group rows).
+pub(crate) fn covered_rows(
+    desc: &KernelDesc,
+    groups: &std::ops::Range<usize>,
+    ny: usize,
+) -> std::ops::Range<usize> {
+    let [gx, _] = desc.num_groups();
+    let gy0 = groups.start / gx;
+    let gy1 = groups.end.div_ceil(gx);
+    (gy0 * GROUP_2D[1]).min(ny)..(gy1 * GROUP_2D[1]).min(ny)
+}
+
+/// Image rows of a covered row range that the 3×3-window kernels treat as
+/// body rows (the strict interior of the image); empty when the image has
+/// no interior (`w <= 2` or `h <= 2`).
+pub(crate) fn interior_rows(
+    rows: &std::ops::Range<usize>,
+    w: usize,
+    h: usize,
+) -> std::ops::Range<usize> {
+    if w <= 2 || h <= 2 {
+        return 0..0;
+    }
+    let lo = rows.start.max(1);
+    let hi = rows.end.min(h - 1).max(lo);
+    lo..hi
+}
+
+/// Per-column-group body spans `(body_lo, blen)` of the scalar 3×3-window
+/// kernels: each 16-wide column group clips its span to the image
+/// interior; groups with no body columns are skipped (the kernels guard
+/// `body_hi > body_lo`).
+pub(crate) fn body_columns(w: usize) -> Vec<(usize, usize)> {
+    let mut v = Vec::new();
+    if w <= 2 {
+        return v;
+    }
+    let mut x_start = 0usize;
+    while x_start < w {
+        let x_end = (x_start + GROUP_2D[0]).min(w);
+        let lo = x_start.max(1);
+        let hi = x_end.min(w - 1);
+        if hi > lo {
+            v.push((lo, hi - lo));
+        }
+        x_start += GROUP_2D[0];
+    }
+    v
+}
+
+/// Per-column-group body spans of the vectorized 3×3-window kernels:
+/// `4 × 16` pixels per group over the device stride `ws`, clipped to the
+/// image interior *unconditionally* — `blen` may be zero, in which case the
+/// kernels still issue the two-element halo loads.
+pub(crate) fn vec4_body_columns(w: usize, ws: usize) -> Vec<(usize, usize)> {
+    let mut v = Vec::new();
+    let mut x_start = 0usize;
+    while x_start < ws {
+        let x_end = (x_start + 4 * GROUP_2D[0]).min(ws);
+        let lo = x_start.max(1);
+        let hi = x_end.min(w.saturating_sub(1)).max(lo);
+        v.push((lo, hi - lo));
+        x_start += 4 * GROUP_2D[0];
+    }
+    v
 }
 
 /// The standard 2-D work-group shape used by the image kernels.

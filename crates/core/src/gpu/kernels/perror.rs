@@ -4,13 +4,17 @@
 //! folds the subtraction into the fused sharpness kernel and keeps the
 //! difference in registers.
 
+use simgpu::access::{AccessSummary, AccessWindow, BufRef};
 use simgpu::buffer::{Buffer, GlobalView};
 use simgpu::cost::OpCounts;
 use simgpu::error::Result;
+use simgpu::kernel::KernelDesc;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid2d, simd, KernelTuning, Launch, SrcImage, GROUP_2D};
+use super::{
+    covered_rows, grid2d, simd, summarize, KernelTuning, Launch, SrcImage, SrcInfo, GROUP_2D,
+};
 
 /// Dispatches the pError kernel over the full image. `ws` is the device
 /// row stride of the up/pError buffers (equal to `w` for multiple-of-4
@@ -44,6 +48,18 @@ pub(crate) fn perror_launch(
     launch: Launch<'_>,
 ) -> Result<KernelTime> {
     let desc = grid2d("perror", w, h);
+    let access = summarize(&launch, &desc, |groups| {
+        perror_access(
+            &desc,
+            groups,
+            &SrcInfo::of(src),
+            up.info(),
+            perr.info(),
+            w,
+            h,
+            ws,
+        )
+    });
     let pview = perr.write_view();
     let src = src.clone();
     let up = up.clone();
@@ -52,7 +68,7 @@ pub(crate) fn perror_launch(
     // (autovectorized or dispatched via [`simd::sub_span`]). Charges are
     // exact — two 4 B loads and one 4 B store per covered pixel, the same
     // bytes the per-item form charged through `load`/`store`.
-    launch.dispatch(q, &desc, &[perr], move |g| {
+    launch.dispatch(q, &desc, access, &[perr], move |g| {
         let gw = g.group_size[0];
         let x_start = g.group_id[0] * gw;
         let mut n_items = 0u64;
@@ -76,6 +92,36 @@ pub(crate) fn perror_launch(
         g.charge_global_n(8, 0, 4, 0, n_items);
         g.charge_n(&per_item, n_items);
     })
+}
+
+/// Closed-form access summary of the pError dispatch for the flat group
+/// range `groups`: per covered row, one `w`-element read of the original
+/// and upscaled rows plus one `w`-element write of the pError row. Charges
+/// are exact (ratio 1).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn perror_access(
+    desc: &KernelDesc,
+    groups: std::ops::Range<usize>,
+    src: &SrcInfo,
+    up: BufRef,
+    perr: BufRef,
+    w: usize,
+    h: usize,
+    ws: usize,
+) -> AccessSummary {
+    let rows = covered_rows(desc, &groups, h);
+    let mut s = AccessSummary::new(&desc.name, groups, desc.total_groups());
+    let nr = rows.len();
+    if nr > 0 {
+        s.push(
+            AccessWindow::read(src.buf.clone(), src.idx(0, rows.start as isize), w)
+                .by_y(nr, src.pitch),
+        );
+        s.push(AccessWindow::read(up, rows.start * ws, w).by_y(nr, ws));
+        s.push(AccessWindow::write(perr, rows.start * ws, w).by_y(nr, ws));
+        s.charge_global_n(8, 0, 4, 0, (w * nr) as u64);
+    }
+    s
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 //! threshold, as the paper does ("the usage of GPU is determined by the
 //! amount of data, and the critical value is tested in advance").
 
+use simgpu::access::{AccessSummary, AccessWindow, BufRef};
 use simgpu::buffer::{Buffer, GlobalView, GlobalWriteView};
 use simgpu::cost::OpCounts;
 use simgpu::error::{Error, Result};
@@ -86,9 +87,65 @@ pub fn reduction_stage1_range_kernel(
         });
     }
     let desc = stage1_desc(n, strategy);
+    q.declare_access(stage1_access(
+        &desc,
+        0..desc.total_groups(),
+        src.info(),
+        partials.info(),
+        offset,
+        n,
+    ))?;
     let body = stage1_body(src.clone(), partials.write_view(), offset, n, strategy);
     let t = q.run(&desc, &[partials], body)?;
     Ok((groups, t))
+}
+
+/// Closed-form access summary of a stage-1 dispatch over a flat group
+/// range: full groups read their [`ELEMS_PER_GROUP`]-element span
+/// contiguously (charged in bulk, 8 scalar loads per thread), the ragged
+/// last group loads each of its existing elements exactly once, and every
+/// group stores its one partial sum. The charge is exact, so the ratio
+/// stays 1.
+pub(crate) fn stage1_access(
+    desc: &KernelDesc,
+    groups: std::ops::Range<usize>,
+    src: BufRef,
+    partials: BufRef,
+    offset: usize,
+    n: usize,
+) -> AccessSummary {
+    let mut s = AccessSummary::new(&desc.name, groups.clone(), desc.total_groups());
+    if groups.is_empty() {
+        return s;
+    }
+    let full = n / ELEMS_PER_GROUP;
+    let nf = groups.end.min(full).saturating_sub(groups.start);
+    if nf > 0 {
+        s.push(
+            AccessWindow::read(
+                src.clone(),
+                offset + groups.start * ELEMS_PER_GROUP,
+                ELEMS_PER_GROUP,
+            )
+            .by_x(nf, ELEMS_PER_GROUP),
+        );
+        s.charge_global_n(
+            4 * ELEMS_PER_THREAD as u64,
+            0,
+            0,
+            0,
+            (nf * RED_GROUP) as u64,
+        );
+    }
+    for g in groups.start.max(full)..groups.end {
+        let base = g * ELEMS_PER_GROUP;
+        let elems = n.saturating_sub(base);
+        s.push(AccessWindow::read(src.clone(), offset + base, elems));
+        s.charge_global_n(4, 0, 0, 0, elems as u64);
+    }
+    s.push(AccessWindow::write(partials, groups.start, groups.len()));
+    s.charge_global_n(0, 0, 4, 0, groups.len() as u64);
+    s
 }
 
 /// The stage-1 dispatch descriptor for `n` input elements — shared by the
@@ -101,6 +158,12 @@ pub(crate) fn stage1_desc(n: usize, strategy: ReductionStrategy) -> KernelDesc {
         ReductionStrategy::UnrollTwo => "reduction_stage1_unroll2",
     };
     KernelDesc::new_1d(name, stage1_groups(n) * RED_GROUP, RED_GROUP)
+}
+
+/// The stage-2 dispatch descriptor (one `RED_GROUP`-wide work-group) —
+/// shared by the kernel and the static verifier.
+pub(crate) fn stage2_desc() -> KernelDesc {
+    KernelDesc::new_1d("reduction_stage2", RED_GROUP, RED_GROUP)
 }
 
 /// Stage 1 over a flat work-group range, merged into a megapass
@@ -127,6 +190,14 @@ pub(crate) fn reduction_stage1_sliced(
         });
     }
     let desc = stage1_desc(n, strategy);
+    q.declare_access(stage1_access(
+        &desc,
+        groups.clone(),
+        src.info(),
+        partials.info(),
+        0,
+        n,
+    ))?;
     let body = stage1_body(src.clone(), partials.write_view(), 0, n, strategy);
     q.run_sliced(&desc, &[partials], groups, acc, body)
 }
@@ -249,7 +320,13 @@ pub fn reduction_stage2_kernel(
     n_partials: usize,
     result: &Buffer<f32>,
 ) -> Result<KernelTime> {
-    let desc = KernelDesc::new_1d("reduction_stage2", RED_GROUP, RED_GROUP);
+    let desc = stage2_desc();
+    q.declare_access(stage2_access(
+        &desc,
+        partials.info(),
+        n_partials,
+        result.info(),
+    ))?;
     let partials = partials.clone();
     let out = result.write_view();
     let per_thread_loads = n_partials.div_ceil(RED_GROUP) as u64;
@@ -290,6 +367,22 @@ pub fn reduction_stage2_kernel(
         g.charge_n(&per_thread, RED_GROUP as u64);
     })?;
     Ok(t)
+}
+
+/// Closed-form access summary of the stage-2 dispatch: the single group
+/// strided-loads every partial exactly once and stores the one total.
+pub(crate) fn stage2_access(
+    desc: &KernelDesc,
+    partials: BufRef,
+    n_partials: usize,
+    result: BufRef,
+) -> AccessSummary {
+    let mut s = AccessSummary::new(&desc.name, 0..desc.total_groups(), desc.total_groups());
+    s.push(AccessWindow::read(partials, 0, n_partials));
+    s.push(AccessWindow::write(result, 0, 1));
+    s.charge_global_n(4, 0, 0, 0, n_partials as u64);
+    s.charge_global_n(0, 0, 4, 0, 1);
+    s
 }
 
 #[cfg(test)]

@@ -8,13 +8,18 @@
 //! preliminary global matrices and their traffic, plus two kernel
 //! launches.
 
+use simgpu::access::{AccessSummary, AccessWindow, BufRef};
 use simgpu::buffer::{Buffer, GlobalView};
 use simgpu::cost::OpCounts;
 use simgpu::error::{Error, Result};
+use simgpu::kernel::KernelDesc;
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid2d, overcharge_ratio, simd, KernelTuning, Launch, SrcImage, GROUP_2D};
+use super::{
+    body_columns, covered_rows, grid2d, interior_rows, simd, summarize, vec4_body_columns,
+    KernelTuning, Launch, SrcImage, SrcInfo, GROUP_2D,
+};
 use crate::math;
 use crate::params::{SharpnessParams, MIN_DIM};
 
@@ -68,6 +73,19 @@ pub(crate) fn preliminary_launch(
     launch: Launch<'_>,
 ) -> Result<KernelTime> {
     let desc = grid2d("preliminary", w, h);
+    let access = summarize(&launch, &desc, |groups| {
+        preliminary_access(
+            &desc,
+            groups,
+            up.info(),
+            pedge.info(),
+            perr.info(),
+            prelim.info(),
+            w,
+            h,
+            ws,
+        )
+    });
     let out = prelim.write_view();
     let (up, pedge, perr) = (up.clone(), pedge.clone(), perr.clone());
     // strength: div + add + pow + mul + 2 cmp; preliminary: mul + add.
@@ -82,7 +100,7 @@ pub(crate) fn preliminary_launch(
     // Row-span form: three contiguous loads and one store per pixel, run
     // span-at-a-time through [`simd::preliminary_span`]. Charges are exact
     // (12 B read + 4 B write per pixel), identical to the per-item form.
-    launch.dispatch(q, &desc, &[prelim], move |g| {
+    launch.dispatch(q, &desc, access, &[prelim], move |g| {
         let gw = g.group_size[0];
         let x_start = g.group_id[0] * gw;
         let mut n = 0u64;
@@ -111,6 +129,34 @@ pub(crate) fn preliminary_launch(
         g.charge_n(&per_item, n);
         g.divergent(n * clamp_div);
     })
+}
+
+/// Closed-form access summary of the preliminary dispatch: per covered
+/// row, `w`-element reads of the up/pEdge/pError rows and a `w`-element
+/// write of the prelim row. Charges are exact (ratio 1).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn preliminary_access(
+    desc: &KernelDesc,
+    groups: std::ops::Range<usize>,
+    up: BufRef,
+    pedge: BufRef,
+    perr: BufRef,
+    prelim: BufRef,
+    w: usize,
+    h: usize,
+    ws: usize,
+) -> AccessSummary {
+    let rows = covered_rows(desc, &groups, h);
+    let nr = rows.len();
+    let mut s = AccessSummary::new(&desc.name, groups, desc.total_groups());
+    if nr > 0 {
+        s.push(AccessWindow::read(up, rows.start * ws, w).by_y(nr, ws));
+        s.push(AccessWindow::read(pedge, rows.start * ws, w).by_y(nr, ws));
+        s.push(AccessWindow::read(perr, rows.start * ws, w).by_y(nr, ws));
+        s.push(AccessWindow::write(prelim, rows.start * ws, w).by_y(nr, ws));
+        s.charge_global_n(12, 0, 4, 0, (w * nr) as u64);
+    }
+    s
 }
 
 /// Unfused overshoot kernel (paper Fig. 8): clamps the preliminary matrix
@@ -173,13 +219,22 @@ pub(crate) fn overshoot_launch(
     // pattern (prelim + nine window loads + store per body pixel; prelim +
     // store per border pixel); the observed raw reads per body tile row
     // are one prelim span plus three `(blen+2)`-wide source slices, below
-    // the charged windows for every `blen >= 1`, covered by the declared
-    // overlapping-window overcharge.
-    let ratio = overcharge_ratio(
-        10 * (w as u64).saturating_sub(2) * (h as u64).saturating_sub(2),
-        4 * (w as u64).saturating_sub(2) * (h as u64).saturating_sub(2),
-    );
-    launch.dispatch(q, &desc, &[finalbuf], move |g| {
+    // the charged windows for every `blen >= 1`, covered by the exact
+    // overlapping-window ratio of the access summary.
+    let access = summarize(&launch, &desc, |groups| {
+        overshoot_access(
+            &desc,
+            groups,
+            &SrcInfo::of(&src),
+            prelim.info(),
+            finalbuf.info(),
+            w,
+            h,
+            ws,
+        )
+    });
+    let ratio = access.read_ratio;
+    launch.dispatch(q, &desc, access, &[finalbuf], move |g| {
         g.declare_read_overcharge(ratio);
         let gw = g.group_size[0];
         let x_start = g.group_id[0] * gw;
@@ -247,6 +302,50 @@ pub(crate) fn overshoot_launch(
         g.charge_n(&OpCounts::ZERO.cmps(4), n_border);
         g.divergent((n_body * 2 + n_border) * clamp_div);
     })
+}
+
+/// Closed-form access summary of the overshoot dispatch: per covered row,
+/// a `w`-element prelim read and final write; per interior row, three
+/// `(blen+2)`-wide source slices per body column group (the 3×3 halo).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn overshoot_access(
+    desc: &KernelDesc,
+    groups: std::ops::Range<usize>,
+    src: &SrcInfo,
+    prelim: BufRef,
+    out: BufRef,
+    w: usize,
+    h: usize,
+    ws: usize,
+) -> AccessSummary {
+    let rows = covered_rows(desc, &groups, h);
+    let nr = rows.len();
+    let mut s = AccessSummary::new(&desc.name, groups, desc.total_groups());
+    if nr == 0 {
+        return s;
+    }
+    s.push(AccessWindow::read(prelim, rows.start * ws, w).by_y(nr, ws));
+    s.push(AccessWindow::write(out, rows.start * ws, w).by_y(nr, ws));
+    let ir = interior_rows(&rows, w, h);
+    let nir = ir.len();
+    if nir > 0 {
+        for (lo, blen) in body_columns(w) {
+            s.push(
+                AccessWindow::read(
+                    src.buf.clone(),
+                    src.idx(lo as isize - 1, ir.start as isize - 1),
+                    blen + 2,
+                )
+                .by_x(3, src.pitch)
+                .by_y(nir, src.pitch),
+            );
+        }
+    }
+    let n_body = (nir as u64) * (w.saturating_sub(2) as u64);
+    let n_border = (w * nr) as u64 - n_body;
+    s.charge_global_n(40, 0, 4, 0, n_body);
+    s.charge_global_n(4, 0, 4, 0, n_border);
+    s
 }
 
 /// Computes one fused-sharpness pixel: pError, strength, preliminary and
@@ -344,12 +443,22 @@ pub(crate) fn sharpness_fused_launch(
     // + store per body pixel; up + pEdge + centre + store per border
     // pixel); the observed raw reads per body tile row are the up/pEdge
     // spans plus three `(blen+2)`-wide source slices, below the charged
-    // windows for every `blen >= 1`, covered by the declared ratio.
-    let ratio = overcharge_ratio(
-        11 * (w as u64).saturating_sub(2) * (h as u64).saturating_sub(2),
-        5 * (w as u64).saturating_sub(2) * (h as u64).saturating_sub(2),
-    );
-    launch.dispatch(q, &desc, &[finalbuf], move |g| {
+    // windows for every `blen >= 1`, covered by the summary's exact ratio.
+    let access = summarize(&launch, &desc, |groups| {
+        sharpness_fused_access(
+            &desc,
+            groups,
+            &SrcInfo::of(&src),
+            up.info(),
+            pedge.info(),
+            finalbuf.info(),
+            w,
+            h,
+            ws,
+        )
+    });
+    let ratio = access.read_ratio;
+    launch.dispatch(q, &desc, access, &[finalbuf], move |g| {
         // One border pixel, computed exactly as `fused_pixel` with
         // `body = false` would (only the window centre matters).
         let border_pixel =
@@ -434,6 +543,86 @@ pub(crate) fn sharpness_fused_launch(
     })
 }
 
+/// Closed-form access summary of the fused sharpness dispatch: per covered
+/// row, full up/pEdge reads and a full final write (body spans plus the
+/// two border columns union to the whole row); source reads are the 3×3
+/// halo slices over interior rows, single-pixel centre reads on the border
+/// columns, and full centre rows on the border rows.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sharpness_fused_access(
+    desc: &KernelDesc,
+    groups: std::ops::Range<usize>,
+    src: &SrcInfo,
+    up: BufRef,
+    pedge: BufRef,
+    out: BufRef,
+    w: usize,
+    h: usize,
+    ws: usize,
+) -> AccessSummary {
+    let rows = covered_rows(desc, &groups, h);
+    let nr = rows.len();
+    let mut s = AccessSummary::new(&desc.name, groups, desc.total_groups());
+    if nr == 0 {
+        return s;
+    }
+    s.push(AccessWindow::read(up, rows.start * ws, w).by_y(nr, ws));
+    s.push(AccessWindow::read(pedge, rows.start * ws, w).by_y(nr, ws));
+    s.push(AccessWindow::write(out, rows.start * ws, w).by_y(nr, ws));
+    if w <= 2 {
+        // Every covered row runs the border path: one centre read per pixel.
+        s.push(
+            AccessWindow::read(src.buf.clone(), src.idx(0, rows.start as isize), w)
+                .by_y(nr, src.pitch),
+        );
+    } else {
+        if rows.contains(&0) {
+            s.push(AccessWindow::read(src.buf.clone(), src.idx(0, 0), w));
+        }
+        if h >= 2 && rows.contains(&(h - 1)) {
+            s.push(AccessWindow::read(
+                src.buf.clone(),
+                src.idx(0, h as isize - 1),
+                w,
+            ));
+        }
+        let ir = interior_rows(&rows, w, h);
+        let nir = ir.len();
+        if nir > 0 {
+            for (lo, blen) in body_columns(w) {
+                s.push(
+                    AccessWindow::read(
+                        src.buf.clone(),
+                        src.idx(lo as isize - 1, ir.start as isize - 1),
+                        blen + 2,
+                    )
+                    .by_x(3, src.pitch)
+                    .by_y(nir, src.pitch),
+                );
+            }
+            // Border-column centre reads at x = 0 and x = w-1.
+            s.push(
+                AccessWindow::read(src.buf.clone(), src.idx(0, ir.start as isize), 1)
+                    .by_y(nir, src.pitch),
+            );
+            s.push(
+                AccessWindow::read(
+                    src.buf.clone(),
+                    src.idx(w as isize - 1, ir.start as isize),
+                    1,
+                )
+                .by_y(nir, src.pitch),
+            );
+        }
+    }
+    let nir = interior_rows(&rows, w, h).len();
+    let n_body = (nir as u64) * (w.saturating_sub(2) as u64);
+    let n_border = (w * nr) as u64 - n_body;
+    s.charge_global_n(44, 0, 4, 0, n_body);
+    s.charge_global_n(12, 0, 4, 0, n_border);
+    s
+}
+
 /// The fused sharpness kernel, vectorized: four adjacent pixels per
 /// thread; the 3×6 original window, upscaled and pEdge quads are loaded
 /// with `vload4` and the result written with one `vstore4`. Requires the
@@ -514,14 +703,25 @@ pub(crate) fn sharpness_fused_vec4_launch(
         .cmps(96 + 8)
         .plus(&tune.idx_ops());
     let clamp_div = tune.clamp_divergence();
-    // Charged loads are 26 per thread over (ws/4)·h threads; the distinct
-    // elements actually read are at least the 5·(w-2)·(h-2) body rows
-    // (3 source rows + up + pEdge).
-    let ratio = overcharge_ratio(
-        26 * (ws as u64 / 4) * h as u64,
-        5 * (w as u64 - 2) * (h as u64 - 2),
-    );
-    launch.dispatch(q, &desc, &[finalbuf], move |g| {
+    // Charged loads are 26 per thread over (ws/4)·h threads; the summary
+    // declares the distinct-window events actually observed (3 source
+    // halo slices + up/pEdge rows), and carries the exact ratio between
+    // the two.
+    let access = summarize(&launch, &desc, |groups| {
+        sharpness_fused_vec4_access(
+            &desc,
+            groups,
+            &SrcInfo::of(&src),
+            up.info(),
+            pedge.info(),
+            finalbuf.info(),
+            w,
+            h,
+            ws,
+        )
+    });
+    let ratio = access.read_ratio;
+    launch.dispatch(q, &desc, access, &[finalbuf], move |g| {
         // One border pixel, computed exactly as `fused_pixel` with
         // `body = false` would (only the window centre matters).
         let border_pixel =
@@ -599,6 +799,73 @@ pub(crate) fn sharpness_fused_vec4_launch(
         g.charge_n(&per_thread, n_threads);
         g.divergent(n_threads * clamp_div);
     })
+}
+
+/// Closed-form access summary of the vectorized fused sharpness dispatch:
+/// like [`sharpness_fused_access`] but over the `ws/4 × h` thread grid —
+/// writes cover the full `ws`-wide stride rows (padding columns are
+/// zeroed), and the interior body spans are unconditional per column group
+/// (`blen` may be zero, still issuing the two-element halo loads).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sharpness_fused_vec4_access(
+    desc: &KernelDesc,
+    groups: std::ops::Range<usize>,
+    src: &SrcInfo,
+    up: BufRef,
+    pedge: BufRef,
+    out: BufRef,
+    w: usize,
+    h: usize,
+    ws: usize,
+) -> AccessSummary {
+    let rows = covered_rows(desc, &groups, h);
+    let nr = rows.len();
+    let mut s = AccessSummary::new(&desc.name, groups, desc.total_groups());
+    if nr == 0 {
+        return s;
+    }
+    s.push(AccessWindow::read(up, rows.start * ws, w).by_y(nr, ws));
+    s.push(AccessWindow::read(pedge, rows.start * ws, w).by_y(nr, ws));
+    s.push(AccessWindow::write(out, rows.start * ws, ws).by_y(nr, ws));
+    if rows.contains(&0) {
+        s.push(AccessWindow::read(src.buf.clone(), src.idx(0, 0), w));
+    }
+    if h >= 2 && rows.contains(&(h - 1)) {
+        s.push(AccessWindow::read(
+            src.buf.clone(),
+            src.idx(0, h as isize - 1),
+            w,
+        ));
+    }
+    let ir = interior_rows(&rows, w, h);
+    let nir = ir.len();
+    if nir > 0 {
+        for (lo, blen) in vec4_body_columns(w, ws) {
+            s.push(
+                AccessWindow::read(
+                    src.buf.clone(),
+                    src.idx(lo as isize - 1, ir.start as isize - 1),
+                    blen + 2,
+                )
+                .by_x(3, src.pitch)
+                .by_y(nir, src.pitch),
+            );
+        }
+        s.push(
+            AccessWindow::read(src.buf.clone(), src.idx(0, ir.start as isize), 1)
+                .by_y(nir, src.pitch),
+        );
+        s.push(
+            AccessWindow::read(
+                src.buf.clone(),
+                src.idx(w as isize - 1, ir.start as isize),
+                1,
+            )
+            .by_y(nir, src.pitch),
+        );
+    }
+    s.charge_global_n(24, 80, 0, 16, ((ws / 4) * nr) as u64);
+    s
 }
 
 #[cfg(test)]

@@ -3,14 +3,18 @@
 //! them — "the accessing for every node in original matrix is repeated for
 //! about only 4.5 times" instead of 8).
 
+use simgpu::access::{AccessSummary, AccessWindow, BufRef};
 use simgpu::buffer::Buffer;
 use simgpu::cost::OpCounts;
 use simgpu::error::{Error, Result};
-use simgpu::kernel::items;
+use simgpu::kernel::{items, KernelDesc};
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid2d, overcharge_ratio, simd, KernelTuning, Launch, SrcImage, GROUP_2D};
+use super::{
+    body_columns, covered_rows, grid2d, interior_rows, simd, summarize, vec4_body_columns,
+    KernelTuning, Launch, SrcImage, SrcInfo, GROUP_2D,
+};
 use crate::math;
 use crate::params::MIN_DIM;
 
@@ -68,11 +72,11 @@ pub(crate) fn sobel_scalar_launch(
     // `(blen+2)`-wide row slices per tile row, which stay below the
     // charged windows for every width except `w == 3` (one-pixel body
     // spans), so narrow images keep the exact per-item path.
-    let ratio = overcharge_ratio(
-        8 * (w as u64 - 2) * (h as u64 - 2),
-        3 * (w as u64 - 2) * (h as u64 - 2),
-    );
-    launch.dispatch(q, &desc, &[pedge], move |g| {
+    let access = summarize(&launch, &desc, |groups| {
+        sobel_scalar_access(&desc, groups, &SrcInfo::of(&src), pedge.info(), w, h, ws)
+    });
+    let ratio = access.read_ratio;
+    launch.dispatch(q, &desc, access, &[pedge], move |g| {
         if w < 4 {
             let mut n_body = 0u64;
             let mut n_border = 0u64;
@@ -165,6 +169,68 @@ pub(crate) fn sobel_scalar_launch(
     })
 }
 
+/// Closed-form access summary of the scalar Sobel dispatch: per covered
+/// row, a full `w`-element pEdge write; source reads are the eight
+/// per-pixel neighbour windows for narrow images (`w < 4`, the exact
+/// per-item path) or three `(blen+2)`-wide halo slices per body column
+/// group otherwise.
+pub(crate) fn sobel_scalar_access(
+    desc: &KernelDesc,
+    groups: std::ops::Range<usize>,
+    src: &SrcInfo,
+    pedge: BufRef,
+    w: usize,
+    h: usize,
+    ws: usize,
+) -> AccessSummary {
+    let rows = covered_rows(desc, &groups, h);
+    let nr = rows.len();
+    let mut s = AccessSummary::new(&desc.name, groups, desc.total_groups());
+    if nr == 0 {
+        return s;
+    }
+    s.push(AccessWindow::write(pedge, rows.start * ws, w).by_y(nr, ws));
+    let ir = interior_rows(&rows, w, h);
+    let nir = ir.len();
+    if nir > 0 {
+        if w < 4 {
+            // Per-item form: eight neighbour loads per body pixel.
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    s.push(
+                        AccessWindow::read(
+                            src.buf.clone(),
+                            src.idx(1 + dx, ir.start as isize + dy),
+                            w - 2,
+                        )
+                        .by_y(nir, src.pitch),
+                    );
+                }
+            }
+        } else {
+            for (lo, blen) in body_columns(w) {
+                s.push(
+                    AccessWindow::read(
+                        src.buf.clone(),
+                        src.idx(lo as isize - 1, ir.start as isize - 1),
+                        blen + 2,
+                    )
+                    .by_x(3, src.pitch)
+                    .by_y(nir, src.pitch),
+                );
+            }
+        }
+    }
+    let n_body = (nir as u64) * (w.saturating_sub(2) as u64);
+    let n_border = (w * nr) as u64 - n_body;
+    s.charge_global_n(32, 0, 4, 0, n_body);
+    s.charge_global_n(0, 0, 4, 0, n_border);
+    s
+}
+
 /// Vectorized Sobel (paper Fig. 11): each thread produces four adjacent
 /// pEdge values. Loads the 3×6 source window as three `vload4`s plus six
 /// scalar loads (18 values) and writes with one `vstore4`. Requires the
@@ -221,14 +287,14 @@ pub(crate) fn sobel_vec4_launch(
         .muls(16)
         .cmps(8 + 4)
         .plus(&tune.idx_ops());
-    // Charged loads are 18 per thread over (ws/4)·h threads; the distinct
-    // elements actually read are at least the 3·(w-2)·(h-2) body-window
-    // rows. For aligned shapes this quotient is below the historical 4.0.
-    let ratio = overcharge_ratio(
-        18 * (ws as u64 / 4) * h as u64,
-        3 * (w as u64 - 2) * (h as u64 - 2),
-    );
-    launch.dispatch(q, &desc, &[pedge], move |g| {
+    // Charged loads are 18 per thread over (ws/4)·h threads; the summary
+    // declares the halo-slice events actually observed and carries the
+    // exact ratio between the two.
+    let access = summarize(&launch, &desc, |groups| {
+        sobel_vec4_access(&desc, groups, &SrcInfo::of(&src), pedge.info(), w, h, ws)
+    });
+    let ratio = access.read_ratio;
+    launch.dispatch(q, &desc, access, &[pedge], move |g| {
         // Row-segment form: the group's threads cover `4 * group_size[0]`
         // consecutive pixels per row, computed as one branch-free span so
         // the host autovectorizes it, while the charged traffic stays
@@ -291,6 +357,45 @@ pub(crate) fn sobel_vec4_launch(
         g.charge_global_n(24, 48, 0, 16, n_threads);
         g.charge_n(&per_thread, n_threads);
     })
+}
+
+/// Closed-form access summary of the vectorized Sobel dispatch: per
+/// covered row, a full `ws`-element pEdge write (padding columns are
+/// zeroed); source reads are the unconditional halo slices per column
+/// group over interior rows (border rows load nothing).
+pub(crate) fn sobel_vec4_access(
+    desc: &KernelDesc,
+    groups: std::ops::Range<usize>,
+    src: &SrcInfo,
+    pedge: BufRef,
+    w: usize,
+    h: usize,
+    ws: usize,
+) -> AccessSummary {
+    let rows = covered_rows(desc, &groups, h);
+    let nr = rows.len();
+    let mut s = AccessSummary::new(&desc.name, groups, desc.total_groups());
+    if nr == 0 {
+        return s;
+    }
+    s.push(AccessWindow::write(pedge, rows.start * ws, ws).by_y(nr, ws));
+    let ir = interior_rows(&rows, w, h);
+    let nir = ir.len();
+    if nir > 0 {
+        for (lo, blen) in vec4_body_columns(w, ws) {
+            s.push(
+                AccessWindow::read(
+                    src.buf.clone(),
+                    src.idx(lo as isize - 1, ir.start as isize - 1),
+                    blen + 2,
+                )
+                .by_x(3, src.pitch)
+                .by_y(nir, src.pitch),
+            );
+        }
+    }
+    s.charge_global_n(24, 48, 0, 16, ((ws / 4) * nr) as u64);
+    s
 }
 
 #[cfg(test)]

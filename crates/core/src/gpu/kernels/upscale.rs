@@ -7,14 +7,15 @@
 //! variant here pays four kernel launches plus divergence, reproducing
 //! the crossover of Fig. 17.
 
+use simgpu::access::{AccessSummary, AccessWindow, BufRef};
 use simgpu::buffer::{Buffer, GlobalView};
 use simgpu::cost::OpCounts;
 use simgpu::error::{Error, Result};
-use simgpu::kernel::items;
+use simgpu::kernel::{items, KernelDesc};
 use simgpu::queue::CommandQueue;
 use simgpu::timing::KernelTime;
 
-use super::{grid1d, grid2d, overcharge_ratio, simd, KernelTuning, Launch, GROUP_2D};
+use super::{covered_rows, grid1d, grid2d, simd, summarize, KernelTuning, Launch, GROUP_2D};
 use crate::math;
 use crate::params::{INTERP, MIN_DIM, SCALE};
 
@@ -82,8 +83,11 @@ pub(crate) fn upscale_center_scalar_launch(
     // Charged traffic stays the per-block pattern (four scalar loads,
     // sixteen scalar stores); the fast segment observes `2·(seg+1)` raw
     // reads against `4·seg` charged, covered by the declared ratio.
-    let ratio = overcharge_ratio(4 * nx as u64 * ny as u64, wd as u64 * hd as u64);
-    launch.dispatch(q, &desc, &[up], move |g| {
+    let access = summarize(&launch, &desc, |groups| {
+        upscale_center_scalar_access(&desc, groups, down.info(), up.info(), w, h, ws)
+    });
+    let ratio = access.read_ratio;
+    launch.dispatch(q, &desc, access, &[up], move |g| {
         g.declare_read_overcharge(ratio);
         let gw = g.group_size[0];
         let b_start = g.group_id[0] * gw;
@@ -157,6 +161,118 @@ pub(crate) fn upscale_center_scalar_launch(
     })
 }
 
+/// Closed-form access summary of the scalar upscale-center dispatch.
+///
+/// Fully-interior ("fast") block rows are the prefix `4·bj + 5 ≤ h - 3`;
+/// within them the fast column segments read two `(seg+1)`-wide downscaled
+/// row slices per work-group column and write one 4-row strided tile,
+/// while the ragged right-edge blocks keep per-element loads and clamped
+/// stores. The clamped bottom block row (at most one) is fully
+/// per-element.
+pub(crate) fn upscale_center_scalar_access(
+    desc: &KernelDesc,
+    groups: std::ops::Range<usize>,
+    down: BufRef,
+    up: BufRef,
+    w: usize,
+    h: usize,
+    ws: usize,
+) -> AccessSummary {
+    let (wd, hd) = (w.div_ceil(SCALE), h.div_ceil(SCALE));
+    let (nx, ny) = (wd - 1, hd - 1);
+    let rows = covered_rows(desc, &groups, ny);
+    let mut s = AccessSummary::new(&desc.name, groups, desc.total_groups());
+    if rows.is_empty() {
+        return s;
+    }
+    // Fast block rows are the prefix [0, fr); fast block columns [0, fc).
+    let fr = if h >= 8 { (h - 8) / SCALE + 1 } else { 0 };
+    let nfr = rows.end.min(fr).saturating_sub(rows.start);
+    let fc = if w >= 8 { (w - 8) / SCALE + 1 } else { 0 };
+    // Clamped store width of block column bi: x = 4·bi + 2 + c, c while
+    // x ≤ w - 3 (4 for fast columns, shorter at the ragged right edge).
+    let cw = |bi: usize| (w - 4).saturating_sub(SCALE * bi).min(SCALE);
+    let cw_all: usize = (0..nx).map(cw).sum();
+    let mut slow_loads = 0u64;
+    let mut slow_stores = 0u64;
+    if nfr > 0 {
+        // Fast segments: two (seg+1)-wide row slices per work-group column
+        // per block row, one 4-row output tile over all fast columns.
+        let mut b_start = 0;
+        while b_start < fc {
+            let seg = (b_start + GROUP_2D[0]).min(fc) - b_start;
+            s.push(
+                AccessWindow::read(down.clone(), rows.start * wd + b_start, seg + 1)
+                    .by_x(2, wd)
+                    .by_y(nfr, wd),
+            );
+            b_start += GROUP_2D[0];
+        }
+        if fc > 0 {
+            s.push(
+                AccessWindow::write(up.clone(), (SCALE * rows.start + 2) * ws + 2, SCALE * fc)
+                    .by_x(SCALE, ws)
+                    .by_y(nfr, SCALE * ws),
+            );
+        }
+        // Ragged right-edge blocks on fast rows: per-block 2×2 loads and
+        // clamped stores.
+        let nsx = nx - fc;
+        if nsx > 0 {
+            for j in 0..2 {
+                s.push(
+                    AccessWindow::read(down.clone(), (rows.start + j) * wd + fc, 2)
+                        .by_x(nsx, 1)
+                        .by_y(nfr, wd),
+                );
+            }
+            slow_loads += 4 * (nsx * nfr) as u64;
+            for bi in fc..nx {
+                let c = cw(bi);
+                if c > 0 {
+                    s.push(
+                        AccessWindow::write(
+                            up.clone(),
+                            (SCALE * rows.start + 2) * ws + SCALE * bi + 2,
+                            c,
+                        )
+                        .by_x(SCALE, ws)
+                        .by_y(nfr, SCALE * ws),
+                    );
+                    slow_stores += (SCALE * c * nfr) as u64;
+                }
+            }
+        }
+    }
+    // Clamped bottom block rows (at most one): every block per-element.
+    for bj in rows.start.max(fr)..rows.end {
+        let rh = (h - 4).saturating_sub(SCALE * bj).min(SCALE);
+        for j in 0..2 {
+            s.push(AccessWindow::read(down.clone(), (bj + j) * wd, 2).by_x(nx, 1));
+        }
+        slow_loads += 4 * nx as u64;
+        if fc > 0 {
+            s.push(
+                AccessWindow::write(up.clone(), (SCALE * bj + 2) * ws + 2, SCALE * fc).by_x(rh, ws),
+            );
+        }
+        for bi in fc..nx {
+            let c = cw(bi);
+            if c > 0 {
+                s.push(
+                    AccessWindow::write(up.clone(), (SCALE * bj + 2) * ws + SCALE * bi + 2, c)
+                        .by_x(rh, ws),
+                );
+            }
+        }
+        slow_stores += (rh * cw_all) as u64;
+    }
+    s.charge_global_n(16, 0, 64, 0, (nfr * fc) as u64);
+    s.charge_global_n(4, 0, 0, 0, slow_loads);
+    s.charge_global_n(0, 0, 4, 0, slow_stores);
+    s
+}
+
 /// Vectorized upscale-center kernel: one thread per *four horizontally
 /// adjacent* blocks, sharing the downscaled row segments (`vload4`) and
 /// writing each output row with `vstore4` (Section V-D applied to the
@@ -195,7 +311,10 @@ pub(crate) fn upscale_center_vec4_launch(
     // Per interpolated value: 6 mul + 3 add (the fast path hoists shared
     // factors but charges the same per-value recipe).
     let per_value = OpCounts::ZERO.muls(6).adds(3);
-    launch.dispatch(q, &desc, &[up], move |g| {
+    let access = summarize(&launch, &desc, |groups| {
+        upscale_center_vec4_access(&desc, groups, down.info(), up.info(), w, h, ws)
+    });
+    launch.dispatch(q, &desc, access, &[up], move |g| {
         let mut n_vals = 0u64;
         let mut n_threads = 0u64;
         let mut n_fast = 0u64;
@@ -308,6 +427,119 @@ pub(crate) fn upscale_center_vec4_launch(
     })
 }
 
+/// Closed-form access summary of the vectorized upscale-center dispatch.
+///
+/// Fast threads (all four blocks present, segments and tiles interior)
+/// read two 5-wide strided slices and write one 16-wide 4-row tile each;
+/// slow threads mirror the kernel's per-thread fallback (vload4 + scalar
+/// tail loads, vstore4 or clamped scalar stores per block), with charges
+/// split by scalar/vector class exactly as `g.load`/`g.vload4`/`g.store`/
+/// `g.vstore4` charge them. The charge is exact, so the ratio stays 1.
+pub(crate) fn upscale_center_vec4_access(
+    desc: &KernelDesc,
+    groups: std::ops::Range<usize>,
+    down: BufRef,
+    up: BufRef,
+    w: usize,
+    h: usize,
+    ws: usize,
+) -> AccessSummary {
+    let (wd, hd) = (w.div_ceil(SCALE), h.div_ceil(SCALE));
+    let (nx, ny) = (wd - 1, hd - 1);
+    let nt = nx.div_ceil(4);
+    let rows = covered_rows(desc, &groups, ny);
+    let mut s = AccessSummary::new(&desc.name, groups, desc.total_groups());
+    if rows.is_empty() {
+        return s;
+    }
+    let fr = if h >= 8 { (h - 8) / SCALE + 1 } else { 0 };
+    let nfr = rows.end.min(fr).saturating_sub(rows.start);
+    // Fast thread columns are a prefix: all four blocks exist
+    // (4t + 3 < nx) and the 16-wide tile is interior (16t + 17 ≤ w - 3).
+    let c1 = if nx >= 4 { (nx - 4) / 4 + 1 } else { 0 };
+    let c2 = if w >= 20 { (w - 20) / 16 + 1 } else { 0 };
+    let ftc = c1.min(c2);
+    let cw = |bi: usize| (w - 4).saturating_sub(SCALE * bi).min(SCALE);
+    let (mut sload, mut vload, mut sstore, mut vstore) = (0u64, 0u64, 0u64, 0u64);
+    if nfr > 0 && ftc > 0 {
+        for j in 0..2 {
+            s.push(
+                AccessWindow::read(down.clone(), (rows.start + j) * wd, 5)
+                    .by_x(ftc, 4)
+                    .by_y(nfr, wd),
+            );
+        }
+        s.push(
+            AccessWindow::write(up.clone(), (SCALE * rows.start + 2) * ws + 2, 16 * ftc)
+                .by_x(SCALE, ws)
+                .by_y(nfr, SCALE * ws),
+        );
+    }
+    // One slow thread: two row segments in (vector body + scalar tail),
+    // per-block vstore4 or clamped scalar stores out, repeated down `nyc`
+    // block rows with `rh` live output rows each.
+    let mut slow_thread = |s: &mut AccessSummary, t: usize, bj0: usize, nyc: usize, rh: usize| {
+        let bi0 = 4 * t;
+        for j in 0..2 {
+            let base = (bj0 + j) * wd + bi0;
+            if bi0 + 3 < wd {
+                s.push(AccessWindow::read(down.clone(), base, 4).by_y(nyc, wd));
+                vload += nyc as u64;
+                if bi0 + 4 < wd {
+                    s.push(AccessWindow::read(down.clone(), base + 4, 1).by_y(nyc, wd));
+                    sload += nyc as u64;
+                }
+            } else {
+                let cnt = wd - bi0;
+                s.push(AccessWindow::read(down.clone(), base, cnt).by_y(nyc, wd));
+                sload += (cnt * nyc) as u64;
+            }
+        }
+        for k in 0..4 {
+            let bi = bi0 + k;
+            if bi >= nx {
+                break;
+            }
+            let x0 = SCALE * bi + 2;
+            if x0 + 3 <= w - 3 {
+                s.push(
+                    AccessWindow::write(up.clone(), (SCALE * bj0 + 2) * ws + x0, 4)
+                        .by_x(rh, ws)
+                        .by_y(nyc, SCALE * ws),
+                );
+                vstore += (rh * nyc) as u64;
+            } else {
+                let c = cw(bi);
+                if c > 0 {
+                    s.push(
+                        AccessWindow::write(up.clone(), (SCALE * bj0 + 2) * ws + x0, c)
+                            .by_x(rh, ws)
+                            .by_y(nyc, SCALE * ws),
+                    );
+                    sstore += (c * rh * nyc) as u64;
+                }
+            }
+        }
+    };
+    if nfr > 0 {
+        for t in ftc..nt {
+            slow_thread(&mut s, t, rows.start, nfr, SCALE);
+        }
+    }
+    for bj in rows.start.max(fr)..rows.end {
+        let rh = (h - 4).saturating_sub(SCALE * bj).min(SCALE);
+        for t in 0..nt {
+            slow_thread(&mut s, t, bj, 1, rh);
+        }
+    }
+    s.charge_global_n(8, 32, 0, 256, (nfr * ftc) as u64);
+    s.charge_global_n(4, 0, 0, 0, sload);
+    s.charge_global_n(0, 16, 0, 0, vload);
+    s.charge_global_n(0, 0, 4, 0, sstore);
+    s.charge_global_n(0, 0, 0, 16, vstore);
+    s
+}
+
 /// Dispatches the four GPU border kernels (top/bottom rows, left/right
 /// columns), matching the CPU border bit-exactly. `ws` is the device row
 /// stride of `up`. Always four dispatches, for any shape ≥ 3×3: a
@@ -344,7 +576,17 @@ pub fn upscale_border_gpu(
         let companion = if dst_row == 0 { 1 } else { h - 1 };
         let per_item = OpCounts::ZERO.muls(8).adds(4).cmps(2).plus(&tune.idx_ops());
         let replicate_item = OpCounts::ZERO.cmps(2).plus(&tune.idx_ops());
-        let t = q.run(&desc, &[up], move |g| {
+        let access = upscale_border_row_access(
+            &desc,
+            down.info(),
+            up.info(),
+            w,
+            ws,
+            src_row,
+            dst_row,
+            companion,
+        );
+        let t = Launch::Full.dispatch(q, &desc, access, &[up], move |g| {
             let mut n = 0u64;
             let mut n_repl = 0u64;
             let mut corner_events = 0u64;
@@ -418,7 +660,18 @@ pub fn upscale_border_gpu(
         let upv = up.write_view();
         let companion = if dst_col == 0 { 1 } else { w - 1 };
         let per_item = OpCounts::ZERO.muls(8).adds(4).cmps(2).plus(&tune.idx_ops());
-        let t = q.run(&desc, &[up], move |g| {
+        let access = upscale_border_col_access(
+            &desc,
+            down.info(),
+            up.info(),
+            wd,
+            h,
+            ws,
+            src_col,
+            dst_col,
+            companion,
+        );
+        let t = Launch::Full.dispatch(q, &desc, access, &[up], move |g| {
             let mut n = 0u64;
             for l in items(g.group_size) {
                 g.begin_item(l);
@@ -444,6 +697,80 @@ pub fn upscale_border_gpu(
         times.push(t);
     }
     Ok(times)
+}
+
+/// Closed-form access summary of one horizontal border-row dispatch: item
+/// `bi` loads the downscaled pair `(bi, bi+1)` of `src_row` (interior
+/// columns are read twice, declared as a 2-wide sliding window) and each
+/// of `x ∈ [2, w-3]` is stored exactly once per output row, with the
+/// corner items adding the two outermost columns on each side. A
+/// single-column downscaled grid replicates its one value across both
+/// rows.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn upscale_border_row_access(
+    desc: &KernelDesc,
+    down: BufRef,
+    up: BufRef,
+    w: usize,
+    ws: usize,
+    src_row: usize,
+    dst_row: usize,
+    companion: usize,
+) -> AccessSummary {
+    let wd = w.div_ceil(SCALE);
+    let mut s = AccessSummary::new(&desc.name, 0..desc.total_groups(), desc.total_groups());
+    if wd == 1 {
+        s.push(AccessWindow::read(down, src_row, 1));
+        s.push(AccessWindow::write(up.clone(), dst_row * ws, w));
+        s.push(AccessWindow::write(up, companion * ws, w));
+        s.charge_global_n(4, 0, 0, 0, 1);
+        s.charge_global_n(0, 0, 4, 0, 2 * w as u64);
+        return s;
+    }
+    s.push(AccessWindow::read(down, src_row * wd, 2).by_x(wd - 1, 1));
+    for row in [dst_row, companion] {
+        s.push(AccessWindow::write(up.clone(), row * ws, 2));
+        s.push(AccessWindow::write(up.clone(), row * ws + 2, w - 4));
+        s.push(AccessWindow::write(up.clone(), row * ws + w - 2, 2));
+    }
+    s.charge_global_n(4, 0, 0, 0, 2 * (wd as u64 - 1));
+    s.charge_global_n(0, 0, 4, 0, 2 * w as u64);
+    s
+}
+
+/// Closed-form access summary of one vertical border-column dispatch: item
+/// `bj` loads the downscaled pair of rows `(bj, bj+1)` at `src_col`
+/// (interior rows read twice) and each `y ∈ [2, h-3]` is stored exactly
+/// once to both output columns. A single-row downscaled grid leaves the
+/// dispatch with no live items (the border rows already covered
+/// everything).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn upscale_border_col_access(
+    desc: &KernelDesc,
+    down: BufRef,
+    up: BufRef,
+    wd: usize,
+    h: usize,
+    ws: usize,
+    src_col: usize,
+    dst_col: usize,
+    companion: usize,
+) -> AccessSummary {
+    let hd = h.div_ceil(SCALE);
+    let mut s = AccessSummary::new(&desc.name, 0..desc.total_groups(), desc.total_groups());
+    if hd < 2 {
+        return s;
+    }
+    s.push(
+        AccessWindow::read(down, src_col, 1)
+            .by_x(2, wd)
+            .by_y(hd - 1, wd),
+    );
+    s.push(AccessWindow::write(up.clone(), 2 * ws + dst_col, 1).by_y(h - 4, ws));
+    s.push(AccessWindow::write(up, 2 * ws + companion, 1).by_y(h - 4, ws));
+    s.charge_global_n(4, 0, 0, 0, 2 * (hd as u64 - 1));
+    s.charge_global_n(0, 0, 4, 0, 2 * (h as u64 - 4));
+    s
 }
 
 #[cfg(test)]

@@ -124,6 +124,39 @@ impl BandedStats {
     }
 }
 
+/// Downscale cursor: the highest downscale group row ready once the source
+/// band ending at group row `g1` (of `gtot`) has been uploaded. One
+/// downscale group row covers 64 source rows (4 source group rows); the
+/// last band forces full coverage of the `d_groups`-row downscale grid.
+/// Shared by the banded executor and the static verifier, which must agree
+/// on the slice partition exactly.
+pub(crate) fn downscale_cursor(g1: usize, gtot: usize, d_groups: usize) -> usize {
+    if g1 == gtot {
+        d_groups
+    } else {
+        (g1 / 4).min(d_groups)
+    }
+}
+
+/// Reduction stage-1 cursor: the highest flat stage-1 group whose
+/// 1024-element pEdge span is complete once Sobel has written `r1` image
+/// rows of stride `ws` (band ending at group row `g1` of `gtot`; the last
+/// band forces full coverage of the `s1_total` groups). Shared by the
+/// banded executor and the static verifier.
+pub(crate) fn stage1_cursor(
+    g1: usize,
+    gtot: usize,
+    r1: usize,
+    ws: usize,
+    s1_total: usize,
+) -> usize {
+    if g1 == gtot {
+        s1_total
+    } else {
+        (r1 * ws / ELEMS_PER_GROUP).min(s1_total)
+    }
+}
+
 /// The requested band height in work-group rows (≥ 1): `0` resolves via
 /// the cache-size autotuner, and anything else rounds up to whole 16-row
 /// group rows (so `Banded(1)` and `Banded(7)` clamp up to one group row).
@@ -198,11 +231,7 @@ pub(crate) fn run_frame_banded(
         let r1 = (GROUP_ROWS * g1).min(h);
         // Downscale group rows tracking the source band (one covers 64
         // source rows); forced to full coverage on the last band.
-        let td = if g1 == gtot {
-            d_groups
-        } else {
-            (g1 / 4).min(d_groups)
-        };
+        let td = downscale_cursor(g1, gtot, d_groups);
         if td > cur_d {
             downscale_launch(
                 q,
@@ -229,11 +258,7 @@ pub(crate) fn run_frame_banded(
         if slice_stage1 {
             // Stage-1 group g reads pEdge elements [1024g, 1024(g+1)):
             // valid once Sobel has written the rows covering them.
-            let tr = if g1 == gtot {
-                s1_total
-            } else {
-                (r1 * ws / ELEMS_PER_GROUP).min(s1_total)
-            };
+            let tr = stage1_cursor(g1, gtot, r1, ws, s1_total);
             if tr > cur_r {
                 let partials = res
                     .partials

@@ -824,6 +824,15 @@ impl PipelinePlan {
         self.q.records()
     }
 
+    /// Drains the access-summary log of the most recently executed frame,
+    /// in commit order. Populated only when the context was built with
+    /// [`Context::with_access_required`]; the static/dynamic agreement
+    /// tests compare this against
+    /// [`crate::gpu::verify::enumerate_access`].
+    pub fn take_access_log(&mut self) -> Vec<simgpu::access::AccessSummary> {
+        self.q.take_access_log()
+    }
+
     /// Derives per-kernel efficiency telemetry from the most recently
     /// executed frame (observation-only: reads the retained records).
     pub fn telemetry(&self) -> crate::telemetry::FrameTelemetry {

@@ -338,7 +338,10 @@ pub const BASELINE_WIDTH: usize = 256;
 
 /// Runs one baseline configuration on the deterministic workload and
 /// returns its metrics registry — the generator behind both
-/// `metrics_baseline` (emit/check) and `repro --metrics-dir`.
+/// `metrics_baseline` (emit/check) and `repro --metrics-dir`. The registry
+/// also carries the static access verifier's `verify.*` gauges for the same
+/// shape/config, so the committed baselines catch accounting regressions
+/// (dispatch count, access windows, declared/charged bytes, ratio slack).
 ///
 /// # Errors
 /// Propagates pipeline failures (cannot happen for the committed configs
@@ -351,6 +354,14 @@ pub fn baseline_registry(cfg: &OptConfig) -> Result<MetricsRegistry, String> {
     let (_, tel) = pipe.run_with_telemetry(&img)?;
     let mut reg = MetricsRegistry::new();
     tel.to_registry(&mut reg);
+    let proof = crate::gpu::verify_static(
+        BASELINE_WIDTH,
+        BASELINE_WIDTH,
+        cfg,
+        &crate::gpu::Tuning::default(),
+        crate::gpu::Schedule::Monolithic,
+    )?;
+    proof.to_registry(&mut reg);
     Ok(reg)
 }
 

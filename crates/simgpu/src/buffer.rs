@@ -187,6 +187,16 @@ impl<T: Scalar> Buffer<T> {
         (self.inner.len * std::mem::size_of::<T>()) as u64
     }
 
+    /// Buffer identity for the static access checker: label, extent, and
+    /// element size.
+    pub fn info(&self) -> crate::access::BufRef {
+        crate::access::BufRef {
+            label: self.inner.label.clone(),
+            len: self.inner.len,
+            elem_bytes: std::mem::size_of::<T>() as u64,
+        }
+    }
+
     /// Read-only view for capture by kernels.
     pub fn view(&self) -> GlobalView<T> {
         let ptr = self.inner.data_ptr();
@@ -382,6 +392,15 @@ impl<T: Scalar> GlobalView<T> {
         self.inner.len()
     }
 
+    /// Buffer identity for the static access checker.
+    pub fn info(&self) -> crate::access::BufRef {
+        crate::access::BufRef {
+            label: self.inner.label.clone(),
+            len: self.inner.len(),
+            elem_bytes: std::mem::size_of::<T>() as u64,
+        }
+    }
+
     /// True if the underlying buffer is empty.
     pub fn is_empty(&self) -> bool {
         self.inner.len() == 0
@@ -516,6 +535,15 @@ impl<T: Scalar> GlobalWriteView<T> {
     /// Number of elements visible through the view.
     pub fn len(&self) -> usize {
         self.inner.len()
+    }
+
+    /// Buffer identity for the static access checker.
+    pub fn info(&self) -> crate::access::BufRef {
+        crate::access::BufRef {
+            label: self.inner.label.clone(),
+            len: self.inner.len(),
+            elem_bytes: std::mem::size_of::<T>() as u64,
+        }
     }
 
     /// True if the underlying buffer is empty.

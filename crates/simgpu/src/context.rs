@@ -32,6 +32,9 @@ pub struct Context {
     /// Shared sanitizer state (shadow-access recorder); `None` when the
     /// sanitizer is off. Clones share the same recorder.
     sanitize: Option<Arc<SanitizeShared>>,
+    /// When true, queues require every kernel dispatch to declare an
+    /// access summary and retain the verified summaries in their log.
+    require_access: bool,
 }
 
 impl Context {
@@ -46,6 +49,7 @@ impl Context {
             pooling: true,
             dispatch_threads: 0,
             sanitize: None,
+            require_access: false,
         }
     }
 
@@ -78,6 +82,18 @@ impl Context {
             config,
             self.device.wavefront as u64,
         )));
+        self
+    }
+
+    /// Requires every kernel dispatch on queues created from this context
+    /// to declare a statically verified
+    /// [`AccessSummary`](crate::access::AccessSummary) first — an
+    /// undeclared dispatch is a hard error — and retains the verified
+    /// summaries in [`CommandQueue::access_log`] for static-vs-dynamic
+    /// agreement checks. Observation-only: pixels and simulated seconds
+    /// are unchanged.
+    pub fn with_access_required(mut self) -> Self {
+        self.require_access = true;
         self
     }
 
@@ -126,6 +142,11 @@ impl Context {
     /// Whether the shadow-execution sanitizer is enabled.
     pub fn sanitizes(&self) -> bool {
         self.sanitize.is_some()
+    }
+
+    /// Whether kernel dispatches must declare access summaries.
+    pub fn requires_access(&self) -> bool {
+        self.require_access
     }
 
     /// Snapshot of the sanitizer's findings so far, or `None` when the
@@ -177,6 +198,7 @@ impl Context {
             self.cpu.clone(),
             self.dispatch_threads,
             self.sanitize.clone(),
+            self.require_access,
         )
     }
 }

@@ -87,6 +87,17 @@ pub enum Error {
         /// The panic payload, rendered as a string.
         message: String,
     },
+    /// The static access checker rejected a dispatch: an out-of-bounds or
+    /// overlapping declared window, an accounting mismatch, a coverage gap
+    /// in a sliced dispatch, or a missing declaration while summaries are
+    /// required. See [`crate::access::AccessError`] for the verdicts.
+    Access(crate::access::AccessError),
+}
+
+impl From<crate::access::AccessError> for Error {
+    fn from(e: crate::access::AccessError) -> Self {
+        Error::Access(e)
+    }
 }
 
 impl fmt::Display for Error {
@@ -123,6 +134,7 @@ impl fmt::Display for Error {
             Error::KernelPanic { kernel, message } => {
                 write!(f, "kernel `{kernel}` panicked during dispatch: {message}")
             }
+            Error::Access(e) => write!(f, "{e}"),
         }
     }
 }

@@ -68,6 +68,7 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod buffer;
 pub mod context;
 pub mod cost;
@@ -84,6 +85,9 @@ pub mod trace;
 
 /// Convenient glob-import of the common types.
 pub mod prelude {
+    pub use crate::access::{
+        AccessError, AccessSummary, AccessWindow, BufRef, ChargedBytes, Role, VerifyStats,
+    };
     pub use crate::buffer::{Buffer, GlobalView, GlobalWriteView, Scalar};
     pub use crate::context::Context;
     pub use crate::cost::{CostCounters, OpCounts};

@@ -17,12 +17,13 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::access::{self, AccessError, AccessSummary};
 use crate::buffer::{Buffer, Scalar};
 use crate::cost::CostCounters;
 use crate::device::{CpuSpec, DeviceSpec};
 use crate::error::{Error, Result};
 use crate::kernel::{GroupCtx, KernelDesc};
-use crate::sanitize::{GroupSan, SanitizeShared};
+use crate::sanitize::{DriftClass, GroupSan, SanitizeShared, Violation};
 use crate::timing::{
     bulk_transfer_time, cpu_stage_time, kernel_time, map_transfer_time, rect_transfer_time,
     KernelTime,
@@ -107,6 +108,11 @@ pub struct SlicedDispatch {
     observed_write_bytes: u64,
     declared_ratio: f64,
     slices: usize,
+    /// Flat group range of every non-empty slice, checked at commit to
+    /// exactly partition the grid (static property d).
+    ranges: Vec<std::ops::Range<usize>>,
+    /// Access summaries declared per slice (when the kernels declare them).
+    access: Vec<AccessSummary>,
 }
 
 impl SlicedDispatch {
@@ -119,6 +125,8 @@ impl SlicedDispatch {
             observed_write_bytes: 0,
             declared_ratio: 1.0,
             slices: 0,
+            ranges: Vec::new(),
+            access: Vec::new(),
         }
     }
 
@@ -158,6 +166,15 @@ pub struct CommandQueue {
     /// Sanitizer handle inherited from the creating context; `Some` only
     /// for sanitized contexts.
     sanitize: Option<Arc<SanitizeShared>>,
+    /// When true, every kernel dispatch must declare an [`AccessSummary`]
+    /// first (an undeclared dispatch is a hard [`AccessError::Undeclared`])
+    /// and declared summaries are retained in [`Self::access_log`].
+    require_access: bool,
+    /// Summary declared via [`Self::declare_access`] for the next dispatch.
+    pending_access: Option<AccessSummary>,
+    /// Verified summaries of past dispatches (populated only when
+    /// declarations are required, to bound steady-state memory).
+    access_log: Vec<AccessSummary>,
 }
 
 impl CommandQueue {
@@ -166,6 +183,7 @@ impl CommandQueue {
         cpu: CpuSpec,
         dispatch_threads: usize,
         sanitize: Option<Arc<SanitizeShared>>,
+        require_access: bool,
     ) -> Self {
         CommandQueue {
             device,
@@ -177,6 +195,9 @@ impl CommandQueue {
             interner: HashSet::new(),
             name_scratch: String::new(),
             sanitize,
+            require_access,
+            pending_access: None,
+            access_log: Vec::new(),
         }
     }
 
@@ -236,6 +257,89 @@ impl CommandQueue {
 
     // ---- kernel dispatch ------------------------------------------------
 
+    /// Declares the access summary of the *next* kernel dispatch and
+    /// statically verifies it (bounds, write disjointness, accounting) —
+    /// a rejected summary is a typed error before any work runs. The
+    /// dispatch itself then checks the declaration matches its grid and,
+    /// after execution, that the summary's charged bytes equal what the
+    /// kernel actually charged; sanitized runs additionally cross-validate
+    /// the declared windows against the observed shadow traffic.
+    pub fn declare_access(&mut self, summary: AccessSummary) -> Result<()> {
+        if let Some(prev) = &self.pending_access {
+            return Err(Error::Access(AccessError::GridMismatch {
+                kernel: summary.kernel,
+                detail: format!(
+                    "previous declaration for kernel `{}` was never dispatched",
+                    prev.kernel
+                ),
+            }));
+        }
+        access::verify_summary(&summary)?;
+        self.pending_access = Some(summary);
+        Ok(())
+    }
+
+    /// Verified summaries retained from declared dispatches. Populated
+    /// only when the context requires access declarations
+    /// ([`crate::context::Context::with_access_required`]); cleared by
+    /// [`Self::reset`] and [`Self::take_access_log`].
+    pub fn access_log(&self) -> &[AccessSummary] {
+        &self.access_log
+    }
+
+    /// Takes the retained access summaries, leaving the log empty.
+    pub fn take_access_log(&mut self) -> Vec<AccessSummary> {
+        std::mem::take(&mut self.access_log)
+    }
+
+    /// Checks a declared summary against the dispatch it was declared for.
+    fn check_declared(
+        a: &AccessSummary,
+        desc: &KernelDesc,
+        groups: std::ops::Range<usize>,
+    ) -> Result<()> {
+        if a.kernel != desc.name || a.total_groups != desc.total_groups() || a.groups != groups {
+            return Err(Error::Access(AccessError::GridMismatch {
+                kernel: desc.name.clone(),
+                detail: format!(
+                    "declared `{}` groups {}..{} of {}, dispatching groups {}..{} of {}",
+                    a.kernel,
+                    a.groups.start,
+                    a.groups.end,
+                    a.total_groups,
+                    groups.start,
+                    groups.end,
+                    desc.total_groups()
+                ),
+            }));
+        }
+        Ok(())
+    }
+
+    /// Compares the sanitizer's observed per-element traffic against the
+    /// declared windows — equality, not a bound: summaries declare access
+    /// *events* exactly, so any drift means the declaration rotted.
+    fn cross_validate(sh: &SanitizeShared, a: &AccessSummary, observed_r: u64, observed_w: u64) {
+        let declared_r = a.declared_read_bytes();
+        if declared_r != observed_r {
+            sh.record(Violation::SummaryDrift {
+                kernel: a.kernel.clone(),
+                class: DriftClass::Read,
+                observed: observed_r,
+                declared: declared_r,
+            });
+        }
+        let declared_w = a.declared_write_bytes();
+        if declared_w != observed_w {
+            sh.record(Violation::SummaryDrift {
+                kernel: a.kernel.clone(),
+                class: DriftClass::Write,
+                observed: observed_w,
+                declared: declared_w,
+            });
+        }
+    }
+
     /// Dispatches a kernel: runs `f` once per work-group (in parallel),
     /// merges the per-group cost counters, charges the timing model, and
     /// checks the listed output buffers for write races.
@@ -250,7 +354,15 @@ impl CommandQueue {
     where
         F: Fn(&mut GroupCtx) + Sync,
     {
+        let declared = self.pending_access.take();
         desc.check()?;
+        if let Some(a) = &declared {
+            Self::check_declared(a, desc, 0..desc.total_groups())?;
+        } else if self.require_access {
+            return Err(Error::Access(AccessError::Undeclared {
+                kernel: desc.name.clone(),
+            }));
+        }
         for out in outputs {
             out.begin_epoch();
         }
@@ -308,6 +420,10 @@ impl CommandQueue {
         let panicked = panic_msg.into_inner().unwrap();
         if let Some(sh) = &self.sanitize {
             if panicked.is_none() {
+                if let Some(a) = &declared {
+                    let (r, w, _) = sh.dispatch_traffic();
+                    Self::cross_validate(sh, a, r, w);
+                }
                 sh.audit(&desc.name, &counters);
             }
             sh.end_dispatch();
@@ -326,8 +442,16 @@ impl CommandQueue {
                 });
             }
         }
+        if let Some(a) = &declared {
+            a.charged_matches(&counters)?;
+        }
         let t = kernel_time(&self.device, &counters);
         self.push(&desc.name, CommandKind::Kernel, t.total_s, Some(counters));
+        if self.require_access {
+            if let Some(a) = declared {
+                self.access_log.push(a);
+            }
+        }
         Ok(t)
     }
 
@@ -360,6 +484,7 @@ impl CommandQueue {
     where
         F: Fn(&mut GroupCtx) + Sync,
     {
+        let declared = self.pending_access.take();
         desc.check()?;
         if groups.end > desc.total_groups() {
             return Err(Error::InvalidKernelArgs {
@@ -373,7 +498,16 @@ impl CommandQueue {
             });
         }
         if groups.is_empty() {
+            // Nothing executes; a declaration for an empty slice (if any)
+            // is discarded rather than leaking onto the next dispatch.
             return Ok(());
+        }
+        if let Some(a) = &declared {
+            Self::check_declared(a, desc, groups.clone())?;
+        } else if self.require_access {
+            return Err(Error::Access(AccessError::Undeclared {
+                kernel: desc.name.clone(),
+            }));
         }
         for out in outputs {
             out.begin_epoch();
@@ -431,6 +565,9 @@ impl CommandQueue {
         if let Some(sh) = &self.sanitize {
             if panicked.is_none() {
                 let (r, w, ratio) = sh.dispatch_traffic();
+                if let Some(a) = &declared {
+                    Self::cross_validate(sh, a, r, w);
+                }
                 acc.observed_read_bytes += r;
                 acc.observed_write_bytes += w;
                 acc.declared_ratio = acc.declared_ratio.max(ratio);
@@ -451,9 +588,16 @@ impl CommandQueue {
                 });
             }
         }
+        if let Some(a) = &declared {
+            a.charged_matches(&counters)?;
+        }
         acc.counters.merge(&counters);
         acc.groups_done += groups.len();
         acc.slices += 1;
+        acc.ranges.push(groups);
+        if let Some(a) = declared {
+            acc.access.push(a);
+        }
         Ok(())
     }
 
@@ -466,15 +610,31 @@ impl CommandQueue {
     /// identically.
     pub fn commit_sliced(&mut self, desc: &KernelDesc, acc: SlicedDispatch) -> Result<KernelTime> {
         desc.check()?;
-        if acc.groups_done != desc.total_groups() {
-            return Err(Error::InvalidKernelArgs {
+        // Static property (d): the executed slices must exactly tile the
+        // grid — a gap or an overlap (even one that happens to sum to the
+        // right group count) is a typed verdict, not a silent mis-commit.
+        access::verify_partition(&desc.name, desc.total_groups(), &acc.ranges)?;
+        if self.require_access && acc.access.len() != acc.slices {
+            return Err(Error::Access(AccessError::Undeclared {
                 kernel: desc.name.clone(),
-                detail: format!(
-                    "sliced dispatch covered {} of {} work-groups at commit",
-                    acc.groups_done,
-                    desc.total_groups()
-                ),
-            });
+            }));
+        }
+        // Static property (c) for sliced dispatches: the overcharge-ratio
+        // bound holds on the merged totals (a border-only slice may charge
+        // reads while declaring none; the whole dispatch still balances),
+        // mirroring how the dynamic audit treats slices.
+        if !acc.access.is_empty() {
+            let declared_r: u64 = acc.access.iter().map(|a| a.declared_read_bytes()).sum();
+            let charged_r: u64 = acc.access.iter().map(|a| a.charged.reads()).sum();
+            let ratio = acc.access.iter().fold(1.0f64, |m, a| m.max(a.read_ratio));
+            if charged_r != declared_r && charged_r as f64 > declared_r as f64 * ratio {
+                return Err(Error::Access(AccessError::RatioExceeded {
+                    kernel: desc.name.clone(),
+                    declared: declared_r,
+                    charged: charged_r,
+                    ratio_bits: ratio.to_bits(),
+                }));
+            }
         }
         if let Some(sh) = &self.sanitize {
             sh.audit_totals(
@@ -492,6 +652,9 @@ impl CommandQueue {
             t.total_s,
             Some(acc.counters),
         );
+        if self.require_access {
+            self.access_log.extend(acc.access);
+        }
         Ok(t)
     }
 
@@ -771,6 +934,8 @@ impl CommandQueue {
         self.clock_s = 0.0;
         self.records.clear();
         self.commands_since_finish = 0;
+        self.pending_access = None;
+        self.access_log.clear();
     }
 }
 
@@ -951,7 +1116,10 @@ mod tests {
         assert_eq!(acc.groups_done(), 4);
         assert_eq!(acc.slices(), 1);
         let err = q.commit_sliced(&desc, acc).unwrap_err();
-        assert!(matches!(err, Error::InvalidKernelArgs { .. }));
+        assert!(matches!(
+            err,
+            Error::Access(crate::access::AccessError::CoverageGap { .. })
+        ));
         // Nothing was recorded and the clock did not move.
         assert!(q.records().is_empty());
         assert_eq!(q.elapsed(), 0.0);

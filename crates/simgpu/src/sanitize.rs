@@ -165,6 +165,20 @@ pub enum Violation {
         /// Bytes the kernel charged.
         charged: u64,
     },
+    /// The dynamic access set observed by the shadow differs from what the
+    /// dispatch's declared [`crate::access::AccessSummary`] promised. The
+    /// declarations are cross-validated against the shadow on every
+    /// sanitized run precisely so they cannot rot.
+    SummaryDrift {
+        /// Kernel whose declaration drifted.
+        kernel: String,
+        /// Read-side or write-side drift.
+        class: DriftClass,
+        /// Bytes the dispatch actually touched.
+        observed: u64,
+        /// Bytes the access summary declared.
+        declared: u64,
+    },
     /// An element was read before any host transfer or kernel store
     /// initialised it (only with [`SanitizeConfig::check_uninit_reads`]).
     UninitRead {
@@ -230,6 +244,15 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "accounting drift in kernel `{kernel}`: observed {observed} global {class} bytes, charged {charged}"
+            ),
+            Violation::SummaryDrift {
+                kernel,
+                class,
+                observed,
+                declared,
+            } => write!(
+                f,
+                "access-summary drift in kernel `{kernel}`: observed {observed} global {class} bytes, summary declares {declared}"
             ),
             Violation::UninitRead {
                 kernel,

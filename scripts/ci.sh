@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Repo CI gate: formatting, lints, tier-1 tests, and bench compilation.
 #
-#   ./scripts/ci.sh          # fast gate (includes the small sanitizer sweep)
-#   ./scripts/ci.sh --full   # also run the full sanitizer sweep (64 configs
-#                            # x four sizes; minutes, not seconds)
+#   ./scripts/ci.sh          # fast gate (includes the token-aware Rust lint
+#                            # and the static access-verification sweep)
+#   ./scripts/ci.sh --full   # also run the sanitized static-vs-dynamic
+#                            # cross-validation sweep and the full sanitizer
+#                            # sweep (64 configs x four sizes; minutes)
 #
 # Tier-1 (per ROADMAP.md) is `cargo build --release && cargo test -q` at the
 # workspace root, run twice: default features and `--features simd` (the
@@ -39,6 +41,9 @@ cargo build --release --features simd
 cargo test -q --features simd
 cargo test -q -p sharpness-core --features simd
 
+echo "== static access verification sweep (64 configs x 4 shapes x 2 schedules)"
+cargo run --release -q -p sharpness-bench --bin repro -- --verify-static
+
 echo "== metric baselines"
 ./scripts/check_metrics.sh
 
@@ -48,7 +53,7 @@ trap 'rm -rf "$smoke_dir"' EXIT
 { printf 'P5\n1001 701\n255\n'; head -c $((1001 * 701)) /dev/urandom; } \
     > "$smoke_dir/odd.pgm"
 ./target/release/sharpen "$smoke_dir/odd.pgm" "$smoke_dir/odd-all.pgm" \
-    --opts all --sanitize > /dev/null
+    --opts all --sanitize --verify-static > /dev/null
 ./target/release/sharpen "$smoke_dir/odd.pgm" "$smoke_dir/odd-none.pgm" \
     --opts none > /dev/null
 ./target/release/sharpen "$smoke_dir/odd.pgm" "$smoke_dir/odd-cpu.pgm" \
@@ -59,10 +64,12 @@ cmp "$smoke_dir/odd-none.pgm" "$smoke_dir/odd-cpu.pgm"
 
 echo "== banded smoke (sanitized banded run is byte-identical to monolithic)"
 ./target/release/sharpen "$smoke_dir/odd.pgm" "$smoke_dir/odd-banded.pgm" \
-    --opts all --banded --sanitize > /dev/null
+    --opts all --banded --sanitize --verify-static > /dev/null
 cmp "$smoke_dir/odd-all.pgm" "$smoke_dir/odd-banded.pgm"
 
 if [ "$full" -eq 1 ]; then
+    echo "== sanitized static-vs-dynamic cross-validation sweep"
+    cargo test -q --release --test verify_static -- --ignored
     echo "== full sanitizer sweep (all configs x all sizes)"
     cargo test -q --release --test sanitize -- --ignored
     echo "== full arbitrary-shape sweep (all configs at 1001x701)"

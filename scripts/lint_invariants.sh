@@ -1,137 +1,10 @@
 #!/usr/bin/env bash
-# Static invariant lint for hot-loop and accounting discipline.
+# Static invariant lint — thin wrapper around the token-aware Rust
+# implementation in src/bin/lint_invariants.rs (comments and string
+# literals are lexed away before any rule matches; see that file for the
+# seven rules and their rationale).
 #
 #   ./scripts/lint_invariants.sh
-#
-# Three rules, all cheap greps, all load-bearing:
-#
-# 1. Kernel and CPU-stage hot loops must use the shared `math` helpers
-#    (`math::fmin` / `math::fmax` / `math::clampf`), never the std float
-#    methods. `f32::min`/`f32::max` branch on NaN semantics and the std
-#    forms have drifted CPU/GPU results here before; the shared helpers
-#    are the single source of truth both engines compare against.
-#
-# 2. Any kernel file that reads or writes device memory through the raw
-#    (uncharged) span accessors must also bulk-charge the traffic via
-#    `charge_global_n`, otherwise the timing model silently undercounts
-#    bytes. The sanitizer (`cargo test --test sanitize`) audits the
-#    amounts at runtime; this lint catches a file that forgot to charge
-#    at all before any test runs.
-#
-# 3. Kernel shape preconditions must be typed errors, not panics. A
-#    violated `assert!` inside a kernel closure surfaces as an opaque
-#    `Error::KernelPanic` with no kernel name or offending dimension;
-#    dispatch functions return `Error::InvalidKernelArgs` instead (the
-#    arbitrary-dimension work converted every legacy multiple-of-4
-#    assert). `debug_assert!` on internal invariants stays allowed, as do
-#    asserts in test modules.
-#
-# 4. The megapass (banded) executor never charges cost itself. Its
-#    charge-equivalence argument — banded simulated seconds bit-identical
-#    to monolithic — rests on every cost flowing through the kernels' own
-#    per-group accounting, merged by commit_sliced, and through the shared
-#    GpuPipeline helpers. A direct `charge_*` call in megapass.rs would be
-#    a band-scheduling-dependent rate the monolithic schedule never pays,
-#    breaking the invariant silently. (Runtime half: tests/banded.rs
-#    asserts bit-equal totals across all 64 configs.)
-#
-# 5. Telemetry is observation-only. The files that read command records
-#    and cost counters to derive metrics/traces must never mutate the
-#    state they observe (reset queues, rewrite records, charge bytes) —
-#    otherwise "metrics on" changes the numbers being measured. The
-#    runtime half of this invariant is tests/telemetry.rs (bit-identical
-#    pixels, identical simulated seconds); this grep catches a mutation
-#    creeping into the recording path before any test runs. Test modules
-#    (after `#[cfg(test)]`) are exempt: fixtures may build records.
-#
-# 6. SIMD stays contained and cost-blind. Explicit `std::arch`
-#    intrinsics and runtime feature detection may live only under the
-#    feature-gated `gpu/kernels/simd/` module — anywhere else they would
-#    bypass the runtime-dispatch safety story (scalar fallback, forced
-#    backend override, bit-exactness tests). And the simd span modules
-#    must never touch the cost model (`charge_*`, `GroupCtx`): charged
-#    simulated time is commit-order accounting owned by the kernel
-#    closures, so a charge inside a backend would make simulated seconds
-#    depend on the host's CPU features. (Runtime half: tests/simd.rs
-#    asserts bit-identical pixels and `.to_bits()`-identical simulated
-#    seconds across backends.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-
-fail=0
-
-hot_paths=(crates/core/src/gpu/kernels crates/core/src/cpu/stages.rs)
-banned='f32::min|f32::max|\.clamp\('
-if matches=$(grep -rnE "$banned" "${hot_paths[@]}"); then
-    echo "lint: std float min/max/clamp in hot-loop code (use math::fmin/fmax/clampf):"
-    echo "$matches"
-    fail=1
-fi
-
-raw_span='read_into|slice_raw|set_span_raw'
-for f in crates/core/src/gpu/kernels/*.rs; do
-    if grep -qE "$raw_span" "$f" && ! grep -q 'charge_global_n' "$f"; then
-        echo "lint: $f uses raw span accessors but never calls charge_global_n"
-        fail=1
-    fi
-done
-
-shape_asserts='(^|[^_[:alnum:]])(assert|assert_eq|assert_ne)!'
-for f in crates/core/src/gpu/kernels/*.rs; do
-    if matches=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR":"$0}' "$f" \
-        | grep -E "$shape_asserts"); then
-        echo "lint: kernel precondition panics (return Error::InvalidKernelArgs instead):"
-        echo "$matches"
-        fail=1
-    fi
-done
-
-megapass=crates/core/src/gpu/megapass.rs
-if matches=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR":"$0}' "$megapass" \
-    | grep -E 'charge_[[:alnum:]_]*\('); then
-    echo "lint: megapass executor charges cost directly (must flow through kernel accounting/commit_sliced):"
-    echo "$matches"
-    fail=1
-fi
-
-telemetry_files=(
-    crates/core/src/telemetry.rs
-    crates/simgpu/src/metrics.rs
-    crates/simgpu/src/trace.rs
-)
-observer_mutations='\.reset\(|records_mut|charge_global|set_span|\.counters[[:space:]]*=|&mut CommandRecord|&mut CostCounters'
-for f in "${telemetry_files[@]}"; do
-    # Only non-test code is held to the rule; fixtures below #[cfg(test)]
-    # may construct and edit records freely.
-    if matches=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR":"$0}' "$f" \
-        | grep -E "$observer_mutations"); then
-        echo "lint: telemetry recording path mutates observed state (observation-only invariant):"
-        echo "$matches"
-        fail=1
-    fi
-done
-
-simd_dir=crates/core/src/gpu/kernels/simd
-arch_markers='(std|core)::arch|is_x86_feature_detected|_mm_|_mm256_'
-if matches=$(grep -rnE "$arch_markers" crates src --include='*.rs' \
-    | grep -v "^$simd_dir/"); then
-    echo "lint: std::arch intrinsics/feature detection outside $simd_dir (keep SIMD behind the dispatch module):"
-    echo "$matches"
-    fail=1
-fi
-
-for f in "$simd_dir"/*.rs; do
-    if matches=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR":"$0}' "$f" \
-        | grep -E 'charge_[[:alnum:]_]*\(|GroupCtx' \
-        | grep -vE ':[0-9]+:[[:space:]]*//'); then
-        echo "lint: simd span module touches the cost model (charges are owned by kernel closures):"
-        echo "$matches"
-        fail=1
-    fi
-done
-
-if [ "$fail" -ne 0 ]; then
-    echo "lint_invariants: FAILED"
-    exit 1
-fi
-echo "lint_invariants: OK"
+exec cargo run --release --quiet --bin lint_invariants

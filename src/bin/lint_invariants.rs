@@ -1,0 +1,599 @@
+//! Token-aware static invariant lint for hot-loop and accounting
+//! discipline — the Rust port of the old `scripts/lint_invariants.sh`
+//! greps (the script now just wraps this binary). Unlike the greps, every
+//! rule here runs on a lexed view of the source with comments and
+//! string/char literals blanked out, so prose that *mentions* a banned
+//! construct no longer trips the lint and banned calls smuggled into
+//! macro strings no longer hide from it.
+//!
+//! Seven rules, all load-bearing:
+//!
+//! 1. Kernel and CPU-stage hot loops use the shared `math` helpers
+//!    (`math::fmin`/`fmax`/`clampf`), never `f32::min`/`f32::max`/
+//!    `.clamp(` — the std forms branch on NaN semantics and have drifted
+//!    CPU/GPU results before.
+//! 2. Any kernel file reading or writing device memory through the raw
+//!    (uncharged) span accessors must bulk-charge the traffic via
+//!    `charge_global_n`, or the timing model silently undercounts bytes.
+//! 3. Kernel shape preconditions are typed errors, not panics: no
+//!    `assert!`/`assert_eq!`/`assert_ne!` in non-test kernel code
+//!    (`debug_assert!` on internal invariants stays allowed).
+//! 4. The megapass (banded) executor never charges cost itself — banded
+//!    bit-identity rests on every cost flowing through the kernels' own
+//!    per-group accounting merged by `commit_sliced`.
+//! 5. Telemetry is observation-only: the metric/trace recording paths
+//!    never mutate the state they observe.
+//! 6. SIMD stays contained and cost-blind: `std::arch` intrinsics and
+//!    feature detection only under `gpu/kernels/simd/`, and the span
+//!    backends never touch the cost model (`charge_*`, `GroupCtx`).
+//! 7. Every `CommandQueue` kernel dispatch declares an `AccessSummary`:
+//!    raw `q.run(`/`q.run_sliced(` calls are confined to the two
+//!    sanctioned dispatch modules (`kernels/mod.rs`, `kernels/
+//!    reduction.rs`), and each such call site there is preceded by a
+//!    `declare_access(` within a few lines. This is the static half of
+//!    the `Context::with_access_required` guarantee: no dispatch path
+//!    can grow that bypasses the access-summary verifier.
+
+use std::path::{Path, PathBuf};
+
+/// Blanks comments and string/char-literal contents with spaces while
+/// preserving every newline, so rule matching sees only real tokens and
+/// reported line numbers stay true to the original source.
+fn strip_tokens(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    // Emits `c` if it is a newline (to keep line numbers), else a space.
+    let blank = |out: &mut String, c: char| out.push(if c == '\n' { '\n' } else { ' ' });
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        if c == '/' && next == Some('/') {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+        } else if c == '/' && next == Some('*') {
+            let mut depth = 1;
+            out.push_str("  ");
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+        } else if c == 'r' && matches!(next, Some('"') | Some('#'))
+            || (c == 'b' && next == Some('r') && matches!(b.get(i + 2), Some('"') | Some('#')))
+        {
+            // Raw (byte) string: r"..", r#".."#, br#".."# — count the
+            // hashes, then blank until `"` followed by that many hashes.
+            let start = i;
+            i += if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0;
+            while b.get(i) == Some(&'#') {
+                hashes += 1;
+                i += 1;
+            }
+            if b.get(i) != Some(&'"') {
+                // Not a raw string after all (e.g. `r#macro` identifiers);
+                // emit what we consumed verbatim.
+                for &c in &b[start..i] {
+                    out.push(c);
+                }
+                continue;
+            }
+            for _ in start..=i {
+                out.push(' ');
+            }
+            i += 1;
+            while i < b.len() {
+                if b[i] == '"'
+                    && b[i + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&h| h == '#')
+                        .count()
+                        == hashes
+                {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes;
+                    break;
+                }
+                blank(&mut out, b[i]);
+                i += 1;
+            }
+        } else if c == '"' || (c == 'b' && next == Some('"')) {
+            out.push(' ');
+            i += 1;
+            if c == 'b' {
+                out.push(' ');
+                i += 1;
+            }
+            while i < b.len() {
+                if b[i] == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+        } else if c == '\'' {
+            // Char literal vs lifetime: a literal is 'x' or an escape;
+            // anything else (e.g. `'a`, `'static`) is a lifetime.
+            if next == Some('\\') {
+                out.push(' ');
+                i += 1;
+                out.push_str("  ");
+                i += 2;
+                while i < b.len() && b[i] != '\'' {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+                out.push(' ');
+                i += 1;
+            } else if b.get(i + 2) == Some(&'\'') {
+                out.push_str("   ");
+                i += 3;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The stripped lines of a file, 1-indexed, optionally cut at the first
+/// `#[cfg(test)]` (fixtures below it are exempt from most rules).
+fn lines(stripped: &str, until_test: bool) -> Vec<(usize, &str)> {
+    let mut v = Vec::new();
+    for (n, line) in stripped.lines().enumerate() {
+        if until_test && line.contains("#[cfg(test)]") {
+            break;
+        }
+        v.push((n + 1, line));
+    }
+    v
+}
+
+/// Is there a `needle` occurrence in `line` whose preceding char is not
+/// part of an identifier? (Filters `debug_assert!` out of `assert!`.)
+fn has_bare(line: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = line[from..].find(needle) {
+        let at = from + p;
+        let prev = line[..at].chars().next_back();
+        if !prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Does `line` call any `charge_*` function (an ident starting with
+/// `charge_` immediately followed by `(`)?
+fn has_charge_call(line: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = line[from..].find("charge_") {
+        let at = from + p;
+        let rest = &line[at + "charge_".len()..];
+        let ident_len = rest
+            .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .unwrap_or(rest.len());
+        if rest[ident_len..].starts_with('(') {
+            return true;
+        }
+        from = at + "charge_".len();
+    }
+    false
+}
+
+/// Does `line` assign through `.counters` (i.e. `.counters = …`, not a
+/// comparison)?
+fn has_counters_assign(line: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = line[from..].find(".counters") {
+        let rest = line[from + p + ".counters".len()..].trim_start();
+        if rest.starts_with('=') && !rest.starts_with("==") {
+            return true;
+        }
+        from += p + ".counters".len();
+    }
+    false
+}
+
+/// Every `.rs` file under `dir`, recursively, sorted for deterministic
+/// reports.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut v = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return v;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            v.extend(rust_files(&p));
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            v.push(p);
+        }
+    }
+    v.sort();
+    v
+}
+
+struct Lint {
+    root: PathBuf,
+    failures: Vec<String>,
+}
+
+impl Lint {
+    fn read(&self, rel: &Path) -> String {
+        // Missing files lint clean: fixed-path rules (megapass, telemetry)
+        // simply have nothing to check in a partial tree.
+        let src = std::fs::read_to_string(self.root.join(rel)).unwrap_or_default();
+        strip_tokens(&src)
+    }
+
+    fn fail(&mut self, header: &str, rel: &Path, hits: &[(usize, &str)]) {
+        if hits.is_empty() {
+            return;
+        }
+        let mut msg = format!("lint: {header}\n");
+        for (n, line) in hits {
+            msg.push_str(&format!("  {}:{n}: {}\n", rel.display(), line.trim()));
+        }
+        self.failures.push(msg);
+    }
+
+    /// Rule 1: std float min/max/clamp in hot-loop code.
+    fn rule_std_float(&mut self, hot: &[PathBuf]) {
+        for rel in hot {
+            let s = self.read(rel);
+            let hits: Vec<_> = lines(&s, false)
+                .into_iter()
+                .filter(|(_, l)| {
+                    l.contains("f32::min") || l.contains("f32::max") || l.contains(".clamp(")
+                })
+                .collect();
+            self.fail(
+                "std float min/max/clamp in hot-loop code (use math::fmin/fmax/clampf)",
+                rel,
+                &hits,
+            );
+        }
+    }
+
+    /// Rule 2: raw span accessors without a bulk byte charge.
+    fn rule_uncharged_spans(&mut self, kernel_files: &[PathBuf]) {
+        for rel in kernel_files {
+            let s = self.read(rel);
+            let raw = ["read_into", "slice_raw", "set_span_raw"];
+            if raw.iter().any(|m| s.contains(m)) && !s.contains("charge_global_n") {
+                self.failures.push(format!(
+                    "lint: {} uses raw span accessors but never calls charge_global_n\n",
+                    rel.display()
+                ));
+            }
+        }
+    }
+
+    /// Rule 3: kernel preconditions must not panic.
+    fn rule_no_kernel_asserts(&mut self, kernel_files: &[PathBuf]) {
+        for rel in kernel_files {
+            let s = self.read(rel);
+            let hits: Vec<_> = lines(&s, true)
+                .into_iter()
+                .filter(|(_, l)| {
+                    has_bare(l, "assert!") || has_bare(l, "assert_eq!") || has_bare(l, "assert_ne!")
+                })
+                .collect();
+            self.fail(
+                "kernel precondition panics (return Error::InvalidKernelArgs instead)",
+                rel,
+                &hits,
+            );
+        }
+    }
+
+    /// Rule 4: the banded executor never charges cost directly.
+    fn rule_megapass_charge_free(&mut self, rel: &Path) {
+        let s = self.read(rel);
+        let hits: Vec<_> = lines(&s, true)
+            .into_iter()
+            .filter(|(_, l)| has_charge_call(l))
+            .collect();
+        self.fail(
+            "megapass executor charges cost directly (must flow through kernel accounting/commit_sliced)",
+            rel,
+            &hits,
+        );
+    }
+
+    /// Rule 5: telemetry recording paths never mutate observed state.
+    fn rule_observation_only(&mut self, telemetry_files: &[PathBuf]) {
+        for rel in telemetry_files {
+            let s = self.read(rel);
+            let hits: Vec<_> = lines(&s, true)
+                .into_iter()
+                .filter(|(_, l)| {
+                    l.contains(".reset(")
+                        || l.contains("records_mut")
+                        || l.contains("charge_global")
+                        || l.contains("set_span")
+                        || l.contains("&mut CommandRecord")
+                        || l.contains("&mut CostCounters")
+                        || has_counters_assign(l)
+                })
+                .collect();
+            self.fail(
+                "telemetry recording path mutates observed state (observation-only invariant)",
+                rel,
+                &hits,
+            );
+        }
+    }
+
+    /// Rule 6: SIMD contained to its module, and cost-blind inside it.
+    fn rule_simd_contained(&mut self, all_files: &[PathBuf], simd_dir: &Path) {
+        for rel in all_files {
+            let in_simd = rel.starts_with(simd_dir);
+            let s = self.read(rel);
+            if !in_simd {
+                let hits: Vec<_> = lines(&s, false)
+                    .into_iter()
+                    .filter(|(_, l)| {
+                        l.contains("std::arch")
+                            || l.contains("core::arch")
+                            || l.contains("is_x86_feature_detected")
+                            || l.contains("_mm_")
+                            || l.contains("_mm256_")
+                    })
+                    .collect();
+                self.fail(
+                    "std::arch intrinsics/feature detection outside gpu/kernels/simd (keep SIMD behind the dispatch module)",
+                    rel,
+                    &hits,
+                );
+            } else {
+                let hits: Vec<_> = lines(&s, true)
+                    .into_iter()
+                    .filter(|(_, l)| has_charge_call(l) || l.contains("GroupCtx"))
+                    .collect();
+                self.fail(
+                    "simd span module touches the cost model (charges are owned by kernel closures)",
+                    rel,
+                    &hits,
+                );
+            }
+        }
+    }
+
+    /// Rule 7: every CommandQueue dispatch site declares an AccessSummary.
+    fn rule_declared_dispatches(&mut self, gpu_files: &[PathBuf], sanctioned: &[PathBuf]) {
+        let is_dispatch = |l: &str| {
+            l.contains("q.run(") || l.contains("q.run_sliced(") || l.contains(".run_sliced(")
+        };
+        for rel in gpu_files {
+            let s = self.read(rel);
+            let ls = lines(&s, true);
+            if !sanctioned.contains(rel) {
+                let hits: Vec<_> = ls.into_iter().filter(|(_, l)| is_dispatch(l)).collect();
+                self.fail(
+                    "raw CommandQueue dispatch outside the sanctioned declared-access modules \
+                     (route kernels through gpu/kernels/mod.rs dispatch or declare_access first)",
+                    rel,
+                    &hits,
+                );
+            } else {
+                // Inside the sanctioned modules every dispatch must have a
+                // declare_access within the preceding few lines.
+                const WINDOW: usize = 15;
+                let mut hits = Vec::new();
+                for (idx, (n, l)) in ls.iter().enumerate() {
+                    if !is_dispatch(l) {
+                        continue;
+                    }
+                    let declared = ls[idx.saturating_sub(WINDOW)..=idx]
+                        .iter()
+                        .any(|(_, prev)| prev.contains("declare_access("));
+                    if !declared {
+                        hits.push((*n, *l));
+                    }
+                }
+                self.fail(
+                    "CommandQueue dispatch without a declare_access within the preceding lines \
+                     (every dispatch declares its verified AccessSummary)",
+                    rel,
+                    &hits,
+                );
+            }
+        }
+    }
+}
+
+fn run(root: &Path) -> i32 {
+    let mut lint = Lint {
+        root: root.to_path_buf(),
+        failures: Vec::new(),
+    };
+    let kernels_dir = root.join("crates/core/src/gpu/kernels");
+    let rel = |p: &Path| p.strip_prefix(root).expect("under root").to_path_buf();
+
+    // Direct kernel files (the simd/ backends are held to rule 6 instead).
+    let kernel_files: Vec<PathBuf> = rust_files(&kernels_dir)
+        .into_iter()
+        .filter(|p| p.parent() == Some(kernels_dir.as_path()))
+        .map(|p| rel(&p))
+        .collect();
+    // Rule 1 sweeps the kernels tree recursively (simd backends included).
+    let mut hot: Vec<PathBuf> = rust_files(&kernels_dir).iter().map(|p| rel(p)).collect();
+    hot.push(PathBuf::from("crates/core/src/cpu/stages.rs"));
+
+    lint.rule_std_float(&hot);
+    lint.rule_uncharged_spans(&kernel_files);
+    lint.rule_no_kernel_asserts(&kernel_files);
+    lint.rule_megapass_charge_free(Path::new("crates/core/src/gpu/megapass.rs"));
+    lint.rule_observation_only(&[
+        PathBuf::from("crates/core/src/telemetry.rs"),
+        PathBuf::from("crates/simgpu/src/metrics.rs"),
+        PathBuf::from("crates/simgpu/src/trace.rs"),
+    ]);
+
+    let all: Vec<PathBuf> = [root.join("crates"), root.join("src")]
+        .iter()
+        .flat_map(|d| rust_files(d))
+        .map(|p| rel(&p))
+        .collect();
+    lint.rule_simd_contained(&all, Path::new("crates/core/src/gpu/kernels/simd"));
+
+    let gpu_files: Vec<PathBuf> = rust_files(&root.join("crates/core/src/gpu"))
+        .into_iter()
+        .map(|p| rel(&p))
+        .collect();
+    lint.rule_declared_dispatches(
+        &gpu_files,
+        &[
+            PathBuf::from("crates/core/src/gpu/kernels/mod.rs"),
+            PathBuf::from("crates/core/src/gpu/kernels/reduction.rs"),
+        ],
+    );
+
+    if lint.failures.is_empty() {
+        println!("lint_invariants: OK (7 rules, token-aware)");
+        0
+    } else {
+        for f in &lint.failures {
+            print!("{f}");
+        }
+        println!("lint_invariants: FAILED");
+        1
+    }
+}
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")));
+    std::process::exit(run(&root));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = strip_tokens("a // f32::min\nb /* .clamp( */ c\n");
+        assert!(!s.contains("f32::min"));
+        assert!(!s.contains(".clamp("));
+        assert!(s.contains('a') && s.contains('b') && s.contains('c'));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let s = strip_tokens("x /* outer /* f32::max */ still */ y");
+        assert!(!s.contains("f32::max"));
+        assert!(s.contains('x') && s.contains('y'));
+    }
+
+    #[test]
+    fn strips_string_contents_but_keeps_code() {
+        let s = strip_tokens(r#"let m = "f32::min"; q.run(x)"#);
+        assert!(!s.contains("f32::min"));
+        assert!(s.contains("q.run(x)"));
+    }
+
+    #[test]
+    fn strips_raw_strings_and_escapes() {
+        let s = strip_tokens("let a = r#\"assert!( \"# ; let b = \"\\\"assert!\";");
+        assert!(!s.contains("assert!"));
+        let s = strip_tokens("let c = br\"charge_x(\";");
+        assert!(!s.contains("charge_x("));
+    }
+
+    #[test]
+    fn keeps_lifetimes_and_strips_char_literals() {
+        let s = strip_tokens("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'z'; }");
+        assert!(s.contains("<'a>"));
+        assert!(s.contains("&'a str"));
+        assert!(!s.contains('z'));
+        // The '"' char literal must not open a string.
+        assert!(s.contains("let d"));
+    }
+
+    #[test]
+    fn bare_match_excludes_debug_assert() {
+        assert!(has_bare("    assert!(x);", "assert!"));
+        assert!(!has_bare("    debug_assert!(x);", "assert!"));
+        assert!(has_bare("debug_assert!(a); assert!(b);", "assert!"));
+    }
+
+    #[test]
+    fn charge_call_detection() {
+        assert!(has_charge_call("g.charge_global_n(4);"));
+        assert!(has_charge_call("charge_flops(n)"));
+        assert!(!has_charge_call("let charge_total = 4;"));
+        assert!(!has_charge_call("// none here"));
+    }
+
+    #[test]
+    fn counters_assignment_vs_comparison() {
+        assert!(has_counters_assign("rec.counters = Some(c);"));
+        assert!(!has_counters_assign("if rec.counters == other {}"));
+    }
+
+    #[test]
+    fn repo_is_clean() {
+        assert_eq!(run(Path::new(env!("CARGO_MANIFEST_DIR"))), 0);
+    }
+
+    #[test]
+    fn flags_violations_in_a_synthetic_tree() {
+        let root = std::env::temp_dir().join(format!("lint-fixture-{}", std::process::id()));
+        let kernels = root.join("crates/core/src/gpu/kernels");
+        std::fs::create_dir_all(&kernels).unwrap();
+        // Four violations: std clamp (rule 1), raw span without a charge
+        // (rule 2), a bare assert (rule 3), and an undeclared queue
+        // dispatch outside the sanctioned modules (rule 7). A comment
+        // mentioning `f32::min` must NOT count.
+        std::fs::write(
+            kernels.join("bad.rs"),
+            "// f32::min in prose is fine\n\
+             fn k(x: f32) -> f32 {\n\
+                 assert!(x > 0.0);\n\
+                 g.slice_raw(0, n);\n\
+                 q.run(&desc, &[], body);\n\
+                 x.clamp(0.0, 1.0)\n\
+             }\n",
+        )
+        .unwrap();
+        let code = run(&root);
+        std::fs::remove_dir_all(&root).ok();
+        assert_eq!(code, 1);
+    }
+}

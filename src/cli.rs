@@ -8,7 +8,10 @@ use std::path::PathBuf;
 use imagekit::{io, metrics, ImageF32};
 use sharpness_core::color::{sharpen_rgb, ColorMode};
 use sharpness_core::cpu::CpuPipeline;
-use sharpness_core::gpu::{GpuPipeline, OptConfig, Schedule, ThroughputEngine, ThroughputReport};
+use sharpness_core::gpu::{
+    verify_static, GpuPipeline, OptConfig, Schedule, StaticReport, ThroughputEngine,
+    ThroughputReport, Tuning,
+};
 use sharpness_core::params::SharpnessParams;
 use sharpness_core::report::RunReport;
 use sharpness_core::telemetry::FrameTelemetry;
@@ -76,6 +79,11 @@ pub struct CliArgs {
     /// Run every kernel under the shadow-execution sanitizer and fail on
     /// any finding (GPU single-frame only).
     pub sanitize: bool,
+    /// Statically prove the dispatch schedule sound (bounds, write
+    /// disjointness, byte accounting, slice coverage) before running, and
+    /// require every live dispatch to declare its verified access summary
+    /// (GPU only).
+    pub verify_static: bool,
     /// Optional JSONL metrics output path (GPU only).
     pub metrics: Option<PathBuf>,
     /// Print the per-kernel efficiency table (GPU only).
@@ -129,6 +137,13 @@ options:
                     accounting drift); exits non-zero on any finding.
                     GPU single-frame only; results and simulated time are
                     unchanged — the overhead is wall-clock only
+  --verify-static   statically prove the dispatch schedule sound before
+                    running — every kernel in-bounds, write-sets disjoint,
+                    charged bytes within the closed-form overcharge bound,
+                    banded slices an exact partition of each grid — then
+                    require every live dispatch to declare its verified
+                    access summary (undeclared dispatch is a hard error).
+                    Pixels and simulated time are unchanged (GPU only)
 ";
 
 fn parse_value<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
@@ -154,6 +169,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         frames: 1,
         threads: 0,
         sanitize: false,
+        verify_static: false,
         metrics: None,
         profile: false,
         banded: None,
@@ -196,6 +212,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--frames" => cli.frames = parse_value(&arg, it.next())?,
             "--threads" => cli.threads = parse_value(&arg, it.next())?,
             "--sanitize" => cli.sanitize = true,
+            "--verify-static" => cli.verify_static = true,
             "--metrics" => {
                 cli.metrics = Some(PathBuf::from(parse_value::<String>(&arg, it.next())?))
             }
@@ -228,6 +245,9 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
              kernel dispatch at a time, so the throughput engine runs unsanitized"
                 .to_string(),
         );
+    }
+    if cli.verify_static && use_cpu {
+        return Err("--verify-static requires the GPU engine (drop --cpu)".to_string());
     }
     if cli.banded.is_some() && use_cpu {
         return Err("--banded requires the GPU engine (drop --cpu)".to_string());
@@ -291,10 +311,26 @@ fn sharpen_plane(cli: &CliArgs, plane: &ImageF32) -> Result<RunReport, String> {
     match cli.engine {
         Engine::Cpu => CpuPipeline::new(cli.params).run(plane),
         Engine::Gpu(preset) => {
+            if cli.verify_static {
+                // Prove the whole dispatch schedule sound before touching
+                // a single pixel; a failed proof aborts the run.
+                verify_static(
+                    plane.width(),
+                    plane.height(),
+                    &cli.opts,
+                    &Tuning::default(),
+                    schedule_of(cli),
+                )?;
+            }
             let ctx = if cli.sanitize {
                 Context::sanitized(preset.spec())
             } else {
                 Context::new(preset.spec())
+            };
+            let ctx = if cli.verify_static {
+                ctx.with_access_required()
+            } else {
+                ctx
             };
             let report = GpuPipeline::new(ctx.clone(), cli.params, cli.opts)
                 .with_schedule(schedule_of(cli))
@@ -444,10 +480,30 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
             "sanitizer: clean (no races, out-of-bounds, barrier divergence, or accounting drift)\n",
         );
     }
+    // Reaching this point with --verify-static means the proof succeeded
+    // (sharpen_plane aborts otherwise) and every live dispatch declared its
+    // summary; recompute the report for the stats line and metric gauges.
+    let static_report: Option<StaticReport> = if cli.verify_static && is_gpu {
+        let r = verify_static(
+            plane.width(),
+            plane.height(),
+            &cli.opts,
+            &Tuning::default(),
+            schedule_of(cli),
+        )?;
+        summary.push_str(&r.summary_line());
+        summary.push('\n');
+        Some(r)
+    } else {
+        None
+    };
     if let Some(path) = &cli.metrics {
         let (_, tel) = observed.as_ref().expect("observed when --metrics");
         let mut reg = MetricsRegistry::new();
         tel.to_registry(&mut reg);
+        if let Some(r) = &static_report {
+            r.to_registry(&mut reg);
+        }
         if let Some(tp) = &tput {
             reg.inc("throughput.frames", tp.outputs.len() as u64);
             reg.set_gauge("throughput.threads", tp.threads as f64);
@@ -683,6 +739,69 @@ mod tests {
         let line = |s: &str| s.lines().next().unwrap_or("").to_string();
         assert_eq!(line(&summary), line(&plain_summary));
         for p in [input, output] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn parses_verify_static_flag() {
+        let cli = parse_args(&strs(&["a.pgm", "b.pgm", "--verify-static"])).unwrap();
+        assert!(cli.verify_static);
+        assert!(
+            !parse_args(&strs(&["a.pgm", "b.pgm"]))
+                .unwrap()
+                .verify_static
+        );
+        // The static verifier proves GPU dispatch schedules; the CPU
+        // reference has none.
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--verify-static", "--cpu"])).is_err());
+    }
+
+    #[test]
+    fn verify_static_flag_end_to_end() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("cli-vs-in-{}.pgm", std::process::id()));
+        let out_plain = dir.join(format!("cli-vs-plain-{}.pgm", std::process::id()));
+        let out_verif = dir.join(format!("cli-vs-verif-{}.pgm", std::process::id()));
+        let mfile = dir.join(format!("cli-vs-{}.jsonl", std::process::id()));
+        // Ragged shape: the proof must cover partial tail groups.
+        let img = imagekit::generate::natural(101, 67, 7).to_u8();
+        io::write_pgm(&input, &img).unwrap();
+        let plain = parse_args(&strs(&[
+            input.to_str().unwrap(),
+            out_plain.to_str().unwrap(),
+            "--banded=32",
+        ]))
+        .unwrap();
+        let plain_summary = run(&plain).unwrap();
+        let cli = parse_args(&strs(&[
+            input.to_str().unwrap(),
+            out_verif.to_str().unwrap(),
+            "--banded=32",
+            "--verify-static",
+            "--metrics",
+            mfile.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let summary = run(&cli).unwrap();
+        assert!(summary.contains("static verifier:"), "{summary}");
+        assert!(summary.contains("proved in-bounds"), "{summary}");
+        // Verification is observation-only: same pixels, same simulated
+        // milliseconds in the summary line.
+        assert_eq!(
+            std::fs::read(&out_plain).unwrap(),
+            std::fs::read(&out_verif).unwrap()
+        );
+        let line = |s: &str| s.lines().next().unwrap_or("").to_string();
+        assert_eq!(line(&plain_summary), line(&summary));
+        // The verifier counters ride along in the metrics export.
+        let jsonl = std::fs::read_to_string(&mfile).unwrap();
+        assert!(jsonl.contains("\"name\":\"verify.dispatches\""), "{jsonl}");
+        assert!(
+            jsonl.contains("\"name\":\"verify.max_ratio_slack\""),
+            "{jsonl}"
+        );
+        for p in [input, out_plain, out_verif, mfile] {
             std::fs::remove_file(p).ok();
         }
     }
