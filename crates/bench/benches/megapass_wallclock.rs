@@ -20,6 +20,7 @@
 use std::time::Instant;
 
 use sharpness_bench::benchjson::{self, BenchRow};
+use sharpness_bench::ledger::{self, LedgerEntry};
 use sharpness_bench::workload;
 use sharpness_core::gpu::{BandedStats, GpuPipeline, OptConfig, Schedule};
 use sharpness_core::params::SharpnessParams;
@@ -78,8 +79,14 @@ fn main() {
         simd::host_features()
     );
     let mut rows = Vec::new();
+    let mut entries = Vec::new();
     for &width in &sizes {
         let stats = BandedStats::for_frame(width, width, &OptConfig::all(), band);
+        // One spans-enabled observation frame per schedule supplies the
+        // attribution data carried by the ledger entries; it runs outside
+        // every timed loop.
+        let mono_shares = ledger::phase_shares(width, Schedule::Monolithic);
+        let band_shares = ledger::phase_shares(width, Schedule::Banded(band));
 
         // Scalar reference: the autovectorized spans, monolithic schedule.
         simd::set_backend(Some(Backend::Autovec));
@@ -90,6 +97,13 @@ fn main() {
             scalar_fps,
             1.0,
         ));
+        entries.push(LedgerEntry::now(
+            "megapass_wallclock",
+            "monolithic",
+            width,
+            scalar_fps,
+            mono_shares.clone(),
+        ));
         // Banding with the scalar spans, to isolate the backend effect at
         // a fixed schedule.
         let band_scalar_fps = measure(width, frames, Schedule::Banded(band));
@@ -98,6 +112,13 @@ fn main() {
             band_label.clone(),
             band_scalar_fps,
             band_scalar_fps / scalar_fps,
+        ));
+        entries.push(LedgerEntry::now(
+            "megapass_wallclock",
+            &band_label,
+            width,
+            band_scalar_fps,
+            band_shares.clone(),
         ));
 
         // Detected SIMD backend (autovec again when the feature is off).
@@ -111,6 +132,13 @@ fn main() {
             simd_fps,
             simd_speedup,
         ));
+        entries.push(LedgerEntry::now(
+            "megapass_wallclock",
+            "monolithic",
+            width,
+            simd_fps,
+            mono_shares.clone(),
+        ));
 
         // Cache-blocked banding on top of the SIMD backend.
         let band_fps = measure(width, frames, Schedule::Banded(band));
@@ -120,6 +148,13 @@ fn main() {
             band_label.clone(),
             band_fps,
             band_speedup,
+        ));
+        entries.push(LedgerEntry::now(
+            "megapass_wallclock",
+            &band_label,
+            width,
+            band_fps,
+            band_shares.clone(),
         ));
 
         println!(
@@ -135,4 +170,13 @@ fn main() {
     }
     benchjson::write(&out_path, "megapass_wallclock", &rows).expect("write bench json");
     println!("wrote {out_path}");
+    let ledger_path = std::env::var("LEDGER_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| ledger::default_path());
+    ledger::append(&ledger_path, &entries).expect("append perf ledger");
+    println!(
+        "appended {} entries to {}",
+        entries.len(),
+        ledger_path.display()
+    );
 }

@@ -19,6 +19,7 @@
 use std::time::Instant;
 
 use sharpness_bench::benchjson::{self, BenchRow};
+use sharpness_bench::ledger::{self, LedgerEntry};
 use sharpness_bench::workload;
 use sharpness_core::gpu::{GpuPipeline, OptConfig, Schedule, ThroughputEngine};
 use sharpness_core::params::SharpnessParams;
@@ -148,4 +149,33 @@ fn main() {
     ];
     benchjson::write(&out_path, "throughput_wallclock", &rows).expect("write bench json");
     println!("wrote {out_path}");
+
+    // Perf ledger: append every measured configuration with per-phase
+    // span shares from one observation frame (outside the timed loops).
+    let mono_shares = ledger::phase_shares(width, Schedule::Monolithic);
+    let band_shares = ledger::phase_shares(width, Schedule::Banded(0));
+    let entry = |schedule: &str, seconds: f64, shares: &Vec<(String, f64)>| {
+        LedgerEntry::now(
+            "throughput_wallclock",
+            schedule,
+            width,
+            fps(frames, seconds),
+            shares.clone(),
+        )
+    };
+    let entries = vec![
+        entry("fresh", fresh_s, &mono_shares),
+        entry("monolithic", plan_s, &mono_shares),
+        entry("banded(auto)", banded_s, &band_shares),
+        entry(&format!("engine[{workers}]"), engine_s, &mono_shares),
+    ];
+    let ledger_path = std::env::var("LEDGER_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| ledger::default_path());
+    ledger::append(&ledger_path, &entries).expect("append perf ledger");
+    println!(
+        "appended {} entries to {}",
+        entries.len(),
+        ledger_path.display()
+    );
 }

@@ -46,7 +46,7 @@ impl BenchRow {
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => "\\\"".chars().collect::<Vec<_>>(),

@@ -1,0 +1,88 @@
+//! Inspects the perf ledger (`baselines/LEDGER.jsonl`) that the
+//! wall-clock benches append to.
+//!
+//! ```text
+//! perf_ledger                    # print the history, one line per series
+//! perf_ledger --check            # newest-vs-history regression gate
+//! perf_ledger --check --threshold 0.5 --path other/LEDGER.jsonl
+//! ```
+//!
+//! `--check` exits nonzero when any series' newest entry is more than
+//! `threshold` (fraction, default 0.25) below the median of its prior
+//! entries; the report attributes the regression to the span whose share
+//! of the frame grew. A ledger with fewer than two entries per series is
+//! reported but never fails — wall-clock history needs runs to exist.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sharpness_bench::ledger;
+
+fn usage() -> ! {
+    eprintln!("usage: perf_ledger [--check] [--threshold <fraction>] [--path <LEDGER.jsonl>]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut threshold = 0.25f64;
+    let mut path: PathBuf = ledger::default_path();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--threshold" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) => threshold = t,
+                None => usage(),
+            },
+            "--path" => match args.next() {
+                Some(p) => path = PathBuf::from(p),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let entries = match ledger::load(&path) {
+        Ok(e) => e,
+        Err(err) => {
+            eprintln!("perf_ledger: cannot read {}: {err}", path.display());
+            // A missing ledger is not a regression — benches simply have
+            // not run yet on this checkout.
+            return if check {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+    println!("perf ledger {} — {} entries", path.display(), entries.len());
+
+    if !check {
+        for e in &entries {
+            println!(
+                "  {} {:>8.2} frames/s  host [{}]",
+                e.key(),
+                e.frames_per_s,
+                e.host
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let outcome = ledger::check(&entries, threshold);
+    print!("{}", outcome.report);
+    if outcome.regressions > 0 {
+        eprintln!(
+            "perf_ledger: {} series regressed more than {:.0}% below their median",
+            outcome.regressions,
+            threshold * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf_ledger: no series regressed past {:.0}%",
+        threshold * 100.0
+    );
+    ExitCode::SUCCESS
+}

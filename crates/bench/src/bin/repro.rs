@@ -21,10 +21,13 @@
 //! without executing a single kernel — and exits non-zero on any failed
 //! proof; alone, it runs only the static sweep.
 //!
-//! `--metrics-dir <dir>` writes the per-config efficiency metrics (the
-//! same JSONL files `metrics_baseline` maintains under
-//! `baselines/metrics/`) into `<dir>`, one file per cumulative
-//! optimization step; alone, it writes only the metrics.
+//! `--metrics <path>` (also spelled `--metrics-dir`, same flag the
+//! `sharpen` tool takes) writes the per-config efficiency metrics — the
+//! same JSONL `metrics_baseline` maintains under `baselines/metrics/`.
+//! Dir vs file by inspection: a directory path gets one file per
+//! cumulative optimization step; a `*.jsonl` file path gets every step in
+//! one file with `step-slug.`-prefixed metric names. Alone, it writes
+//! only the metrics.
 
 use sharpness_bench::*;
 use sharpness_core::gpu::{verify_static, GpuPipeline, OptConfig, Schedule, Tuning};
@@ -118,15 +121,35 @@ fn verify_static_sweep() -> bool {
     clean
 }
 
-/// Writes the per-config efficiency metrics JSONL files into `dir`.
-fn write_metrics(dir: &str) {
+/// Writes the per-config efficiency metrics. Dir vs file by inspection:
+/// an existing directory (or any path without a `.jsonl` extension) gets
+/// one JSONL file per cumulative step; a `*.jsonl` path gets all steps in
+/// one file, each metric name prefixed with its step slug.
+fn write_metrics(path: &str) {
     use sharpness_core::telemetry::{baseline_configs, baseline_registry};
-    std::fs::create_dir_all(dir).expect("create metrics dir");
-    for (slug, cfg) in baseline_configs() {
-        let reg = baseline_registry(&cfg).expect("baseline config runs");
-        let path = std::path::Path::new(dir).join(format!("{slug}.jsonl"));
-        std::fs::write(&path, reg.to_jsonl()).expect("write metrics");
-        println!("wrote {}", path.display());
+    let p = std::path::Path::new(path);
+    let single_file = !p.is_dir() && p.extension().is_some_and(|e| e == "jsonl");
+    if single_file {
+        let mut out = String::new();
+        for (slug, cfg) in baseline_configs() {
+            let reg = baseline_registry(&cfg).expect("baseline config runs");
+            for line in reg.to_jsonl().lines() {
+                // Lines are our own emitter's output, so the name field is
+                // always the first key; prefix it with the step slug.
+                out.push_str(&line.replacen("{\"name\":\"", &format!("{{\"name\":\"{slug}."), 1));
+                out.push('\n');
+            }
+        }
+        std::fs::write(p, out).expect("write metrics");
+        println!("wrote {}", p.display());
+    } else {
+        std::fs::create_dir_all(p).expect("create metrics dir");
+        for (slug, cfg) in baseline_configs() {
+            let reg = baseline_registry(&cfg).expect("baseline config runs");
+            let file = p.join(format!("{slug}.jsonl"));
+            std::fs::write(&file, reg.to_jsonl()).expect("write metrics");
+            println!("wrote {}", file.display());
+        }
     }
 }
 
@@ -136,15 +159,18 @@ fn main() {
     args.retain(|a| a != "--sanitize");
     let verify = args.iter().any(|a| a == "--verify-static");
     args.retain(|a| a != "--verify-static");
-    let metrics_dir = args.iter().position(|a| a == "--metrics-dir").map(|i| {
-        if i + 1 >= args.len() {
-            eprintln!("--metrics-dir needs a directory");
-            std::process::exit(2);
-        }
-        let dir = args[i + 1].clone();
-        args.drain(i..=i + 1);
-        dir
-    });
+    let metrics_dir = args
+        .iter()
+        .position(|a| a == "--metrics-dir" || a == "--metrics")
+        .map(|i| {
+            if i + 1 >= args.len() {
+                eprintln!("{} needs a path", args[i]);
+                std::process::exit(2);
+            }
+            let dir = args[i + 1].clone();
+            args.drain(i..=i + 1);
+            dir
+        });
     if verify {
         if !verify_static_sweep() {
             std::process::exit(1);
@@ -228,7 +254,7 @@ fn main() {
     {
         eprintln!("unknown experiment `{what}`");
         eprintln!(
-            "usage: repro [table1|fig12|fig13a|fig13b|fig13c|fig14|fig15|fig16|fig17|ablations|all|csv <dir>] [--sanitize] [--verify-static] [--metrics-dir <dir>]"
+            "usage: repro [table1|fig12|fig13a|fig13b|fig13c|fig14|fig15|fig16|fig17|ablations|all|csv <dir>] [--sanitize] [--verify-static] [--metrics <dir-or-file.jsonl>]"
         );
         std::process::exit(2);
     }

@@ -15,6 +15,7 @@
 pub mod ablation;
 pub mod benchjson;
 pub mod csv;
+pub mod ledger;
 
 use imagekit::{generate, ImageF32};
 use sharpness_core::cpu::CpuPipeline;

@@ -22,6 +22,7 @@ use std::time::Instant;
 
 use imagekit::ImageF32;
 use simgpu::metrics::Histogram;
+use simgpu::span::SpanRecord;
 use simgpu::trace::WorkerSpan;
 
 use crate::gpu::batch::{pipelined_time, FrameComponents};
@@ -38,6 +39,11 @@ pub struct ThroughputReport {
     /// input order. Feeds the per-worker trace/Gantt exports and the
     /// wall-latency histogram.
     pub traces: Vec<WorkerSpan>,
+    /// Per-frame hierarchical span trees, in input order (each entry empty
+    /// unless the pipeline's context enabled spans). Workers record into
+    /// their own queue's ring, so no cross-thread synchronisation exists on
+    /// the span path.
+    pub spans: Vec<Vec<SpanRecord>>,
     /// Total simulated time without overlap (sum of frame totals).
     pub serial_s: f64,
     /// Total simulated time with double-buffered overlap.
@@ -145,8 +151,9 @@ impl ThroughputEngine {
             self.pipe.clone()
         };
 
-        // Finished frame: output pixels, simulated components, worker span.
-        type FrameSlot = Option<(ImageF32, FrameComponents, WorkerSpan)>;
+        // Finished frame: output pixels, simulated components, worker span,
+        // and the frame's hierarchical spans (empty with spans disabled).
+        type FrameSlot = Option<(ImageF32, FrameComponents, WorkerSpan, Vec<SpanRecord>)>;
         let started = Instant::now();
         let cursor = AtomicUsize::new(0);
         let failure: Mutex<Option<String>> = Mutex::new(None);
@@ -191,7 +198,9 @@ impl ThroughputEngine {
                                 };
                                 let img =
                                     ImageF32::from_vec(shape.0, shape.1, out.clone());
-                                **slots[i].lock().expect("slot lock") = Some((img, comps, span));
+                                let frame_spans = plan.spans();
+                                **slots[i].lock().expect("slot lock") =
+                                    Some((img, comps, span, frame_spans));
                             }
                             Err(e) => {
                                 failure.lock().expect("failure lock").get_or_insert(e);
@@ -211,11 +220,13 @@ impl ThroughputEngine {
         let mut outputs = Vec::with_capacity(frames.len());
         let mut comps = Vec::with_capacity(frames.len());
         let mut traces = Vec::with_capacity(frames.len());
+        let mut spans = Vec::with_capacity(frames.len());
         for r in results {
-            let (img, c, span) = r.expect("no failure recorded, so every frame completed");
+            let (img, c, span, fs) = r.expect("no failure recorded, so every frame completed");
             outputs.push(img);
             comps.push(c);
             traces.push(span);
+            spans.push(fs);
         }
         let serial_s = comps.iter().map(FrameComponents::total).sum();
         let pipelined_s = pipelined_time(&comps);
@@ -223,6 +234,7 @@ impl ThroughputEngine {
             outputs,
             frames: comps,
             traces,
+            spans,
             serial_s,
             pipelined_s,
             wall_s,
@@ -315,6 +327,7 @@ mod tests {
                 n
             ],
             traces: Vec::new(),
+            spans: Vec::new(),
             serial_s: 0.0,
             pipelined_s: 0.0,
             wall_s: 0.0,

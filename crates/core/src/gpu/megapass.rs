@@ -46,6 +46,7 @@
 use imagekit::ImageF32;
 use simgpu::error::Result as SimResult;
 use simgpu::queue::{CommandQueue, SlicedDispatch};
+use simgpu::span::SpanKind;
 use simgpu::timing::KernelTime;
 
 use crate::gpu::kernels::downscale::downscale_launch;
@@ -214,19 +215,23 @@ pub(crate) fn run_frame_banded(
     let slice_stage1 = mean_override.is_none() && opts.reduction_gpu;
 
     // ---- uploads (Section V-A), identical records -----------------------
+    let ph = q.span_open(SpanKind::Phase, "upload");
     pipe.upload_frame(q, res, orig)?;
+    q.span_close(ph);
     let (padded_src, main_src) = res.sources();
 
     // ---- phase A: downscale + Sobel (+ reduction stage 1) per band ------
     // All three read only the fully-uploaded source (stage 1 reads the
     // pEdge rows Sobel produced earlier in the same band), so slicing here
     // is purely a cache-residency choice.
+    let ph = q.span_open(SpanKind::Phase, "megapass:A");
     let mut acc_down = SlicedDispatch::new();
     let mut acc_sobel = SlicedDispatch::new();
     let mut acc_stage1 = SlicedDispatch::new();
     let (mut cur_d, mut cur_s, mut cur_r) = (0usize, 0usize, 0usize);
     let mut g0 = 0usize;
     while g0 < gtot {
+        let band = q.span_open(SpanKind::Band, "band");
         let g1 = (g0 + bg).min(gtot);
         let r1 = (GROUP_ROWS * g1).min(h);
         // Downscale group rows tracking the source band (one covers 64
@@ -277,12 +282,17 @@ pub(crate) fn run_frame_banded(
                 cur_r = tr;
             }
         }
+        q.span_close(band);
         g0 = g1;
     }
+    q.span_close(ph);
 
     // ---- commit downscale, then the border (Section V-E) ----------------
+    let ph = q.span_open(SpanKind::Phase, "downscale");
     commit(q, &grid2d("downscale", res.w4, res.h4), acc_down).map_err(|e| e.to_string())?;
     pipe.sync(q);
+    q.span_close(ph);
+    let ph = q.span_open(SpanKind::Phase, "upscale");
     if pipe.gpu_border_enabled(w) {
         upscale_border_gpu(q, &res.down.view(), &res.up, w, h, ws, tune)
             .map_err(|e| e.to_string())?;
@@ -316,8 +326,10 @@ pub(crate) fn run_frame_banded(
         commit(q, &center_desc, acc_up).map_err(|e| e.to_string())?;
         pipe.sync(q);
     }
+    q.span_close(ph);
 
     // ---- commit Sobel ----------------------------------------------------
+    let ph = q.span_open(SpanKind::Phase, "sobel");
     let sobel_desc = if opts.vectorization {
         grid2d("sobel_vec4", ws / 4, h)
     } else {
@@ -325,8 +337,10 @@ pub(crate) fn run_frame_banded(
     };
     commit(q, &sobel_desc, acc_sobel).map_err(|e| e.to_string())?;
     pipe.sync(q);
+    q.span_close(ph);
 
     // ---- the mean (Section V-C), resolved as the monolithic schedule ----
+    let ph = q.span_open(SpanKind::Phase, "reduction");
     let mean = match mean_override {
         Some(m) => m,
         None if !opts.reduction_gpu => pipe.reduction_cpu(q, res)?,
@@ -341,17 +355,20 @@ pub(crate) fn run_frame_banded(
             pipe.reduction_stage2_phase(q, res)?
         }
     };
+    q.span_close(ph);
 
     // ---- phase B: the sharpening tail per band --------------------------
     // Everything the tail reads (source, up, pEdge, the mean) is complete,
     // so the slices are a plain partition; interleaving the unfused
     // pError → preliminary → overshoot chain per band keeps each band's
     // intermediates cache-resident.
+    let ph = q.span_open(SpanKind::Phase, "megapass:B");
     let mut acc_tail = SlicedDispatch::new();
     let mut acc_perr = SlicedDispatch::new();
     let mut acc_prelim = SlicedDispatch::new();
     let mut g0 = 0usize;
     while g0 < gtot {
+        let band = q.span_open(SpanKind::Band, "band");
         let g1 = (g0 + bg).min(gtot);
         if opts.kernel_fusion {
             let launch = Launch::Slice(g0..g1, &mut acc_tail);
@@ -431,10 +448,13 @@ pub(crate) fn run_frame_banded(
             )
             .map_err(|e| e.to_string())?;
         }
+        q.span_close(band);
         g0 = g1;
     }
+    q.span_close(ph);
 
     // ---- commit the tail, in the monolithic record layout ---------------
+    let ph = q.span_open(SpanKind::Phase, "sharpen");
     if opts.kernel_fusion {
         let tail_desc = if opts.vectorization {
             grid2d("sharpness_vec4", ws / 4, h)
@@ -451,9 +471,13 @@ pub(crate) fn run_frame_banded(
         commit(q, &grid2d("overshoot", w, h), acc_tail).map_err(|e| e.to_string())?;
         pipe.sync(q);
     }
+    q.span_close(ph);
 
     // ---- readback, identical records ------------------------------------
-    pipe.readback_final(q, res, out)
+    let ph = q.span_open(SpanKind::Phase, "readback");
+    let r = pipe.readback_final(q, res, out);
+    q.span_close(ph);
+    r
 }
 
 #[cfg(test)]

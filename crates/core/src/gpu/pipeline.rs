@@ -19,6 +19,7 @@ use simgpu::buffer::Buffer;
 use simgpu::context::Context;
 use simgpu::cost::CostCounters;
 use simgpu::queue::{CommandKind, CommandQueue};
+use simgpu::span::SpanKind;
 use simgpu::timing::host_memcpy_time;
 
 use crate::cpu::stages as cpu_stages;
@@ -240,12 +241,17 @@ impl GpuPipeline {
                 res.h
             ));
         }
-        match self.schedule {
+        // The frame scope roots every schedule's span tree; disabled spans
+        // make open/close no-ops, so the execution path is shared.
+        let frame_span = q.span_open(SpanKind::Frame, "frame");
+        let result = match self.schedule {
             Schedule::Monolithic => self.run_frame_monolithic(q, res, orig, mean_override, out),
             Schedule::Banded(rows) => {
                 crate::gpu::megapass::run_frame_banded(self, q, res, orig, mean_override, out, rows)
             }
-        }
+        };
+        q.span_close(frame_span);
+        result
     }
 
     /// Uploads the frame in the transfer mode the config selects and
@@ -314,14 +320,19 @@ impl GpuPipeline {
         };
 
         // ---- uploads (Section V-A) ------------------------------------
+        let ph = q.span_open(SpanKind::Phase, "upload");
         self.upload_frame(q, res, orig)?;
+        q.span_close(ph);
         let (padded_src, main_src) = res.sources();
 
         // ---- downscale --------------------------------------------------
+        let ph = q.span_open(SpanKind::Phase, "downscale");
         downscale_kernel(q, &main_src, &res.down, w, h, tune).map_err(|e| e.to_string())?;
         self.sync(q);
+        q.span_close(ph);
 
         // ---- upscale: border (Section V-E) ------------------------------
+        let ph = q.span_open(SpanKind::Phase, "upscale");
         if self.gpu_border_enabled(w) {
             upscale_border_gpu(q, &res.down.view(), &res.up, w, h, ws, tune)
                 .map_err(|e| e.to_string())?;
@@ -342,8 +353,10 @@ impl GpuPipeline {
             .map_err(|e| e.to_string())?;
             self.sync(q);
         }
+        q.span_close(ph);
 
         // ---- Sobel --------------------------------------------------------
+        let ph = q.span_open(SpanKind::Phase, "sobel");
         if self.opts.vectorization {
             sobel_vec4_kernel(q, &padded_src, &res.pedge, w, h, ws, tune)
         } else {
@@ -351,14 +364,18 @@ impl GpuPipeline {
         }
         .map_err(|e| e.to_string())?;
         self.sync(q);
+        q.span_close(ph);
 
         // ---- reduction (Section V-C) -------------------------------------
+        let ph = q.span_open(SpanKind::Phase, "reduction");
         let mean = match mean_override {
             Some(m) => m,
             None => self.reduction(q, res)?,
         };
+        q.span_close(ph);
 
         // ---- sharpening tail (Section V-B) --------------------------------
+        let ph = q.span_open(SpanKind::Phase, "sharpen");
         if self.opts.kernel_fusion {
             if self.opts.vectorization {
                 sharpness_fused_vec4_kernel(
@@ -426,9 +443,13 @@ impl GpuPipeline {
             .map_err(|e| e.to_string())?;
             self.sync(q);
         }
+        q.span_close(ph);
 
         // ---- readback -------------------------------------------------------
-        self.readback_final(q, res, out)
+        let ph = q.span_open(SpanKind::Phase, "readback");
+        let r = self.readback_final(q, res, out);
+        q.span_close(ph);
+        r
     }
 
     /// The end-of-frame `finish` plus the final-image readback in the
@@ -831,6 +852,14 @@ impl PipelinePlan {
     /// [`crate::gpu::verify::enumerate_access`].
     pub fn take_access_log(&mut self) -> Vec<simgpu::access::AccessSummary> {
         self.q.take_access_log()
+    }
+
+    /// The hierarchical spans of the most recently executed frame (empty
+    /// unless the plan's context enabled spans via
+    /// [`Context::with_spans`]). Observation-only, like
+    /// [`PipelinePlan::records`].
+    pub fn spans(&self) -> Vec<simgpu::span::SpanRecord> {
+        self.q.span_snapshot()
     }
 
     /// Derives per-kernel efficiency telemetry from the most recently

@@ -31,6 +31,7 @@
 //! footprint ([`StripReport::peak_device_bytes`]).
 
 use imagekit::ImageF32;
+use simgpu::span::SpanKind;
 
 use crate::gpu::kernels::reduction::{reduction_stage1_range_kernel, stage1_groups};
 use crate::gpu::kernels::sobel::sobel_vec4_kernel;
@@ -165,6 +166,9 @@ impl StripPipeline {
             Self::crop_rows_into(orig, sub0, sub1, sub);
             let sub_h = sub.height();
             q.reset();
+            // Pass 1 of each strip roots its own span tree (the queue is
+            // reset per strip); pass 2 spans come from the prepared plan.
+            let strip_span = q.span_open(SpanKind::Frame, "strip:pass1");
             // Upload the zero-padded sub-image with one rect write; rows
             // live at the vec4-aligned stride `ws`, with the stride
             // padding zeroed at allocation.
@@ -200,6 +204,7 @@ impl StripPipeline {
             q.enqueue_read(&partials, part).map_err(|e| e.to_string())?;
             sum += part.iter().map(|&v| f64::from(v)).sum::<f64>();
             q.finish();
+            q.span_close(strip_span);
             elapsed += q.elapsed();
         }
         Ok(((sum / (w * h) as f64) as f32, elapsed))

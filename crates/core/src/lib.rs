@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod autotune;
 pub mod color;
 pub mod cpu;

@@ -35,6 +35,9 @@ pub struct Context {
     /// When true, queues require every kernel dispatch to declare an
     /// access summary and retain the verified summaries in their log.
     require_access: bool,
+    /// Span-ring capacity for queues created from this context; `None`
+    /// disables span tracing (the default).
+    span_capacity: Option<usize>,
 }
 
 impl Context {
@@ -50,6 +53,7 @@ impl Context {
             dispatch_threads: 0,
             sanitize: None,
             require_access: false,
+            span_capacity: None,
         }
     }
 
@@ -94,6 +98,22 @@ impl Context {
     /// are unchanged.
     pub fn with_access_required(mut self) -> Self {
         self.require_access = true;
+        self
+    }
+
+    /// Enables hierarchical span tracing on queues created from this
+    /// context at the default ring capacity
+    /// ([`crate::span::DEFAULT_SPAN_CAPACITY`]). Spans are
+    /// observation-only: pixels and simulated seconds are bit-identical
+    /// with spans on or off.
+    pub fn with_spans(self) -> Self {
+        self.with_span_capacity(crate::span::DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// Enables span tracing with an explicit ring capacity (spans beyond
+    /// it evict the oldest). See [`Context::with_spans`].
+    pub fn with_span_capacity(mut self, capacity: usize) -> Self {
+        self.span_capacity = Some(capacity);
         self
     }
 
@@ -149,6 +169,11 @@ impl Context {
         self.require_access
     }
 
+    /// Whether queues created from this context record spans.
+    pub fn spans_enabled(&self) -> bool {
+        self.span_capacity.is_some()
+    }
+
     /// Snapshot of the sanitizer's findings so far, or `None` when the
     /// sanitizer is off.
     pub fn sanitize_report(&self) -> Option<SanitizeReport> {
@@ -199,6 +224,7 @@ impl Context {
             self.dispatch_threads,
             self.sanitize.clone(),
             self.require_access,
+            self.span_capacity,
         )
     }
 }

@@ -80,6 +80,7 @@ pub mod par;
 pub mod pool;
 pub mod queue;
 pub mod sanitize;
+pub mod span;
 pub mod timing;
 pub mod trace;
 
@@ -98,6 +99,9 @@ pub mod prelude {
     pub use crate::pool::{BufferPool, PoolStats};
     pub use crate::queue::{CommandKind, CommandQueue, CommandRecord};
     pub use crate::sanitize::{DriftClass, RaceKind, SanitizeConfig, SanitizeReport, Violation};
+    pub use crate::span::{
+        aggregate as span_aggregate, span_tree, SpanAgg, SpanId, SpanKind, SpanRecord,
+    };
     pub use crate::timing::{
         bulk_transfer_time, cpu_stage_time, host_memcpy_time, kernel_time, map_transfer_time,
         rect_transfer_time, KernelTime,

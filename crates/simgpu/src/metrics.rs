@@ -179,9 +179,29 @@ impl Histogram {
     /// Bucket-wise merge of another histogram with identical bounds.
     ///
     /// # Panics
-    /// If the bucket layouts differ.
+    /// If the bucket layouts differ (use [`Histogram::try_merge`] to
+    /// handle the mismatch instead).
     pub fn merge(&mut self, o: &Histogram) {
-        assert_eq!(self.bounds, o.bounds, "histogram layouts must match");
+        if let Err(e) = self.try_merge(o) {
+            panic!("histogram layouts must match: {e}");
+        }
+    }
+
+    /// Bucket-wise merge of another histogram, failing with a typed error
+    /// when the bucket layouts differ. On `Err` the destination is left
+    /// untouched — merging positionally across different layouts would
+    /// silently misattribute counts.
+    ///
+    /// # Errors
+    /// [`LayoutMismatch`] describing where the layouts diverge.
+    pub fn try_merge(&mut self, o: &Histogram) -> Result<(), LayoutMismatch> {
+        if self.bounds != o.bounds {
+            return Err(LayoutMismatch {
+                expected_bounds: self.bounds.len(),
+                got_bounds: o.bounds.len(),
+                first_diff: self.bounds.iter().zip(&o.bounds).position(|(a, b)| a != b),
+            });
+        }
         for (a, b) in self.counts.iter_mut().zip(&o.counts) {
             *a += b;
         }
@@ -189,6 +209,7 @@ impl Histogram {
         self.sum += o.sum;
         self.min = self.min.min(o.min);
         self.max = self.max.max(o.max);
+        Ok(())
     }
 
     /// One-line `count/mean/p50/p95/p99/max` rendering with a unit scale
@@ -206,6 +227,40 @@ impl Histogram {
         )
     }
 }
+
+/// Error from [`Histogram::try_merge`]: the two histograms' bucket
+/// layouts differ, so a positional merge would misattribute counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutMismatch {
+    /// Number of bounds in the destination histogram.
+    pub expected_bounds: usize,
+    /// Number of bounds in the source histogram.
+    pub got_bounds: usize,
+    /// Index of the first bound that differs within the shared prefix
+    /// (`None` when one layout is a strict prefix of the other).
+    pub first_diff: Option<usize>,
+}
+
+impl std::fmt::Display for LayoutMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.first_diff {
+            Some(i) => write!(
+                f,
+                "histogram bucket layouts differ at bound {i} \
+                 ({} vs {} bounds)",
+                self.expected_bounds, self.got_bounds
+            ),
+            None => write!(
+                f,
+                "histogram bucket layouts differ in length \
+                 ({} vs {} bounds)",
+                self.expected_bounds, self.got_bounds
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutMismatch {}
 
 /// One named metric.
 #[derive(Debug, Clone, PartialEq)]
@@ -466,7 +521,7 @@ pub fn parse_jsonl_line(line: &str) -> Option<(String, Vec<(String, f64)>)> {
         let k = k.trim().strip_prefix('"')?.strip_suffix('"')?;
         let v = v.trim();
         if k == "name" {
-            name = Some(v.strip_prefix('"')?.strip_suffix('"')?.to_string());
+            name = Some(json_unescape(v.strip_prefix('"')?.strip_suffix('"')?)?);
         } else if k == "type" {
             continue;
         } else {
@@ -474,6 +529,32 @@ pub fn parse_jsonl_line(line: &str) -> Option<(String, Vec<(String, f64)>)> {
         }
     }
     Some((name?, fields))
+}
+
+/// Reverses [`json_escape`]: resolves `\"`, `\\` and `\uXXXX` sequences.
+/// Returns `None` for a malformed escape.
+fn json_unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
 }
 
 /// Splits a JSON object body at top-level commas (no nested objects appear
@@ -662,6 +743,91 @@ mod tests {
         assert!(t.contains("b.gauge"));
         assert!(t.contains("c.hist"));
         assert!(t.contains("p95"));
+    }
+
+    #[test]
+    fn mismatched_layout_merge_is_a_typed_error() {
+        // Different bound values, same length.
+        let mut a = Histogram::new(vec![1.0, 2.0, 4.0]);
+        let mut b = Histogram::new(vec![1.0, 3.0, 4.0]);
+        b.observe(2.5);
+        let before = a.clone();
+        let err = a.try_merge(&b).unwrap_err();
+        assert_eq!(err.expected_bounds, 3);
+        assert_eq!(err.got_bounds, 3);
+        assert_eq!(err.first_diff, Some(1));
+        assert!(err.to_string().contains("bound 1"), "{err}");
+        // The destination is untouched on failure.
+        assert_eq!(a, before);
+
+        // Different lengths, shared prefix.
+        let mut c = Histogram::new(vec![1.0, 2.0]);
+        let err = c
+            .try_merge(&Histogram::new(vec![1.0, 2.0, 4.0]))
+            .unwrap_err();
+        assert_eq!((err.expected_bounds, err.got_bounds), (2, 3));
+        assert_eq!(err.first_diff, None);
+        assert!(err.to_string().contains("length"), "{err}");
+
+        // Identical layouts still merge exactly.
+        let mut d = Histogram::new(vec![1.0, 3.0, 4.0]);
+        d.try_merge(&b).unwrap();
+        assert_eq!(d.count(), 1);
+
+        // The panicking wrapper carries the typed error's message.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Histogram::new(vec![1.0]).merge(&Histogram::new(vec![2.0]))
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_metric_kind_and_layout() {
+        let mut r = MetricsRegistry::new();
+        r.inc("plain.counter", 42);
+        r.set_gauge("negative.gauge", -3.25);
+        r.set_gauge("tiny.gauge", 1.5e-9); // exponent formatting
+        r.observe("hist.explicit", 2.0, || Histogram::new(vec![1.0, 4.0]));
+        r.observe("hist.expo", 5e-4, || Histogram::exponential(1e-6, 4.0, 10));
+        r.observe("hist.latency", 3e-3, Histogram::latency_seconds);
+        // Escaped label values: quote, backslash, control char.
+        let weird = "label \"quoted\" back\\slash\ttab";
+        r.inc(weird, 7);
+
+        let jsonl = r.to_jsonl();
+        let parsed: Vec<_> = jsonl
+            .lines()
+            .map(|l| parse_jsonl_line(l).expect("every emitted line parses"))
+            .collect();
+        assert_eq!(parsed.len(), r.len());
+        let field = |name: &str, key: &str| -> f64 {
+            parsed
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+                .1
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("{name} field {key} missing"))
+                .1
+        };
+        assert_eq!(field("plain.counter", "value"), 42.0);
+        assert_eq!(field("negative.gauge", "value"), -3.25);
+        assert_eq!(field("tiny.gauge", "value"), 1.5e-9);
+        for h in ["hist.explicit", "hist.expo", "hist.latency"] {
+            assert_eq!(field(h, "count"), 1.0, "{h}");
+            assert_eq!(field(h, "sum"), field(h, "max"), "{h}");
+        }
+        // The escaped name round-trips back to the original string.
+        assert_eq!(field(weird, "value"), 7.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_escapes() {
+        assert!(parse_jsonl_line("{\"name\":\"a\\qb\",\"value\":1}").is_none());
+        assert!(parse_jsonl_line("{\"name\":\"a\\u12\",\"value\":1}").is_none());
+        assert_eq!(json_unescape("a\\u0041b"), Some("aAb".to_string()));
+        assert_eq!(json_unescape("trailing\\"), None);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::device::{CpuSpec, DeviceSpec};
 use crate::error::{Error, Result};
 use crate::kernel::{GroupCtx, KernelDesc};
 use crate::sanitize::{DriftClass, GroupSan, SanitizeShared, Violation};
+use crate::span::{SpanId, SpanKind, SpanRecord, SpanRing};
 use crate::timing::{
     bulk_transfer_time, cpu_stage_time, kernel_time, map_transfer_time, rect_transfer_time,
     KernelTime,
@@ -175,6 +176,20 @@ pub struct CommandQueue {
     /// Verified summaries of past dispatches (populated only when
     /// declarations are required, to bound steady-state memory).
     access_log: Vec<AccessSummary>,
+    /// Hierarchical span ring; `None` when span tracing is off. Boxed so
+    /// the disabled (default) case costs one pointer in the queue.
+    spans: Option<Box<SpanRing>>,
+}
+
+/// The span class a committed command reports as.
+fn span_kind_of(kind: CommandKind) -> SpanKind {
+    match kind {
+        CommandKind::Kernel => SpanKind::Kernel,
+        CommandKind::WriteBuffer | CommandKind::RectWrite | CommandKind::Map => SpanKind::Transfer,
+        CommandKind::ReadBuffer => SpanKind::Readback,
+        CommandKind::HostWork => SpanKind::Host,
+        CommandKind::Finish => SpanKind::Sync,
+    }
 }
 
 impl CommandQueue {
@@ -184,6 +199,7 @@ impl CommandQueue {
         dispatch_threads: usize,
         sanitize: Option<Arc<SanitizeShared>>,
         require_access: bool,
+        span_capacity: Option<usize>,
     ) -> Self {
         CommandQueue {
             device,
@@ -198,6 +214,7 @@ impl CommandQueue {
             require_access,
             pending_access: None,
             access_log: Vec::new(),
+            spans: span_capacity.map(|c| Box::new(SpanRing::new(c))),
         }
     }
 
@@ -224,6 +241,13 @@ impl CommandQueue {
 
     fn push(&mut self, name: &str, kind: CommandKind, dur: f64, counters: Option<CostCounters>) {
         let name = self.intern(name);
+        if let Some(ring) = &mut self.spans {
+            // Leaf span before the clock advances: the simulated interval
+            // is exactly the record's; the wall interval is the gap since
+            // the previous span event (the host time spent producing this
+            // command). Reads the clock, never writes it.
+            ring.leaf(span_kind_of(kind), Arc::clone(&name), self.clock_s, dur);
+        }
         self.records.push(CommandRecord {
             name,
             kind,
@@ -598,6 +622,14 @@ impl CommandQueue {
         if let Some(a) = declared {
             acc.access.push(a);
         }
+        if self.spans.is_some() {
+            // The clock does not move until commit, so a slice's simulated
+            // duration is zero; its wall gap is the slice's execution time.
+            let name = self.intern(&desc.name);
+            if let Some(ring) = &mut self.spans {
+                ring.leaf(SpanKind::Slice, name, self.clock_s, 0.0);
+            }
+        }
         Ok(())
     }
 
@@ -896,6 +928,70 @@ impl CommandQueue {
         }
     }
 
+    // ---- spans -------------------------------------------------------------
+
+    /// Whether this queue records hierarchical spans.
+    pub fn spans_enabled(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    /// Opens a scope span (frame / phase / band): subsequent commands and
+    /// scopes nest under it until the matching [`CommandQueue::span_close`].
+    /// Returns [`SpanId::NONE`] when spans are disabled, so call sites need
+    /// no branching of their own.
+    pub fn span_open(&mut self, kind: SpanKind, name: &str) -> SpanId {
+        if self.spans.is_none() {
+            return SpanId::NONE;
+        }
+        let name = self.intern(name);
+        let sim = self.clock_s;
+        match &mut self.spans {
+            Some(ring) => ring.open(kind, name, sim),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Opens a scope span named `"{prefix}{label}"` (composed in the
+    /// queue's scratch string, like [`CommandQueue::push_labeled`]).
+    pub fn span_open_labeled(&mut self, kind: SpanKind, prefix: &str, label: &str) -> SpanId {
+        if self.spans.is_none() {
+            return SpanId::NONE;
+        }
+        let mut scratch = std::mem::take(&mut self.name_scratch);
+        scratch.clear();
+        scratch.push_str(prefix);
+        scratch.push_str(label);
+        let id = self.span_open(kind, &scratch);
+        self.name_scratch = scratch;
+        id
+    }
+
+    /// Closes the scope `id` at the current simulated/wall time. A
+    /// [`SpanId::NONE`] (spans disabled) is a no-op.
+    pub fn span_close(&mut self, id: SpanId) {
+        if id == SpanId::NONE {
+            return;
+        }
+        let sim = self.clock_s;
+        if let Some(ring) = &mut self.spans {
+            ring.close(id, sim);
+        }
+    }
+
+    /// Snapshot of the retained spans, oldest first (empty when spans are
+    /// disabled).
+    pub fn span_snapshot(&self) -> Vec<SpanRecord> {
+        self.spans
+            .as_ref()
+            .map(|r| r.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Spans lost to ring wrap-around since creation/reset.
+    pub fn spans_evicted(&self) -> u64 {
+        self.spans.as_ref().map(|r| r.evicted()).unwrap_or(0)
+    }
+
     // ---- profiling ---------------------------------------------------------
 
     /// Total simulated time elapsed on this queue.
@@ -936,6 +1032,9 @@ impl CommandQueue {
         self.commands_since_finish = 0;
         self.pending_access = None;
         self.access_log.clear();
+        if let Some(ring) = &mut self.spans {
+            ring.clear();
+        }
     }
 }
 

@@ -8,6 +8,7 @@ use std::fmt::Write as _;
 
 use crate::pool::PoolStats;
 use crate::queue::{CommandKind, CommandRecord};
+use crate::span::SpanRecord;
 
 /// Lane (trace "thread") a command kind is drawn on.
 fn lane(kind: CommandKind) -> (&'static str, u32) {
@@ -73,6 +74,48 @@ fn json_escape(s: &str) -> String {
 pub fn to_chrome_json(records: &[CommandRecord]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     write_events(&mut out, records);
+    out.push_str("]}");
+    out
+}
+
+/// Like [`to_chrome_json`], with the hierarchical span tree appended as a
+/// second trace process: records stay on pid 1 in **simulated**
+/// microseconds; spans render on pid 2 in **wall-clock** microseconds
+/// (relative to the ring's epoch), where parent/child scopes genuinely
+/// nest. Each span event carries its simulated interval in `args`, so the
+/// viewer shows both timebases side by side.
+pub fn to_chrome_json_with_spans(records: &[CommandRecord], spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut any = write_events(&mut out, records);
+    let mut sep = |out: &mut String| {
+        if any {
+            out.push(',');
+        }
+        any = true;
+    };
+    if !spans.is_empty() {
+        sep(&mut out);
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\
+             \"args\":{\"name\":\"spans (wall clock)\"}}",
+        );
+    }
+    for s in spans {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":2,\"tid\":1,\"args\":{{\"sim_start_us\":{:.3},\"sim_dur_us\":{:.3},\
+             \"depth\":{}}}}}",
+            json_escape(&s.name),
+            s.kind.tag(),
+            s.wall_start_ns as f64 * 1e-3,
+            (s.wall_end_ns.saturating_sub(s.wall_start_ns)) as f64 * 1e-3,
+            s.sim_start_s * 1e6,
+            s.sim_s() * 1e6,
+            s.depth,
+        );
+    }
     out.push_str("]}");
     out
 }
@@ -356,6 +399,28 @@ mod tests {
         // Counter-only document is still well-formed.
         let empty = to_chrome_json_with_pool(&[], &stats);
         assert!(empty.starts_with("{\"traceEvents\":[{\"name\":\"buffer pool\""));
+    }
+
+    #[test]
+    fn chrome_json_with_spans_adds_second_process() {
+        use crate::span::{SpanKind, SpanRing};
+        let mut ring = SpanRing::new(16);
+        let f = ring.open(SpanKind::Frame, "frame".into(), 0.0);
+        ring.leaf(SpanKind::Kernel, "sobel".into(), 0.0, 30e-6);
+        ring.close(f, 45e-6);
+        let j = to_chrome_json_with_spans(&records(), &ring.snapshot());
+        assert!(j.contains("\"spans (wall clock)\""));
+        assert!(j.contains("\"pid\":2"));
+        assert!(j.contains("\"cat\":\"frame\""));
+        assert!(j.contains("\"sim_dur_us\":30.000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // Records still present on pid 1.
+        assert!(j.contains("\"pid\":1"));
+        // Span-free call degrades to the plain export.
+        assert_eq!(
+            to_chrome_json_with_spans(&records(), &[]),
+            to_chrome_json(&records())
+        );
     }
 
     #[test]

@@ -67,6 +67,27 @@ echo "== banded smoke (sanitized banded run is byte-identical to monolithic)"
     --opts all --banded --sanitize --verify-static > /dev/null
 cmp "$smoke_dir/odd-all.pgm" "$smoke_dir/odd-banded.pgm"
 
+echo "== span trace check (emitted Chrome trace parses; span tree nests)"
+./target/release/sharpen "$smoke_dir/odd.pgm" "$smoke_dir/odd-traced.pgm" \
+    --opts all --trace "$smoke_dir/trace.json" --explain > /dev/null
+./target/release/trace_check "$smoke_dir/trace.json"
+
+echo "== perf ledger (small bench append + newest-vs-history check)"
+# Appends to a scratch copy of the committed ledger so CI never dirties
+# the tree; the check still validates the committed history plus one
+# fresh run. The threshold is loose (0.6) because CI boxes are noisy —
+# the tight trend analysis happens on developer machines via
+# `perf_ledger --check` against baselines/LEDGER.jsonl.
+cp baselines/LEDGER.jsonl "$smoke_dir/LEDGER.jsonl"
+MP_SIZES=256 MP_FRAMES=3 MP_OUT="$smoke_dir/mp_ledger.json" \
+    LEDGER_OUT="$smoke_dir/LEDGER.jsonl" \
+    cargo bench -q -p sharpness-bench --bench megapass_wallclock > /dev/null
+TP_WIDTH=256 TP_FRAMES=4 TP_OUT="$smoke_dir/tp_ledger.json" \
+    LEDGER_OUT="$smoke_dir/LEDGER.jsonl" \
+    cargo bench -q -p sharpness-bench --bench throughput_wallclock > /dev/null
+cargo run --release -q -p sharpness-bench --bin perf_ledger -- \
+    --check --path "$smoke_dir/LEDGER.jsonl" --threshold 0.6
+
 if [ "$full" -eq 1 ]; then
     echo "== sanitized static-vs-dynamic cross-validation sweep"
     cargo test -q --release --test verify_static -- --ignored
@@ -83,6 +104,7 @@ if [ "$full" -eq 1 ]; then
     # sanity floor: the explicit backend must not be slower than 0.9x the
     # autovectorized spans, which would mean dispatch is broken.
     MP_SIZES=1024 MP_FRAMES=5 MP_OUT="$smoke_dir/bench_smoke.json" \
+        LEDGER_OUT="$smoke_dir/LEDGER.jsonl" \
         cargo bench -q -p sharpness-bench --features simd \
         --bench megapass_wallclock > /dev/null
     awk -F'"' '

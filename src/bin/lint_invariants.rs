@@ -6,7 +6,7 @@
 //! construct no longer trips the lint and banned calls smuggled into
 //! macro strings no longer hide from it.
 //!
-//! Seven rules, all load-bearing:
+//! Eight rules, all load-bearing:
 //!
 //! 1. Kernel and CPU-stage hot loops use the shared `math` helpers
 //!    (`math::fmin`/`fmax`/`clampf`), never `f32::min`/`f32::max`/
@@ -33,6 +33,11 @@
 //!    `declare_access(` within a few lines. This is the static half of
 //!    the `Context::with_access_required` guarantee: no dispatch path
 //!    can grow that bypasses the access-summary verifier.
+//! 8. Span recording is observation-only, like telemetry: the span
+//!    module and the attribution layer never mutate the state they
+//!    observe, and the queue's span hooks (any line touching the span
+//!    ring) never advance the simulated clock or charge cost — spans
+//!    must be removable without changing a single bit of output.
 
 use std::path::{Path, PathBuf};
 
@@ -391,6 +396,45 @@ impl Lint {
         }
     }
 
+    /// Rule 8: span-recording code never mutates observed state. The
+    /// span/attribution files are held to the same predicates as rule 5
+    /// (plus simulated-clock writes), and inside the queue any line that
+    /// touches the span ring must be a pure read of clock and names.
+    fn rule_spans_observation_only(&mut self, span_files: &[PathBuf], queue: &Path) {
+        let mutates = |l: &str| {
+            has_charge_call(l)
+                || l.contains("records_mut")
+                || l.contains("set_span")
+                || l.contains("&mut CommandRecord")
+                || l.contains("&mut CostCounters")
+                || l.contains("clock_s +=")
+                || l.contains("clock_s -=")
+                || has_counters_assign(l)
+        };
+        for rel in span_files {
+            let s = self.read(rel);
+            let hits: Vec<_> = lines(&s, true)
+                .into_iter()
+                .filter(|(_, l)| mutates(l))
+                .collect();
+            self.fail(
+                "span-recording/attribution code mutates observed state (observation-only invariant)",
+                rel,
+                &hits,
+            );
+        }
+        let s = self.read(queue);
+        let hits: Vec<_> = lines(&s, true)
+            .into_iter()
+            .filter(|(_, l)| (l.contains("ring.") || l.contains("self.spans")) && mutates(l))
+            .collect();
+        self.fail(
+            "queue span hook mutates simulated state (span ring lines must be pure reads)",
+            queue,
+            &hits,
+        );
+    }
+
     /// Rule 7: every CommandQueue dispatch site declares an AccessSummary.
     fn rule_declared_dispatches(&mut self, gpu_files: &[PathBuf], sanctioned: &[PathBuf]) {
         let is_dispatch = |l: &str| {
@@ -480,9 +524,16 @@ fn run(root: &Path) -> i32 {
             PathBuf::from("crates/core/src/gpu/kernels/reduction.rs"),
         ],
     );
+    lint.rule_spans_observation_only(
+        &[
+            PathBuf::from("crates/simgpu/src/span.rs"),
+            PathBuf::from("crates/core/src/analyze.rs"),
+        ],
+        Path::new("crates/simgpu/src/queue.rs"),
+    );
 
     if lint.failures.is_empty() {
-        println!("lint_invariants: OK (7 rules, token-aware)");
+        println!("lint_invariants: OK (8 rules, token-aware)");
         0
     } else {
         for f in &lint.failures {
@@ -589,6 +640,31 @@ mod tests {
                  g.slice_raw(0, n);\n\
                  q.run(&desc, &[], body);\n\
                  x.clamp(0.0, 1.0)\n\
+             }\n",
+        )
+        .unwrap();
+        let code = run(&root);
+        std::fs::remove_dir_all(&root).ok();
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn flags_span_code_that_mutates_state() {
+        let root = std::env::temp_dir().join(format!("lint-span-fixture-{}", std::process::id()));
+        std::fs::create_dir_all(root.join("crates/simgpu/src")).unwrap();
+        // Rule 8: a span module that advances the clock or charges cost
+        // breaks the observation-only invariant.
+        std::fs::write(
+            root.join("crates/simgpu/src/span.rs"),
+            "fn record(&mut self) {\n\
+                 self.clock_s += 1.0;\n\
+             }\n",
+        )
+        .unwrap();
+        std::fs::write(
+            root.join("crates/simgpu/src/queue.rs"),
+            "fn hook(&mut self) {\n\
+                 if let Some(ring) = &mut self.spans { ring.leaf(); self.clock_s += dur; }\n\
              }\n",
         )
         .unwrap();

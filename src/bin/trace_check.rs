@@ -1,0 +1,460 @@
+//! trace_check — validates an emitted Chrome-trace JSON document.
+//!
+//! ```text
+//! trace_check <trace.json>
+//! ```
+//!
+//! Two checks, both required by CI:
+//!
+//! 1. the document is well-formed JSON with a `traceEvents` array (a real
+//!    recursive-descent parse, not a brace count);
+//! 2. on the span process (`pid` 2, the wall-clock span tree emitted by
+//!    `trace::to_chrome_json_with_spans`), every span's interval nests
+//!    within its parent's — for both the wall-clock `ts`/`dur` fields and
+//!    the simulated `args.sim_start_us`/`args.sim_dur_us` interval.
+//!
+//! Exits 0 with a one-line summary, 1 with a diagnostic otherwise. The
+//! parser is dependency-free and only as general as Chrome-trace JSON
+//! needs (no scientific-notation corner cases are emitted by our writer,
+//! but the parser accepts them anyway).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(HashMap<String, Value>),
+}
+
+impl Value {
+    fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+    fn num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b" \t\r\n".contains(b))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(&b))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad codepoint"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through byte-wise.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = HashMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a complete JSON document (rejecting trailing garbage).
+fn parse_json(s: &str) -> Result<Value, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+/// One span event's intervals: wall-clock and simulated, in µs.
+struct SpanEvent {
+    name: String,
+    depth: i64,
+    wall: (f64, f64),
+    sim: (f64, f64),
+}
+
+/// Checks that every span event nests within its parent. Events arrive in
+/// ring (tree pre-order) order with an explicit `depth`, so an interval
+/// stack suffices. `eps` covers the 3-decimal µs rounding of the writer.
+fn check_nesting(events: &[SpanEvent]) -> Result<usize, String> {
+    const EPS: f64 = 0.01; // µs
+    let mut stack: Vec<&SpanEvent> = Vec::new();
+    let mut max_depth = 0usize;
+    for e in events {
+        while stack.last().is_some_and(|top| top.depth >= e.depth) {
+            stack.pop();
+        }
+        if let Some(parent) = stack.last() {
+            if parent.depth != e.depth - 1 {
+                return Err(format!(
+                    "span `{}` (depth {}) follows `{}` (depth {}) — a depth level was skipped",
+                    e.name, e.depth, parent.name, parent.depth
+                ));
+            }
+            for (label, (cs, ce), (ps, pe)) in
+                [("wall", e.wall, parent.wall), ("sim", e.sim, parent.sim)]
+            {
+                if cs < ps - EPS || ce > pe + EPS {
+                    return Err(format!(
+                        "span `{}` {label} interval [{cs:.3}, {ce:.3}]µs escapes parent \
+                         `{}` [{ps:.3}, {pe:.3}]µs",
+                        e.name, parent.name
+                    ));
+                }
+            }
+        } else if e.depth != 0 {
+            return Err(format!(
+                "span `{}` has depth {} but no enclosing parent",
+                e.name, e.depth
+            ));
+        }
+        max_depth = max_depth.max(e.depth as usize);
+        stack.push(e);
+    }
+    Ok(max_depth)
+}
+
+/// Extracts the span-process events (pid 2, ph "X") in document order.
+fn span_events(events: &[Value]) -> Result<Vec<SpanEvent>, String> {
+    let mut out = Vec::new();
+    for ev in events {
+        let pid = ev.get("pid").and_then(Value::num).unwrap_or(0.0);
+        let ph = ev.get("ph").and_then(Value::str).unwrap_or("");
+        if pid != 2.0 || ph != "X" {
+            continue;
+        }
+        let field = |k: &str| {
+            ev.get(k)
+                .and_then(Value::num)
+                .ok_or_else(|| format!("span event missing numeric `{k}`"))
+        };
+        let args = ev.get("args").ok_or("span event missing `args`")?;
+        let arg = |k: &str| {
+            args.get(k)
+                .and_then(Value::num)
+                .ok_or_else(|| format!("span event args missing `{k}`"))
+        };
+        let ts = field("ts")?;
+        let dur = field("dur")?;
+        let sim_ts = arg("sim_start_us")?;
+        let sim_dur = arg("sim_dur_us")?;
+        out.push(SpanEvent {
+            name: ev
+                .get("name")
+                .and_then(Value::str)
+                .unwrap_or("?")
+                .to_string(),
+            depth: arg("depth")? as i64,
+            wall: (ts, ts + dur),
+            sim: (sim_ts, sim_ts + sim_dur),
+        });
+    }
+    Ok(out)
+}
+
+fn run(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse_json(&text)?;
+    let events = match doc.get("traceEvents") {
+        Some(Value::Arr(events)) => events,
+        _ => return Err("document has no `traceEvents` array".to_string()),
+    };
+    for (i, ev) in events.iter().enumerate() {
+        if !matches!(ev, Value::Obj(_)) {
+            return Err(format!("traceEvents[{i}] is not an object"));
+        }
+    }
+    let spans = span_events(events)?;
+    let max_depth = check_nesting(&spans)?;
+    Ok(format!(
+        "trace OK: {} events, {} span events, max span depth {}",
+        events.len(),
+        spans.len(),
+        max_depth
+    ))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_check <trace.json>");
+        return ExitCode::from(2);
+    };
+    match run(&path) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_the_emitted_grammar() {
+        let v = parse_json(
+            "{\"traceEvents\":[{\"name\":\"a \\\"q\\\"\",\"ph\":\"X\",\
+             \"ts\":1.5,\"dur\":2,\"pid\":1,\"tid\":3}]}",
+        )
+        .unwrap();
+        let events = match v.get("traceEvents") {
+            Some(Value::Arr(e)) => e,
+            _ => panic!("no array"),
+        };
+        assert_eq!(events[0].get("name").and_then(Value::str), Some("a \"q\""));
+        assert_eq!(events[0].get("ts").and_then(Value::num), Some(1.5));
+        // Malformed documents are rejected.
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("{\"a\":1} trailing").is_err());
+        assert!(parse_json("[1,2,]").is_err());
+    }
+
+    fn ev(name: &str, depth: i64, wall: (f64, f64), sim: (f64, f64)) -> SpanEvent {
+        SpanEvent {
+            name: name.to_string(),
+            depth,
+            wall,
+            sim,
+        }
+    }
+
+    #[test]
+    fn nesting_accepts_a_proper_tree() {
+        let events = vec![
+            ev("frame", 0, (0.0, 100.0), (0.0, 50.0)),
+            ev("upload", 1, (1.0, 20.0), (0.0, 10.0)),
+            ev("sobel", 1, (20.0, 90.0), (10.0, 50.0)),
+            ev("sobel k", 2, (21.0, 89.0), (10.0, 50.0)),
+        ];
+        assert_eq!(check_nesting(&events).unwrap(), 2);
+    }
+
+    #[test]
+    fn nesting_rejects_escaping_children() {
+        let events = vec![
+            ev("frame", 0, (0.0, 100.0), (0.0, 50.0)),
+            ev("late", 1, (90.0, 120.0), (10.0, 20.0)),
+        ];
+        let err = check_nesting(&events).unwrap_err();
+        assert!(err.contains("escapes parent"), "{err}");
+        // Sim-interval escape is caught independently of wall.
+        let events = vec![
+            ev("frame", 0, (0.0, 100.0), (0.0, 50.0)),
+            ev("sim-late", 1, (10.0, 20.0), (40.0, 60.0)),
+        ];
+        assert!(check_nesting(&events).unwrap_err().contains("sim"),);
+        // Orphan depth and skipped levels are structural errors.
+        let events = vec![ev("orphan", 1, (0.0, 1.0), (0.0, 1.0))];
+        assert!(check_nesting(&events).unwrap_err().contains("no enclosing"));
+        let events = vec![
+            ev("frame", 0, (0.0, 100.0), (0.0, 50.0)),
+            ev("deep", 2, (1.0, 2.0), (1.0, 2.0)),
+        ];
+        assert!(check_nesting(&events).unwrap_err().contains("skipped"));
+    }
+
+    #[test]
+    fn end_to_end_on_a_real_span_export() {
+        use simgpu::span::{SpanKind, SpanRing};
+        let mut ring = SpanRing::new(16);
+        let f = ring.open(SpanKind::Frame, "frame".into(), 0.0);
+        let p = ring.open(SpanKind::Phase, "sobel".into(), 0.0);
+        ring.leaf(SpanKind::Kernel, "sobel k".into(), 0.0, 30e-6);
+        ring.close(p, 30e-6);
+        ring.close(f, 45e-6);
+        let json = simgpu::trace::to_chrome_json_with_spans(&[], &ring.snapshot());
+        let doc = parse_json(&json).unwrap();
+        let events = match doc.get("traceEvents") {
+            Some(Value::Arr(e)) => e.clone(),
+            _ => panic!("no traceEvents"),
+        };
+        let spans = span_events(&events).unwrap();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(check_nesting(&spans).unwrap(), 2);
+    }
+}

@@ -19,6 +19,7 @@ use simgpu::context::Context;
 use simgpu::device::DeviceSpec;
 use simgpu::metrics::MetricsRegistry;
 use simgpu::queue::{CommandKind, CommandRecord};
+use simgpu::span::SpanRecord;
 use simgpu::trace;
 
 /// Which engine executes the pipeline.
@@ -84,10 +85,13 @@ pub struct CliArgs {
     /// require every live dispatch to declare its verified access summary
     /// (GPU only).
     pub verify_static: bool,
-    /// Optional JSONL metrics output path (GPU only).
+    /// Optional JSONL metrics output path — a file, or a directory to
+    /// write `metrics.jsonl` into (GPU only).
     pub metrics: Option<PathBuf>,
     /// Print the per-kernel efficiency table (GPU only).
     pub profile: bool,
+    /// Print the automated bottleneck report (GPU only).
+    pub explain: bool,
     /// Cache-blocked banded scheduling: `None` = monolithic,
     /// `Some(0)` = auto band height from the host cache size,
     /// `Some(n)` = bands of about `n` rows (GPU only).
@@ -116,12 +120,20 @@ options:
                     --trace/--gantt then show one lane per worker and a
                     latency histogram summary goes to stderr
   --threads <n>     worker threads for --frames (default 0 = all cores)
-  --metrics <file>  write a JSONL metrics file: per-kernel efficiency
+  --metrics <path>  write a JSONL metrics file: per-kernel efficiency
                     (loads/source-pixel, vector fraction, arithmetic
                     intensity, achieved vs peak bandwidth, occupancy);
                     with --frames also throughput gauges and wall +
-                    simulated latency histograms (GPU only)
+                    simulated latency histograms. If <path> is an existing
+                    directory the file is written as <path>/metrics.jsonl
+                    (`repro --metrics` accepts the same spelling) (GPU only)
   --profile         print the per-kernel efficiency table (GPU only)
+  --explain         print the automated bottleneck report: per-kernel
+                    roofline verdicts (compute/bandwidth/LDS/launch-bound,
+                    arithmetic intensity vs machine balance, achieved vs
+                    peak fractions), the frame-level transfer verdict, the
+                    host LLC-residency verdict, and per-phase span shares
+                    (GPU only)
   --banded[=rows]   run the cache-blocked megapass schedule: kernels
                     execute band-by-band over row bands sized to the host
                     cache (default auto; =N requests ~N-row bands).
@@ -172,6 +184,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         verify_static: false,
         metrics: None,
         profile: false,
+        explain: false,
         banded: None,
         no_simd: false,
     };
@@ -217,6 +230,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 cli.metrics = Some(PathBuf::from(parse_value::<String>(&arg, it.next())?))
             }
             "--profile" => cli.profile = true,
+            "--explain" => cli.explain = true,
             "--banded" => cli.banded = Some(0),
             "--no-simd" => cli.no_simd = true,
             other => match other.strip_prefix("--banded=") {
@@ -252,10 +266,10 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     if cli.banded.is_some() && use_cpu {
         return Err("--banded requires the GPU engine (drop --cpu)".to_string());
     }
-    if (cli.metrics.is_some() || cli.profile) && use_cpu {
+    if (cli.metrics.is_some() || cli.profile || cli.explain) && use_cpu {
         return Err(
-            "--metrics/--profile require the GPU engine (efficiency metrics come from \
-             the simulated device's cost counters; drop --cpu)"
+            "--metrics/--profile/--explain require the GPU engine (efficiency metrics \
+             come from the simulated device's cost counters; drop --cpu)"
                 .to_string(),
         );
     }
@@ -371,22 +385,28 @@ fn run_throughput(cli: &CliArgs, plane: &ImageF32) -> Result<(String, Throughput
     Ok((text, rep))
 }
 
-/// Re-runs one plane through a prepared plan and returns the frame's raw
-/// command records (with cost counters) plus its derived telemetry — the
-/// data behind `--metrics`, `--profile`, and enriched single-frame traces.
+/// Re-runs one plane through a prepared plan with spans enabled and
+/// returns the frame's raw command records (with cost counters), its
+/// derived telemetry, and its span tree — the data behind `--metrics`,
+/// `--profile`, `--explain`, and enriched single-frame traces.
 fn gpu_observe(
     cli: &CliArgs,
     plane: &ImageF32,
-) -> Result<(Vec<CommandRecord>, FrameTelemetry), String> {
+) -> Result<(Vec<CommandRecord>, FrameTelemetry, Vec<SpanRecord>), String> {
     let Engine::Gpu(preset) = cli.engine else {
         return Err("kernel telemetry requires the GPU engine".to_string());
     };
-    let pipe = GpuPipeline::new(Context::new(preset.spec()), cli.params, cli.opts)
-        .with_schedule(schedule_of(cli));
+    let pipe = GpuPipeline::new(
+        Context::new(preset.spec()).with_spans(),
+        cli.params,
+        cli.opts,
+    )
+    .with_schedule(schedule_of(cli));
     let mut plan = pipe.prepared(plane.width(), plane.height())?;
     plan.run(plane)?;
     let tel = plan.telemetry();
-    Ok((plan.records().to_vec(), tel))
+    let spans = plan.spans();
+    Ok((plan.records().to_vec(), tel, spans))
 }
 
 /// Executes the parsed command, returning the human-readable summary that
@@ -467,11 +487,12 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
     // cumulative global-bytes counter track.
     let is_gpu = matches!(cli.engine, Engine::Gpu(_));
     let wants_single_trace = (cli.trace_json.is_some() || cli.gantt) && cli.frames == 1;
-    let observed = if is_gpu && (cli.metrics.is_some() || cli.profile || wants_single_trace) {
-        Some(gpu_observe(cli, &plane)?)
-    } else {
-        None
-    };
+    let observed =
+        if is_gpu && (cli.metrics.is_some() || cli.profile || cli.explain || wants_single_trace) {
+            Some(gpu_observe(cli, &plane)?)
+        } else {
+            None
+        };
 
     if cli.sanitize {
         // Any violation aborts the run with the sanitizer's report, so
@@ -498,9 +519,10 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
         None
     };
     if let Some(path) = &cli.metrics {
-        let (_, tel) = observed.as_ref().expect("observed when --metrics");
+        let (_, tel, spans) = observed.as_ref().expect("observed when --metrics");
         let mut reg = MetricsRegistry::new();
         tel.to_registry(&mut reg);
+        simgpu::span::to_registry(spans, &mut reg);
         if let Some(r) = &static_report {
             r.to_registry(&mut reg);
         }
@@ -512,11 +534,18 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
             reg.record_histogram("latency.wall_s", &tp.wall_latency_histogram());
             reg.record_histogram("latency.sim_s", &tp.sim_latency_histogram());
         }
-        std::fs::write(path, reg.to_jsonl()).map_err(|e| e.to_string())?;
-        summary.push_str(&format!("wrote metrics to {}\n", path.display()));
+        // `--metrics` accepts a file or a directory (same as `repro`):
+        // directories get a metrics.jsonl inside.
+        let file = if path.is_dir() {
+            path.join("metrics.jsonl")
+        } else {
+            path.clone()
+        };
+        std::fs::write(&file, reg.to_jsonl()).map_err(|e| e.to_string())?;
+        summary.push_str(&format!("wrote metrics to {}\n", file.display()));
     }
     if cli.profile {
-        let (_, tel) = observed.as_ref().expect("observed when --profile");
+        let (_, tel, _) = observed.as_ref().expect("observed when --profile");
         summary.push_str(&format!(
             "host: cpu features [{}], kernel backend {} (simd feature {})\n",
             sharpness_core::simd::host_features(),
@@ -530,11 +559,24 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
         summary.push_str("kernel efficiency (one luma-plane frame):\n");
         summary.push_str(&tel.efficiency_table());
     }
+    if cli.explain {
+        let Engine::Gpu(preset) = cli.engine else {
+            unreachable!("--explain rejected with --cpu at parse time");
+        };
+        let (_, tel, spans) = observed.as_ref().expect("observed when --explain");
+        let e = sharpness_core::analyze::explain(
+            tel,
+            spans,
+            &preset.spec(),
+            sharpness_core::autotune::detected_cache_bytes(),
+        );
+        summary.push_str(&e.render(8));
+    }
     if let Some(path) = &cli.trace_json {
         let json = match &tput {
             Some(tp) => trace::multiframe_chrome_json(&tp.traces),
             None => match &observed {
-                Some((records, _)) => trace::to_chrome_json(records),
+                Some((records, _, spans)) => trace::to_chrome_json_with_spans(records, spans),
                 None => trace::to_chrome_json(&report_to_records(&report)),
             },
         };
@@ -545,7 +587,7 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
         match &tput {
             Some(tp) => summary.push_str(&trace::worker_gantt(&tp.traces, 60)),
             None => match &observed {
-                Some((records, _)) => summary.push_str(&trace::gantt(records, 60)),
+                Some((records, _, _)) => summary.push_str(&trace::gantt(records, 60)),
                 None => summary.push_str(&trace::gantt(&report_to_records(&report), 60)),
             },
         }
@@ -868,6 +910,64 @@ mod tests {
         for p in [input, output, mfile] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn parses_explain_flag() {
+        let cli = parse_args(&strs(&["a.pgm", "b.pgm", "--explain"])).unwrap();
+        assert!(cli.explain);
+        assert!(!parse_args(&strs(&["a.pgm", "b.pgm"])).unwrap().explain);
+        // The report needs the simulated device's cost counters.
+        assert!(parse_args(&strs(&["a.pgm", "b.pgm", "--explain", "--cpu"])).is_err());
+    }
+
+    #[test]
+    fn explain_flag_prints_bottleneck_report() {
+        let dir = std::env::temp_dir();
+        let input = dir.join(format!("cli-exp-in-{}.pgm", std::process::id()));
+        let output = dir.join(format!("cli-exp-out-{}.pgm", std::process::id()));
+        let img = imagekit::generate::natural(64, 64, 21).to_u8();
+        io::write_pgm(&input, &img).unwrap();
+        let cli = parse_args(&strs(&[
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--explain",
+        ]))
+        .unwrap();
+        let summary = run(&cli).unwrap();
+        assert!(summary.contains("bottleneck report: 64x64"), "{summary}");
+        assert!(summary.contains("-bound"), "{summary}");
+        assert!(summary.contains("host:"), "{summary}");
+        assert!(summary.contains("wall/sim:"), "{summary}");
+        assert!(summary.contains("phases:"), "{summary}");
+        for p in [input, output] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn metrics_path_accepts_a_directory() {
+        let dir = std::env::temp_dir().join(format!("cli-metdir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.pgm");
+        let output = dir.join("out.pgm");
+        let img = imagekit::generate::natural(64, 64, 2).to_u8();
+        io::write_pgm(&input, &img).unwrap();
+        let cli = parse_args(&strs(&[
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--metrics",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let summary = run(&cli).unwrap();
+        let file = dir.join("metrics.jsonl");
+        assert!(summary.contains("wrote metrics"), "{summary}");
+        let jsonl = std::fs::read_to_string(&file).unwrap();
+        assert!(jsonl.contains("\"name\":\"frame.simulated_s\""), "{jsonl}");
+        // Span aggregates ride along in the export now.
+        assert!(jsonl.contains("span.frame"), "{jsonl}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
