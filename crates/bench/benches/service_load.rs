@@ -1,0 +1,156 @@
+//! Self-timed load bench for the sharpen service (`core::service`).
+//!
+//! Replays the same deterministic Zipf/bursty request stream at several
+//! offered loads (the mean inter-arrival gap is the knob) through two
+//! paths:
+//!
+//! * `service`   — [`SharpenService`]: sharded plan cache, shape-coalescing
+//!   batches, model-based admission control;
+//! * `unbatched` — the per-request baseline: a fresh `prepared()` plan for
+//!   every request, no cache, no coalescing, no shedding.
+//!
+//! The headline number is `speedup_vs_unbatched` — wall frames/s of the
+//! service over the baseline on the identical stream — which is what the
+//! plan cache and batch coalescing must keep above 1.0. Latency rows
+//! report both wall *service* time (host per-frame execution) and
+//! simulated arrival→completion latency (queueing included; the honest
+//! currency on a 1-core host — see the `core::service::scheduler` docs).
+//!
+//! Run with `cargo bench --bench service_load`. Environment knobs:
+//! `SV_REQUESTS` (default 192), `SV_SEED` (default 2015), `SV_OUT` (JSON
+//! results path, default the committed `baselines/BENCH_9_service.json`),
+//! `LEDGER_OUT` (perf-ledger path).
+
+use std::time::Instant;
+
+use sharpness_bench::benchjson::{self, ServiceRow};
+use sharpness_bench::ledger::{self, LedgerEntry};
+use sharpness_core::gpu::{GpuPipeline, OptConfig};
+use sharpness_core::params::SharpnessParams;
+use sharpness_core::service::{generate_requests, ServiceConfig, SharpenService, TrafficConfig};
+use simgpu::context::Context;
+use simgpu::device::DeviceSpec;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn pipeline() -> GpuPipeline {
+    let ctx = Context::new(DeviceSpec::firepro_w8000());
+    GpuPipeline::new(ctx, SharpnessParams::default(), OptConfig::all())
+}
+
+/// Serves every request with a freshly prepared plan — the cost a caller
+/// pays without the service layer. Returns wall seconds for the stream.
+fn unbatched_s(requests: &[sharpness_core::service::Request]) -> f64 {
+    let pipe = pipeline();
+    let mut out = Vec::new();
+    let t0 = Instant::now();
+    for r in requests {
+        let mut plan = pipe.prepared(r.width, r.height).expect("prepare plan");
+        let frame = r.frame();
+        out.resize(frame.len(), 0.0);
+        std::hint::black_box(plan.run_into(&frame, &mut out).expect("run frame"));
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let n = env_u64("SV_REQUESTS", 192) as usize;
+    let seed = env_u64("SV_SEED", 2015);
+    // Offered loads: relaxed → paced → saturating. The mean gap is
+    // simulated seconds between arrivals; smaller gap = hotter stream.
+    let gaps_us: [u64; 3] = [2000, 500, 125];
+
+    println!("service_load: {n} requests, seed {seed}, gaps {gaps_us:?} us");
+
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for gap_us in gaps_us {
+        let traffic = TrafficConfig {
+            requests: n,
+            seed,
+            mean_gap_s: gap_us as f64 * 1e-6,
+            ..TrafficConfig::default()
+        };
+        let requests = generate_requests(&traffic);
+        let label = format!("gap={gap_us}us");
+
+        // Warm-up (JIT-free Rust, but page-faults + allocator warmth), then
+        // the measured service run on a fresh service (cold plan cache —
+        // prepare cost is part of what the cache amortises).
+        SharpenService::new(pipeline(), ServiceConfig::default())
+            .serve(&requests)
+            .expect("warm-up serve");
+        let report = SharpenService::new(pipeline(), ServiceConfig::default())
+            .serve(&requests)
+            .expect("serve");
+
+        let base_s = unbatched_s(&requests);
+        let base_fps = requests.len() as f64 / base_s;
+        let speedup = report.wall_fps() / base_fps;
+
+        let wall = report.wall_latency();
+        let sim = report.sim_latency();
+        println!(
+            "  {label:<11} served {:>4}/{:<4} shed {:>3}  {:7.1} frames/s wall \
+             ({:4.2}x vs unbatched {:7.1})  sim p99 {:8.3} ms",
+            report.served,
+            report.requests,
+            report.shed,
+            report.wall_fps(),
+            speedup,
+            base_fps,
+            sim.quantile(0.99) * 1e3,
+        );
+
+        rows.push(ServiceRow {
+            label: label.clone(),
+            requests: report.requests,
+            served: report.served,
+            peak_queued: report.peak_queued as u64,
+            shed: report.shed,
+            batches: report.batches,
+            frames_per_s: report.wall_fps(),
+            speedup_vs_unbatched: speedup,
+            wall_p50_ms: wall.quantile(0.5) * 1e3,
+            wall_p99_ms: wall.quantile(0.99) * 1e3,
+            sim_p50_ms: sim.quantile(0.5) * 1e3,
+            sim_p99_ms: sim.quantile(0.99) * 1e3,
+            backend: sharpness_core::simd::active_backend().label().to_string(),
+        });
+        // Ledger `service` series: one entry per offered load. No span
+        // shares — the service run crosses many shapes, so per-phase
+        // attribution belongs to the pipeline benches.
+        entries.push(LedgerEntry::now(
+            "service_load",
+            &label,
+            traffic.shapes[0].0,
+            report.wall_fps(),
+            Vec::new(),
+        ));
+    }
+
+    let out_path = std::env::var("SV_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../baselines/BENCH_9_service.json"
+        )
+        .to_string()
+    });
+    benchjson::write_service(&out_path, "service_load", &rows).expect("write bench json");
+    println!("wrote {out_path}");
+
+    let ledger_path = std::env::var("LEDGER_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| ledger::default_path());
+    ledger::append(&ledger_path, &entries).expect("append perf ledger");
+    println!(
+        "appended {} entries to {}",
+        entries.len(),
+        ledger_path.display()
+    );
+}

@@ -95,6 +95,89 @@ pub fn write(path: &str, bench: &str, rows: &[BenchRow]) -> std::io::Result<()> 
     std::fs::write(path, render(bench, rows))
 }
 
+/// One offered load measured by the service bench (`BENCH_9_service.json`
+/// schema): outcome counters, wall + simulated latency quantiles, and the
+/// speedup over serving the same stream with per-request plan
+/// preparation (no cache, no coalescing).
+#[derive(Debug, Clone)]
+pub struct ServiceRow {
+    /// Offered-load label, e.g. `gap=500us`.
+    pub label: String,
+    /// Requests in the offered stream.
+    pub requests: u64,
+    /// Requests served / admitted-then-queued-at-peak / shed.
+    pub served: u64,
+    /// High-water mark of queued requests.
+    pub peak_queued: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Batches executed (and how many requests rode along).
+    pub batches: u64,
+    /// Wall-clock served frames per second.
+    pub frames_per_s: f64,
+    /// Speedup over the per-request-plan-preparation baseline on the same
+    /// stream (the number batching must keep above 1.0).
+    pub speedup_vs_unbatched: f64,
+    /// Wall service latency p50/p99, milliseconds.
+    pub wall_p50_ms: f64,
+    /// See `wall_p50_ms`.
+    pub wall_p99_ms: f64,
+    /// Simulated arrival→completion latency p50/p99, milliseconds.
+    pub sim_p50_ms: f64,
+    /// See `sim_p50_ms`.
+    pub sim_p99_ms: f64,
+    /// Kernel span backend active during the measurement.
+    pub backend: String,
+}
+
+/// Renders the service bench document (same host header as [`render`],
+/// service-schema rows).
+pub fn render_service(bench: &str, rows: &[ServiceRow]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"bench\": \"{}\",\n  \"host\": {{\"cpu_features\": \"{}\", \
+         \"simd_compiled\": {}}},\n  \"rows\": [",
+        esc(bench),
+        esc(sharpness_core::simd::host_features()),
+        sharpness_core::simd::simd_compiled(),
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"load\": \"{}\", \"requests\": {}, \"served\": {}, \
+             \"queued_peak\": {}, \"shed\": {}, \"batches\": {}, \
+             \"frames_per_s\": {:.6}, \"speedup_vs_unbatched\": {:.4}, \
+             \"wall_p50_ms\": {:.6}, \"wall_p99_ms\": {:.6}, \
+             \"sim_p50_ms\": {:.6}, \"sim_p99_ms\": {:.6}, \"backend\": \"{}\"}}",
+            esc(&r.label),
+            r.requests,
+            r.served,
+            r.peak_queued,
+            r.shed,
+            r.batches,
+            r.frames_per_s,
+            r.speedup_vs_unbatched,
+            r.wall_p50_ms,
+            r.wall_p99_ms,
+            r.sim_p50_ms,
+            r.sim_p99_ms,
+            esc(&r.backend),
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes the service bench document to `path`.
+///
+/// # Errors
+/// Propagates the underlying I/O error.
+pub fn write_service(path: &str, bench: &str, rows: &[ServiceRow]) -> std::io::Result<()> {
+    std::fs::write(path, render_service(bench, rows))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +216,50 @@ mod tests {
     #[test]
     fn escapes_quotes() {
         assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn renders_valid_service_schema() {
+        let rows = vec![
+            ServiceRow {
+                label: "gap=2000us".into(),
+                requests: 256,
+                served: 256,
+                peak_queued: 4,
+                shed: 0,
+                batches: 90,
+                frames_per_s: 400.0,
+                speedup_vs_unbatched: 1.35,
+                wall_p50_ms: 1.8,
+                wall_p99_ms: 4.2,
+                sim_p50_ms: 2.1,
+                sim_p99_ms: 9.7,
+                backend: "avx2".into(),
+            },
+            ServiceRow {
+                label: "gap=125us".into(),
+                requests: 256,
+                served: 190,
+                peak_queued: 61,
+                shed: 66,
+                batches: 40,
+                frames_per_s: 520.0,
+                speedup_vs_unbatched: 1.6,
+                wall_p50_ms: 1.5,
+                wall_p99_ms: 3.9,
+                sim_p50_ms: 14.0,
+                sim_p99_ms: 80.0,
+                backend: "avx2".into(),
+            },
+        ];
+        let doc = render_service("service_load", &rows);
+        assert!(doc.contains("\"bench\": \"service_load\""));
+        assert!(doc.contains("\"host\": {\"cpu_features\": \""), "{doc}");
+        assert!(doc.contains("\"load\": \"gap=125us\""));
+        assert!(doc.contains("\"shed\": 66"));
+        assert!(doc.contains("\"speedup_vs_unbatched\": 1.3500"));
+        assert!(doc.contains("\"sim_p99_ms\": 80.000000"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
     }
 }

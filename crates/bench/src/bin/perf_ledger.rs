@@ -3,15 +3,17 @@
 //!
 //! ```text
 //! perf_ledger                    # print the history, one line per series
-//! perf_ledger --check            # newest-vs-history regression gate
+//! perf_ledger --check            # recent-window-vs-history regression gate
 //! perf_ledger --check --threshold 0.5 --path other/LEDGER.jsonl
 //! ```
 //!
-//! `--check` exits nonzero when any series' newest entry is more than
-//! `threshold` (fraction, default 0.25) below the median of its prior
-//! entries; the report attributes the regression to the span whose share
-//! of the frame grew. A ledger with fewer than two entries per series is
-//! reported but never fails — wall-clock history needs runs to exist.
+//! `--check` exits nonzero when, for any series, the median of the last
+//! [`ledger::RECENT_WINDOW`] entries is more than `threshold` (fraction,
+//! default 0.25) below the median of its older entries — one noisy run
+//! cannot flag a false regression; a persistent slowdown still does. The
+//! report attributes the regression to the span whose share of the frame
+//! grew. A ledger with fewer than two entries per series is reported but
+//! never fails — wall-clock history needs runs to exist.
 
 use std::path::PathBuf;
 use std::process::ExitCode;

@@ -237,9 +237,16 @@ pub fn phase_shares(width: usize, schedule: Schedule) -> Vec<(String, f64)> {
 pub struct CheckOutcome {
     /// The human-readable report.
     pub report: String,
-    /// Number of series whose newest entry regressed past the threshold.
+    /// Number of series whose recent window regressed past the threshold.
     pub regressions: usize,
 }
+
+/// How many trailing entries form a series' "recent" sample. Comparing the
+/// *median* of the last few runs (rather than the single newest entry)
+/// keeps one noisy run — a loaded host, a thermal excursion — from flagging
+/// a false regression: a real slowdown persists across runs, noise does
+/// not. Clamped so at least one entry is always left as history.
+pub const RECENT_WINDOW: usize = 3;
 
 fn median(mut v: Vec<f64>) -> f64 {
     v.sort_by(f64::total_cmp);
@@ -254,11 +261,11 @@ fn median(mut v: Vec<f64>) -> f64 {
     }
 }
 
-/// Compares the newest entry of every series against its history: a
-/// series regresses when its newest frames/s falls more than `threshold`
-/// (a fraction, e.g. `0.25`) below the median of the prior entries. The
-/// report attributes each regression to the phase whose share of the
-/// frame grew the most since the previous run.
+/// Compares the recent window of every series against its history: a
+/// series regresses when the median of its last [`RECENT_WINDOW`] entries
+/// falls more than `threshold` (a fraction, e.g. `0.25`) below the median
+/// of the older entries. The report attributes each regression to the
+/// phase whose share of the frame grew the most since the previous run.
 pub fn check(entries: &[LedgerEntry], threshold: f64) -> CheckOutcome {
     use std::collections::BTreeMap;
     let mut series: BTreeMap<String, Vec<&LedgerEntry>> = BTreeMap::new();
@@ -269,19 +276,28 @@ pub fn check(entries: &[LedgerEntry], threshold: f64) -> CheckOutcome {
     let mut regressions = 0;
     for (key, runs) in &series {
         let newest = runs.last().expect("non-empty series");
-        let history: Vec<f64> = runs[..runs.len() - 1]
-            .iter()
-            .map(|e| e.frames_per_s)
-            .collect();
-        if history.is_empty() {
+        if runs.len() == 1 {
             report.push_str(&format!(
                 "  {key}: first entry ({:.2} frames/s), no history yet\n",
                 newest.frames_per_s
             ));
             continue;
         }
-        let base = median(history);
-        let delta = newest.frames_per_s / base - 1.0;
+        // Short histories shrink the window so ≥1 history entry remains.
+        let k = RECENT_WINDOW.min(runs.len() - 1);
+        let recent = median(
+            runs[runs.len() - k..]
+                .iter()
+                .map(|e| e.frames_per_s)
+                .collect(),
+        );
+        let base = median(
+            runs[..runs.len() - k]
+                .iter()
+                .map(|e| e.frames_per_s)
+                .collect(),
+        );
+        let delta = recent / base - 1.0;
         if delta < -threshold {
             regressions += 1;
             // Attribute: which phase's share grew the most vs the prior
@@ -306,9 +322,8 @@ pub fn check(entries: &[LedgerEntry], threshold: f64) -> CheckOutcome {
                     .max_by(|a, b| a.1.total_cmp(&b.1))
             });
             report.push_str(&format!(
-                "  REGRESSION {key}: {:.2} frames/s vs median {:.2} ({:+.1}%)\n",
-                newest.frames_per_s,
-                base,
+                "  REGRESSION {key}: median of last {k} = {recent:.2} frames/s \
+                 vs history median {base:.2} ({:+.1}%)\n",
                 delta * 100.0
             ));
             match culprit {
@@ -321,9 +336,8 @@ pub fn check(entries: &[LedgerEntry], threshold: f64) -> CheckOutcome {
             }
         } else {
             report.push_str(&format!(
-                "  ok {key}: {:.2} frames/s vs median {:.2} ({:+.1}%)\n",
-                newest.frames_per_s,
-                base,
+                "  ok {key}: median of last {k} = {recent:.2} frames/s \
+                 vs history median {base:.2} ({:+.1}%)\n",
                 delta * 100.0
             ));
         }
@@ -379,25 +393,70 @@ mod tests {
     }
 
     #[test]
-    fn check_flags_regression_and_attributes_phase() {
+    fn check_flags_sustained_regression_and_attributes_phase() {
         let healthy = vec![
             entry(10.0, vec![("sobel".into(), 0.2), ("sharpen".into(), 0.3)]),
             entry(10.2, vec![("sobel".into(), 0.2), ("sharpen".into(), 0.3)]),
             entry(9.9, vec![("sobel".into(), 0.21), ("sharpen".into(), 0.3)]),
+            entry(10.1, vec![("sobel".into(), 0.2), ("sharpen".into(), 0.3)]),
         ];
         let out = check(&healthy, 0.25);
         assert_eq!(out.regressions, 0, "{}", out.report);
         assert!(out.report.contains("ok "), "{}", out.report);
 
+        // A slowdown persisting across a full recent window flags, and the
+        // sobel share keeps growing so the newest-vs-previous attribution
+        // names it.
         let mut regressed = healthy.clone();
-        regressed.push(entry(
-            5.0,
-            vec![("sobel".into(), 0.6), ("sharpen".into(), 0.2)],
-        ));
+        for share in [0.4, 0.5, 0.6].into_iter().take(RECENT_WINDOW) {
+            regressed.push(entry(
+                5.0,
+                vec![("sobel".into(), share), ("sharpen".into(), 0.2)],
+            ));
+        }
         let out = check(&regressed, 0.25);
         assert_eq!(out.regressions, 1, "{}", out.report);
         assert!(out.report.contains("REGRESSION"), "{}", out.report);
         assert!(out.report.contains("span `sobel`"), "{}", out.report);
+    }
+
+    #[test]
+    fn one_noisy_run_does_not_flag() {
+        // Regression test for the false-positive mode: the check used to
+        // compare only the single newest entry, so one loaded-host run
+        // tripped the gate. The recent-window median absorbs it.
+        let mut runs = vec![
+            entry(10.0, vec![]),
+            entry(10.2, vec![]),
+            entry(9.9, vec![]),
+            entry(10.1, vec![]),
+        ];
+        runs.push(entry(5.0, vec![])); // a single outlier
+        let out = check(&runs, 0.25);
+        assert_eq!(out.regressions, 0, "{}", out.report);
+    }
+
+    #[test]
+    fn short_histories_shrink_the_window() {
+        // Two entries: the window clamps to 1 and the newest is compared
+        // against the only prior entry — a real cliff still flags.
+        let out = check(&[entry(10.0, vec![]), entry(5.0, vec![])], 0.25);
+        assert_eq!(out.regressions, 1, "{}", out.report);
+        // Three entries, both recent ones healthy: clean.
+        let out = check(
+            &[entry(10.0, vec![]), entry(9.9, vec![]), entry(10.1, vec![])],
+            0.25,
+        );
+        assert_eq!(out.regressions, 0, "{}", out.report);
+    }
+
+    #[test]
+    fn median_handles_even_and_odd_lengths() {
+        assert_eq!(median(vec![]), 0.0);
+        assert_eq!(median(vec![7.0]), 7.0);
+        assert_eq!(median(vec![1.0, 3.0]), 2.0);
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 3.0, 2.0]), 2.5);
     }
 
     #[test]

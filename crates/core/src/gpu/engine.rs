@@ -16,8 +16,9 @@
 //! (`with_dispatch_threads(1)`) so parallelism comes from frames, not from
 //! oversubscribing every dispatch across all cores.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use imagekit::ImageF32;
@@ -105,17 +106,47 @@ impl ThroughputReport {
     }
 }
 
+/// Locks a mutex, recovering the guard if a panicking worker poisoned it.
+///
+/// The engine's mutexes guard plain data (a failure slot, a frame slot);
+/// a worker that panicked mid-critical-section leaves them in a readable
+/// state, and refusing the lock would turn a recorded, typed failure into
+/// a coordinator panic. `PoisonError::into_inner` hands back the guard.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a worker panic payload as the failure string the engine
+/// propagates (panics carry `&str` or `String` messages in practice).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "worker panicked with a non-string payload".to_string());
+    format!("worker panic: {msg}")
+}
+
 /// Parallel multi-frame executor over a [`GpuPipeline`] configuration.
 pub struct ThroughputEngine {
     pipe: GpuPipeline,
     threads: usize,
+    /// Test-only fault injection: panic inside the worker body while
+    /// processing this frame index, exercising the poison-recovery path.
+    #[cfg(test)]
+    panic_on_frame: Option<usize>,
 }
 
 impl ThroughputEngine {
     /// Creates an engine over `pipe` using `threads` workers
     /// (0 = available host parallelism).
     pub fn new(pipe: GpuPipeline, threads: usize) -> Self {
-        ThroughputEngine { pipe, threads }
+        ThroughputEngine {
+            pipe,
+            threads,
+            #[cfg(test)]
+            panic_on_frame: None,
+        }
     }
 
     /// Worker count the engine will use for a run.
@@ -161,6 +192,11 @@ impl ThroughputEngine {
         results.resize_with(frames.len(), || None);
         let slots: Vec<Mutex<&mut FrameSlot>> = results.iter_mut().map(Mutex::new).collect();
 
+        #[cfg(test)]
+        let panic_on_frame = self.panic_on_frame;
+        #[cfg(not(test))]
+        let panic_on_frame: Option<usize> = None;
+
         std::thread::scope(|scope| {
             for worker in 0..threads {
                 let (cursor, failure, slots, worker_pipe) =
@@ -170,40 +206,47 @@ impl ThroughputEngine {
                     let mut out = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= frames.len() || failure.lock().expect("failure lock").is_some() {
+                        if i >= frames.len() || lock_unpoisoned(failure).is_some() {
                             return;
                         }
-                        let frame = &frames[i];
-                        let shape = (frame.width(), frame.height());
-                        let keep = matches!(&plan, Some(p) if crate::gpu::pipeline::PipelinePlan::shape(p) == shape);
-                        if !keep {
-                            match worker_pipe.prepared(shape.0, shape.1) {
-                                Ok(p) => plan = Some(p),
-                                Err(e) => {
-                                    failure.lock().expect("failure lock").get_or_insert(e);
-                                    return;
-                                }
+                        // The frame body runs under `catch_unwind`: a panic
+                        // escaping a kernel (or the plumbing around it) is
+                        // recorded as the run's failure instead of unwinding
+                        // through `thread::scope`, which would re-panic the
+                        // coordinator and drop the typed error on the floor.
+                        let step = catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
+                            if panic_on_frame == Some(i) {
+                                panic!("injected worker panic on frame {i}");
                             }
-                        }
-                        let plan = plan.as_mut().expect("plan prepared above");
-                        out.resize(frame.len(), 0.0);
-                        let frame_start = started.elapsed().as_secs_f64();
-                        match plan.run_into(frame, &mut out) {
-                            Ok(comps) => {
-                                let span = WorkerSpan {
-                                    frame: i,
-                                    worker,
-                                    start_s: frame_start,
-                                    end_s: started.elapsed().as_secs_f64(),
-                                };
-                                let img =
-                                    ImageF32::from_vec(shape.0, shape.1, out.clone());
-                                let frame_spans = plan.spans();
-                                **slots[i].lock().expect("slot lock") =
-                                    Some((img, comps, span, frame_spans));
+                            let frame = &frames[i];
+                            let shape = (frame.width(), frame.height());
+                            let keep = matches!(&plan, Some(p) if crate::gpu::pipeline::PipelinePlan::shape(p) == shape);
+                            if !keep {
+                                plan = Some(worker_pipe.prepared(shape.0, shape.1)?);
                             }
-                            Err(e) => {
-                                failure.lock().expect("failure lock").get_or_insert(e);
+                            let plan = plan.as_mut().expect("plan prepared above");
+                            out.resize(frame.len(), 0.0);
+                            let frame_start = started.elapsed().as_secs_f64();
+                            let comps = plan.run_into(frame, &mut out)?;
+                            let span = WorkerSpan {
+                                frame: i,
+                                worker,
+                                start_s: frame_start,
+                                end_s: started.elapsed().as_secs_f64(),
+                            };
+                            let img = ImageF32::from_vec(shape.0, shape.1, out.clone());
+                            let frame_spans = plan.spans();
+                            **lock_unpoisoned(&slots[i]) = Some((img, comps, span, frame_spans));
+                            Ok(())
+                        }));
+                        match step {
+                            Ok(Ok(())) => {}
+                            Ok(Err(e)) => {
+                                lock_unpoisoned(failure).get_or_insert(e);
+                                return;
+                            }
+                            Err(payload) => {
+                                lock_unpoisoned(failure).get_or_insert(panic_message(payload));
                                 return;
                             }
                         }
@@ -213,7 +256,7 @@ impl ThroughputEngine {
         });
         let wall_s = started.elapsed().as_secs_f64();
 
-        if let Some(e) = failure.into_inner().expect("failure lock") {
+        if let Some(e) = failure.into_inner().unwrap_or_else(PoisonError::into_inner) {
             return Err(e);
         }
         drop(slots);
@@ -304,6 +347,63 @@ mod tests {
         let mut fs = frames(2, 64);
         fs.push(generate::gradient(2, 18)); // unsupported shape
         assert!(engine(2).process(&fs).is_err());
+    }
+
+    #[test]
+    fn worker_panic_is_surfaced_as_error_not_coordinator_panic() {
+        // Regression: a panic escaping a worker's frame body (the engine's
+        // analogue of a panicking kernel) used to poison the failure/slot
+        // mutexes and unwind through `thread::scope`, so the coordinator
+        // panicked on `.expect("failure lock")` instead of returning the
+        // recorded failure. The panic must now come back as a typed error.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the worker's backtrace
+        let mut eng = engine(2);
+        eng.panic_on_frame = Some(1);
+        let err = eng.process(&frames(4, 64)).unwrap_err();
+        std::panic::set_hook(hook);
+        assert!(
+            err.contains("worker panic") && err.contains("frame 1"),
+            "unexpected error: {err}"
+        );
+        // The engine (same pipeline, same context and buffer pool) stays
+        // fully usable after the failed run.
+        eng.panic_on_frame = None;
+        let rep = eng.process(&frames(3, 64)).unwrap();
+        assert_eq!(rep.outputs.len(), 3);
+    }
+
+    #[test]
+    fn lock_unpoisoned_recovers_a_poisoned_mutex() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let m = Mutex::new(Some("recorded failure".to_string()));
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        // Poison the mutex: panic while holding the guard.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison");
+        }));
+        std::panic::set_hook(hook);
+        assert!(m.is_poisoned());
+        // The recorded value is still reachable through recovery…
+        assert_eq!(lock_unpoisoned(&m).as_deref(), Some("recorded failure"));
+        // …including by-value at the end of a run.
+        let v = m.into_inner().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(v.as_deref(), Some("recorded failure"));
+    }
+
+    #[test]
+    fn panic_message_renders_str_string_and_opaque_payloads() {
+        assert_eq!(
+            panic_message(Box::new("boom")),
+            "worker panic: boom".to_string()
+        );
+        assert_eq!(
+            panic_message(Box::new("boom owned".to_string())),
+            "worker panic: boom owned".to_string()
+        );
+        assert!(panic_message(Box::new(17_u32)).contains("non-string payload"));
     }
 
     #[test]

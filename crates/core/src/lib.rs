@@ -50,6 +50,7 @@ pub mod math;
 pub mod memory;
 pub mod params;
 pub mod report;
+pub mod service;
 pub mod telemetry;
 
 pub use cpu::CpuPipeline;

@@ -1,0 +1,235 @@
+//! Sharded [`PipelinePlan`] cache with LRU eviction.
+//!
+//! Preparing a plan is the expensive part of serving a request: it
+//! allocates every device buffer for the shape and walks the full
+//! schedule construction. The cache amortises that the same way kernel
+//! fusion amortises launch overhead — pay once per `(shape, opts,
+//! schedule)`, reuse for every compatible request. Shape is the runtime
+//! key: the pipeline (and with it the opt config and schedule) is fixed
+//! per cache, so two caches with different configs never alias.
+//!
+//! Shards bound the LRU scan: a key hashes to one shard and eviction
+//! decisions are per-shard, mirroring how a production broker shards its
+//! plan table to bound tail latency — with the standing 1-core
+//! constraint there is no lock-per-shard concurrency win to claim, and
+//! none is claimed.
+
+use crate::gpu::pipeline::{GpuPipeline, PipelinePlan};
+use std::time::Instant;
+
+/// Counter snapshot for a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CacheStats {
+    /// Requests served from a resident plan.
+    pub hits: u64,
+    /// Requests that had to prepare a plan.
+    pub misses: u64,
+    /// Plans dropped by the LRU policy.
+    pub evictions: u64,
+    /// Plans currently resident.
+    pub resident: usize,
+    /// Wall-clock seconds spent preparing plans (the cost the cache
+    /// exists to amortise).
+    pub prepare_wall_s: f64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when nothing was requested).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    shape: (usize, usize),
+    plan: PipelinePlan,
+    /// Monotonic last-touch stamp; the shard's smallest is the LRU victim.
+    touched: u64,
+}
+
+/// A sharded, LRU-evicting cache of prepared plans for one pipeline
+/// configuration.
+pub struct PlanCache {
+    pipe: GpuPipeline,
+    shards: Vec<Vec<Entry>>,
+    per_shard: usize,
+    seq: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    prepare_wall_s: f64,
+}
+
+impl PlanCache {
+    /// Creates a cache over `pipe` with `shards` shards holding at most
+    /// `capacity` plans in total (rounded up to a whole number per shard;
+    /// both are clamped to ≥ 1).
+    pub fn new(pipe: GpuPipeline, shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(shards);
+        PlanCache {
+            pipe,
+            shards: (0..shards).map(|_| Vec::new()).collect(),
+            per_shard,
+            seq: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            prepare_wall_s: 0.0,
+        }
+    }
+
+    /// The pipeline plans are prepared from (fixes opts + schedule).
+    pub fn pipeline(&self) -> &GpuPipeline {
+        &self.pipe
+    }
+
+    /// Maximum resident plans (`shards × per-shard capacity`).
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.per_shard
+    }
+
+    fn shard_of(&self, shape: (usize, usize)) -> usize {
+        // SplitMix64 finaliser over the packed shape: cheap, deterministic,
+        // and spreads the small-integer shapes the catalogs use.
+        let mut z = ((shape.0 as u64) << 32) | shape.1 as u64;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as usize % self.shards.len()
+    }
+
+    /// Returns the plan for `shape`, preparing (and possibly evicting the
+    /// shard's least-recently-used plan) on a miss.
+    ///
+    /// # Errors
+    /// Propagates plan preparation failures (unsupported shapes).
+    pub fn get(&mut self, shape: (usize, usize)) -> Result<&mut PipelinePlan, String> {
+        let s = self.shard_of(shape);
+        self.seq += 1;
+        let seq = self.seq;
+        let shard = &mut self.shards[s];
+        if let Some(i) = shard.iter().position(|e| e.shape == shape) {
+            self.hits += 1;
+            shard[i].touched = seq;
+            return Ok(&mut shard[i].plan);
+        }
+        self.misses += 1;
+        let started = Instant::now();
+        let plan = self.pipe.prepared(shape.0, shape.1)?;
+        self.prepare_wall_s += started.elapsed().as_secs_f64();
+        if shard.len() >= self.per_shard {
+            let lru = shard
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(i, _)| i)
+                .expect("full shard is non-empty");
+            shard.swap_remove(lru);
+            self.evictions += 1;
+        }
+        shard.push(Entry {
+            shape,
+            plan,
+            touched: seq,
+        });
+        Ok(&mut shard.last_mut().expect("just pushed").plan)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            resident: self.shards.iter().map(Vec::len).sum(),
+            prepare_wall_s: self.prepare_wall_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::opts::OptConfig;
+    use crate::params::SharpnessParams;
+    use simgpu::context::Context;
+    use simgpu::device::DeviceSpec;
+
+    fn pipe() -> GpuPipeline {
+        let ctx = Context::new(DeviceSpec::firepro_w8000());
+        GpuPipeline::new(ctx, SharpnessParams::default(), OptConfig::all())
+    }
+
+    #[test]
+    fn repeat_shapes_hit_after_first_prepare() {
+        let mut cache = PlanCache::new(pipe(), 2, 4);
+        for _ in 0..5 {
+            cache.get((64, 64)).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.resident), (4, 1, 1));
+        assert!(s.hit_rate() > 0.79);
+        assert!(s.prepare_wall_s > 0.0);
+    }
+
+    #[test]
+    fn cached_plan_output_matches_fresh_plan() {
+        let img = imagekit::generate::natural(64, 64, 3);
+        let mut cache = PlanCache::new(pipe(), 1, 2);
+        let mut out = vec![0.0f32; img.len()];
+        cache.get((64, 64)).unwrap();
+        cache
+            .get((64, 64))
+            .unwrap()
+            .run_into(&img, &mut out)
+            .unwrap();
+        let mut fresh = pipe().prepared(64, 64).unwrap();
+        let mut expect = vec![0.0f32; img.len()];
+        fresh.run_into(&img, &mut expect).unwrap();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        // Single shard of 2: touch order decides the victim.
+        let mut cache = PlanCache::new(pipe(), 1, 2);
+        cache.get((64, 64)).unwrap();
+        cache.get((32, 32)).unwrap();
+        cache.get((64, 64)).unwrap(); // refresh 64²
+        cache.get((96, 96)).unwrap(); // evicts 32² (LRU)
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().resident, 2);
+        cache.get((64, 64)).unwrap(); // still resident
+        assert_eq!(cache.stats().hits, 2);
+        cache.get((32, 32)).unwrap(); // must re-prepare
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn unsupported_shape_is_an_error_not_a_resident_entry() {
+        let mut cache = PlanCache::new(pipe(), 1, 2);
+        assert!(cache.get((2, 2)).is_err());
+        assert_eq!(cache.stats().resident, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn shards_partition_the_key_space() {
+        let mut cache = PlanCache::new(pipe(), 4, 8);
+        for shape in [(64, 64), (32, 32), (96, 96), (64, 32)] {
+            cache.get(shape).unwrap();
+        }
+        assert_eq!(cache.stats().resident, 4);
+        assert!(cache.capacity() >= 8);
+        // Every shape still hits.
+        for shape in [(64, 64), (32, 32), (96, 96), (64, 32)] {
+            cache.get(shape).unwrap();
+        }
+        assert_eq!(cache.stats().hits, 4);
+    }
+}

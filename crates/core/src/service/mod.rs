@@ -1,0 +1,46 @@
+//! Sharpen-as-a-service: synthetic traffic, a sharded plan cache, and a
+//! coalescing scheduler with admission control (ROADMAP north-star item:
+//! the request broker in front of the pipeline).
+//!
+//! The module splits along the runtime/broker seam:
+//!
+//! * [`traffic`] — deterministic synthetic request streams (Zipf shapes,
+//!   bursty arrivals, priority classes) from one seed;
+//! * [`cache`] — the sharded, LRU-evicting [`PipelinePlan`]
+//!   (crate::gpu::PipelinePlan) cache that amortises plan preparation
+//!   across compatible requests;
+//! * [`scheduler`] — the single-threaded event loop: bounded per-class
+//!   queues, model-based shed-on-overload admission, shape-coalescing
+//!   batches, and latency accounting in simulated seconds (the honest
+//!   currency on a 1-core host — see the scheduler docs).
+//!
+//! Observation-only invariant: nothing in this module charges simulated
+//! time or mutates device state — all cost flows through the kernels a
+//! [`PipelinePlan`](crate::gpu::PipelinePlan) runs, and the scheduler
+//! only *reads* the resulting component times (`lint_invariants`
+//! enforces this).
+//!
+//! ```
+//! use sharpness_core::gpu::{GpuPipeline, OptConfig};
+//! use sharpness_core::params::SharpnessParams;
+//! use sharpness_core::service::{generate_requests, ServiceConfig, SharpenService, TrafficConfig};
+//! use simgpu::context::Context;
+//! use simgpu::device::DeviceSpec;
+//!
+//! let cfg = TrafficConfig { requests: 12, ..TrafficConfig::default() };
+//! let requests = generate_requests(&cfg);
+//! let ctx = Context::new(DeviceSpec::firepro_w8000());
+//! let pipe = GpuPipeline::new(ctx, SharpnessParams::default(), OptConfig::all());
+//! let report = SharpenService::new(pipe, ServiceConfig::default())
+//!     .serve(&requests)
+//!     .unwrap();
+//! assert_eq!(report.served + report.shed, 12);
+//! ```
+
+pub mod cache;
+pub mod scheduler;
+pub mod traffic;
+
+pub use cache::{CacheStats, PlanCache};
+pub use scheduler::{ClassReport, ServiceConfig, ServiceReport, SharpenService};
+pub use traffic::{generate_requests, Priority, Request, TrafficConfig};

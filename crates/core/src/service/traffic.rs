@@ -1,0 +1,294 @@
+//! Deterministic synthetic traffic for the sharpen service.
+//!
+//! Production image-sharpening traffic (TV transcode farms, camera
+//! ingest) is a *mixed* stream: a few hot frame shapes dominate, a long
+//! tail of odd crops trickles in, arrivals clump into bursts, and
+//! requests carry different latency expectations. The generator models
+//! exactly that — Zipf-distributed shapes over a ranked catalog, bursty
+//! exponential inter-arrival gaps, and a per-request priority class —
+//! from a single [`SplitMix64`] seed, so every run of a config replays
+//! the identical stream (no wall-clock, no `Date::now`: arrival times are
+//! *simulated* seconds).
+
+use imagekit::rng::SplitMix64;
+use imagekit::{generate, ImageF32};
+
+/// Request priority class, in scheduling order (lower = served first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// User-facing preview: tight latency SLO.
+    Interactive = 0,
+    /// Normal single-image jobs.
+    Standard = 1,
+    /// Bulk/offline work: loose SLO, first to shed.
+    Batch = 2,
+}
+
+impl Priority {
+    /// All classes, in scheduling order.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+    /// Stable lowercase label (metric names, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Index into per-class arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One sharpen request in the synthetic stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Stream-unique id, in arrival order.
+    pub id: u64,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Priority class.
+    pub class: Priority,
+    /// Simulated arrival time in seconds (bit-exact across runs). Stored
+    /// as bits so `Request` stays `Eq`/`Hash`-able; see [`Request::arrival_s`].
+    pub arrival_s_bits: u64,
+    /// Seed selecting the frame's content (a small set of distinct
+    /// contents per shape keeps generation cheap while exercising
+    /// data-dependent paths).
+    pub content_seed: u64,
+}
+
+impl Request {
+    /// Frame shape `(width, height)` — the batching key.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Simulated arrival time in seconds.
+    pub fn arrival_s(&self) -> f64 {
+        f64::from_bits(self.arrival_s_bits)
+    }
+
+    /// Pixel count (admission-control cost proxy).
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Materialises the request's input frame (deterministic for the
+    /// request's shape + content seed).
+    pub fn frame(&self) -> ImageF32 {
+        generate::natural(self.width, self.height, self.content_seed)
+    }
+}
+
+/// Parameters of the synthetic stream.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// PRNG seed: identical seed ⇒ identical stream, bit for bit.
+    pub seed: u64,
+    /// Shape catalog in popularity rank order (hottest first).
+    pub shapes: Vec<(usize, usize)>,
+    /// Zipf exponent over the catalog ranks (larger ⇒ hotter head).
+    pub zipf_exponent: f64,
+    /// Mean simulated inter-arrival gap, seconds — the offered load knob.
+    pub mean_gap_s: f64,
+    /// Probability an arrival point is a burst (several requests at the
+    /// same instant) rather than a single request.
+    pub burst_p: f64,
+    /// Maximum burst size (bursts draw uniformly from `2..=burst_max`).
+    pub burst_max: usize,
+    /// Relative class weights, `[interactive, standard, batch]`.
+    pub class_weights: [f64; 3],
+    /// Distinct frame contents per shape.
+    pub content_variants: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            requests: 256,
+            seed: 2015,
+            // Hot square heads plus a tail of paper-style odd shapes
+            // (1000×700 is the paper's running example aspect, scaled
+            // down to keep the default stream cheap).
+            shapes: vec![
+                (256, 256),
+                (128, 128),
+                (192, 192),
+                (320, 200),
+                (96, 96),
+                (250, 175),
+                (64, 64),
+                (160, 90),
+            ],
+            zipf_exponent: 1.1,
+            mean_gap_s: 2e-3,
+            burst_p: 0.15,
+            burst_max: 6,
+            class_weights: [0.2, 0.5, 0.3],
+            content_variants: 4,
+        }
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` from the top 53 bits.
+fn next_f64(rng: &mut SplitMix64) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Generates the stream: requests sorted by arrival time, ids `0..n` in
+/// arrival order. Deterministic in `cfg` (same config ⇒ same stream).
+pub fn generate_requests(cfg: &TrafficConfig) -> Vec<Request> {
+    assert!(!cfg.shapes.is_empty(), "traffic needs a shape catalog");
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
+
+    // Zipf CDF over catalog ranks: weight(rank r, 1-based) = r^-s.
+    let weights: Vec<f64> = (1..=cfg.shapes.len())
+        .map(|r| (r as f64).powf(-cfg.zipf_exponent))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+
+    let class_total: f64 = cfg.class_weights.iter().sum();
+    let mut out = Vec::with_capacity(cfg.requests);
+    let mut t = 0.0f64;
+    while out.len() < cfg.requests {
+        // Exponential gap, then possibly a burst landing at one instant.
+        t += -cfg.mean_gap_s * (1.0 - next_f64(&mut rng)).ln();
+        let burst = if next_f64(&mut rng) < cfg.burst_p && cfg.burst_max >= 2 {
+            2 + (rng.next_u64() % (cfg.burst_max as u64 - 1)) as usize
+        } else {
+            1
+        };
+        for _ in 0..burst {
+            if out.len() >= cfg.requests {
+                break;
+            }
+            let u = next_f64(&mut rng);
+            let rank = cdf.partition_point(|c| *c < u).min(cfg.shapes.len() - 1);
+            let (width, height) = cfg.shapes[rank];
+            let cu = next_f64(&mut rng) * class_total;
+            let class = if cu < cfg.class_weights[0] {
+                Priority::Interactive
+            } else if cu < cfg.class_weights[0] + cfg.class_weights[1] {
+                Priority::Standard
+            } else {
+                Priority::Batch
+            };
+            let id = out.len() as u64;
+            out.push(Request {
+                id,
+                width,
+                height,
+                class,
+                arrival_s_bits: t.to_bits(),
+                content_seed: cfg
+                    .seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(id % cfg.content_variants.max(1)),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seed_replays_the_identical_stream() {
+        let cfg = TrafficConfig::default();
+        let a = generate_requests(&cfg);
+        let b = generate_requests(&cfg);
+        assert_eq!(a, b);
+        let c = generate_requests(&TrafficConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stream_is_sorted_with_sequential_ids() {
+        let reqs = generate_requests(&TrafficConfig::default());
+        assert_eq!(reqs.len(), 256);
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+        for w in reqs.windows(2) {
+            assert!(w[1].arrival_s() >= w[0].arrival_s());
+        }
+    }
+
+    #[test]
+    fn zipf_head_dominates_and_tail_appears() {
+        let reqs = generate_requests(&TrafficConfig {
+            requests: 2000,
+            ..TrafficConfig::default()
+        });
+        let catalog = TrafficConfig::default().shapes;
+        let count = |shape: (usize, usize)| reqs.iter().filter(|r| r.shape() == shape).count();
+        let head = count(catalog[0]);
+        let tail: usize = catalog[4..].iter().map(|s| count(*s)).sum();
+        assert!(
+            head > reqs.len() / 5,
+            "hot shape underrepresented: {head}/{}",
+            reqs.len()
+        );
+        assert!(tail > 0, "Zipf tail never sampled");
+        // Every request's shape is from the catalog.
+        assert!(reqs.iter().all(|r| catalog.contains(&r.shape())));
+    }
+
+    #[test]
+    fn bursts_put_multiple_requests_at_one_instant() {
+        let reqs = generate_requests(&TrafficConfig {
+            requests: 500,
+            burst_p: 0.5,
+            ..TrafficConfig::default()
+        });
+        let coincident = reqs
+            .windows(2)
+            .filter(|w| w[0].arrival_s_bits == w[1].arrival_s_bits)
+            .count();
+        assert!(coincident > 0, "no bursts in a burst-heavy config");
+    }
+
+    #[test]
+    fn all_classes_are_represented() {
+        let reqs = generate_requests(&TrafficConfig {
+            requests: 500,
+            ..TrafficConfig::default()
+        });
+        for class in Priority::ALL {
+            assert!(
+                reqs.iter().any(|r| r.class == class),
+                "class {} never sampled",
+                class.label()
+            );
+        }
+    }
+
+    #[test]
+    fn frames_are_deterministic_per_request() {
+        let reqs = generate_requests(&TrafficConfig {
+            requests: 4,
+            ..TrafficConfig::default()
+        });
+        assert_eq!(reqs[0].frame(), reqs[0].frame());
+        assert_eq!(reqs[0].frame().width(), reqs[0].width);
+    }
+}

@@ -131,6 +131,15 @@ impl Context {
         self
     }
 
+    /// Replaces the buffer pool with an empty one capped at
+    /// `capacity_bytes` of parked storage (see
+    /// [`BufferPool::with_capacity_bytes`]). Applies to this context and
+    /// clones made *after* this call; earlier clones keep the old pool.
+    pub fn with_pool_capacity(mut self, capacity_bytes: u64) -> Self {
+        self.pool = BufferPool::with_capacity_bytes(capacity_bytes);
+        self
+    }
+
     /// Pins the number of host threads each kernel dispatch uses
     /// (0 = all available cores, the default). A throughput engine running
     /// frames concurrently pins this to 1 and parallelises across frames.

@@ -390,6 +390,7 @@ mod tests {
             returns: 4,
             live: 3,
             pooled: 1,
+            ..PoolStats::default()
         };
         let j = to_chrome_json_with_pool(&records(), &stats);
         assert!(j.contains("\"ph\":\"C\""));

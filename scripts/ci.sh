@@ -72,7 +72,14 @@ echo "== span trace check (emitted Chrome trace parses; span tree nests)"
     --opts all --trace "$smoke_dir/trace.json" --explain > /dev/null
 ./target/release/trace_check "$smoke_dir/trace.json"
 
-echo "== perf ledger (small bench append + newest-vs-history check)"
+echo "== service smoke (seeded load, sanitized, byte-compared vs direct)"
+# A small deterministic request stream through the sharpen service:
+# --sanitize sweeps every served dispatch, --selfcheck byte-compares each
+# served output against direct PipelinePlan execution of the same request.
+./target/release/sharpen serve --requests 48 --seed 9 --gap-us 500 \
+    --sanitize --selfcheck > /dev/null
+
+echo "== perf ledger (small bench append + recent-window-vs-history check)"
 # Appends to a scratch copy of the committed ledger so CI never dirties
 # the tree; the check still validates the committed history plus one
 # fresh run. The threshold is loose (0.6) because CI boxes are noisy —
@@ -85,6 +92,9 @@ MP_SIZES=256 MP_FRAMES=3 MP_OUT="$smoke_dir/mp_ledger.json" \
 TP_WIDTH=256 TP_FRAMES=4 TP_OUT="$smoke_dir/tp_ledger.json" \
     LEDGER_OUT="$smoke_dir/LEDGER.jsonl" \
     cargo bench -q -p sharpness-bench --bench throughput_wallclock > /dev/null
+SV_REQUESTS=48 SV_OUT="$smoke_dir/sv_ledger.json" \
+    LEDGER_OUT="$smoke_dir/LEDGER.jsonl" \
+    cargo bench -q -p sharpness-bench --bench service_load > /dev/null
 cargo run --release -q -p sharpness-bench --bin perf_ledger -- \
     --check --path "$smoke_dir/LEDGER.jsonl" --threshold 0.6
 

@@ -6,7 +6,7 @@
 //! construct no longer trips the lint and banned calls smuggled into
 //! macro strings no longer hide from it.
 //!
-//! Eight rules, all load-bearing:
+//! Nine rules, all load-bearing:
 //!
 //! 1. Kernel and CPU-stage hot loops use the shared `math` helpers
 //!    (`math::fmin`/`fmax`/`clampf`), never `f32::min`/`f32::max`/
@@ -38,6 +38,12 @@
 //!    observe, and the queue's span hooks (any line touching the span
 //!    ring) never advance the simulated clock or charge cost — spans
 //!    must be removable without changing a single bit of output.
+//! 9. The service layer (`core::service`) observes but never charges:
+//!    scheduler, plan cache and traffic generator read frame component
+//!    times and pool/cache counters, but all simulated cost flows through
+//!    the kernels a plan runs — no `charge_*` calls, no simulated-clock
+//!    writes, no device-record mutation. Served pixels and simulated
+//!    seconds must be bit-identical to direct plan execution.
 
 use std::path::{Path, PathBuf};
 
@@ -435,6 +441,34 @@ impl Lint {
         );
     }
 
+    /// Rule 9: the service layer never charges cost or mutates simulated
+    /// state — same predicates as the span rule, applied to every file
+    /// under `core/src/service/`.
+    fn rule_service_observation_only(&mut self, service_files: &[PathBuf]) {
+        for rel in service_files {
+            let s = self.read(rel);
+            let hits: Vec<_> = lines(&s, true)
+                .into_iter()
+                .filter(|(_, l)| {
+                    has_charge_call(l)
+                        || l.contains("records_mut")
+                        || l.contains("set_span")
+                        || l.contains("&mut CommandRecord")
+                        || l.contains("&mut CostCounters")
+                        || l.contains("clock_s +=")
+                        || l.contains("clock_s -=")
+                        || has_counters_assign(l)
+                })
+                .collect();
+            self.fail(
+                "service layer charges cost or mutates simulated state (all cost must flow \
+                 through the kernels a PipelinePlan runs)",
+                rel,
+                &hits,
+            );
+        }
+    }
+
     /// Rule 7: every CommandQueue dispatch site declares an AccessSummary.
     fn rule_declared_dispatches(&mut self, gpu_files: &[PathBuf], sanctioned: &[PathBuf]) {
         let is_dispatch = |l: &str| {
@@ -532,8 +566,14 @@ fn run(root: &Path) -> i32 {
         Path::new("crates/simgpu/src/queue.rs"),
     );
 
+    let service_files: Vec<PathBuf> = rust_files(&root.join("crates/core/src/service"))
+        .into_iter()
+        .map(|p| rel(&p))
+        .collect();
+    lint.rule_service_observation_only(&service_files);
+
     if lint.failures.is_empty() {
-        println!("lint_invariants: OK (8 rules, token-aware)");
+        println!("lint_invariants: OK (9 rules, token-aware)");
         0
     } else {
         for f in &lint.failures {
@@ -640,6 +680,26 @@ mod tests {
                  g.slice_raw(0, n);\n\
                  q.run(&desc, &[], body);\n\
                  x.clamp(0.0, 1.0)\n\
+             }\n",
+        )
+        .unwrap();
+        let code = run(&root);
+        std::fs::remove_dir_all(&root).ok();
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn flags_service_code_that_charges_cost() {
+        let root =
+            std::env::temp_dir().join(format!("lint-service-fixture-{}", std::process::id()));
+        let service = root.join("crates/core/src/service");
+        std::fs::create_dir_all(&service).unwrap();
+        // Rule 9: a scheduler that charges cost itself would double-count
+        // against the kernels' own accounting.
+        std::fs::write(
+            service.join("scheduler.rs"),
+            "fn run(&mut self) {\n\
+                 g.charge_global_n(4, n);\n\
              }\n",
         )
         .unwrap();

@@ -10,6 +10,28 @@ fn main() {
         eprint!("{}", cli::USAGE);
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
+    if args[0] == "serve" {
+        if args.len() > 1 && (args[1] == "--help" || args[1] == "-h") {
+            eprint!("{}", cli::SERVE_USAGE);
+            std::process::exit(0);
+        }
+        let parsed = match cli::parse_serve_args(&args[1..]) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprint!("{}", cli::SERVE_USAGE);
+                std::process::exit(2);
+            }
+        };
+        match cli::run_serve(&parsed) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let parsed = match cli::parse_args(&args) {
         Ok(p) => p,
         Err(e) => {

@@ -105,6 +105,7 @@ pub struct CliArgs {
 /// Usage text.
 pub const USAGE: &str = "\
 usage: sharpen <input.pgm|input.ppm> <output> [options]
+       sharpen serve [options]      (see `sharpen serve --help`)
 options:
   --gain <f>        strength gain            (default 1.8)
   --gamma <f>       strength exponent        (default 0.5)
@@ -157,6 +158,227 @@ options:
                     access summary (undeclared dispatch is a hard error).
                     Pixels and simulated time are unchanged (GPU only)
 ";
+
+/// Usage text for `sharpen serve`.
+pub const SERVE_USAGE: &str = "\
+usage: sharpen serve [options]
+Replays a deterministic synthetic request stream (Zipf-distributed frame
+shapes, bursty arrivals, per-request priority class) through the sharpen
+service scheduler and prints served/shed counters, wall + simulated
+latency quantiles, and plan-cache/buffer-pool statistics.
+options:
+  --requests <n>    requests in the stream           (default 256)
+  --seed <n>        traffic seed; same seed, same stream (default 2015)
+  --gap-us <f>      mean simulated inter-arrival gap in microseconds —
+                    the offered-load knob            (default 2000)
+  --device <name>   w8000 | midrange | apu           (default w8000)
+  --opts <which>    none | all                       (default all)
+  --banded[=rows]   serve with the banded schedule   (default monolithic)
+  --queue-cap <n>   bounded queue length per class   (default 64)
+  --max-batch <n>   max requests coalesced per batch (default 16)
+  --cache-cap <n>   plan-cache capacity, plans       (default 8)
+  --shards <n>      plan-cache shards                (default 4)
+  --selfcheck       re-run every served request directly (fresh plan, no
+                    scheduler) and fail unless the pixels are bit-identical
+  --sanitize        serve on a sanitized context; exits non-zero on any
+                    finding (wall-clock overhead only)
+  --metrics <path>  write the service metrics registry as JSONL
+  --no-simd         force the scalar/autovectorized kernel spans
+";
+
+/// Parsed `sharpen serve` command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Requests in the synthetic stream.
+    pub requests: usize,
+    /// Traffic seed (identical seed ⇒ identical stream).
+    pub seed: u64,
+    /// Mean simulated inter-arrival gap, microseconds (offered load).
+    pub gap_us: f64,
+    /// Device preset to serve on.
+    pub device: DevicePreset,
+    /// GPU optimization flags.
+    pub opts: OptConfig,
+    /// Banded schedule (`None` = monolithic, as in the main CLI).
+    pub banded: Option<usize>,
+    /// Bounded queue length per priority class.
+    pub queue_cap: usize,
+    /// Maximum batch size.
+    pub max_batch: usize,
+    /// Plan-cache capacity in plans.
+    pub cache_cap: usize,
+    /// Plan-cache shard count.
+    pub shards: usize,
+    /// Byte-compare every served output against direct execution.
+    pub selfcheck: bool,
+    /// Serve on a sanitized context and fail on any finding.
+    pub sanitize: bool,
+    /// Optional JSONL metrics output path.
+    pub metrics: Option<PathBuf>,
+    /// Force the scalar/autovectorized kernel spans.
+    pub no_simd: bool,
+}
+
+/// Parses a `sharpen serve` argument list (without the program name and
+/// without the leading `serve`).
+pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut sv = ServeArgs {
+        requests: 256,
+        seed: 2015,
+        gap_us: 2000.0,
+        device: DevicePreset::W8000,
+        opts: OptConfig::all(),
+        banded: None,
+        queue_cap: 64,
+        max_batch: 16,
+        cache_cap: 8,
+        shards: 4,
+        selfcheck: false,
+        sanitize: false,
+        metrics: None,
+        no_simd: false,
+    };
+    let mut it = args.iter().cloned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--requests" => sv.requests = parse_value(&arg, it.next())?,
+            "--seed" => sv.seed = parse_value(&arg, it.next())?,
+            "--gap-us" => sv.gap_us = parse_value(&arg, it.next())?,
+            "--device" => {
+                sv.device = match it.next().as_deref() {
+                    Some("w8000") => DevicePreset::W8000,
+                    Some("midrange") => DevicePreset::Midrange,
+                    Some("apu") => DevicePreset::Apu,
+                    other => return Err(format!("unknown device {other:?}")),
+                }
+            }
+            "--opts" => {
+                sv.opts = match it.next().as_deref() {
+                    Some("none") => OptConfig::none(),
+                    Some("all") => OptConfig::all(),
+                    other => return Err(format!("unknown opts {other:?}")),
+                }
+            }
+            "--banded" => sv.banded = Some(0),
+            "--queue-cap" => sv.queue_cap = parse_value(&arg, it.next())?,
+            "--max-batch" => sv.max_batch = parse_value(&arg, it.next())?,
+            "--cache-cap" => sv.cache_cap = parse_value(&arg, it.next())?,
+            "--shards" => sv.shards = parse_value(&arg, it.next())?,
+            "--selfcheck" => sv.selfcheck = true,
+            "--sanitize" => sv.sanitize = true,
+            "--metrics" => {
+                sv.metrics = Some(PathBuf::from(parse_value::<String>(&arg, it.next())?))
+            }
+            "--no-simd" => sv.no_simd = true,
+            other => match other.strip_prefix("--banded=") {
+                Some(rows) => sv.banded = Some(parse_value("--banded", Some(rows.to_string()))?),
+                None => return Err(format!("unknown option {other:?}")),
+            },
+        }
+    }
+    if sv.requests == 0 {
+        return Err("--requests must be at least 1".to_string());
+    }
+    if !sv.gap_us.is_finite() || sv.gap_us <= 0.0 {
+        return Err("--gap-us must be positive".to_string());
+    }
+    if sv.queue_cap == 0 || sv.max_batch == 0 {
+        return Err("--queue-cap and --max-batch must be at least 1".to_string());
+    }
+    Ok(sv)
+}
+
+/// Executes `sharpen serve`, returning the human-readable summary.
+pub fn run_serve(sv: &ServeArgs) -> Result<String, String> {
+    use sharpness_core::service::{
+        generate_requests, ServiceConfig, SharpenService, TrafficConfig,
+    };
+
+    if sv.no_simd {
+        sharpness_core::simd::set_backend(Some(sharpness_core::simd::Backend::Autovec));
+    }
+    let traffic = TrafficConfig {
+        requests: sv.requests,
+        seed: sv.seed,
+        mean_gap_s: sv.gap_us * 1e-6,
+        ..TrafficConfig::default()
+    };
+    let requests = generate_requests(&traffic);
+    let schedule = match sv.banded {
+        None => Schedule::Monolithic,
+        Some(rows) => Schedule::Banded(rows),
+    };
+    let ctx = if sv.sanitize {
+        Context::sanitized(sv.device.spec())
+    } else {
+        Context::new(sv.device.spec())
+    };
+    let pipe =
+        GpuPipeline::new(ctx.clone(), SharpnessParams::default(), sv.opts).with_schedule(schedule);
+    let service = SharpenService::new(
+        pipe,
+        ServiceConfig {
+            queue_capacity: sv.queue_cap,
+            max_batch: sv.max_batch,
+            cache_shards: sv.shards,
+            cache_capacity: sv.cache_cap,
+            keep_outputs: sv.selfcheck,
+            ..ServiceConfig::default()
+        },
+    );
+    let report = service.serve(&requests)?;
+    let mut summary = format!(
+        "serve: {} requests, seed {}, mean gap {:.0} us\n{}",
+        sv.requests,
+        sv.seed,
+        sv.gap_us,
+        report.summary()
+    );
+    if let Some(san) = ctx.sanitize_report() {
+        if !san.is_clean() {
+            return Err(format!("{san}"));
+        }
+        summary.push_str("sanitizer: clean across the whole served stream\n");
+    }
+    if sv.selfcheck {
+        // Every served output must be bit-identical to a fresh,
+        // scheduler-free plan executing the same request.
+        let direct = GpuPipeline::new(
+            Context::new(sv.device.spec()),
+            SharpnessParams::default(),
+            sv.opts,
+        )
+        .with_schedule(schedule);
+        let by_id: std::collections::HashMap<u64, &sharpness_core::service::Request> =
+            requests.iter().map(|r| (r.id, r)).collect();
+        for (id, out) in &report.outputs {
+            let r = by_id.get(id).ok_or_else(|| format!("unknown id {id}"))?;
+            let mut plan = direct.prepared(r.width, r.height)?;
+            let mut expect = vec![0.0f32; r.width * r.height];
+            plan.run_into(&r.frame(), &mut expect)?;
+            if out.pixels() != expect.as_slice() {
+                return Err(format!(
+                    "selfcheck: request {id} ({}) diverged from direct execution",
+                    format_args!("{}x{}", r.width, r.height),
+                ));
+            }
+        }
+        summary.push_str(&format!(
+            "selfcheck: {} served outputs bit-identical to direct execution\n",
+            report.outputs.len()
+        ));
+    }
+    if let Some(path) = &sv.metrics {
+        let file = if path.is_dir() {
+            path.join("metrics.jsonl")
+        } else {
+            path.clone()
+        };
+        std::fs::write(&file, report.to_registry().to_jsonl()).map_err(|e| e.to_string())?;
+        summary.push_str(&format!("wrote metrics to {}\n", file.display()));
+    }
+    Ok(summary)
+}
 
 fn parse_value<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
     let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
@@ -1094,6 +1316,101 @@ mod tests {
         for p in [input, output] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn parses_serve_defaults_and_flags() {
+        let sv = parse_serve_args(&strs(&[])).unwrap();
+        assert_eq!((sv.requests, sv.seed), (256, 2015));
+        assert_eq!(sv.gap_us, 2000.0);
+        assert!(!sv.selfcheck && !sv.sanitize);
+        let sv = parse_serve_args(&strs(&[
+            "--requests",
+            "48",
+            "--seed",
+            "9",
+            "--gap-us",
+            "500",
+            "--max-batch",
+            "8",
+            "--queue-cap",
+            "16",
+            "--cache-cap",
+            "4",
+            "--shards",
+            "2",
+            "--opts",
+            "none",
+            "--banded=32",
+            "--selfcheck",
+            "--sanitize",
+        ]))
+        .unwrap();
+        assert_eq!(sv.requests, 48);
+        assert_eq!(sv.seed, 9);
+        assert_eq!(sv.gap_us, 500.0);
+        assert_eq!((sv.max_batch, sv.queue_cap), (8, 16));
+        assert_eq!((sv.cache_cap, sv.shards), (4, 2));
+        assert_eq!(sv.opts, OptConfig::none());
+        assert_eq!(sv.banded, Some(32));
+        assert!(sv.selfcheck && sv.sanitize);
+        // Invalid values are rejected at parse time.
+        assert!(parse_serve_args(&strs(&["--requests", "0"])).is_err());
+        assert!(parse_serve_args(&strs(&["--gap-us", "-1"])).is_err());
+        assert!(parse_serve_args(&strs(&["--bogus"])).is_err());
+        assert!(parse_serve_args(&strs(&["--max-batch", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_end_to_end_with_selfcheck_and_metrics() {
+        let dir = std::env::temp_dir();
+        let mfile = dir.join(format!("cli-serve-{}.jsonl", std::process::id()));
+        let sv = parse_serve_args(&strs(&[
+            "--requests",
+            "24",
+            "--seed",
+            "7",
+            "--selfcheck",
+            "--metrics",
+            mfile.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let summary = run_serve(&sv).unwrap();
+        assert!(summary.contains("serve: 24 requests, seed 7"), "{summary}");
+        assert!(summary.contains("frames/s wall"), "{summary}");
+        assert!(summary.contains("p99"), "{summary}");
+        assert!(summary.contains("plan cache:"), "{summary}");
+        assert!(
+            summary.contains("bit-identical to direct execution"),
+            "{summary}"
+        );
+        let jsonl = std::fs::read_to_string(&mfile).unwrap();
+        assert!(jsonl.contains("\"name\":\"service.served\""), "{jsonl}");
+        assert!(
+            jsonl.contains("\"name\":\"service.latency.sim_s\""),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains("service.pool.evicted"), "{jsonl}");
+        std::fs::remove_file(&mfile).ok();
+    }
+
+    #[test]
+    fn serve_sanitized_matches_plain_serve() {
+        let base = strs(&["--requests", "16", "--seed", "3", "--selfcheck"]);
+        let plain = run_serve(&parse_serve_args(&base).unwrap()).unwrap();
+        let mut san_args = base.clone();
+        san_args.push("--sanitize".to_string());
+        let sanitized = run_serve(&parse_serve_args(&san_args).unwrap()).unwrap();
+        assert!(sanitized.contains("sanitizer: clean"), "{sanitized}");
+        // Served/shed/batches and latency-in-simulated-seconds lines are
+        // identical: the sanitizer is observation-only.
+        let sim_lines = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with("served ") || l.contains("simulated, arrival"))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sim_lines(&plain), sim_lines(&sanitized));
     }
 
     #[test]
