@@ -178,6 +178,81 @@ pub fn write_service(path: &str, bench: &str, rows: &[ServiceRow]) -> std::io::R
     std::fs::write(path, render_service(bench, rows))
 }
 
+/// One `(device, shape)` measurement of the model-based schedule tuner
+/// (`BENCH_10.json` schema): what the search picked, how fast it walked
+/// the space, whether the guided walk agreed with the exhaustive one,
+/// and the simulated speedup of the tuned schedule over the paper's
+/// hand-tuned default.
+#[derive(Debug, Clone)]
+pub struct TuneRow {
+    /// Device preset name the candidates were costed on.
+    pub device: String,
+    /// Image width the search tuned for.
+    pub width: usize,
+    /// Image height the search tuned for.
+    pub height: usize,
+    /// Winning flag set, e.g. `kf+red+vec+oth`.
+    pub flags: String,
+    /// Winning reduction strategy label.
+    pub strategy: String,
+    /// Candidates the exhaustive walk evaluated.
+    pub candidates: usize,
+    /// Wall-clock candidates per second of the exhaustive walk.
+    pub candidates_per_s: f64,
+    /// Wall-clock microseconds per candidate (the ≤ 1000 us budget).
+    pub us_per_candidate: f64,
+    /// Whether the guided walk's predicted seconds are `.to_bits()`-equal
+    /// to the exhaustive argmin's.
+    pub guided_agrees: bool,
+    /// Simulated speedup of the tuned schedule over the paper default
+    /// (`OptConfig::all()` + `Tuning::default()`); deterministic.
+    pub speedup_vs_default: f64,
+}
+
+/// Renders the tuner bench document (same host header as [`render`],
+/// tuner-schema rows).
+pub fn render_tune(bench: &str, rows: &[TuneRow]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"bench\": \"{}\",\n  \"host\": {{\"cpu_features\": \"{}\", \
+         \"simd_compiled\": {}}},\n  \"rows\": [",
+        esc(bench),
+        esc(sharpness_core::simd::host_features()),
+        sharpness_core::simd::simd_compiled(),
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"device\": \"{}\", \"width\": {}, \"height\": {}, \
+             \"flags\": \"{}\", \"strategy\": \"{}\", \"candidates\": {}, \
+             \"candidates_per_s\": {:.1}, \"us_per_candidate\": {:.3}, \
+             \"guided_agrees\": {}, \"speedup_vs_default\": {:.4}}}",
+            esc(&r.device),
+            r.width,
+            r.height,
+            esc(&r.flags),
+            esc(&r.strategy),
+            r.candidates,
+            r.candidates_per_s,
+            r.us_per_candidate,
+            r.guided_agrees,
+            r.speedup_vs_default,
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes the tuner bench document to `path`.
+///
+/// # Errors
+/// Propagates the underlying I/O error.
+pub fn write_tune(path: &str, bench: &str, rows: &[TuneRow]) -> std::io::Result<()> {
+    std::fs::write(path, render_tune(bench, rows))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +291,29 @@ mod tests {
     #[test]
     fn escapes_quotes() {
         assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn renders_valid_tune_schema() {
+        let rows = vec![TuneRow {
+            device: "FirePro W8000".into(),
+            width: 1001,
+            height: 701,
+            flags: "kf+red+vec+oth".into(),
+            strategy: "UnrollOne".into(),
+            candidates: 768,
+            candidates_per_s: 5000.0,
+            us_per_candidate: 200.0,
+            guided_agrees: true,
+            speedup_vs_default: 1.101,
+        }];
+        let doc = render_tune("tune_model", &rows);
+        assert!(doc.contains("\"bench\": \"tune_model\""));
+        assert!(doc.contains("\"device\": \"FirePro W8000\""));
+        assert!(doc.contains("\"guided_agrees\": true"));
+        assert!(doc.contains("\"speedup_vs_default\": 1.1010"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
     }
 
     #[test]

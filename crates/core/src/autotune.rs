@@ -6,8 +6,13 @@
 //! simulated device.
 //!
 //! The paper hard-codes these after manual measurement; this module
-//! automates the measurement against whatever device the context models,
-//! so re-targeting the pipeline to another [`DeviceSpec`] re-derives them.
+//! automates the derivation against whatever device the context models,
+//! so re-targeting the pipeline to another [`DeviceSpec`] re-derives
+//! them. Since PR 10 the probes are evaluated through the closed-form
+//! models in [`crate::tune`] — bit-identical to the executed
+//! [`crate::gpu::ablate`] probes they replaced (a test below holds the
+//! two in lockstep) but microseconds per candidate, so autotuning costs
+//! nothing at startup.
 //!
 //! [`DeviceSpec`]: simgpu::device::DeviceSpec
 
@@ -15,9 +20,9 @@ use std::sync::OnceLock;
 
 use simgpu::context::Context;
 
-use crate::gpu::ablate;
 use crate::gpu::kernels::reduction::{ReductionStrategy, ELEMS_PER_GROUP};
 use crate::gpu::opts::Tuning;
+use crate::tune;
 
 /// Finds the smallest square-image width (among `candidates`, ascending)
 /// at which the GPU border beats the CPU border; returns
@@ -25,8 +30,8 @@ use crate::gpu::opts::Tuning;
 /// never wins.
 pub fn tune_border_crossover(ctx: &Context, candidates: &[usize]) -> usize {
     for &w in candidates {
-        let t_cpu = ablate::border_cpu_time(ctx, w, w);
-        let t_gpu = ablate::border_gpu_time(ctx, w, w);
+        let t_cpu = tune::border_cpu_model(ctx.device(), ctx.cpu(), w, w);
+        let t_gpu = tune::border_gpu_model(ctx.device(), w, w);
         if t_gpu <= t_cpu {
             return w;
         }
@@ -44,7 +49,7 @@ pub fn tune_reduction_strategy(ctx: &Context, n: usize) -> ReductionStrategy {
     let mut best = ReductionStrategy::UnrollOne;
     let mut best_t = f64::INFINITY;
     for s in strategies {
-        let t = ablate::reduction_gpu_time(ctx, n, s, usize::MAX);
+        let t = tune::reduction_gpu_model(ctx.device(), ctx.cpu(), n, s, usize::MAX);
         if t < best_t {
             best_t = t;
             best = s;
@@ -55,14 +60,16 @@ pub fn tune_reduction_strategy(ctx: &Context, n: usize) -> ReductionStrategy {
 
 /// Finds a partial-count threshold above which finishing the reduction on
 /// the device beats reading partials back and summing on the host.
-/// Probes doubling input sizes and returns the partial count at the first
-/// size where the device stage 2 wins.
+/// Probes input sizes quadrupling from 256² to 4096² and returns the
+/// partial count at the first size where the device stage 2 wins.
 pub fn tune_stage2_threshold(ctx: &Context) -> usize {
     let mut n: usize = 256 * 256;
     while n <= 4096 * 4096 {
         let groups = n.div_ceil(ELEMS_PER_GROUP);
-        let t_host = ablate::reduction_gpu_time(ctx, n, ReductionStrategy::UnrollOne, usize::MAX);
-        let t_dev = ablate::reduction_gpu_time(ctx, n, ReductionStrategy::UnrollOne, 0);
+        let (dev, cpu) = (ctx.device(), ctx.cpu());
+        let t_host =
+            tune::reduction_gpu_model(dev, cpu, n, ReductionStrategy::UnrollOne, usize::MAX);
+        let t_dev = tune::reduction_gpu_model(dev, cpu, n, ReductionStrategy::UnrollOne, 0);
         if t_dev < t_host {
             return groups.saturating_sub(1);
         }
@@ -131,10 +138,18 @@ pub fn tune_band_rows(pipe: &crate::gpu::GpuPipeline, w: usize, h: usize) -> Res
     let img = imagekit::generate::natural(w, h, 42);
     let mut best = base;
     let mut best_t = f64::INFINITY;
-    for cand in [base / 2, base, base * 2] {
-        if cand < 16 {
+    let mut probed = [0usize; 3];
+    // `base` is already clamped to [16, 4096]; the doubled probe must
+    // respect the same ceiling (and duplicates are skipped, so a base of
+    // 4096 probes two candidates, not the same one twice).
+    for (i, cand) in [base / 2, base, (base * 2).min(4096)]
+        .into_iter()
+        .enumerate()
+    {
+        if cand < 16 || probed[..i].contains(&cand) {
             continue;
         }
+        probed[i] = cand;
         let banded = pipe.clone().with_schedule(Schedule::Banded(cand));
         let mut plan = banded.prepared(w, h)?;
         let mut out = vec![0.0f32; w * h];
@@ -194,5 +209,58 @@ mod tests {
         let t = autotune(&ctx());
         assert!(t.border_gpu_min_width >= 64);
         assert_eq!(t.reduction_strategy, ReductionStrategy::UnrollOne);
+    }
+
+    /// The closed-form probe models must track the executed ablation
+    /// probes bit for bit — this is what licenses replacing execution
+    /// with the model in the tuners above.
+    #[test]
+    fn model_probes_match_executed_ablation_probes_bit_for_bit() {
+        use crate::gpu::ablate;
+        use crate::tune;
+        for dev in [
+            DeviceSpec::firepro_w8000(),
+            DeviceSpec::midrange_gpu(),
+            DeviceSpec::apu(),
+        ] {
+            let ctx = Context::new(dev);
+            let (d, c) = (ctx.device().clone(), ctx.cpu().clone());
+            for n in [1024usize, 256 * 256, 1024 * 1024 + 7] {
+                for s in [
+                    ReductionStrategy::NoUnroll,
+                    ReductionStrategy::UnrollOne,
+                    ReductionStrategy::UnrollTwo,
+                ] {
+                    for thr in [usize::MAX, 0] {
+                        assert_eq!(
+                            ablate::reduction_gpu_time(&ctx, n, s, thr).to_bits(),
+                            tune::reduction_gpu_model(&d, &c, n, s, thr).to_bits(),
+                            "reduction gpu probe n={n} {s:?} thr={thr} on {}",
+                            d.name
+                        );
+                    }
+                }
+                assert_eq!(
+                    ablate::reduction_cpu_time(&ctx, n).to_bits(),
+                    tune::reduction_cpu_model(&d, &c, n).to_bits(),
+                    "reduction cpu probe n={n} on {}",
+                    d.name
+                );
+            }
+            for (w, h) in [(64, 64), (256, 192), (768, 768), (1001, 701)] {
+                assert_eq!(
+                    ablate::border_gpu_time(&ctx, w, h).to_bits(),
+                    tune::border_gpu_model(&d, w, h).to_bits(),
+                    "border gpu probe {w}x{h} on {}",
+                    d.name
+                );
+                assert_eq!(
+                    ablate::border_cpu_time(&ctx, w, h).to_bits(),
+                    tune::border_cpu_model(&d, &c, w, h).to_bits(),
+                    "border cpu probe {w}x{h} on {}",
+                    d.name
+                );
+            }
+        }
     }
 }

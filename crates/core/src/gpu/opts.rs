@@ -74,6 +74,30 @@ impl OptConfig {
         ]
     }
 
+    /// Decodes one of the 64 flag combinations from its bit index
+    /// (bit 0 = `data_transfer` … bit 5 = `others`), the enumeration
+    /// order the sweeps and the [`crate::tune`] search share.
+    pub fn from_bits(bits: u32) -> Self {
+        OptConfig {
+            data_transfer: bits & 1 != 0,
+            kernel_fusion: bits & 2 != 0,
+            reduction_gpu: bits & 4 != 0,
+            vectorization: bits & 8 != 0,
+            border_gpu: bits & 16 != 0,
+            others: bits & 32 != 0,
+        }
+    }
+
+    /// The inverse of [`OptConfig::from_bits`].
+    pub fn bits(&self) -> u32 {
+        u32::from(self.data_transfer)
+            | u32::from(self.kernel_fusion) << 1
+            | u32::from(self.reduction_gpu) << 2
+            | u32::from(self.vectorization) << 3
+            | u32::from(self.border_gpu) << 4
+            | u32::from(self.others) << 5
+    }
+
     /// Number of enabled flags (for display).
     pub fn enabled_count(&self) -> usize {
         [
@@ -131,6 +155,17 @@ mod tests {
                 w[1].0
             );
         }
+    }
+
+    #[test]
+    fn bits_roundtrip_covers_all_64_configs() {
+        for bits in 0u32..64 {
+            let o = OptConfig::from_bits(bits);
+            assert_eq!(o.bits(), bits);
+            assert_eq!(o.enabled_count(), bits.count_ones() as usize);
+        }
+        assert_eq!(OptConfig::none().bits(), 0);
+        assert_eq!(OptConfig::all().bits(), 63);
     }
 
     #[test]

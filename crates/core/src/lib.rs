@@ -52,6 +52,7 @@ pub mod params;
 pub mod report;
 pub mod service;
 pub mod telemetry;
+pub mod tune;
 
 pub use cpu::CpuPipeline;
 pub use gpu::kernels::simd;

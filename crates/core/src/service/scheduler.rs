@@ -63,6 +63,14 @@ pub struct ServiceConfig {
     /// Keep served output frames in the report (bit-identity checks; off
     /// for load benches).
     pub keep_outputs: bool,
+    /// Key the plan cache on per-shape model-tuned schedules: each cache
+    /// miss runs the pixel-invariant cost-model search for the requested
+    /// shape and prepares the winning `(OptConfig, Tuning)` instead of
+    /// the pipeline's fixed configuration (the summation-order axes stay
+    /// pinned — see [`PlanCache::with_per_shape_tuning`]). Served outputs
+    /// do not change; only the simulated frame times (and with them
+    /// admission and latency) drop.
+    pub tune_per_shape: bool,
 }
 
 impl Default for ServiceConfig {
@@ -74,6 +82,7 @@ impl Default for ServiceConfig {
             cache_capacity: 8,
             slo_s: [0.05, 0.25, 2.0],
             keep_outputs: false,
+            tune_per_shape: false,
         }
     }
 }
@@ -303,7 +312,8 @@ impl SharpenService {
             self.pipe.clone(),
             self.cfg.cache_shards,
             self.cfg.cache_capacity,
-        );
+        )
+        .with_per_shape_tuning(self.cfg.tune_per_shape);
         let mut classes = [
             ClassReport::new(Priority::Interactive.label()),
             ClassReport::new(Priority::Standard.label()),

@@ -341,7 +341,10 @@ pub const BASELINE_WIDTH: usize = 256;
 /// `metrics_baseline` (emit/check) and `repro --metrics-dir`. The registry
 /// also carries the static access verifier's `verify.*` gauges for the same
 /// shape/config, so the committed baselines catch accounting regressions
-/// (dispatch count, access windows, declared/charged bytes, ratio slack).
+/// (dispatch count, access windows, declared/charged bytes, ratio slack),
+/// and the schedule tuner's `tune.*` gauges (guided search at the baseline
+/// shape — all deterministic; search wall time is deliberately absent), so
+/// they catch cost-model and search regressions too.
 ///
 /// # Errors
 /// Propagates pipeline failures (cannot happen for the committed configs
@@ -350,7 +353,8 @@ pub fn baseline_registry(cfg: &OptConfig) -> Result<MetricsRegistry, String> {
     use simgpu::context::Context;
     let img = imagekit::generate::natural(BASELINE_WIDTH, BASELINE_WIDTH, BASELINE_SEED);
     let ctx = Context::new(DeviceSpec::firepro_w8000());
-    let pipe = crate::gpu::GpuPipeline::new(ctx, crate::params::SharpnessParams::default(), *cfg);
+    let pipe =
+        crate::gpu::GpuPipeline::new(ctx.clone(), crate::params::SharpnessParams::default(), *cfg);
     let (_, tel) = pipe.run_with_telemetry(&img)?;
     let mut reg = MetricsRegistry::new();
     tel.to_registry(&mut reg);
@@ -362,6 +366,14 @@ pub fn baseline_registry(cfg: &OptConfig) -> Result<MetricsRegistry, String> {
         crate::gpu::Schedule::Monolithic,
     )?;
     proof.to_registry(&mut reg);
+    let tuned = crate::tune::search(
+        BASELINE_WIDTH,
+        BASELINE_WIDTH,
+        ctx.device(),
+        ctx.cpu(),
+        crate::tune::SearchMode::Guided,
+    )?;
+    tuned.to_registry(&mut reg);
     Ok(reg)
 }
 

@@ -174,6 +174,56 @@ impl DeviceSpec {
         }
     }
 
+    /// An embedded SoC-class GPU: a handful of CUs on a narrow LPDDR bus
+    /// behind a shared-memory interconnect, with the slower driver stack
+    /// typical of mobile parts (higher launch and sync overheads).
+    pub fn embedded_gpu() -> Self {
+        DeviceSpec {
+            name: "Embedded SoC GPU",
+            compute_units: 4,
+            wavefront: 64,
+            total_lanes: 256,
+            clock_ghz: 0.65,
+            peak_gflops: 330.0,
+            mem_bw: 14.0e9,
+            lds_bw: 100.0e9,
+            launch_overhead_s: 30e-6,
+            sync_overhead_s: 18e-6,
+            transfer: TransferModel::apu_like(),
+            ..Self::firepro_w8000()
+        }
+    }
+
+    /// An HBM-class accelerator: W8000-era compute scaled up behind a
+    /// stacked-memory bus an order of magnitude wider, on a newer host
+    /// link with lower launch/sync overheads.
+    pub fn hbm_gpu() -> Self {
+        DeviceSpec {
+            name: "HBM accelerator",
+            compute_units: 64,
+            wavefront: 64,
+            total_lanes: 4096,
+            clock_ghz: 1.5,
+            peak_gflops: 12300.0,
+            mem_bw: 900.0e9,
+            lds_bw: 8000.0e9,
+            launch_overhead_s: 8e-6,
+            sync_overhead_s: 5e-6,
+            transfer: TransferModel {
+                // PCI-E 4.0 x16: twice the link bandwidth, lower DMA
+                // latency; mapped access still crosses the link piecemeal.
+                bulk_latency_s: 15e-6,
+                bulk_bw: 12.0e9,
+                rect_latency_s: 15e-6,
+                rect_row_overhead_s: 0.4e-6,
+                rect_bw: 12.0e9,
+                map_setup_s: 2e-6,
+                map_bw: 9.0e9,
+            },
+            ..Self::firepro_w8000()
+        }
+    }
+
     /// Effective ALU throughput in lane-cycles per second.
     pub fn effective_lane_hz(&self) -> f64 {
         f64::from(self.total_lanes) * self.clock_ghz * 1e9 * self.alu_efficiency
@@ -283,7 +333,42 @@ mod tests {
 
     #[test]
     fn presets_differ() {
-        assert_ne!(DeviceSpec::firepro_w8000(), DeviceSpec::midrange_gpu());
-        assert_ne!(DeviceSpec::firepro_w8000(), DeviceSpec::apu());
+        let presets = [
+            DeviceSpec::firepro_w8000(),
+            DeviceSpec::midrange_gpu(),
+            DeviceSpec::apu(),
+            DeviceSpec::embedded_gpu(),
+            DeviceSpec::hbm_gpu(),
+        ];
+        for (i, a) in presets.iter().enumerate() {
+            for b in &presets[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn new_presets_are_internally_consistent() {
+        for d in [DeviceSpec::embedded_gpu(), DeviceSpec::hbm_gpu()] {
+            assert_eq!(d.compute_units * d.wavefront, d.total_lanes, "{}", d.name);
+            // Peak GFlops ≈ lanes × clock × 2 (fma), as for the W8000.
+            let fma_peak = f64::from(d.total_lanes) * d.clock_ghz * 2.0;
+            assert!(
+                (d.peak_gflops - fma_peak).abs() / fma_peak < 0.05,
+                "{}: {} vs {}",
+                d.name,
+                d.peak_gflops,
+                fma_peak
+            );
+        }
+        // The HBM part must out-spec the W8000 everywhere that matters;
+        // the embedded part must under-spec it.
+        let w = DeviceSpec::firepro_w8000();
+        let e = DeviceSpec::embedded_gpu();
+        let h = DeviceSpec::hbm_gpu();
+        assert!(h.mem_bw > w.mem_bw && h.effective_lane_hz() > w.effective_lane_hz());
+        assert!(h.launch_overhead_s < w.launch_overhead_s);
+        assert!(e.mem_bw < w.mem_bw && e.effective_lane_hz() < w.effective_lane_hz());
+        assert!(e.launch_overhead_s > w.launch_overhead_s);
     }
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Repo CI gate: formatting, lints, tier-1 tests, and bench compilation.
 #
-#   ./scripts/ci.sh          # fast gate (includes the token-aware Rust lint
-#                            # and the static access-verification sweep)
+#   ./scripts/ci.sh          # fast gate (includes the token-aware Rust lint,
+#                            # the static access-verification sweep, and the
+#                            # tuner's predicted-vs-executed agreement sweep)
 #   ./scripts/ci.sh --full   # also run the sanitized static-vs-dynamic
 #                            # cross-validation sweep and the full sanitizer
 #                            # sweep (64 configs x four sizes; minutes)
@@ -44,6 +45,14 @@ cargo test -q -p sharpness-core --features simd
 echo "== static access verification sweep (64 configs x 4 shapes x 2 schedules)"
 cargo run --release -q -p sharpness-bench --bin repro -- --verify-static
 
+echo "== tuner bit-agreement sweep (predicted vs executed, 64 configs x shapes x schedules x devices)"
+# The model-based autotuner's entire claim is that its closed-form cost
+# predictor returns `.to_bits()`-identical seconds to executing the
+# simulated pipeline. This sweep proves it for the full config space on
+# every CI pass, so the predictor can never silently drift from the
+# executor it mirrors.
+cargo test -q --release --test tune -- --ignored
+
 echo "== metric baselines"
 ./scripts/check_metrics.sh
 
@@ -61,6 +70,13 @@ trap 'rm -rf "$smoke_dir"' EXIT
 # The base GPU config keeps the reduction on the CPU, so its output must
 # match the CPU reference bit-for-bit even on odd shapes.
 cmp "$smoke_dir/odd-none.pgm" "$smoke_dir/odd-cpu.pgm"
+
+echo "== autotune smoke (model-searched schedule on the odd shape, sanitized)"
+# --autotune replaces --opts with the model search's winner; the sanitized
+# run plus static verification prove the tuned schedule is as safe as the
+# hand-picked ones on a shape the paper never measured.
+./target/release/sharpen "$smoke_dir/odd.pgm" "$smoke_dir/odd-tuned.pgm" \
+    --autotune --sanitize --verify-static > /dev/null
 
 echo "== banded smoke (sanitized banded run is byte-identical to monolithic)"
 ./target/release/sharpen "$smoke_dir/odd.pgm" "$smoke_dir/odd-banded.pgm" \
@@ -95,6 +111,9 @@ TP_WIDTH=256 TP_FRAMES=4 TP_OUT="$smoke_dir/tp_ledger.json" \
 SV_REQUESTS=48 SV_OUT="$smoke_dir/sv_ledger.json" \
     LEDGER_OUT="$smoke_dir/LEDGER.jsonl" \
     cargo bench -q -p sharpness-bench --bench service_load > /dev/null
+TM_SHAPES=256x256 TM_OUT="$smoke_dir/tm_ledger.json" \
+    LEDGER_OUT="$smoke_dir/LEDGER.jsonl" \
+    cargo bench -q -p sharpness-bench --bench tune_model > /dev/null
 cargo run --release -q -p sharpness-bench --bin perf_ledger -- \
     --check --path "$smoke_dir/LEDGER.jsonl" --threshold 0.6
 

@@ -6,7 +6,7 @@
 //! construct no longer trips the lint and banned calls smuggled into
 //! macro strings no longer hide from it.
 //!
-//! Nine rules, all load-bearing:
+//! Ten rules, all load-bearing:
 //!
 //! 1. Kernel and CPU-stage hot loops use the shared `math` helpers
 //!    (`math::fmin`/`fmax`/`clampf`), never `f32::min`/`f32::max`/
@@ -44,6 +44,14 @@
 //!    the kernels a plan runs — no `charge_*` calls, no simulated-clock
 //!    writes, no device-record mutation. Served pixels and simulated
 //!    seconds must be bit-identical to direct plan execution.
+//! 10. The schedule tuner (`core::tune`) predicts cost without ever
+//!     executing: no pipeline construction, plan preparation, queue
+//!     dispatch, or cost charging anywhere under `crates/core/src/tune/`.
+//!     The tuner's whole claim — thousands of candidates per second,
+//!     `.to_bits()`-identical to execution — rests on the predictor
+//!     replaying the timing model from closed-form counters; a single
+//!     smuggled execution would turn the model search back into
+//!     measure-by-running.
 
 use std::path::{Path, PathBuf};
 
@@ -469,6 +477,39 @@ impl Lint {
         }
     }
 
+    /// Rule 10: the tuner is execution-free — `core::tune` never builds a
+    /// pipeline, prepares a plan, dispatches a queue command, or charges
+    /// cost. Prediction must stay a pure function of the counters.
+    fn rule_tune_execution_free(&mut self, tune_files: &[PathBuf]) {
+        for rel in tune_files {
+            let s = self.read(rel);
+            let hits: Vec<_> = lines(&s, true)
+                .into_iter()
+                .filter(|(_, l)| {
+                    l.contains("GpuPipeline")
+                        || l.contains("CpuPipeline")
+                        || l.contains("CommandQueue")
+                        || l.contains("Context::new")
+                        || l.contains(".prepared(")
+                        || l.contains("run_into")
+                        || l.contains("run_with_telemetry")
+                        || l.contains("q.run(")
+                        || l.contains(".run_sliced(")
+                        // Counter *construction* via CostCounters::charge_*
+                        // is the predictor's whole job; what is banned is
+                        // charging a live group context like a kernel does.
+                        || l.contains("GroupCtx")
+                })
+                .collect();
+            self.fail(
+                "schedule tuner executes a pipeline (core::tune must predict from closed-form \
+                 counters only — execution belongs in the caller's self-check)",
+                rel,
+                &hits,
+            );
+        }
+    }
+
     /// Rule 7: every CommandQueue dispatch site declares an AccessSummary.
     fn rule_declared_dispatches(&mut self, gpu_files: &[PathBuf], sanctioned: &[PathBuf]) {
         let is_dispatch = |l: &str| {
@@ -572,8 +613,14 @@ fn run(root: &Path) -> i32 {
         .collect();
     lint.rule_service_observation_only(&service_files);
 
+    let tune_files: Vec<PathBuf> = rust_files(&root.join("crates/core/src/tune"))
+        .into_iter()
+        .map(|p| rel(&p))
+        .collect();
+    lint.rule_tune_execution_free(&tune_files);
+
     if lint.failures.is_empty() {
-        println!("lint_invariants: OK (9 rules, token-aware)");
+        println!("lint_invariants: OK (10 rules, token-aware)");
         0
     } else {
         for f in &lint.failures {
@@ -701,6 +748,30 @@ mod tests {
             "fn run(&mut self) {\n\
                  g.charge_global_n(4, n);\n\
              }\n",
+        )
+        .unwrap();
+        let code = run(&root);
+        std::fs::remove_dir_all(&root).ok();
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn flags_tune_code_that_executes() {
+        let root = std::env::temp_dir().join(format!("lint-tune-fixture-{}", std::process::id()));
+        let tune = root.join("crates/core/src/tune");
+        std::fs::create_dir_all(&tune).unwrap();
+        // Rule 10: a tuner stage that prepares and runs a real plan is
+        // measure-by-running in disguise. A doc comment mentioning
+        // CommandQueue must NOT count, and neither must test code.
+        std::fs::write(
+            tune.join("search.rs"),
+            "//! Mirrors what the CommandQueue charges.\n\
+             fn probe(ctx: &Context) -> f64 {\n\
+                 let plan = pipe.prepared(w, h).unwrap();\n\
+                 plan.run_into(&img, &mut out).unwrap().total()\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests { fn lockstep() { let p = GpuPipeline::new(c, d, o); } }\n",
         )
         .unwrap();
         let code = run(&root);

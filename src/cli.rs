@@ -40,6 +40,10 @@ pub enum DevicePreset {
     Midrange,
     /// APU-like part with a shared-memory link.
     Apu,
+    /// Embedded SoC-class GPU: few CUs, slow launches, narrow memory.
+    Embedded,
+    /// HBM server part on a PCI-E 4.0 link.
+    Hbm,
 }
 
 impl DevicePreset {
@@ -49,6 +53,20 @@ impl DevicePreset {
             DevicePreset::W8000 => DeviceSpec::firepro_w8000(),
             DevicePreset::Midrange => DeviceSpec::midrange_gpu(),
             DevicePreset::Apu => DeviceSpec::apu(),
+            DevicePreset::Embedded => DeviceSpec::embedded_gpu(),
+            DevicePreset::Hbm => DeviceSpec::hbm_gpu(),
+        }
+    }
+
+    /// Parses a `--device` name.
+    pub fn parse(name: Option<&str>) -> Result<Self, String> {
+        match name {
+            Some("w8000") => Ok(DevicePreset::W8000),
+            Some("midrange") => Ok(DevicePreset::Midrange),
+            Some("apu") => Ok(DevicePreset::Apu),
+            Some("embedded") => Ok(DevicePreset::Embedded),
+            Some("hbm") => Ok(DevicePreset::Hbm),
+            other => Err(format!("unknown device {other:?}")),
         }
     }
 }
@@ -100,6 +118,9 @@ pub struct CliArgs {
     /// feature is compiled in (pixels and simulated time are identical
     /// either way; only wall-clock changes).
     pub no_simd: bool,
+    /// Replace the paper's hand-tuned schedule with the model-searched
+    /// one for the input's exact shape on the selected device (GPU only).
+    pub autotune: bool,
 }
 
 /// Usage text.
@@ -111,8 +132,15 @@ options:
   --gamma <f>       strength exponent        (default 0.5)
   --osc <f>         overshoot fraction 0..1  (default 0.35)
   --cpu             run the CPU reference instead of the GPU port
-  --device <name>   w8000 | midrange | apu   (default w8000)
+  --device <name>   w8000 | midrange | apu | embedded | hbm (default w8000)
   --opts <which>    none | all               (default all)
+  --autotune        replace the paper's hand-tuned schedule with the
+                    model-searched one for this exact shape and device:
+                    a guided search over the full optimization space
+                    (closed-form cost model, zero pipeline executions)
+                    picks the OptConfig and Tuning, overriding --opts;
+                    the summary reports the chosen schedule and its
+                    predicted speedup over the paper default (GPU only)
   --color <mode>    luma | rgb               (default luma; PPM only)
   --trace <file>    write a Chrome-trace JSON of the run
   --gantt           print an ASCII timeline of the run
@@ -171,8 +199,12 @@ options:
   --seed <n>        traffic seed; same seed, same stream (default 2015)
   --gap-us <f>      mean simulated inter-arrival gap in microseconds —
                     the offered-load knob            (default 2000)
-  --device <name>   w8000 | midrange | apu           (default w8000)
+  --device <name>   w8000 | midrange | apu | embedded | hbm (default w8000)
   --opts <which>    none | all                       (default all)
+  --autotune        key the plan cache on per-shape model-tuned schedules:
+                    each cache miss runs the guided cost-model search for
+                    the requested shape and prepares the winning plan
+                    (pixels are bit-identical; simulated seconds drop)
   --banded[=rows]   serve with the banded schedule   (default monolithic)
   --queue-cap <n>   bounded queue length per class   (default 64)
   --max-batch <n>   max requests coalesced per batch (default 16)
@@ -217,6 +249,8 @@ pub struct ServeArgs {
     pub metrics: Option<PathBuf>,
     /// Force the scalar/autovectorized kernel spans.
     pub no_simd: bool,
+    /// Key the plan cache on per-shape model-tuned schedules.
+    pub autotune: bool,
 }
 
 /// Parses a `sharpen serve` argument list (without the program name and
@@ -237,6 +271,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         sanitize: false,
         metrics: None,
         no_simd: false,
+        autotune: false,
     };
     let mut it = args.iter().cloned();
     while let Some(arg) = it.next() {
@@ -244,14 +279,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
             "--requests" => sv.requests = parse_value(&arg, it.next())?,
             "--seed" => sv.seed = parse_value(&arg, it.next())?,
             "--gap-us" => sv.gap_us = parse_value(&arg, it.next())?,
-            "--device" => {
-                sv.device = match it.next().as_deref() {
-                    Some("w8000") => DevicePreset::W8000,
-                    Some("midrange") => DevicePreset::Midrange,
-                    Some("apu") => DevicePreset::Apu,
-                    other => return Err(format!("unknown device {other:?}")),
-                }
-            }
+            "--device" => sv.device = DevicePreset::parse(it.next().as_deref())?,
             "--opts" => {
                 sv.opts = match it.next().as_deref() {
                     Some("none") => OptConfig::none(),
@@ -266,6 +294,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
             "--shards" => sv.shards = parse_value(&arg, it.next())?,
             "--selfcheck" => sv.selfcheck = true,
             "--sanitize" => sv.sanitize = true,
+            "--autotune" => sv.autotune = true,
             "--metrics" => {
                 sv.metrics = Some(PathBuf::from(parse_value::<String>(&arg, it.next())?))
             }
@@ -323,6 +352,7 @@ pub fn run_serve(sv: &ServeArgs) -> Result<String, String> {
             cache_shards: sv.shards,
             cache_capacity: sv.cache_cap,
             keep_outputs: sv.selfcheck,
+            tune_per_shape: sv.autotune,
             ..ServiceConfig::default()
         },
     );
@@ -409,6 +439,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         explain: false,
         banded: None,
         no_simd: false,
+        autotune: false,
     };
     let mut device = DevicePreset::W8000;
     let mut use_cpu = false;
@@ -418,14 +449,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--gamma" => cli.params.gamma = parse_value(&arg, it.next())?,
             "--osc" => cli.params.osc = parse_value(&arg, it.next())?,
             "--cpu" => use_cpu = true,
-            "--device" => {
-                device = match it.next().as_deref() {
-                    Some("w8000") => DevicePreset::W8000,
-                    Some("midrange") => DevicePreset::Midrange,
-                    Some("apu") => DevicePreset::Apu,
-                    other => return Err(format!("unknown device {other:?}")),
-                }
-            }
+            "--device" => device = DevicePreset::parse(it.next().as_deref())?,
             "--opts" => {
                 cli.opts = match it.next().as_deref() {
                     Some("none") => OptConfig::none(),
@@ -455,6 +479,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--explain" => cli.explain = true,
             "--banded" => cli.banded = Some(0),
             "--no-simd" => cli.no_simd = true,
+            "--autotune" => cli.autotune = true,
             other => match other.strip_prefix("--banded=") {
                 Some(rows) => cli.banded = Some(parse_value("--banded", Some(rows.to_string()))?),
                 None => return Err(format!("unknown option {other:?}")),
@@ -487,6 +512,9 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     }
     if cli.banded.is_some() && use_cpu {
         return Err("--banded requires the GPU engine (drop --cpu)".to_string());
+    }
+    if cli.autotune && use_cpu {
+        return Err("--autotune requires the GPU engine (drop --cpu)".to_string());
     }
     if (cli.metrics.is_some() || cli.profile || cli.explain) && use_cpu {
         return Err(
@@ -543,18 +571,55 @@ fn schedule_of(cli: &CliArgs) -> Schedule {
     }
 }
 
+/// The effective (opts, tuning) for a GPU run of a `w`×`h` plane: the
+/// command line's values under the paper's hand-tuned defaults, or —
+/// with `--autotune` — the guided model search's winner for this exact
+/// shape on the selected device. The search never executes the
+/// pipeline, so re-deriving it per plane costs microseconds and stays
+/// deterministic.
+fn gpu_config_for(
+    cli: &CliArgs,
+    preset: DevicePreset,
+    w: usize,
+    h: usize,
+) -> Result<(OptConfig, Tuning), String> {
+    if !cli.autotune {
+        return Ok((cli.opts, Tuning::default()));
+    }
+    let r = autotune_search(preset, w, h)?;
+    Ok((r.opts, r.tuning))
+}
+
+/// Runs the guided model search for one shape on a preset.
+fn autotune_search(
+    preset: DevicePreset,
+    w: usize,
+    h: usize,
+) -> Result<sharpness_core::tune::TuneReport, String> {
+    let dev = preset.spec();
+    let ctx = Context::new(dev.clone());
+    sharpness_core::tune::search(
+        w,
+        h,
+        &dev,
+        ctx.cpu(),
+        sharpness_core::tune::SearchMode::Guided,
+    )
+}
+
 fn sharpen_plane(cli: &CliArgs, plane: &ImageF32) -> Result<RunReport, String> {
     match cli.engine {
         Engine::Cpu => CpuPipeline::new(cli.params).run(plane),
         Engine::Gpu(preset) => {
+            let (opts, tuning) = gpu_config_for(cli, preset, plane.width(), plane.height())?;
             if cli.verify_static {
                 // Prove the whole dispatch schedule sound before touching
                 // a single pixel; a failed proof aborts the run.
                 verify_static(
                     plane.width(),
                     plane.height(),
-                    &cli.opts,
-                    &Tuning::default(),
+                    &opts,
+                    &tuning,
                     schedule_of(cli),
                 )?;
             }
@@ -568,7 +633,8 @@ fn sharpen_plane(cli: &CliArgs, plane: &ImageF32) -> Result<RunReport, String> {
             } else {
                 ctx
             };
-            let report = GpuPipeline::new(ctx.clone(), cli.params, cli.opts)
+            let report = GpuPipeline::new(ctx.clone(), cli.params, opts)
+                .with_tuning(tuning)
                 .with_schedule(schedule_of(cli))
                 .run(plane)?;
             if let Some(san) = ctx.sanitize_report() {
@@ -588,7 +654,9 @@ fn run_throughput(cli: &CliArgs, plane: &ImageF32) -> Result<(String, Throughput
     let Engine::Gpu(preset) = cli.engine else {
         return Err("--frames requires the GPU engine".to_string());
     };
-    let pipe = GpuPipeline::new(Context::new(preset.spec()), cli.params, cli.opts)
+    let (opts, tuning) = gpu_config_for(cli, preset, plane.width(), plane.height())?;
+    let pipe = GpuPipeline::new(Context::new(preset.spec()), cli.params, opts)
+        .with_tuning(tuning)
         .with_schedule(schedule_of(cli));
     let engine = ThroughputEngine::new(pipe, cli.threads);
     let frames: Vec<ImageF32> = (0..cli.frames).map(|_| plane.clone()).collect();
@@ -618,12 +686,10 @@ fn gpu_observe(
     let Engine::Gpu(preset) = cli.engine else {
         return Err("kernel telemetry requires the GPU engine".to_string());
     };
-    let pipe = GpuPipeline::new(
-        Context::new(preset.spec()).with_spans(),
-        cli.params,
-        cli.opts,
-    )
-    .with_schedule(schedule_of(cli));
+    let (opts, tuning) = gpu_config_for(cli, preset, plane.width(), plane.height())?;
+    let pipe = GpuPipeline::new(Context::new(preset.spec()).with_spans(), cli.params, opts)
+        .with_tuning(tuning)
+        .with_schedule(schedule_of(cli));
     let mut plan = pipe.prepared(plane.width(), plane.height())?;
     plan.run(plane)?;
     let tel = plan.telemetry();
@@ -708,6 +774,23 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
     // for single-frame GPU traces so they carry real command kinds and the
     // cumulative global-bytes counter track.
     let is_gpu = matches!(cli.engine, Engine::Gpu(_));
+
+    // Under --autotune report the schedule the model search picked (the
+    // runs above already executed under it) and keep the report around
+    // for the tune.* metric gauges.
+    let tune_report = if cli.autotune && is_gpu {
+        let Engine::Gpu(preset) = cli.engine else {
+            unreachable!("--autotune rejected with --cpu at parse time");
+        };
+        let t0 = std::time::Instant::now();
+        let r = autotune_search(preset, plane.width(), plane.height())?;
+        let wall = t0.elapsed().as_secs_f64();
+        summary.push_str(&format!("autotune: {}\n", r.summary_line()));
+        Some((r, wall))
+    } else {
+        None
+    };
+
     let wants_single_trace = (cli.trace_json.is_some() || cli.gantt) && cli.frames == 1;
     let observed =
         if is_gpu && (cli.metrics.is_some() || cli.profile || cli.explain || wants_single_trace) {
@@ -727,11 +810,15 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
     // (sharpen_plane aborts otherwise) and every live dispatch declared its
     // summary; recompute the report for the stats line and metric gauges.
     let static_report: Option<StaticReport> = if cli.verify_static && is_gpu {
+        let Engine::Gpu(preset) = cli.engine else {
+            unreachable!("--verify-static rejected with --cpu at parse time");
+        };
+        let (opts, tuning) = gpu_config_for(cli, preset, plane.width(), plane.height())?;
         let r = verify_static(
             plane.width(),
             plane.height(),
-            &cli.opts,
-            &Tuning::default(),
+            &opts,
+            &tuning,
             schedule_of(cli),
         )?;
         summary.push_str(&r.summary_line());
@@ -747,6 +834,13 @@ pub fn run(cli: &CliArgs) -> Result<String, String> {
         simgpu::span::to_registry(spans, &mut reg);
         if let Some(r) = &static_report {
             r.to_registry(&mut reg);
+        }
+        if let Some((r, wall)) = &tune_report {
+            r.to_registry(&mut reg);
+            // Wall time is the one non-deterministic tune gauge; it never
+            // enters committed baselines (those use TuneReport::to_registry
+            // alone) but belongs in an operator-requested metrics dump.
+            reg.set_gauge("tune.search_wall_s", *wall);
         }
         if let Some(tp) = &tput {
             reg.inc("throughput.frames", tp.outputs.len() as u64);
